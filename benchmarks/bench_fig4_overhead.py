@@ -1,0 +1,40 @@
+"""Figure 4 (bottom): QFusor's own overheads per query (milliseconds).
+
+fus-optim = discovery (Algorithm 1) + fusion optimization (Algorithm 2);
+code-gen = fused-UDF generation/compilation + plan rewrite.  The paper's
+point: both are milliseconds and "do not affect much query runtime".
+"""
+
+import pytest
+
+from repro.bench import FigureReport
+from repro.bench.harness import ALL_SQL, setup_adapter
+from repro.core import QFusor
+from repro.engines import MiniDbAdapter
+
+
+def run_figure(scale: str) -> FigureReport:
+    report = FigureReport(
+        "fig4_bottom", "QFusor overheads per query", unit="ms"
+    )
+    adapter = setup_adapter(MiniDbAdapter(), scale)
+    qfusor = QFusor(adapter)
+    for query_id in sorted(ALL_SQL):
+        analysis = qfusor.analyze(ALL_SQL[query_id])
+        report.add("fus-optim", query_id, analysis.fus_optim_seconds * 1000)
+        report.add("code-gen", query_id, analysis.codegen_seconds * 1000)
+    report.emit()
+    return report
+
+
+@pytest.mark.benchmark(group="fig4-bottom")
+def test_fig4_overheads(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        lambda: run_figure(bench_scale), rounds=1, iterations=1
+    )
+    # Overheads are milliseconds for every query in the suite.
+    for query_id in sorted(ALL_SQL):
+        fus_optim = report.value("fus-optim", query_id)
+        code_gen = report.value("code-gen", query_id)
+        assert fus_optim is not None and fus_optim < 1000
+        assert code_gen is not None and code_gen < 1000

@@ -1,0 +1,53 @@
+"""Figure 4 (middle): the Zillow pipeline (Q11) across systems and sizes.
+
+The string-heavy regime: every predicate and aggregate input is a dirty
+string parsed by a Python UDF.  The paper shows QFusor clearly ahead of
+all systems here; tuple-at-a-time engines suffer most from per-row
+conversion costs.
+"""
+
+import pytest
+
+from repro.bench import (
+    FigureReport, build_engine_systems, build_pipeline_systems, time_call,
+)
+
+SIZES = {"small": 2_000, "medium": 6_000, "large": 12_000}
+
+
+def run_figure() -> FigureReport:
+    report = FigureReport("fig4_middle", "Zillow Q11 across systems/sizes")
+    for label, rows in SIZES.items():
+        systems = {}
+        systems.update(
+            build_engine_systems(rows, names=(
+                "qfusor", "yesql", "minidb", "tupledb", "rowstore", "dbx",
+            ))
+        )
+        systems.update(
+            build_pipeline_systems(rows, names=(
+                "tuplex", "udo", "pandas", "pyspark",
+            ))
+        )
+        for name, system in systems.items():
+            if not system.supports("Q11"):
+                report.add(name, label, None)
+                continue
+            system.run("Q11")  # warm
+            elapsed, _ = time_call(lambda: system.run("Q11"), repeats=2)
+            report.add(name, label, elapsed)
+    report.emit()
+    return report
+
+
+@pytest.mark.benchmark(group="fig4-middle")
+def test_fig4_zillow(benchmark):
+    report = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    # QFusor outperforms the native engine and the tuple engines on the
+    # string pipeline at every size (the paper's headline for Zillow);
+    # PySpark's serialization costs only dominate once data grows.
+    for label in SIZES:
+        assert report.speedup("minidb", "qfusor", label) > 1.0
+        assert report.speedup("tupledb", "qfusor", label) > 1.5
+    for label in ("medium", "large"):
+        assert report.speedup("pyspark", "qfusor", label) > 1.0

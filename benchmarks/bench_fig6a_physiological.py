@@ -1,0 +1,81 @@
+"""Figure 6a: physio-logical optimization — five techniques, three
+engines, on the running example (Q3).
+
+Techniques (cumulative, as in the paper):
+  (a) default Python UDF execution (no fusion, no JIT);
+  (b) JIT only;
+  (c) + fusion of scalar and table UDFs;
+  (d) + offloading of scalar relational operators (case, filters);
+  (e) + offloading of aggregations (sum + engine-internal group-by).
+
+Engines: the vectorized column store (MonetDB model), the in-process
+tuple engine (SQLite model), and the out-of-process row store
+(PostgreSQL model) — whose optimizer does not push filters below
+UDF-bearing projections, the paper's "3x more UDF invocations" effect.
+"""
+
+import pytest
+
+from repro.bench import FigureReport, time_call
+from repro.core import QFusor, QFusorConfig
+from repro.engines import MiniDbAdapter, RowStoreAdapter, TupleDbAdapter
+from repro.workloads import udfbench
+
+TECHNIQUES = [
+    ("a-default", QFusorConfig.disabled()),
+    ("b-jit", QFusorConfig.jit_only()),
+    ("c-fusion", QFusorConfig.fusion_no_offload()),
+    ("d-offload-rel", QFusorConfig.no_aggregation_offload()),
+    ("e-offload-agg", QFusorConfig()),
+]
+
+ENGINES = {
+    "minidb": MiniDbAdapter,
+    "tupledb": TupleDbAdapter,
+    "rowstore": RowStoreAdapter,
+}
+
+
+def run_figure(scale: str) -> FigureReport:
+    report = FigureReport(
+        "fig6a", "physio-logical optimization ladder on Q3"
+    )
+    sql = udfbench.QUERIES["Q3"]
+    for engine_name, factory in ENGINES.items():
+        for technique, config in TECHNIQUES:
+            adapter = factory()
+            udfbench.setup(adapter, scale)
+            qfusor = QFusor(adapter, config)
+            qfusor.execute(sql)  # warm: compile + caches
+            elapsed, _ = time_call(lambda: qfusor.execute(sql), repeats=3)
+            report.add(engine_name, technique, elapsed)
+    report.emit()
+    return report
+
+
+@pytest.mark.benchmark(group="fig6a")
+def test_fig6a_physiological(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        lambda: run_figure(bench_scale), rounds=1, iterations=1
+    )
+    for engine_name in ENGINES:
+        baseline = report.value(engine_name, "a-default")
+        full = report.value(engine_name, "e-offload-agg")
+        # The full ladder wins on the vectorized and out-of-process
+        # engines; on the in-process tuple engine (which invokes UDFs per
+        # row either way) the reproduction target is no regression.
+        if engine_name == "tupledb":
+            assert full < baseline * 1.15
+        else:
+            assert full < baseline
+    # The vectorized engine accelerates most aggressively (the paper's
+    # MonetDB observation); the out-of-process row store also gains from
+    # fewer IPC round trips.
+    minidb_gain = report.value("minidb", "a-default") / report.value(
+        "minidb", "e-offload-agg"
+    )
+    rowstore_gain = report.value("rowstore", "a-default") / report.value(
+        "rowstore", "e-offload-agg"
+    )
+    assert minidb_gain > 1.5
+    assert rowstore_gain > 1.1

@@ -1,0 +1,145 @@
+"""Figure 6d (and section 6.4.5): compilation latency and a workload of
+100 short-running queries under varying parallelism.
+
+Part 1 — per-query compilation latency: QFusor's per-UDF trace
+compilation stays flat with query complexity, while the Tuplex/LLVM
+model's whole-pipeline compilation grows (Q13 simple vs Q14 complex).
+
+Part 2 — 100 short queries (variants of Q11-Q14 differing in constants,
+grouping, and ordering) executed by QFusor, QFusor with the trace cache
+(zero recompilation for repeated pipeline shapes), the YeSQL profile,
+and the Tuplex model, with 1-8 worker threads.
+"""
+
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.baselines import TuplexLike, programs
+from repro.bench import FigureReport
+from repro.core import QFusor, QFusorConfig
+from repro.engines import MiniDbAdapter
+from repro.workloads import zillow
+
+THREAD_COUNTS = [1, 2, 4, 8]
+
+
+def make_workload():
+    """100 short query variants over the tiny zillow snapshot.
+
+    Variants reuse the same UDF pipelines with different relational
+    constants/orderings, so the trace cache can hit across them.
+    """
+    queries = []
+    for i in range(25):
+        bd = 1 + (i % 5)
+        queries.append(
+            f"SELECT extract_bd(bedrooms) AS bd FROM listings "
+            f"WHERE extract_bd(bedrooms) >= {bd}"
+        )
+        queries.append(
+            f"SELECT url_depth(strip_params(lower(url))) AS d "
+            f"FROM listings LIMIT {100 + i}"
+        )
+        queries.append(
+            "SELECT extract_type(type) AS t, count(*) AS n FROM listings "
+            f"GROUP BY t ORDER BY n {'DESC' if i % 2 else 'ASC'}"
+        )
+        queries.append(
+            f"SELECT extract_price(price) AS p FROM listings "
+            f"WHERE extract_price(price) < {(300 + 10 * i) * 1000}"
+        )
+    return queries[:100]
+
+
+def run_compile_latency(report: FigureReport) -> None:
+    adapter = MiniDbAdapter()
+    zillow.setup(adapter, "small")
+    qfusor = QFusor(adapter)
+    for query in ("Q13", "Q14"):
+        analysis = qfusor.analyze(zillow.QUERIES[query])
+        report.add("qfusor-compile", query, analysis.total_overhead_seconds)
+    tables = {t.name: t for t in adapter.database.catalog}
+    tuplex = TuplexLike(tables)
+    for query in ("Q13", "Q14"):
+        tuplex.compile(programs.build_program(query))
+        report.add("tuplex-compile", query, tuplex.last_compile_seconds)
+
+
+def run_workload_sweep(report: FigureReport) -> None:
+    workload = make_workload()
+
+    def qfusor_system(cache_enabled: bool):
+        adapter = MiniDbAdapter()
+        zillow.setup(adapter, "small")
+        config = QFusorConfig(trace_cache=cache_enabled)
+        qfusor = QFusor(adapter, config)
+        return lambda sql: qfusor.execute(sql)
+
+    def yesql_system():
+        adapter = MiniDbAdapter()
+        zillow.setup(adapter, "small")
+        qfusor = QFusor(adapter, QFusorConfig.yesql_like())
+        return lambda sql: qfusor.execute(sql)
+
+    def tuplex_runner(threads):
+        adapter = MiniDbAdapter()
+        zillow.setup(adapter, "small")
+        tables = {t.name: t for t in adapter.database.catalog}
+        tuplex = TuplexLike(tables, threads=1)
+        # Tuplex compiles each pipeline per query (LLVM per submission).
+        program_cycle = itertools.cycle(["Q13", "Q12", "Q14", "Q13"])
+
+        def run_one(_sql):
+            name = next(program_cycle)
+            return tuplex.run(programs.build_program(name))
+
+        return run_one
+
+    for threads in THREAD_COUNTS:
+        systems = {
+            "qfusor": qfusor_system(cache_enabled=False),
+            "qfusor-cache": qfusor_system(cache_enabled=True),
+            "yesql": yesql_system(),
+            "tuplex": tuplex_runner(threads),
+        }
+        for name, run_one in systems.items():
+            start = time.perf_counter()
+            if threads == 1:
+                for sql in workload:
+                    run_one(sql)
+            else:
+                with ThreadPoolExecutor(max_workers=threads) as pool:
+                    list(pool.map(run_one, workload))
+            report.add(name, f"{threads}t", time.perf_counter() - start)
+
+
+def run_figure() -> FigureReport:
+    report = FigureReport(
+        "fig6d", "compilation latency + 100 short queries"
+    )
+    run_compile_latency(report)
+    run_workload_sweep(report)
+    report.emit()
+    return report
+
+
+@pytest.mark.benchmark(group="fig6d")
+def test_fig6d_short_queries(benchmark):
+    report = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    # QFusor's compilation overhead stays flat with complexity; the
+    # LLVM-style model grows (section 6.4.5's crossover).
+    qf_growth = report.value("qfusor-compile", "Q14") / report.value(
+        "qfusor-compile", "Q13"
+    )
+    tx_growth = report.value("tuplex-compile", "Q14") / report.value(
+        "tuplex-compile", "Q13"
+    )
+    assert tx_growth > qf_growth * 0.8
+    # The trace cache pays off across the 100-query workload.
+    for threads in THREAD_COUNTS:
+        cached = report.value("qfusor-cache", f"{threads}t")
+        uncached = report.value("qfusor", f"{threads}t")
+        assert cached <= uncached * 1.1

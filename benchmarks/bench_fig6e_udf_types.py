@@ -1,0 +1,53 @@
+"""Figure 6e: fusing the different UDF-type combinations (Q4-Q7).
+
+Q4 scalar-scalar (TF1), Q5 scalar-aggregate (TF2), Q6 scalar-table
+(TF3), Q7 table-aggregate (TF6).  The paper reports speedups up to 6x
+with hot caches; the reproduction target is fused > unfused on every
+combination.
+"""
+
+import pytest
+
+from repro.bench import FigureReport, time_call
+from repro.core import QFusor, QFusorConfig
+from repro.engines import MiniDbAdapter
+from repro.workloads import udfbench
+
+QUERIES = ["Q4", "Q5", "Q6", "Q7"]
+
+
+def run_figure(scale: str) -> FigureReport:
+    from repro.workloads import scale_rows
+
+    report = FigureReport("fig6e", "UDF-type fusion (Q4-Q7, hot caches)")
+    rows = max(scale_rows(scale), 8_000)
+    adapter_plain = MiniDbAdapter()
+    udfbench.setup(adapter_plain, rows)
+    unfused = QFusor(adapter_plain, QFusorConfig.disabled())
+    adapter_fused = MiniDbAdapter()
+    udfbench.setup(adapter_fused, rows)
+    fused = QFusor(adapter_fused)
+    for query in QUERIES:
+        sql = udfbench.QUERIES[query]
+        unfused.execute(sql)
+        unfused_time, _ = time_call(lambda: unfused.execute(sql), repeats=2)
+        fused.execute(sql)
+        fused_time, _ = time_call(lambda: fused.execute(sql), repeats=2)
+        report.add("unfused", query, unfused_time)
+        report.add("fused", query, fused_time)
+        report.add("speedup", query, unfused_time / fused_time)
+    report.emit()
+    return report
+
+
+@pytest.mark.benchmark(group="fig6e")
+def test_fig6e_udf_types(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        lambda: run_figure(bench_scale), rounds=1, iterations=1
+    )
+    for query in QUERIES:
+        assert report.value("speedup", query) > 0.95
+    # At least the scalar-scalar and table-aggregate pairs show clear
+    # wins (interior boundary + materialization eliminated).
+    assert report.value("speedup", "Q4") > 1.05
+    assert report.value("speedup", "Q7") > 1.05

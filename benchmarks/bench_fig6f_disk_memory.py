@@ -1,0 +1,98 @@
+"""Figure 6f: disk vs main memory, cold vs hot caches, on the Zillow
+pipeline.
+
+"Disk" means the CSV ingest path: the engine (and Tuplex's row loader)
+parse the file before computing — a cold run pays load + compute, a hot
+run only compute.  Systems: QFusor, Tuplex (CSV reader), UDO (manually
+fused variant), PySpark.
+"""
+
+import pytest
+
+from repro.baselines import PySparkLike, TuplexLike, UdoLike, programs
+from repro.bench import FigureReport, time_call
+from repro.core import QFusor
+from repro.engines import MiniDbAdapter
+from repro.storage import csvio
+from repro.workloads import zillow
+
+
+def run_figure(scale: str, tmp_dir) -> FigureReport:
+    from repro.workloads import scale_rows
+
+    report = FigureReport("fig6f", "disk vs memory, cold vs hot (Q11)")
+    rows = max(scale_rows(scale), 6_000)
+    listings = zillow.build_listings(rows)
+    csv_path = tmp_dir / "listings.csv"
+    csvio.save_csv(listings, csv_path)
+
+    # ---- QFusor ------------------------------------------------------
+    def qfusor_cold():
+        adapter = MiniDbAdapter()
+        adapter.register_table(csvio.load_csv(csv_path, "listings"))
+        for udf in zillow.ALL_UDFS:
+            adapter.register_udf(udf)
+        return QFusor(adapter).execute(zillow.QUERIES["Q11"])
+
+    cold, _ = time_call(qfusor_cold, repeats=1)
+    report.add("qfusor", "cold-disk", cold)
+    adapter = MiniDbAdapter()
+    adapter.register_table(listings)
+    for udf in zillow.ALL_UDFS:
+        adapter.register_udf(udf)
+    qfusor = QFusor(adapter)
+    qfusor.execute(zillow.QUERIES["Q11"])  # warm
+    hot, _ = time_call(lambda: qfusor.execute(zillow.QUERIES["Q11"]), repeats=2)
+    report.add("qfusor", "hot-memory", hot)
+
+    # ---- Tuplex ------------------------------------------------------
+    def tuplex_cold():
+        loaded = {"listings": csvio.load_csv(csv_path, "listings")}
+        tuplex = TuplexLike(loaded)
+        return tuplex.run(programs.build_program("Q11"))
+
+    cold, _ = time_call(tuplex_cold, repeats=1)
+    report.add("tuplex", "cold-disk", cold)
+    tuplex = TuplexLike({"listings": listings})
+    compiled = tuplex.compile(programs.build_program("Q11"))
+    hot, _ = time_call(
+        lambda: tuplex.run(programs.build_program("Q11"), compiled=compiled),
+        repeats=2,
+    )
+    report.add("tuplex", "hot-memory", hot)
+
+    # ---- UDO (manually fused) and PySpark ----------------------------
+    for name, factory in (
+        ("udo-fused", lambda t: UdoLike(t, fused=True)),
+        ("pyspark", lambda t: PySparkLike(t)),
+    ):
+        def cold_run():
+            loaded = {"listings": csvio.load_csv(csv_path, "listings")}
+            return factory(loaded).run(programs.build_program("Q11"))
+
+        cold, _ = time_call(cold_run, repeats=1)
+        report.add(name, "cold-disk", cold)
+        system = factory({"listings": listings})
+        system.run(programs.build_program("Q11"))
+        hot, _ = time_call(
+            lambda: system.run(programs.build_program("Q11")), repeats=2
+        )
+        report.add(name, "hot-memory", hot)
+
+    report.emit()
+    return report
+
+
+@pytest.mark.benchmark(group="fig6f")
+def test_fig6f_disk_memory(benchmark, bench_scale, tmp_path):
+    report = benchmark.pedantic(
+        lambda: run_figure(bench_scale, tmp_path), rounds=1, iterations=1
+    )
+    # Cold runs pay the CSV ingest everywhere.
+    for system in ("qfusor", "tuplex", "udo-fused", "pyspark"):
+        assert report.value(system, "cold-disk") > report.value(
+            system, "hot-memory"
+        )
+    # Hot compute: QFusor ahead of PySpark (the paper's 5.75x average;
+    # the gap on this substrate is smaller but the ordering holds).
+    assert report.speedup("pyspark", "qfusor", "hot-memory") > 1.0

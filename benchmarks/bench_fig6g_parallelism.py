@@ -1,0 +1,72 @@
+"""Figure 6g: thread scaling (1-12 threads) on the Zillow pipeline.
+
+QFusor runs on the thread-parallel engine profile; Tuplex partitions its
+input per thread; UDO is single-stream.  The expected shape matches the
+paper: QFusor gains modestly (Python's GIL bounds UDF-side parallelism —
+the paper itself reports only ~45 % at 12 threads), Tuplex plateaus as
+partitioning overheads grow, and UDO barely moves.
+"""
+
+import pytest
+
+from repro.baselines import TuplexLike, UdoLike, programs
+from repro.bench import FigureReport, time_call
+from repro.core import QFusor
+from repro.engines import ParallelDbAdapter
+from repro.workloads import zillow
+
+THREADS = [1, 2, 4, 8, 12]
+
+
+def run_figure(scale: str) -> FigureReport:
+    from repro.workloads import scale_rows
+
+    report = FigureReport("fig6g", "thread scaling on Q11")
+    rows = max(scale_rows(scale), 6_000)
+    listings = zillow.build_listings(rows)
+    tables = {"listings": listings}
+
+    for threads in THREADS:
+        adapter = ParallelDbAdapter(threads=threads)
+        adapter.register_table(listings)
+        for udf in zillow.ALL_UDFS:
+            adapter.register_udf(udf)
+        qfusor = QFusor(adapter)
+        qfusor.execute(zillow.QUERIES["Q11"])  # warm
+        elapsed, _ = time_call(
+            lambda: qfusor.execute(zillow.QUERIES["Q11"]), repeats=2
+        )
+        report.add("qfusor", f"{threads}t", elapsed)
+
+        tuplex = TuplexLike(tables, threads=threads)
+        compiled = tuplex.compile(programs.build_program("Q11"))
+        elapsed, _ = time_call(
+            lambda: tuplex.run(programs.build_program("Q11"), compiled=compiled),
+            repeats=2,
+        )
+        report.add("tuplex", f"{threads}t", elapsed)
+
+        udo = UdoLike(tables)  # UDO: no intra-query threading
+        udo.run(programs.build_program("Q11"))
+        elapsed, _ = time_call(
+            lambda: udo.run(programs.build_program("Q11")), repeats=2
+        )
+        report.add("udo", f"{threads}t", elapsed)
+    report.emit()
+    return report
+
+
+@pytest.mark.benchmark(group="fig6g")
+def test_fig6g_parallelism(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        lambda: run_figure(bench_scale), rounds=1, iterations=1
+    )
+    # UDO gains nothing from extra threads.
+    udo_1 = report.value("udo", "1t")
+    udo_12 = report.value("udo", "12t")
+    assert abs(udo_1 - udo_12) / udo_1 < 0.5
+    # GIL-bound: nobody shows superlinear scaling; QFusor stays within
+    # a modest band of its single-thread time (the paper's observation).
+    qf_1 = report.value("qfusor", "1t")
+    qf_12 = report.value("qfusor", "12t")
+    assert qf_12 < qf_1 * 1.5

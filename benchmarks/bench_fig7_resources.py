@@ -1,0 +1,65 @@
+"""Figure 7: resource utilization (CPU %, memory, runtime) of QFusor,
+Tuplex, UDO, and PySpark on the Zillow pipeline.
+
+A sampler thread reads /proc/self while each system runs.  The paper's
+shape: QFusor finishes fastest with modest CPU (GIL-bound) and moderate
+memory; UDO's operator-at-a-time materialization is the memory hog;
+PySpark is the slowest with sustained serialization work.
+"""
+
+import gc
+
+import pytest
+
+from repro.baselines import PySparkLike, TuplexLike, UdoLike, programs
+from repro.bench import FigureReport, ResourceSampler
+from repro.core import QFusor
+from repro.engines import MiniDbAdapter
+from repro.workloads import zillow
+
+
+def run_figure(scale: str) -> FigureReport:
+    from repro.workloads import scale_rows
+
+    report = FigureReport("fig7", "resource utilization on Q11")
+    rows = max(scale_rows(scale), 8_000)
+    listings = zillow.build_listings(rows)
+    tables = {"listings": listings}
+
+    adapter = MiniDbAdapter()
+    adapter.register_table(listings)
+    for udf in zillow.ALL_UDFS:
+        adapter.register_udf(udf)
+    qfusor = QFusor(adapter)
+
+    systems = {
+        "qfusor": lambda: qfusor.execute(zillow.QUERIES["Q11"]),
+        "tuplex": lambda: TuplexLike(tables).run(programs.build_program("Q11")),
+        "udo": lambda: UdoLike(tables).run(programs.build_program("Q11")),
+        "pyspark": lambda: PySparkLike(tables).run(programs.build_program("Q11")),
+    }
+    for name, run in systems.items():
+        gc.collect()
+        with ResourceSampler(interval=0.01) as sampler:
+            for _ in range(5):  # sustain the phase long enough to sample
+                run()
+        last = sampler.samples[-1] if sampler.samples else None
+        report.add(name, "runtime_s", last.elapsed if last else 0.0)
+        report.add(name, "mean_cpu_%", sampler.mean_cpu_percent())
+        report.add(name, "peak_rss_mb", sampler.peak_rss_mb())
+    report.emit()
+    return report
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_resources(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        lambda: run_figure(bench_scale), rounds=1, iterations=1
+    )
+    # QFusor completes the sustained workload fastest (paper: 92 s vs
+    # 190-460 s for the others); PySpark is slowest of the four.
+    qf = report.value("qfusor", "runtime_s")
+    assert qf < report.value("pyspark", "runtime_s")
+    assert qf < report.value("udo", "runtime_s")
+    # CPU utilisation is bounded by the GIL for all Python systems.
+    assert report.value("qfusor", "mean_cpu_%") < 400

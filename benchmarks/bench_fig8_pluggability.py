@@ -1,0 +1,67 @@
+"""Figure 8: pluggability — Q12 (three chained UDFs on the url column)
+on six engine profiles, native vs enhanced, two sizes.
+
+"native" runs the query as-is on each engine; "enhanced" attaches
+QFusor (JIT always on, fusion on).  The sixth engine is Python's real
+stdlib sqlite3, integrated through ``create_function`` and accelerated
+through the SQL-rewrite path — genuine third-party pluggability.
+"""
+
+import pytest
+
+from repro.bench import FigureReport, time_call
+from repro.core import QFusor
+from repro.engines import (
+    DuckDbLikeAdapter, MiniDbAdapter, ParallelDbAdapter, RowStoreAdapter,
+    SqliteAdapter, TupleDbAdapter,
+)
+from repro.workloads import zillow
+
+ENGINES = {
+    "minidb": MiniDbAdapter,
+    "tupledb": TupleDbAdapter,
+    "rowstore": RowStoreAdapter,
+    "duckdb": DuckDbLikeAdapter,
+    "dbx": ParallelDbAdapter,
+    "sqlite3": SqliteAdapter,
+}
+
+SIZES = {"7k-scaled": 3_500, "14k-scaled": 7_000}
+
+
+def run_figure() -> FigureReport:
+    report = FigureReport("fig8", "pluggability: Q12 native vs enhanced")
+    sql = zillow.QUERIES["Q12"]
+    for size_label, rows in SIZES.items():
+        for engine_name, factory in ENGINES.items():
+            native_adapter = factory()
+            zillow.setup(native_adapter, rows)
+            native_adapter.execute_sql(sql)
+            native, _ = time_call(
+                lambda: native_adapter.execute_sql(sql), repeats=2
+            )
+            report.add(f"{engine_name}-native", size_label, native)
+
+            enhanced_adapter = factory()
+            zillow.setup(enhanced_adapter, rows)
+            qfusor = QFusor(enhanced_adapter)
+            qfusor.execute(sql)
+            enhanced, _ = time_call(lambda: qfusor.execute(sql), repeats=2)
+            report.add(f"{engine_name}-enhanced", size_label, enhanced)
+            report.add(
+                f"{engine_name}-speedup", size_label, native / enhanced
+            )
+    report.emit()
+    return report
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_pluggability(benchmark):
+    report = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    # The benefit of QFusor is evident across engines (paper's words):
+    # every profile must show a speedup at the larger size.
+    for engine_name in ENGINES:
+        speedup = report.value(f"{engine_name}-speedup", "14k-scaled")
+        assert speedup > 0.95, engine_name
+    # The per-row engines gain the most from fusion.
+    assert report.value("tupledb-speedup", "14k-scaled") > 1.2

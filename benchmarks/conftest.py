@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_figX_*`` module regenerates one figure/table of the paper's
+evaluation: it prints the measured series (and writes it under
+``benchmarks/results/``) in the same layout the paper reports.
+
+Scale defaults to "small" (see ``repro.workloads.SCALES``); set
+``REPRO_BENCH_SCALE=medium`` for longer, more contrasted runs.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    from repro.bench import bench_scale as _scale
+
+    return _scale("small")

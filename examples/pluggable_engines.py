@@ -1,0 +1,61 @@
+"""Pluggability: the same query and UDFs, accelerated on six engine
+profiles — including Python's real stdlib sqlite3 through its
+create_function C-API bridge (paper sections 5.5 and 6.4.10).
+
+Run with::
+
+    python examples/pluggable_engines.py
+"""
+
+import time
+
+from repro import QFusor
+from repro.core.dialect import dialect_for
+from repro.engines import (
+    DuckDbLikeAdapter, MiniDbAdapter, ParallelDbAdapter, RowStoreAdapter,
+    SqliteAdapter, TupleDbAdapter,
+)
+from repro.workloads import zillow
+
+ENGINES = {
+    "minidb (MonetDB-style vectorized)": MiniDbAdapter,
+    "tupledb (SQLite-style in-process)": TupleDbAdapter,
+    "rowstore (PostgreSQL-style out-of-process)": RowStoreAdapter,
+    "duckdb-like (vectorized, no JIT)": DuckDbLikeAdapter,
+    "dbx (commercial, thread-parallel)": ParallelDbAdapter,
+    "sqlite3 (real stdlib database!)": SqliteAdapter,
+}
+
+
+def main() -> None:
+    sql = zillow.QUERIES["Q12"]
+    print(f"Query: {sql}\n")
+    print(f"{'engine':44s} {'native':>10s} {'enhanced':>10s} {'speedup':>8s}")
+    for label, factory in ENGINES.items():
+        native_adapter = factory()
+        zillow.setup(native_adapter, "small")
+        native_adapter.execute_sql(sql)
+        start = time.perf_counter()
+        native_adapter.execute_sql(sql)
+        native = time.perf_counter() - start
+
+        enhanced_adapter = factory()
+        zillow.setup(enhanced_adapter, "small")
+        qfusor = QFusor(enhanced_adapter)
+        qfusor.execute(sql)
+        start = time.perf_counter()
+        qfusor.execute(sql)
+        enhanced = time.perf_counter() - start
+
+        print(f"{label:44s} {native * 1000:8.1f}ms {enhanced * 1000:8.1f}ms "
+              f"{native / enhanced:7.2f}x")
+
+    # The dialect layer: what registration looks like per engine.
+    print("\nCREATE FUNCTION dialects for the url_depth UDF:")
+    for name in ("minidb", "minidb_row", "duckdb", "dbx"):
+        print(f"  [{name}] "
+              f"{dialect_for(name).create_function_sql(zillow.url_depth.__udf__)}")
+
+
+if __name__ == "__main__":
+    main()

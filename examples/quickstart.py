@@ -1,0 +1,70 @@
+"""Quickstart: register UDFs, attach QFusor, watch a chain fuse.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import time
+
+from repro import Database, QFusor, SqlType, Table, scalar_udf
+
+
+# 1. Write ordinary Python UDFs and decorate them (paper section 4.1).
+@scalar_udf
+def clean(text: str) -> str:
+    return text.strip().lower()
+
+
+@scalar_udf
+def first_word(text: str) -> str:
+    return text.split()[0] if text else ""
+
+
+@scalar_udf
+def shout(text: str) -> str:
+    return text.upper() + "!"
+
+
+def main() -> None:
+    # 2. Load a table into the embedded engine.
+    db = Database()
+    rows = [(i, f"  The Quick Brown Fox {i}  ") for i in range(50_000)]
+    db.register_table(
+        Table.from_rows(
+            "messages", [("id", SqlType.INT), ("body", SqlType.TEXT)], rows
+        )
+    )
+    db.register_udfs([clean, first_word, shout])
+
+    sql = "SELECT shout(first_word(clean(body))) AS w FROM messages"
+
+    # 3. Native execution: three separate UDF invocations per row, each
+    #    crossing the engine<->Python boundary.
+    start = time.perf_counter()
+    native = db.execute(sql)
+    native_time = time.perf_counter() - start
+
+    # 4. The same query through QFusor: the chain becomes ONE fused,
+    #    JIT-compiled UDF; interior conversions disappear.
+    qfusor = QFusor(db)
+    qfusor.execute(sql)  # first run compiles the trace
+    start = time.perf_counter()
+    fused = qfusor.execute(sql)
+    fused_time = time.perf_counter() - start
+
+    assert native.to_rows() == fused.to_rows()
+    report = qfusor.last_report
+
+    print(f"rows processed:        {native.num_rows}")
+    print(f"native execution:      {native_time * 1000:8.1f} ms")
+    print(f"QFusor execution:      {fused_time * 1000:8.1f} ms")
+    print(f"speedup:               {native_time / fused_time:8.2f}x")
+    print(f"fused UDFs registered: {report.fused_names}")
+    print()
+    print("generated fused UDF source:")
+    print(report.fused[-1].source if report.fused else "(cached)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""The Zillow listing pipeline: dirty-string extraction UDFs with
+filters and grouped aggregation — and a comparison against the
+pipeline-system baselines (Tuplex-, UDO-, Pandas-, PySpark-like).
+
+Run with::
+
+    python examples/zillow_pipeline.py
+"""
+
+import time
+
+from repro import QFusor
+from repro.baselines import (
+    PandasLike, PySparkLike, TuplexLike, UdoLike, programs,
+)
+from repro.engines import MiniDbAdapter
+from repro.workloads import zillow
+
+
+def main() -> None:
+    adapter = MiniDbAdapter()
+    zillow.setup(adapter, "medium")
+    sql = zillow.QUERIES["Q11"]
+    print("Query:")
+    print(sql)
+    print()
+
+    timings = {}
+
+    native = adapter.execute_sql(sql)
+    start = time.perf_counter()
+    adapter.execute_sql(sql)
+    timings["native engine"] = time.perf_counter() - start
+
+    qfusor = QFusor(adapter)
+    qfusor.execute(sql)
+    start = time.perf_counter()
+    fused = qfusor.execute(sql)
+    timings["QFusor"] = time.perf_counter() - start
+    assert sorted(native.to_rows()) == sorted(fused.to_rows())
+
+    tables = {t.name: t for t in adapter.database.catalog}
+    for name, system in {
+        "Tuplex-like": TuplexLike(tables),
+        "UDO-like": UdoLike(tables),
+        "Pandas-like": PandasLike(tables),
+        "PySpark-like": PySparkLike(tables),
+    }.items():
+        system.run(programs.build_program("Q11"))  # warm
+        start = time.perf_counter()
+        system.run(programs.build_program("Q11"))
+        timings[name] = time.perf_counter() - start
+
+    print(f"{'system':16s} {'time':>10s} {'vs QFusor':>10s}")
+    base = timings["QFusor"]
+    for name, elapsed in sorted(timings.items(), key=lambda kv: kv[1]):
+        print(f"{name:16s} {elapsed * 1000:8.1f}ms {elapsed / base:9.2f}x")
+
+    print()
+    print("per-city result (top 5):")
+    for row in fused.to_rows()[:5]:
+        print(" ", row)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — a from-scratch reproduction of QFusor (EDBT 2026).
+
+QFusor is a pluggable optimizer for SQL queries containing Python UDFs:
+it fuses UDF operators with each other and with relational operators,
+JIT-compiles the fused pipelines, and rewrites the query plan — yielding
+large speedups by eliminating engine<->UDF boundary costs and enabling
+longer compilation traces.
+
+Quickstart::
+
+    from repro import Database, QFusor, scalar_udf, Table, SqlType
+
+    @scalar_udf
+    def clean(text: str) -> str:
+        return text.strip().lower()
+
+    db = Database()
+    db.register_table(Table.from_rows(
+        "t", [("s", SqlType.TEXT)], [("  Hello ",), (" WORLD",)]
+    ))
+    db.register_udf(clean)
+
+    qfusor = QFusor(db)
+    print(qfusor.execute("SELECT clean(s) FROM t").to_rows())
+
+See ``examples/`` for realistic scenarios, ``DESIGN.md`` for the system
+inventory, and ``EXPERIMENTS.md`` for the paper-vs-measured results.
+"""
+
+from .core import QFusor, QFusorConfig, QFusorReport
+from .engine import Database
+from .storage import Catalog, Column, Table
+from .types import SqlType
+from .udf import UdfKind, UdfRegistry, aggregate_udf, scalar_udf, table_udf
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QFusor", "QFusorConfig", "QFusorReport", "Database", "Catalog",
+    "Column", "Table", "SqlType", "UdfKind", "UdfRegistry",
+    "scalar_udf", "aggregate_udf", "table_udf", "__version__",
+]

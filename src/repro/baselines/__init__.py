@@ -1,0 +1,40 @@
+"""Baseline systems the paper compares against.
+
+Tuplex, UDO, Weld, Pandas, and PySpark do not execute SQL; they run
+LINQ/dataframe-style pipelines.  The shared pipeline IR
+(:mod:`repro.baselines.pipeline`) expresses each benchmark query once,
+and every baseline interprets it with its own execution model:
+
+* :mod:`repro.baselines.tuplex_like` — whole-pipeline compilation into a
+  single generated loop (LLVM-style: real compile work proportional to
+  pipeline size), partitioned parallelism, row layout;
+* :mod:`repro.baselines.udo_like` — user-defined operators executed one
+  at a time with full materialization between operators (memory hungry);
+* :mod:`repro.baselines.weld_like` — numpy-native fast paths with
+  per-row CPython fallback for string logic, two-phase load;
+* :mod:`repro.baselines.pandas_like` — eager dataframe execution;
+* :mod:`repro.baselines.pyspark_like` — partitioned execution with a
+  pickle boundary per UDF stage per partition (py4j-style);
+* :mod:`repro.baselines.yesql_like` — QFusor restricted to the YeSQL
+  profile (tracing JIT + scalar-only fusion) on the same engine.
+
+Each baseline reports which benchmark programs it supports; unsupported
+combinations are "n/a", matching the paper's compatibility matrix.
+"""
+
+from .pipeline import (
+    Pipeline, MapOp, FilterOp, FlatMapOp, GroupAggOp, JoinOp, AggSpec,
+)
+from . import programs
+from .tuplex_like import TuplexLike
+from .udo_like import UdoLike
+from .weld_like import WeldLike
+from .pandas_like import PandasLike
+from .pyspark_like import PySparkLike
+from .yesql_like import make_yesql
+
+__all__ = [
+    "Pipeline", "MapOp", "FilterOp", "FlatMapOp", "GroupAggOp", "JoinOp",
+    "AggSpec", "programs", "TuplexLike", "UdoLike", "WeldLike",
+    "PandasLike", "PySparkLike", "make_yesql",
+]

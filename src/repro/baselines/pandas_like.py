@@ -1,0 +1,139 @@
+"""Pandas-like baseline: eager, column-oriented dataframe execution.
+
+Each operator materializes full result columns immediately.  Numeric
+operators with a ``numpy_hint`` run vectorized; everything else —
+notably the string-processing UDFs that dominate the Zillow pipeline —
+falls back to per-row CPython loops, which is exactly the weakness the
+paper attributes to pandas on string-heavy data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..storage.table import Table
+from ..types import SqlType
+from .pipeline import (
+    FilterOp, FlatMapOp, GroupAggOp, JoinOp, MapOp, Pipeline,
+    apply_group_agg, apply_join,
+)
+
+__all__ = ["PandasLike"]
+
+
+class _Frame:
+    """A toy eager dataframe: named columns of equal length."""
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: List[List[Any]]):
+        self.columns = columns
+
+    @property
+    def size(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def rows(self) -> List[Tuple]:
+        return list(zip(*self.columns)) if self.columns else []
+
+    @classmethod
+    def from_rows(cls, rows: List[Tuple], width: int) -> "_Frame":
+        if not rows:
+            return cls([[] for _ in range(width)])
+        return cls([list(col) for col in zip(*rows)])
+
+
+class _RowSeries:
+    """Stand-in for the per-row Series objects ``DataFrame.apply`` hands
+    to user functions: every access goes through an indexing layer, the
+    overhead that makes row-wise pandas UDFs slow in practice."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values):
+        self._values = values
+
+    def __getitem__(self, index):
+        return self._values[index]
+
+    def __len__(self):
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+
+class PandasLike:
+    name = "pandas"
+
+    def __init__(self, tables: Dict[str, Table]):
+        self._frames = {
+            name: _Frame([col.to_list() for col in table.columns])
+            for name, table in tables.items()
+        }
+        self._numeric = {
+            name: [
+                col.sql_type in (SqlType.INT, SqlType.FLOAT, SqlType.BOOL)
+                for col in table.columns
+            ]
+            for name, table in tables.items()
+        }
+
+    def supports(self, program: Pipeline) -> bool:
+        from .programs import SUPPORT
+
+        return self.name in SUPPORT.get(program.name, frozenset())
+
+    def run(self, program: Pipeline) -> List[Tuple]:
+        frame = self._frames[program.source]
+        width = len(frame.columns)
+        for op in program.ops:
+            if isinstance(op, MapOp):
+                produced = self._map(frame, op)
+                if op.project_only:
+                    frame = _Frame(produced)
+                else:
+                    frame = _Frame(frame.columns + produced)
+            elif isinstance(op, FilterOp):
+                frame = self._filter(frame, op)
+            elif isinstance(op, FlatMapOp):
+                out_rows = [
+                    out for row in frame.rows() for out in op.fn(row)
+                ]
+                frame = _Frame.from_rows(out_rows, len(op.out_names))
+            elif isinstance(op, GroupAggOp):
+                rows = apply_group_agg(frame.rows(), op)
+                frame = _Frame.from_rows(
+                    rows, len(op.key_names) + len(op.aggs)
+                )
+            elif isinstance(op, JoinOp):
+                right = self._frames[op.right_table]
+                rows = apply_join(frame.rows(), right.rows(), op)
+                frame = _Frame.from_rows(
+                    rows, len(frame.columns) + len(right.columns)
+                )
+        return frame.rows()
+
+    def _map(self, frame: _Frame, op: MapOp) -> List[List[Any]]:
+        # df.apply(axis=1): one Series construction per row.
+        produced = [op.fn(_RowSeries(row)) for row in frame.rows()]
+        if not produced:
+            return [[] for _ in op.out_names]
+        return [list(col) for col in zip(*produced)]
+
+    def _filter(self, frame: _Frame, op: FilterOp) -> _Frame:
+        if op.numpy_hint is not None:
+            arrays = [
+                np.asarray(col) for col in frame.columns
+            ]
+            mask = np.asarray(op.numpy_hint(arrays), dtype=bool)
+            return _Frame([
+                [v for v, keep in zip(col, mask) if keep]
+                for col in frame.columns
+            ])
+        keep = [op.fn(_RowSeries(row)) for row in frame.rows()]
+        return _Frame([
+            [v for v, k in zip(col, keep) if k] for col in frame.columns
+        ])

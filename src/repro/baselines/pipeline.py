@@ -1,0 +1,198 @@
+"""LINQ-style pipeline IR shared by the baseline systems.
+
+A :class:`Pipeline` is a source table name plus a list of operators over
+*tuple rows*.  Operator functions receive a row tuple and return a value
+(maps/filters/flat-map row generators); grouped aggregation carries
+init-step-final specs.  Column positions are resolved when the program is
+built, so executors never do name lookups per row.
+
+Executors may inspect ``numpy_hint`` on map/filter ops: when set, the
+operation can run vectorized over numpy column arrays (the Weld/Pandas
+numeric fast path); pipelines over Python strings leave it unset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MapOp", "FilterOp", "FlatMapOp", "GroupAggOp", "JoinOp", "AggSpec",
+    "Pipeline", "apply_group_agg", "apply_join",
+    "count_agg", "sum_agg", "avg_agg", "max_agg",
+]
+
+
+@dataclass(frozen=True)
+class MapOp:
+    """Append (or replace) columns computed from each row.
+
+    ``fn(row) -> tuple`` returns the values of ``out_names``.
+    """
+
+    fn: Callable[[Tuple], Tuple]
+    out_names: Tuple[str, ...]
+    #: drop all previous columns, keep only out_names
+    project_only: bool = False
+    #: optional (col_index, numpy_ufunc-ish) vectorized implementation
+    numpy_hint: Optional[Callable] = None
+
+
+@dataclass(frozen=True)
+class FilterOp:
+    """Keep rows where ``fn(row)`` is truthy."""
+
+    fn: Callable[[Tuple], bool]
+    numpy_hint: Optional[Callable] = None
+
+
+@dataclass(frozen=True)
+class FlatMapOp:
+    """Expand each row into zero or more rows (table-UDF style)."""
+
+    fn: Callable[[Tuple], Any]  # returns an iterable of tuples
+    out_names: Tuple[str, ...]
+    project_only: bool = True
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate in a grouped aggregation (init-step-final)."""
+
+    name: str
+    init: Callable[[], Any]
+    step: Callable[[Any, Tuple], Any]  # (state, row) -> state
+    final: Callable[[Any], Any]
+
+
+@dataclass(frozen=True)
+class GroupAggOp:
+    """Group by a key function and fold each group with AggSpecs."""
+
+    key_fn: Callable[[Tuple], Tuple]
+    key_names: Tuple[str, ...]
+    aggs: Tuple[AggSpec, ...]
+
+
+@dataclass(frozen=True)
+class JoinOp:
+    """Hash join against another named table on computed keys."""
+
+    right_table: str
+    left_key: Callable[[Tuple], Any]
+    right_key: Callable[[Tuple], Any]
+    out_names: Tuple[str, ...]
+
+
+@dataclass
+class Pipeline:
+    """A named program: source table, operators, output column names."""
+
+    name: str
+    source: str
+    ops: List[Any] = field(default_factory=list)
+    columns: Tuple[str, ...] = ()
+    #: rough count of user functions, for compile-latency models
+    udf_count: int = 0
+
+    def map(self, fn, out_names, project_only=False, numpy_hint=None) -> "Pipeline":
+        self.ops.append(MapOp(fn, tuple(out_names), project_only, numpy_hint))
+        self.udf_count += 1
+        return self
+
+    def filter(self, fn, numpy_hint=None) -> "Pipeline":
+        self.ops.append(FilterOp(fn, numpy_hint))
+        self.udf_count += 1
+        return self
+
+    def flat_map(self, fn, out_names) -> "Pipeline":
+        self.ops.append(FlatMapOp(fn, tuple(out_names)))
+        self.udf_count += 1
+        return self
+
+    def group_agg(self, key_fn, key_names, aggs) -> "Pipeline":
+        self.ops.append(GroupAggOp(key_fn, tuple(key_names), tuple(aggs)))
+        return self
+
+    def join(self, right_table, left_key, right_key, out_names) -> "Pipeline":
+        self.ops.append(JoinOp(right_table, left_key, right_key, tuple(out_names)))
+        return self
+
+
+def apply_group_agg(rows: List[Tuple], op: GroupAggOp) -> List[Tuple]:
+    """Reference grouped-aggregation implementation over materialized rows."""
+    states: Dict[Tuple, List[Any]] = {}
+    order: List[Tuple] = []
+    for row in rows:
+        key = op.key_fn(row)
+        state = states.get(key)
+        if state is None:
+            state = [agg.init() for agg in op.aggs]
+            states[key] = state
+            order.append(key)
+        for i, agg in enumerate(op.aggs):
+            state[i] = agg.step(state[i], row)
+    return [
+        key + tuple(agg.final(s) for agg, s in zip(op.aggs, states[key]))
+        for key in order
+    ]
+
+
+def apply_join(
+    left_rows: List[Tuple], right_rows: List[Tuple], op: JoinOp
+) -> List[Tuple]:
+    """Reference hash-join implementation over materialized rows."""
+    index: Dict[Any, List[Tuple]] = {}
+    for row in right_rows:
+        key = op.right_key(row)
+        if key is None:
+            continue
+        index.setdefault(key, []).append(row)
+    out: List[Tuple] = []
+    for row in left_rows:
+        key = op.left_key(row)
+        if key is None:
+            continue
+        for match in index.get(key, ()):
+            out.append(row + match)
+    return out
+
+
+def count_agg() -> AggSpec:
+    return AggSpec(
+        "count", lambda: 0, lambda state, row: state + 1, lambda state: state
+    )
+
+
+def sum_agg(value_fn: Callable[[Tuple], Any]) -> AggSpec:
+    def step(state, row):
+        value = value_fn(row)
+        if value is None:
+            return state
+        return state + value
+
+    return AggSpec("sum", lambda: 0, step, lambda state: state)
+
+
+def avg_agg(value_fn: Callable[[Tuple], Any]) -> AggSpec:
+    def step(state, row):
+        value = value_fn(row)
+        if value is None:
+            return state
+        total, count = state
+        return (total + value, count + 1)
+
+    return AggSpec(
+        "avg", lambda: (0.0, 0), step,
+        lambda state: state[0] / state[1] if state[1] else None,
+    )
+
+
+def max_agg(value_fn: Callable[[Tuple], Any]) -> AggSpec:
+    def step(state, row):
+        value = value_fn(row)
+        if value is None:
+            return state
+        return value if state is None or value > state else state
+
+    return AggSpec("max", lambda: None, step, lambda state: state)

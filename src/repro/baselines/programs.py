@@ -1,0 +1,240 @@
+"""Pipeline programs: the benchmark queries expressed in the LINQ-style
+IR for the non-SQL baselines.
+
+Each builder returns a fresh :class:`~repro.baselines.pipeline.Pipeline`
+semantically equivalent to the corresponding SQL query in
+:mod:`repro.workloads`.  ``SUPPORT`` records which baseline systems can
+run which program — the compatibility matrix of the paper's section 6.3
+(e.g. Q3 is natively supported only by the SQL-engine systems, UDO and
+Weld lack Q2, Weld only runs numpy-expressible programs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+import numpy as np
+
+from ..storage import serde
+from ..workloads.udfbench import udfs as ub
+from ..workloads import weld_wl, udo_wl, zillow as zw
+from .pipeline import (
+    AggSpec, Pipeline, avg_agg, count_agg, max_agg, sum_agg,
+)
+
+__all__ = ["build_program", "SUPPORT", "PROGRAMS"]
+
+
+# ----------------------------------------------------------------------
+# udfbench
+# ----------------------------------------------------------------------
+# pubs columns: 0 pubid, 1 title, 2 authors(JSON), 3 pubdate,
+#               4 project(JSON), 5 projectstart, 6 projectend,
+#               7 venue, 8 abstract
+# projects columns: 0 projectid, 1 funder, 2 class, 3 start, 4 end
+
+
+def q1() -> Pipeline:
+    pipeline = Pipeline("Q1", "pubs")
+    pipeline.map(
+        lambda row: (
+            ub.cleandate(row[3]),
+            ub.lower(row[7]),
+            ub.extractmonth(row[3]),
+        ),
+        ("cd", "lv", "em"),
+        project_only=True,
+    )
+    return pipeline
+
+
+def q2() -> Pipeline:
+    pipeline = Pipeline("Q2", "pubs")
+    pipeline.filter(
+        lambda row: ("db" in ub.lower(row[7])) or len(row[1]) > 30
+    )
+    pipeline.join(
+        "projects",
+        left_key=lambda row: ub.extractid(serde.deserialize(row[4])),
+        right_key=lambda row: row[0],
+        out_names=("pub", "proj"),
+    )
+    # after the join a row is left_row + right_row (pubs has 9 columns)
+    pipeline.group_agg(
+        key_fn=lambda row: (row[10],),  # projects.funder
+        key_names=("funder",),
+        aggs=(
+            count_agg(),
+            sum_agg(
+                lambda row: 1 if ub.cleandate(row[3]) >= "2015-01-01" else 0
+            ),
+        ),
+    )
+    return pipeline
+
+
+def q9() -> Pipeline:
+    pipeline = Pipeline("Q9", "pubs")
+    pipeline.map(
+        lambda row: (ub.cleandate(row[3]), ub.extractmonth(row[3])),
+        ("cd", "m"),
+        project_only=True,
+    )
+    return pipeline
+
+
+def q10() -> Pipeline:
+    pipeline = Pipeline("Q10", "pubs")
+    pipeline.map(
+        lambda row: (ub.jsoncount(ub.jpack(row[8])),),
+        ("n",),
+        project_only=True,
+    )
+    return pipeline
+
+
+# ----------------------------------------------------------------------
+# zillow — listings columns: 0 url, 1 address, 2 city, 3 bedrooms,
+#          4 bathrooms, 5 sqft, 6 price, 7 type, 8 year
+# ----------------------------------------------------------------------
+
+
+def q11() -> Pipeline:
+    pipeline = Pipeline("Q11", "listings")
+    pipeline.filter(lambda row: zw.extract_type(row[7]) == "house")
+    pipeline.filter(lambda row: zw.extract_offer(row[7]) == "sale")
+    pipeline.filter(lambda row: 1 <= zw.extract_bd(row[3]) <= 6)
+    pipeline.filter(lambda row: zw.extract_price(row[6]) < 900000)
+    pipeline.group_agg(
+        key_fn=lambda row: (zw.clean_city(row[2]),),
+        key_names=("c",),
+        aggs=(
+            count_agg(),
+            sum_agg(lambda row: zw.extract_price(row[6])),
+            avg_agg(lambda row: zw.extract_sqft(row[5])),
+        ),
+    )
+    return pipeline
+
+
+def q12() -> Pipeline:
+    pipeline = Pipeline("Q12", "listings")
+    pipeline.map(
+        lambda row: (zw.url_depth(zw.strip_params(zw.lower(row[0]))),),
+        ("d",),
+        project_only=True,
+    )
+    return pipeline
+
+
+def q13() -> Pipeline:
+    pipeline = Pipeline("Q13", "listings")
+    pipeline.map(lambda row: (zw.extract_bd(row[3]),), ("bd",), project_only=True)
+    pipeline.filter(lambda row: row[0] >= 3)
+    return pipeline
+
+
+def q14() -> Pipeline:
+    pipeline = Pipeline("Q14", "listings")
+    pipeline.filter(lambda row: zw.extract_offer(row[7]) != "sold")
+    pipeline.filter(lambda row: 1 <= zw.extract_bd(row[3]) <= 6)
+    pipeline.group_agg(
+        key_fn=lambda row: (zw.extract_type(row[7]),),
+        key_names=("t",),
+        aggs=(
+            count_agg(),
+            sum_agg(lambda row: 1 if zw.extract_price(row[6]) > 500000 else 0),
+            avg_agg(lambda row: zw.extract_ba(row[4])),
+            max_agg(lambda row: zw.extract_sqft(row[5])),
+        ),
+    )
+    return pipeline
+
+
+# ----------------------------------------------------------------------
+# weld — population: 0 city, 1 population, 2 area, 3 state
+#        dirty_codes: 0 id, 1 code, 2 grp
+# ----------------------------------------------------------------------
+
+
+def q15() -> Pipeline:
+    pipeline = Pipeline("Q15", "population")
+    pipeline.filter(
+        lambda row: row[1] > 100000,
+        numpy_hint=lambda cols: cols[1] > 100000,
+    )
+    pipeline.group_agg(
+        key_fn=lambda row: (row[3],),
+        key_names=("state",),
+        aggs=(
+            sum_agg(lambda row: weld_wl.scale_pop(row[1])),
+            avg_agg(lambda row: weld_wl.scale_pop(row[1])),
+            max_agg(lambda row: weld_wl.log_area(row[2])),
+        ),
+    )
+    return pipeline
+
+
+def q16() -> Pipeline:
+    pipeline = Pipeline("Q16", "dirty_codes")
+    pipeline.filter(
+        lambda row: weld_wl.is_valid_code(row[1])
+        and weld_wl.clean_int(row[1]) > 100
+    )
+    pipeline.group_agg(
+        key_fn=lambda row: (row[2],),
+        key_names=("grp",),
+        aggs=(count_agg(), sum_agg(lambda row: weld_wl.clean_int(row[1]))),
+    )
+    return pipeline
+
+
+# ----------------------------------------------------------------------
+# udo — events: 0 id, 1 vals(JSON); docs: 0 id, 1 text
+# ----------------------------------------------------------------------
+
+
+def q17() -> Pipeline:
+    pipeline = Pipeline("Q17", "events")
+    pipeline.flat_map(
+        lambda row: [(v,) for v in serde.deserialize(row[1])],
+        ("value",),
+    )
+    return pipeline
+
+
+def q18() -> Pipeline:
+    pipeline = Pipeline("Q18", "docs")
+    pipeline.filter(lambda row: udo_wl.contains_database(row[1]))
+    pipeline.map(lambda row: (row[0],), ("id",), project_only=True)
+    return pipeline
+
+
+PROGRAMS = {
+    "Q1": q1, "Q2": q2, "Q9": q9, "Q10": q10,
+    "Q11": q11, "Q12": q12, "Q13": q13, "Q14": q14,
+    "Q15": q15, "Q16": q16, "Q17": q17, "Q18": q18,
+}
+
+#: Which baseline systems support which program — the paper's
+#: compatibility matrix.  Q3 appears for no pipeline baseline (it is a
+#: SQL-engine query); Q1 is "adapted" for UDO and Weld as in section 6.3.1.
+SUPPORT: Dict[str, FrozenSet[str]] = {
+    "Q1": frozenset({"tuplex", "udo", "weld", "pandas", "pyspark"}),
+    "Q2": frozenset({"tuplex", "pandas", "pyspark"}),
+    "Q9": frozenset({"tuplex", "pandas", "pyspark"}),
+    "Q10": frozenset({"tuplex", "pandas", "pyspark"}),
+    "Q11": frozenset({"tuplex", "udo", "pandas", "pyspark"}),
+    "Q12": frozenset({"tuplex", "udo", "pandas", "pyspark"}),
+    "Q13": frozenset({"tuplex", "pandas", "pyspark", "yesql"}),
+    "Q14": frozenset({"tuplex", "pandas", "pyspark", "yesql"}),
+    "Q15": frozenset({"weld", "pandas"}),
+    "Q16": frozenset({"weld", "pandas"}),
+    "Q17": frozenset({"udo", "tuplex"}),
+    "Q18": frozenset({"udo", "tuplex"}),
+}
+
+
+def build_program(name: str) -> Pipeline:
+    """A fresh pipeline for one benchmark program."""
+    return PROGRAMS[name]()

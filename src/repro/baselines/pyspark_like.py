@@ -1,0 +1,85 @@
+"""PySpark-like baseline: partitioned execution with a serialized Python
+UDF boundary.
+
+Every stage of Python UDF work crosses the JVM<->Python boundary in
+serialized batches (py4j / cloudpickle style): each partition's rows are
+pickled in, processed by an interpreted loop, and pickled back out — per
+stage.  Shuffles (group-by, join) collect everything.  This is the real
+cost structure behind the paper's PySpark timings (Fig. 4, Fig. 7).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, List, Tuple
+
+from ..storage.table import Table
+from .pipeline import (
+    FilterOp, FlatMapOp, GroupAggOp, JoinOp, MapOp, Pipeline,
+    apply_group_agg, apply_join,
+)
+
+__all__ = ["PySparkLike"]
+
+
+class PySparkLike:
+    name = "pyspark"
+
+    def __init__(self, tables: Dict[str, Table], *, partitions: int = 4):
+        self._rows = {name: table.to_rows() for name, table in tables.items()}
+        self.partitions = max(1, partitions)
+        #: number of serialized boundary crossings performed (diagnostics)
+        self.boundary_crossings = 0
+
+    def supports(self, program: Pipeline) -> bool:
+        from .programs import SUPPORT
+
+        return self.name in SUPPORT.get(program.name, frozenset())
+
+    def run(self, program: Pipeline) -> List[Tuple]:
+        partitions = self._partition(self._rows[program.source])
+        for op in program.ops:
+            if isinstance(op, (GroupAggOp, JoinOp)):
+                rows = self._collect(partitions)
+                if isinstance(op, GroupAggOp):
+                    rows = apply_group_agg(rows, op)
+                else:
+                    rows = apply_join(rows, self._rows[op.right_table], op)
+                partitions = self._partition(rows)
+            else:
+                partitions = [
+                    self._run_python_stage(op, partition)
+                    for partition in partitions
+                ]
+        return self._collect(partitions)
+
+    def _partition(self, rows: List[Tuple]) -> List[List[Tuple]]:
+        size = len(rows)
+        step = (size + self.partitions - 1) // self.partitions if size else 1
+        return [list(rows[i : i + step]) for i in range(0, size, step)] or [[]]
+
+    @staticmethod
+    def _collect(partitions: List[List[Tuple]]) -> List[Tuple]:
+        rows: List[Tuple] = []
+        for partition in partitions:
+            rows.extend(partition)
+        return rows
+
+    def _run_python_stage(self, op, partition: List[Tuple]) -> List[Tuple]:
+        # JVM -> Python: the batch is serialized across the boundary.
+        batch = pickle.loads(pickle.dumps(partition))
+        self.boundary_crossings += 1
+        if isinstance(op, MapOp):
+            out = [
+                op.fn(row) if op.project_only else row + op.fn(row)
+                for row in batch
+            ]
+        elif isinstance(op, FilterOp):
+            out = [row for row in batch if op.fn(row)]
+        elif isinstance(op, FlatMapOp):
+            out = [result for row in batch for result in op.fn(row)]
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown op {type(op).__name__}")
+        # Python -> JVM: results cross back serialized.
+        self.boundary_crossings += 1
+        return pickle.loads(pickle.dumps(out))

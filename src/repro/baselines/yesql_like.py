@@ -1,0 +1,22 @@
+"""YeSQL-like baseline: tracing JIT plus scalar-only fusion.
+
+YeSQL runs Python UDFs on a tracing JIT inside the engine and fuses
+*scalar* UDF chains, but neither table/aggregate UDF fusion nor
+relational-operator offloading (paper section 2).  That is exactly
+QFusor under the ``yesql_like`` configuration profile, so this baseline
+is QFusor itself, restricted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import QFusor, QFusorConfig
+from ..engines.base import EngineAdapter
+
+__all__ = ["make_yesql"]
+
+
+def make_yesql(adapter: EngineAdapter) -> QFusor:
+    """A QFusor instance restricted to the YeSQL feature profile."""
+    return QFusor(adapter, QFusorConfig.yesql_like())

@@ -1,0 +1,14 @@
+"""Benchmark support: system-under-test builders, timing, reporting,
+resource sampling."""
+
+from .harness import (
+    SystemUnderTest, build_engine_systems, build_pipeline_systems,
+    time_call, bench_scale,
+)
+from .reporting import FigureReport
+from .resources import ResourceSampler
+
+__all__ = [
+    "SystemUnderTest", "build_engine_systems", "build_pipeline_systems",
+    "time_call", "bench_scale", "FigureReport", "ResourceSampler",
+]

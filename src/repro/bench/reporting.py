@@ -1,0 +1,78 @@
+"""Figure reporting: collects (series, x, value) points and renders the
+paper-style table for each reproduced figure.
+
+Reports are printed to stdout and appended to
+``benchmarks/results/<figure>.txt`` so EXPERIMENTS.md can reference the
+measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["FigureReport"]
+
+_RESULTS_DIR = Path(
+    os.environ.get(
+        "REPRO_BENCH_RESULTS",
+        Path(__file__).resolve().parents[3] / "benchmarks" / "results",
+    )
+)
+
+
+class FigureReport:
+    """Accumulates measurements for one figure and renders them."""
+
+    def __init__(self, figure: str, title: str, unit: str = "s"):
+        self.figure = figure
+        self.title = title
+        self.unit = unit
+        self._points: Dict[Tuple[str, str], Optional[float]] = {}
+        self._x_order: List[str] = []
+        self._series_order: List[str] = []
+
+    def add(self, series: str, x, value: Optional[float]) -> None:
+        """Record one measurement (None renders as the paper's "n/a")."""
+        x = str(x)
+        if x not in self._x_order:
+            self._x_order.append(x)
+        if series not in self._series_order:
+            self._series_order.append(series)
+        self._points[(series, x)] = value
+
+    def value(self, series: str, x) -> Optional[float]:
+        return self._points.get((series, str(x)))
+
+    def speedup(self, baseline: str, series: str, x) -> Optional[float]:
+        base = self.value(baseline, x)
+        other = self.value(series, x)
+        if base is None or other is None or other == 0:
+            return None
+        return base / other
+
+    def render(self) -> str:
+        width = max([len(s) for s in self._series_order] + [8])
+        col = max([len(x) for x in self._x_order] + [10]) + 2
+        lines = [f"== {self.figure}: {self.title} ({self.unit}) =="]
+        header = " " * width + "".join(x.rjust(col) for x in self._x_order)
+        lines.append(header)
+        for series in self._series_order:
+            cells = []
+            for x in self._x_order:
+                value = self._points.get((series, x))
+                cells.append(
+                    ("n/a" if value is None else f"{value:.4f}").rjust(col)
+                )
+            lines.append(series.ljust(width) + "".join(cells))
+        return "\n".join(lines)
+
+    def emit(self) -> str:
+        """Print and persist the rendered table."""
+        text = self.render()
+        print("\n" + text)
+        _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = _RESULTS_DIR / f"{self.figure}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return text

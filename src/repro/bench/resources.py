@@ -1,0 +1,115 @@
+"""Resource-utilization sampling for the Figure 7 reproduction.
+
+A background thread samples the current process's CPU time, resident set
+size, and cumulative I/O from ``/proc/self`` at a fixed interval,
+producing the time series the paper plots per system.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["ResourceSample", "ResourceSampler"]
+
+_PAGE = os.sysconf("SC_PAGESIZE") if hasattr(os, "sysconf") else 4096
+_TICKS = os.sysconf("SC_CLK_TCK") if hasattr(os, "sysconf") else 100
+
+
+@dataclass
+class ResourceSample:
+    elapsed: float
+    cpu_percent: float
+    rss_mb: float
+    read_mb: float
+    write_mb: float
+
+
+def _read_cpu_seconds() -> float:
+    with open("/proc/self/stat") as handle:
+        fields = handle.read().split()
+    utime, stime = int(fields[13]), int(fields[14])
+    return (utime + stime) / _TICKS
+
+
+def _read_rss_mb() -> float:
+    with open("/proc/self/statm") as handle:
+        rss_pages = int(handle.read().split()[1])
+    return rss_pages * _PAGE / (1024 * 1024)
+
+
+def _read_io_mb() -> tuple:
+    read_bytes = write_bytes = 0
+    try:
+        with open("/proc/self/io") as handle:
+            for line in handle:
+                if line.startswith("read_bytes:"):
+                    read_bytes = int(line.split()[1])
+                elif line.startswith("write_bytes:"):
+                    write_bytes = int(line.split()[1])
+    except OSError:
+        pass
+    return read_bytes / 1e6, write_bytes / 1e6
+
+
+class ResourceSampler:
+    """Samples CPU %, RSS, and I/O until stopped.
+
+    Usage::
+
+        with ResourceSampler(interval=0.05) as sampler:
+            run_workload()
+        series = sampler.samples
+    """
+
+    def __init__(self, interval: float = 0.05):
+        self.interval = interval
+        self.samples: List[ResourceSample] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "ResourceSampler":
+        self._start_time = time.perf_counter()
+        self._last_cpu = _read_cpu_seconds()
+        self._last_wall = self._start_time
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        return False
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            now = time.perf_counter()
+            cpu = _read_cpu_seconds()
+            wall_delta = now - self._last_wall
+            cpu_percent = (
+                100.0 * (cpu - self._last_cpu) / wall_delta
+                if wall_delta > 0 else 0.0
+            )
+            self._last_cpu, self._last_wall = cpu, now
+            read_mb, write_mb = _read_io_mb()
+            self.samples.append(
+                ResourceSample(
+                    elapsed=now - self._start_time,
+                    cpu_percent=cpu_percent,
+                    rss_mb=_read_rss_mb(),
+                    read_mb=read_mb,
+                    write_mb=write_mb,
+                )
+            )
+
+    def peak_rss_mb(self) -> float:
+        return max((s.rss_mb for s in self.samples), default=0.0)
+
+    def mean_cpu_percent(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.cpu_percent for s in self.samples) / len(self.samples)

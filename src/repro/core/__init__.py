@@ -1,0 +1,27 @@
+"""QFusor — the paper's primary contribution.
+
+A pluggable optimizer that fuses UDF operators with each other and with
+relational operators, JIT-compiles the fused pipelines, and rewrites the
+query (or plan) to use them:
+
+* :mod:`repro.core.dfg` — data-flow graph construction over query plans
+  via Bernstein conditions (Algorithm 1);
+* :mod:`repro.core.sections` — fusible-section discovery with dynamic
+  programming over the DFG (Algorithm 2, cases F1-F3);
+* :mod:`repro.core.cost` — the cost model: wrapper costs, stateful UDF
+  statistics, and the F2 offloading inequality;
+* :mod:`repro.core.heuristics` — cold-start fusion heuristics;
+* :mod:`repro.core.relops` — Table 3: relational operators as fusible
+  operators, with their Python offload implementations;
+* :mod:`repro.core.compile` — SQL expressions to fused-pipeline specs;
+* :mod:`repro.core.transform` — plan-level application of fusion
+  decisions (the MAL-style direct plan dispatch, section 5.4 path 2);
+* :mod:`repro.core.rewrite` — SQL-text query rewriting (path 1);
+* :mod:`repro.core.dialect` — per-engine CREATE FUNCTION / type mapping;
+* :mod:`repro.core.qfusor` — the client facade tying it all together.
+"""
+
+from .qfusor import QFusor, QFusorReport
+from .config import QFusorConfig
+
+__all__ = ["QFusor", "QFusorReport", "QFusorConfig"]

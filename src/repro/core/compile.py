@@ -1,0 +1,389 @@
+"""Compile SQL expressions into fused-pipeline stages.
+
+This is the bridge between the query side (AST expressions over plan
+schemas) and the JIT side (:class:`~repro.jit.codegen.PipelineSpec`).
+UDF calls become :class:`ScalarUdfStage`s; relational scalar operations
+(CASE, BETWEEN, comparisons, arithmetic, LIKE, IS NULL) are *offloaded*
+as :class:`ExprStage`s — rewritten in Python with SQL NULL semantics
+preserved (paper section 5.3.2).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..engine.expressions import FunctionResolver, infer_type
+from ..engine.functions import like_to_regex
+from ..engine.plan import Field
+from ..errors import FusionError
+from ..sql import ast_nodes as ast
+from ..types import SqlType
+from ..udf.definition import UdfKind
+from ..jit.codegen import ExprStage, ScalarUdfStage, Stage
+
+__all__ = ["CompiledExpr", "PipelineCompiler", "count_scalar_udfs", "expr_is_fusible"]
+
+#: Builtin scalar functions rendered directly as Python source.
+_BUILTIN_RENDER = {
+    "upper": "{0}.upper()",
+    "length": "len({0})",
+    "abs": "abs({0})",
+    "trim": "{0}.strip()",
+    "ltrim": "{0}.lstrip()",
+    "rtrim": "{0}.rstrip()",
+    "round": "float(round({0}))",
+    "sqrt": "({0}) ** 0.5",
+    "replace": "{0}.replace({1}, {2})",
+    "instr": "({0}.find({1}) + 1)",
+    "mod": "({0} % {1})",
+    "sign": "(({0} > 0) - ({0} < 0))",
+}
+
+_ARITH_OPS = {"+", "-", "*", "/", "%"}
+_COMPARE_OPS = {"=", "!=", "<", "<=", ">", ">="}
+_PY_COMPARE = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+@dataclass
+class CompiledExpr:
+    """Result of compiling one expression into pipeline stages."""
+
+    stages: List[Stage]
+    out_var: str
+    #: fused-UDF inputs in parameter order: (var name, source column, type)
+    inputs: List[Tuple[str, ast.ColumnRef, SqlType]]
+    #: number of scalar UDF calls folded into the pipeline
+    udf_count: int
+    #: number of offloaded relational scalar operations
+    relop_count: int
+
+
+class PipelineCompiler:
+    """Compiles expressions over one input schema into pipeline stages.
+
+    One compiler instance accumulates shared inputs, so several
+    expressions compiled by the same instance (e.g. a filter predicate
+    and a projection that reuse the same UDF chain) share input slots —
+    and, through common-subexpression caching, share stages (the paper's
+    udf1_res reuse in the filter-fusion example of section 5.3.2).
+    """
+
+    def __init__(
+        self,
+        fields: Sequence[Field],
+        resolver: FunctionResolver,
+        *,
+        offload_relational: bool = True,
+    ):
+        self.fields = tuple(fields)
+        self.resolver = resolver
+        self.offload_relational = offload_relational
+        self.stages: List[Stage] = []
+        self.inputs: List[Tuple[str, ast.ColumnRef, SqlType]] = []
+        self._input_by_key: Dict[Tuple, str] = {}
+        self._cse: Dict[ast.Expr, str] = {}
+        self._counter = 0
+        self.udf_count = 0
+        self.relop_count = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def compile(self, expr: ast.Expr) -> str:
+        """Compile ``expr``; returns the variable holding its value."""
+        if expr in self._cse:
+            return self._cse[expr]
+        out = self._compile(expr)
+        self._cse[expr] = out
+        return out
+
+    def snapshot(self) -> CompiledExpr:
+        """The accumulated pipeline state."""
+        return CompiledExpr(
+            list(self.stages),
+            self.stages[-1].out if self.stages and hasattr(self.stages[-1], "out") else "",
+            list(self.inputs),
+            self.udf_count,
+            self.relop_count,
+        )
+
+    def is_fusible(self, expr: ast.Expr) -> bool:
+        """Can ``expr`` be compiled without executing it?"""
+        return _fusible(expr, self.resolver, self.offload_relational)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _fresh(self, prefix: str = "v") -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _input_var(self, ref: ast.ColumnRef, sql_type: SqlType) -> str:
+        key = (ref.name.lower(), (ref.table or "").lower())
+        var = self._input_by_key.get(key)
+        if var is None:
+            var = f"in{len(self.inputs)}"
+            self._input_by_key[key] = var
+            self.inputs.append((var, ref, sql_type))
+        return var
+
+    def _emit_expr_stage(
+        self,
+        src: str,
+        args: Sequence[str],
+        *,
+        strict: bool = True,
+        bindings: Sequence[Tuple[str, Any]] = (),
+    ) -> str:
+        out = self._fresh()
+        self.stages.append(
+            ExprStage(src, tuple(args), out, strict, tuple(bindings))
+        )
+        self.relop_count += 1
+        return out
+
+    def _compile(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.ColumnRef):
+            sql_type = infer_type(expr, self.fields, self.resolver) or SqlType.TEXT
+            return self._input_var(expr, sql_type)
+        if isinstance(expr, ast.Literal):
+            out = self._fresh("lit")
+            self.stages.append(ExprStage(repr(expr.value), (), out, False))
+            return out
+        if isinstance(expr, ast.FunctionCall):
+            return self._compile_call(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            value = self.compile(expr.operand)
+            if expr.op == "NOT":
+                return self._emit_expr_stage(
+                    f"(None if {value} is None else (not {value}))",
+                    (value,), strict=False,
+                )
+            return self._emit_expr_stage(f"(-{value})", (value,))
+        if isinstance(expr, ast.Between):
+            value = self.compile(expr.expr)
+            low = self.compile(expr.low)
+            high = self.compile(expr.high)
+            src = f"({low} <= {value} <= {high})"
+            if expr.negated:
+                src = f"(not {src})"
+            return self._emit_expr_stage(src, (value, low, high))
+        if isinstance(expr, ast.IsNull):
+            value = self.compile(expr.expr)
+            test = "is not None" if expr.negated else "is None"
+            return self._emit_expr_stage(
+                f"({value} {test})", (value,), strict=False
+            )
+        if isinstance(expr, ast.InList):
+            return self._compile_in_list(expr)
+        if isinstance(expr, ast.CaseExpr):
+            return self._compile_case(expr)
+        if isinstance(expr, ast.Cast):
+            value = self.compile(expr.expr)
+            return self._emit_expr_stage(
+                f"_cast_value({value}, _T_{expr.target.name})",
+                (value,),
+                bindings=(
+                    ("_cast_value", _cast_value),
+                    (f"_T_{expr.target.name}", expr.target),
+                ),
+            )
+        raise FusionError(f"cannot compile {type(expr).__name__} into a pipeline")
+
+    def _compile_call(self, call: ast.FunctionCall) -> str:
+        registered = self.resolver.udf(call.name)
+        if registered is not None:
+            if registered.kind is not UdfKind.SCALAR:
+                raise FusionError(
+                    f"{call.name!r} is not a scalar UDF; table/aggregate "
+                    f"stages are assembled by the transformer"
+                )
+            args = [self.compile(a) for a in call.args]
+            out = self._fresh()
+            self.stages.append(
+                ScalarUdfStage(registered.definition, tuple(args), out)
+            )
+            self.udf_count += 1
+            return out
+        builtin = self.resolver.builtin_scalar(call.name)
+        if builtin is None:
+            raise FusionError(f"unknown function {call.name!r}")
+        args = [self.compile(a) for a in call.args]
+        template = _BUILTIN_RENDER.get(call.lowered_name)
+        if template is not None:
+            return self._emit_expr_stage(template.format(*args), args)
+        bound = f"_b_{call.lowered_name}"
+        return self._emit_expr_stage(
+            f"{bound}({', '.join(args)})", args, bindings=((bound, builtin),)
+        )
+
+    def _compile_binary(self, expr: ast.BinaryOp) -> str:
+        op = expr.op
+        if op in ("AND", "OR"):
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+            if op == "AND":
+                src = (
+                    f"(False if ({left} is False or {right} is False) else "
+                    f"(None if ({left} is None or {right} is None) else True))"
+                )
+            else:
+                src = (
+                    f"(True if ({left} is True or {right} is True) else "
+                    f"(None if ({left} is None or {right} is None) else False))"
+                )
+            return self._emit_expr_stage(src, (left, right), strict=False)
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        if op in _COMPARE_OPS:
+            return self._emit_expr_stage(
+                f"({left} {_PY_COMPARE[op]} {right})", (left, right)
+            )
+        if op in _ARITH_OPS:
+            py_op = op
+            return self._emit_expr_stage(f"({left} {py_op} {right})", (left, right))
+        if op == "||":
+            return self._emit_expr_stage(
+                f"(str({left}) + str({right}))", (left, right)
+            )
+        if op == "LIKE":
+            pattern = expr.right
+            if isinstance(pattern, ast.Literal) and isinstance(pattern.value, str):
+                regex = like_to_regex(pattern.value)
+                bound = f"_rx_{abs(hash(pattern.value)) % 10**8}"
+                return self._emit_expr_stage(
+                    f"({bound}.match({left}) is not None)", (left,),
+                    bindings=((bound, regex),),
+                )
+            return self._emit_expr_stage(
+                f"(_like2rx({right}).match({left}) is not None)",
+                (left, right), bindings=(("_like2rx", like_to_regex),),
+            )
+        raise FusionError(f"cannot offload operator {op!r}")
+
+    def _compile_in_list(self, expr: ast.InList) -> str:
+        if not all(
+            isinstance(i, ast.Literal) and i.value is not None for i in expr.items
+        ):
+            raise FusionError("IN lists must be non-NULL literals to fuse")
+        value = self.compile(expr.expr)
+        items = tuple(i.value for i in expr.items)
+        test = "not in" if expr.negated else "in"
+        return self._emit_expr_stage(f"({value} {test} {items!r})", (value,))
+
+    def _compile_case(self, expr: ast.CaseExpr) -> str:
+        """CASE compiles into a non-strict nested conditional."""
+        if expr.operand is not None:
+            operand = self.compile(expr.operand)
+            branches = []
+            for cond, result in expr.whens:
+                cond_var = self.compile(cond)
+                result_var = self.compile(result)
+                branches.append(
+                    (f"({operand} is not None and {operand} == {cond_var})",
+                     result_var, (cond_var, result_var))
+                )
+        else:
+            branches = []
+            for cond, result in expr.whens:
+                cond_var = self.compile(cond)
+                result_var = self.compile(result)
+                branches.append(
+                    (f"({cond_var} is True)", result_var, (cond_var, result_var))
+                )
+        else_var = (
+            self.compile(expr.else_result)
+            if expr.else_result is not None
+            else None
+        )
+        src = else_var if else_var is not None else "None"
+        args: List[str] = [else_var] if else_var is not None else []
+        for test, result_var, used in reversed(branches):
+            src = f"({result_var} if {test} else {src})"
+            args.extend(used)
+        if expr.operand is not None:
+            args.append(operand)
+        return self._emit_expr_stage(src, _dedupe(args), strict=False)
+
+
+def _dedupe(items: Sequence[str]) -> Tuple[str, ...]:
+    return tuple(dict.fromkeys(items))
+
+
+def _cast_value(value: Any, target: SqlType) -> Any:
+    from ..engine.expressions import _cast_value as engine_cast
+
+    return engine_cast(value, target)
+
+
+# ----------------------------------------------------------------------
+# Fusibility analysis
+# ----------------------------------------------------------------------
+
+
+def count_scalar_udfs(expr: ast.Expr, resolver: FunctionResolver) -> int:
+    """How many scalar UDF calls occur in ``expr``."""
+    count = 0
+    for node in ast.walk_expr(expr):
+        if isinstance(node, ast.FunctionCall):
+            registered = resolver.udf(node.name)
+            if registered is not None and registered.kind is UdfKind.SCALAR:
+                count += 1
+    return count
+
+
+def expr_is_fusible(
+    expr: ast.Expr, resolver: FunctionResolver, offload_relational: bool = True
+) -> bool:
+    """Whole-expression fusibility check (no side effects)."""
+    return _fusible(expr, resolver, offload_relational)
+
+
+def _fusible(expr: ast.Expr, resolver: FunctionResolver, offload: bool) -> bool:
+    if isinstance(expr, (ast.ColumnRef, ast.Literal)):
+        return True
+    if isinstance(expr, ast.FunctionCall):
+        registered = resolver.udf(expr.name)
+        if registered is not None:
+            if registered.kind is not UdfKind.SCALAR:
+                return False
+            return all(_fusible(a, resolver, offload) for a in expr.args)
+        if resolver.builtin_scalar(expr.name) is None:
+            return False
+        return offload and all(_fusible(a, resolver, offload) for a in expr.args)
+    if not offload:
+        return False
+    if isinstance(expr, ast.BinaryOp):
+        return _fusible(expr.left, resolver, offload) and _fusible(
+            expr.right, resolver, offload
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return _fusible(expr.operand, resolver, offload)
+    if isinstance(expr, ast.Between):
+        return all(
+            _fusible(e, resolver, offload) for e in (expr.expr, expr.low, expr.high)
+        )
+    if isinstance(expr, ast.IsNull):
+        return _fusible(expr.expr, resolver, offload)
+    if isinstance(expr, ast.InList):
+        return _fusible(expr.expr, resolver, offload) and all(
+            isinstance(i, ast.Literal) and i.value is not None for i in expr.items
+        )
+    if isinstance(expr, ast.CaseExpr):
+        parts: List[ast.Expr] = []
+        if expr.operand is not None:
+            parts.append(expr.operand)
+        for cond, result in expr.whens:
+            parts.extend((cond, result))
+        if expr.else_result is not None:
+            parts.append(expr.else_result)
+        return all(_fusible(p, resolver, offload) for p in parts)
+    if isinstance(expr, ast.Cast):
+        return _fusible(expr.expr, resolver, offload)
+    return False

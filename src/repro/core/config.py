@@ -1,0 +1,88 @@
+"""QFusor configuration switches.
+
+Each flag corresponds to a technique the paper evaluates separately
+(Figures 6a and 6c ablate them), so benchmarks can turn layers on and off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["QFusorConfig"]
+
+
+@dataclass
+class QFusorConfig:
+    """Feature switches for the QFusor pipeline.
+
+    The defaults enable everything (the full system); the physio-logical
+    and physical-optimization benchmarks disable layers selectively.
+    """
+
+    #: Master switch: disable to pass queries through untouched.
+    enabled: bool = True
+    #: JIT-compile single (unfused) UDF pipelines too ("JIT only" mode).
+    jit: bool = True
+    #: Fuse scalar/table/aggregate UDF chains (F1).
+    fuse_udfs: bool = True
+    #: Fuse table and aggregate UDF types too.  Disabled by the
+    #: YeSQL-style profile, which "supports fusion primarily for scalar
+    #: UDFs" (section 2).
+    fuse_nonscalar: bool = True
+    #: Offload scalar relational operators (case, filters, arithmetic)
+    #: into the UDF environment when beneficial (F2).
+    offload_relational: bool = True
+    #: Offload aggregations (sum/count/...) and drive group-by through the
+    #: engine's exported internals (section 5.3.2).
+    offload_aggregations: bool = True
+    #: Allow operator reordering to unlock fusion (F3).
+    reorder: bool = True
+    #: Inline simple scalar UDF bodies into the fused loop.
+    inline: bool = True
+    #: Use the compiled-trace cache across queries (Fig. 6d "cache").
+    trace_cache: bool = True
+    #: Use learned statistics when available; otherwise heuristics.
+    cost_based: bool = True
+    #: Filter-offload selectivity threshold: fuse a filter with UDFs when
+    #: it keeps at least this fraction of rows (heuristics, section 5.2.4:
+    #: "if the filter is not highly selective; e.g., it filters out less
+    #: than 20% of its input" — i.e. keeps >= 80%).
+    filter_fusion_min_keep: float = 0.0
+    #: Distinct-offload threshold: fuse DISTINCT when it drops at least
+    #: this fraction of rows (heuristics: "filters out more than 90%").
+    distinct_fusion_min_drop: float = 0.9
+
+    def ablated(self, **changes) -> "QFusorConfig":
+        """A copy with the given switches changed (for ablation benches)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def disabled(cls) -> "QFusorConfig":
+        """Baseline: no JIT, no fusion — native UDF execution."""
+        return cls(enabled=False, jit=False, fuse_udfs=False,
+                   offload_relational=False, offload_aggregations=False,
+                   reorder=False, inline=False, trace_cache=False)
+
+    @classmethod
+    def jit_only(cls) -> "QFusorConfig":
+        """JIT-compiled UDFs but no fusion (Fig. 6a technique b)."""
+        return cls(fuse_udfs=False, offload_relational=False,
+                   offload_aggregations=False, reorder=False)
+
+    @classmethod
+    def fusion_no_offload(cls) -> "QFusorConfig":
+        """UDF-only fusion: scalar+table chains, no relational offload
+        (Fig. 6a technique c)."""
+        return cls(offload_relational=False, offload_aggregations=False)
+
+    @classmethod
+    def no_aggregation_offload(cls) -> "QFusorConfig":
+        """Everything except aggregation offload (Fig. 6a technique d)."""
+        return cls(offload_aggregations=False)
+
+    @classmethod
+    def yesql_like(cls) -> "QFusorConfig":
+        """The YeSQL profile: tracing JIT plus scalar-only fusion, no
+        relational offloading, no table/aggregate fusion."""
+        return cls(fuse_nonscalar=False, offload_relational=False,
+                   offload_aggregations=False, reorder=False)

@@ -1,0 +1,357 @@
+"""Data-flow graph construction over query plans (paper section 5.1).
+
+The plan is first decomposed into fine-grained *operators*: every UDF
+call, every offloadable relational operation (filter, case, arithmetic,
+comparison, distinct, group-by, aggregation), and every coarse relational
+operator (join, sort, ...).  Each operator carries its input and output
+symbol sets.  Algorithm 1 then inserts an edge for every operator pair
+satisfying the Bernstein RAW condition (o1.out ∩ o2.in ≠ ∅).
+
+The resulting DFG is what the fusion optimizer (Algorithm 2 in
+:mod:`repro.core.sections`) traverses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..engine.expressions import FunctionResolver
+from ..engine.plan import (
+    Aggregate, CteScan, Distinct, Expand, Filter, Join, Limit, OneRow,
+    PlanNode, Project, Requalify, Scan, SetOperation, Sort,
+    TableFunctionScan,
+)
+from ..engine.planner import PlannedQuery
+from ..sql import ast_nodes as ast
+from ..udf.definition import UdfDefinition, UdfKind
+
+__all__ = ["Operator", "DataFlowGraph", "build_dfg", "extract_operators"]
+
+
+@dataclass
+class Operator:
+    """One fine-grained operator in the data-flow graph."""
+
+    op_id: int
+    kind: str  # scalar_udf | aggregate_udf | table_udf | filter | case |
+    #           arith | compare | like | isnull | cast | between | in |
+    #           logical | distinct | groupby | builtin_agg | builtin_scalar |
+    #           join | sort | setop | limit | expand | concat
+    name: str
+    inputs: FrozenSet[str]
+    outputs: FrozenSet[str]
+    plan_node: Optional[PlanNode] = None
+    expr: Optional[ast.Expr] = None
+    udf: Optional[UdfDefinition] = None
+
+    @property
+    def is_udf(self) -> bool:
+        return self.kind in ("scalar_udf", "aggregate_udf", "table_udf")
+
+    def __repr__(self) -> str:
+        return f"Op#{self.op_id}({self.kind}:{self.name})"
+
+
+class DataFlowGraph:
+    """Operators plus RAW dependency edges."""
+
+    def __init__(self, operators: Sequence[Operator]):
+        self.operators = list(operators)
+        self.edges: Set[Tuple[int, int]] = set()
+        self._succ: Dict[int, List[int]] = {op.op_id: [] for op in operators}
+        self._pred: Dict[int, List[int]] = {op.op_id: [] for op in operators}
+
+    def add_edge(self, producer: int, consumer: int) -> None:
+        if (producer, consumer) in self.edges:
+            return
+        self.edges.add((producer, consumer))
+        self._succ[producer].append(consumer)
+        self._pred[consumer].append(producer)
+
+    def successors(self, op_id: int) -> List[int]:
+        return self._succ[op_id]
+
+    def predecessors(self, op_id: int) -> List[int]:
+        return self._pred[op_id]
+
+    def operator(self, op_id: int) -> Operator:
+        return self.operators[op_id]
+
+    def topological_order(self) -> List[int]:
+        """Kahn's algorithm; operators were created bottom-up, so ties
+        break in creation order (stable)."""
+        in_degree = {op.op_id: len(self._pred[op.op_id]) for op in self.operators}
+        ready = [op.op_id for op in self.operators if in_degree[op.op_id] == 0]
+        order: List[int] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for succ in self._succ[current]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        return order
+
+    def udf_count(self) -> int:
+        return sum(1 for op in self.operators if op.is_udf)
+
+
+def bernstein_raw(producer: Operator, consumer: Operator) -> bool:
+    """The RAW part of the Bernstein condition: o1.out ∩ o2.in ≠ ∅."""
+    return bool(producer.outputs & consumer.inputs)
+
+
+def build_dfg(
+    planned: PlannedQuery, resolver: FunctionResolver
+) -> DataFlowGraph:
+    """Algorithm 1: extract operators, then add an edge for every pair
+    satisfying the Bernstein RAW condition."""
+    operators = extract_operators(planned, resolver)
+    graph = DataFlowGraph(operators)
+    for producer, consumer in itertools.permutations(operators, 2):
+        if bernstein_raw(producer, consumer):
+            graph.add_edge(producer.op_id, consumer.op_id)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Operator extraction
+# ----------------------------------------------------------------------
+
+
+class _Extractor:
+    def __init__(self, resolver: FunctionResolver):
+        self.resolver = resolver
+        self.operators: List[Operator] = []
+        self._temp = 0
+
+    def fresh(self) -> str:
+        self._temp += 1
+        return f"%t{self._temp}"
+
+    def add(self, kind, name, inputs, outputs, plan_node=None, expr=None, udf=None):
+        op = Operator(
+            len(self.operators), kind, name,
+            frozenset(inputs), frozenset(outputs), plan_node, expr, udf,
+        )
+        self.operators.append(op)
+        return op
+
+    # -- expressions ----------------------------------------------------
+
+    def expr_symbol(self, expr: ast.Expr, node: PlanNode) -> str:
+        """Decompose an expression into operators; return the symbol that
+        carries its value."""
+        if isinstance(expr, ast.ColumnRef):
+            return _column_symbol(expr, node)
+        if isinstance(expr, ast.Literal):
+            return f"#lit:{expr.value!r}"
+        if isinstance(expr, ast.FunctionCall):
+            args = [self.expr_symbol(a, node) for a in expr.args]
+            out = self.fresh()
+            registered = self.resolver.udf(expr.name)
+            if registered is not None:
+                kind = f"{registered.kind.value}_udf"
+                self.add(kind, registered.name, _real(args), [out], node, expr,
+                         registered.definition)
+            elif self.resolver.builtin_aggregate(expr.name) is not None:
+                self.add("builtin_agg", expr.lowered_name, _real(args), [out],
+                         node, expr)
+            else:
+                self.add("builtin_scalar", expr.lowered_name, _real(args),
+                         [out], node, expr)
+            return out
+        if isinstance(expr, ast.BinaryOp):
+            left = self.expr_symbol(expr.left, node)
+            right = self.expr_symbol(expr.right, node)
+            out = self.fresh()
+            kind = {
+                "AND": "logical", "OR": "logical", "LIKE": "like",
+            }.get(expr.op)
+            if kind is None:
+                kind = "compare" if expr.op in ("=", "!=", "<", "<=", ">", ">=") \
+                    else "arith"
+            self.add(kind, expr.op, _real([left, right]), [out], node, expr)
+            return out
+        if isinstance(expr, ast.UnaryOp):
+            value = self.expr_symbol(expr.operand, node)
+            out = self.fresh()
+            self.add("arith" if expr.op == "-" else "logical", expr.op,
+                     _real([value]), [out], node, expr)
+            return out
+        if isinstance(expr, ast.Between):
+            symbols = [
+                self.expr_symbol(e, node)
+                for e in (expr.expr, expr.low, expr.high)
+            ]
+            out = self.fresh()
+            self.add("between", "between", _real(symbols), [out], node, expr)
+            return out
+        if isinstance(expr, ast.IsNull):
+            value = self.expr_symbol(expr.expr, node)
+            out = self.fresh()
+            self.add("isnull", "is null", _real([value]), [out], node, expr)
+            return out
+        if isinstance(expr, ast.InList):
+            symbols = [self.expr_symbol(expr.expr, node)]
+            symbols += [self.expr_symbol(i, node) for i in expr.items]
+            out = self.fresh()
+            self.add("in", "in", _real(symbols), [out], node, expr)
+            return out
+        if isinstance(expr, ast.CaseExpr):
+            symbols: List[str] = []
+            if expr.operand is not None:
+                symbols.append(self.expr_symbol(expr.operand, node))
+            for cond, result in expr.whens:
+                symbols.append(self.expr_symbol(cond, node))
+                symbols.append(self.expr_symbol(result, node))
+            if expr.else_result is not None:
+                symbols.append(self.expr_symbol(expr.else_result, node))
+            out = self.fresh()
+            self.add("case", "case", _real(symbols), [out], node, expr)
+            return out
+        if isinstance(expr, ast.Cast):
+            value = self.expr_symbol(expr.expr, node)
+            out = self.fresh()
+            self.add("cast", "cast", _real([value]), [out], node, expr)
+            return out
+        return f"#opaque:{type(expr).__name__}"
+
+    # -- plan nodes -------------------------------------------------------
+
+    def walk(self, node: PlanNode) -> Dict[str, str]:
+        """Returns the mapping output-field-name -> symbol for ``node``."""
+        child_maps = [self.walk(c) for c in node.children]
+
+        if isinstance(node, (Scan, CteScan, OneRow)):
+            return {
+                f.name.lower(): _field_symbol(f) for f in node.schema
+            }
+        if isinstance(node, Requalify):
+            # Same columns, re-qualified: carry the child symbols through.
+            child = child_maps[0]
+            return {
+                f.name.lower(): child.get(f.name.lower(), _field_symbol(f))
+                for f in node.schema
+            }
+        if isinstance(node, Filter):
+            predicate_symbol = self.expr_symbol(node.predicate, node.child)
+            self.add(
+                "filter", "filter", _real([predicate_symbol]),
+                [self.fresh()], node, node.predicate,
+            )
+            return child_maps[0]
+        if isinstance(node, Project):
+            out: Dict[str, str] = {}
+            for item in node.items:
+                out[item.name.lower()] = self.expr_symbol(item.expr, node.child)
+            return out
+        if isinstance(node, Expand):
+            registered = self.resolver.udf(node.call.name)
+            args = [self.expr_symbol(e, node.child) for e in node.arg_exprs]
+            outs = [self.fresh() for _ in node.out_names]
+            self.add(
+                "table_udf", registered.name, _real(args), outs, node,
+                node.call, registered.definition,
+            )
+            mapping = dict(zip((n.lower() for n in node.out_names), outs))
+            for item in node.passthrough:
+                mapping[item.name.lower()] = self.expr_symbol(
+                    item.expr, node.child
+                )
+            return mapping
+        if isinstance(node, Aggregate):
+            mapping: Dict[str, str] = {}
+            key_symbols = []
+            for item in node.group_items:
+                symbol = self.expr_symbol(item.expr, node.child)
+                key_symbols.append(symbol)
+                mapping[item.name.lower()] = symbol
+            if node.group_items:
+                self.add(
+                    "groupby", "group by", _real(key_symbols),
+                    [self.fresh()], node,
+                )
+            for call in node.agg_calls:
+                args = [self.expr_symbol(a, node.child) for a in call.args]
+                out = self.fresh()
+                if call.is_udf:
+                    registered = self.resolver.udf(call.func_name)
+                    self.add("aggregate_udf", call.func_name, _real(args),
+                             [out], node, None, registered.definition)
+                else:
+                    self.add("builtin_agg", call.func_name, _real(args),
+                             [out], node)
+                mapping[call.out_name.lower()] = out
+            return mapping
+        if isinstance(node, Join):
+            symbols: List[str] = []
+            if node.condition is not None:
+                symbols.append(self.expr_symbol(node.condition, node))
+            self.add("join", f"{node.kind.lower()} join", _real(symbols),
+                     [self.fresh()], node, node.condition)
+            merged = {}
+            for child_map in child_maps:
+                merged.update(child_map)
+            return merged
+        if isinstance(node, Sort):
+            symbols = [self.expr_symbol(k.expr, node.child) for k in node.keys]
+            self.add("sort", "order by", _real(symbols), [self.fresh()], node)
+            return child_maps[0]
+        if isinstance(node, Distinct):
+            child = child_maps[0]
+            inputs = list(child.values())
+            self.add("distinct", "distinct", _real(inputs),
+                     [self.fresh()], node)
+            return child
+        if isinstance(node, Limit):
+            self.add("limit", "limit", [], [self.fresh()], node)
+            return child_maps[0]
+        if isinstance(node, SetOperation):
+            self.add("setop", node.op.lower(), [], [self.fresh()], node)
+            merged = dict(child_maps[0])
+            return merged
+        if isinstance(node, TableFunctionScan):
+            registered = self.resolver.udf(node.udf_name)
+            inputs: List[str] = []
+            if node.input_plan is not None:
+                input_map = child_maps[0]
+                inputs = list(input_map.values())
+            outs = [self.fresh() for _ in node.schema]
+            self.add("table_udf", node.udf_name, _real(inputs), outs, node,
+                     None, registered.definition)
+            return {
+                f.name.lower(): symbol for f, symbol in zip(node.schema, outs)
+            }
+        # Unknown node: opaque passthrough.
+        return child_maps[0] if child_maps else {}
+
+
+def extract_operators(
+    planned: PlannedQuery, resolver: FunctionResolver
+) -> List[Operator]:
+    """Decompose a planned query (CTEs included) into operators."""
+    extractor = _Extractor(resolver)
+    for _, cte_plan in planned.ctes:
+        extractor.walk(cte_plan)
+    extractor.walk(planned.root)
+    return extractor.operators
+
+
+def _column_symbol(ref: ast.ColumnRef, node: PlanNode) -> str:
+    for f in node.schema:
+        if f.matches(ref):
+            return _field_symbol(f)
+    return f"col:{(ref.table or '?').lower()}.{ref.name.lower()}"
+
+
+def _field_symbol(field) -> str:
+    qualifier = (field.qualifier or "?").lower()
+    return f"col:{qualifier}.{field.name.lower()}"
+
+
+def _real(symbols: Sequence[str]) -> List[str]:
+    """Drop literal/opaque pseudo-symbols from dependency sets."""
+    return [s for s in symbols if not s.startswith("#")]

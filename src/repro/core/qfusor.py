@@ -1,0 +1,383 @@
+"""The QFusor client (paper sections 3.2 and 5).
+
+``QFusor`` attaches to an engine adapter as a thin client layer.  For a
+query containing UDFs it runs the four-step pipeline:
+
+1. **Discover fusible operators** — probe the engine's optimizer (the
+   EXPLAIN round trip), build the DFG over the plan (Algorithm 1);
+2. **Fusion optimization** — discover fusible sections with the
+   DP of Algorithm 2 under the hybrid cost/heuristic model;
+3. **JIT code generation** — generate and compile the fused UDFs,
+   registering them through the ordinary registration mechanism;
+4. **Query rewrite** — dispatch the rewritten plan directly to the
+   execution engine (path 2) or resubmit rewritten SQL (path 1, used for
+   engines without plan dispatch and for DML).
+
+Queries without UDFs pass through untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Union
+
+from ..engine.database import Database
+from ..engine.explain import explain_text
+from ..engine.plan import Field
+from ..engine.planner import PlannedQuery
+from ..errors import ReproError
+from ..jit.cache import TraceCache
+from ..jit.codegen import FusedUdf
+from ..sql import ast_nodes as ast
+from ..sql.parser import parse
+from ..sql.printer import to_sql
+from ..storage.table import Table
+from ..udf.definition import UdfKind
+from .config import QFusorConfig
+from .cost import CostModel
+from .dfg import build_dfg
+from .heuristics import Heuristics
+from .rewrite import rewrite_statement
+from .sections import FusibleSection, discover_sections
+from .transform import FusionOutcome, PlanFuser
+
+__all__ = ["QFusor", "QFusorReport"]
+
+
+@dataclass
+class QFusorReport:
+    """What QFusor did for one query (feeds Figure 4 bottom)."""
+
+    sql: str
+    is_udf_query: bool = False
+    sections: List[FusibleSection] = field(default_factory=list)
+    fused: List[FusedUdf] = field(default_factory=list)
+    #: "fus-optim": discovery + fusion optimization seconds.
+    fus_optim_seconds: float = 0.0
+    #: "code-gen": fused-UDF and query/plan generation seconds.
+    codegen_seconds: float = 0.0
+    cache_hits: int = 0
+    plan_before: str = ""
+    plan_after: str = ""
+    rewritten_sql: Optional[str] = None
+
+    @property
+    def fused_names(self) -> List[str]:
+        return [f.definition.name for f in self.fused]
+
+    @property
+    def total_overhead_seconds(self) -> float:
+        return self.fus_optim_seconds + self.codegen_seconds
+
+
+class QFusor:
+    """The pluggable UDF-query optimizer client."""
+
+    def __init__(
+        self,
+        engine: Any,
+        config: Optional[QFusorConfig] = None,
+    ):
+        from ..engines.base import EngineAdapter
+        from ..engines.minidb import MiniDbAdapter
+
+        if isinstance(engine, Database):
+            engine = MiniDbAdapter(engine)
+        if not isinstance(engine, EngineAdapter):
+            raise ReproError(
+                f"QFusor needs an EngineAdapter or Database, got {type(engine)}"
+            )
+        self.adapter = engine
+        self.config = config or QFusorConfig()
+        self.cost_model = CostModel(engine.registry.stats)
+        self.heuristics = Heuristics(self.config, self.cost_model)
+        self.cache = TraceCache(self.config.trace_cache)
+        self.fuser = PlanFuser(
+            engine.registry, engine.resolver, self.cost_model,
+            self.heuristics, self.config, self.cache,
+        )
+        # Fused UDFs must reach the engine itself (the sqlite3 adapter,
+        # for example, registers through create_function).
+        self.fuser.register_hook = engine.register_udf
+        self.last_report: Optional[QFusorReport] = None
+
+    # ------------------------------------------------------------------
+    # Registration passthrough
+    # ------------------------------------------------------------------
+
+    def register_table(self, table: Table, *, replace: bool = False) -> None:
+        self.adapter.register_table(table, replace=replace)
+
+    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
+        self.adapter.register_udf(udf, replace=replace)
+
+    def register_udfs(self, udfs: Sequence[Any], *, replace: bool = False) -> None:
+        for udf in udfs:
+            self.adapter.register_udf(udf, replace=replace)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: Union[str, ast.Statement]) -> Table:
+        """Execute a statement through the QFusor pipeline."""
+        statement = parse(sql) if isinstance(sql, str) else sql
+        sql_text = sql if isinstance(sql, str) else to_sql(statement)
+        report = QFusorReport(sql=sql_text)
+        self.last_report = report
+
+        if not self.config.enabled or not self._involves_udfs(statement):
+            return self.adapter.execute_sql(statement)
+        report.is_udf_query = True
+
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement, report)
+        # DML with UDFs: rewrite expressions at the SQL level (4.2.5).
+        start = time.perf_counter()
+        rewritten = rewrite_statement(
+            statement, self._fuse_expression_hook(report), self._catalog()
+        )
+        report.codegen_seconds = time.perf_counter() - start
+        report.rewritten_sql = to_sql(rewritten)
+        return self.adapter.execute_sql(rewritten)
+
+    def _execute_select(
+        self, statement: ast.Select, report: QFusorReport
+    ) -> Table:
+        if not self.adapter.supports_plan_dispatch:
+            # Path 1: SQL rewriting only (expression-level fusion).
+            start = time.perf_counter()
+            rewritten = rewrite_statement(
+                statement, self._fuse_expression_hook(report), self._catalog()
+            )
+            report.codegen_seconds = time.perf_counter() - start
+            report.rewritten_sql = to_sql(rewritten)
+            return self.adapter.execute_sql(rewritten)
+
+        # EXPLAIN probe: get the engine's optimized plan.
+        planned = self.adapter.explain_plan(statement)
+        report.plan_before = explain_text(planned)
+
+        # Steps 1-2: discovery + fusion optimization.
+        start = time.perf_counter()
+        graph = build_dfg(planned, self.adapter.resolver)
+        report.sections = discover_sections(graph, self.cost_model, self.config)
+        report.fus_optim_seconds = time.perf_counter() - start
+
+        # Step 3: JIT code generation (plan transformation registers the
+        # fused UDFs through the standard mechanism).
+        outcome = self.fuser.fuse_query(planned)
+        report.codegen_seconds = outcome.codegen_seconds
+        report.fused = outcome.fused
+        report.cache_hits = outcome.cache_hits
+        report.plan_after = explain_text(outcome.planned)
+
+        # Step 4: dispatch the rewritten plan (path 2).
+        return self.adapter.execute_plan(outcome.planned)
+
+    def analyze(self, sql: Union[str, ast.Statement]) -> QFusorReport:
+        """Run the pipeline without executing; returns the report."""
+        statement = parse(sql) if isinstance(sql, str) else sql
+        sql_text = sql if isinstance(sql, str) else to_sql(statement)
+        report = QFusorReport(sql=sql_text)
+        if not isinstance(statement, ast.Select) or not self._involves_udfs(
+            statement
+        ):
+            return report
+        report.is_udf_query = True
+        planned = self.adapter.explain_plan(statement)
+        report.plan_before = explain_text(planned)
+        start = time.perf_counter()
+        graph = build_dfg(planned, self.adapter.resolver)
+        report.sections = discover_sections(graph, self.cost_model, self.config)
+        report.fus_optim_seconds = time.perf_counter() - start
+        outcome = self.fuser.fuse_query(planned)
+        report.codegen_seconds = outcome.codegen_seconds
+        report.fused = outcome.fused
+        report.cache_hits = outcome.cache_hits
+        report.plan_after = explain_text(outcome.planned)
+        self.last_report = report
+        return report
+
+    def profile_udfs(
+        self,
+        table_name: str,
+        *,
+        sample_rows: int = 256,
+        rounds: int = 3,
+    ) -> dict:
+        """Warm the cost model by profiling registered UDFs on a sample.
+
+        The paper's CherryPick-inspired adaptive profiling (section
+        5.2.2): each scalar UDF whose argument types match a column of
+        ``table_name`` is executed ``rounds`` times over a ``sample_rows``
+        sample; the observations feed the Bayesian posterior that the
+        fusion optimizer consults, eliminating cold starts.
+
+        Returns ``{udf_name: bucketed_cost_per_tuple}`` for the UDFs
+        profiled.
+        """
+        from ..udf.definition import UdfKind
+
+        catalog = self._catalog()
+        table = catalog.get(table_name)
+        size = min(sample_rows, table.num_rows)
+        sample = table.slice(0, size)
+        profiled = {}
+        for registered in self.adapter.registry:
+            definition = registered.definition
+            if definition.kind is not UdfKind.SCALAR or definition.is_fused:
+                continue
+            columns = []
+            for arg_type in definition.signature.arg_types:
+                match = next(
+                    (c for c in sample.columns if c.sql_type is arg_type), None
+                )
+                if match is None:
+                    break
+                columns.append(match)
+            if len(columns) != definition.arity or not columns:
+                continue
+            try:
+                for _ in range(rounds):
+                    registered.call_scalar(columns, size)
+            except Exception:
+                continue  # profiling must never break registration state
+            profiled[definition.name] = (
+                self.adapter.registry.stats.expected_cost(definition.name)
+            )
+        return profiled
+
+    def rewrite_sql(self, sql: str) -> str:
+        """Path 1: produce the fused SQL text for resubmission."""
+        report = QFusorReport(sql=sql)
+        statement = parse(sql)
+        rewritten = rewrite_statement(
+            statement, self._fuse_expression_hook(report), self._catalog()
+        )
+        self.last_report = report
+        return to_sql(rewritten)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _catalog(self):
+        catalog = getattr(self.adapter, "catalog", None)
+        if catalog is not None:
+            return catalog
+        database = getattr(self.adapter, "database", None)
+        if database is not None:
+            return database.catalog
+        from ..storage.catalog import Catalog
+
+        return Catalog()
+
+    def _fuse_expression_hook(self, report: QFusorReport):
+        """An (expr, fields) -> expr callback for the SQL-rewrite path."""
+
+        def hook(expr: ast.Expr, fields: Sequence[Field]) -> ast.Expr:
+            holder = _SchemaHolder(fields)
+            outcome = FusionOutcome(None)
+            fused = self.fuser._fuse_expr(expr, holder, outcome)
+            report.fused.extend(outcome.fused)
+            report.cache_hits += outcome.cache_hits
+            return fused
+
+        return hook
+
+    def _involves_udfs(self, statement: ast.Statement) -> bool:
+        registry = self.adapter.registry
+        for expr in _statement_expressions(statement):
+            for node in ast.walk_expr(expr):
+                if isinstance(node, ast.FunctionCall) and node.name in registry:
+                    return True
+        for item in _statement_from_items(statement):
+            if isinstance(item, ast.TableFunctionRef):
+                return True
+        return False
+
+
+class _SchemaHolder:
+    """Duck-typed plan node exposing just a schema (for expr fusion)."""
+
+    def __init__(self, fields: Sequence[Field]):
+        self.schema = tuple(fields)
+
+
+def _statement_expressions(statement: ast.Statement):
+    if isinstance(statement, ast.Select):
+        yield from _select_expressions(statement)
+    elif isinstance(statement, ast.Update):
+        for _, expr in statement.assignments:
+            yield expr
+        if statement.where is not None:
+            yield statement.where
+    elif isinstance(statement, ast.Delete):
+        if statement.where is not None:
+            yield statement.where
+    elif isinstance(statement, ast.Insert):
+        for row in statement.values:
+            yield from row
+        if statement.query is not None:
+            yield from _select_expressions(statement.query)
+    elif isinstance(statement, ast.CreateTableAs):
+        yield from _select_expressions(statement.query)
+
+
+def _select_expressions(select: ast.Select):
+    for _, cte in select.ctes:
+        yield from _select_expressions(cte)
+    for item in select.items:
+        if not isinstance(item.expr, ast.Star):
+            yield item.expr
+    if select.where is not None:
+        yield select.where
+    yield from select.group_by
+    if select.having is not None:
+        yield select.having
+    for order in select.order_by:
+        yield order.expr
+    for item in select.from_items:
+        yield from _from_item_expressions(item)
+    if select.set_op is not None:
+        yield from _select_expressions(select.set_op.right)
+
+
+def _from_item_expressions(item: ast.FromItem):
+    if isinstance(item, ast.SubqueryRef):
+        yield from _select_expressions(item.query)
+    elif isinstance(item, ast.TableFunctionRef):
+        yield item.call
+        for query in item.subquery_args:
+            yield from _select_expressions(query)
+    elif isinstance(item, ast.Join):
+        yield from _from_item_expressions(item.left)
+        yield from _from_item_expressions(item.right)
+        if item.condition is not None:
+            yield item.condition
+
+
+def _statement_from_items(statement: ast.Statement):
+    def walk_items(items):
+        for item in items:
+            yield item
+            if isinstance(item, ast.Join):
+                yield from walk_items([item.left, item.right])
+            elif isinstance(item, ast.SubqueryRef):
+                yield from walk_select(item.query)
+
+    def walk_select(select: ast.Select):
+        yield from walk_items(select.from_items)
+        for _, cte in select.ctes:
+            yield from walk_select(cte)
+        if select.set_op is not None:
+            yield from walk_select(select.set_op.right)
+
+    if isinstance(statement, ast.Select):
+        yield from walk_select(statement)
+    elif isinstance(statement, ast.CreateTableAs):
+        yield from walk_select(statement.query)
+    elif isinstance(statement, ast.Insert) and statement.query is not None:
+        yield from walk_select(statement.query)

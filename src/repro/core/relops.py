@@ -1,0 +1,85 @@
+"""Relational operators as fusible operators (paper Table 3).
+
+Each relational operator is classified as scalar, aggregate, or
+table-returning, with a loop-fusibility flag.  The classification guides
+both the fusion optimizer (which operators may join a fusible section)
+and code generation (which may run them inside the fused hot loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["RelOpInfo", "REL_OPS", "classify", "is_offloadable", "is_loop_fusible"]
+
+
+@dataclass(frozen=True)
+class RelOpInfo:
+    """Classification of one relational operator (one row of Table 3)."""
+
+    name: str
+    kind: str  # scalar | aggregate | table
+    loop_fusible: bool
+    signature: str  # human-readable input -> output
+    #: QFusor can offload this operator into the UDF environment (either
+    #: rewritten in Python or via exported engine internals).
+    offloadable: bool = True
+
+
+#: Table 3 of the paper, verbatim.
+REL_OPS: Dict[str, RelOpInfo] = {
+    info.name: info
+    for info in [
+        RelOpInfo("filter", "scalar", True, "row -> bool"),
+        RelOpInfo("inner join", "scalar", True, "row1, row2 -> bool",
+                  offloadable=False),  # heuristics: avoid fusing joins
+        RelOpInfo("distinct", "table", True, "resultset1 -> resultset2"),
+        RelOpInfo("case", "scalar", True, "row -> row"),
+        RelOpInfo("order by", "table", False, "resultset1 -> resultset2",
+                  offloadable=False),  # heuristics: avoid fusing sorts
+        RelOpInfo("group by", "table", False, "resultset1 -> resultset2"),
+        RelOpInfo("pipelined aggregate", "aggregate", True, "resultset -> row"),
+        RelOpInfo("blocking aggregate", "aggregate", False, "resultset -> row"),
+        RelOpInfo("union all", "table", True,
+                  "resultset1, resultset2 -> resultset"),
+        RelOpInfo("union", "table", False,
+                  "resultset1, resultset2 -> resultset", offloadable=False),
+        RelOpInfo("arithmetic", "scalar", True, "row -> row"),
+        RelOpInfo("pivot", "table", False, "resultset1 -> resultset2",
+                  offloadable=False),
+        RelOpInfo("is null", "scalar", True, "row -> bool"),
+        RelOpInfo("between", "scalar", True, "row -> bool"),
+        RelOpInfo("like", "scalar", True, "row -> bool"),
+        RelOpInfo("cast", "scalar", True, "row -> row"),
+        RelOpInfo("limit", "table", True, "resultset1 -> resultset2",
+                  offloadable=False),
+    ]
+}
+
+#: Builtin pipelined aggregates eligible for in-UDF offloading.
+PIPELINED_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
+#: Builtin blocking aggregates (materialize input; never loop-fused).
+BLOCKING_AGGREGATES = frozenset({"median", "stddev"})
+
+
+def classify(name: str) -> Optional[RelOpInfo]:
+    """Look up a relational operator's classification."""
+    key = name.lower()
+    if key in PIPELINED_AGGREGATES:
+        return REL_OPS["pipelined aggregate"]
+    if key in BLOCKING_AGGREGATES:
+        return REL_OPS["blocking aggregate"]
+    return REL_OPS.get(key)
+
+
+def is_offloadable(name: str) -> bool:
+    """Can QFusor run this operator inside the UDF environment at all?"""
+    info = classify(name)
+    return info is not None and info.offloadable
+
+
+def is_loop_fusible(name: str) -> bool:
+    """May this operator execute inside the fused hot loop?"""
+    info = classify(name)
+    return info is not None and info.loop_fusible

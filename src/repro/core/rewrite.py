@@ -1,0 +1,189 @@
+"""SQL-text query rewriting — path 1 of section 5.4.
+
+QFusor's default execution path dispatches a rewritten *plan* directly to
+the engine (path 2, :mod:`repro.core.transform`).  This module implements
+the alternative: produce a new SQL statement with fused UDF calls spliced
+into the text, suitable for resubmission to any engine — including DML
+statements (section 4.2.5), which is how UPDATE/DELETE with UDFs are
+accelerated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..engine.plan import Field
+from ..sql import ast_nodes as ast
+from ..sql.printer import to_sql
+from ..storage.catalog import Catalog
+from ..types import SqlType
+
+__all__ = ["rewrite_statement", "rewrite_sql"]
+
+
+def rewrite_sql(sql: str, fuse_expr: Callable, catalog: Catalog) -> str:
+    """Rewrite a SQL string, fusing UDF chains in its expressions.
+
+    ``fuse_expr(expr, fields)`` must return a (possibly unchanged)
+    expression with fused calls substituted — the
+    :class:`~repro.core.qfusor.QFusor` client passes its own fuser.
+    """
+    from ..sql.parser import parse
+
+    statement = rewrite_statement(parse(sql), fuse_expr, catalog)
+    return to_sql(statement)
+
+
+def rewrite_statement(
+    statement: ast.Statement, fuse_expr: Callable, catalog: Catalog
+) -> ast.Statement:
+    """Rewrite one parsed statement."""
+    if isinstance(statement, ast.Select):
+        return _rewrite_select(statement, fuse_expr, catalog, {})
+    if isinstance(statement, ast.Update):
+        fields = _table_fields(catalog, statement.table)
+        assignments = tuple(
+            (column, fuse_expr(expr, fields))
+            for column, expr in statement.assignments
+        )
+        where = (
+            fuse_expr(statement.where, fields)
+            if statement.where is not None
+            else None
+        )
+        return ast.Update(statement.table, assignments, where)
+    if isinstance(statement, ast.Delete):
+        fields = _table_fields(catalog, statement.table)
+        where = (
+            fuse_expr(statement.where, fields)
+            if statement.where is not None
+            else None
+        )
+        return ast.Delete(statement.table, where)
+    if isinstance(statement, ast.Insert):
+        if statement.query is not None:
+            return ast.Insert(
+                statement.table, statement.columns, (),
+                _rewrite_select(statement.query, fuse_expr, catalog, {}),
+            )
+        return statement
+    if isinstance(statement, ast.CreateTableAs):
+        return ast.CreateTableAs(
+            statement.name,
+            _rewrite_select(statement.query, fuse_expr, catalog, {}),
+            statement.temporary,
+        )
+    return statement
+
+
+def _rewrite_select(
+    select: ast.Select, fuse_expr: Callable, catalog: Catalog,
+    cte_fields: dict,
+) -> ast.Select:
+    cte_fields = dict(cte_fields)
+    new_ctes: List[Tuple[str, ast.Select]] = []
+    for name, query in select.ctes:
+        rewritten = _rewrite_select(query, fuse_expr, catalog, cte_fields)
+        new_ctes.append((name, rewritten))
+        cte_fields[name.lower()] = None  # schema opaque at text level
+
+    fields = _from_fields(select.from_items, catalog, cte_fields)
+
+    def fuse(expr: Optional[ast.Expr]) -> Optional[ast.Expr]:
+        if expr is None or fields is None:
+            return expr
+        return fuse_expr(expr, fields)
+
+    items = tuple(
+        ast.SelectItem(
+            item.expr if isinstance(item.expr, ast.Star) else fuse(item.expr),
+            item.alias,
+        )
+        for item in select.items
+    )
+    from_items = tuple(
+        _rewrite_from_item(f, fuse_expr, catalog, cte_fields)
+        for f in select.from_items
+    )
+    return ast.Select(
+        items=items,
+        from_items=from_items,
+        where=fuse(select.where),
+        group_by=tuple(fuse(g) for g in select.group_by),
+        having=fuse(select.having),
+        order_by=tuple(
+            ast.OrderItem(fuse(o.expr), o.ascending) for o in select.order_by
+        ),
+        limit=select.limit,
+        offset=select.offset,
+        distinct=select.distinct,
+        ctes=tuple(new_ctes),
+        set_op=(
+            ast.SetOp(
+                select.set_op.op,
+                _rewrite_select(select.set_op.right, fuse_expr, catalog, cte_fields),
+            )
+            if select.set_op is not None
+            else None
+        ),
+    )
+
+
+def _rewrite_from_item(
+    item: ast.FromItem, fuse_expr: Callable, catalog: Catalog, cte_fields: dict
+) -> ast.FromItem:
+    if isinstance(item, ast.SubqueryRef):
+        return ast.SubqueryRef(
+            _rewrite_select(item.query, fuse_expr, catalog, cte_fields),
+            item.alias,
+        )
+    if isinstance(item, ast.TableFunctionRef):
+        return ast.TableFunctionRef(
+            item.call,
+            item.alias,
+            tuple(
+                _rewrite_select(q, fuse_expr, catalog, cte_fields)
+                for q in item.subquery_args
+            ),
+        )
+    if isinstance(item, ast.Join):
+        return ast.Join(
+            item.kind,
+            _rewrite_from_item(item.left, fuse_expr, catalog, cte_fields),
+            _rewrite_from_item(item.right, fuse_expr, catalog, cte_fields),
+            item.condition,
+        )
+    return item
+
+
+def _table_fields(catalog: Catalog, table_name: str) -> List[Field]:
+    table = catalog.get(table_name)
+    return [
+        Field(name, sql_type, table.name) for name, sql_type in table.schema
+    ]
+
+
+def _from_fields(
+    from_items: Sequence[ast.FromItem], catalog: Catalog, cte_fields: dict
+) -> Optional[List[Field]]:
+    """Best-effort schema of a FROM clause for text-level rewriting.
+
+    Returns None when any item's schema is not statically known (CTE or
+    derived table) — expression fusion is then skipped for that scope;
+    the plan-level path still covers it.
+    """
+    fields: List[Field] = []
+    for item in from_items:
+        if isinstance(item, ast.TableRef):
+            if item.name.lower() in cte_fields:
+                return None
+            if item.name not in catalog:
+                return None
+            table = catalog.get(item.name)
+            fields.extend(
+                Field(name, sql_type, item.binding)
+                for name, sql_type in table.schema
+            )
+        else:
+            return None
+    return fields

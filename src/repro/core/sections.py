@@ -1,0 +1,213 @@
+"""Fusible-section discovery — Algorithm 2 of the paper (section 5.2.1).
+
+Dynamic programming over the topologically sorted DFG: for every operator
+``v`` we track the cheapest fusible section ending at ``v``, extending
+predecessors' sections when the pair is fusible or reorderable (cases
+F1-F3).  A final reverse-topological sweep selects maximal,
+non-overlapping sections ready for code generation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .config import QFusorConfig
+from .cost import INFINITE, CostModel
+from .dfg import DataFlowGraph, Operator
+from .relops import is_loop_fusible, is_offloadable
+
+__all__ = ["FusibleSection", "discover_sections", "fusible_or_reorderable"]
+
+#: Cap on permutation search (factorial blow-up guard; the paper notes
+#: memoization/bounded DP/pruning keep the algorithm practical).
+_MAX_PERMUTE = 5
+
+#: Extension slack: a section may grow through a (near) cost-neutral
+#: operator — e.g. a cheap comparison between a UDF and a filter — so the
+#: greedy DP can reach gains further downstream.  Without it, any
+#: relational operator that costs marginally more in the UDF environment
+#: would cut the section short of the materialization savings behind it.
+_EXTENSION_SLACK = 0.10
+
+
+@dataclass
+class FusibleSection:
+    """A maximal run of operators chosen for fusion."""
+
+    ops: List[Operator]
+    cost: float
+
+    @property
+    def op_ids(self) -> Set[int]:
+        return {op.op_id for op in self.ops}
+
+    @property
+    def udf_count(self) -> int:
+        return sum(1 for op in self.ops if op.is_udf)
+
+    @property
+    def kinds(self) -> List[str]:
+        return [op.kind for op in self.ops]
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(f"{op.name}" for op in self.ops)
+        return f"FusibleSection({chain})"
+
+
+def _op_fusible(op: Operator, config: QFusorConfig) -> bool:
+    """Can this operator participate in a fusible section at all?"""
+    if op.is_udf:
+        if not config.fuse_udfs:
+            return False
+        if op.udf is not None and op.udf.materializes_input and op.kind == "table_udf":
+            # Blocking table UDFs may terminate a section but we keep it
+            # simple: they do not fuse (Table 2 "materializes input").
+            return False
+        return True
+    if op.kind in ("builtin_agg", "groupby"):
+        return config.offload_aggregations and is_offloadable(op.name)
+    if op.kind in (
+        "filter", "case", "arith", "compare", "between", "isnull", "in",
+        "like", "logical", "cast", "distinct", "builtin_scalar",
+    ):
+        return config.offload_relational
+    return False
+
+
+def fusible_or_reorderable(
+    graph: DataFlowGraph, u: Operator, v: Operator, config: QFusorConfig
+) -> bool:
+    """The FusibleOrReorderable check of Algorithm 2.
+
+    ``u -> v`` is fusible when both ends can join a section (F1/F2);
+    with reordering enabled, a pair with *disjoint field sets* may also
+    be considered for permutation (F3).
+    """
+    if _op_fusible(u, config) and _op_fusible(v, config):
+        return True
+    if config.reorder and not (u.inputs & v.inputs) and not (
+        u.outputs & v.inputs
+    ):
+        return _op_fusible(u, config) or _op_fusible(v, config)
+    return False
+
+
+def _is_valid_section(ops: Sequence[Operator], graph: DataFlowGraph) -> bool:
+    """IsValidSection: consecutive fusible operators forming a chain with
+    at most one aggregate (Table 2 constraint)."""
+    if not ops:
+        return False
+    aggregates = sum(
+        1 for op in ops if op.kind in ("aggregate_udf", "builtin_agg")
+    )
+    if aggregates > 1:
+        return False
+    # Each op after the first must depend on some earlier op in the
+    # section (data dependencies preserved by the Bernstein edges).
+    seen: Set[int] = {ops[0].op_id}
+    for op in ops[1:]:
+        preds = set(graph.predecessors(op.op_id))
+        if not (preds & seen):
+            return False
+        seen.add(op.op_id)
+    return True
+
+
+def _optim_permutation(
+    ops: List[Operator], graph: DataFlowGraph, cost: CostModel,
+    config: QFusorConfig,
+) -> List[Operator]:
+    """OptimPermutation: search valid reorderings (F3) for the cheapest
+    section layout.  Reordering is conservative — only operators that do
+    not touch the same fields may swap (section 5.1.1)."""
+    if not config.reorder or len(ops) > _MAX_PERMUTE:
+        return ops
+    best = ops
+    best_cost = cost.section_cost(ops)
+    for permutation in itertools.permutations(ops):
+        candidate = list(permutation)
+        if candidate == ops:
+            continue
+        if not _permutation_legal(candidate, ops):
+            continue
+        if not _is_valid_section(candidate, graph):
+            continue
+        candidate_cost = cost.section_cost(candidate)
+        if candidate_cost < best_cost:
+            best = candidate
+            best_cost = candidate_cost
+    return best
+
+
+def _permutation_legal(
+    candidate: Sequence[Operator], original: Sequence[Operator]
+) -> bool:
+    """A permutation is legal when every swapped pair operates on
+    disjoint fields (the conservative F3 condition)."""
+    position = {op.op_id: i for i, op in enumerate(candidate)}
+    for i, earlier in enumerate(original):
+        for later in original[i + 1:]:
+            if position[earlier.op_id] > position[later.op_id]:
+                # The pair was swapped: require disjoint field sets.
+                touched_earlier = earlier.inputs | earlier.outputs
+                touched_later = later.inputs | later.outputs
+                if touched_earlier & touched_later:
+                    return False
+    return True
+
+
+def discover_sections(
+    graph: DataFlowGraph,
+    cost_model: CostModel,
+    config: Optional[QFusorConfig] = None,
+) -> List[FusibleSection]:
+    """Algorithm 2: DP over the DFG, then maximal non-overlapping
+    section selection."""
+    config = config or QFusorConfig()
+    order = graph.topological_order()
+    dp: Dict[int, float] = {op.op_id: INFINITE for op in graph.operators}
+    section: Dict[int, List[Operator]] = {op.op_id: [] for op in graph.operators}
+
+    for op_id in order:  # Update
+        v = graph.operator(op_id)
+        single_cost = cost_model.operator_cost(v)
+        if _op_fusible(v, config) and single_cost < dp[op_id]:
+            dp[op_id] = single_cost
+            section[op_id] = [v]
+        for pred_id in graph.predecessors(op_id):
+            u = graph.operator(pred_id)
+            if not fusible_or_reorderable(graph, u, v, config):
+                continue
+            candidate = section[pred_id] + [v]
+            if not candidate[:-1]:
+                continue
+            if not _is_valid_section(candidate, graph):
+                continue
+            candidate_cost = cost_model.section_cost(candidate)
+            # Potential gain (Algorithm 2, line 12's comment): fusing v
+            # onto u's section must beat running that section and v
+            # separately — and beat any other option already found for v.
+            unfused_cost = (dp[pred_id] + single_cost) * (1 + _EXTENSION_SLACK)
+            if candidate_cost < unfused_cost and (
+                dp[op_id] == single_cost or candidate_cost < dp[op_id]
+            ):
+                dp[op_id] = candidate_cost
+                section[op_id] = _optim_permutation(
+                    candidate, graph, cost_model, config
+                )
+
+    visited: Set[int] = set()  # Section selection
+    sections: List[FusibleSection] = []
+    for op_id in reversed(order):
+        ops = section[op_id]
+        ids = {op.op_id for op in ops}
+        if not ops or (ids & visited):
+            continue
+        if sum(1 for op in ops if op.is_udf) == 0:
+            continue  # fusing pure relational runs buys nothing
+        sections.append(FusibleSection(list(ops), dp[op_id]))
+        visited |= ids
+    return sections

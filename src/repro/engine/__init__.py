@@ -1,0 +1,19 @@
+"""The SQL query engine substrate: plans, planner, optimizer, executors.
+
+This is the reproduction's stand-in for the DBMSs QFusor plugs into.  It
+supports two execution models behind one plan format:
+
+* :mod:`repro.engine.executor_vector` — vectorized, operator-at-a-time
+  with materialized intermediates (the MonetDB-style column-store model);
+* :mod:`repro.engine.executor_tuple` — pipelined tuple-at-a-time
+  iterators (the SQLite/PostgreSQL-style model).
+
+The native optimizer (:mod:`repro.engine.optimizer`) treats UDFs as black
+boxes — exactly the behaviour QFusor's fusion optimizer complements.
+"""
+
+from .database import Database
+from .plan import PlanNode
+from .explain import explain_text
+
+__all__ = ["Database", "PlanNode", "explain_text"]

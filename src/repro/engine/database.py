@@ -1,0 +1,246 @@
+"""The Database facade: catalog + UDF registry + planner + executor.
+
+This is the engine users (and QFusor) talk to.  It resolves statements,
+runs SELECTs through the chosen executor, and applies DML — including DML
+whose expressions contain UDFs (paper section 4.2.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import CatalogError, ExecutionError, PlanError
+from ..sql import ast_nodes as ast
+from ..sql.parser import parse
+from ..storage.catalog import Catalog
+from ..storage.column import Column
+from ..storage.table import Table
+from ..types import SqlType
+from ..udf.registry import UdfRegistry
+from ..udf.state import StatsStore
+from .expressions import FunctionResolver, VectorEvaluator
+from .explain import explain_text
+from .optimizer import NativeOptimizer, OptimizerProfile
+from .plan import Field
+from .planner import PlannedQuery, Planner
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An embedded SQL database with pluggable execution model.
+
+    Parameters
+    ----------
+    name:
+        Connection label (used in messages and EXPLAIN output).
+    execution_model:
+        ``"vector"`` (MonetDB-style operator-at-a-time, the default) or
+        ``"tuple"`` (SQLite-style tuple-at-a-time pipelining).
+    optimizer_profile:
+        Native-optimizer behaviour switches; see
+        :class:`~repro.engine.optimizer.OptimizerProfile`.
+    stats:
+        Optional shared :class:`~repro.udf.state.StatsStore` so several
+        connections can pool UDF statistics.
+    """
+
+    def __init__(
+        self,
+        name: str = "minidb",
+        *,
+        execution_model: str = "vector",
+        optimizer_profile: Optional[OptimizerProfile] = None,
+        stats: Optional[StatsStore] = None,
+        channel: Optional[Any] = None,
+    ):
+        if execution_model not in ("vector", "tuple"):
+            raise ValueError(f"unknown execution model {execution_model!r}")
+        self.name = name
+        self.execution_model = execution_model
+        self.catalog = Catalog()
+        self.registry = UdfRegistry(stats, channel)
+        self.resolver = FunctionResolver(self.registry)
+        self.planner = Planner(self.catalog, self.resolver)
+        self.optimizer = NativeOptimizer(self.catalog, self.resolver, optimizer_profile)
+        self._temp_tables: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Schema / UDF management
+    # ------------------------------------------------------------------
+
+    def register_table(self, table: Table, *, replace: bool = False) -> None:
+        """Add a table to the catalog."""
+        self.catalog.register(table, replace=replace)
+
+    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
+        """Register a decorated UDF (see :mod:`repro.udf.decorators`)."""
+        self.registry.register(udf, replace=replace)
+
+    def register_udfs(self, udfs: Sequence[Any], *, replace: bool = False) -> None:
+        for udf in udfs:
+            self.register_udf(udf, replace=replace)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: Union[str, ast.Statement]) -> Table:
+        """Parse, plan, optimize, and execute one SQL statement."""
+        statement = parse(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, ast.Explain):
+            planned = self.plan(statement.statement)
+            text = explain_text(planned)
+            return Table(
+                "explain",
+                [Column("plan", SqlType.TEXT, text.split("\n"), validate=False)],
+            )
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.CreateTableAs):
+            return self._execute_create(statement)
+        if isinstance(statement, ast.DropTable):
+            return self._execute_drop(statement)
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    def plan(self, sql: Union[str, ast.Statement]) -> PlannedQuery:
+        """Plan and natively optimize a SELECT (the EXPLAIN product)."""
+        statement = parse(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, ast.Explain):
+            statement = statement.statement
+        if not isinstance(statement, ast.Select):
+            raise PlanError("only SELECT statements can be planned")
+        planned = self.planner.plan_select(statement)
+        return self.optimizer.optimize(planned)
+
+    def explain(self, sql: Union[str, ast.Statement]) -> str:
+        """The EXPLAIN text for a statement."""
+        return explain_text(self.plan(sql))
+
+    def _execute_select(self, statement: ast.Select) -> Table:
+        planned = self.plan(statement)
+        executor = self._make_executor()
+        return executor.execute(planned)
+
+    def _make_executor(self):
+        if self.execution_model == "vector":
+            from .executor_vector import VectorExecutor
+
+            return VectorExecutor(self.catalog, self.resolver)
+        from .executor_tuple import TupleExecutor
+
+        return TupleExecutor(self.catalog, self.resolver)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _table_fields(self, table: Table) -> List[Field]:
+        return [
+            Field(name, sql_type, table.name)
+            for name, sql_type in table.schema
+        ]
+
+    def _execute_insert(self, statement: ast.Insert) -> Table:
+        table = self.catalog.get(statement.table)
+        target_names = list(statement.columns) or list(table.schema.names)
+        positions = [table.schema.position(n) for n in target_names]
+
+        if statement.query is not None:
+            source = self._execute_select(statement.query)
+            new_rows = source.to_rows()
+        else:
+            evaluator = VectorEvaluator([], self.resolver)
+            new_rows = []
+            for value_row in statement.values:
+                row = [
+                    evaluator.evaluate(expr, [], 1)[0] for expr in value_row
+                ]
+                new_rows.append(row)
+
+        full_rows = list(table.rows())
+        for row in new_rows:
+            if len(row) != len(positions):
+                raise ExecutionError(
+                    f"INSERT arity mismatch: {len(row)} values for "
+                    f"{len(positions)} columns"
+                )
+            padded: List[Any] = [None] * table.num_columns
+            for position, value in zip(positions, row):
+                padded[position] = value
+            full_rows.append(tuple(padded))
+        updated = Table.from_rows(table.name, list(table.schema), full_rows)
+        self.catalog.register(updated, replace=True)
+        return _rowcount_table(len(new_rows))
+
+    def _execute_update(self, statement: ast.Update) -> Table:
+        table = self.catalog.get(statement.table)
+        fields = self._table_fields(table)
+        evaluator = VectorEvaluator(fields, self.resolver)
+        columns = list(table.columns)
+        size = table.num_rows
+        if statement.where is not None:
+            mask = evaluator.predicate_mask(statement.where, columns, size)
+        else:
+            mask = np.ones(size, dtype=bool)
+
+        new_columns = {}
+        for column_name, expr in statement.assignments:
+            position = table.schema.position(column_name)
+            target = table.columns[position]
+            computed = evaluator.evaluate(expr, columns, size, target.name)
+            old_values = target.to_list()
+            new_values = computed.to_list()
+            merged = [
+                new_values[i] if mask[i] else old_values[i] for i in range(size)
+            ]
+            new_columns[position] = Column(
+                target.name, target.sql_type, merged, validate=True
+            )
+        final = [
+            new_columns.get(i, col) for i, col in enumerate(table.columns)
+        ]
+        self.catalog.register(Table(table.name, final), replace=True)
+        return _rowcount_table(int(mask.sum()))
+
+    def _execute_delete(self, statement: ast.Delete) -> Table:
+        table = self.catalog.get(statement.table)
+        fields = self._table_fields(table)
+        evaluator = VectorEvaluator(fields, self.resolver)
+        columns = list(table.columns)
+        size = table.num_rows
+        if statement.where is not None:
+            mask = evaluator.predicate_mask(statement.where, columns, size)
+        else:
+            mask = np.ones(size, dtype=bool)
+        keep = ~mask
+        self.catalog.register(table.filter(keep), replace=True)
+        return _rowcount_table(int(mask.sum()))
+
+    def _execute_create(self, statement: ast.CreateTableAs) -> Table:
+        result = self._execute_select(statement.query)
+        created = result.renamed(statement.name)
+        self.catalog.register(created, replace=True)
+        if statement.temporary:
+            self._temp_tables.append(statement.name)
+        return _rowcount_table(created.num_rows)
+
+    def _execute_drop(self, statement: ast.DropTable) -> Table:
+        try:
+            self.catalog.drop(statement.name)
+        except CatalogError:
+            if not statement.if_exists:
+                raise
+        return _rowcount_table(0)
+
+
+def _rowcount_table(count: int) -> Table:
+    return Table("rowcount", [Column("rows", SqlType.INT, [count], validate=False)])

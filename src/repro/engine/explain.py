@@ -1,0 +1,33 @@
+"""EXPLAIN rendering.
+
+QFusor's client probes the engine's optimizer with an EXPLAIN statement
+and consumes the resulting plan (paper section 5).  Engine adapters hand
+QFusor the structured :class:`~repro.engine.planner.PlannedQuery`; this
+module renders the human-readable text form EXPLAIN returns to users.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .plan import PlanNode
+from .planner import PlannedQuery
+
+__all__ = ["explain_text"]
+
+
+def explain_text(planned: PlannedQuery) -> str:
+    """Render an optimized plan as an indented operator tree."""
+    lines: List[str] = []
+    for name, plan in planned.ctes:
+        lines.append(f"CTE {name}:")
+        _render(plan, lines, 1)
+    _render(planned.root, lines, 0)
+    return "\n".join(lines)
+
+
+def _render(node: PlanNode, lines: List[str], depth: int) -> None:
+    rows = "" if node.est_rows is None else f"  [rows~{node.est_rows:.0f}]"
+    lines.append("  " * depth + node.label() + rows)
+    for child in node.children:
+        _render(child, lines, depth + 1)

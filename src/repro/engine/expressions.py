@@ -1,0 +1,544 @@
+"""Expression evaluation and type inference.
+
+Two evaluation modes mirror the two executors:
+
+* :class:`VectorEvaluator` — evaluates an expression over whole columns
+  (one operator loop per expression node; numpy fast paths for numeric
+  arithmetic/comparisons).  Scalar UDF calls take the *bulk* path through
+  the registry wrapper (one boundary crossing per value, batched).
+* :class:`RowEvaluator` — evaluates over one row tuple at a time (the
+  SQLite-style model).  Scalar UDF calls cross the boundary per value per
+  call, which is exactly the per-tuple FFI overhead the paper attributes
+  to tuple-at-a-time engines.
+
+SQL three-valued logic is implemented throughout: comparisons with NULL
+yield NULL, AND/OR follow Kleene semantics, and predicates treat NULL as
+not-satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError, PlanError
+from ..sql import ast_nodes as ast
+from ..storage.column import Column
+from ..types import SqlType, common_type, is_numeric
+from ..udf import boundary
+from ..udf.definition import UdfKind
+from .functions import (
+    BUILTIN_AGGREGATES,
+    BUILTIN_SCALARS,
+    like_to_regex,
+)
+from .plan import Field
+
+__all__ = ["infer_type", "VectorEvaluator", "RowEvaluator", "FunctionResolver"]
+
+
+class FunctionResolver:
+    """Resolves function names to builtins or registered UDFs.
+
+    The engine's :class:`~repro.engine.database.Database` provides one,
+    backed by its :class:`~repro.udf.registry.UdfRegistry`.
+    """
+
+    def __init__(self, registry=None):
+        self.registry = registry
+
+    def builtin_scalar(self, name: str):
+        return BUILTIN_SCALARS.get(name.lower())
+
+    def builtin_aggregate(self, name: str):
+        return BUILTIN_AGGREGATES.get(name.lower())
+
+    def udf(self, name: str):
+        if self.registry is None:
+            return None
+        return self.registry.lookup(name)
+
+    def udf_kind(self, name: str) -> Optional[UdfKind]:
+        registered = self.udf(name)
+        return None if registered is None else registered.kind
+
+    def is_aggregate_call(self, name: str) -> bool:
+        if self.builtin_aggregate(name) is not None:
+            return True
+        return self.udf_kind(name) is UdfKind.AGGREGATE
+
+
+# ----------------------------------------------------------------------
+# Type inference
+# ----------------------------------------------------------------------
+
+
+def infer_type(
+    expr: ast.Expr, fields: Sequence[Field], resolver: FunctionResolver
+) -> Optional[SqlType]:
+    """Infer the SQL type of ``expr`` over the given input schema."""
+    if isinstance(expr, ast.Literal):
+        return expr.sql_type
+    if isinstance(expr, ast.PositionRef):
+        return fields[expr.index].sql_type
+    if isinstance(expr, ast.ColumnRef):
+        for field in fields:
+            if field.matches(expr):
+                return field.sql_type
+        raise PlanError(f"unknown column {expr.qualified!r} in type inference")
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op in ("AND", "OR", "LIKE", "=", "!=", "<", "<=", ">", ">="):
+            return SqlType.BOOL
+        if expr.op == "||":
+            return SqlType.TEXT
+        left = infer_type(expr.left, fields, resolver)
+        right = infer_type(expr.right, fields, resolver)
+        if expr.op == "/":
+            return SqlType.FLOAT
+        return common_type(left, right) or SqlType.INT
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            return SqlType.BOOL
+        return infer_type(expr.operand, fields, resolver)
+    if isinstance(expr, (ast.Between, ast.InList, ast.IsNull)):
+        return SqlType.BOOL
+    if isinstance(expr, ast.Cast):
+        return expr.target
+    if isinstance(expr, ast.CaseExpr):
+        result: Optional[SqlType] = None
+        for _, branch in expr.whens:
+            result = common_type(result, infer_type(branch, fields, resolver))
+        if expr.else_result is not None:
+            result = common_type(result, infer_type(expr.else_result, fields, resolver))
+        return result
+    if isinstance(expr, ast.FunctionCall):
+        builtin = resolver.builtin_scalar(expr.name)
+        if builtin is not None:
+            arg_types = [infer_type(a, fields, resolver) for a in expr.args]
+            return builtin.result_type(arg_types)
+        agg = resolver.builtin_aggregate(expr.name)
+        if agg is not None:
+            arg_types = [infer_type(a, fields, resolver) for a in expr.args]
+            return agg.result_type(arg_types)
+        registered = resolver.udf(expr.name)
+        if registered is not None:
+            return registered.definition.signature.return_types[0]
+        raise PlanError(f"unknown function {expr.name!r}")
+    raise PlanError(f"cannot infer type of {type(expr).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Row-at-a-time evaluation
+# ----------------------------------------------------------------------
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+}
+
+_COMPARE = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class RowEvaluator:
+    """Evaluates expressions over single row tuples."""
+
+    def __init__(self, fields: Sequence[Field], resolver: FunctionResolver):
+        self.fields = tuple(fields)
+        self.resolver = resolver
+
+    def _index_of(self, ref: ast.ColumnRef) -> int:
+        matches = [i for i, f in enumerate(self.fields) if f.matches(ref)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise PlanError(f"unknown column {ref.qualified!r}")
+        raise PlanError(f"ambiguous column {ref.qualified!r}")
+
+    def evaluate(self, expr: ast.Expr, row: Sequence[Any]) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.PositionRef):
+            return row[expr.index]
+        if isinstance(expr, ast.ColumnRef):
+            return row[self._index_of(expr)]
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary(expr, row)
+        if isinstance(expr, ast.UnaryOp):
+            value = self.evaluate(expr.operand, row)
+            if expr.op == "NOT":
+                return None if value is None else (not value)
+            return None if value is None else -value
+        if isinstance(expr, ast.IsNull):
+            value = self.evaluate(expr.expr, row)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, ast.Between):
+            value = self.evaluate(expr.expr, row)
+            low = self.evaluate(expr.low, row)
+            high = self.evaluate(expr.high, row)
+            if value is None or low is None or high is None:
+                return None
+            result = low <= value <= high
+            return (not result) if expr.negated else result
+        if isinstance(expr, ast.InList):
+            return self._in_list(expr, row)
+        if isinstance(expr, ast.CaseExpr):
+            return self._case(expr, row)
+        if isinstance(expr, ast.Cast):
+            return _cast_value(self.evaluate(expr.expr, row), expr.target)
+        if isinstance(expr, ast.FunctionCall):
+            return self._call(expr, row)
+        raise ExecutionError(f"cannot evaluate {type(expr).__name__} per row")
+
+    def _binary(self, expr: ast.BinaryOp, row: Sequence[Any]) -> Any:
+        op = expr.op
+        if op == "AND":
+            left = self.evaluate(expr.left, row)
+            if left is False:
+                return False
+            right = self.evaluate(expr.right, row)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if op == "OR":
+            left = self.evaluate(expr.left, row)
+            if left is True:
+                return True
+            right = self.evaluate(expr.right, row)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left = self.evaluate(expr.left, row)
+        right = self.evaluate(expr.right, row)
+        if left is None or right is None:
+            return None
+        if op in _COMPARE:
+            return _COMPARE[op](left, right)
+        if op in _ARITH:
+            try:
+                return _ARITH[op](left, right)
+            except ZeroDivisionError:
+                return None
+        if op == "||":
+            return str(left) + str(right)
+        if op == "LIKE":
+            return like_to_regex(right).match(left) is not None
+        raise ExecutionError(f"unknown operator {op!r}")
+
+    def _in_list(self, expr: ast.InList, row: Sequence[Any]) -> Any:
+        value = self.evaluate(expr.expr, row)
+        if value is None:
+            return None
+        saw_null = False
+        for item in expr.items:
+            candidate = self.evaluate(item, row)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return not expr.negated
+        if saw_null:
+            return None
+        return expr.negated
+
+    def _case(self, expr: ast.CaseExpr, row: Sequence[Any]) -> Any:
+        if expr.operand is not None:
+            operand = self.evaluate(expr.operand, row)
+            for cond, result in expr.whens:
+                candidate = self.evaluate(cond, row)
+                if candidate is not None and candidate == operand:
+                    return self.evaluate(result, row)
+        else:
+            for cond, result in expr.whens:
+                if self.evaluate(cond, row) is True:
+                    return self.evaluate(result, row)
+        if expr.else_result is not None:
+            return self.evaluate(expr.else_result, row)
+        return None
+
+    def _call(self, expr: ast.FunctionCall, row: Sequence[Any]) -> Any:
+        builtin = self.resolver.builtin_scalar(expr.name)
+        args = [self.evaluate(a, row) for a in expr.args]
+        if builtin is not None:
+            return builtin(*args)
+        registered = self.resolver.udf(expr.name)
+        if registered is None:
+            raise ExecutionError(f"unknown function {expr.name!r}")
+        if registered.kind is not UdfKind.SCALAR:
+            raise ExecutionError(
+                f"{expr.name!r} is a {registered.kind} UDF; only scalar UDFs "
+                f"may appear in row expressions"
+            )
+        # Tuple-at-a-time UDF invocation: one boundary round trip per call.
+        definition = registered.definition
+        if definition.strict and any(a is None for a in args):
+            return None
+        converted = [
+            boundary.c_to_python(
+                boundary.engine_to_c(value, sql_type), sql_type
+            )
+            for value, sql_type in zip(args, definition.signature.arg_types)
+        ]
+        out_type = definition.signature.return_types[0]
+        result = registered.call_scalar_value(converted)
+        return boundary.c_to_engine(
+            boundary.python_to_c(result, out_type), out_type
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized evaluation
+# ----------------------------------------------------------------------
+
+
+class VectorEvaluator:
+    """Evaluates expressions over whole columns.
+
+    ``columns`` passed to :meth:`evaluate` must align positionally with
+    the ``fields`` schema given at construction.
+    """
+
+    def __init__(self, fields: Sequence[Field], resolver: FunctionResolver):
+        self.fields = tuple(fields)
+        self.resolver = resolver
+        self._row_eval = RowEvaluator(fields, resolver)
+
+    # -- public API ----------------------------------------------------
+
+    def evaluate(
+        self, expr: ast.Expr, columns: Sequence[Column], size: int, name: str = "expr"
+    ) -> Column:
+        """Evaluate ``expr`` over ``columns`` into a column named ``name``."""
+        result = self._eval(expr, columns, size)
+        return result.renamed(name)
+
+    def predicate_mask(
+        self, expr: ast.Expr, columns: Sequence[Column], size: int
+    ) -> np.ndarray:
+        """Evaluate a predicate into a boolean mask (NULL -> False)."""
+        col = self._eval(expr, columns, size)
+        data = col.numpy()
+        if col.sql_type is SqlType.BOOL:
+            mask = np.asarray(data, dtype=bool) & ~col.null_mask()
+        else:
+            mask = np.fromiter(
+                (bool(v) for v in col.to_list()), dtype=bool, count=size
+            )
+        return mask
+
+    # -- internals -----------------------------------------------------
+
+    def _index_of(self, ref: ast.ColumnRef) -> int:
+        matches = [i for i, f in enumerate(self.fields) if f.matches(ref)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise PlanError(f"unknown column {ref.qualified!r}")
+        unqualified = [i for i in matches if self.fields[i].qualifier is None]
+        if ref.table is None and len(unqualified) == 1:
+            return unqualified[0]
+        raise PlanError(f"ambiguous column {ref.qualified!r}")
+
+    def _eval(self, expr: ast.Expr, columns: Sequence[Column], size: int) -> Column:
+        if isinstance(expr, ast.PositionRef):
+            return columns[expr.index]
+        if isinstance(expr, ast.ColumnRef):
+            return columns[self._index_of(expr)]
+        if isinstance(expr, ast.Literal):
+            sql_type = expr.sql_type or SqlType.INT
+            return Column("lit", sql_type, [expr.value] * size, validate=False)
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary(expr, columns, size)
+        if isinstance(expr, ast.FunctionCall):
+            return self._call(expr, columns, size)
+        # Everything else: a single fused row loop over the inputs.
+        return self._rowwise(expr, columns, size)
+
+    def _rowwise(self, expr: ast.Expr, columns: Sequence[Column], size: int) -> Column:
+        """Row-wise fallback for structural expressions (CASE, BETWEEN, ...).
+
+        Function calls nested anywhere inside the expression are first
+        *lifted out* and evaluated vectorized (so UDFs keep their bulk
+        invocation path); only the remaining structure runs per row.
+        """
+        sql_type = infer_type(expr, self.fields, self.resolver) or SqlType.TEXT
+        lifted_cols: List[Column] = []
+        lifted_fields: List[Field] = []
+
+        def lift(node: ast.Expr) -> ast.Expr:
+            if isinstance(node, ast.FunctionCall):
+                out_name = f"__vec_{len(lifted_cols)}"
+                col = self._call(node, columns, size)
+                lifted_cols.append(col)
+                lifted_fields.append(Field(out_name, col.sql_type, "__vec"))
+                return ast.ColumnRef(out_name, table="__vec")
+            return ast.rewrite_children(node, lift)
+
+        rewritten = lift(expr)
+        all_fields = tuple(self.fields) + tuple(lifted_fields)
+        all_columns = list(columns) + lifted_cols
+        row_eval = RowEvaluator(all_fields, self.resolver)
+        lists = [col.to_list() for col in all_columns]
+        evaluate = row_eval.evaluate
+        if lists:
+            out = [evaluate(rewritten, row) for row in zip(*lists)]
+        else:
+            out = [evaluate(rewritten, ()) for _ in range(size)]
+        return Column("expr", sql_type, out, validate=False)
+
+    def _binary(self, expr: ast.BinaryOp, columns: Sequence[Column], size: int) -> Column:
+        op = expr.op
+        if op in _ARITH or op in _COMPARE:
+            left = self._eval(expr.left, columns, size)
+            right = self._eval(expr.right, columns, size)
+            if is_numeric(left.sql_type) and is_numeric(right.sql_type):
+                return self._numeric_binary(op, left, right, size)
+            if op in _COMPARE:
+                return self._generic_compare(op, left, right, size)
+            return self._generic_arith(op, left, right, size)
+        if op in ("AND", "OR"):
+            left = self._eval(expr.left, columns, size)
+            right = self._eval(expr.right, columns, size)
+            return self._logical(op, left, right, size)
+        if op == "||":
+            left = self._eval(expr.left, columns, size)
+            right = self._eval(expr.right, columns, size)
+            out = [
+                None if (a is None or b is None) else str(a) + str(b)
+                for a, b in zip(left.to_list(), right.to_list())
+            ]
+            return Column("expr", SqlType.TEXT, out, validate=False)
+        if op == "LIKE":
+            left = self._eval(expr.left, columns, size)
+            right = self._eval(expr.right, columns, size)
+            right_values = right.to_list()
+            out: List[Any] = []
+            for value, pattern in zip(left.to_list(), right_values):
+                if value is None or pattern is None:
+                    out.append(None)
+                else:
+                    out.append(like_to_regex(pattern).match(value) is not None)
+            return Column("expr", SqlType.BOOL, out, validate=False)
+        raise ExecutionError(f"unknown operator {op!r}")
+
+    def _numeric_binary(self, op: str, left: Column, right: Column, size: int) -> Column:
+        a = left.numpy()
+        b = right.numpy()
+        null = left.null_mask() | right.null_mask()
+        if op in _COMPARE:
+            with np.errstate(invalid="ignore"):
+                data = _COMPARE[op](a, b)
+            return Column.from_numpy("expr", SqlType.BOOL, data, null)
+        if op == "/":
+            with np.errstate(divide="ignore", invalid="ignore"):
+                data = np.true_divide(a, b)
+            null = null | (np.asarray(b) == 0)
+            data = np.where(null, 0.0, data)
+            return Column.from_numpy("expr", SqlType.FLOAT, data, null)
+        if op == "%":
+            zero = np.asarray(b) == 0
+            safe_b = np.where(zero, 1, b)
+            data = np.mod(a, safe_b)
+            return Column.from_numpy(
+                "expr", _result_numeric_type(left, right), data, null | zero
+            )
+        data = _ARITH[op](a, b)
+        return Column.from_numpy("expr", _result_numeric_type(left, right), data, null)
+
+    def _generic_compare(self, op: str, left: Column, right: Column, size: int) -> Column:
+        func = _COMPARE[op]
+        out = [
+            None if (a is None or b is None) else func(a, b)
+            for a, b in zip(left.to_list(), right.to_list())
+        ]
+        return Column("expr", SqlType.BOOL, out, validate=False)
+
+    def _generic_arith(self, op: str, left: Column, right: Column, size: int) -> Column:
+        func = _ARITH[op]
+        out = []
+        for a, b in zip(left.to_list(), right.to_list()):
+            if a is None or b is None:
+                out.append(None)
+            else:
+                try:
+                    out.append(func(a, b))
+                except ZeroDivisionError:
+                    out.append(None)
+        sql_type = SqlType.FLOAT if op == "/" else (
+            left.sql_type if left.sql_type is not SqlType.BOOL else SqlType.INT
+        )
+        return Column("expr", sql_type, out, validate=False)
+
+    def _logical(self, op: str, left: Column, right: Column, size: int) -> Column:
+        a = np.asarray(left.numpy(), dtype=bool)
+        b = np.asarray(right.numpy(), dtype=bool)
+        a_null = left.null_mask()
+        b_null = right.null_mask()
+        a_val = a & ~a_null
+        b_val = b & ~b_null
+        if op == "AND":
+            data = a_val & b_val
+            # NULL unless the other side is definitively False
+            null = (a_null & ~(~b_null & ~b_val)) | (b_null & ~(~a_null & ~a_val))
+        else:
+            data = a_val | b_val
+            null = (a_null & ~b_val) | (b_null & ~a_val)
+        return Column.from_numpy("expr", SqlType.BOOL, data, null)
+
+    def _call(self, expr: ast.FunctionCall, columns: Sequence[Column], size: int) -> Column:
+        builtin = self.resolver.builtin_scalar(expr.name)
+        if builtin is not None:
+            arg_cols = [self._eval(a, columns, size) for a in expr.args]
+            lists = [c.to_list() for c in arg_cols]
+            if lists:
+                out = [builtin(*row) for row in zip(*lists)]
+            else:
+                out = [builtin() for _ in range(size)]
+            sql_type = builtin.result_type([c.sql_type for c in arg_cols])
+            return Column("expr", sql_type, out, validate=False)
+        registered = self.resolver.udf(expr.name)
+        if registered is None:
+            raise ExecutionError(f"unknown function {expr.name!r}")
+        if registered.kind is not UdfKind.SCALAR:
+            raise ExecutionError(
+                f"{expr.name!r} is a {registered.kind} UDF and cannot be "
+                f"evaluated as a scalar expression"
+            )
+        arg_cols = [self._eval(a, columns, size) for a in expr.args]
+        return registered.call_scalar(arg_cols, size)
+
+
+def _result_numeric_type(left: Column, right: Column) -> SqlType:
+    if SqlType.FLOAT in (left.sql_type, right.sql_type):
+        return SqlType.FLOAT
+    return SqlType.INT
+
+
+def _cast_value(value: Any, target: SqlType) -> Any:
+    if value is None:
+        return None
+    try:
+        if target is SqlType.INT:
+            return int(float(value)) if isinstance(value, str) else int(value)
+        if target is SqlType.FLOAT:
+            return float(value)
+        if target is SqlType.TEXT:
+            return str(value)
+        if target is SqlType.BOOL:
+            return bool(value)
+    except (TypeError, ValueError):
+        return None
+    return value

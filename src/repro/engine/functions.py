@@ -1,0 +1,292 @@
+"""Builtin SQL functions and aggregates.
+
+These run *inside* the engine (no UDF boundary crossing) — they are the
+"optimized engine implementation" side of the paper's F2 trade-off, the
+alternative to offloading a relational operation into the UDF runtime.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import statistics
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from ..types import SqlType
+
+__all__ = [
+    "BUILTIN_SCALARS", "BUILTIN_AGGREGATES", "BuiltinScalar",
+    "BuiltinAggregate", "is_builtin_scalar", "is_builtin_aggregate",
+    "like_to_regex",
+]
+
+
+class BuiltinScalar:
+    """A builtin scalar function: a Python callable plus a return-type rule."""
+
+    __slots__ = ("name", "func", "return_type", "strict")
+
+    def __init__(
+        self,
+        name: str,
+        func: Callable,
+        return_type,  # SqlType or callable(arg_types) -> SqlType
+        strict: bool = True,
+    ):
+        self.name = name
+        self.func = func
+        self.return_type = return_type
+        self.strict = strict
+
+    def result_type(self, arg_types: Sequence[Optional[SqlType]]) -> SqlType:
+        if callable(self.return_type):
+            return self.return_type(arg_types)
+        return self.return_type
+
+    def __call__(self, *args):
+        if self.strict and any(a is None for a in args):
+            return None
+        return self.func(*args)
+
+
+class BuiltinAggregate:
+    """A builtin aggregate in the init-step-final model.
+
+    ``blocking`` aggregates (e.g. median) materialize their input and are
+    not loop-fusible (Table 3).
+    """
+
+    __slots__ = ("name", "make_state", "return_type", "blocking")
+
+    def __init__(self, name: str, make_state: Callable, return_type, blocking=False):
+        self.name = name
+        self.make_state = make_state
+        self.return_type = return_type
+        self.blocking = blocking
+
+    def result_type(self, arg_types: Sequence[Optional[SqlType]]) -> SqlType:
+        if callable(self.return_type):
+            return self.return_type(arg_types)
+        return self.return_type
+
+
+# ----------------------------------------------------------------------
+# Scalar builtins
+# ----------------------------------------------------------------------
+
+
+def _numeric_passthrough(arg_types: Sequence[Optional[SqlType]]) -> SqlType:
+    for t in arg_types:
+        if t is SqlType.FLOAT:
+            return SqlType.FLOAT
+    return SqlType.INT
+
+
+def _first_arg_type(arg_types: Sequence[Optional[SqlType]]) -> SqlType:
+    return arg_types[0] if arg_types and arg_types[0] is not None else SqlType.TEXT
+
+
+def _substr(value: str, start: int, length: Optional[int] = None) -> str:
+    # SQL substr is 1-based.
+    begin = max(start - 1, 0)
+    if length is None:
+        return value[begin:]
+    return value[begin : begin + length]
+
+
+def _round(value: float, digits: int = 0) -> float:
+    return float(round(value, digits))
+
+
+def _coalesce(*args):
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _nullif(left, right):
+    return None if left == right else left
+
+
+BUILTIN_SCALARS: Dict[str, BuiltinScalar] = {}
+
+
+def _register_scalar(name: str, func: Callable, return_type, strict: bool = True):
+    BUILTIN_SCALARS[name] = BuiltinScalar(name, func, return_type, strict)
+
+
+_register_scalar("upper", lambda s: s.upper(), SqlType.TEXT)
+_register_scalar("length", lambda s: len(s), SqlType.INT)
+_register_scalar("abs", abs, _numeric_passthrough)
+_register_scalar("round", _round, SqlType.FLOAT)
+_register_scalar("floor", lambda x: int(math.floor(x)), SqlType.INT)
+_register_scalar("ceil", lambda x: int(math.ceil(x)), SqlType.INT)
+_register_scalar("sqrt", math.sqrt, SqlType.FLOAT)
+_register_scalar("ln", math.log, SqlType.FLOAT)
+_register_scalar("trim", lambda s: s.strip(), SqlType.TEXT)
+_register_scalar("ltrim", lambda s: s.lstrip(), SqlType.TEXT)
+_register_scalar("rtrim", lambda s: s.rstrip(), SqlType.TEXT)
+_register_scalar("substr", _substr, SqlType.TEXT)
+_register_scalar("replace", lambda s, old, new: s.replace(old, new), SqlType.TEXT)
+_register_scalar("instr", lambda s, sub: s.find(sub) + 1, SqlType.INT)
+_register_scalar("concat", lambda *parts: "".join(str(p) for p in parts), SqlType.TEXT)
+_register_scalar("coalesce", _coalesce, _first_arg_type, strict=False)
+_register_scalar("nullif", _nullif, _first_arg_type, strict=False)
+_register_scalar("mod", lambda a, b: a % b, _numeric_passthrough)
+_register_scalar("sign", lambda x: (x > 0) - (x < 0), SqlType.INT)
+
+# NOTE: ``lower`` is deliberately *not* a builtin: the paper's running
+# example registers lower as a Python UDF, and workloads rely on it going
+# through the UDF path.  Engines that want a native lower can add one.
+
+
+# ----------------------------------------------------------------------
+# Aggregate builtins (init-step-final states)
+# ----------------------------------------------------------------------
+
+
+class _CountState:
+    __slots__ = ("count",)
+
+    def __init__(self):
+        self.count = 0
+
+    def step(self, *values):
+        # count(*) receives no args; count(expr) skips NULLs upstream.
+        self.count += 1
+
+    def final(self):
+        return self.count
+
+
+class _SumState:
+    __slots__ = ("total", "seen")
+
+    def __init__(self):
+        self.total = 0
+        self.seen = False
+
+    def step(self, value):
+        self.total += value
+        self.seen = True
+
+    def final(self):
+        return self.total if self.seen else None
+
+
+class _AvgState:
+    __slots__ = ("total", "count")
+
+    def __init__(self):
+        self.total = 0.0
+        self.count = 0
+
+    def step(self, value):
+        self.total += value
+        self.count += 1
+
+    def final(self):
+        return self.total / self.count if self.count else None
+
+
+class _MinState:
+    __slots__ = ("best",)
+
+    def __init__(self):
+        self.best = None
+
+    def step(self, value):
+        if self.best is None or value < self.best:
+            self.best = value
+
+    def final(self):
+        return self.best
+
+
+class _MaxState:
+    __slots__ = ("best",)
+
+    def __init__(self):
+        self.best = None
+
+    def step(self, value):
+        if self.best is None or value > self.best:
+            self.best = value
+
+    def final(self):
+        return self.best
+
+
+class _MedianState:
+    """Blocking aggregate: materializes its input (Table 3)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values: List[Any] = []
+
+    def step(self, value):
+        self.values.append(value)
+
+    def final(self):
+        return float(statistics.median(self.values)) if self.values else None
+
+
+class _StddevState:
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values: List[float] = []
+
+    def step(self, value):
+        self.values.append(float(value))
+
+    def final(self):
+        return statistics.pstdev(self.values) if len(self.values) > 0 else None
+
+
+def _sum_type(arg_types: Sequence[Optional[SqlType]]) -> SqlType:
+    if arg_types and arg_types[0] is SqlType.FLOAT:
+        return SqlType.FLOAT
+    return SqlType.INT
+
+
+BUILTIN_AGGREGATES: Dict[str, BuiltinAggregate] = {
+    "count": BuiltinAggregate("count", _CountState, SqlType.INT),
+    "sum": BuiltinAggregate("sum", _SumState, _sum_type),
+    "avg": BuiltinAggregate("avg", _AvgState, SqlType.FLOAT),
+    "min": BuiltinAggregate("min", _MinState, _first_arg_type),
+    "max": BuiltinAggregate("max", _MaxState, _first_arg_type),
+    "median": BuiltinAggregate("median", _MedianState, SqlType.FLOAT, blocking=True),
+    "stddev": BuiltinAggregate("stddev", _StddevState, SqlType.FLOAT, blocking=True),
+}
+
+
+def is_builtin_scalar(name: str) -> bool:
+    return name.lower() in BUILTIN_SCALARS
+
+
+def is_builtin_aggregate(name: str) -> bool:
+    return name.lower() in BUILTIN_AGGREGATES
+
+
+_LIKE_CACHE: Dict[str, "re.Pattern"] = {}
+
+
+def like_to_regex(pattern: str) -> "re.Pattern":
+    """Compile a SQL LIKE pattern (% and _) into an anchored regex."""
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        parts = []
+        for ch in pattern:
+            if ch == "%":
+                parts.append(".*")
+            elif ch == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(ch))
+        compiled = re.compile("^" + "".join(parts) + "$", re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled

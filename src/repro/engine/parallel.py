@@ -1,0 +1,97 @@
+"""Intra-query thread parallelism.
+
+Provides morsel-style partitioned execution of row-parallel operators
+(Filter, Project) across a thread pool.  As the paper observes for its
+own system, multithreaded speedups here are limited by Python's GIL and
+are most effective for the vectorized (numpy) relational parts — the
+same shape our Figure 6g reproduction shows.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..storage.column import Column
+from .executor_vector import Relation, VectorExecutor
+from .expressions import VectorEvaluator
+from .plan import Filter, Project
+
+__all__ = ["split_ranges", "parallel_map", "ParallelVectorExecutor"]
+
+
+def split_ranges(size: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``[0, size)`` into up to ``parts`` contiguous ranges."""
+    parts = max(1, min(parts, size)) if size else 1
+    step = (size + parts - 1) // parts if size else 0
+    ranges = []
+    start = 0
+    while start < size:
+        stop = min(start + step, size)
+        ranges.append((start, stop))
+        start = stop
+    return ranges or [(0, 0)]
+
+
+def parallel_map(fn: Callable, items: Sequence, threads: int) -> List:
+    """Map ``fn`` over ``items`` using ``threads`` workers (ordered)."""
+    if threads <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        return list(pool.map(fn, items))
+
+
+class ParallelVectorExecutor(VectorExecutor):
+    """A vectorized executor that runs Filter and Project over row
+    partitions in a thread pool (the "dbX" strong-parallelism profile)."""
+
+    def __init__(self, catalog, resolver, threads: int = 4):
+        super().__init__(catalog, resolver)
+        self.threads = max(1, threads)
+
+    def _project(self, node: Project, ctes) -> Relation:
+        columns, size = self._run(node.child, ctes)
+        if self.threads <= 1 or size < 2 * self.threads:
+            return self._project_range(node, columns, size)
+        ranges = split_ranges(size, self.threads)
+
+        def run_range(bounds: Tuple[int, int]) -> List[Column]:
+            start, stop = bounds
+            chunk = [col.slice(start, stop) for col in columns]
+            out, _ = self._project_range(node, chunk, stop - start)
+            return out
+
+        results = parallel_map(run_range, ranges, self.threads)
+        merged = [
+            Column.concat(item.name, [chunk[i] for chunk in results])
+            for i, item in enumerate(node.items)
+        ]
+        return merged, size
+
+    def _project_range(self, node: Project, columns, size) -> Relation:
+        evaluator = VectorEvaluator(node.child.schema, self.resolver)
+        out = [
+            evaluator.evaluate(item.expr, columns, size, item.name)
+            for item in node.items
+        ]
+        return out, size
+
+    def _filter(self, node: Filter, ctes) -> Relation:
+        columns, size = self._run(node.child, ctes)
+        if self.threads <= 1 or size < 2 * self.threads:
+            evaluator = VectorEvaluator(node.child.schema, self.resolver)
+            mask = evaluator.predicate_mask(node.predicate, columns, size)
+            return [col.filter(mask) for col in columns], int(mask.sum())
+        ranges = split_ranges(size, self.threads)
+
+        def run_range(bounds: Tuple[int, int]) -> np.ndarray:
+            start, stop = bounds
+            chunk = [col.slice(start, stop) for col in columns]
+            evaluator = VectorEvaluator(node.child.schema, self.resolver)
+            return evaluator.predicate_mask(node.predicate, chunk, stop - start)
+
+        masks = parallel_map(run_range, ranges, self.threads)
+        mask = np.concatenate(masks) if masks else np.zeros(0, dtype=bool)
+        return [col.filter(mask) for col in columns], int(mask.sum())

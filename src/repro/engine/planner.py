@@ -1,0 +1,471 @@
+"""The planner: lowers SQL ASTs into logical plan trees.
+
+Aggregation handling follows the classic split: aggregate-call
+sub-expressions in the select list / HAVING are replaced by references to
+synthetic columns, the :class:`~repro.engine.plan.Aggregate` node computes
+group keys and aggregate results, and a post-projection evaluates the
+rewritten outer expressions.
+
+A table UDF in the select list becomes an :class:`~repro.engine.plan.Expand`
+node (one input row -> many output rows with replicated siblings), the
+paper's Expand variant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PlanError
+from ..sql import ast_nodes as ast
+from ..storage.catalog import Catalog
+from ..types import SqlType
+from ..udf.definition import UdfKind
+from .expressions import FunctionResolver, infer_type
+from .plan import (
+    AggCall, Aggregate, CteScan, Distinct, Expand, Field, Filter, Join,
+    Limit, OneRow, PlanNode, Project, ProjectItem, Requalify, Scan,
+    SetOperation, Sort, SortKey, TableFunctionScan,
+)
+
+__all__ = ["Planner", "PlannedQuery"]
+
+
+class PlannedQuery:
+    """A root plan plus the ordered CTE plans it depends on."""
+
+    def __init__(self, root: PlanNode, ctes: Sequence[Tuple[str, PlanNode]]):
+        self.root = root
+        self.ctes = list(ctes)
+
+
+class Planner:
+    def __init__(self, catalog: Catalog, resolver: FunctionResolver):
+        self.catalog = catalog
+        self.resolver = resolver
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def plan_select(self, select: ast.Select) -> PlannedQuery:
+        cte_plans: List[Tuple[str, PlanNode]] = []
+        cte_schemas: Dict[str, Tuple[Field, ...]] = {}
+        for name, query in select.ctes:
+            planned = self._plan_query(query, cte_schemas)
+            cte_plans.append((name, planned))
+            cte_schemas[name.lower()] = planned.schema
+        root = self._plan_query(select, cte_schemas, skip_ctes=True)
+        return PlannedQuery(root, cte_plans)
+
+    # ------------------------------------------------------------------
+    # SELECT planning
+    # ------------------------------------------------------------------
+
+    def _plan_query(
+        self,
+        select: ast.Select,
+        cte_schemas: Dict[str, Tuple[Field, ...]],
+        *,
+        skip_ctes: bool = False,
+    ) -> PlanNode:
+        if select.ctes and not skip_ctes:
+            raise PlanError("nested WITH clauses are not supported")
+
+        node = self._plan_from(select.from_items, cte_schemas)
+
+        if select.where is not None:
+            node = Filter(node, select.where)
+
+        has_aggregates = bool(select.group_by) or any(
+            self._contains_aggregate(item.expr) for item in select.items
+        ) or (select.having is not None and self._contains_aggregate(select.having))
+
+        if has_aggregates:
+            node = self._plan_aggregate(node, select)
+        else:
+            node = self._plan_projection(node, select)
+
+        if select.distinct:
+            node = Distinct(node)
+
+        if select.set_op is not None:
+            right = self._plan_query(select.set_op.right, cte_schemas)
+            if len(right.schema) != len(node.schema):
+                raise PlanError(
+                    f"{select.set_op.op}: arity mismatch "
+                    f"({len(node.schema)} vs {len(right.schema)})"
+                )
+            node = SetOperation(node, right, select.set_op.op)
+
+        if select.order_by:
+            node = self._plan_order_by(node, select.order_by)
+
+        if select.limit is not None:
+            node = Limit(node, select.limit, select.offset or 0)
+
+        return node
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+
+    def _plan_from(
+        self,
+        from_items: Sequence[ast.FromItem],
+        cte_schemas: Dict[str, Tuple[Field, ...]],
+    ) -> PlanNode:
+        if not from_items:
+            return OneRow()
+        nodes = [self._plan_from_item(item, cte_schemas) for item in from_items]
+        node = nodes[0]
+        for right in nodes[1:]:  # comma list = cross join
+            node = Join(node, right, "CROSS", None, node.schema + right.schema)
+        return node
+
+    def _plan_from_item(
+        self, item: ast.FromItem, cte_schemas: Dict[str, Tuple[Field, ...]]
+    ) -> PlanNode:
+        if isinstance(item, ast.TableRef):
+            binding = item.binding
+            key = item.name.lower()
+            if key in cte_schemas:
+                schema = [
+                    Field(f.name, f.sql_type, binding) for f in cte_schemas[key]
+                ]
+                return CteScan(item.name, binding, schema)
+            table = self.catalog.get(item.name)
+            schema = [
+                Field(name, sql_type, binding) for name, sql_type in table.schema
+            ]
+            return Scan(item.name, binding, schema)
+        if isinstance(item, ast.SubqueryRef):
+            child = self._plan_query(item.query, cte_schemas)
+            schema = [Field(f.name, f.sql_type, item.alias) for f in child.schema]
+            return Requalify(child, schema)
+        if isinstance(item, ast.TableFunctionRef):
+            return self._plan_table_function(item, cte_schemas)
+        if isinstance(item, ast.Join):
+            left = self._plan_from_item(item.left, cte_schemas)
+            right = self._plan_from_item(item.right, cte_schemas)
+            return Join(
+                left, right, item.kind, item.condition, left.schema + right.schema
+            )
+        raise PlanError(f"unsupported FROM item {type(item).__name__}")
+
+    def _plan_table_function(
+        self,
+        item: ast.TableFunctionRef,
+        cte_schemas: Dict[str, Tuple[Field, ...]],
+    ) -> PlanNode:
+        registered = self.resolver.udf(item.call.name)
+        if registered is None or registered.kind is not UdfKind.TABLE:
+            raise PlanError(f"{item.call.name!r} is not a registered table UDF")
+        if len(item.subquery_args) > 1:
+            raise PlanError("table UDFs accept at most one input subquery")
+        input_plan = (
+            self._plan_query(item.subquery_args[0], cte_schemas)
+            if item.subquery_args
+            else None
+        )
+        const_args = [_literal_value(a) for a in item.call.args]
+        definition = registered.definition
+        schema = [
+            Field(name, sql_type, item.alias)
+            for name, sql_type in zip(
+                definition.out_columns, definition.signature.return_types
+            )
+        ]
+        return TableFunctionScan(
+            definition.name, item.alias, input_plan, const_args, schema
+        )
+
+    # ------------------------------------------------------------------
+    # Projection (non-aggregate)
+    # ------------------------------------------------------------------
+
+    def _plan_projection(self, child: PlanNode, select: ast.Select) -> PlanNode:
+        items = self._expand_stars(select.items, child)
+        expand_indexes = [
+            i for i, item in enumerate(items) if self._is_table_udf_call(item.expr)
+        ]
+        if len(expand_indexes) > 1:
+            raise PlanError("at most one table UDF per select list")
+        if expand_indexes:
+            return self._plan_expand(child, items, expand_indexes[0])
+
+        project_items = []
+        fields = []
+        for i, item in enumerate(items):
+            name = _output_name(item, i)
+            sql_type = infer_type(item.expr, child.schema, self.resolver)
+            project_items.append(ProjectItem(item.expr, name))
+            fields.append(Field(name, sql_type or SqlType.TEXT))
+        return Project(child, project_items, fields)
+
+    def _plan_expand(
+        self, child: PlanNode, items: Sequence[ast.SelectItem], expand_at: int
+    ) -> PlanNode:
+        expand_item = items[expand_at]
+        call = expand_item.expr
+        assert isinstance(call, ast.FunctionCall)
+        registered = self.resolver.udf(call.name)
+        definition = registered.definition
+
+        # Split the call's arguments into column expressions (the UDF's
+        # streaming input) and trailing literal constants.
+        arg_exprs: List[ast.Expr] = []
+        const_args: List[Any] = []
+        for arg in call.args:
+            if isinstance(arg, ast.Literal):
+                const_args.append(arg.value)
+            else:
+                if const_args:
+                    raise PlanError(
+                        f"table UDF {call.name!r}: constant arguments must "
+                        f"follow column arguments"
+                    )
+                arg_exprs.append(arg)
+
+        if len(definition.out_columns) == 1:
+            out_names = [expand_item.alias or definition.out_columns[0]]
+        else:
+            out_names = list(definition.out_columns)
+
+        passthrough = []
+        fields: List[Field] = []
+        for i, item in enumerate(items):
+            if i == expand_at:
+                for name, sql_type in zip(
+                    out_names, definition.signature.return_types
+                ):
+                    fields.append(Field(name, sql_type))
+                continue
+            name = _output_name(item, i)
+            sql_type = infer_type(item.expr, child.schema, self.resolver)
+            passthrough.append(ProjectItem(item.expr, name))
+            fields.append(Field(name, sql_type or SqlType.TEXT))
+
+        # Order: passthrough items keep their relative positions; the
+        # expand outputs sit where the call appeared.  The executor emits
+        # columns in schema order.
+        return Expand(
+            child, call, arg_exprs, const_args, out_names, passthrough, fields
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def _plan_aggregate(self, child: PlanNode, select: ast.Select) -> PlanNode:
+        items = self._expand_stars(select.items, child)
+        alias_map = {
+            item.alias.lower(): item.expr for item in items if item.alias
+        }
+
+        group_items: List[ProjectItem] = []
+        group_fields: List[Field] = []
+        for i, expr in enumerate(select.group_by):
+            expr = self._substitute_alias(expr, alias_map, child)
+            name = _group_name(expr, i)
+            sql_type = infer_type(expr, child.schema, self.resolver)
+            group_items.append(ProjectItem(expr, name))
+            group_fields.append(Field(name, sql_type or SqlType.TEXT))
+
+        agg_calls: List[AggCall] = []
+        agg_fields: List[Field] = []
+
+        def lift(expr: ast.Expr) -> ast.Expr:
+            """Replace aggregate calls with refs to synthetic columns."""
+            if isinstance(expr, ast.FunctionCall) and self.resolver.is_aggregate_call(
+                expr.name
+            ):
+                out_name = f"__agg_{len(agg_calls)}"
+                is_udf = self.resolver.builtin_aggregate(expr.name) is None
+                agg_calls.append(
+                    AggCall(expr.name.lower(), expr.args, expr.distinct, out_name, is_udf)
+                )
+                if is_udf:
+                    sql_type = self.resolver.udf(
+                        expr.name
+                    ).definition.signature.return_types[0]
+                else:
+                    arg_types = [
+                        infer_type(a, child.schema, self.resolver) for a in expr.args
+                    ]
+                    sql_type = self.resolver.builtin_aggregate(expr.name).result_type(
+                        arg_types
+                    )
+                agg_fields.append(Field(out_name, sql_type))
+                return ast.ColumnRef(out_name)
+            return _rewrite_children(expr, lift)
+
+        lifted_items = [ast.SelectItem(lift(item.expr), item.alias) for item in items]
+        lifted_having = lift(select.having) if select.having is not None else None
+
+        agg_schema = tuple(group_fields) + tuple(agg_fields)
+        node: PlanNode = Aggregate(child, group_items, agg_calls, agg_schema)
+
+        if lifted_having is not None:
+            node = Filter(node, lifted_having)
+
+        project_items: List[ProjectItem] = []
+        out_fields: List[Field] = []
+        for i, item in enumerate(lifted_items):
+            name = _output_name(items[i], i)
+            # Select items in an aggregate query must be group keys,
+            # aggregate results, or expressions over them.
+            expr = self._match_group_expr(item.expr, group_items)
+            sql_type = infer_type(expr, node.schema, self.resolver)
+            project_items.append(ProjectItem(expr, name))
+            out_fields.append(Field(name, sql_type or SqlType.TEXT))
+        return Project(node, project_items, out_fields)
+
+    def _match_group_expr(
+        self, expr: ast.Expr, group_items: Sequence[ProjectItem]
+    ) -> ast.Expr:
+        """Rewrite an expression that syntactically equals a group key into
+        a reference to that key's output column."""
+        for item in group_items:
+            if expr == item.expr:
+                return ast.ColumnRef(item.name)
+        return _rewrite_children(
+            expr, lambda e: self._match_group_expr(e, group_items)
+        )
+
+    def _substitute_alias(
+        self,
+        expr: ast.Expr,
+        alias_map: Dict[str, ast.Expr],
+        child: PlanNode,
+    ) -> ast.Expr:
+        """GROUP BY may name a select alias; substitute its definition."""
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            in_child = any(f.matches(expr) for f in child.schema)
+            if not in_child and expr.name.lower() in alias_map:
+                return alias_map[expr.name.lower()]
+        return expr
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _expand_stars(
+        self, items: Sequence[ast.SelectItem], child: PlanNode
+    ) -> List[ast.SelectItem]:
+        expanded: List[ast.SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                for field in child.schema:
+                    if item.expr.table is not None and (
+                        field.qualifier is None
+                        or field.qualifier.lower() != item.expr.table.lower()
+                    ):
+                        continue
+                    expanded.append(
+                        ast.SelectItem(
+                            ast.ColumnRef(field.name, table=field.qualifier)
+                        )
+                    )
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _contains_aggregate(self, expr: ast.Expr) -> bool:
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.FunctionCall) and self.resolver.is_aggregate_call(
+                node.name
+            ):
+                return True
+        return False
+
+    def _is_table_udf_call(self, expr: ast.Expr) -> bool:
+        return (
+            isinstance(expr, ast.FunctionCall)
+            and self.resolver.udf_kind(expr.name) is UdfKind.TABLE
+        )
+
+    def _plan_order_by(
+        self, node: PlanNode, order_by: Sequence[ast.OrderItem]
+    ) -> PlanNode:
+        """Plan ORDER BY, including keys not present in the select list.
+
+        Keys that only resolve against a projection's *input* are carried
+        through as hidden sort columns and dropped afterwards (standard
+        SQL behaviour for ``SELECT b FROM t ORDER BY a``).
+        """
+        keys: List[SortKey] = []
+        hidden: List[Tuple[ast.OrderItem, int]] = []
+        for item in order_by:
+            if self._resolves(item.expr, node.schema):
+                keys.append(SortKey(item.expr, item.ascending))
+            elif isinstance(node, Project) and self._resolves(
+                item.expr, node.child.schema
+            ):
+                hidden.append((item, len(keys)))
+                keys.append(None)  # placeholder, filled below
+            else:
+                raise PlanError(
+                    "ORDER BY key must be resolvable against the select "
+                    "list or the FROM input"
+                )
+        if not hidden:
+            return Sort(node, keys)
+        assert isinstance(node, Project)
+        items = list(node.items)
+        fields = list(node.schema)
+        for index, (item, key_pos) in enumerate(hidden):
+            name = f"__sort_{index}"
+            sql_type = infer_type(item.expr, node.child.schema, self.resolver)
+            items.append(ProjectItem(item.expr, name))
+            fields.append(Field(name, sql_type or SqlType.TEXT, "__sort"))
+            keys[key_pos] = SortKey(
+                ast.ColumnRef(name, table="__sort"), item.ascending
+            )
+        widened = Project(node.child, items, fields)
+        sorted_node = Sort(widened, keys)
+        # Final projection drops the hidden sort columns; positional refs
+        # avoid ambiguity when output names repeat (self-join results).
+        visible = [
+            ProjectItem(ast.PositionRef(i), f.name)
+            for i, f in enumerate(node.schema)
+        ]
+        return Project(sorted_node, visible, node.schema)
+
+    def _resolves(self, expr: ast.Expr, schema: Sequence[Field]) -> bool:
+        refs = [e for e in ast.walk_expr(expr) if isinstance(e, ast.ColumnRef)]
+        return all(any(f.matches(r) for f in schema) for r in refs)
+
+
+_rewrite_children = ast.rewrite_children
+
+
+def _literal_value(expr: ast.Expr) -> Any:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if (
+        isinstance(expr, ast.UnaryOp)
+        and expr.op == "-"
+        and isinstance(expr.operand, ast.Literal)
+    ):
+        return -expr.operand.value
+    raise PlanError(
+        "table UDF arguments in FROM must be literals or one subquery"
+    )
+
+
+def _output_name(item: ast.SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, ast.ColumnRef):
+        return item.expr.name
+    if isinstance(item.expr, ast.FunctionCall):
+        return item.expr.name.lower()
+    return f"col{index}"
+
+
+def _group_name(expr: ast.Expr, index: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FunctionCall):
+        return expr.name.lower()
+    return f"__key_{index}"

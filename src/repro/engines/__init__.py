@@ -1,0 +1,37 @@
+"""Engine adapters — the pluggable integrations of QFusor (section 5.5).
+
+Each adapter exposes the same narrow interface
+(:class:`~repro.engines.base.EngineAdapter`): an EXPLAIN probe returning
+a structured plan, UDF registration, and execution — either of a
+rewritten plan (path 2) or of rewritten SQL text (path 1).
+
+Profiles provided:
+
+* :class:`~repro.engines.minidb.MiniDbAdapter` — our vectorized
+  column-store engine (the MonetDB-style deployment, default);
+* :class:`~repro.engines.minidb_row.RowStoreAdapter` — tuple-at-a-time
+  row store with an out-of-process UDF boundary (PostgreSQL-style);
+* :class:`~repro.engines.sqlite_adapter.SqliteAdapter` — Python's real
+  stdlib ``sqlite3``, registered through ``create_function`` (genuine
+  third-party pluggability);
+* :class:`~repro.engines.tuple_adapter.TupleDbAdapter` — in-process
+  tuple-at-a-time (SQLite-model on our own engine, used where the
+  workloads exceed stdlib-sqlite SQL support);
+* :class:`~repro.engines.parallel_db.ParallelDbAdapter` — multi-threaded
+  relational execution without UDF JIT (the commercial "dbX" profile);
+* :class:`~repro.engines.duckdb_like.DuckDbLikeAdapter` — vectorized,
+  no UDF JIT (DuckDB-style profile).
+"""
+
+from .base import EngineAdapter
+from .minidb import MiniDbAdapter
+from .minidb_row import RowStoreAdapter
+from .tuple_adapter import TupleDbAdapter
+from .sqlite_adapter import SqliteAdapter
+from .parallel_db import ParallelDbAdapter
+from .duckdb_like import DuckDbLikeAdapter
+
+__all__ = [
+    "EngineAdapter", "MiniDbAdapter", "RowStoreAdapter", "TupleDbAdapter",
+    "SqliteAdapter", "ParallelDbAdapter", "DuckDbLikeAdapter",
+]

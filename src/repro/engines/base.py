@@ -1,0 +1,62 @@
+"""The engine adapter interface QFusor plugs into.
+
+The paper's pluggability requirements (section 3.2): the engine must
+offer (a) a plan-generation mechanism reachable through EXPLAIN and
+(b) a UDF registration mechanism with C UDF support.  The adapter
+interface mirrors exactly that, plus the two rewrite paths of section
+5.4: plan dispatch (``execute_plan``) and SQL resubmission
+(``execute_sql``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from ..engine.planner import PlannedQuery
+from ..sql import ast_nodes as ast
+from ..storage.table import Table
+from ..udf.registry import UdfRegistry
+
+__all__ = ["EngineAdapter"]
+
+
+class EngineAdapter:
+    """Base class for engine integrations."""
+
+    #: Engine name; must match a key in :data:`repro.core.dialect.DIALECTS`.
+    name: str = "base"
+    #: The engine can execute a rewritten plan directly (path 2).
+    supports_plan_dispatch: bool = True
+    #: The engine runs UDFs in-process (enables exported-internals
+    #: group-by offloading, section 5.3.2).
+    in_process: bool = True
+
+    @property
+    def registry(self) -> UdfRegistry:
+        raise NotImplementedError
+
+    @property
+    def resolver(self):
+        raise NotImplementedError
+
+    # -- schema/UDF management ------------------------------------------
+
+    def register_table(self, table: Table, *, replace: bool = False) -> None:
+        raise NotImplementedError
+
+    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
+        raise NotImplementedError
+
+    # -- query interface --------------------------------------------------
+
+    def explain_plan(self, statement: Union[str, ast.Statement]) -> PlannedQuery:
+        """Probe the engine's optimizer (the EXPLAIN round trip)."""
+        raise NotImplementedError
+
+    def execute_plan(self, planned: PlannedQuery) -> Table:
+        """Dispatch a (possibly rewritten) plan to the execution engine."""
+        raise NotImplementedError
+
+    def execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
+        """Execute a SQL statement as-is."""
+        raise NotImplementedError

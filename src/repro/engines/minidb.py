@@ -1,0 +1,66 @@
+"""MiniDB adapter — the MonetDB-style deployment (vectorized, in-process).
+
+This is QFusor's default host: operator-at-a-time vectorized execution
+with materialized intermediates, in-process UDFs, and direct plan
+dispatch (the MAL-style path 2 of section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from ..engine.database import Database
+from ..engine.optimizer import OptimizerProfile
+from ..engine.planner import PlannedQuery
+from ..sql import ast_nodes as ast
+from ..sql.parser import parse
+from ..storage.table import Table
+from ..udf.state import StatsStore
+from .base import EngineAdapter
+
+__all__ = ["MiniDbAdapter"]
+
+
+class MiniDbAdapter(EngineAdapter):
+    name = "minidb"
+    supports_plan_dispatch = True
+    in_process = True
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        *,
+        stats: Optional[StatsStore] = None,
+    ):
+        self.database = database or Database(
+            "minidb",
+            execution_model="vector",
+            optimizer_profile=OptimizerProfile(
+                name="minidb", push_filter_below_udf_project=True
+            ),
+            stats=stats,
+        )
+
+    @property
+    def registry(self):
+        return self.database.registry
+
+    @property
+    def resolver(self):
+        return self.database.resolver
+
+    def register_table(self, table: Table, *, replace: bool = False) -> None:
+        self.database.register_table(table, replace=replace)
+
+    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
+        self.database.register_udf(udf, replace=replace)
+
+    def explain_plan(self, statement: Union[str, ast.Statement]) -> PlannedQuery:
+        return self.database.plan(statement)
+
+    def execute_plan(self, planned: PlannedQuery) -> Table:
+        executor = self.database._make_executor()
+        return executor.execute(planned)
+
+    def execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
+        return self.database.execute(statement)

@@ -1,0 +1,65 @@
+"""Row-store adapter — the PostgreSQL-style deployment.
+
+Tuple-at-a-time execution, out-of-process UDFs (every UDF batch pays a
+pickle round trip through a :class:`~repro.udf.registry.ProcessChannel`),
+and a native optimizer that does *not* push filters below UDF-bearing
+projections — reproducing the "3x more UDF invocations" behaviour of
+Figure 6a.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from ..engine.database import Database
+from ..engine.optimizer import OptimizerProfile
+from ..engine.planner import PlannedQuery
+from ..sql import ast_nodes as ast
+from ..storage.table import Table
+from ..udf.registry import ProcessChannel
+from ..udf.state import StatsStore
+from .base import EngineAdapter
+
+__all__ = ["RowStoreAdapter"]
+
+
+class RowStoreAdapter(EngineAdapter):
+    name = "minidb_row"
+    supports_plan_dispatch = True
+    in_process = False
+
+    def __init__(self, *, stats: Optional[StatsStore] = None):
+        self.channel = ProcessChannel()
+        self.database = Database(
+            "minidb_row",
+            execution_model="tuple",
+            optimizer_profile=OptimizerProfile(
+                name="minidb_row", push_filter_below_udf_project=False
+            ),
+            stats=stats,
+            channel=self.channel,
+        )
+
+    @property
+    def registry(self):
+        return self.database.registry
+
+    @property
+    def resolver(self):
+        return self.database.resolver
+
+    def register_table(self, table: Table, *, replace: bool = False) -> None:
+        self.database.register_table(table, replace=replace)
+
+    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
+        self.database.register_udf(udf, replace=replace)
+
+    def explain_plan(self, statement: Union[str, ast.Statement]) -> PlannedQuery:
+        return self.database.plan(statement)
+
+    def execute_plan(self, planned: PlannedQuery) -> Table:
+        executor = self.database._make_executor()
+        return executor.execute(planned)
+
+    def execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
+        return self.database.execute(statement)

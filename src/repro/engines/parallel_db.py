@@ -1,0 +1,72 @@
+"""Parallel adapter — the commercial "dbX" profile.
+
+Vectorized execution with thread-parallel relational operators, but no
+UDF JIT and no fusion of its own: UDFs run through the plain wrapper
+path with engine<->UDF context switches, matching the paper's account of
+dbX ("strong parallelism, but its lack of UDF JIT compilation and
+context switches between relational and UDF operators limit
+performance").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from ..engine.database import Database
+from ..engine.optimizer import OptimizerProfile
+from ..engine.parallel import ParallelVectorExecutor
+from ..engine.planner import PlannedQuery
+from ..sql import ast_nodes as ast
+from ..storage.table import Table
+from ..udf.state import StatsStore
+from .base import EngineAdapter
+
+__all__ = ["ParallelDbAdapter"]
+
+
+class ParallelDbAdapter(EngineAdapter):
+    name = "dbx"
+    supports_plan_dispatch = True
+    in_process = True
+
+    def __init__(self, threads: int = 4, *, stats: Optional[StatsStore] = None):
+        self.threads = threads
+        self.database = Database(
+            "dbx",
+            execution_model="vector",
+            optimizer_profile=OptimizerProfile(
+                name="dbx", push_filter_below_udf_project=True
+            ),
+            stats=stats,
+        )
+
+    @property
+    def registry(self):
+        return self.database.registry
+
+    @property
+    def resolver(self):
+        return self.database.resolver
+
+    def register_table(self, table: Table, *, replace: bool = False) -> None:
+        self.database.register_table(table, replace=replace)
+
+    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
+        self.database.register_udf(udf, replace=replace)
+
+    def explain_plan(self, statement: Union[str, ast.Statement]) -> PlannedQuery:
+        return self.database.plan(statement)
+
+    def execute_plan(self, planned: PlannedQuery) -> Table:
+        executor = ParallelVectorExecutor(
+            self.database.catalog, self.database.resolver, self.threads
+        )
+        return executor.execute(planned)
+
+    def execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
+        from ..sql.parser import parse
+
+        stmt = parse(statement) if isinstance(statement, str) else statement
+        if isinstance(stmt, ast.Select):
+            return self.execute_plan(self.database.plan(stmt))
+        return self.database.execute(stmt)

@@ -1,0 +1,224 @@
+"""Real SQLite integration through Python's stdlib ``sqlite3``.
+
+This adapter demonstrates genuine third-party pluggability: tables are
+loaded into an in-memory SQLite database, UDFs are registered through
+``sqlite3``'s ``create_function`` / ``create_aggregate`` C-API bridge,
+and QFusor accelerates queries through the SQL-rewrite path (section
+5.4, path 1) since SQLite exposes no structured plan to rewrite.
+
+Scalar and aggregate UDFs are supported (SQLite has no table-valued
+Python UDFs); complex (JSON) values cross the boundary serialized, as in
+the main engine.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from ..errors import ExecutionError, UdfRegistrationError
+from ..sql import ast_nodes as ast
+from ..sql.printer import to_sql
+from ..storage import serde
+from ..storage.table import Table
+from ..types import SqlType
+from ..udf.definition import UdfDefinition, UdfKind
+from ..udf.registry import UdfRegistry
+from ..udf.state import StatsStore
+from .base import EngineAdapter
+
+__all__ = ["SqliteAdapter"]
+
+_SQLITE_DECL = {
+    SqlType.INT: "INTEGER",
+    SqlType.FLOAT: "REAL",
+    SqlType.TEXT: "TEXT",
+    SqlType.BOOL: "INTEGER",
+    SqlType.JSON: "TEXT",
+}
+
+
+class SqliteAdapter(EngineAdapter):
+    name = "sqlite"
+    supports_plan_dispatch = False  # QFusor uses the SQL-rewrite path
+    in_process = True
+
+    def __init__(self, *, stats: Optional[StatsStore] = None):
+        from ..storage.catalog import Catalog
+
+        self.connection = sqlite3.connect(":memory:")
+        self._registry = UdfRegistry(stats)
+        self._schemas = {}
+        #: Schema-only catalog so QFusor's SQL-rewrite path can resolve
+        #: column types without round-tripping to SQLite.
+        self.catalog = Catalog()
+
+    @property
+    def registry(self) -> UdfRegistry:
+        return self._registry
+
+    @property
+    def resolver(self):
+        from ..engine.expressions import FunctionResolver
+
+        return FunctionResolver(self._registry)
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+
+    def register_table(self, table: Table, *, replace: bool = False) -> None:
+        columns = ", ".join(
+            f'"{name}" {_SQLITE_DECL[t]}' for name, t in table.schema
+        )
+        cursor = self.connection.cursor()
+        if replace:
+            cursor.execute(f'DROP TABLE IF EXISTS "{table.name}"')
+        cursor.execute(f'CREATE TABLE "{table.name}" ({columns})')
+        placeholders = ", ".join("?" for _ in table.schema.names)
+        rows = [
+            tuple(
+                int(v) if isinstance(v, bool) else v for v in row
+            )
+            for row in table.rows()
+        ]
+        cursor.executemany(
+            f'INSERT INTO "{table.name}" VALUES ({placeholders})', rows
+        )
+        self.connection.commit()
+        self._schemas[table.name.lower()] = list(table.schema)
+        self.catalog.register(
+            Table.empty(table.name, list(table.schema)), replace=True
+        )
+
+    # ------------------------------------------------------------------
+    # UDFs
+    # ------------------------------------------------------------------
+
+    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
+        registered = self._registry.register(udf, replace=replace)
+        definition = registered.definition
+        if definition.kind is UdfKind.SCALAR:
+            self._register_scalar(definition)
+        elif definition.kind is UdfKind.AGGREGATE:
+            self._register_aggregate(definition)
+        else:
+            raise UdfRegistrationError(
+                "SQLite does not support table-valued Python UDFs"
+            )
+
+    def _register_scalar(self, definition: UdfDefinition) -> None:
+        arg_types = definition.signature.arg_types
+        out_type = definition.signature.return_types[0]
+        func = definition.func
+
+        strict = definition.strict
+
+        def bridge(*args):
+            converted = [
+                _from_sqlite(v, t) for v, t in zip(args, arg_types)
+            ]
+            if strict and any(v is None for v in converted):
+                return None
+            return _to_sqlite(func(*converted), out_type)
+
+        self.connection.create_function(
+            definition.name, definition.arity, bridge
+        )
+
+    def _register_aggregate(self, definition: UdfDefinition) -> None:
+        arg_types = definition.signature.arg_types
+        out_type = definition.signature.return_types[0]
+        agg_class = definition.func
+
+        class Bridge:
+            def __init__(self):
+                self._state = agg_class()
+
+            def step(self, *args):
+                converted = [
+                    _from_sqlite(v, t) for v, t in zip(args, arg_types)
+                ]
+                if converted and all(v is None for v in converted):
+                    return
+                self._state.step(*converted)
+
+            def finalize(self):
+                return _to_sqlite(self._state.final(), out_type)
+
+        self.connection.create_aggregate(
+            definition.name, definition.arity, Bridge
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def explain_plan(self, statement):
+        raise ExecutionError(
+            "SQLite exposes no structured plan; QFusor uses SQL rewriting"
+        )
+
+    def execute_plan(self, planned) -> Table:
+        raise ExecutionError("SQLite does not accept plan dispatch")
+
+    def execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
+        sql = statement if isinstance(statement, str) else to_sql(statement)
+        cursor = self.connection.cursor()
+        cursor.execute(sql)
+        if cursor.description is None:
+            self.connection.commit()
+            from ..storage.column import Column
+
+            return Table(
+                "rowcount",
+                [Column("rows", SqlType.INT, [cursor.rowcount], validate=False)],
+            )
+        names = [d[0] for d in cursor.description]
+        rows = cursor.fetchall()
+        return _table_from_cursor(names, rows)
+
+
+def _from_sqlite(value: Any, sql_type: SqlType) -> Any:
+    if value is None:
+        return None
+    if sql_type is SqlType.JSON:
+        return serde.deserialize(value)
+    if sql_type is SqlType.BOOL:
+        return bool(value)
+    return value
+
+
+def _to_sqlite(value: Any, sql_type: SqlType) -> Any:
+    if value is None:
+        return None
+    if sql_type is SqlType.JSON:
+        return serde.serialize(value)
+    if sql_type is SqlType.BOOL:
+        return int(value)
+    return value
+
+
+def _table_from_cursor(names: Sequence[str], rows: List[tuple]) -> Table:
+    from ..storage.column import Column
+
+    columns = []
+    for index, name in enumerate(names):
+        values = [row[index] for row in rows]
+        sql_type = _infer_sqlite_type(values)
+        columns.append(Column(name, sql_type, values, validate=False))
+    return Table("result", columns)
+
+
+def _infer_sqlite_type(values: Sequence[Any]) -> SqlType:
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            return SqlType.BOOL
+        if isinstance(value, int):
+            return SqlType.INT
+        if isinstance(value, float):
+            return SqlType.FLOAT
+        return SqlType.TEXT
+    return SqlType.TEXT

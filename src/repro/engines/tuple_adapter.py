@@ -1,0 +1,61 @@
+"""Tuple-at-a-time adapter — the SQLite-model on our own engine.
+
+In-process, pipelined iterators, per-row UDF invocation (one boundary
+round trip per row per UDF — the "numerous foreign function calls" of
+the paper's SQLite analysis).  Used wherever the workloads exceed the
+SQL coverage of Python's stdlib ``sqlite3`` adapter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from ..engine.database import Database
+from ..engine.optimizer import OptimizerProfile
+from ..engine.planner import PlannedQuery
+from ..sql import ast_nodes as ast
+from ..storage.table import Table
+from ..udf.state import StatsStore
+from .base import EngineAdapter
+
+__all__ = ["TupleDbAdapter"]
+
+
+class TupleDbAdapter(EngineAdapter):
+    name = "sqlite"  # dialect profile: in-process tuple-at-a-time
+    supports_plan_dispatch = True
+    in_process = True
+
+    def __init__(self, *, stats: Optional[StatsStore] = None):
+        self.database = Database(
+            "tupledb",
+            execution_model="tuple",
+            optimizer_profile=OptimizerProfile(
+                name="tupledb", push_filter_below_udf_project=True
+            ),
+            stats=stats,
+        )
+
+    @property
+    def registry(self):
+        return self.database.registry
+
+    @property
+    def resolver(self):
+        return self.database.resolver
+
+    def register_table(self, table: Table, *, replace: bool = False) -> None:
+        self.database.register_table(table, replace=replace)
+
+    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
+        self.database.register_udf(udf, replace=replace)
+
+    def explain_plan(self, statement: Union[str, ast.Statement]) -> PlannedQuery:
+        return self.database.plan(statement)
+
+    def execute_plan(self, planned: PlannedQuery) -> Table:
+        executor = self.database._make_executor()
+        return executor.execute(planned)
+
+    def execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
+        return self.database.execute(statement)

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Sub-hierarchies mirror the major subsystems: SQL frontend,
+engine, UDF runtime, JIT, and the QFusor optimizer itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL frontend errors."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer meets an unrecognized character sequence."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot derive a statement from the tokens."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class TypeMismatchError(ReproError):
+    """Raised when a value does not match its declared SQL type."""
+
+
+class CatalogError(ReproError):
+    """Raised for unknown tables/columns or duplicate registrations."""
+
+
+class PlanError(ReproError):
+    """Raised when a logical plan cannot be built or is malformed."""
+
+
+class ExecutionError(ReproError):
+    """Raised when query execution fails."""
+
+
+class UdfError(ReproError):
+    """Base class for UDF runtime errors."""
+
+
+class UdfRegistrationError(UdfError):
+    """Raised when a UDF cannot be registered (bad signature, duplicate)."""
+
+
+class UdfExecutionError(UdfError):
+    """Raised when a UDF raises during execution.
+
+    Wrapper functions catch arbitrary exceptions from user code and re-raise
+    them as this type, preserving the original as ``__cause__`` (the paper's
+    try/except wrapper robustness requirement, section 5.3.2).
+    """
+
+    def __init__(self, udf_name: str, original: BaseException):
+        super().__init__(f"UDF {udf_name!r} failed: {original!r}")
+        self.udf_name = udf_name
+        self.original = original
+
+
+class JitError(ReproError):
+    """Raised when trace code generation or compilation fails."""
+
+
+class FusionError(ReproError):
+    """Raised when the fusion optimizer produces an invalid section."""
+
+
+class DialectError(ReproError):
+    """Raised for unsupported engine dialect operations."""

@@ -1,0 +1,27 @@
+"""Tracing-JIT stand-in: inlining, fused-UDF code generation, trace cache.
+
+The paper runs UDFs on PyPy, whose tracing JIT inlines function calls
+inside hot loops and compiles the resulting long traces.  What fusion buys
+it is *longer traces*: the whole UDF pipeline becomes one loop body.
+
+This package reproduces that effect for CPython: given a fused pipeline,
+:mod:`repro.jit.codegen` emits one specialized Python function whose body
+contains the whole pipeline — with simple scalar UDF bodies *textually
+inlined* by :mod:`repro.jit.inliner` — and compiles it once.  The
+compiled artifacts are cached by pipeline signature
+(:mod:`repro.jit.cache`), reproducing the "QFusor cache" variant of the
+paper's Figure 6d.
+"""
+
+from .inliner import InlineResult, try_inline
+from .codegen import (
+    PipelineSpec, ScalarUdfStage, ExprStage, FilterStage, TableUdfStage,
+    AggregateStage, DistinctStage, generate_fused_udf, FusedUdf,
+)
+from .cache import TraceCache
+
+__all__ = [
+    "InlineResult", "try_inline", "PipelineSpec", "ScalarUdfStage",
+    "ExprStage", "FilterStage", "TableUdfStage", "AggregateStage",
+    "DistinctStage", "generate_fused_udf", "FusedUdf", "TraceCache",
+]

@@ -1,0 +1,146 @@
+"""AST-based function inlining.
+
+A tracing JIT inlines function calls along hot traces.  This module does
+the equivalent ahead of time: if a scalar UDF's body is a single
+``return`` of an expression (optionally guarded by a ternary), its body is
+substituted textually into the fused loop, eliminating the call frame.
+UDFs with loops, multiple statements, or closures fall back to a direct
+call through a name bound in the generated code's namespace — still inside
+the same loop, still without wrapper-layer conversions.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = ["InlineResult", "try_inline", "render_stage_call"]
+
+
+@dataclass(frozen=True)
+class InlineResult:
+    """Outcome of an inlining attempt.
+
+    ``expression`` is a Python expression template over the function's
+    parameter names; :func:`substitute` rewrites parameter names to the
+    caller's argument variable names.
+    """
+
+    param_names: tuple
+    expression: str
+
+    def substitute(self, arg_names: Sequence[str]) -> str:
+        """Render the inlined body with arguments substituted."""
+        tree = ast.parse(self.expression, mode="eval")
+        mapping = dict(zip(self.param_names, arg_names))
+        renamed = _RenameParams(mapping).visit(tree)
+        ast.fix_missing_locations(renamed)
+        return ast.unparse(renamed)
+
+
+class _RenameParams(ast.NodeTransformer):
+    def __init__(self, mapping: Dict[str, str]):
+        self.mapping = mapping
+
+    def visit_Name(self, node: ast.Name):
+        if isinstance(node.ctx, ast.Load) and node.id in self.mapping:
+            return ast.copy_location(
+                ast.Name(id=self.mapping[node.id], ctx=ast.Load()), node
+            )
+        return node
+
+
+def try_inline(func: Callable) -> Optional[InlineResult]:
+    """Attempt to extract ``func``'s body as a single inlinable expression.
+
+    Supported shapes::
+
+        def f(x): return <expr>
+        def f(x):
+            if <cond>:
+                return <expr1>
+            return <expr2>          # folded into a ternary
+
+    Returns ``None`` when the body is too complex to inline (the fused
+    code then calls the function directly instead).
+    """
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        return None
+    if not tree.body or not isinstance(tree.body[0], ast.FunctionDef):
+        return None
+    fdef = tree.body[0]
+    params = tuple(a.arg for a in fdef.args.args)
+    if fdef.args.vararg or fdef.args.kwarg or fdef.args.kwonlyargs:
+        return None
+
+    body = [s for s in fdef.body if not _is_docstring(s)]
+    expression = _body_to_expression(body)
+    if expression is None:
+        return None
+    if _uses_free_names(expression, set(params)):
+        return None
+    return InlineResult(params, ast.unparse(expression))
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and isinstance(stmt.value.value, str)
+    )
+
+
+def _body_to_expression(body: List[ast.stmt]) -> Optional[ast.expr]:
+    if len(body) == 1 and isinstance(body[0], ast.Return):
+        return body[0].value if body[0].value is not None else ast.Constant(None)
+    # if <cond>: return A \n return B   ->   A if <cond> else B
+    if (
+        len(body) == 2
+        and isinstance(body[0], ast.If)
+        and not body[0].orelse
+        and len(body[0].body) == 1
+        and isinstance(body[0].body[0], ast.Return)
+        and isinstance(body[1], ast.Return)
+    ):
+        then_value = body[0].body[0].value or ast.Constant(None)
+        else_value = body[1].value or ast.Constant(None)
+        return ast.IfExp(test=body[0].test, body=then_value, orelse=else_value)
+    return None
+
+
+_SAFE_GLOBALS = {
+    "len", "str", "int", "float", "bool", "abs", "min", "max", "round",
+    "sorted", "sum", "tuple", "list", "dict", "set", "repr", "range",
+    "enumerate", "zip", "any", "all", "None", "True", "False",
+}
+
+
+def _uses_free_names(expression: ast.expr, params: set) -> bool:
+    """True if the expression references names that would not resolve in
+    the generated namespace (module globals of the UDF, closures, ...).
+
+    Names bound *inside* the expression (comprehension variables, lambda
+    parameters) are not free.
+    """
+    bound = set(params)
+    for node in ast.walk(expression):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, ast.Lambda):
+            bound.update(a.arg for a in node.args.args)
+    for node in ast.walk(expression):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id not in bound and node.id not in _SAFE_GLOBALS:
+                return True
+    return False
+
+
+def render_stage_call(bound_name: str, arg_names: Sequence[str]) -> str:
+    """Fallback rendering: a direct call through a bound name."""
+    return f"{bound_name}({', '.join(arg_names)})"

@@ -1,0 +1,8 @@
+"""SQL frontend: lexer, AST, recursive-descent parser, and SQL printer."""
+
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse, parse_expression
+from .printer import to_sql
+from . import ast_nodes as ast
+
+__all__ = ["Token", "TokenKind", "tokenize", "parse", "parse_expression", "to_sql", "ast"]

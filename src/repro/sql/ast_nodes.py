@@ -1,0 +1,381 @@
+"""AST node definitions for the SQL frontend.
+
+Nodes are plain frozen dataclasses.  Expression nodes share the
+:class:`Expr` base; statement nodes share :class:`Statement`.  The planner
+(:mod:`repro.engine.planner`) consumes these, and the printer
+(:mod:`repro.sql.printer`) renders them back to SQL — which is how QFusor's
+query rewriting emits its fused queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from ..types import SqlType
+
+__all__ = [
+    "Expr", "Literal", "ColumnRef", "Star", "PositionRef", "BinaryOp", "UnaryOp",
+    "FunctionCall", "CaseExpr", "Between", "InList", "IsNull", "Cast",
+    "SelectItem", "TableRef", "SubqueryRef", "TableFunctionRef", "Join",
+    "OrderItem", "Select", "SetOp", "Insert", "Update", "Delete",
+    "CreateTableAs", "DropTable", "Explain", "Statement", "FromItem",
+    "walk_expr", "rewrite_children",
+]
+
+
+class Node:
+    """Base for all AST nodes."""
+
+
+class Expr(Node):
+    """Base for expression nodes."""
+
+
+class Statement(Node):
+    """Base for statement nodes."""
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: number, string, boolean, or NULL."""
+
+    value: Any
+
+    @property
+    def sql_type(self) -> Optional[SqlType]:
+        from ..types import sql_type_of_value
+
+        return sql_type_of_value(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference."""
+
+    name: str
+    table: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``table.*`` in a select list."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PositionRef(Expr):
+    """Internal-only: a positional input-column reference.
+
+    Never produced by the parser; the planner uses it where name-based
+    resolution would be ambiguous (e.g. re-projecting a sort result whose
+    select list contains duplicate output names).
+    """
+
+    index: int
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary operator: arithmetic, comparison, logical, LIKE, ``||``."""
+
+    op: str  # one of + - * / % = != < <= > >= AND OR LIKE ||
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operator: NOT or numeric negation."""
+
+    op: str  # NOT or -
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """A function call — builtin scalar/aggregate or a registered UDF.
+
+    Resolution of what the name refers to (builtin vs scalar/aggregate/
+    table UDF) happens at planning time against the function registry.
+    """
+
+    name: str
+    args: Tuple[Expr, ...] = ()
+    distinct: bool = False
+
+    @property
+    def lowered_name(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``."""
+
+    whens: Tuple[Tuple[Expr, Expr], ...]
+    operand: Optional[Expr] = None
+    else_result: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (item, ...)``."""
+
+    expr: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """``CAST(expr AS type)``."""
+
+    expr: Expr
+    target: SqlType
+
+
+# ----------------------------------------------------------------------
+# Query structure
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One select-list entry: an expression with an optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+class FromItem(Node):
+    """Base for FROM clause items."""
+
+
+@dataclass(frozen=True)
+class TableRef(FromItem):
+    """A base table (or CTE) reference with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef(FromItem):
+    """A derived table: ``(SELECT ...) AS alias``."""
+
+    query: "Select"
+    alias: str
+
+
+@dataclass(frozen=True)
+class TableFunctionRef(FromItem):
+    """A table UDF in FROM: ``tudf(args...) AS alias``.
+
+    Arguments may include scalar expressions or nested subqueries (passed
+    as :class:`SubqueryRef`-wrapped selects in ``subquery_args``).
+    """
+
+    call: FunctionCall
+    alias: str
+    subquery_args: Tuple["Select", ...] = ()
+
+
+@dataclass(frozen=True)
+class Join(FromItem):
+    """An explicit join between two FROM items."""
+
+    kind: str  # INNER | LEFT | CROSS
+    left: FromItem
+    right: FromItem
+    condition: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """A SELECT statement (possibly with CTEs and set operations)."""
+
+    items: Tuple[SelectItem, ...]
+    from_items: Tuple[FromItem, ...] = ()
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+    ctes: Tuple[Tuple[str, "Select"], ...] = ()
+    set_op: Optional["SetOp"] = None
+
+
+@dataclass(frozen=True)
+class SetOp(Node):
+    """A set operation chained onto a SELECT."""
+
+    op: str  # UNION | UNION ALL | INTERSECT | EXCEPT
+    right: Select
+
+
+# ----------------------------------------------------------------------
+# DML / DDL
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    """``INSERT INTO table [(cols)] VALUES ... | SELECT ...``."""
+
+    table: str
+    columns: Tuple[str, ...] = ()
+    values: Tuple[Tuple[Expr, ...], ...] = ()
+    query: Optional[Select] = None
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    """``UPDATE table SET col = expr, ... [WHERE ...]``."""
+
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    """``DELETE FROM table [WHERE ...]``."""
+
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class CreateTableAs(Statement):
+    """``CREATE [TEMP] TABLE name AS SELECT ...``."""
+
+    name: str
+    query: Select
+    temporary: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    """``DROP TABLE [IF EXISTS] name``."""
+
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    """``EXPLAIN stmt`` — returns the plan instead of executing."""
+
+    statement: Statement
+
+
+# ----------------------------------------------------------------------
+# Traversal
+# ----------------------------------------------------------------------
+
+
+def rewrite_children(expr: Expr, fn) -> Expr:
+    """Rebuild ``expr`` with ``fn`` applied to each child expression.
+
+    Leaves (literals, column refs, stars) are returned unchanged; ``fn``
+    itself decides whether to recurse further.
+    """
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, fn(expr.left), fn(expr.right))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, fn(expr.operand))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(expr.name, tuple(fn(a) for a in expr.args), expr.distinct)
+    if isinstance(expr, CaseExpr):
+        return CaseExpr(
+            tuple((fn(c), fn(r)) for c, r in expr.whens),
+            fn(expr.operand) if expr.operand is not None else None,
+            fn(expr.else_result) if expr.else_result is not None else None,
+        )
+    if isinstance(expr, Between):
+        return Between(fn(expr.expr), fn(expr.low), fn(expr.high), expr.negated)
+    if isinstance(expr, InList):
+        return InList(fn(expr.expr), tuple(fn(i) for i in expr.items), expr.negated)
+    if isinstance(expr, IsNull):
+        return IsNull(fn(expr.expr), expr.negated)
+    if isinstance(expr, Cast):
+        return Cast(fn(expr.expr), expr.target)
+    return expr
+
+
+def walk_expr(expr: Optional[Expr]):
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, BinaryOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, CaseExpr):
+        if expr.operand is not None:
+            yield from walk_expr(expr.operand)
+        for cond, result in expr.whens:
+            yield from walk_expr(cond)
+            yield from walk_expr(result)
+        if expr.else_result is not None:
+            yield from walk_expr(expr.else_result)
+    elif isinstance(expr, Between):
+        yield from walk_expr(expr.expr)
+        yield from walk_expr(expr.low)
+        yield from walk_expr(expr.high)
+    elif isinstance(expr, InList):
+        yield from walk_expr(expr.expr)
+        for item in expr.items:
+            yield from walk_expr(item)
+    elif isinstance(expr, IsNull):
+        yield from walk_expr(expr.expr)
+    elif isinstance(expr, Cast):
+        yield from walk_expr(expr.expr)

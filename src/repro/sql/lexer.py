@@ -1,0 +1,156 @@
+"""SQL lexer.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords
+are case-insensitive; identifiers keep their original spelling but compare
+case-insensitively downstream.  String literals use single quotes with
+``''`` as the escape for a quote; double-quoted identifiers are supported.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, NamedTuple
+
+from ..errors import LexError
+
+__all__ = ["TokenKind", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+class Token(NamedTuple):
+    kind: TokenKind
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value in names
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind is TokenKind.OP and self.value in ops
+
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS AND OR NOT IN
+    IS NULL BETWEEN LIKE CASE WHEN THEN ELSE END DISTINCT ALL UNION
+    INTERSECT EXCEPT JOIN INNER LEFT RIGHT FULL OUTER CROSS ON USING WITH
+    INSERT INTO VALUES UPDATE SET DELETE CREATE TABLE TEMP TEMPORARY
+    EXPLAIN CAST ASC DESC TRUE FALSE DROP IF EXISTS
+    """.split()
+)
+
+_MULTI_CHAR_OPS = ("<=", ">=", "<>", "!=", "||")
+_SINGLE_CHAR_OPS = set("+-*/%=<>(),.;")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):  # line comment
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "/" and text.startswith("/*", i):  # block comment
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i = _scan_string(text, i)
+            yield Token(TokenKind.STRING, value, i)
+            continue
+        if ch == '"':
+            end = text.find('"', i + 1)
+            if end == -1:
+                raise LexError("unterminated quoted identifier", i)
+            yield Token(TokenKind.IDENT, text[i + 1 : end], i)
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _scan_number(text, i)
+            yield Token(TokenKind.NUMBER, value, i)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(TokenKind.KEYWORD, upper, start)
+            else:
+                yield Token(TokenKind.IDENT, word, start)
+            continue
+        matched = False
+        for op in _MULTI_CHAR_OPS:
+            if text.startswith(op, i):
+                yield Token(TokenKind.OP, op, i)
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_CHAR_OPS:
+            yield Token(TokenKind.OP, ch, i)
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", i)
+    yield Token(TokenKind.EOF, "", n)
+
+
+def _scan_string(text: str, start: int) -> tuple:
+    parts = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise LexError("unterminated string literal", start)
+
+
+def _scan_number(text: str, start: int) -> tuple:
+    i = start
+    n = len(text)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            seen_exp = True
+            i += 1
+            if i < n and text[i] in "+-":
+                i += 1
+        else:
+            break
+    return text[start:i], i

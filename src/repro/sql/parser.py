@@ -1,0 +1,595 @@
+"""Recursive-descent SQL parser.
+
+Supports the subset of SQL the paper's workloads need: SELECT with CTEs,
+subqueries, table-UDF FROM items, joins (explicit and comma-style), GROUP
+BY / HAVING / ORDER BY / DISTINCT / LIMIT, CASE, BETWEEN, IN, IS NULL, set
+operations, and DML (INSERT / UPDATE / DELETE), plus CREATE TABLE AS,
+DROP TABLE, and EXPLAIN.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from ..types import SqlType
+from . import ast_nodes as ast
+from .lexer import Token, TokenKind, tokenize
+
+__all__ = ["parse", "parse_expression"]
+
+_COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing semicolon is allowed)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.skip_op(";")
+    parser.expect_eof()
+    return statement
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone SQL expression (used by tests and the rewriter)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, name: str) -> None:
+        if not self.accept_keyword(name):
+            raise ParseError(
+                f"expected {name}, got {self.current.value!r}", self.current.position
+            )
+
+    def accept_op(self, *ops: str) -> Optional[str]:
+        if self.current.is_op(*ops):
+            return self.advance().value
+        return None
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise ParseError(
+                f"expected {op!r}, got {self.current.value!r}", self.current.position
+            )
+
+    def skip_op(self, op: str) -> None:
+        while self.accept_op(op):
+            pass
+
+    def expect_ident(self) -> str:
+        token = self.current
+        if token.kind is TokenKind.IDENT:
+            return self.advance().value
+        raise ParseError(
+            f"expected identifier, got {token.value!r}", token.position
+        )
+
+    def expect_eof(self) -> None:
+        if self.current.kind is not TokenKind.EOF:
+            raise ParseError(
+                f"unexpected trailing input: {self.current.value!r}",
+                self.current.position,
+            )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        token = self.current
+        if token.is_keyword("EXPLAIN"):
+            self.advance()
+            return ast.Explain(self.parse_statement())
+        if token.is_keyword("SELECT", "WITH"):
+            return self.parse_select()
+        if token.is_keyword("INSERT"):
+            return self._parse_insert()
+        if token.is_keyword("UPDATE"):
+            return self._parse_update()
+        if token.is_keyword("DELETE"):
+            return self._parse_delete()
+        if token.is_keyword("CREATE"):
+            return self._parse_create()
+        if token.is_keyword("DROP"):
+            return self._parse_drop()
+        raise ParseError(f"unexpected token {token.value!r}", token.position)
+
+    def parse_select(self) -> ast.Select:
+        ctes: List[Tuple[str, ast.Select]] = []
+        if self.accept_keyword("WITH"):
+            while True:
+                name = self.expect_ident()
+                if self.accept_op("("):  # column alias list — names ignored
+                    self.expect_ident()
+                    while self.accept_op(","):
+                        self.expect_ident()
+                    self.expect_op(")")
+                self.expect_keyword("AS")
+                self.expect_op("(")
+                ctes.append((name, self.parse_select()))
+                self.expect_op(")")
+                if not self.accept_op(","):
+                    break
+        select = self._parse_select_core()
+        select = ast.Select(
+            items=select.items,
+            from_items=select.from_items,
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+            order_by=select.order_by,
+            limit=select.limit,
+            offset=select.offset,
+            distinct=select.distinct,
+            ctes=tuple(ctes),
+            set_op=select.set_op,
+        )
+        return select
+
+    def _parse_select_core(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self.accept_keyword("ALL")
+
+        items = [self._parse_select_item()]
+        while self.accept_op(","):
+            items.append(self._parse_select_item())
+
+        from_items: List[ast.FromItem] = []
+        if self.accept_keyword("FROM"):
+            from_items.append(self._parse_from_item())
+            while True:
+                if self.accept_op(","):
+                    from_items.append(self._parse_from_item())
+                elif self.current.is_keyword(
+                    "JOIN", "INNER", "LEFT", "CROSS", "RIGHT", "FULL"
+                ):
+                    from_items[-1] = self._parse_join(from_items[-1])
+                else:
+                    break
+
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+
+        group_by: List[ast.Expr] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self.accept_op(","):
+                group_by.append(self.parse_expr())
+
+        having = self.parse_expr() if self.accept_keyword("HAVING") else None
+
+        set_op: Optional[ast.SetOp] = None
+        if self.current.is_keyword("UNION", "INTERSECT", "EXCEPT"):
+            op = self.advance().value
+            if op == "UNION" and self.accept_keyword("ALL"):
+                op = "UNION ALL"
+            else:
+                self.accept_keyword("DISTINCT")
+            right = self._parse_select_core()
+            set_op = ast.SetOp(op, right)
+
+        order_by: List[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self.accept_op(","):
+                order_by.append(self._parse_order_item())
+
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self._parse_int()
+            if self.accept_keyword("OFFSET"):
+                offset = self._parse_int()
+
+        return ast.Select(
+            items=tuple(items),
+            from_items=tuple(from_items),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+            set_op=set_op,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self.current.is_op("*"):
+            self.advance()
+            return ast.SelectItem(ast.Star())
+        # table.* form
+        if (
+            self.current.kind is TokenKind.IDENT
+            and self._peek_is_op(1, ".")
+            and self._peek_is_op(2, "*")
+        ):
+            table = self.advance().value
+            self.advance()  # .
+            self.advance()  # *
+            return ast.SelectItem(ast.Star(table=table))
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind is TokenKind.IDENT:
+            alias = self.advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _peek_is_op(self, offset: int, op: str) -> bool:
+        index = self._pos + offset
+        if index >= len(self._tokens):
+            return False
+        return self._tokens[index].is_op(op)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr, ascending)
+
+    def _parse_int(self) -> int:
+        token = self.current
+        if token.kind is not TokenKind.NUMBER:
+            raise ParseError(f"expected integer, got {token.value!r}", token.position)
+        self.advance()
+        return int(token.value)
+
+    def _parse_from_item(self) -> ast.FromItem:
+        if self.accept_op("("):
+            query = self.parse_select()
+            self.expect_op(")")
+            self.accept_keyword("AS")
+            alias = self.expect_ident()
+            return ast.SubqueryRef(query, alias)
+        name = self.expect_ident()
+        if self.current.is_op("("):
+            return self._parse_table_function(name)
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind is TokenKind.IDENT:
+            alias = self.advance().value
+        return ast.TableRef(name, alias)
+
+    def _parse_table_function(self, name: str) -> ast.TableFunctionRef:
+        self.expect_op("(")
+        args: List[ast.Expr] = []
+        subqueries: List[ast.Select] = []
+        if not self.current.is_op(")"):
+            while True:
+                if self.current.is_op("(") and self._peek_is_select(1):
+                    self.advance()
+                    subqueries.append(self.parse_select())
+                    self.expect_op(")")
+                elif self.current.is_keyword("SELECT", "WITH"):
+                    subqueries.append(self.parse_select())
+                else:
+                    args.append(self.parse_expr())
+                if not self.accept_op(","):
+                    break
+        self.expect_op(")")
+        self.accept_keyword("AS")
+        alias = self.expect_ident() if self.current.kind is TokenKind.IDENT else name
+        call = ast.FunctionCall(name, tuple(args))
+        return ast.TableFunctionRef(call, alias, tuple(subqueries))
+
+    def _peek_is_select(self, offset: int) -> bool:
+        index = self._pos + offset
+        if index >= len(self._tokens):
+            return False
+        return self._tokens[index].is_keyword("SELECT", "WITH")
+
+    def _parse_join(self, left: ast.FromItem) -> ast.FromItem:
+        kind = "INNER"
+        if self.accept_keyword("INNER"):
+            pass
+        elif self.accept_keyword("LEFT"):
+            self.accept_keyword("OUTER")
+            kind = "LEFT"
+        elif self.accept_keyword("CROSS"):
+            kind = "CROSS"
+        elif self.current.is_keyword("RIGHT", "FULL"):
+            raise ParseError(
+                f"{self.current.value} joins are not supported",
+                self.current.position,
+            )
+        self.expect_keyword("JOIN")
+        right = self._parse_from_item()
+        condition = None
+        if kind != "CROSS":
+            self.expect_keyword("ON")
+            condition = self.parse_expr()
+        return ast.Join(kind, left, right, condition)
+
+    # ------------------------------------------------------------------
+    # DML / DDL
+    # ------------------------------------------------------------------
+
+    def _parse_insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: List[str] = []
+        if self.current.is_op("(") and not self._peek_is_select(1):
+            self.advance()
+            columns.append(self.expect_ident())
+            while self.accept_op(","):
+                columns.append(self.expect_ident())
+            self.expect_op(")")
+        if self.accept_keyword("VALUES"):
+            rows: List[Tuple[ast.Expr, ...]] = []
+            while True:
+                self.expect_op("(")
+                row = [self.parse_expr()]
+                while self.accept_op(","):
+                    row.append(self.parse_expr())
+                self.expect_op(")")
+                rows.append(tuple(row))
+                if not self.accept_op(","):
+                    break
+            return ast.Insert(table, tuple(columns), tuple(rows))
+        query = self.parse_select()
+        return ast.Insert(table, tuple(columns), (), query)
+
+    def _parse_update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments: List[Tuple[str, ast.Expr]] = []
+        while True:
+            column = self.expect_ident()
+            self.expect_op("=")
+            assignments.append((column, self.parse_expr()))
+            if not self.accept_op(","):
+                break
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _parse_delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    def _parse_create(self) -> ast.CreateTableAs:
+        self.expect_keyword("CREATE")
+        temporary = self.accept_keyword("TEMP") or self.accept_keyword("TEMPORARY")
+        self.expect_keyword("TABLE")
+        name = self.expect_ident()
+        self.expect_keyword("AS")
+        query = self.parse_select()
+        return ast.CreateTableAs(name, query, temporary)
+
+    def _parse_drop(self) -> ast.DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropTable(self.expect_ident(), if_exists)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.accept_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self.accept_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        while True:
+            op = self.accept_op(*_COMPARISON_OPS)
+            if op:
+                op = "!=" if op == "<>" else op
+                left = ast.BinaryOp(op, left, self._parse_additive())
+                continue
+            if self.current.is_keyword("IS"):
+                self.advance()
+                negated = self.accept_keyword("NOT")
+                self.expect_keyword("NULL")
+                left = ast.IsNull(left, negated)
+                continue
+            negated = False
+            if self.current.is_keyword("NOT") and self._peek_keyword(
+                1, "BETWEEN", "IN", "LIKE"
+            ):
+                self.advance()
+                negated = True
+            if self.accept_keyword("BETWEEN"):
+                low = self._parse_additive()
+                self.expect_keyword("AND")
+                high = self._parse_additive()
+                left = ast.Between(left, low, high, negated)
+                continue
+            if self.accept_keyword("IN"):
+                self.expect_op("(")
+                items = [self.parse_expr()]
+                while self.accept_op(","):
+                    items.append(self.parse_expr())
+                self.expect_op(")")
+                left = ast.InList(left, tuple(items), negated)
+                continue
+            if self.accept_keyword("LIKE"):
+                expr = ast.BinaryOp("LIKE", left, self._parse_additive())
+                left = ast.UnaryOp("NOT", expr) if negated else expr
+                continue
+            return left
+
+    def _peek_keyword(self, offset: int, *names: str) -> bool:
+        index = self._pos + offset
+        if index >= len(self._tokens):
+            return False
+        return self._tokens[index].is_keyword(*names)
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            op = self.accept_op("+", "-", "||")
+            if not op:
+                return left
+            left = ast.BinaryOp(op, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            op = self.accept_op("*", "/", "%")
+            if not op:
+                return left
+            left = ast.BinaryOp(op, left, self._parse_unary())
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.accept_op("-"):
+            operand = self._parse_unary()
+            if isinstance(operand, ast.Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return ast.Literal(-operand.value)
+            return ast.UnaryOp("-", operand)
+        self.accept_op("+")
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_op("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if token.is_op("*"):
+            self.advance()
+            return ast.Star()
+        if token.kind is TokenKind.IDENT:
+            return self._parse_name_or_call()
+        raise ParseError(f"unexpected token {token.value!r}", token.position)
+
+    def _parse_case(self) -> ast.CaseExpr:
+        self.expect_keyword("CASE")
+        operand = None
+        if not self.current.is_keyword("WHEN"):
+            operand = self.parse_expr()
+        whens: List[Tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            cond = self.parse_expr()
+            self.expect_keyword("THEN")
+            whens.append((cond, self.parse_expr()))
+        else_result = None
+        if self.accept_keyword("ELSE"):
+            else_result = self.parse_expr()
+        self.expect_keyword("END")
+        if not whens:
+            raise ParseError("CASE requires at least one WHEN", self.current.position)
+        return ast.CaseExpr(tuple(whens), operand, else_result)
+
+    def _parse_cast(self) -> ast.Cast:
+        self.expect_keyword("CAST")
+        self.expect_op("(")
+        expr = self.parse_expr()
+        self.expect_keyword("AS")
+        type_name = self.expect_ident().upper()
+        aliases = {
+            "INTEGER": "INT", "BIGINT": "INT", "DOUBLE": "FLOAT", "REAL": "FLOAT",
+            "VARCHAR": "TEXT", "STRING": "TEXT", "BOOLEAN": "BOOL",
+        }
+        type_name = aliases.get(type_name, type_name)
+        try:
+            target = SqlType[type_name]
+        except KeyError:
+            raise ParseError(f"unknown type {type_name!r}", self.current.position)
+        self.expect_op(")")
+        return ast.Cast(expr, target)
+
+    def _parse_name_or_call(self) -> ast.Expr:
+        name = self.expect_ident()
+        if self.current.is_op("("):
+            self.advance()
+            distinct = self.accept_keyword("DISTINCT")
+            args: List[ast.Expr] = []
+            if not self.current.is_op(")"):
+                args.append(self.parse_expr())
+                while self.accept_op(","):
+                    args.append(self.parse_expr())
+            self.expect_op(")")
+            # count(*) is normalized to zero-arg count
+            args = [a for a in args if not isinstance(a, ast.Star)]
+            return ast.FunctionCall(name, tuple(args), distinct)
+        if self.accept_op("."):
+            column = self.expect_ident()
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)

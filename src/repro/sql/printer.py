@@ -1,0 +1,172 @@
+"""Render AST nodes back to SQL text.
+
+The printer is the inverse of the parser and powers QFusor's query
+rewriting (section 5.4): after fusion, the rewritten plan is expressed as
+a new SQL statement and resubmitted to the engine.  The output always
+round-trips through :func:`repro.sql.parser.parse`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SqlError
+from . import ast_nodes as ast
+
+__all__ = ["to_sql"]
+
+
+def to_sql(node: ast.Node) -> str:
+    """Render a statement or expression AST node to SQL text."""
+    if isinstance(node, ast.Select):
+        return _select(node)
+    if isinstance(node, ast.Insert):
+        return _insert(node)
+    if isinstance(node, ast.Update):
+        return _update(node)
+    if isinstance(node, ast.Delete):
+        where = f" WHERE {_expr(node.where)}" if node.where is not None else ""
+        return f"DELETE FROM {node.table}{where}"
+    if isinstance(node, ast.CreateTableAs):
+        temp = "TEMP " if node.temporary else ""
+        return f"CREATE {temp}TABLE {node.name} AS {_select(node.query)}"
+    if isinstance(node, ast.DropTable):
+        clause = "IF EXISTS " if node.if_exists else ""
+        return f"DROP TABLE {clause}{node.name}"
+    if isinstance(node, ast.Explain):
+        return f"EXPLAIN {to_sql(node.statement)}"
+    if isinstance(node, ast.Expr):
+        return _expr(node)
+    raise SqlError(f"cannot print node of type {type(node).__name__}")
+
+
+def _select(select: ast.Select) -> str:
+    parts = []
+    if select.ctes:
+        ctes = ", ".join(f"{name} AS ({_select(query)})" for name, query in select.ctes)
+        parts.append(f"WITH {ctes}")
+    distinct = "DISTINCT " if select.distinct else ""
+    items = ", ".join(_select_item(item) for item in select.items)
+    parts.append(f"SELECT {distinct}{items}")
+    if select.from_items:
+        parts.append("FROM " + ", ".join(_from_item(f) for f in select.from_items))
+    if select.where is not None:
+        parts.append(f"WHERE {_expr(select.where)}")
+    if select.group_by:
+        parts.append("GROUP BY " + ", ".join(_expr(e) for e in select.group_by))
+    if select.having is not None:
+        parts.append(f"HAVING {_expr(select.having)}")
+    if select.set_op is not None:
+        parts.append(f"{select.set_op.op} {_select(select.set_op.right)}")
+    if select.order_by:
+        keys = ", ".join(
+            _expr(o.expr) + ("" if o.ascending else " DESC") for o in select.order_by
+        )
+        parts.append(f"ORDER BY {keys}")
+    if select.limit is not None:
+        parts.append(f"LIMIT {select.limit}")
+        if select.offset is not None:
+            parts.append(f"OFFSET {select.offset}")
+    return " ".join(parts)
+
+
+def _select_item(item: ast.SelectItem) -> str:
+    rendered = _expr(item.expr)
+    if item.alias:
+        rendered += f" AS {item.alias}"
+    return rendered
+
+
+def _from_item(item: ast.FromItem) -> str:
+    if isinstance(item, ast.TableRef):
+        return item.name if item.alias is None else f"{item.name} AS {item.alias}"
+    if isinstance(item, ast.SubqueryRef):
+        return f"({_select(item.query)}) AS {item.alias}"
+    if isinstance(item, ast.TableFunctionRef):
+        rendered_args = [_expr(a) for a in item.call.args]
+        rendered_args += [f"({_select(q)})" for q in item.subquery_args]
+        return f"{item.call.name}({', '.join(rendered_args)}) AS {item.alias}"
+    if isinstance(item, ast.Join):
+        left = _from_item(item.left)
+        right = _from_item(item.right)
+        if item.kind == "CROSS":
+            return f"{left} CROSS JOIN {right}"
+        cond = f" ON {_expr(item.condition)}" if item.condition is not None else ""
+        return f"{left} {item.kind} JOIN {right}{cond}"
+    raise SqlError(f"cannot print FROM item {type(item).__name__}")
+
+
+def _insert(node: ast.Insert) -> str:
+    columns = f" ({', '.join(node.columns)})" if node.columns else ""
+    if node.query is not None:
+        return f"INSERT INTO {node.table}{columns} {_select(node.query)}"
+    rows = ", ".join(
+        "(" + ", ".join(_expr(v) for v in row) + ")" for row in node.values
+    )
+    return f"INSERT INTO {node.table}{columns} VALUES {rows}"
+
+
+def _update(node: ast.Update) -> str:
+    assignments = ", ".join(f"{col} = {_expr(e)}" for col, e in node.assignments)
+    where = f" WHERE {_expr(node.where)}" if node.where is not None else ""
+    return f"UPDATE {node.table} SET {assignments}{where}"
+
+
+def _expr(expr: Optional[ast.Expr]) -> str:
+    if expr is None:
+        raise SqlError("cannot print missing expression")
+    if isinstance(expr, ast.Literal):
+        return _literal(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return expr.qualified
+    if isinstance(expr, ast.Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, ast.BinaryOp):
+        return f"({_expr(expr.left)} {expr.op} {_expr(expr.right)})"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            return f"(NOT {_expr(expr.operand)})"
+        return f"(-{_expr(expr.operand)})"
+    if isinstance(expr, ast.FunctionCall):
+        distinct = "DISTINCT " if expr.distinct else ""
+        args = ", ".join(_expr(a) for a in expr.args)
+        return f"{expr.name}({distinct}{args})"
+    if isinstance(expr, ast.CaseExpr):
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(_expr(expr.operand))
+        for cond, result in expr.whens:
+            parts.append(f"WHEN {_expr(cond)} THEN {_expr(result)}")
+        if expr.else_result is not None:
+            parts.append(f"ELSE {_expr(expr.else_result)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ast.Between):
+        negated = "NOT " if expr.negated else ""
+        return (
+            f"({_expr(expr.expr)} {negated}BETWEEN "
+            f"{_expr(expr.low)} AND {_expr(expr.high)})"
+        )
+    if isinstance(expr, ast.InList):
+        negated = "NOT " if expr.negated else ""
+        items = ", ".join(_expr(i) for i in expr.items)
+        return f"({_expr(expr.expr)} {negated}IN ({items}))"
+    if isinstance(expr, ast.IsNull):
+        negated = "NOT " if expr.negated else ""
+        return f"({_expr(expr.expr)} IS {negated}NULL)"
+    if isinstance(expr, ast.Cast):
+        return f"CAST({_expr(expr.expr)} AS {expr.target.value})"
+    raise SqlError(f"cannot print expression {type(expr).__name__}")
+
+
+def _literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    raise SqlError(f"cannot print literal {value!r}")

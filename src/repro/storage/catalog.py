@@ -1,0 +1,85 @@
+"""Catalog: the engine's registry of tables and their statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import CatalogError
+from .table import Table
+
+__all__ = ["Catalog", "TableStats"]
+
+
+class TableStats:
+    """Lightweight per-table statistics used by the native optimizer and the
+    QFusor cost model (row estimates and per-column distinct counts)."""
+
+    __slots__ = ("row_count", "distinct")
+
+    def __init__(self, table: Table):
+        self.row_count = table.num_rows
+        self.distinct: Dict[str, int] = {}
+        for col in table.columns:
+            values = col.to_list()
+            try:
+                self.distinct[col.name] = len(set(values))
+            except TypeError:  # unhashable (JSON lists) — fall back to repr
+                self.distinct[col.name] = len({repr(v) for v in values})
+
+    def selectivity_of_distinct(self, column: str) -> float:
+        """Fraction of rows surviving a DISTINCT on ``column``."""
+        if self.row_count == 0:
+            return 1.0
+        return self.distinct.get(column, self.row_count) / self.row_count
+
+
+class Catalog:
+    """Holds the engine's tables, keyed by lower-cased name."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+        self._stats: Dict[str, TableStats] = {}
+
+    def register(self, table: Table, *, replace: bool = False) -> None:
+        """Add a table; ``replace=True`` overwrites an existing one."""
+        key = table.name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {table.name!r} already exists")
+        if table.schema.has_duplicates:
+            raise CatalogError(
+                f"table {table.name!r} has duplicate column names"
+            )
+        self._tables[key] = table
+        self._stats[key] = TableStats(table)
+
+    def drop(self, name: str) -> None:
+        """Remove a table."""
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[key]
+        del self._stats[key]
+
+    def get(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def stats(self, name: str) -> TableStats:
+        """Statistics for a table."""
+        try:
+            return self._stats[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def names(self) -> List[str]:
+        """Registered table names."""
+        return [t.name for t in self._tables.values()]

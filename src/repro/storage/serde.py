@@ -1,0 +1,48 @@
+"""Serialization of complex values at the engine boundary.
+
+Databases represent complex datatypes (lists, dictionaries, nested
+structures) as JSON text (paper section 4.2.4).  Values of SQL type
+``JSON`` are stored serialized and must be deserialized before a Python
+UDF can use them — unless QFusor's fused wrappers eliminate the interior
+(de-)serialization steps.
+
+This module is intentionally thin: it is the *unit of overhead* that the
+fusion optimizer removes, so it must do real work (it delegates to the
+stdlib ``json`` codec) and be the single choke-point both the wrappers and
+the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["serialize", "deserialize", "is_serialized"]
+
+_SEPARATORS = (",", ":")
+
+
+def serialize(value: Any) -> str:
+    """Serialize a complex Python value to the engine's JSON text form."""
+    return json.dumps(value, separators=_SEPARATORS, ensure_ascii=False)
+
+
+def deserialize(text: str) -> Any:
+    """Deserialize engine JSON text back into a Python value."""
+    return json.loads(text)
+
+
+def is_serialized(value: Any) -> bool:
+    """Heuristically detect whether ``value`` is serialized JSON text."""
+    if not isinstance(value, str) or not value:
+        return False
+    head = value[0]
+    return head in "[{\"" or value in ("null", "true", "false") or _looks_numeric(value)
+
+
+def _looks_numeric(value: str) -> bool:
+    try:
+        float(value)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,214 @@
+"""Tables and schemas for the columnar engine."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CatalogError, TypeMismatchError
+from ..types import SqlType
+from .column import Column
+
+__all__ = ["Schema", "Table"]
+
+
+class Schema:
+    """An ordered mapping of column name -> :class:`~repro.types.SqlType`.
+
+    Duplicate names are allowed (result sets of self-joins produce them);
+    name lookups resolve to the *first* match.  Base tables registered in
+    the catalog are validated for uniqueness separately.
+    """
+
+    __slots__ = ("names", "types", "_index")
+
+    def __init__(self, fields: Sequence[Tuple[str, SqlType]]):
+        self.names: Tuple[str, ...] = tuple(name for name, _ in fields)
+        self.types: Tuple[SqlType, ...] = tuple(sql_type for _, sql_type in fields)
+        self._index: Dict[str, int] = {}
+        for position, name in enumerate(self.names):
+            self._index.setdefault(name, position)
+
+    @property
+    def has_duplicates(self) -> bool:
+        return len(self._index) != len(self.names)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __iter__(self) -> Iterator[Tuple[str, SqlType]]:
+        return iter(zip(self.names, self.types))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.names == other.names and self.types == other.types
+
+    def position(self, name: str) -> int:
+        """Index of a column by name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CatalogError(f"unknown column {name!r}") from None
+
+    def type_of(self, name: str) -> SqlType:
+        """Type of a column by name."""
+        return self.types[self.position(name)]
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{n} {t}" for n, t in self)
+        return f"Schema({fields})"
+
+
+class Table:
+    """A named, immutable collection of equally-long columns."""
+
+    __slots__ = ("name", "columns", "schema")
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        lengths = {len(col) for col in columns}
+        if len(lengths) > 1:
+            raise TypeMismatchError(
+                f"ragged table {name!r}: column lengths {sorted(lengths)}"
+            )
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self.schema = Schema([(col.name, col.sql_type) for col in columns])
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        schema: Sequence[Tuple[str, SqlType]],
+        rows: Iterable[Sequence[Any]],
+    ) -> "Table":
+        """Build a table from row tuples (transposing into columns)."""
+        schema = list(schema)
+        buckets: List[List[Any]] = [[] for _ in schema]
+        for row in rows:
+            if len(row) != len(schema):
+                raise TypeMismatchError(
+                    f"row arity {len(row)} != schema arity {len(schema)}"
+                )
+            for bucket, value in zip(buckets, row):
+                bucket.append(value)
+        columns = [
+            Column(col_name, sql_type, bucket)
+            for (col_name, sql_type), bucket in zip(schema, buckets)
+        ]
+        return cls(name, columns)
+
+    @classmethod
+    def from_dict(
+        cls,
+        name: str,
+        data: Dict[str, Tuple[SqlType, Sequence[Any]]],
+    ) -> "Table":
+        """Build a table from ``{name: (type, values)}``."""
+        columns = [
+            Column(col_name, sql_type, values)
+            for col_name, (sql_type, values) in data.items()
+        ]
+        return cls(name, columns)
+
+    @classmethod
+    def empty(cls, name: str, schema: Sequence[Tuple[str, SqlType]]) -> "Table":
+        """An empty table with the given schema."""
+        return cls(name, [Column.empty(n, t) for n, t in schema])
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        return self.columns[self.schema.position(name)]
+
+    def row(self, index: int) -> Tuple[Any, ...]:
+        """Materialize one row as a tuple."""
+        return tuple(col[index] for col in self.columns)
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate rows as tuples (tuple-at-a-time path)."""
+        lists = [col.to_list() for col in self.columns]
+        return iter(zip(*lists)) if lists else iter(())
+
+    def to_rows(self) -> List[Tuple[Any, ...]]:
+        """Materialize all rows."""
+        return list(self.rows())
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """Gather rows at the given positions."""
+        return Table(self.name, [col.take(indices) for col in self.columns])
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Keep rows where ``mask`` is True."""
+        return Table(self.name, [col.filter(mask) for col in self.columns])
+
+    def slice(self, start: int, stop: int) -> "Table":
+        """Rows in ``[start, stop)``."""
+        return Table(self.name, [col.slice(start, stop) for col in self.columns])
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Project to the named columns (in the given order)."""
+        return Table(self.name, [self.column(n) for n in names])
+
+    def renamed(self, name: str) -> "Table":
+        """Shallow copy of the table under a new name."""
+        return Table(name, self.columns)
+
+    def with_column(self, column: Column) -> "Table":
+        """Append (or replace) a column, returning a new table."""
+        if column.name in self.schema:
+            columns = [
+                column if col.name == column.name else col for col in self.columns
+            ]
+        else:
+            columns = list(self.columns) + [column]
+        return Table(self.name, columns)
+
+    @staticmethod
+    def concat(name: str, tables: Sequence["Table"]) -> "Table":
+        """Concatenate same-schema tables (UNION ALL)."""
+        if not tables:
+            raise TypeMismatchError("cannot concat zero tables")
+        schema = tables[0].schema
+        for table in tables[1:]:
+            if tuple(table.schema.types) != tuple(schema.types):
+                raise TypeMismatchError("concat schema mismatch")
+        columns = [
+            Column.concat(schema.names[i], [t.columns[i] for t in tables])
+            for i in range(len(schema))
+        ]
+        return Table(name, columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.schema == other.schema and self.to_rows() == other.to_rows()
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {self.num_rows} rows, {self.schema!r})"

@@ -1,0 +1,19 @@
+"""UDF runtime: decorators, signatures, registry, boundary, wrappers, stats.
+
+This package implements the paper's section 4 — the two key enablers of
+QFusor: the UDF registration mechanism (4.1) and the UDF design
+specifications (4.2) for scalar, aggregate (init-step-final classes), and
+table (generator) UDFs, including complex data types handled at the
+wrapper layer (4.2.4).
+"""
+
+from .decorators import scalar_udf, aggregate_udf, table_udf
+from .definition import UdfDefinition, UdfKind
+from .registry import UdfRegistry
+from .signature import UdfSignature
+from . import boundary
+
+__all__ = [
+    "scalar_udf", "aggregate_udf", "table_udf",
+    "UdfDefinition", "UdfKind", "UdfRegistry", "UdfSignature", "boundary",
+]

@@ -1,0 +1,213 @@
+"""The developer-facing UDF decorators (paper section 4.1).
+
+Example::
+
+    @scalar_udf
+    def lower(val: str) -> str:
+        return val.lower()
+
+    @aggregate_udf
+    class sumint:
+        def __init__(self):
+            self.total = 0
+        def step(self, value: int):
+            self.total += value
+        def final(self) -> int:
+            return self.total
+
+    @table_udf(output=("token",), types=(str,))
+    def tokens(inp_datagen):
+        for (text,) in inp_datagen:
+            for token in text.split():
+                yield (token,)
+
+Decorating does *not* register the UDF with an engine; it attaches a
+:class:`~repro.udf.definition.UdfDefinition` (as ``__udf__``) that any
+:class:`~repro.udf.registry.UdfRegistry` can pick up.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Optional, Sequence, Tuple, Union
+
+from ..errors import UdfRegistrationError
+from ..types import SqlType
+from .definition import UdfDefinition, UdfKind
+from .signature import UdfSignature, infer_signature
+
+__all__ = ["scalar_udf", "aggregate_udf", "table_udf"]
+
+
+def scalar_udf(
+    func: Optional[Callable] = None,
+    *,
+    name: Optional[str] = None,
+    args: Optional[Sequence[Any]] = None,
+    returns: Optional[Any] = None,
+    deterministic: bool = True,
+    cost: Optional[float] = None,
+):
+    """Mark a function as a scalar UDF: one output value per input row."""
+
+    def wrap(target: Callable) -> Callable:
+        return_types = None if returns is None else _as_sequence(returns)
+        signature = infer_signature(target, arg_types=args, return_types=return_types)
+        target.__udf__ = UdfDefinition(
+            name=name or target.__name__,
+            kind=UdfKind.SCALAR,
+            func=target,
+            signature=signature,
+            deterministic=deterministic,
+            cost_hint=cost,
+        )
+        return target
+
+    return wrap if func is None else wrap(func)
+
+
+def aggregate_udf(
+    cls: Optional[type] = None,
+    *,
+    name: Optional[str] = None,
+    args: Optional[Sequence[Any]] = None,
+    returns: Optional[Any] = None,
+    materializes_input: bool = False,
+    cost: Optional[float] = None,
+):
+    """Mark a class as an aggregate UDF using the init-step-final model.
+
+    The class must define ``step(self, *values)`` and ``final(self)``;
+    ``__init__`` plays the role of ``init``.  Set ``materializes_input``
+    for blocking aggregates (e.g. median) — this disables loop fusion
+    with upstream table UDFs (Table 2).
+    """
+
+    def wrap(target: type) -> type:
+        if not inspect.isclass(target):
+            raise UdfRegistrationError("aggregate UDFs must be classes")
+        step = getattr(target, "step", None)
+        final = getattr(target, "final", None)
+        if not callable(step) or not callable(final):
+            raise UdfRegistrationError(
+                f"aggregate UDF {target.__name__!r} must define step() and final()"
+            )
+        return_types = None
+        if returns is not None:
+            return_types = _as_sequence(returns)
+        signature = _aggregate_signature(target, args, return_types)
+        target.__udf__ = UdfDefinition(
+            name=name or target.__name__,
+            kind=UdfKind.AGGREGATE,
+            func=target,
+            signature=signature,
+            materializes_input=materializes_input,
+            cost_hint=cost,
+        )
+        return target
+
+    return wrap if cls is None else wrap(cls)
+
+
+def table_udf(
+    func: Optional[Callable] = None,
+    *,
+    name: Optional[str] = None,
+    args: Optional[Sequence[Any]] = None,
+    output: Optional[Sequence[str]] = None,
+    types: Optional[Sequence[Any]] = None,
+    materializes_input: bool = False,
+    cost: Optional[float] = None,
+):
+    """Mark a generator function as a table UDF.
+
+    The function receives an input generator (``inp_datagen``) yielding
+    input rows as tuples, followed by any constant arguments, and must
+    ``yield`` output rows as tuples — the fully pipelined model of
+    section 4.2.3.  ``output`` names the output columns and ``types``
+    gives their SQL types.
+    """
+
+    def wrap(target: Callable) -> Callable:
+        if not inspect.isgeneratorfunction(target):
+            raise UdfRegistrationError(
+                f"table UDF {target.__name__!r} must be a generator function "
+                f"(use yield, not return)"
+            )
+        parameters = list(inspect.signature(target).parameters.values())
+        if not parameters:
+            raise UdfRegistrationError(
+                f"table UDF {target.__name__!r} must accept an input generator "
+                f"as its first parameter"
+            )
+        const_params = parameters[1:]
+        arg_names = tuple(p.name for p in const_params)
+        if args is not None:
+            declared = tuple(_to_sql_type(t) for t in args)
+        else:
+            declared = tuple(
+                _to_sql_type(p.annotation) if p.annotation is not p.empty else SqlType.TEXT
+                for p in const_params
+            )
+        if types is not None:
+            return_types = tuple(_to_sql_type(t) for t in types)
+        else:
+            return_types = (SqlType.TEXT,)
+        out_columns = tuple(output) if output else tuple(
+            f"c{i}" for i in range(len(return_types))
+        )
+        if len(out_columns) != len(return_types):
+            raise UdfRegistrationError(
+                f"table UDF {target.__name__!r}: {len(out_columns)} output names "
+                f"but {len(return_types)} output types"
+            )
+        signature = UdfSignature(arg_names, declared, return_types)
+        target.__udf__ = UdfDefinition(
+            name=name or target.__name__,
+            kind=UdfKind.TABLE,
+            func=target,
+            signature=signature,
+            materializes_input=materializes_input,
+            out_columns=out_columns,
+            cost_hint=cost,
+        )
+        return target
+
+    return wrap if func is None else wrap(func)
+
+
+def _as_sequence(value: Any) -> Sequence[Any]:
+    if isinstance(value, (list, tuple)):
+        return value
+    return (value,)
+
+
+def _to_sql_type(annotation: Any) -> SqlType:
+    from ..types import sql_type_for_python
+
+    return sql_type_for_python(annotation)
+
+
+def _aggregate_signature(
+    cls: type,
+    args: Optional[Sequence[Any]],
+    return_types: Optional[Sequence[Any]],
+) -> UdfSignature:
+    step = cls.step
+    parameters = list(inspect.signature(step).parameters.values())[1:]  # drop self
+    names = tuple(p.name for p in parameters)
+    if args is not None:
+        arg_types = tuple(_to_sql_type(t) for t in args)
+    else:
+        arg_types = tuple(
+            _to_sql_type(p.annotation) if p.annotation is not p.empty else SqlType.TEXT
+            for p in parameters
+        )
+    if return_types is not None:
+        returns = tuple(_to_sql_type(t) for t in return_types)
+    else:
+        annotation = getattr(cls.final, "__annotations__", {}).get("return")
+        returns = (
+            (_to_sql_type(annotation),) if annotation is not None else (SqlType.TEXT,)
+        )
+    return UdfSignature(names, arg_types, returns)

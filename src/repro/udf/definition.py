@@ -1,0 +1,100 @@
+"""UDF definition objects — the unit the registry, optimizer and JIT share."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+from .signature import UdfSignature
+
+__all__ = ["UdfKind", "UdfDefinition"]
+
+
+class UdfKind(enum.Enum):
+    """The three UDF types the paper supports (section 4.2)."""
+
+    SCALAR = "scalar"
+    AGGREGATE = "aggregate"
+    TABLE = "table"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class UdfDefinition:
+    """Everything the system knows about one registered UDF.
+
+    Attributes
+    ----------
+    name:
+        Registration name (lower-cased; SQL resolves case-insensitively).
+    kind:
+        Scalar, aggregate, or table.
+    func:
+        The user's Python callable: a function for scalar/table UDFs, a
+        class implementing ``step``/``final`` for aggregate UDFs.
+    signature:
+        Input/output types.
+    materializes_input:
+        True when the UDF contains a blocking operation (e.g. a median, a
+        transpose) that requires its whole input at once.  Blocks loop
+        fusion per Table 2.
+    out_columns:
+        Output column names for table UDFs.
+    strict:
+        Strict scalar UDFs (the default) return NULL for NULL arguments
+        without being invoked (PostgreSQL STRICT semantics).  QFusor's
+        fused scalar pipelines register non-strict: their generated
+        bodies implement exact per-stage NULL semantics — a fused CASE
+        may map NULL inputs to a value.
+    deterministic:
+        Allows the optimizer to reorder the UDF (F3) and cache traces.
+    cost_hint:
+        Optional developer-supplied cost-per-tuple hint (the
+        CREATE FUNCTION cost option some engines offer, section 5.2.2).
+    fused_from:
+        For fused UDFs produced by QFusor: names of the original operators
+        in pipeline order.  Empty for user-registered UDFs.
+    """
+
+    name: str
+    kind: UdfKind
+    func: Callable
+    signature: UdfSignature
+    materializes_input: bool = False
+    out_columns: Tuple[str, ...] = ()
+    strict: bool = True
+    deterministic: bool = True
+    #: For generated (fused) table UDFs: a batch generator yielding
+    #: ``(input_row_index, out...)`` tuples, letting expand-mode
+    #: execution stream the whole input through one generator instead of
+    #: instantiating one generator per row.
+    lineage_func: Optional[Callable] = None
+    #: For generated (fused) table UDFs: the fully JIT-generated expand
+    #: wrapper ``(c_inputs, size, in_types) -> (lineage, out_lists)``
+    #: with boundary conversions inlined into the fused loop.
+    expand_batch_func: Optional[Callable] = None
+    #: For generated (fused) scalar UDFs: the JIT-generated batch
+    #: wrapper ``(c_inputs, size) -> result_list``.
+    scalar_batch_func: Optional[Callable] = None
+    cost_hint: Optional[float] = None
+    fused_from: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        self.name = self.name.lower()
+        if self.kind is UdfKind.TABLE and not self.out_columns:
+            count = len(self.signature.return_types)
+            self.out_columns = tuple(f"c{i}" for i in range(count))
+
+    @property
+    def is_fused(self) -> bool:
+        return bool(self.fused_from)
+
+    @property
+    def arity(self) -> int:
+        return self.signature.arity
+
+    def __repr__(self) -> str:
+        return f"UdfDefinition({self.name!r}, {self.kind}, {self.signature})"

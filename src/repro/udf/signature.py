@@ -1,0 +1,108 @@
+"""UDF signatures: argument and return types, inferred or declared.
+
+The registration mechanism (paper section 4.1) requires, for each UDF,
+the input arguments with their data types and the return data types.
+Signatures are inferred from Python type annotations when present
+(``def lower(val: str) -> str``) and may be overridden explicitly through
+decorator arguments; unannotated UDFs default to TEXT, matching the
+"dynamic types with definition at query time" escape hatch the paper
+mentions (section 4.2.4).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import UdfRegistrationError
+from ..types import SqlType, sql_type_for_python
+
+__all__ = ["UdfSignature", "infer_signature"]
+
+
+@dataclass(frozen=True)
+class UdfSignature:
+    """Types of a UDF's inputs and outputs.
+
+    ``return_types`` has one entry for scalar/aggregate UDFs and one per
+    output column for table UDFs.
+    """
+
+    arg_names: Tuple[str, ...]
+    arg_types: Tuple[SqlType, ...]
+    return_types: Tuple[SqlType, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+    def __str__(self) -> str:
+        args = ", ".join(
+            f"{name}: {sql_type}" for name, sql_type in zip(self.arg_names, self.arg_types)
+        )
+        returns = ", ".join(str(t) for t in self.return_types)
+        return f"({args}) -> ({returns})"
+
+
+def infer_signature(
+    func: Callable,
+    *,
+    arg_types: Optional[Sequence[Any]] = None,
+    return_types: Optional[Sequence[Any]] = None,
+    default_type: SqlType = SqlType.TEXT,
+) -> UdfSignature:
+    """Build a :class:`UdfSignature` for ``func``.
+
+    Explicit ``arg_types`` / ``return_types`` win over annotations;
+    annotations win over the TEXT default.
+    """
+    try:
+        parameters = list(inspect.signature(func).parameters.values())
+    except (TypeError, ValueError) as exc:  # builtins without signatures
+        raise UdfRegistrationError(f"cannot inspect {func!r}: {exc}") from exc
+
+    names: List[str] = []
+    inferred_args: List[SqlType] = []
+    for param in parameters:
+        if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+            raise UdfRegistrationError(
+                f"UDF {getattr(func, '__name__', func)!r} may not use "
+                f"*args/**kwargs parameters"
+            )
+        names.append(param.name)
+        if param.annotation is not param.empty:
+            inferred_args.append(sql_type_for_python(param.annotation))
+        else:
+            inferred_args.append(default_type)
+
+    if arg_types is not None:
+        declared = [sql_type_for_python(t) for t in arg_types]
+        if len(declared) != len(names):
+            raise UdfRegistrationError(
+                f"declared {len(declared)} arg types for "
+                f"{len(names)}-parameter UDF {getattr(func, '__name__', func)!r}"
+            )
+        inferred_args = declared
+
+    if return_types is not None:
+        returns = tuple(sql_type_for_python(t) for t in return_types)
+    else:
+        annotation = getattr(func, "__annotations__", {}).get("return")
+        if annotation is None:
+            returns = (default_type,)
+        else:
+            returns = _returns_from_annotation(annotation)
+
+    return UdfSignature(tuple(names), tuple(inferred_args), returns)
+
+
+def _returns_from_annotation(annotation: Any) -> Tuple[SqlType, ...]:
+    # A tuple annotation such as (str, int) declares a multi-column output.
+    if isinstance(annotation, tuple):
+        return tuple(sql_type_for_python(a) for a in annotation)
+    origin = getattr(annotation, "__origin__", None)
+    if origin is tuple:
+        args = getattr(annotation, "__args__", ())
+        return tuple(sql_type_for_python(a) for a in args)
+    return (sql_type_for_python(annotation),)

@@ -1,0 +1,161 @@
+"""Stateful UDF execution statistics (paper section 5.2.2).
+
+The fusion optimizer needs per-UDF cost estimates, but engines expose
+little about UDF internals.  QFusor therefore keeps a *lightweight
+dictionary of average execution statistics* for each UDF — execution time
+per tuple and selectivity — refined after every execution thanks to the
+stateful UDF mechanism, and coarsened into *estimate buckets* rather than
+precise values.
+
+The profiler below follows the CherryPick-inspired Bayesian scheme the
+paper describes: each UDF's per-tuple cost is modelled as a Gaussian
+posterior updated from noisy observations, balancing the prior (a cold
+start heuristic) against accumulated evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["UdfRuntimeStats", "BayesianCostModel", "StatsStore", "COST_BUCKETS"]
+
+#: Coarse-grained cost buckets (seconds/tuple): the optimizer reasons in
+#: buckets, not exact values (section 5.2.2).
+COST_BUCKETS: Tuple[float, ...] = (1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2)
+
+
+def bucketize(cost_per_tuple: float) -> float:
+    """Snap a measured per-tuple cost onto the nearest coarse bucket."""
+    if cost_per_tuple <= 0:
+        return COST_BUCKETS[0]
+    best = min(COST_BUCKETS, key=lambda b: abs(math.log10(b) - math.log10(cost_per_tuple)))
+    return best
+
+
+@dataclass
+class UdfRuntimeStats:
+    """Accumulated execution statistics for one UDF."""
+
+    calls: int = 0
+    tuples_in: int = 0
+    tuples_out: int = 0
+    total_time: float = 0.0
+
+    @property
+    def time_per_tuple(self) -> Optional[float]:
+        if self.tuples_in == 0:
+            return None
+        return self.total_time / self.tuples_in
+
+    @property
+    def selectivity(self) -> Optional[float]:
+        """Output rows per input row (``None`` before any observation)."""
+        if self.tuples_in == 0:
+            return None
+        return self.tuples_out / self.tuples_in
+
+    def observe(self, tuples_in: int, tuples_out: int, elapsed: float) -> None:
+        self.calls += 1
+        self.tuples_in += tuples_in
+        self.tuples_out += tuples_out
+        self.total_time += elapsed
+
+
+class BayesianCostModel:
+    """Gaussian posterior over a UDF's per-tuple cost.
+
+    Works in log10 space (costs span orders of magnitude).  The prior is
+    the cold-start heuristic; each observation shrinks the variance, so
+    the model smoothly shifts from exploration (trust the prior) to
+    exploitation (trust the measurements), the CherryPick-style behaviour
+    the paper cites.
+    """
+
+    def __init__(self, prior_cost: float = 1e-5, prior_weight: float = 1.0):
+        self._prior_mean = math.log10(prior_cost)
+        self._prior_weight = prior_weight
+        self._sum = 0.0
+        self._sum_sq = 0.0
+        self._count = 0
+
+    def observe(self, cost_per_tuple: float) -> None:
+        if cost_per_tuple <= 0:
+            return
+        value = math.log10(cost_per_tuple)
+        self._sum += value
+        self._sum_sq += value * value
+        self._count += 1
+
+    @property
+    def observations(self) -> int:
+        return self._count
+
+    def posterior_mean(self) -> float:
+        """Posterior mean of log10(cost/tuple)."""
+        weight = self._prior_weight
+        total = weight * self._prior_mean + self._sum
+        return total / (weight + self._count)
+
+    def posterior_std(self) -> float:
+        """Posterior standard deviation of log10(cost/tuple)."""
+        if self._count < 2:
+            return 1.0 / math.sqrt(1.0 + self._count)
+        mean = self._sum / self._count
+        var = max(self._sum_sq / self._count - mean * mean, 1e-12)
+        return math.sqrt(var / self._count)
+
+    def expected_cost(self) -> float:
+        """Posterior-mean cost per tuple in seconds, snapped to a bucket."""
+        return bucketize(10 ** self.posterior_mean())
+
+    def raw_expected_cost(self) -> float:
+        """Posterior-mean cost per tuple without bucketing."""
+        return 10 ** self.posterior_mean()
+
+
+class StatsStore:
+    """The per-registry store of UDF statistics and cost posteriors.
+
+    Persisted on the registry, hence *stateful* across queries (the paper's
+    adaptive process "facilitated by the stateful implementation of the
+    UDF mechanism").
+    """
+
+    def __init__(self, prior_cost: float = 1e-5):
+        self._prior_cost = prior_cost
+        self._stats: Dict[str, UdfRuntimeStats] = {}
+        self._models: Dict[str, BayesianCostModel] = {}
+
+    def stats(self, name: str) -> UdfRuntimeStats:
+        return self._stats.setdefault(name.lower(), UdfRuntimeStats())
+
+    def model(self, name: str) -> BayesianCostModel:
+        return self._models.setdefault(
+            name.lower(), BayesianCostModel(self._prior_cost)
+        )
+
+    def observe(
+        self, name: str, tuples_in: int, tuples_out: int, elapsed: float
+    ) -> None:
+        """Record one execution of a UDF."""
+        self.stats(name).observe(tuples_in, tuples_out, elapsed)
+        if tuples_in > 0 and elapsed > 0:
+            self.model(name).observe(elapsed / tuples_in)
+
+    def expected_cost(self, name: str) -> float:
+        """Bucketed expected cost/tuple (prior-driven before observations)."""
+        return self.model(name).expected_cost()
+
+    def selectivity(self, name: str, default: float = 1.0) -> float:
+        observed = self.stats(name).selectivity
+        return default if observed is None else observed
+
+    def known(self, name: str) -> bool:
+        """True once the UDF has at least one observation."""
+        return self.stats(name).calls > 0
+
+    def clear(self) -> None:
+        self._stats.clear()
+        self._models.clear()

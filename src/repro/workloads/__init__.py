@@ -1,0 +1,20 @@
+"""Benchmark workloads: synthetic stand-ins for the paper's datasets.
+
+* :mod:`repro.workloads.udfbench` — UDFBench-like publication/funding
+  data with the paper's cleansing UDF library (queries Q1-Q10);
+* :mod:`repro.workloads.zillow` — the string-heavy Zillow listing
+  pipeline (Q11-Q14);
+* :mod:`repro.workloads.weld_wl` — the two Weld-paper queries (Q15, Q16);
+* :mod:`repro.workloads.udo_wl` — the two UDO-paper pipelines (Q17, Q18).
+
+All generators are deterministic under a seed, so benchmark runs and
+correctness tests see identical data.
+"""
+
+from .datagen import SCALES, scale_rows
+from . import datagen, udfbench, zillow, weld_wl, udo_wl
+
+__all__ = [
+    "datagen", "udfbench", "zillow", "weld_wl", "udo_wl", "SCALES",
+    "scale_rows",
+]

@@ -1,0 +1,107 @@
+"""Deterministic synthetic data primitives shared by all workloads."""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "rng", "person_name", "messy_date", "words", "sentence", "SCALES",
+    "scale_rows",
+    "FIRST_NAMES", "LAST_NAMES", "FUNDERS", "CLASSES", "VENUES", "CITIES",
+]
+
+#: Row counts per named scale; tuned so the full benchmark suite runs in
+#: minutes on a laptop while preserving the paper's relative effects.
+SCALES = {
+    "tiny": 500,
+    "small": 2_000,
+    "medium": 8_000,
+    "large": 20_000,
+}
+
+
+def scale_rows(scale) -> int:
+    """Resolve a scale name (or an explicit row count) to a row count."""
+    if isinstance(scale, int):
+        return scale
+    return SCALES[scale]
+
+FIRST_NAMES = [
+    "Maria", "Yannis", "Konstantinos", "Alkis", "Theoni", "Nikos", "Eleni",
+    "Giorgos", "Anna", "Petros", "Sofia", "Dimitris", "Katerina", "Christos",
+    "Ioanna", "Vasilis", "Zoe", "Andreas", "Despina", "Michalis", "li", "Al",
+]
+
+LAST_NAMES = [
+    "Papadopoulos", "Ioannidis", "Simitsis", "Foufoulas", "Chasialis",
+    "Georgiou", "Nikolaou", "Economou", "Vlachos", "Karagiannis",
+    "Makris", "Alexiou", "Pappas", "Stamatogiannakis", "Palaiologou", "Wu",
+]
+
+FUNDERS = ["EC", "NSF", "NIH", "ERC", "DFG", "EPSRC", "GSRT"]
+CLASSES = ["H2020", "HorizonEurope", "FP7", "CAREER", "R01", "StG", "AdG"]
+VENUES = [
+    "EDBT", "VLDB", "SIGMOD", "ICDE", "CIDR", "TKDE", "PVLDB", "DaWaK",
+    "SSDBM", "arXiv", "Zenodo", "PubMed Central",
+]
+CITIES = [
+    "Athens", "Tampere", "Berlin", "Paris", "Lisbon", "Vienna", "Zurich",
+    "Amsterdam", "Prague", "Madrid", "Helsinki", "Dublin",
+]
+
+_DATE_FORMATS = [
+    "{y:04d}-{m:02d}-{d:02d}",
+    "{y:04d}/{m:02d}/{d:02d}",
+    "{d:02d}-{m:02d}-{y:04d}",
+    "{d:02d}/{m:02d}/{y:04d}",
+    "{y:04d}{m:02d}{d:02d}",
+    "{y:04d}-{m}-{d}",
+    " {y:04d}-{m:02d}-{d:02d} ",
+]
+
+
+def rng(seed: int) -> random.Random:
+    """A fresh deterministic generator."""
+    return random.Random(seed)
+
+
+def person_name(r: random.Random) -> str:
+    """A mixed-case author name (workloads lower/normalize these)."""
+    first = r.choice(FIRST_NAMES)
+    last = r.choice(LAST_NAMES)
+    if r.random() < 0.25:
+        first = first.upper()
+    if r.random() < 0.15:
+        last = last.lower()
+    return f"{first} {last}"
+
+
+def messy_date(
+    r: random.Random, year_lo: int = 2008, year_hi: int = 2023
+) -> str:
+    """A date rendered in one of several inconsistent formats — the input
+    the ``cleandate`` UDF standardizes."""
+    y = r.randint(year_lo, year_hi)
+    m = r.randint(1, 12)
+    d = r.randint(1, 28)
+    return r.choice(_DATE_FORMATS).format(y=y, m=m, d=d)
+
+
+def words(r: random.Random, count: int, pool: Optional[Sequence[str]] = None) -> List[str]:
+    pool = pool or _WORD_POOL
+    return [r.choice(pool) for _ in range(count)]
+
+
+def sentence(r: random.Random, length: int = 12) -> str:
+    return " ".join(words(r, length))
+
+
+_WORD_POOL = [
+    "data", "query", "fusion", "udf", "engine", "jit", "trace", "loop",
+    "operator", "scan", "join", "filter", "aggregate", "of", "in", "the",
+    "an", "to", "vectorized", "columnar", "pipeline", "optimizer",
+    "compile", "python", "sql", "database", "analysis", "benchmark",
+    "at", "is", "on", "speedup", "overhead", "wrapper", "boundary",
+]

@@ -1,0 +1,16 @@
+"""UDFBench-like workload: publication/funding analytics (queries Q1-Q10).
+
+Synthetic stand-in for the UDFBench datasets the paper evaluates on:
+publications with JSON author lists, messy dates, and embedded project
+funding records, plus an ``artifacts`` table used by the UDF-type fusion
+micro-queries (Q4-Q7).
+"""
+
+from . import data, udfs, queries
+from .data import build_tables, setup
+from .queries import QUERIES, q8_selectivity
+
+__all__ = [
+    "data", "udfs", "queries", "build_tables", "setup", "QUERIES",
+    "q8_selectivity",
+]

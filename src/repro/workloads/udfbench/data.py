@@ -1,0 +1,131 @@
+"""Synthetic UDFBench-like tables.
+
+``pubs`` carries publication records with JSON author lists, messy date
+strings, and an embedded project-funding JSON record (pre-joined, as the
+paper's running example assumes); ``projects`` the funding registry; and
+``artifacts`` a generic table for the UDF-type micro-queries Q4-Q7.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...storage import serde
+from ...storage.table import Table
+from ...types import SqlType
+from .. import datagen
+from ..datagen import scale_rows
+
+__all__ = ["build_tables", "setup"]
+
+
+def build_pubs(rows: int, seed: int = 11) -> Table:
+    r = datagen.rng(seed)
+    pubids, titles, authors, pubdates = [], [], [], []
+    projects, starts, ends, venues, abstracts = [], [], [], [], []
+    for i in range(rows):
+        pubids.append(i)
+        titles.append(datagen.sentence(r, r.randint(4, 9)).title())
+        author_list = [
+            datagen.person_name(r) for _ in range(r.randint(2, 4))
+        ]
+        authors.append(serde.serialize(author_list))
+        pubdates.append(datagen.messy_date(r))
+        if r.random() < 0.75:
+            project = {
+                "id": f"P{r.randint(1, max(rows // 50, 5)):05d}",
+                "funder": r.choice(datagen.FUNDERS),
+                "class": r.choice(datagen.CLASSES),
+            }
+        else:
+            project = {"id": None, "funder": None, "class": None}
+        projects.append(serde.serialize(project))
+        start_year = r.randint(2010, 2018)
+        starts.append(f"{start_year:04d}-01-01")
+        ends.append(f"{start_year + r.randint(2, 4):04d}-12-31")
+        venues.append(r.choice(datagen.VENUES))
+        abstracts.append(datagen.sentence(r, r.randint(15, 30)))
+    return Table.from_dict(
+        "pubs",
+        {
+            "pubid": (SqlType.INT, pubids),
+            "title": (SqlType.TEXT, titles),
+            "authors": (SqlType.JSON, authors),
+            "pubdate": (SqlType.TEXT, pubdates),
+            "project": (SqlType.JSON, projects),
+            "projectstart": (SqlType.TEXT, starts),
+            "projectend": (SqlType.TEXT, ends),
+            "venue": (SqlType.TEXT, venues),
+            "abstract": (SqlType.TEXT, abstracts),
+        },
+    )
+
+
+def build_projects(rows: int, seed: int = 13) -> Table:
+    r = datagen.rng(seed)
+    count = max(rows // 50, 5)
+    ids = [f"P{i + 1:05d}" for i in range(count)]
+    funders = [r.choice(datagen.FUNDERS) for _ in range(count)]
+    classes = [r.choice(datagen.CLASSES) for _ in range(count)]
+    starts, ends = [], []
+    for _ in range(count):
+        start_year = r.randint(2010, 2018)
+        starts.append(f"{start_year:04d}-01-01")
+        ends.append(f"{start_year + r.randint(2, 4):04d}-12-31")
+    return Table.from_dict(
+        "projects",
+        {
+            "projectid": (SqlType.TEXT, ids),
+            "funder": (SqlType.TEXT, funders),
+            "class": (SqlType.TEXT, classes),
+            "projectstart": (SqlType.TEXT, starts),
+            "projectend": (SqlType.TEXT, ends),
+        },
+    )
+
+
+def build_artifacts(rows: int, seed: int = 17) -> Table:
+    r = datagen.rng(seed)
+    aids, names, tags, payloads, scores, groups = [], [], [], [], [], []
+    for i in range(rows):
+        aids.append(i)
+        names.append(datagen.sentence(r, 3).title())
+        tags.append(serde.serialize(datagen.words(r, r.randint(2, 5))))
+        payloads.append(datagen.sentence(r, r.randint(8, 16)))
+        scores.append(round(r.random() * 100, 3))
+        groups.append(f"g{r.randint(0, 9)}")
+    return Table.from_dict(
+        "artifacts",
+        {
+            "aid": (SqlType.INT, aids),
+            "name": (SqlType.TEXT, names),
+            "tags": (SqlType.JSON, tags),
+            "payload": (SqlType.TEXT, payloads),
+            "score": (SqlType.FLOAT, scores),
+            "grp": (SqlType.TEXT, groups),
+        },
+    )
+
+
+def build_tables(scale="small", seed: int = 11) -> List[Table]:
+    """All udfbench tables at the given scale."""
+    rows = scale_rows(scale)
+    return [
+        build_pubs(rows, seed),
+        build_projects(rows, seed + 2),
+        build_artifacts(rows, seed + 4),
+    ]
+
+
+def setup(adapter, scale="small", seed: int = 11) -> None:
+    """Register the udfbench tables and UDF library on an adapter."""
+    from .udfs import ALL_UDFS
+
+    for table in build_tables(scale, seed):
+        adapter.register_table(table, replace=True)
+    for udf in ALL_UDFS:
+        try:
+            adapter.register_udf(udf, replace=True)
+        except Exception:
+            # Engines without table-UDF support (stdlib sqlite) skip those.
+            pass

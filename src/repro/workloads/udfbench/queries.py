@@ -1,0 +1,106 @@
+"""The udfbench query suite (paper queries Q1-Q10).
+
+* Q1 — QC-1: three independent scalar UDFs, no beneficial fusion
+  opportunity (JIT-only gains).
+* Q2 — QC-2: complex relational logic (join, LIKE, group-by, order-by)
+  blended with scalar UDFs.
+* Q3 — QC-3: the paper's running example (Figure 1): the author-pair
+  collaboration analysis with JSON cleansing, a table-UDF expansion, a
+  self-join, and UDF-heavy conditional aggregation.
+* Q4-Q7 — UDF-type fusion pairs (Figure 6e): scalar-scalar,
+  scalar-aggregate, scalar-table, table-aggregate.
+* Q8 — the operator-offloading selectivity sweep (Figure 6b).
+* Q9/Q10 — the physical-optimization queries (Figure 6c): lightweight
+  UDFs over a large table, and complex-type (de-)serialization.
+"""
+
+from __future__ import annotations
+
+__all__ = ["QUERIES", "q8_selectivity"]
+
+Q1 = """
+SELECT cleandate(pubdate) AS cd,
+       lower(venue) AS lv,
+       extractmonth(pubdate) AS em
+FROM pubs
+"""
+
+Q2 = """
+SELECT pr.funder, count(*) AS n,
+       sum(CASE WHEN cleandate(p.pubdate) >= '2015-01-01'
+                THEN 1 ELSE 0 END) AS recent
+FROM pubs AS p INNER JOIN projects AS pr
+     ON extractid(p.project) = pr.projectid
+WHERE lower(p.venue) LIKE '%db%' OR length(p.title) > 30
+GROUP BY pr.funder
+ORDER BY n DESC
+LIMIT 10
+"""
+
+# The running example (Figure 1).  ``jlower`` is the JSON-list variant of
+# the paper's ``lower`` (SQL functions are not overloaded here).
+Q3 = """
+WITH pairs AS (
+    SELECT pubid, pubdate, projectstart, projectend,
+           extractid(project) AS projectid,
+           extractfunder(project) AS funder,
+           extractclass(project) AS class,
+           combinations(jsort(jsortvalues(removeshortterms(jlower(authors)))), 2)
+               AS authorpair
+    FROM pubs
+)
+SELECT projectpairs.funder, projectpairs.class, projectpairs.projectid,
+       SUM(CASE WHEN cleandate(pairs.pubdate)
+                     BETWEEN projectpairs.projectstart
+                         AND projectpairs.projectend
+                THEN 1 ELSE NULL END) AS authors_during,
+       SUM(CASE WHEN cleandate(pairs.pubdate) < projectpairs.projectstart
+                THEN 1 ELSE NULL END) AS authors_before,
+       SUM(CASE WHEN cleandate(pairs.pubdate) > projectpairs.projectend
+                THEN 1 ELSE NULL END) AS authors_after
+FROM (
+    SELECT * FROM pairs WHERE projectid IS NOT NULL
+) AS projectpairs, pairs
+WHERE projectpairs.authorpair = pairs.authorpair
+GROUP BY projectpairs.funder, projectpairs.class, projectpairs.projectid
+"""
+
+# UDF-type fusion pairs (Figure 6e).
+Q4 = "SELECT normalize(lower(payload)) AS p FROM artifacts"
+
+Q5 = "SELECT grp, avglen(lower(name)) AS al FROM artifacts GROUP BY grp"
+
+Q6 = "SELECT aid, tokens(lower(payload)) AS token FROM artifacts"
+
+Q7 = """
+SELECT countvals(token) AS n
+FROM tokens((SELECT payload FROM artifacts)) AS t
+"""
+
+Q9 = """
+SELECT cleandate(pubdate) AS cd, extractmonth(pubdate) AS m FROM pubs
+"""
+
+Q10 = "SELECT jsoncount(jpack(abstract)) AS n FROM pubs"
+
+QUERIES = {
+    "Q1": Q1.strip(),
+    "Q2": Q2.strip(),
+    "Q3": Q3.strip(),
+    "Q4": Q4.strip(),
+    "Q5": Q5.strip(),
+    "Q6": Q6.strip(),
+    "Q7": Q7.strip(),
+    "Q9": Q9.strip(),
+    "Q10": Q10.strip(),
+}
+
+
+def q8_selectivity(threshold_year: int) -> str:
+    """Q8 (Figure 6b): ``cleandate`` before a range filter whose pass
+    fraction is controlled by ``threshold_year`` (dates span 2008-2023,
+    so e.g. 2009 keeps ~6 % and 2023 keeps ~100 %)."""
+    return (
+        "SELECT cleandate(pubdate) AS cd FROM pubs "
+        f"WHERE cleandate(pubdate) <= '{threshold_year}-12-31'"
+    )

@@ -1,0 +1,268 @@
+"""The UDFBench-style UDF library (the paper's cleansing functions).
+
+Naming follows the paper's running example (Figure 1); one deviation:
+the paper overloads ``lower`` for both plain strings and JSON author
+lists — SQL functions here are not overloaded, so the list variant is
+``jlower`` (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+
+from ...udf import aggregate_udf, scalar_udf, table_udf
+
+__all__ = ["ALL_UDFS"]
+
+
+# ----------------------------------------------------------------------
+# Scalar UDFs — strings
+# ----------------------------------------------------------------------
+
+
+@scalar_udf
+def lower(val: str) -> str:
+    return val.lower()
+
+
+_WS = re.compile(r"\s+")
+
+
+@scalar_udf
+def normalize(val: str) -> str:
+    """Collapse runs of whitespace and trim."""
+    return _WS.sub(" ", val).strip()
+
+
+_SHORT = re.compile(r"\b\w{1,2}\b")
+
+
+@scalar_udf
+def removeshortterms_text(val: str) -> str:
+    """Drop 1-2 character tokens from a plain string (regex based)."""
+    return _WS.sub(" ", _SHORT.sub("", val)).strip()
+
+
+_DMY = re.compile(r"^(\d{1,2})[-/](\d{1,2})[-/](\d{4})$")
+_YMD = re.compile(r"^(\d{4})[-/]?(\d{1,2})[-/]?(\d{1,2})$")
+
+
+@scalar_udf
+def cleandate(val: str) -> str:
+    """Standardize a messy date string to ISO ``YYYY-MM-DD``."""
+    s = val.strip()
+    m = _DMY.match(s)
+    if m:
+        d, month, y = m.groups()
+        return f"{y}-{int(month):02d}-{int(d):02d}"
+    m = _YMD.match(s)
+    if m:
+        y, month, d = m.groups()
+        return f"{int(y):04d}-{int(month):02d}-{int(d):02d}"
+    return s
+
+
+@scalar_udf
+def extractmonth(val: str) -> int:
+    """Month number from a (possibly messy) date string."""
+    s = val.strip()
+    m = _DMY.match(s)
+    if m:
+        return int(m.group(2))
+    m = _YMD.match(s)
+    if m:
+        return int(m.group(2))
+    return 0
+
+
+@scalar_udf
+def extractyear(val: str) -> int:
+    s = val.strip()
+    m = _DMY.match(s)
+    if m:
+        return int(m.group(3))
+    m = _YMD.match(s)
+    if m:
+        return int(m.group(1))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Scalar UDFs — JSON author lists and project records
+# ----------------------------------------------------------------------
+
+
+@scalar_udf
+def jlower(values: list) -> list:
+    """Lower-case every author name in a JSON list."""
+    return [v.lower() for v in values]
+
+
+@scalar_udf
+def removeshortterms(values: list) -> list:
+    """Remove 1-2 character tokens from every name in a JSON list."""
+    return [_WS.sub(" ", _SHORT.sub("", v)).strip() for v in values]
+
+
+@scalar_udf
+def jsortvalues(values: list) -> list:
+    """Sort the tokens *within* each element of a JSON list."""
+    return [" ".join(sorted(v.split())) for v in values]
+
+
+@scalar_udf
+def jsort(values: list) -> list:
+    """Sort a JSON list."""
+    return sorted(values)
+
+
+@scalar_udf
+def extractid(project: dict) -> str:
+    return project.get("id")
+
+
+@scalar_udf
+def extractfunder(project: dict) -> str:
+    return project.get("funder")
+
+
+@scalar_udf
+def extractclass(project: dict) -> str:
+    return project.get("class")
+
+
+# ----------------------------------------------------------------------
+# Complex-type round trips (Q10)
+# ----------------------------------------------------------------------
+
+
+@scalar_udf
+def jpack(text: str) -> list:
+    """Tokenize a string into a JSON array (serialized by the wrapper)."""
+    return text.split()
+
+
+@scalar_udf
+def jsoncount(values: list) -> int:
+    """Count elements of a JSON array (deserialized by the wrapper)."""
+    return len(values)
+
+
+# ----------------------------------------------------------------------
+# Aggregate UDFs
+# ----------------------------------------------------------------------
+
+
+@aggregate_udf
+class countvals:
+    """Count non-NULL inputs (init-step-final)."""
+
+    def __init__(self):
+        self.count = 0
+
+    def step(self, value: str):
+        self.count += 1
+
+    def final(self) -> int:
+        return self.count
+
+
+@aggregate_udf
+class countauthors:
+    """Total number of author names across JSON lists."""
+
+    def __init__(self):
+        self.count = 0
+
+    def step(self, values: list):
+        self.count += len(values)
+
+    def final(self) -> int:
+        return self.count
+
+
+@aggregate_udf
+class avglen:
+    """Average string length."""
+
+    def __init__(self):
+        self.total = 0
+        self.count = 0
+
+    def step(self, value: str):
+        self.total += len(value)
+        self.count += 1
+
+    def final(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@aggregate_udf(materializes_input=True)
+class medianlen:
+    """Median string length — a *blocking* aggregate (materializes its
+    input), so loop fusion does not apply (Table 2)."""
+
+    def __init__(self):
+        self.lengths = []
+
+    def step(self, value: str):
+        self.lengths.append(len(value))
+
+    def final(self) -> float:
+        if not self.lengths:
+            return 0.0
+        ordered = sorted(self.lengths)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return float(ordered[mid])
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+# ----------------------------------------------------------------------
+# Table UDFs
+# ----------------------------------------------------------------------
+
+
+@table_udf(output=("authorpair",), types=(str,))
+def combinations(inp_datagen, k: int):
+    """All k-combinations of a JSON list, one row per combination.
+
+    The paper's author-pair generator: consumes one author list per input
+    row (expand-style) and yields ``'a | b'`` pair strings.
+    """
+    for (values,) in inp_datagen:
+        if values is None:
+            continue
+        for combo in itertools.combinations(values, k):
+            yield (" | ".join(combo),)
+
+
+@table_udf(output=("token",), types=(str,))
+def tokens(inp_datagen):
+    """Split each input string into one row per token."""
+    for (text,) in inp_datagen:
+        if text is None:
+            continue
+        for token in text.split():
+            yield (token,)
+
+
+@table_udf(output=("year", "month", "day"), types=(int, int, int))
+def splitdate(inp_datagen):
+    """Split a clean ISO date into numeric components (3-column output)."""
+    for (text,) in inp_datagen:
+        if text is None:
+            continue
+        parts = text.split("-")
+        if len(parts) == 3:
+            yield (int(parts[0]), int(parts[1]), int(parts[2]))
+
+
+#: Everything a benchmark needs to register, in one list.
+ALL_UDFS = [
+    lower, normalize, removeshortterms_text, cleandate, extractmonth,
+    extractyear, jlower, removeshortterms, jsortvalues, jsort, extractid,
+    extractfunder, extractclass, jpack, jsoncount, countvals, countauthors,
+    avglen, medianlen, combinations, tokens, splitdate,
+]

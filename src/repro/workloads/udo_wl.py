@@ -1,0 +1,87 @@
+"""The two UDO-paper pipelines (Q17, Q18) on synthetic data.
+
+These deliberately contain *no fusion opportunities* (a single UDF
+each), so — as in the paper's section 6.3.4 — the comparison isolates
+QFusor's JIT-compiled execution against UDO's out-of-the-box operator
+execution (modelled by :mod:`repro.baselines.udo_like`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..storage import serde
+from ..storage.table import Table
+from ..types import SqlType
+from ..udf import scalar_udf, table_udf
+from . import datagen
+from .datagen import scale_rows
+
+__all__ = ["ALL_UDFS", "QUERIES", "build_tables", "setup"]
+
+
+@table_udf(output=("value",), types=(int,))
+def split_values(inp_datagen):
+    """Q17's operator: split each JSON integer array into rows."""
+    for (values,) in inp_datagen:
+        if values is None:
+            continue
+        for value in values:
+            yield (value,)
+
+
+@scalar_udf
+def contains_database(text: str) -> bool:
+    """Q18's operator: does the text mention 'database'?"""
+    return "database" in text.lower()
+
+
+ALL_UDFS = [split_values, contains_database]
+
+
+def build_events(rows: int, seed: int = 53) -> Table:
+    r = datagen.rng(seed)
+    ids, arrays = [], []
+    for i in range(rows):
+        ids.append(i)
+        arrays.append(
+            serde.serialize([r.randint(0, 1000) for _ in range(r.randint(1, 8))])
+        )
+    return Table.from_dict(
+        "events",
+        {"id": (SqlType.INT, ids), "vals": (SqlType.JSON, arrays)},
+    )
+
+
+def build_docs(rows: int, seed: int = 59) -> Table:
+    r = datagen.rng(seed)
+    ids, texts = [], []
+    for i in range(rows):
+        ids.append(i)
+        texts.append(datagen.sentence(r, r.randint(10, 25)))
+    return Table.from_dict(
+        "docs",
+        {"id": (SqlType.INT, ids), "text": (SqlType.TEXT, texts)},
+    )
+
+
+def build_tables(scale="small", seed: int = 53) -> List[Table]:
+    rows = scale_rows(scale)
+    return [build_events(rows, seed), build_docs(rows, seed + 2)]
+
+
+def setup(adapter, scale="small", seed: int = 53) -> None:
+    for table in build_tables(scale, seed):
+        adapter.register_table(table, replace=True)
+    for udf in ALL_UDFS:
+        try:
+            adapter.register_udf(udf, replace=True)
+        except Exception:
+            pass
+
+
+Q17 = "SELECT value FROM split_values((SELECT vals FROM events)) AS s"
+
+Q18 = "SELECT id FROM docs WHERE contains_database(text) = TRUE"
+
+QUERIES = {"Q17": Q17.strip(), "Q18": Q18.strip()}

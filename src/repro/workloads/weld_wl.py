@@ -1,0 +1,133 @@
+"""The two Weld-paper queries (Q15, Q16) on synthetic data.
+
+* Q15 ``get_population_stats`` — numeric aggregation over a population
+  table after scaling/filtering;
+* Q16 ``data_cleaning`` — dirty numeric strings cleaned into integers,
+  invalid entries dropped, results aggregated.
+
+Weld itself only supports numpy-native operations; the baseline
+(:mod:`repro.baselines.weld_like`) executes these through its two-phase
+read/execute model, QFusor through fused Python UDFs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..storage.table import Table
+from ..types import SqlType
+from ..udf import scalar_udf
+from . import datagen
+from .datagen import scale_rows
+
+__all__ = ["ALL_UDFS", "QUERIES", "build_tables", "setup"]
+
+
+@scalar_udf
+def scale_pop(value: int) -> float:
+    """Normalize a raw population count to thousands."""
+    return value / 1000.0
+
+
+@scalar_udf
+def log_area(value: float) -> float:
+    """A cheap numeric transform over the area column."""
+    return value ** 0.5
+
+
+_NUM = re.compile(r"-?\d+")
+
+
+@scalar_udf
+def clean_int(val: str) -> int:
+    """Extract the integer from a dirty string (' 012a' -> 12); 0 when
+    nothing numeric is present."""
+    m = _NUM.search(val)
+    return int(m.group(0)) if m else 0
+
+
+@scalar_udf
+def is_valid_code(val: str) -> bool:
+    """A dirty string is valid when it contains any digits."""
+    return _NUM.search(val) is not None
+
+
+ALL_UDFS = [scale_pop, log_area, clean_int, is_valid_code]
+
+
+def build_population(rows: int, seed: int = 41) -> Table:
+    r = datagen.rng(seed)
+    cities, populations, areas, states = [], [], [], []
+    for i in range(rows):
+        cities.append(f"{r.choice(datagen.CITIES)}-{i}")
+        populations.append(r.randint(5_000, 9_000_000))
+        areas.append(round(r.uniform(10.0, 2500.0), 2))
+        states.append(f"S{r.randint(0, 19):02d}")
+    return Table.from_dict(
+        "population",
+        {
+            "city": (SqlType.TEXT, cities),
+            "population": (SqlType.INT, populations),
+            "area": (SqlType.FLOAT, areas),
+            "state": (SqlType.TEXT, states),
+        },
+    )
+
+
+_DIRT = ["", " ", "a", "x-", "#", "??"]
+
+
+def build_dirty_codes(rows: int, seed: int = 43) -> Table:
+    r = datagen.rng(seed)
+    ids, codes, groups = [], [], []
+    for i in range(rows):
+        ids.append(i)
+        if r.random() < 0.85:
+            code = f"{r.choice(_DIRT)}{r.randint(0, 99999):05d}{r.choice(_DIRT)}"
+        else:
+            code = r.choice(["n/a", "missing", "--", "?"])
+        codes.append(code)
+        groups.append(f"b{r.randint(0, 7)}")
+    return Table.from_dict(
+        "dirty_codes",
+        {
+            "id": (SqlType.INT, ids),
+            "code": (SqlType.TEXT, codes),
+            "grp": (SqlType.TEXT, groups),
+        },
+    )
+
+
+def build_tables(scale="small", seed: int = 41) -> List[Table]:
+    rows = scale_rows(scale)
+    return [build_population(rows, seed), build_dirty_codes(rows, seed + 2)]
+
+
+def setup(adapter, scale="small", seed: int = 41) -> None:
+    for table in build_tables(scale, seed):
+        adapter.register_table(table, replace=True)
+    for udf in ALL_UDFS:
+        adapter.register_udf(udf, replace=True)
+
+
+Q15 = """
+SELECT state,
+       sum(scale_pop(population)) AS total_k,
+       avg(scale_pop(population)) AS mean_k,
+       max(log_area(area)) AS max_root_area
+FROM population
+WHERE population > 100000
+GROUP BY state
+ORDER BY state
+"""
+
+Q16 = """
+SELECT grp, count(*) AS n, sum(clean_int(code)) AS total
+FROM dirty_codes
+WHERE is_valid_code(code) = TRUE AND clean_int(code) > 100
+GROUP BY grp
+ORDER BY grp
+"""
+
+QUERIES = {"Q15": Q15.strip(), "Q16": Q16.strip()}

@@ -1,0 +1,226 @@
+"""Zillow-like workload: the string-heavy listing pipeline (Q11-Q14).
+
+Synthetic stand-in for the Zillow dataset from Tuplex's repository,
+"enhanced with aggregations and group-bys" as in the paper.  Every
+interesting column is a dirty string ("3 bds", "$450,000", "1,250 sqft"),
+so the pipeline is dominated by Python string processing — the regime
+where the paper's Figure 4 (middle) shows QFusor's largest wins.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..storage.table import Table
+from ..types import SqlType
+from ..udf import scalar_udf
+from . import datagen
+from .datagen import scale_rows
+
+__all__ = ["ALL_UDFS", "QUERIES", "build_tables", "setup"]
+
+
+# ----------------------------------------------------------------------
+# UDFs (the extractBd/extractBa/extractSqft/extractPrice family)
+# ----------------------------------------------------------------------
+
+
+_DIGITS = re.compile(r"(\d+)")
+
+
+@scalar_udf
+def extract_bd(val: str) -> int:
+    """'3 bds' -> 3."""
+    m = _DIGITS.search(val)
+    return int(m.group(1)) if m else 0
+
+
+@scalar_udf
+def extract_ba(val: str) -> float:
+    """'2.5 ba' -> 2.5."""
+    m = re.search(r"(\d+(?:\.\d+)?)", val)
+    return float(m.group(1)) if m else 0.0
+
+
+@scalar_udf
+def extract_sqft(val: str) -> int:
+    """'1,250 sqft' -> 1250."""
+    m = _DIGITS.search(val.replace(",", ""))
+    return int(m.group(1)) if m else 0
+
+
+@scalar_udf
+def extract_price(val: str) -> int:
+    """'$450,000' -> 450000."""
+    m = _DIGITS.search(val.replace(",", "").replace("$", ""))
+    return int(m.group(1)) if m else 0
+
+
+@scalar_udf
+def extract_offer(val: str) -> str:
+    """'House For Sale' -> 'sale' (offer kind from the type string)."""
+    s = val.lower()
+    if "sale" in s:
+        return "sale"
+    if "rent" in s:
+        return "rent"
+    if "sold" in s:
+        return "sold"
+    return "other"
+
+
+@scalar_udf
+def extract_type(val: str) -> str:
+    """'House For Sale' -> 'house'."""
+    s = val.lower()
+    if "house" in s:
+        return "house"
+    if "condo" in s:
+        return "condo"
+    if "apartment" in s:
+        return "apartment"
+    return "other"
+
+
+@scalar_udf
+def clean_city(val: str) -> str:
+    return val.strip().title()
+
+
+@scalar_udf
+def lower(val: str) -> str:
+    return val.lower()
+
+
+@scalar_udf
+def strip_params(url: str) -> str:
+    """Drop the query string of a URL."""
+    cut = url.find("?")
+    return url if cut < 0 else url[:cut]
+
+
+@scalar_udf
+def url_depth(url: str) -> int:
+    """Number of path segments in a URL."""
+    path = url.split("://", 1)[-1]
+    return sum(1 for part in path.split("/")[1:] if part)
+
+
+@scalar_udf
+def extract_domain(url: str) -> str:
+    return url.split("://", 1)[-1].split("/", 1)[0]
+
+
+ALL_UDFS = [
+    extract_bd, extract_ba, extract_sqft, extract_price, extract_offer,
+    extract_type, clean_city, lower, strip_params, url_depth, extract_domain,
+]
+
+
+# ----------------------------------------------------------------------
+# Data
+# ----------------------------------------------------------------------
+
+_TYPES = [
+    "House For Sale", "Condo for sale", "Apartment For Rent",
+    "HOUSE FOR RENT", "House Sold", "Townhouse for sale",
+]
+
+
+def build_listings(rows: int, seed: int = 29) -> Table:
+    r = datagen.rng(seed)
+    urls, addresses, cities, beds, baths = [], [], [], [], []
+    sqfts, prices, types, years = [], [], [], []
+    for i in range(rows):
+        city = r.choice(datagen.CITIES)
+        street = r.choice(["Main", "Oak", "Elm", "Lake", "Hill", "Park"])
+        urls.append(
+            f"https://www.zillow.com/homedetails/{city.lower()}/"
+            f"{street.lower()}-st-{i}/?rid={r.randint(1000, 9999)}"
+            f"&src={r.choice(['search', 'email', 'ad'])}"
+        )
+        addresses.append(f"{r.randint(1, 999)} {street} St, {city}")
+        cities.append(r.choice([city, city.lower(), city.upper(), f" {city} "]))
+        beds.append(f"{r.randint(1, 7)} bds")
+        baths.append(f"{r.choice([1, 1.5, 2, 2.5, 3, 3.5])} ba")
+        sqfts.append(f"{r.randint(400, 6000):,} sqft")
+        prices.append(f"${r.randint(80, 1500) * 1000:,}")
+        types.append(r.choice(_TYPES))
+        years.append(r.randint(1950, 2023))
+    return Table.from_dict(
+        "listings",
+        {
+            "url": (SqlType.TEXT, urls),
+            "address": (SqlType.TEXT, addresses),
+            "city": (SqlType.TEXT, cities),
+            "bedrooms": (SqlType.TEXT, beds),
+            "bathrooms": (SqlType.TEXT, baths),
+            "sqft": (SqlType.TEXT, sqfts),
+            "price": (SqlType.TEXT, prices),
+            "type": (SqlType.TEXT, types),
+            "year": (SqlType.INT, years),
+        },
+    )
+
+
+def build_tables(scale="small", seed: int = 29) -> List[Table]:
+    return [build_listings(scale_rows(scale), seed)]
+
+
+def setup(adapter, scale="small", seed: int = 29) -> None:
+    for table in build_tables(scale, seed):
+        adapter.register_table(table, replace=True)
+    for udf in ALL_UDFS:
+        adapter.register_udf(udf, replace=True)
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+
+# The Tuplex Zillow pipeline, enhanced with aggregation and group-by.
+Q11 = """
+SELECT clean_city(city) AS c,
+       count(*) AS n,
+       sum(extract_price(price)) AS total_price,
+       avg(extract_sqft(sqft)) AS avg_sqft
+FROM listings
+WHERE extract_type(type) = 'house'
+  AND extract_offer(type) = 'sale'
+  AND extract_bd(bedrooms) BETWEEN 1 AND 6
+  AND extract_price(price) < 900000
+GROUP BY c
+ORDER BY n DESC
+"""
+
+# Three chained UDFs on the url column (the pluggability test, Figure 8).
+Q12 = "SELECT url_depth(strip_params(lower(url))) AS d FROM listings"
+
+# A short query (compilation-latency test, Figure 6d / section 6.4.5).
+Q13 = """
+SELECT extract_bd(bedrooms) AS bd FROM listings
+WHERE extract_bd(bedrooms) >= 3
+"""
+
+# A complex query for the same test.
+Q14 = """
+SELECT extract_type(type) AS t,
+       count(*) AS n,
+       sum(CASE WHEN extract_price(price) > 500000 THEN 1 ELSE 0 END)
+           AS expensive,
+       avg(extract_ba(bathrooms)) AS avg_ba,
+       max(extract_sqft(sqft)) AS max_sqft
+FROM listings
+WHERE extract_offer(type) != 'sold'
+  AND extract_bd(bedrooms) BETWEEN 1 AND 6
+GROUP BY t
+ORDER BY n DESC
+"""
+
+QUERIES = {
+    "Q11": Q11.strip(),
+    "Q12": Q12.strip(),
+    "Q13": Q13.strip(),
+    "Q14": Q14.strip(),
+}

@@ -1,0 +1,115 @@
+"""Baselines must agree with the SQL engine on every supported program."""
+
+import pytest
+
+from repro.baselines import (
+    PandasLike, PySparkLike, TuplexLike, UdoLike, WeldLike, programs,
+)
+from repro.engines import MiniDbAdapter
+from repro.workloads import udfbench, udo_wl, weld_wl, zillow
+
+
+@pytest.fixture(scope="module")
+def env():
+    adapter = MiniDbAdapter()
+    udfbench.setup(adapter, "tiny")
+    zillow.setup(adapter, "tiny")
+    weld_wl.setup(adapter, "tiny")
+    udo_wl.setup(adapter, "tiny")
+    tables = {t.name: t for t in adapter.database.catalog}
+    sql = {}
+    for workload in (udfbench, zillow, weld_wl, udo_wl):
+        sql.update(workload.QUERIES)
+    return adapter, tables, sql
+
+
+def normalize(rows):
+    out = []
+    for row in rows:
+        out.append(
+            tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+        )
+    return sorted(map(repr, out))
+
+
+SYSTEMS = {
+    "tuplex": TuplexLike,
+    "udo": UdoLike,
+    "pandas": PandasLike,
+    "pyspark": PySparkLike,
+    "weld": WeldLike,
+}
+
+
+@pytest.mark.parametrize("program_name", sorted(programs.PROGRAMS))
+@pytest.mark.parametrize("system_name", sorted(SYSTEMS))
+def test_baseline_matches_engine(env, program_name, system_name):
+    adapter, tables, sql = env
+    program = programs.build_program(program_name)
+    system = SYSTEMS[system_name](tables)
+    if not system.supports(program):
+        pytest.skip(f"{system_name} does not support {program_name} (n/a)")
+    expected = normalize(adapter.execute_sql(sql[program_name]).to_rows())
+    got = normalize(system.run(program))
+    assert got == expected
+
+
+class TestTuplexBehaviour:
+    def test_compile_latency_grows_with_pipeline_size(self, env):
+        _, tables, _ = env
+        tuplex = TuplexLike(tables)
+
+        def min_compile(name, runs=5):
+            times = []
+            for _ in range(runs):
+                tuplex.compile(programs.build_program(name))
+                times.append(tuplex.last_compile_seconds)
+            return min(times)
+
+        small = min_compile("Q12")  # 1 user function
+        large = min_compile("Q14")  # several stages + shuffle
+        assert large > small
+
+    def test_partitioned_execution_matches_serial(self, env):
+        adapter, tables, sql = env
+        serial = TuplexLike(tables, threads=1)
+        parallel = TuplexLike(tables, threads=4)
+        program = programs.build_program("Q12")
+        assert normalize(parallel.run(program)) == normalize(
+            serial.run(programs.build_program("Q12"))
+        )
+
+
+class TestUdoBehaviour:
+    def test_fused_variant_matches_default(self, env):
+        _, tables, _ = env
+        default = UdoLike(tables)
+        fused = UdoLike(tables, fused=True)
+        program = programs.build_program("Q17")
+        assert normalize(default.run(program)) == normalize(
+            fused.run(programs.build_program("Q17"))
+        )
+
+    def test_default_is_more_memory_hungry(self, env):
+        _, tables, _ = env
+        default = UdoLike(tables)
+        fused = UdoLike(tables, fused=True)
+        default.run(programs.build_program("Q17"))
+        fused.run(programs.build_program("Q17"))
+        assert default.peak_intermediate_rows >= fused.peak_intermediate_rows
+
+
+class TestWeldBehaviour:
+    def test_two_phase_load_measured(self, env):
+        _, tables, _ = env
+        weld = WeldLike(tables)
+        assert weld.preprocess_seconds > 0
+        assert weld.load_seconds > 0
+
+
+class TestPySparkBehaviour:
+    def test_boundary_crossings_counted(self, env):
+        _, tables, _ = env
+        spark = PySparkLike(tables, partitions=4)
+        spark.run(programs.build_program("Q12"))
+        assert spark.boundary_crossings >= 8  # 1 stage x 4 partitions x 2

@@ -1,0 +1,115 @@
+"""Unit tests for the benchmark harness, reporting, and resource sampler."""
+
+import os
+import time
+
+import pytest
+
+from repro.bench import (
+    FigureReport, ResourceSampler, bench_scale, build_engine_systems,
+    build_pipeline_systems, time_call,
+)
+from repro.bench.harness import ALL_SQL
+
+
+class TestFigureReport:
+    def test_add_value_speedup(self):
+        report = FigureReport("figX", "test")
+        report.add("a", "q1", 2.0)
+        report.add("b", "q1", 1.0)
+        assert report.value("a", "q1") == 2.0
+        assert report.speedup("a", "b", "q1") == 2.0
+
+    def test_na_rendering(self):
+        report = FigureReport("figX", "test")
+        report.add("a", "q1", None)
+        assert "n/a" in report.render()
+
+    def test_speedup_with_missing_is_none(self):
+        report = FigureReport("figX", "test")
+        report.add("a", "q1", None)
+        report.add("b", "q1", 1.0)
+        assert report.speedup("a", "b", "q1") is None
+
+    def test_render_preserves_order(self):
+        report = FigureReport("figX", "test")
+        report.add("zeta", "q2", 1.0)
+        report.add("alpha", "q1", 1.0)
+        lines = report.render().splitlines()
+        assert lines[2].startswith("zeta")
+        assert lines[3].startswith("alpha")
+
+    def test_emit_writes_file(self, tmp_path, monkeypatch):
+        import repro.bench.reporting as reporting
+
+        monkeypatch.setattr(reporting, "_RESULTS_DIR", tmp_path)
+        report = FigureReport("fig_test", "test")
+        report.add("a", "x", 1.0)
+        report.emit()
+        assert (tmp_path / "fig_test.txt").exists()
+
+
+class TestTimeCall:
+    def test_returns_best_and_result(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return "ok"
+
+        best, result = time_call(fn, repeats=3)
+        assert result == "ok"
+        assert len(calls) == 3
+        assert best >= 0
+
+
+class TestScale:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert bench_scale("small") == "tiny"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale("small") == "small"
+
+
+class TestSystemBuilders:
+    def test_all_queries_present(self):
+        assert {"Q1", "Q3", "Q11", "Q15", "Q17"} <= set(ALL_SQL)
+
+    def test_engine_systems_run(self):
+        systems = build_engine_systems("tiny", names=("qfusor", "minidb"))
+        reference = systems["minidb"].run("Q1").to_rows()
+        fused = systems["qfusor"].run("Q1").to_rows()
+        assert sorted(map(repr, fused)) == sorted(map(repr, reference))
+
+    def test_pipeline_systems_respect_support(self):
+        systems = build_pipeline_systems("tiny", names=("weld",))
+        assert systems["weld"].supports("Q15")
+        assert not systems["weld"].supports("Q11")
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            build_engine_systems("tiny", names=("oracle",))
+        with pytest.raises(ValueError):
+            build_pipeline_systems("tiny", names=("flink",))
+
+
+class TestResourceSampler:
+    def test_samples_collected(self):
+        with ResourceSampler(interval=0.01) as sampler:
+            deadline = time.perf_counter() + 0.15
+            total = 0
+            while time.perf_counter() < deadline:
+                total += sum(range(2000))
+        assert len(sampler.samples) >= 3
+        assert sampler.peak_rss_mb() > 1
+        assert sampler.mean_cpu_percent() > 0
+
+    def test_sample_fields(self):
+        with ResourceSampler(interval=0.01) as sampler:
+            time.sleep(0.05)
+        sample = sampler.samples[-1]
+        assert sample.elapsed > 0
+        assert sample.rss_mb > 0
+        assert sample.read_mb >= 0

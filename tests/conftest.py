@@ -1,0 +1,174 @@
+"""Shared fixtures: sample tables, UDF sets, engine adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.engines import MiniDbAdapter
+from repro.storage import Table
+from repro.types import SqlType
+from repro.udf import aggregate_udf, scalar_udf, table_udf
+
+
+# ----------------------------------------------------------------------
+# Shared UDFs (module level so inspect.getsource works for the inliner)
+# ----------------------------------------------------------------------
+
+
+@scalar_udf
+def t_lower(val: str) -> str:
+    return val.lower()
+
+
+@scalar_udf
+def t_upper(val: str) -> str:
+    return val.upper()
+
+
+@scalar_udf
+def t_inc(x: int) -> int:
+    return x + 1
+
+
+@scalar_udf
+def t_double(x: int) -> int:
+    return x * 2
+
+
+@scalar_udf
+def t_firstword(val: str) -> str:
+    return val.split()[0] if val else ""
+
+
+@scalar_udf
+def t_jsonlen(values: list) -> int:
+    return len(values)
+
+
+@scalar_udf
+def t_jsonsort(values: list) -> list:
+    return sorted(values)
+
+
+@aggregate_udf
+class t_count:
+    def __init__(self):
+        self.n = 0
+
+    def step(self, value: str):
+        self.n += 1
+
+    def final(self) -> int:
+        return self.n
+
+
+@aggregate_udf
+class t_strjoin:
+    def __init__(self):
+        self.parts = []
+
+    def step(self, value: str):
+        self.parts.append(value)
+
+    def final(self) -> str:
+        return "|".join(self.parts)
+
+
+@table_udf(output=("token",), types=(str,))
+def t_tokens(inp_datagen):
+    for (text,) in inp_datagen:
+        if text is None:
+            continue
+        for token in text.split():
+            yield (token,)
+
+
+@table_udf(output=("a", "b"), types=(str, int))
+def t_pairs(inp_datagen):
+    for (text,) in inp_datagen:
+        if text is None:
+            continue
+        for token in text.split():
+            yield (token, len(token))
+
+
+TEST_UDFS = [
+    t_lower, t_upper, t_inc, t_double, t_firstword, t_jsonlen, t_jsonsort,
+    t_count, t_strjoin, t_tokens, t_pairs,
+]
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+
+def make_people_table() -> Table:
+    return Table.from_rows(
+        "people",
+        [
+            ("id", SqlType.INT),
+            ("name", SqlType.TEXT),
+            ("age", SqlType.INT),
+            ("city", SqlType.TEXT),
+            ("score", SqlType.FLOAT),
+        ],
+        [
+            (1, "Alice Smith", 34, "Athens", 91.5),
+            (2, "Bob Jones", 28, "Berlin", 75.0),
+            (3, "Carol White", None, "Athens", 88.25),
+            (4, "Dan Brown", 45, None, None),
+            (5, "Eve Adams", 23, "Berlin", 60.0),
+        ],
+    )
+
+
+def make_json_table() -> Table:
+    import json
+
+    return Table.from_rows(
+        "docs",
+        [("id", SqlType.INT), ("tags", SqlType.JSON), ("body", SqlType.TEXT)],
+        [
+            (1, json.dumps(["b", "a", "c"]), "hello great world"),
+            (2, json.dumps(["x"]), "foo bar"),
+            (3, None, None),
+            (4, json.dumps([]), "single"),
+        ],
+    )
+
+
+@pytest.fixture
+def people():
+    return make_people_table()
+
+
+@pytest.fixture
+def docs():
+    return make_json_table()
+
+
+@pytest.fixture
+def db(people, docs):
+    """A vectorized Database with both sample tables and all test UDFs."""
+    database = Database()
+    database.register_table(people)
+    database.register_table(docs)
+    database.register_udfs(TEST_UDFS)
+    return database
+
+
+@pytest.fixture
+def tuple_db(people, docs):
+    """A tuple-at-a-time Database with the same contents."""
+    database = Database(execution_model="tuple")
+    database.register_table(people)
+    database.register_table(docs)
+    database.register_udfs(TEST_UDFS)
+    return database
+
+
+@pytest.fixture
+def adapter(db):
+    return MiniDbAdapter(db)

@@ -1,0 +1,176 @@
+"""Unit tests for the expression -> pipeline compiler."""
+
+import pytest
+
+from repro.core.compile import (
+    CompiledExpr, PipelineCompiler, count_scalar_udfs, expr_is_fusible,
+)
+from repro.engine.expressions import FunctionResolver
+from repro.engine.plan import Field
+from repro.errors import FusionError
+from repro.jit.codegen import ExprStage, PipelineSpec, ScalarUdfStage, generate_fused_udf
+from repro.sql.parser import parse_expression
+from repro.types import SqlType
+from repro.udf import UdfRegistry
+from tests.conftest import TEST_UDFS
+
+
+@pytest.fixture
+def resolver():
+    registry = UdfRegistry()
+    registry.register_many(TEST_UDFS)
+    return FunctionResolver(registry)
+
+
+FIELDS = (
+    Field("name", SqlType.TEXT, "t"),
+    Field("age", SqlType.INT, "t"),
+    Field("score", SqlType.FLOAT, "t"),
+    Field("tags", SqlType.JSON, "t"),
+)
+
+
+def compile_and_run(resolver, expr_sql, inputs):
+    """Compile an expression, generate the fused scalar, call it."""
+    compiler = PipelineCompiler(FIELDS, resolver)
+    out = compiler.compile(parse_expression(expr_sql))
+    spec = PipelineSpec(
+        name="probe",
+        inputs=tuple((v, t) for v, _, t in compiler.inputs),
+        stages=tuple(compiler.stages),
+        outputs=(out,),
+        output_types=(SqlType.TEXT,),
+    )
+    fused = generate_fused_udf(spec)
+    ordered = [inputs[ref.name.lower()] for _, ref, _ in compiler.inputs]
+    return fused.definition.func(*ordered)
+
+
+class TestLeafHandling:
+    def test_column_refs_become_inputs(self, resolver):
+        compiler = PipelineCompiler(FIELDS, resolver)
+        compiler.compile(parse_expression("t_lower(name)"))
+        assert [ref.name for _, ref, _ in compiler.inputs] == ["name"]
+        assert compiler.inputs[0][2] is SqlType.TEXT
+
+    def test_shared_column_deduplicated(self, resolver):
+        compiler = PipelineCompiler(FIELDS, resolver)
+        compiler.compile(parse_expression("t_lower(name)"))
+        compiler.compile(parse_expression("t_upper(name)"))
+        assert len(compiler.inputs) == 1
+
+    def test_cse_shares_stages(self, resolver):
+        compiler = PipelineCompiler(FIELDS, resolver)
+        first = compiler.compile(parse_expression("t_lower(name)"))
+        second = compiler.compile(parse_expression("t_lower(name)"))
+        assert first == second
+        assert compiler.udf_count == 1
+
+    def test_literals_become_stages(self, resolver):
+        compiler = PipelineCompiler(FIELDS, resolver)
+        out = compiler.compile(parse_expression("5"))
+        assert any(s.out == out and s.src == "5" for s in compiler.stages)
+
+
+class TestSemantics:
+    def test_comparison_strict(self, resolver):
+        assert compile_and_run(resolver, "age > 10", {"age": 20}) is True
+        assert compile_and_run(resolver, "age > 10", {"age": None}) is None
+
+    def test_between(self, resolver):
+        assert compile_and_run(resolver, "age BETWEEN 1 AND 3", {"age": 2}) is True
+        assert compile_and_run(resolver, "age BETWEEN 1 AND 3", {"age": 5}) is False
+
+    def test_and_kleene(self, resolver):
+        expr = "age > 1 AND score > 1.0"
+        assert compile_and_run(resolver, expr, {"age": None, "score": 0.0}) is False
+        assert compile_and_run(resolver, expr, {"age": None, "score": 2.0}) is None
+
+    def test_or_kleene(self, resolver):
+        expr = "age > 1 OR score > 1.0"
+        assert compile_and_run(resolver, expr, {"age": None, "score": 2.0}) is True
+        assert compile_and_run(resolver, expr, {"age": None, "score": 0.0}) is None
+
+    def test_case_null_to_else(self, resolver):
+        expr = "CASE WHEN age > 1 THEN 'big' ELSE 'small' END"
+        assert compile_and_run(resolver, expr, {"age": None}) == "small"
+
+    def test_case_no_else_yields_null(self, resolver):
+        expr = "CASE WHEN age > 100 THEN 'huge' END"
+        assert compile_and_run(resolver, expr, {"age": 5}) is None
+
+    def test_is_null(self, resolver):
+        assert compile_and_run(resolver, "age IS NULL", {"age": None}) is True
+        assert compile_and_run(resolver, "age IS NOT NULL", {"age": 1}) is True
+
+    def test_in_list(self, resolver):
+        assert compile_and_run(resolver, "age IN (1, 2)", {"age": 2}) is True
+        assert compile_and_run(resolver, "age NOT IN (1, 2)", {"age": 3}) is True
+
+    def test_like_with_literal_pattern(self, resolver):
+        assert compile_and_run(resolver, "name LIKE 'a%'", {"name": "abc"}) is True
+        assert compile_and_run(resolver, "name LIKE 'a%'", {"name": "zz"}) is False
+
+    def test_not(self, resolver):
+        assert compile_and_run(resolver, "NOT age > 1", {"age": 0}) is True
+        assert compile_and_run(resolver, "NOT age > 1", {"age": None}) is None
+
+    def test_concat(self, resolver):
+        assert compile_and_run(
+            resolver, "name || '!'", {"name": "hi"}
+        ) == "hi!"
+
+    def test_cast(self, resolver):
+        assert compile_and_run(
+            resolver, "CAST(age AS TEXT)", {"age": 42}
+        ) == "42"
+
+    def test_builtin_rendering(self, resolver):
+        assert compile_and_run(resolver, "upper(name)", {"name": "ab"}) == "AB"
+        assert compile_and_run(resolver, "length(name)", {"name": "abc"}) == 3
+
+    def test_nested_udf_and_relop(self, resolver):
+        expr = "CASE WHEN length(t_lower(name)) > 2 THEN 'long' ELSE 'short' END"
+        assert compile_and_run(resolver, expr, {"name": "ABCD"}) == "long"
+
+
+class TestRejections:
+    def test_table_udf_rejected(self, resolver):
+        compiler = PipelineCompiler(FIELDS, resolver)
+        with pytest.raises(FusionError):
+            compiler.compile(parse_expression("t_tokens(name)"))
+
+    def test_unknown_function_rejected(self, resolver):
+        compiler = PipelineCompiler(FIELDS, resolver)
+        with pytest.raises(FusionError):
+            compiler.compile(parse_expression("no_such_fn(name)"))
+
+    def test_in_list_with_non_literals_rejected(self, resolver):
+        compiler = PipelineCompiler(FIELDS, resolver)
+        with pytest.raises(FusionError):
+            compiler.compile(parse_expression("age IN (1, score)"))
+
+    def test_offload_disabled_restricts(self, resolver):
+        assert not expr_is_fusible(
+            parse_expression("t_inc(age) + 1"), resolver, False
+        )
+        assert expr_is_fusible(
+            parse_expression("t_inc(t_inc(age))"), resolver, False
+        )
+
+
+class TestAnalysis:
+    def test_count_scalar_udfs(self, resolver):
+        expr = parse_expression(
+            "CASE WHEN t_inc(age) > t_double(age) THEN t_lower(name) END"
+        )
+        assert count_scalar_udfs(expr, resolver) == 3
+
+    def test_aggregate_udf_not_counted_as_scalar(self, resolver):
+        expr = parse_expression("t_count(name)")
+        assert count_scalar_udfs(expr, resolver) == 0
+
+    def test_relop_count_tracked(self, resolver):
+        compiler = PipelineCompiler(FIELDS, resolver)
+        compiler.compile(parse_expression("age + 1 > 2"))
+        assert compiler.relop_count >= 2

@@ -1,0 +1,124 @@
+"""Unit tests for DFG construction (Algorithm 1)."""
+
+import pytest
+
+from repro.core.dfg import build_dfg, bernstein_raw, Operator
+
+
+def graph_for(db, sql):
+    return build_dfg(db.plan(sql), db.resolver)
+
+
+def ops_by_kind(graph, kind):
+    return [op for op in graph.operators if op.kind == kind]
+
+
+class TestBernstein:
+    def test_raw_dependency(self):
+        producer = Operator(0, "scalar_udf", "f", frozenset({"col:t.a"}),
+                            frozenset({"%t1"}))
+        consumer = Operator(1, "scalar_udf", "g", frozenset({"%t1"}),
+                            frozenset({"%t2"}))
+        assert bernstein_raw(producer, consumer)
+        assert not bernstein_raw(consumer, producer)
+
+    def test_independent_operators(self):
+        a = Operator(0, "scalar_udf", "f", frozenset({"col:t.a"}),
+                     frozenset({"%t1"}))
+        b = Operator(1, "scalar_udf", "g", frozenset({"col:t.b"}),
+                     frozenset({"%t2"}))
+        assert not bernstein_raw(a, b)
+
+
+class TestExtraction:
+    def test_scalar_chain_produces_chain_edges(self, db):
+        graph = graph_for(db, "SELECT t_upper(t_lower(name)) FROM people")
+        udfs = [op for op in graph.operators if op.is_udf]
+        assert [op.name for op in udfs] == ["t_lower", "t_upper"]
+        lower, upper = udfs
+        assert (lower.op_id, upper.op_id) in graph.edges
+
+    def test_independent_udfs_no_edge(self, db):
+        graph = graph_for(db, "SELECT t_lower(name), t_lower(city) FROM people")
+        udfs = [op for op in graph.operators if op.is_udf]
+        assert len(udfs) == 2
+        assert (udfs[0].op_id, udfs[1].op_id) not in graph.edges
+
+    def test_filter_depends_on_udf(self, db):
+        graph = graph_for(
+            db, "SELECT name FROM people WHERE t_inc(age) > 30"
+        )
+        filters = ops_by_kind(graph, "filter")
+        udfs = [op for op in graph.operators if op.is_udf]
+        compares = ops_by_kind(graph, "compare")
+        assert filters and udfs and compares
+        assert (udfs[0].op_id, compares[0].op_id) in graph.edges
+        assert (compares[0].op_id, filters[0].op_id) in graph.edges
+
+    def test_aggregate_and_groupby_ops(self, db):
+        graph = graph_for(
+            db,
+            "SELECT city, count(*) FROM people GROUP BY city",
+        )
+        assert ops_by_kind(graph, "groupby")
+        assert ops_by_kind(graph, "builtin_agg")
+
+    def test_aggregate_udf_operator(self, db):
+        graph = graph_for(
+            db, "SELECT t_strjoin(name) FROM people GROUP BY city"
+        )
+        assert ops_by_kind(graph, "aggregate_udf")
+
+    def test_table_udf_operator(self, db):
+        graph = graph_for(
+            db, "SELECT token FROM t_tokens((SELECT body FROM docs)) AS tk"
+        )
+        assert ops_by_kind(graph, "table_udf")
+
+    def test_join_and_sort_ops(self, db):
+        graph = graph_for(
+            db,
+            "SELECT p1.id FROM people AS p1, people AS p2 "
+            "WHERE p1.id = p2.id ORDER BY p1.id",
+        )
+        assert ops_by_kind(graph, "join")
+        assert ops_by_kind(graph, "sort")
+
+    def test_case_and_between(self, db):
+        graph = graph_for(
+            db,
+            "SELECT CASE WHEN age BETWEEN 20 AND 30 THEN 1 ELSE 0 END "
+            "FROM people",
+        )
+        assert ops_by_kind(graph, "case")
+        assert ops_by_kind(graph, "between")
+
+    def test_cte_operators_included(self, db):
+        graph = graph_for(
+            db,
+            "WITH c AS (SELECT t_lower(name) AS n FROM people) "
+            "SELECT t_upper(n) FROM c",
+        )
+        names = [op.name for op in graph.operators if op.is_udf]
+        assert "t_lower" in names and "t_upper" in names
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self, db):
+        graph = graph_for(db, "SELECT t_upper(t_lower(name)) FROM people")
+        order = graph.topological_order()
+        position = {op_id: i for i, op_id in enumerate(order)}
+        for producer, consumer in graph.edges:
+            assert position[producer] < position[consumer]
+
+    def test_udf_count(self, db):
+        graph = graph_for(db, "SELECT t_upper(t_lower(name)) FROM people")
+        assert graph.udf_count() == 2
+
+    def test_successors_predecessors_consistent(self, db):
+        graph = graph_for(
+            db, "SELECT name FROM people WHERE t_inc(age) > 30"
+        )
+        for producer, consumer in graph.edges:
+            assert consumer in graph.successors(producer)
+            assert producer in graph.predecessors(consumer)

@@ -1,0 +1,97 @@
+"""Unit tests for Table 3 (relational-operator classification) and the
+engine dialect layer (section 5.5)."""
+
+import pytest
+
+from repro.core.dialect import DIALECTS, dialect_for
+from repro.core.relops import REL_OPS, classify, is_loop_fusible, is_offloadable
+from repro.errors import DialectError
+from repro.types import SqlType
+from repro.udf import UdfKind
+from tests.conftest import t_count, t_lower, t_tokens
+
+
+class TestTable3:
+    """The classification must match the paper's Table 3 row for row."""
+
+    @pytest.mark.parametrize(
+        "name,kind,loop_fusible",
+        [
+            ("filter", "scalar", True),
+            ("inner join", "scalar", True),
+            ("distinct", "table", True),
+            ("case", "scalar", True),
+            ("order by", "table", False),
+            ("group by", "table", False),
+            ("pipelined aggregate", "aggregate", True),
+            ("blocking aggregate", "aggregate", False),
+            ("union all", "table", True),
+            ("union", "table", False),
+            ("arithmetic", "scalar", True),
+            ("pivot", "table", False),
+            ("is null", "scalar", True),
+        ],
+    )
+    def test_matches_paper(self, name, kind, loop_fusible):
+        info = REL_OPS[name]
+        assert info.kind == kind
+        assert info.loop_fusible is loop_fusible
+
+    def test_sum_count_are_pipelined(self):
+        assert classify("sum").name == "pipelined aggregate"
+        assert classify("count").loop_fusible
+
+    def test_median_is_blocking(self):
+        assert classify("median").name == "blocking aggregate"
+        assert not is_loop_fusible("median")
+
+    def test_join_sort_not_offloadable(self):
+        assert not is_offloadable("inner join")
+        assert not is_offloadable("order by")
+
+    def test_filter_offloadable(self):
+        assert is_offloadable("filter")
+
+    def test_unknown_operator(self):
+        assert classify("frobnicate") is None
+        assert not is_offloadable("frobnicate")
+
+
+class TestDialects:
+    def test_six_engine_profiles(self):
+        assert set(DIALECTS) >= {
+            "minidb", "minidb_row", "sqlite", "duckdb", "spark", "dbx"
+        }
+
+    def test_scalar_create_function(self):
+        sql = dialect_for("minidb").create_function_sql(t_lower.__udf__)
+        assert sql.startswith("CREATE FUNCTION t_lower(")
+        assert "VARCHAR" in sql
+
+    def test_aggregate_create_function(self):
+        sql = dialect_for("minidb").create_function_sql(t_count.__udf__)
+        assert "AGGREGATE" in sql
+
+    def test_table_udf_returns_table(self):
+        sql = dialect_for("minidb").create_function_sql(t_tokens.__udf__)
+        assert "RETURNS TABLE" in sql
+
+    def test_postgres_style(self):
+        sql = dialect_for("minidb_row").create_function_sql(t_lower.__udf__)
+        assert "LANGUAGE c" in sql
+        assert "text" in sql
+
+    def test_sqlite_has_no_table_udfs(self):
+        with pytest.raises(DialectError):
+            dialect_for("sqlite").create_function_sql(t_tokens.__udf__)
+
+    def test_spark_type_mapping(self):
+        assert dialect_for("spark").render_type(SqlType.TEXT) == "STRING"
+
+    def test_unknown_dialect(self):
+        with pytest.raises(DialectError):
+            dialect_for("oracle9i")
+
+    def test_in_process_flags(self):
+        assert dialect_for("minidb").in_process
+        assert not dialect_for("minidb_row").in_process

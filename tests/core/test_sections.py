@@ -1,0 +1,123 @@
+"""Unit tests for fusible-section discovery (Algorithm 2)."""
+
+import pytest
+
+from repro.core.config import QFusorConfig
+from repro.core.cost import CostModel
+from repro.core.dfg import build_dfg
+from repro.core.sections import discover_sections
+from repro.udf.state import StatsStore
+
+
+def sections_for(db, sql, config=None):
+    graph = build_dfg(db.plan(sql), db.resolver)
+    cost = CostModel(StatsStore())
+    return discover_sections(graph, cost, config or QFusorConfig())
+
+
+class TestDiscovery:
+    def test_scalar_chain_forms_one_section(self, db):
+        sections = sections_for(db, "SELECT t_upper(t_lower(name)) FROM people")
+        assert len(sections) == 1
+        assert [op.name for op in sections[0].ops] == ["t_lower", "t_upper"]
+
+    def test_independent_udfs_separate_sections(self, db):
+        sections = sections_for(
+            db, "SELECT t_lower(name), t_lower(city) FROM people"
+        )
+        assert len(sections) == 2
+        assert all(section.udf_count == 1 for section in sections)
+
+    def test_sections_never_overlap(self, db):
+        sections = sections_for(
+            db,
+            "SELECT t_upper(t_lower(name)), t_inc(age) FROM people "
+            "WHERE t_inc(age) > 10",
+        )
+        seen = set()
+        for section in sections:
+            assert not (section.op_ids & seen)
+            seen |= section.op_ids
+
+    def test_pure_relational_runs_not_selected(self, db):
+        sections = sections_for(
+            db, "SELECT age + 1 FROM people WHERE age > 2"
+        )
+        assert sections == []
+
+    def test_filter_joins_udf_section(self, db):
+        sections = sections_for(
+            db, "SELECT name FROM people WHERE t_inc(age) > 30"
+        )
+        merged = max(sections, key=lambda s: len(s.ops))
+        kinds = set(merged.kinds)
+        assert "scalar_udf" in kinds
+        assert "compare" in kinds or "filter" in kinds
+
+    def test_aggregate_in_section(self, db):
+        sections = sections_for(
+            db,
+            "SELECT sum(t_inc(age)) FROM people",
+        )
+        merged = max(sections, key=lambda s: len(s.ops))
+        assert "builtin_agg" in merged.kinds
+
+    def test_at_most_one_aggregate_per_section(self, db):
+        sections = sections_for(
+            db,
+            "SELECT sum(t_inc(age)), count(t_inc(age)) FROM people",
+        )
+        for section in sections:
+            aggregates = sum(
+                1 for kind in section.kinds
+                if kind in ("builtin_agg", "aggregate_udf")
+            )
+            assert aggregates <= 1
+
+    def test_join_never_in_section(self, db):
+        sections = sections_for(
+            db,
+            "SELECT t_lower(p1.name) FROM people AS p1, people AS p2 "
+            "WHERE p1.id = p2.id",
+        )
+        for section in sections:
+            assert "join" not in section.kinds
+
+    def test_sort_never_in_section(self, db):
+        sections = sections_for(
+            db, "SELECT t_lower(name) AS n FROM people ORDER BY n"
+        )
+        for section in sections:
+            assert "sort" not in section.kinds
+
+
+class TestConfigGating:
+    def test_offload_disabled_excludes_relops(self, db):
+        config = QFusorConfig(offload_relational=False,
+                              offload_aggregations=False)
+        sections = sections_for(
+            db, "SELECT name FROM people WHERE t_inc(age) > 30", config
+        )
+        for section in sections:
+            assert set(section.kinds) <= {"scalar_udf", "table_udf",
+                                          "aggregate_udf"}
+
+    def test_fusion_disabled_no_sections(self, db):
+        config = QFusorConfig(fuse_udfs=False, offload_relational=False,
+                              offload_aggregations=False)
+        sections = sections_for(
+            db, "SELECT t_upper(t_lower(name)) FROM people", config
+        )
+        assert sections == []
+
+
+class TestCosts:
+    def test_section_cost_below_sum_of_parts(self, db):
+        graph = build_dfg(
+            db.plan("SELECT t_upper(t_lower(name)) FROM people"), db.resolver
+        )
+        cost = CostModel(StatsStore())
+        sections = discover_sections(graph, cost, QFusorConfig())
+        section = sections[0]
+        isolated = sum(cost.operator_cost(op) for op in section.ops)
+        assert section.cost < isolated

@@ -1,0 +1,98 @@
+"""Unit tests for DML (including UDFs in DML, paper section 4.2.5)."""
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError
+
+
+class TestInsert:
+    def test_insert_values(self, db):
+        db.execute(
+            "INSERT INTO people (id, name, age, city, score) "
+            "VALUES (6, 'Frank Zappa', 52, 'Paris', 10.0)"
+        )
+        result = db.execute("SELECT name FROM people WHERE id = 6")
+        assert result.to_rows() == [("Frank Zappa",)]
+
+    def test_insert_partial_columns_pads_null(self, db):
+        db.execute("INSERT INTO people (id, name) VALUES (7, 'Grace H')")
+        result = db.execute("SELECT age, city FROM people WHERE id = 7")
+        assert result.to_rows() == [(None, None)]
+
+    def test_insert_select(self, db):
+        before = db.execute("SELECT count(*) FROM people").to_rows()[0][0]
+        db.execute("INSERT INTO people SELECT * FROM people WHERE id = 1")
+        after = db.execute("SELECT count(*) FROM people").to_rows()[0][0]
+        assert after == before + 1
+
+    def test_insert_arity_mismatch(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO people (id, name) VALUES (1)")
+
+
+class TestUpdate:
+    def test_update_with_where(self, db):
+        db.execute("UPDATE people SET age = 99 WHERE city = 'Athens'")
+        result = db.execute("SELECT id FROM people WHERE age = 99 ORDER BY id")
+        assert result.to_rows() == [(1,), (3,)]
+
+    def test_update_with_udf(self, db):
+        db.execute("UPDATE people SET name = t_lower(name) WHERE id = 1")
+        result = db.execute("SELECT name FROM people WHERE id = 1")
+        assert result.to_rows() == [("alice smith",)]
+
+    def test_update_udf_in_predicate(self, db):
+        db.execute(
+            "UPDATE people SET age = 0 WHERE t_firstword(t_lower(name)) = 'bob'"
+        )
+        result = db.execute("SELECT age FROM people WHERE id = 2")
+        assert result.to_rows() == [(0,)]
+
+    def test_update_rowcount(self, db):
+        result = db.execute("UPDATE people SET age = 1")
+        assert result.to_rows() == [(5,)]
+
+
+class TestDelete:
+    def test_delete_with_where(self, db):
+        db.execute("DELETE FROM people WHERE age IS NULL")
+        assert db.execute("SELECT count(*) FROM people").to_rows() == [(4,)]
+
+    def test_delete_all(self, db):
+        db.execute("DELETE FROM people")
+        assert db.execute("SELECT count(*) FROM people").to_rows() == [(0,)]
+
+    def test_delete_with_udf_predicate(self, db):
+        db.execute("DELETE FROM people WHERE t_lower(city) = 'athens'")
+        assert db.execute("SELECT count(*) FROM people").to_rows() == [(3,)]
+
+
+class TestCreateDrop:
+    def test_create_table_as(self, db):
+        db.execute("CREATE TABLE adults AS SELECT * FROM people WHERE age >= 30")
+        assert db.execute("SELECT count(*) FROM adults").to_rows() == [(2,)]
+
+    def test_create_with_udf(self, db):
+        db.execute(
+            "CREATE TABLE lowered AS SELECT t_lower(name) AS n FROM people"
+        )
+        rows = db.execute("SELECT n FROM lowered ORDER BY n").to_rows()
+        assert rows[0] == ("alice smith",)
+
+    def test_drop(self, db):
+        db.execute("CREATE TABLE tmp AS SELECT id FROM people")
+        db.execute("DROP TABLE tmp")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM tmp")
+
+    def test_drop_if_exists(self, db):
+        db.execute("DROP TABLE IF EXISTS nothing_here")  # no error
+
+
+class TestExplain:
+    def test_explain_returns_plan_text(self, db):
+        result = db.execute("EXPLAIN SELECT t_lower(name) FROM people WHERE age > 1")
+        text = "\n".join(r[0] for r in result.to_rows())
+        assert "Scan(people" in text
+        assert "Filter" in text
+        assert "rows~" in text

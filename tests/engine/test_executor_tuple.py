@@ -1,0 +1,41 @@
+"""The tuple-at-a-time executor must agree with the vectorized one."""
+
+import pytest
+
+PARITY_QUERIES = [
+    "SELECT name, age FROM people WHERE age > 25 ORDER BY id",
+    "SELECT city, count(*) AS n, sum(age) FROM people GROUP BY city ORDER BY city",
+    "SELECT DISTINCT city FROM people ORDER BY city",
+    "SELECT id FROM people ORDER BY age DESC LIMIT 2",
+    "SELECT p1.id, p2.id FROM people AS p1, people AS p2 "
+    "WHERE p1.city = p2.city AND p1.id < p2.id ORDER BY p1.id",
+    "SELECT t_lower(name) FROM people ORDER BY id",
+    "SELECT t_firstword(t_lower(name)) FROM people WHERE age IS NOT NULL ORDER BY id",
+    "SELECT city, t_strjoin(name) FROM people GROUP BY city ORDER BY city",
+    "SELECT token FROM t_tokens((SELECT body FROM docs WHERE id = 1)) AS tk",
+    "SELECT id, t_tokens(body) AS token FROM docs WHERE id <= 2 ORDER BY id",
+    "SELECT t_jsonlen(tags) FROM docs ORDER BY id",
+    "SELECT CASE WHEN age >= 30 THEN 'old' ELSE 'young' END FROM people ORDER BY id",
+    "SELECT age FROM people ORDER BY age DESC",
+    "SELECT id FROM people UNION ALL SELECT id FROM people",
+    "SELECT city FROM people UNION SELECT city FROM people",
+    "SELECT count(DISTINCT city) FROM people",
+    "SELECT count(*), sum(age) FROM people WHERE id > 99",
+    "SELECT p.id, d.id FROM people AS p LEFT JOIN docs AS d ON p.id = d.id "
+    "ORDER BY p.id",
+]
+
+
+@pytest.mark.parametrize("sql", PARITY_QUERIES)
+def test_executor_parity(db, tuple_db, sql):
+    vector_rows = db.execute(sql).to_rows()
+    tuple_rows = tuple_db.execute(sql).to_rows()
+    assert tuple_rows == vector_rows
+
+
+def test_tuple_executor_pipelines_table_udf(tuple_db):
+    """The tuple executor streams table UDFs without materializing."""
+    result = tuple_db.execute(
+        "SELECT token FROM t_tokens((SELECT body FROM docs)) AS tk LIMIT 2"
+    )
+    assert result.num_rows == 2

@@ -1,0 +1,256 @@
+"""Unit tests for the vectorized executor via Database.execute."""
+
+import pytest
+
+from repro.errors import PlanError
+
+
+class TestScanProjectFilter:
+    def test_projection(self, db):
+        result = db.execute("SELECT name, age FROM people WHERE id = 1")
+        assert result.to_rows() == [("Alice Smith", 34)]
+
+    def test_filter_with_null_semantics(self, db):
+        # age IS NULL for Carol: comparison yields NULL -> dropped.
+        result = db.execute("SELECT id FROM people WHERE age > 25")
+        assert sorted(r[0] for r in result.to_rows()) == [1, 2, 4]
+
+    def test_is_null(self, db):
+        result = db.execute("SELECT id FROM people WHERE age IS NULL")
+        assert result.to_rows() == [(3,)]
+
+    def test_between(self, db):
+        result = db.execute("SELECT id FROM people WHERE age BETWEEN 23 AND 30")
+        assert sorted(r[0] for r in result.to_rows()) == [2, 5]
+
+    def test_in_list(self, db):
+        result = db.execute("SELECT id FROM people WHERE city IN ('Athens')")
+        assert sorted(r[0] for r in result.to_rows()) == [1, 3]
+
+    def test_like(self, db):
+        result = db.execute("SELECT id FROM people WHERE name LIKE '%o%'")
+        assert sorted(r[0] for r in result.to_rows()) == [2, 3, 4]
+
+    def test_arithmetic_with_division_by_zero(self, db):
+        result = db.execute("SELECT score / (age - 28) FROM people WHERE id = 2")
+        assert result.to_rows() == [(None,)]
+
+    def test_case_expression(self, db):
+        result = db.execute(
+            "SELECT CASE WHEN age >= 30 THEN 'old' ELSE 'young' END AS c "
+            "FROM people WHERE age IS NOT NULL ORDER BY id"
+        )
+        assert [r[0] for r in result.to_rows()] == [
+            "old", "young", "old", "young"
+        ]
+
+    def test_concat_and_builtins(self, db):
+        result = db.execute(
+            "SELECT upper(city) || ':' || length(name) FROM people WHERE id = 1"
+        )
+        assert result.to_rows() == [("ATHENS:11",)]
+
+
+class TestAggregation:
+    def test_global_aggregate(self, db):
+        result = db.execute("SELECT count(*), sum(age), avg(score) FROM people")
+        (count, total, mean) = result.to_rows()[0]
+        assert count == 5
+        assert total == 130
+        assert mean == pytest.approx((91.5 + 75 + 88.25 + 60) / 4)
+
+    def test_count_ignores_nulls(self, db):
+        result = db.execute("SELECT count(age) AS n FROM people")
+        assert result.to_rows() == [(4,)]
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT city, count(*) AS n FROM people GROUP BY city ORDER BY n DESC"
+        )
+        rows = result.to_rows()
+        assert ("Athens", 2) in rows and ("Berlin", 2) in rows
+        assert (None, 1) in rows  # NULL forms its own group
+
+    def test_group_by_alias(self, db):
+        result = db.execute(
+            "SELECT upper(city) AS uc, count(*) FROM people "
+            "WHERE city IS NOT NULL GROUP BY uc ORDER BY uc"
+        )
+        assert [r[0] for r in result.to_rows()] == ["ATHENS", "BERLIN"]
+
+    def test_having(self, db):
+        result = db.execute(
+            "SELECT city, count(*) AS n FROM people GROUP BY city "
+            "HAVING count(*) > 1 ORDER BY city"
+        )
+        assert result.to_rows() == [("Athens", 2), ("Berlin", 2)]
+
+    def test_min_max_median(self, db):
+        result = db.execute("SELECT min(age), max(age), median(age) FROM people")
+        assert result.to_rows() == [(23, 45, 31.0)]
+
+    def test_count_distinct(self, db):
+        result = db.execute("SELECT count(DISTINCT city) FROM people")
+        assert result.to_rows() == [(2,)]
+
+    def test_empty_input_global_aggregate(self, db):
+        result = db.execute("SELECT count(*), sum(age) FROM people WHERE id > 99")
+        assert result.to_rows() == [(0, None)]
+
+    def test_empty_input_grouped(self, db):
+        result = db.execute(
+            "SELECT city, count(*) FROM people WHERE id > 99 GROUP BY city"
+        )
+        assert result.to_rows() == []
+
+
+class TestJoin:
+    def test_cross_join_to_hash_join(self, db):
+        result = db.execute(
+            "SELECT p1.id, p2.id FROM people AS p1, people AS p2 "
+            "WHERE p1.city = p2.city AND p1.id < p2.id ORDER BY p1.id"
+        )
+        assert result.to_rows() == [(1, 3), (2, 5)]
+
+    def test_inner_join_on(self, db):
+        result = db.execute(
+            "SELECT p1.name FROM people AS p1 INNER JOIN people AS p2 "
+            "ON p1.id = p2.id WHERE p1.id = 1"
+        )
+        assert result.to_rows() == [("Alice Smith",)]
+
+    def test_left_join_pads_nulls(self, db, docs):
+        db.catalog.register(docs.renamed("d2"), replace=True)
+        result = db.execute(
+            "SELECT p.id, d.id FROM people AS p LEFT JOIN docs AS d "
+            "ON p.id = d.id ORDER BY p.id"
+        )
+        rows = result.to_rows()
+        assert rows[4] == (5, None)
+
+    def test_join_null_keys_never_match(self, db):
+        result = db.execute(
+            "SELECT count(*) FROM people AS p1 INNER JOIN people AS p2 "
+            "ON p1.city = p2.city"
+        )
+        # 2 Athens x 2 Athens + 2 Berlin x 2 Berlin; Dan's NULL city never matches
+        assert result.to_rows() == [(8,)]
+
+
+class TestSortDistinctLimitSetOps:
+    def test_order_by_nulls_last_both_directions(self, db):
+        ascending = db.execute("SELECT age FROM people ORDER BY age")
+        assert [r[0] for r in ascending.to_rows()] == [23, 28, 34, 45, None]
+        descending = db.execute("SELECT age FROM people ORDER BY age DESC")
+        assert [r[0] for r in descending.to_rows()] == [45, 34, 28, 23, None]
+
+    def test_multi_key_sort(self, db):
+        result = db.execute(
+            "SELECT city, id FROM people WHERE city IS NOT NULL "
+            "ORDER BY city, id DESC"
+        )
+        assert result.to_rows() == [
+            ("Athens", 3), ("Athens", 1), ("Berlin", 5), ("Berlin", 2)
+        ]
+
+    def test_order_by_hidden_column(self, db):
+        result = db.execute("SELECT name FROM people ORDER BY age DESC LIMIT 2")
+        assert [r[0] for r in result.to_rows()] == ["Dan Brown", "Alice Smith"]
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT city FROM people ORDER BY city")
+        assert result.to_rows() == [("Athens",), ("Berlin",), (None,)]
+
+    def test_limit_offset(self, db):
+        result = db.execute("SELECT id FROM people ORDER BY id LIMIT 2 OFFSET 1")
+        assert result.to_rows() == [(2,), (3,)]
+
+    def test_limit_beyond_size(self, db):
+        result = db.execute("SELECT id FROM people LIMIT 100 OFFSET 3")
+        assert result.num_rows == 2
+
+    def test_union_all(self, db):
+        result = db.execute("SELECT id FROM people UNION ALL SELECT id FROM people")
+        assert result.num_rows == 10
+
+    def test_union_dedupes(self, db):
+        result = db.execute("SELECT city FROM people UNION SELECT city FROM people")
+        assert result.num_rows == 3
+
+    def test_intersect_except(self, db):
+        intersect = db.execute(
+            "SELECT city FROM people WHERE id <= 2 INTERSECT "
+            "SELECT city FROM people WHERE id >= 4"
+        )
+        assert intersect.to_rows() == [("Berlin",)]
+        except_ = db.execute(
+            "SELECT city FROM people WHERE id <= 2 EXCEPT "
+            "SELECT city FROM people WHERE id >= 4"
+        )
+        assert except_.to_rows() == [("Athens",)]
+
+
+class TestUdfsInQueries:
+    def test_scalar_udf(self, db):
+        result = db.execute("SELECT t_lower(name) FROM people WHERE id = 1")
+        assert result.to_rows() == [("alice smith",)]
+
+    def test_scalar_udf_null_strict(self, db):
+        result = db.execute("SELECT t_lower(city) FROM people WHERE id = 4")
+        assert result.to_rows() == [(None,)]
+
+    def test_chained_udfs(self, db):
+        result = db.execute(
+            "SELECT t_firstword(t_lower(name)) FROM people WHERE id = 2"
+        )
+        assert result.to_rows() == [("bob",)]
+
+    def test_aggregate_udf_grouped(self, db):
+        result = db.execute(
+            "SELECT city, t_strjoin(name) FROM people "
+            "WHERE city IS NOT NULL GROUP BY city ORDER BY city"
+        )
+        assert result.to_rows() == [
+            ("Athens", "Alice Smith|Carol White"),
+            ("Berlin", "Bob Jones|Eve Adams"),
+        ]
+
+    def test_table_udf_in_from(self, db):
+        result = db.execute(
+            "SELECT token FROM t_tokens((SELECT body FROM docs "
+            "WHERE id = 1)) AS tk"
+        )
+        assert result.to_rows() == [("hello",), ("great",), ("world",)]
+
+    def test_table_udf_expand_in_select(self, db):
+        result = db.execute(
+            "SELECT id, t_tokens(body) AS token FROM docs "
+            "WHERE id = 2 ORDER BY id"
+        )
+        assert result.to_rows() == [(2, "foo"), (2, "bar")]
+
+    def test_multicolumn_table_udf(self, db):
+        result = db.execute(
+            "SELECT a, b FROM t_pairs((SELECT body FROM docs WHERE id = 2)) AS p"
+        )
+        assert result.to_rows() == [("foo", 3), ("bar", 3)]
+
+    def test_json_udf(self, db):
+        result = db.execute("SELECT t_jsonlen(tags) FROM docs ORDER BY id")
+        assert [r[0] for r in result.to_rows()] == [3, 1, None, 0]
+
+    def test_json_returning_udf_serializes(self, db):
+        result = db.execute("SELECT t_jsonsort(tags) FROM docs WHERE id = 1")
+        assert result.to_rows() == [('["a","b","c"]',)]
+
+
+class TestErrors:
+    def test_unknown_column(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT missing FROM people")
+
+    def test_ambiguous_column(self, db):
+        with pytest.raises(PlanError):
+            db.execute(
+                "SELECT id FROM people AS a, people AS b WHERE a.id = b.id"
+            )

@@ -1,0 +1,177 @@
+"""Unit tests for expression evaluation (vectorized vs row parity and
+SQL three-valued logic edge cases)."""
+
+import pytest
+
+from repro.engine.expressions import (
+    FunctionResolver, RowEvaluator, VectorEvaluator, infer_type,
+)
+from repro.engine.plan import Field
+from repro.errors import ExecutionError, PlanError
+from repro.sql.parser import parse_expression
+from repro.storage import Column
+from repro.types import SqlType
+from repro.udf import UdfRegistry
+from tests.conftest import TEST_UDFS
+
+FIELDS = (
+    Field("i", SqlType.INT, "t"),
+    Field("f", SqlType.FLOAT, "t"),
+    Field("s", SqlType.TEXT, "t"),
+    Field("b", SqlType.BOOL, "t"),
+)
+
+ROWS = [
+    (1, 1.5, "abc", True),
+    (2, None, "XYZ", False),
+    (None, 0.0, None, None),
+    (-3, 2.25, "", True),
+]
+
+COLUMNS = [
+    Column("i", SqlType.INT, [r[0] for r in ROWS]),
+    Column("f", SqlType.FLOAT, [r[1] for r in ROWS]),
+    Column("s", SqlType.TEXT, [r[2] for r in ROWS]),
+    Column("b", SqlType.BOOL, [r[3] for r in ROWS]),
+]
+
+
+@pytest.fixture(scope="module")
+def resolver():
+    registry = UdfRegistry()
+    registry.register_many(TEST_UDFS)
+    return FunctionResolver(registry)
+
+
+PARITY_EXPRESSIONS = [
+    "i + 2",
+    "i * f",
+    "f / i",
+    "i / 0",
+    "i % 2",
+    "-i",
+    "i = 2",
+    "i != 2",
+    "i < f",
+    "s = 'abc'",
+    "i > 1 AND f > 1.0",
+    "i > 1 OR f > 1.0",
+    "NOT b",
+    "i BETWEEN 0 AND 2",
+    "i NOT BETWEEN 0 AND 2",
+    "i IN (1, 2)",
+    "i NOT IN (1, 2)",
+    "s IS NULL",
+    "s IS NOT NULL",
+    "s LIKE 'a%'",
+    "s || '!'",
+    "CASE WHEN i > 0 THEN 'pos' WHEN i < 0 THEN 'neg' ELSE 'zero' END",
+    "CASE i WHEN 1 THEN 'one' ELSE 'other' END",
+    "CAST(i AS TEXT)",
+    "CAST(f AS INT)",
+    "upper(s)",
+    "length(s)",
+    "coalesce(s, 'fallback')",
+    "t_lower(s)",
+    "t_inc(i)",
+    "CASE WHEN t_inc(i) > 2 THEN upper(s) ELSE s END",
+]
+
+
+@pytest.mark.parametrize("expr_sql", PARITY_EXPRESSIONS)
+def test_vector_row_parity(resolver, expr_sql):
+    """Vectorized and row evaluation must agree on every row."""
+    expr = parse_expression(expr_sql)
+    vector = VectorEvaluator(FIELDS, resolver)
+    row_eval = RowEvaluator(FIELDS, resolver)
+    vectorized = vector.evaluate(expr, COLUMNS, len(ROWS)).to_list()
+    per_row = [row_eval.evaluate(expr, row) for row in ROWS]
+    normalized = [
+        bool(v) if isinstance(v, bool) else v for v in vectorized
+    ]
+    assert normalized == pytest.approx(per_row) if all(
+        isinstance(v, float) for v in per_row if v is not None
+    ) else normalized == per_row
+
+
+class TestThreeValuedLogic:
+    def row(self, expr_sql, row):
+        registry = UdfRegistry()
+        registry.register_many(TEST_UDFS)
+        evaluator = RowEvaluator(FIELDS, FunctionResolver(registry))
+        return evaluator.evaluate(parse_expression(expr_sql), row)
+
+    def test_null_comparison_is_null(self):
+        assert self.row("i = 1", (None, None, None, None)) is None
+
+    def test_false_and_null_is_false(self):
+        assert self.row("i > 5 AND s IS NULL", (1, None, None, None)) is False
+
+    def test_true_or_null_is_true(self):
+        assert self.row("i = 1 OR f > 0", (1, None, "x", None)) is True
+
+    def test_null_and_true_is_null(self):
+        assert self.row("f > 0 AND i = 1", (1, None, "x", None)) is None
+
+    def test_in_list_with_null_member(self):
+        assert self.row("i IN (1, NULL)", (2, None, None, None)) is None
+        assert self.row("i IN (2, NULL)", (2, None, None, None)) is True
+
+    def test_between_null_bound(self):
+        assert self.row("i BETWEEN 0 AND f", (1, None, None, None)) is None
+
+    def test_division_by_zero_is_null(self):
+        assert self.row("i / 0", (1, None, None, None)) is None
+        assert self.row("i % 0", (1, None, None, None)) is None
+
+
+class TestPredicateMask:
+    def test_null_predicate_drops_row(self, resolver):
+        evaluator = VectorEvaluator(FIELDS, resolver)
+        mask = evaluator.predicate_mask(
+            parse_expression("f > 1.0"), COLUMNS, len(ROWS)
+        )
+        assert mask.tolist() == [True, False, False, True]
+
+
+class TestTypeInference:
+    @pytest.mark.parametrize(
+        "expr_sql,expected",
+        [
+            ("i + 1", SqlType.INT),
+            ("i + f", SqlType.FLOAT),
+            ("i / 2", SqlType.FLOAT),
+            ("i = 1", SqlType.BOOL),
+            ("s || 'x'", SqlType.TEXT),
+            ("upper(s)", SqlType.TEXT),
+            ("length(s)", SqlType.INT),
+            ("t_inc(i)", SqlType.INT),
+            ("CASE WHEN b THEN 1 ELSE 2 END", SqlType.INT),
+            ("CAST(i AS FLOAT)", SqlType.FLOAT),
+            ("i IS NULL", SqlType.BOOL),
+        ],
+    )
+    def test_inferred(self, resolver, expr_sql, expected):
+        assert infer_type(parse_expression(expr_sql), FIELDS, resolver) is expected
+
+    def test_unknown_column_raises(self, resolver):
+        with pytest.raises(PlanError):
+            infer_type(parse_expression("zz + 1"), FIELDS, resolver)
+
+    def test_unknown_function_raises(self, resolver):
+        with pytest.raises(PlanError):
+            infer_type(parse_expression("nope(i)"), FIELDS, resolver)
+
+
+class TestErrors:
+    def test_aggregate_in_scalar_context_rejected(self, resolver):
+        evaluator = VectorEvaluator(FIELDS, resolver)
+        with pytest.raises(ExecutionError):
+            evaluator.evaluate(
+                parse_expression("t_count(s)"), COLUMNS, len(ROWS)
+            )
+
+    def test_table_udf_in_row_context_rejected(self, resolver):
+        evaluator = RowEvaluator(FIELDS, resolver)
+        with pytest.raises(ExecutionError):
+            evaluator.evaluate(parse_expression("t_tokens(s)"), ROWS[0])

@@ -1,0 +1,113 @@
+"""Unit tests for builtin scalar functions and aggregates."""
+
+import pytest
+
+from repro.engine.functions import (
+    BUILTIN_AGGREGATES, BUILTIN_SCALARS, is_builtin_aggregate,
+    is_builtin_scalar, like_to_regex,
+)
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "name,args,expected",
+        [
+            ("upper", ("ab",), "AB"),
+            ("length", ("abc",), 3),
+            ("abs", (-4,), 4),
+            ("round", (2.567, 1), 2.6),
+            ("floor", (2.7,), 2),
+            ("ceil", (2.1,), 3),
+            ("trim", ("  x  ",), "x"),
+            ("ltrim", ("  x",), "x"),
+            ("rtrim", ("x  ",), "x"),
+            ("substr", ("hello", 2, 3), "ell"),
+            ("substr", ("hello", 2), "ello"),
+            ("replace", ("aaa", "a", "b"), "bbb"),
+            ("instr", ("hello", "ll"), 3),
+            ("instr", ("hello", "zz"), 0),
+            ("concat", ("a", 1, "b"), "a1b"),
+            ("mod", (7, 3), 1),
+            ("sign", (-9,), -1),
+        ],
+    )
+    def test_values(self, name, args, expected):
+        assert BUILTIN_SCALARS[name](*args) == expected
+
+    def test_strict_null_propagation(self):
+        assert BUILTIN_SCALARS["upper"](None) is None
+        assert BUILTIN_SCALARS["length"](None) is None
+
+    def test_coalesce_not_strict(self):
+        assert BUILTIN_SCALARS["coalesce"](None, None, 3) == 3
+        assert BUILTIN_SCALARS["coalesce"](None, None) is None
+
+    def test_nullif(self):
+        assert BUILTIN_SCALARS["nullif"](1, 1) is None
+        assert BUILTIN_SCALARS["nullif"](1, 2) == 1
+
+    def test_lower_is_not_builtin(self):
+        # The paper's running example registers lower as a Python UDF.
+        assert not is_builtin_scalar("lower")
+
+    def test_lookup_case_insensitive(self):
+        assert is_builtin_scalar("UPPER")
+        assert is_builtin_aggregate("SUM")
+
+
+class TestAggregates:
+    def run(self, name, values):
+        state = BUILTIN_AGGREGATES[name].make_state()
+        for value in values:
+            state.step(value)
+        return state.final()
+
+    def test_count(self):
+        state = BUILTIN_AGGREGATES["count"].make_state()
+        state.step()
+        state.step()
+        assert state.final() == 2
+
+    def test_sum(self):
+        assert self.run("sum", [1, 2, 3]) == 6
+
+    def test_sum_empty_is_null(self):
+        assert self.run("sum", []) is None
+
+    def test_avg(self):
+        assert self.run("avg", [2, 4]) == 3.0
+        assert self.run("avg", []) is None
+
+    def test_min_max(self):
+        assert self.run("min", [3, 1, 2]) == 1
+        assert self.run("max", [3, 1, 2]) == 3
+        assert self.run("min", []) is None
+
+    def test_median_blocking(self):
+        assert BUILTIN_AGGREGATES["median"].blocking
+        assert self.run("median", [1, 2, 3, 100]) == 2.5
+
+    def test_stddev(self):
+        assert self.run("stddev", [2, 2, 2]) == 0.0
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "pattern,text,matches",
+        [
+            ("a%", "abc", True),
+            ("a%", "bac", False),
+            ("%b%", "abc", True),
+            ("a_c", "abc", True),
+            ("a_c", "abbc", False),
+            ("100%", "100%", True),
+            ("", "", True),
+            ("%.txt", "file.txt", True),
+            ("%.txt", "filetxt", False),  # dot is escaped
+        ],
+    )
+    def test_patterns(self, pattern, text, matches):
+        assert (like_to_regex(pattern).match(text) is not None) is matches
+
+    def test_cache_returns_same_object(self):
+        assert like_to_regex("xyz%") is like_to_regex("xyz%")

@@ -1,0 +1,122 @@
+"""Unit tests for the native relational optimizer."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.optimizer import OptimizerProfile
+from repro.engine.plan import Filter, Join, Project, Scan, walk_plan
+from repro.sql.parser import parse
+from tests.conftest import TEST_UDFS, make_people_table
+
+
+def optimized(db, sql):
+    return db.plan(sql)
+
+
+class TestJoinRules:
+    def test_cross_join_becomes_hash_join(self, db):
+        planned = optimized(
+            db,
+            "SELECT p1.id FROM people AS p1, people AS p2 "
+            "WHERE p1.id = p2.id",
+        )
+        join = next(n for n in walk_plan(planned.root) if isinstance(n, Join))
+        assert join.kind == "INNER"
+        assert join.condition is not None
+
+    def test_side_filters_pushed_into_inputs(self, db):
+        planned = optimized(
+            db,
+            "SELECT p1.id FROM people AS p1, people AS p2 "
+            "WHERE p1.id = p2.id AND p1.age > 30 AND p2.age < 40",
+        )
+        join = next(n for n in walk_plan(planned.root) if isinstance(n, Join))
+        assert isinstance(join.left, Filter)
+        assert isinstance(join.right, Filter)
+
+
+class TestFilterPushdown:
+    def test_pushed_below_project_when_passthrough(self, db):
+        # WHERE on a CTE output column that is a plain passthrough
+        planned = optimized(
+            db,
+            "SELECT a FROM (SELECT id AS a, t_lower(name) AS ln "
+            "FROM people) AS s WHERE a > 2",
+        )
+        # The filter must sit below the projection computing t_lower, so
+        # the UDF runs on fewer rows (MonetDB-profile behaviour).
+        nodes = list(walk_plan(planned.root))
+        filter_index = next(
+            i for i, n in enumerate(nodes) if isinstance(n, Filter)
+        )
+        project_udf_index = next(
+            i
+            for i, n in enumerate(nodes)
+            if isinstance(n, Project)
+            and any("t_lower" in str(item.expr) for item in n.items)
+        )
+        assert filter_index > project_udf_index  # deeper in pre-order
+
+    def test_udf_predicate_never_reordered(self, db):
+        planned = optimized(
+            db,
+            "SELECT a FROM (SELECT id AS a FROM people) AS s "
+            "WHERE t_inc(a) > 2",
+        )
+        # UDF-bearing predicates are black boxes: filter stays put.
+        assert any(isinstance(n, Filter) for n in walk_plan(planned.root))
+
+    def test_postgres_profile_blocks_pushdown_past_udf_projects(self):
+        database = Database(
+            optimizer_profile=OptimizerProfile(
+                "pg", push_filter_below_udf_project=False
+            )
+        )
+        database.register_table(make_people_table())
+        database.register_udfs(TEST_UDFS)
+        planned = database.plan(
+            "SELECT a FROM (SELECT id AS a, t_lower(name) AS ln "
+            "FROM people) AS s WHERE a > 2"
+        )
+        nodes = list(walk_plan(planned.root))
+        filter_index = next(
+            i for i, n in enumerate(nodes) if isinstance(n, Filter)
+        )
+        project_udf_index = next(
+            i
+            for i, n in enumerate(nodes)
+            if isinstance(n, Project)
+            and any("t_lower" in str(item.expr) for item in n.items)
+        )
+        assert filter_index < project_udf_index  # filter stays above
+
+
+class TestConstantFolding:
+    def test_true_filter_removed(self, db):
+        planned = optimized(db, "SELECT id FROM people WHERE 1 = 1")
+        assert not any(isinstance(n, Filter) for n in walk_plan(planned.root))
+
+    def test_arithmetic_folded(self, db):
+        planned = optimized(db, "SELECT id FROM people WHERE id > 1 + 2")
+        filt = next(n for n in walk_plan(planned.root) if isinstance(n, Filter))
+        assert "3" in str(filt.predicate)
+
+
+class TestCardinalities:
+    def test_scan_rows_from_catalog(self, db):
+        planned = optimized(db, "SELECT id FROM people")
+        scan = next(n for n in walk_plan(planned.root) if isinstance(n, Scan))
+        assert scan.est_rows == 5
+
+    def test_filter_reduces_estimate(self, db):
+        planned = optimized(db, "SELECT id FROM people WHERE age > 10")
+        filt = next(n for n in walk_plan(planned.root) if isinstance(n, Filter))
+        assert filt.est_rows < 5
+
+    def test_every_node_annotated(self, db):
+        planned = optimized(
+            db,
+            "SELECT city, count(*) FROM people WHERE age > 10 GROUP BY city",
+        )
+        for node in walk_plan(planned.root):
+            assert node.est_rows is not None

@@ -1,0 +1,81 @@
+"""Unit tests for the parallel (morsel) executor."""
+
+import pytest
+
+from repro.engine.parallel import ParallelVectorExecutor, parallel_map, split_ranges
+from repro.engines import ParallelDbAdapter
+from repro.storage import Table
+from repro.types import SqlType
+from tests.conftest import TEST_UDFS, make_people_table
+
+
+class TestSplitRanges:
+    def test_even_split(self):
+        assert split_ranges(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_split(self):
+        ranges = split_ranges(10, 3)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+        assert sum(stop - start for start, stop in ranges) == 10
+
+    def test_more_parts_than_rows(self):
+        ranges = split_ranges(2, 8)
+        assert sum(stop - start for start, stop in ranges) == 2
+
+    def test_empty(self):
+        assert split_ranges(0, 4) == [(0, 0)]
+
+
+class TestParallelMap:
+    def test_single_thread_inline(self):
+        assert parallel_map(lambda x: x * 2, [1, 2, 3], 1) == [2, 4, 6]
+
+    def test_threaded_preserves_order(self):
+        assert parallel_map(lambda x: x * 2, list(range(20)), 4) == [
+            x * 2 for x in range(20)
+        ]
+
+
+class TestParallelExecutor:
+    @pytest.fixture
+    def parallel_adapter(self):
+        adapter = ParallelDbAdapter(threads=3)
+        adapter.register_table(make_people_table())
+        for udf in TEST_UDFS:
+            adapter.register_udf(udf)
+        # widen the table so partitioning actually kicks in
+        rows = []
+        for i in range(100):
+            rows.append((100 + i, f"Person {i}", 20 + (i % 40), "City", 1.0))
+        wide = Table.from_rows(
+            "people",
+            [
+                ("id", SqlType.INT), ("name", SqlType.TEXT),
+                ("age", SqlType.INT), ("city", SqlType.TEXT),
+                ("score", SqlType.FLOAT),
+            ],
+            make_people_table().to_rows() + rows,
+        )
+        adapter.register_table(wide, replace=True)
+        return adapter
+
+    def test_parallel_matches_serial(self, parallel_adapter):
+        serial = ParallelDbAdapter(threads=1)
+        serial.database = parallel_adapter.database
+        sql = "SELECT t_lower(name) AS n FROM people WHERE age > 30 ORDER BY n"
+        assert (
+            parallel_adapter.execute_sql(sql).to_rows()
+            == serial.execute_sql(sql).to_rows()
+        )
+
+    def test_parallel_aggregate(self, parallel_adapter):
+        result = parallel_adapter.execute_sql(
+            "SELECT count(*) AS n FROM people WHERE age >= 20"
+        )
+        assert result.to_rows()[0][0] > 100
+
+    def test_small_inputs_fall_back_inline(self, parallel_adapter):
+        result = parallel_adapter.execute_sql(
+            "SELECT id FROM people WHERE id = 1"
+        )
+        assert result.to_rows() == [(1,)]

@@ -1,0 +1,74 @@
+"""Unit tests for the engine adapters (pluggability, section 5.5)."""
+
+import pytest
+
+from repro.core import QFusor
+from repro.engines import (
+    DuckDbLikeAdapter, MiniDbAdapter, ParallelDbAdapter, RowStoreAdapter,
+    TupleDbAdapter,
+)
+from tests.conftest import TEST_UDFS, make_json_table, make_people_table
+
+ADAPTER_FACTORIES = [
+    MiniDbAdapter, RowStoreAdapter, TupleDbAdapter, DuckDbLikeAdapter,
+    ParallelDbAdapter,
+]
+
+
+def load(adapter):
+    adapter.register_table(make_people_table())
+    adapter.register_table(make_json_table())
+    for udf in TEST_UDFS:
+        adapter.register_udf(udf)
+    return adapter
+
+
+PARITY_QUERIES = [
+    "SELECT t_upper(t_lower(name)) AS n FROM people ORDER BY n",
+    "SELECT city, t_count(name) AS n FROM people GROUP BY city ORDER BY city",
+    "SELECT id, t_tokens(body) AS tok FROM docs WHERE id <= 2 ORDER BY id",
+    "SELECT id FROM people WHERE t_inc(age) > 30 ORDER BY id",
+]
+
+
+class TestAdapterParity:
+    @pytest.mark.parametrize("factory", ADAPTER_FACTORIES)
+    @pytest.mark.parametrize("sql", PARITY_QUERIES)
+    def test_all_adapters_agree(self, factory, sql):
+        reference = load(MiniDbAdapter()).execute_sql(sql).to_rows()
+        adapter = load(factory())
+        assert adapter.execute_sql(sql).to_rows() == reference
+
+    @pytest.mark.parametrize("factory", ADAPTER_FACTORIES)
+    @pytest.mark.parametrize("sql", PARITY_QUERIES)
+    def test_qfusor_on_every_adapter(self, factory, sql):
+        reference = load(MiniDbAdapter()).execute_sql(sql).to_rows()
+        qfusor = QFusor(load(factory()))
+        assert qfusor.execute(sql).to_rows() == reference
+
+
+class TestRowStoreChannel:
+    def test_udf_batches_cross_the_process_channel(self):
+        adapter = load(RowStoreAdapter())
+        adapter.execute_sql("SELECT t_lower(name) FROM people")
+        assert adapter.channel.crossings == 0  # tuple path is per-value
+        # vectorized invocation path (through QFusor plan dispatch) uses
+        # batch crossings: exercise call_scalar directly
+        from repro.storage import Column
+        from repro.types import SqlType
+
+        col = Column("v", SqlType.TEXT, ["A"])
+        adapter.registry.get("t_lower").call_scalar([col], 1)
+        assert adapter.channel.crossings == 2
+
+
+class TestParallelAdapter:
+    def test_thread_count_configurable(self):
+        adapter = ParallelDbAdapter(threads=2)
+        assert adapter.threads == 2
+
+    def test_dml_passthrough(self):
+        adapter = load(ParallelDbAdapter())
+        adapter.execute_sql("DELETE FROM people WHERE id = 1")
+        result = adapter.execute_sql("SELECT count(*) FROM people")
+        assert result.to_rows() == [(4,)]

@@ -1,0 +1,87 @@
+"""Unit tests for the real stdlib-sqlite3 adapter."""
+
+import pytest
+
+from repro.core import QFusor
+from repro.engines import SqliteAdapter
+from repro.errors import UdfRegistrationError
+from tests.conftest import (
+    make_json_table, make_people_table, t_count, t_inc, t_jsonlen, t_lower,
+    t_tokens, t_upper,
+)
+
+
+@pytest.fixture
+def sqlite():
+    adapter = SqliteAdapter()
+    adapter.register_table(make_people_table())
+    adapter.register_table(make_json_table())
+    for udf in (t_lower, t_upper, t_inc, t_jsonlen, t_count):
+        adapter.register_udf(udf)
+    return adapter
+
+
+class TestTablesAndQueries:
+    def test_plain_query(self, sqlite):
+        result = sqlite.execute_sql(
+            "SELECT name FROM people WHERE age > 30 ORDER BY id"
+        )
+        assert result.to_rows() == [("Alice Smith",), ("Dan Brown",)]
+
+    def test_scalar_udf_through_create_function(self, sqlite):
+        result = sqlite.execute_sql(
+            "SELECT t_lower(name) FROM people WHERE id = 1"
+        )
+        assert result.to_rows() == [("alice smith",)]
+
+    def test_udf_null_strict(self, sqlite):
+        result = sqlite.execute_sql("SELECT t_lower(city) FROM people WHERE id = 4")
+        assert result.to_rows() == [(None,)]
+
+    def test_aggregate_udf_through_create_aggregate(self, sqlite):
+        result = sqlite.execute_sql(
+            "SELECT city, t_count(name) FROM people WHERE city IS NOT NULL "
+            "GROUP BY city ORDER BY city"
+        )
+        assert result.to_rows() == [("Athens", 2), ("Berlin", 2)]
+
+    def test_json_udf_deserializes(self, sqlite):
+        result = sqlite.execute_sql(
+            "SELECT t_jsonlen(tags) FROM docs WHERE id = 1"
+        )
+        assert result.to_rows() == [(3,)]
+
+    def test_table_udf_rejected(self, sqlite):
+        with pytest.raises(UdfRegistrationError):
+            sqlite.register_udf(t_tokens)
+
+    def test_dml(self, sqlite):
+        sqlite.execute_sql("DELETE FROM people WHERE id = 1")
+        result = sqlite.execute_sql("SELECT count(*) FROM people")
+        assert result.to_rows() == [(4,)]
+
+
+class TestQFusorOnSqlite:
+    def test_rewrite_path_used(self, sqlite):
+        qfusor = QFusor(sqlite)
+        result = qfusor.execute(
+            "SELECT t_upper(t_lower(name)) AS n FROM people ORDER BY n"
+        )
+        assert result.to_rows()[0] == ("ALICE SMITH",)
+        report = qfusor.last_report
+        assert report.rewritten_sql is not None
+        assert "qf_fused" in report.rewritten_sql
+
+    def test_fused_udf_registered_into_sqlite(self, sqlite):
+        qfusor = QFusor(sqlite)
+        qfusor.execute("SELECT t_upper(t_lower(name)) FROM people")
+        fused_name = qfusor.last_report.fused[0].definition.name
+        # the fused UDF is callable directly in sqlite now
+        result = sqlite.execute_sql(f"SELECT {fused_name}('MiXeD')")
+        assert result.to_rows() == [("MIXED",)]
+
+    def test_correctness_vs_native(self, sqlite):
+        sql = "SELECT t_upper(t_lower(name)) AS n FROM people ORDER BY n"
+        native = sqlite.execute_sql(sql).to_rows()
+        qfusor = QFusor(sqlite)
+        assert qfusor.execute(sql).to_rows() == native

@@ -1,0 +1,144 @@
+"""Failure injection: UDFs that raise must fail loudly (never silently
+corrupt results), identically fused and unfused, leaving the system
+usable afterwards."""
+
+import pytest
+
+from repro.core import QFusor, QFusorConfig
+from repro.engines import MiniDbAdapter
+from repro.errors import UdfExecutionError
+from repro.storage import Table
+from repro.types import SqlType
+from repro.udf import aggregate_udf, scalar_udf, table_udf
+
+
+@scalar_udf
+def fail_on_boom(val: str) -> str:
+    if val == "boom":
+        raise ValueError("poisoned value")
+    return val.lower()
+
+
+@scalar_udf
+def passthrough(val: str) -> str:
+    return val
+
+
+@aggregate_udf
+class failing_agg:
+    def __init__(self):
+        self.n = 0
+
+    def step(self, value: str):
+        if value == "boom":
+            raise RuntimeError("aggregate poisoned")
+        self.n += 1
+
+    def final(self) -> int:
+        return self.n
+
+
+@table_udf(output=("v",), types=(str,))
+def failing_table(inp_datagen):
+    for (value,) in inp_datagen:
+        if value == "boom":
+            raise KeyError("table poisoned")
+        yield (value,)
+
+
+def make_adapter(values):
+    adapter = MiniDbAdapter()
+    adapter.register_table(Table.from_rows(
+        "t", [("id", SqlType.INT), ("v", SqlType.TEXT)],
+        [(i, v) for i, v in enumerate(values)],
+    ))
+    for udf in (fail_on_boom, passthrough, failing_agg, failing_table):
+        adapter.register_udf(udf)
+    return adapter
+
+
+CLEAN = ["A", "B", "C"]
+POISONED = ["A", "boom", "C"]
+
+
+class TestScalarFailures:
+    def test_unfused_raises_udf_execution_error(self):
+        adapter = make_adapter(POISONED)
+        with pytest.raises(UdfExecutionError) as err:
+            adapter.execute_sql("SELECT fail_on_boom(v) FROM t")
+        assert err.value.udf_name == "fail_on_boom"
+        assert isinstance(err.value.original, ValueError)
+
+    def test_fused_raises_equivalently(self):
+        qfusor = QFusor(make_adapter(POISONED))
+        with pytest.raises(UdfExecutionError):
+            qfusor.execute("SELECT passthrough(fail_on_boom(v)) FROM t")
+
+    def test_fused_filter_failure_propagates(self):
+        qfusor = QFusor(make_adapter(POISONED))
+        with pytest.raises(UdfExecutionError):
+            qfusor.execute("SELECT id FROM t WHERE fail_on_boom(v) = 'a'")
+
+    def test_system_usable_after_failure(self):
+        qfusor = QFusor(make_adapter(POISONED))
+        with pytest.raises(UdfExecutionError):
+            qfusor.execute("SELECT fail_on_boom(v) FROM t")
+        # the same client still answers healthy queries
+        result = qfusor.execute("SELECT count(*) FROM t")
+        assert result.to_rows() == [(3,)]
+
+    def test_clean_data_unaffected(self):
+        qfusor = QFusor(make_adapter(CLEAN))
+        result = qfusor.execute(
+            "SELECT passthrough(fail_on_boom(v)) AS o FROM t ORDER BY o"
+        )
+        assert result.to_rows() == [("a",), ("b",), ("c",)]
+
+
+class TestAggregateFailures:
+    def test_unfused(self):
+        adapter = make_adapter(POISONED)
+        with pytest.raises(UdfExecutionError):
+            adapter.execute_sql("SELECT failing_agg(v) FROM t")
+
+    def test_fused_with_scalar_prefix(self):
+        qfusor = QFusor(make_adapter(POISONED))
+        with pytest.raises(UdfExecutionError):
+            qfusor.execute("SELECT failing_agg(passthrough(v)) FROM t")
+
+
+class TestTableFailures:
+    def test_relation_mode(self):
+        adapter = make_adapter(POISONED)
+        with pytest.raises(UdfExecutionError):
+            adapter.execute_sql(
+                "SELECT v FROM failing_table((SELECT v FROM t)) AS f"
+            )
+
+    def test_expand_mode(self):
+        adapter = make_adapter(POISONED)
+        with pytest.raises(UdfExecutionError):
+            adapter.execute_sql("SELECT id, failing_table(v) AS x FROM t")
+
+    def test_fused_table_pipeline(self):
+        qfusor = QFusor(make_adapter(POISONED))
+        with pytest.raises(UdfExecutionError):
+            qfusor.execute(
+                "SELECT v FROM failing_table((SELECT passthrough(v) AS v "
+                "FROM t)) AS f"
+            )
+
+
+class TestDmlFailures:
+    def test_update_with_failing_udf_raises(self):
+        qfusor = QFusor(make_adapter(POISONED))
+        with pytest.raises(UdfExecutionError):
+            qfusor.execute("UPDATE t SET v = fail_on_boom(v)")
+
+    def test_table_untouched_after_failed_update(self):
+        qfusor = QFusor(make_adapter(POISONED))
+        before = qfusor.adapter.execute_sql("SELECT v FROM t").to_rows()
+        with pytest.raises(UdfExecutionError):
+            qfusor.execute("UPDATE t SET v = fail_on_boom(v)")
+        after = qfusor.adapter.execute_sql("SELECT v FROM t").to_rows()
+        assert after == before

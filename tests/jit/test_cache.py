@@ -1,0 +1,56 @@
+"""Unit tests for the compiled-trace cache."""
+
+from repro.jit import PipelineSpec, ScalarUdfStage, TraceCache
+from repro.types import SqlType
+from tests.conftest import t_lower, t_upper
+
+LOWER = t_lower.__udf__
+UPPER = t_upper.__udf__
+
+
+def make_spec(name="p1", udf=LOWER):
+    return PipelineSpec(
+        name=name,
+        inputs=(("x", SqlType.TEXT),),
+        stages=(ScalarUdfStage(udf, ("x",), "v1"),),
+        outputs=("v1",),
+        output_types=(SqlType.TEXT,),
+    )
+
+
+class TestTraceCache:
+    def test_miss_then_hit(self):
+        cache = TraceCache()
+        first, cached1 = cache.get_or_compile(make_spec("a"))
+        second, cached2 = cache.get_or_compile(make_spec("b"))
+        assert not cached1 and cached2
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_different_pipelines_different_entries(self):
+        cache = TraceCache()
+        cache.get_or_compile(make_spec(udf=LOWER))
+        cache.get_or_compile(make_spec(udf=UPPER))
+        assert len(cache) == 2
+
+    def test_disabled_cache_always_compiles(self):
+        cache = TraceCache(enabled=False)
+        first, cached1 = cache.get_or_compile(make_spec())
+        second, cached2 = cache.get_or_compile(make_spec())
+        assert not cached1 and not cached2
+        assert first is not second
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = TraceCache()
+        cache.get_or_compile(make_spec())
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0
+
+    def test_hit_avoids_compile_cost(self):
+        cache = TraceCache()
+        fused, _ = cache.get_or_compile(make_spec())
+        assert fused.compile_seconds > 0
+        again, cached = cache.get_or_compile(make_spec("other"))
+        assert cached  # no new compile happened: same object returned
+        assert again is fused

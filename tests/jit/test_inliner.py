@@ -1,0 +1,111 @@
+"""Unit tests for the AST inliner (the tracing-JIT stand-in)."""
+
+import pytest
+
+from repro.jit import try_inline
+
+MODULE_CONSTANT = 42
+
+
+def simple(x):
+    return x + 1
+
+
+def with_method(val):
+    return val.lower()
+
+
+def with_comprehension(val):
+    return " ".join(w for w in val.split() if len(w) > 2)
+
+
+def with_ternary_body(x):
+    if x > 0:
+        return "pos"
+    return "non-pos"
+
+
+def with_lambda(xs):
+    return sorted(xs, key=lambda v: -v)
+
+
+def with_docstring(x):
+    """Documented."""
+    return x * 2
+
+
+def uses_module_global(x):
+    return x + MODULE_CONSTANT
+
+
+def multi_statement(x):
+    y = x + 1
+    return y * 2
+
+
+def with_loop(x):
+    total = 0
+    for i in range(x):
+        total += i
+    return total
+
+
+def two_params(a, b):
+    return a * b
+
+
+class TestInlinable:
+    def test_simple_expression(self):
+        result = try_inline(simple)
+        assert result is not None
+        assert result.substitute(["v7"]) == "v7 + 1"
+
+    def test_method_call(self):
+        result = try_inline(with_method)
+        assert result.substitute(["inp"]) == "inp.lower()"
+
+    def test_comprehension_variables_not_free(self):
+        assert try_inline(with_comprehension) is not None
+
+    def test_guarded_return_becomes_ternary(self):
+        result = try_inline(with_ternary_body)
+        rendered = result.substitute(["z"])
+        assert "if" in rendered and "else" in rendered
+        namespace = {"z": 3}
+        assert eval(rendered, namespace) == "pos"
+
+    def test_lambda_params_not_free(self):
+        assert try_inline(with_lambda) is not None
+
+    def test_docstring_skipped(self):
+        result = try_inline(with_docstring)
+        assert result.substitute(["q"]) == "q * 2"
+
+    def test_two_params_substitution(self):
+        result = try_inline(two_params)
+        assert result.substitute(["left", "right"]) == "left * right"
+
+    def test_inlined_expression_is_semantically_equal(self):
+        result = try_inline(simple)
+        rendered = result.substitute(["value"])
+        for value in (-3, 0, 7):
+            assert eval(rendered, {"value": value}) == simple(value)
+
+
+class TestNotInlinable:
+    def test_module_global_reference(self):
+        assert try_inline(uses_module_global) is None
+
+    def test_multi_statement(self):
+        assert try_inline(multi_statement) is None
+
+    def test_loop(self):
+        assert try_inline(with_loop) is None
+
+    def test_builtin_without_source(self):
+        assert try_inline(len) is None
+
+    def test_lambda_defined_inline(self):
+        # lambdas lack a clean single-function source extract
+        fn = lambda x: x + 1  # noqa: E731
+        assert try_inline(fn) is None

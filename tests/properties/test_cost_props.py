@@ -1,0 +1,94 @@
+"""Properties of the cost model: monotonicity and consistency of F and
+the F2 inequality under random cardinalities and selectivities."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.cost import INFINITE, CostModel
+from repro.core.dfg import Operator
+from repro.udf.state import StatsStore
+
+
+def make_op(kind="scalar_udf", name="u", rows=1000.0):
+    operator = Operator(0, kind, name, frozenset(), frozenset())
+
+    class _Node:
+        est_rows = rows
+
+    operator.plan_node = _Node()
+    return operator
+
+
+rows_strategy = st.floats(min_value=1.0, max_value=1e7)
+chain_lengths = st.integers(min_value=1, max_value=6)
+
+
+@given(rows_strategy)
+@settings(max_examples=100, deadline=None)
+def test_operator_cost_positive_and_scales_with_rows(rows):
+    cost = CostModel(StatsStore())
+    small = cost.operator_cost(make_op(rows=rows))
+    large = cost.operator_cost(make_op(rows=rows * 2))
+    assert 0 < small < large
+
+
+@given(rows_strategy, chain_lengths)
+@settings(max_examples=100, deadline=None)
+def test_fusing_a_udf_chain_never_loses(rows, length):
+    """F(S) <= sum F({v}) for pure scalar-UDF chains: fusion removes
+    wrapper costs and adds nothing (the paper's always-fuse rule F1)."""
+    cost = CostModel(StatsStore())
+    chain = [make_op(rows=rows) for _ in range(length)]
+    fused = cost.section_cost(chain)
+    isolated = sum(cost.operator_cost(op) for op in chain)
+    assert fused <= isolated
+
+
+@given(rows_strategy, chain_lengths)
+@settings(max_examples=100, deadline=None)
+def test_longer_chains_fuse_better(rows, length):
+    """The per-UDF saving grows with chain length (longer traces)."""
+    cost = CostModel(StatsStore())
+
+    def saving(n):
+        chain = [make_op(rows=rows) for _ in range(n)]
+        return sum(cost.operator_cost(op) for op in chain) - cost.section_cost(chain)
+
+    assert saving(length + 1) >= saving(length)
+
+
+@given(rows_strategy)
+@settings(max_examples=100, deadline=None)
+def test_unfusible_kinds_always_infinite(rows):
+    cost = CostModel(StatsStore())
+    for kind, name in (("join", "inner join"), ("sort", "order by"),
+                       ("setop", "union"), ("limit", "limit")):
+        assert cost.operator_cost(make_op(kind, name, rows)) is INFINITE
+        assert cost.section_cost(
+            [make_op(rows=rows), make_op(kind, name, rows)]
+        ) is INFINITE
+
+
+@given(rows_strategy, st.integers(min_value=1, max_value=5))
+@settings(max_examples=100, deadline=None)
+def test_f2_monotone_in_udf_count(rows, udf_count):
+    """More UDFs affected by the relational operator -> offloading can
+    only become more attractive (the left side of F2 grows)."""
+    cost = CostModel(StatsStore())
+    rel = make_op("filter", "filter", rows)
+    fewer = cost.should_offload(rel, [make_op(rows=rows)] * udf_count)
+    more = cost.should_offload(rel, [make_op(rows=rows)] * (udf_count + 2))
+    assert more or not fewer  # fewer => more (implication)
+
+
+@given(rows_strategy)
+@settings(max_examples=50, deadline=None)
+def test_learned_costs_feed_back(rows):
+    """Observations shift the expected cost in the observed direction."""
+    stats = StatsStore()
+    cost = CostModel(stats)
+    cold = cost.processing_cost_per_tuple(make_op(name="hot_udf", rows=rows))
+    for _ in range(40):
+        stats.observe("hot_udf", 1000, 1000, 1.0)  # 1 ms/tuple: expensive
+    warm = cost.processing_cost_per_tuple(make_op(name="hot_udf", rows=rows))
+    assert warm > cold

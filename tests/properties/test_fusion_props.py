@@ -1,0 +1,160 @@
+"""Property: fused execution equals unfused execution on random data and
+random expression pipelines — the core QFusor invariant."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import QFusor, QFusorConfig
+from repro.engines import MiniDbAdapter
+from repro.storage import Table
+from repro.types import SqlType
+from repro.udf import aggregate_udf, scalar_udf, table_udf
+
+
+# Module-level UDFs (source available for the inliner).
+@scalar_udf
+def p_add3(x: int) -> int:
+    return x + 3
+
+
+@scalar_udf
+def p_neg(x: int) -> int:
+    return -x
+
+
+@scalar_udf
+def p_halve(x: int) -> int:
+    return x // 2
+
+
+@scalar_udf
+def p_rev(s: str) -> str:
+    return s[::-1]
+
+
+@scalar_udf
+def p_head(s: str) -> str:
+    return s[:3]
+
+
+@aggregate_udf
+class p_sum:
+    def __init__(self):
+        self.total = 0
+
+    def step(self, value: int):
+        self.total += value
+
+    def final(self) -> int:
+        return self.total
+
+
+@table_udf(output=("part",), types=(str,))
+def p_split(inp_datagen):
+    for (text,) in inp_datagen:
+        if text is None:
+            continue
+        for part in text.split("-"):
+            yield (part,)
+
+
+UDFS = [p_add3, p_neg, p_halve, p_rev, p_head, p_sum, p_split]
+
+INT_CHAINS = ["p_add3", "p_neg", "p_halve"]
+STR_CHAINS = ["p_rev", "p_head"]
+
+
+def build_pair(rows):
+    """Two identically loaded adapters: native and QFusor-attached."""
+    table = Table.from_rows(
+        "data",
+        [("i", SqlType.INT), ("s", SqlType.TEXT), ("g", SqlType.TEXT)],
+        rows,
+    )
+    native = MiniDbAdapter()
+    native.register_table(table)
+    for udf in UDFS:
+        native.register_udf(udf)
+    fused_adapter = MiniDbAdapter()
+    fused_adapter.register_table(table)
+    for udf in UDFS:
+        fused_adapter.register_udf(udf)
+    return native, QFusor(fused_adapter)
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.integers(-100, 100)),
+        st.one_of(st.none(), st.sampled_from(
+            ["a-b", "xy-z-q", "hello", "one-two", ""]
+        )),
+        st.sampled_from(["g1", "g2", "g3"]),
+    ),
+    min_size=0, max_size=30,
+)
+
+
+def run_both(rows, sql):
+    native, qfusor = build_pair(rows)
+    expected = sorted(map(repr, native.execute_sql(sql).to_rows()))
+    got = sorted(map(repr, qfusor.execute(sql).to_rows()))
+    assert got == expected, sql
+
+
+@given(rows_strategy, st.lists(st.sampled_from(INT_CHAINS), min_size=1,
+                               max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_random_int_chains(rows, chain):
+    expr = "i"
+    for name in chain:
+        expr = f"{name}({expr})"
+    run_both(rows, f"SELECT {expr} AS out FROM data")
+
+
+@given(rows_strategy, st.lists(st.sampled_from(STR_CHAINS), min_size=1,
+                               max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_random_string_chains(rows, chain):
+    expr = "s"
+    for name in chain:
+        expr = f"{name}({expr})"
+    run_both(rows, f"SELECT {expr} AS out FROM data")
+
+
+@given(rows_strategy, st.sampled_from(INT_CHAINS),
+       st.integers(-50, 50))
+@settings(max_examples=30, deadline=None)
+def test_random_filter_fusion(rows, name, threshold):
+    run_both(
+        rows,
+        f"SELECT i FROM data WHERE {name}(i) > {threshold}",
+    )
+
+
+@given(rows_strategy, st.sampled_from(INT_CHAINS))
+@settings(max_examples=30, deadline=None)
+def test_random_aggregate_fusion(rows, name):
+    run_both(
+        rows,
+        f"SELECT g, sum({name}(i)) AS s, p_sum({name}(i)) AS u "
+        f"FROM data GROUP BY g",
+    )
+
+
+@given(rows_strategy, st.sampled_from(STR_CHAINS))
+@settings(max_examples=25, deadline=None)
+def test_random_table_fusion(rows, name):
+    run_both(
+        rows,
+        f"SELECT part FROM p_split((SELECT {name}(s) AS v FROM data)) AS p",
+    )
+
+
+@given(rows_strategy)
+@settings(max_examples=25, deadline=None)
+def test_random_case_offload(rows):
+    run_both(
+        rows,
+        "SELECT g, sum(CASE WHEN p_add3(i) BETWEEN 0 AND 50 "
+        "THEN 1 ELSE NULL END) AS n FROM data GROUP BY g",
+    )

@@ -1,0 +1,88 @@
+"""Property: printing any generated AST and reparsing reaches a fixpoint."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sql import ast, parse, to_sql
+
+# ----------------------------------------------------------------------
+# Expression strategies
+# ----------------------------------------------------------------------
+
+identifiers = st.sampled_from(["a", "b", "c", "col1", "val", "x_y"])
+
+literals = st.one_of(
+    st.integers(min_value=-1000, max_value=1000).map(ast.Literal),
+    st.floats(min_value=-100, max_value=100, allow_nan=False).map(ast.Literal),
+    st.sampled_from(["", "x", "it's", "%like%", "αθήνα"]).map(ast.Literal),
+    st.sampled_from([None, True, False]).map(ast.Literal),
+)
+
+column_refs = st.one_of(
+    identifiers.map(ast.ColumnRef),
+    st.tuples(identifiers, identifiers).map(
+        lambda pair: ast.ColumnRef(pair[0], table=pair[1])
+    ),
+)
+
+
+def expressions(depth=2):
+    if depth == 0:
+        return st.one_of(literals, column_refs)
+    sub = expressions(depth - 1)
+    return st.one_of(
+        literals,
+        column_refs,
+        st.tuples(st.sampled_from(["+", "-", "*", "/", "=", "<", ">="]),
+                  sub, sub).map(lambda t: ast.BinaryOp(*t)),
+        st.tuples(sub, sub).map(lambda t: ast.BinaryOp("AND", *t)),
+        sub.map(lambda e: ast.UnaryOp("NOT", e)),
+        st.tuples(sub, sub, sub).map(lambda t: ast.Between(*t)),
+        sub.map(lambda e: ast.IsNull(e)),
+        st.tuples(identifiers, st.lists(sub, max_size=3)).map(
+            lambda t: ast.FunctionCall(t[0], tuple(t[1]))
+        ),
+        st.tuples(sub, sub, sub).map(
+            lambda t: ast.CaseExpr(((t[0], t[1]),), None, t[2])
+        ),
+    )
+
+
+@st.composite
+def selects(draw):
+    items = draw(st.lists(
+        st.tuples(expressions(2), st.one_of(st.none(), identifiers)),
+        min_size=1, max_size=3,
+    ))
+    where = draw(st.one_of(st.none(), expressions(2)))
+    distinct = draw(st.booleans())
+    limit = draw(st.one_of(st.none(), st.integers(0, 100)))
+    order = draw(st.lists(
+        st.tuples(column_refs, st.booleans()), max_size=2
+    ))
+    return ast.Select(
+        items=tuple(ast.SelectItem(e, alias) for e, alias in items),
+        from_items=(ast.TableRef("t"),),
+        where=where,
+        distinct=distinct,
+        order_by=tuple(ast.OrderItem(e, asc) for e, asc in order),
+        limit=limit,
+    )
+
+
+@given(selects())
+@settings(max_examples=150, deadline=None)
+def test_select_roundtrip_fixpoint(select):
+    once = to_sql(select)
+    reparsed = parse(once)
+    assert to_sql(reparsed) == once
+
+
+@given(expressions(3))
+@settings(max_examples=200, deadline=None)
+def test_expression_roundtrip_fixpoint(expr):
+    from repro.sql.parser import parse_expression
+
+    once = to_sql(expr)
+    reparsed = parse_expression(once)
+    assert to_sql(reparsed) == once

@@ -1,0 +1,71 @@
+"""Unit tests for AST helpers (walking, rewriting)."""
+
+from repro.sql import ast, parse_expression
+
+
+class TestWalk:
+    def test_walk_covers_all_nodes(self):
+        expr = parse_expression(
+            "CASE WHEN f(a) BETWEEN 1 AND g(b) THEN h(c) ELSE d END"
+        )
+        names = {
+            n.name for n in ast.walk_expr(expr)
+            if isinstance(n, ast.FunctionCall)
+        }
+        assert names == {"f", "g", "h"}
+
+    def test_walk_none(self):
+        assert list(ast.walk_expr(None)) == []
+
+    def test_walk_in_list(self):
+        expr = parse_expression("x IN (f(1), 2)")
+        kinds = [type(n).__name__ for n in ast.walk_expr(expr)]
+        assert "FunctionCall" in kinds
+
+
+class TestRewriteChildren:
+    def test_identity_when_fn_returns_same(self):
+        expr = parse_expression("a + b")
+        rebuilt = ast.rewrite_children(expr, lambda e: e)
+        assert rebuilt == expr
+
+    def test_leaf_substitution(self):
+        expr = parse_expression("f(a) + 1")
+
+        def subst(e):
+            if isinstance(e, ast.ColumnRef):
+                return ast.ColumnRef("z")
+            return ast.rewrite_children(e, subst)
+
+        rebuilt = ast.rewrite_children(expr, subst)
+        refs = [n for n in ast.walk_expr(rebuilt) if isinstance(n, ast.ColumnRef)]
+        assert refs == [ast.ColumnRef("z")]
+
+    def test_case_rewrite(self):
+        expr = parse_expression("CASE WHEN a THEN b ELSE c END")
+        rebuilt = ast.rewrite_children(expr, lambda e: e)
+        assert rebuilt == expr
+
+    def test_literal_passthrough(self):
+        lit = ast.Literal(5)
+        assert ast.rewrite_children(lit, lambda e: e) is lit
+
+
+class TestNodeProperties:
+    def test_column_ref_qualified(self):
+        assert ast.ColumnRef("c", table="t").qualified == "t.c"
+        assert ast.ColumnRef("c").qualified == "c"
+
+    def test_literal_sql_type(self):
+        from repro.types import SqlType
+
+        assert ast.Literal(1).sql_type is SqlType.INT
+        assert ast.Literal("x").sql_type is SqlType.TEXT
+        assert ast.Literal(None).sql_type is None
+
+    def test_function_lowered_name(self):
+        assert ast.FunctionCall("MyFunc").lowered_name == "myfunc"
+
+    def test_table_ref_binding(self):
+        assert ast.TableRef("t", alias="x").binding == "x"
+        assert ast.TableRef("t").binding == "t"

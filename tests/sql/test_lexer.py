@@ -1,0 +1,86 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql import Token, TokenKind, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        assert values("myTable _col2") == ["myTable", "_col2"]
+
+    def test_numbers(self):
+        assert values("1 2.5 .5 1e3 2.5E-2") == ["1", "2.5", ".5", "1e3", "2.5E-2"]
+
+    def test_string_with_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].value == "it's"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"weird name"')
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "weird name"
+
+    def test_multi_char_operators(self):
+        assert values("<= >= <> != ||") == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_single_char_operators(self):
+        assert values("a+b*c") == ["a", "+", "b", "*", "c"]
+
+    def test_eof_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind is TokenKind.EOF
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a -- comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* hi */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'never ends")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexError):
+            tokenize('"never')
+
+
+class TestHelpers:
+    def test_is_keyword(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+
+    def test_is_op(self):
+        token = tokenize("+")[0]
+        assert token.is_op("+")
+        assert not token.is_op("-")

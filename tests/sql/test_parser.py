@@ -1,0 +1,258 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast, parse, parse_expression
+from repro.types import SqlType
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        stmt = parse("SELECT a, b FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert len(stmt.items) == 2
+        assert isinstance(stmt.from_items[0], ast.TableRef)
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expr == ast.Star(table="t")
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t AS tt")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_items[0].alias == "tt"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse(
+            "SELECT a, count(b) FROM t WHERE a > 1 GROUP BY a "
+            "HAVING count(b) > 2 ORDER BY a DESC LIMIT 5 OFFSET 2"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert not stmt.order_by[0].ascending
+        assert stmt.limit == 5 and stmt.offset == 2
+
+    def test_no_from(self):
+        stmt = parse("SELECT 1 + 1")
+        assert stmt.from_items == ()
+
+
+class TestFromClause:
+    def test_comma_join(self):
+        stmt = parse("SELECT a FROM t1, t2")
+        assert len(stmt.from_items) == 2
+
+    def test_inner_join(self):
+        stmt = parse("SELECT a FROM t1 JOIN t2 ON t1.x = t2.y")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "INNER"
+        assert join.condition is not None
+
+    def test_left_join(self):
+        stmt = parse("SELECT a FROM t1 LEFT OUTER JOIN t2 ON t1.x = t2.y")
+        assert stmt.from_items[0].kind == "LEFT"
+
+    def test_cross_join(self):
+        stmt = parse("SELECT a FROM t1 CROSS JOIN t2")
+        assert stmt.from_items[0].kind == "CROSS"
+        assert stmt.from_items[0].condition is None
+
+    def test_right_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t1 RIGHT JOIN t2 ON t1.x = t2.y")
+
+    def test_subquery(self):
+        stmt = parse("SELECT a FROM (SELECT b AS a FROM t) AS s")
+        sub = stmt.from_items[0]
+        assert isinstance(sub, ast.SubqueryRef)
+        assert sub.alias == "s"
+
+    def test_table_function_with_literals(self):
+        stmt = parse("SELECT x FROM gen(1, 'a') AS g")
+        tf = stmt.from_items[0]
+        assert isinstance(tf, ast.TableFunctionRef)
+        assert tf.call.name == "gen"
+        assert len(tf.call.args) == 2
+
+    def test_table_function_with_subquery(self):
+        stmt = parse("SELECT x FROM tokens((SELECT b FROM t)) AS tk")
+        tf = stmt.from_items[0]
+        assert len(tf.subquery_args) == 1
+        assert isinstance(tf.subquery_args[0], ast.Select)
+
+
+class TestCtes:
+    def test_single_cte(self):
+        stmt = parse("WITH c AS (SELECT a FROM t) SELECT a FROM c")
+        assert len(stmt.ctes) == 1
+        assert stmt.ctes[0][0] == "c"
+
+    def test_multiple_ctes(self):
+        stmt = parse(
+            "WITH c1 AS (SELECT a FROM t), c2 AS (SELECT a FROM c1) "
+            "SELECT a FROM c2"
+        )
+        assert [name for name, _ in stmt.ctes] == ["c1", "c2"]
+
+
+class TestSetOps:
+    @pytest.mark.parametrize(
+        "op", ["UNION", "UNION ALL", "INTERSECT", "EXCEPT"]
+    )
+    def test_set_operations(self, op):
+        stmt = parse(f"SELECT a FROM t {op} SELECT b FROM u")
+        assert stmt.set_op.op == op
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_comparison_chain_with_logic(self):
+        expr = parse_expression("a > 1 AND b < 2 OR c = 3")
+        assert expr.op == "OR"
+        assert expr.left.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "NOT"
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        expr = parse_expression("x NOT BETWEEN 1 AND 10")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_is_null_and_not_null(self):
+        assert not parse_expression("x IS NULL").negated
+        assert parse_expression("x IS NOT NULL").negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'a%'")
+        assert expr.op == "LIKE"
+
+    def test_not_like(self):
+        expr = parse_expression("name NOT LIKE 'a%'")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_case_searched(self):
+        expr = parse_expression(
+            "CASE WHEN a > 1 THEN 'big' WHEN a > 0 THEN 'small' ELSE 'neg' END"
+        )
+        assert isinstance(expr, ast.CaseExpr)
+        assert len(expr.whens) == 2
+        assert expr.operand is None
+
+    def test_case_with_operand(self):
+        expr = parse_expression("CASE x WHEN 1 THEN 'one' END")
+        assert expr.operand is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_cast_and_aliases(self):
+        assert parse_expression("CAST(a AS INTEGER)").target is SqlType.INT
+        assert parse_expression("CAST(a AS VARCHAR)").target is SqlType.TEXT
+        with pytest.raises(ParseError):
+            parse_expression("CAST(a AS BLOB)")
+
+    def test_function_call(self):
+        expr = parse_expression("f(a, g(b), 1)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert len(expr.args) == 3
+
+    def test_count_star_normalized(self):
+        expr = parse_expression("count(*)")
+        assert expr.args == ()
+
+    def test_count_distinct(self):
+        assert parse_expression("count(DISTINCT a)").distinct
+
+    def test_negative_literal_folded(self):
+        expr = parse_expression("-5")
+        assert expr == ast.Literal(-5)
+
+    def test_null_true_false(self):
+        assert parse_expression("NULL") == ast.Literal(None)
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("FALSE") == ast.Literal(False)
+
+    def test_qualified_column(self):
+        expr = parse_expression("t.col")
+        assert expr == ast.ColumnRef("col", table="t")
+
+    def test_concat_operator(self):
+        assert parse_expression("a || b").op == "||"
+
+
+class TestDml:
+    def test_insert_values(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.values) == 2
+
+    def test_insert_select(self):
+        stmt = parse("INSERT INTO t SELECT a FROM u")
+        assert stmt.query is not None
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = f(c) WHERE a > 0")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a IS NULL")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_create_table_as(self):
+        stmt = parse("CREATE TEMP TABLE t2 AS SELECT a FROM t")
+        assert isinstance(stmt, ast.CreateTableAs)
+        assert stmt.temporary
+
+    def test_drop_table(self):
+        stmt = parse("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, ast.DropTable)
+        assert stmt.if_exists
+
+    def test_explain(self):
+        stmt = parse("EXPLAIN SELECT a FROM t")
+        assert isinstance(stmt, ast.Explain)
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t extra nonsense (")
+
+    def test_missing_from_table(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse("FROB THE WIDGET")

@@ -1,0 +1,60 @@
+"""Unit tests for the SQL printer (round-trip fidelity)."""
+
+import pytest
+
+from repro.sql import ast, parse, to_sql
+
+ROUNDTRIP_QUERIES = [
+    "SELECT a, b AS bb FROM t WHERE a > 1",
+    "SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 3 OFFSET 1",
+    "WITH c AS (SELECT a FROM t) SELECT c1.a FROM c AS c1, c AS c2 "
+    "WHERE c1.a = c2.a",
+    "SELECT CASE WHEN a BETWEEN 1 AND 2 THEN 'x' ELSE NULL END AS v FROM t",
+    "SELECT * FROM f(1, 'x') AS g",
+    "SELECT x FROM tokens((SELECT b FROM t)) AS tk",
+    "SELECT a FROM t1 INNER JOIN t2 ON t1.a = t2.b",
+    "SELECT a FROM t1 LEFT JOIN t2 ON t1.a = t2.b",
+    "SELECT a FROM t1 CROSS JOIN t2",
+    "SELECT a FROM t UNION ALL SELECT b FROM u",
+    "SELECT a FROM t INTERSECT SELECT b FROM u",
+    "SELECT count(*) AS n, sum(DISTINCT x) FROM t GROUP BY g HAVING count(*) > 1",
+    "SELECT a || 'suffix', -b, NOT c FROM t WHERE d IN (1, 2) AND e IS NOT NULL",
+    "SELECT CAST(a AS FLOAT) FROM t WHERE b LIKE '%x%'",
+    "INSERT INTO t (a) VALUES (1), (2)",
+    "INSERT INTO t SELECT a FROM u",
+    "UPDATE t SET a = f(b) WHERE c = 'it''s'",
+    "DELETE FROM t WHERE a IS NULL",
+    "CREATE TEMP TABLE x AS SELECT a FROM t",
+    "DROP TABLE IF EXISTS x",
+    "EXPLAIN SELECT a FROM t",
+    "SELECT t.* FROM t",
+]
+
+
+@pytest.mark.parametrize("sql", ROUNDTRIP_QUERIES)
+def test_print_parse_fixpoint(sql):
+    """Printing then reparsing must reach a fixpoint after one round."""
+    once = to_sql(parse(sql))
+    twice = to_sql(parse(once))
+    assert once == twice
+
+
+@pytest.mark.parametrize("sql", ROUNDTRIP_QUERIES)
+def test_roundtrip_preserves_ast(sql):
+    """The reparsed AST must equal the first parse (modulo nothing)."""
+    first = parse(sql)
+    second = parse(to_sql(first))
+    assert first == second
+
+
+class TestLiterals:
+    def test_string_escaping(self):
+        assert to_sql(ast.Literal("it's")) == "'it''s'"
+
+    def test_null_bool(self):
+        assert to_sql(ast.Literal(None)) == "NULL"
+        assert to_sql(ast.Literal(True)) == "TRUE"
+
+    def test_numbers(self):
+        assert to_sql(ast.Literal(3)) == "3"
+        assert to_sql(ast.Literal(2.5)) == "2.5"

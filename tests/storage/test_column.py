@@ -1,0 +1,122 @@
+"""Unit tests for the typed Column."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.storage import Column
+from repro.types import SqlType
+
+
+class TestConstruction:
+    def test_int_column_roundtrip(self):
+        col = Column("x", SqlType.INT, [1, 2, 3])
+        assert col.to_list() == [1, 2, 3]
+        assert len(col) == 3
+
+    def test_nulls_roundtrip_numeric(self):
+        col = Column("x", SqlType.FLOAT, [1.5, None, 2.5])
+        assert col.to_list() == [1.5, None, 2.5]
+        assert col[1] is None
+        assert col.has_nulls()
+
+    def test_nulls_roundtrip_text(self):
+        col = Column("x", SqlType.TEXT, ["a", None])
+        assert col.to_list() == ["a", None]
+        assert col.has_nulls()
+
+    def test_no_nulls(self):
+        col = Column("x", SqlType.INT, [1, 2])
+        assert not col.has_nulls()
+
+    def test_bool_column(self):
+        col = Column("x", SqlType.BOOL, [True, False, None])
+        assert col.to_list() == [True, False, None]
+        assert col[0] is True
+
+    def test_json_column_keeps_serialized_text(self):
+        col = Column("x", SqlType.JSON, ['["a","b"]'])
+        assert col[0] == '["a","b"]'
+
+    def test_coercion_int_from_bool(self):
+        col = Column("x", SqlType.INT, [True, False])
+        assert col.to_list() == [1, 0]
+
+    def test_coercion_rejects_lossy(self):
+        with pytest.raises(TypeMismatchError):
+            Column("x", SqlType.INT, [1.5])
+
+    def test_coercion_rejects_wrong_type(self):
+        with pytest.raises(TypeMismatchError):
+            Column("x", SqlType.INT, ["nope"])
+
+    def test_getitem_returns_python_scalars(self):
+        col = Column("x", SqlType.INT, [7])
+        assert type(col[0]) is int
+        col = Column("x", SqlType.FLOAT, [7.5])
+        assert type(col[0]) is float
+
+    def test_empty(self):
+        col = Column.empty("x", SqlType.TEXT)
+        assert len(col) == 0
+        assert col.to_list() == []
+
+    def test_from_numpy(self):
+        col = Column.from_numpy("x", SqlType.INT, np.array([1, 2, 3]))
+        assert col.to_list() == [1, 2, 3]
+        assert not col.has_nulls()
+
+
+class TestOperations:
+    def test_take(self):
+        col = Column("x", SqlType.INT, [10, 20, 30, None])
+        taken = col.take([3, 1, 1])
+        assert taken.to_list() == [None, 20, 20]
+
+    def test_filter(self):
+        col = Column("x", SqlType.TEXT, ["a", "b", "c"])
+        filtered = col.filter(np.array([True, False, True]))
+        assert filtered.to_list() == ["a", "c"]
+
+    def test_slice(self):
+        col = Column("x", SqlType.INT, [0, 1, 2, 3, 4])
+        assert col.slice(1, 3).to_list() == [1, 2]
+
+    def test_concat(self):
+        a = Column("x", SqlType.INT, [1, None])
+        b = Column("x", SqlType.INT, [3])
+        merged = Column.concat("x", [a, b])
+        assert merged.to_list() == [1, None, 3]
+
+    def test_concat_type_mismatch(self):
+        a = Column("x", SqlType.INT, [1])
+        b = Column("x", SqlType.TEXT, ["a"])
+        with pytest.raises(TypeMismatchError):
+            Column.concat("x", [a, b])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(TypeMismatchError):
+            Column.concat("x", [])
+
+    def test_renamed_shares_data(self):
+        col = Column("x", SqlType.INT, [1, 2])
+        renamed = col.renamed("y")
+        assert renamed.name == "y"
+        assert renamed.to_list() == col.to_list()
+
+    def test_null_mask(self):
+        col = Column("x", SqlType.INT, [1, None, 3])
+        assert col.null_mask().tolist() == [False, True, False]
+        text = Column("x", SqlType.TEXT, ["a", None])
+        assert text.null_mask().tolist() == [False, True]
+
+    def test_equality(self):
+        a = Column("x", SqlType.INT, [1, 2])
+        b = Column("x", SqlType.INT, [1, 2])
+        c = Column("y", SqlType.INT, [1, 2])
+        assert a == b
+        assert a != c
+
+    def test_columns_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Column("x", SqlType.INT, [1]))

@@ -1,0 +1,113 @@
+"""Unit tests for Table and Schema."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, TypeMismatchError
+from repro.storage import Column, Table
+from repro.storage.table import Schema
+from repro.types import SqlType
+
+
+def small_table():
+    return Table.from_rows(
+        "t",
+        [("a", SqlType.INT), ("b", SqlType.TEXT)],
+        [(1, "x"), (2, "y"), (None, "z")],
+    )
+
+
+class TestSchema:
+    def test_position_and_type(self):
+        schema = Schema([("a", SqlType.INT), ("b", SqlType.TEXT)])
+        assert schema.position("b") == 1
+        assert schema.type_of("a") is SqlType.INT
+
+    def test_unknown_column(self):
+        schema = Schema([("a", SqlType.INT)])
+        with pytest.raises(CatalogError):
+            schema.position("zz")
+
+    def test_duplicates_allowed_first_wins(self):
+        schema = Schema([("a", SqlType.INT), ("a", SqlType.TEXT)])
+        assert schema.has_duplicates
+        assert schema.position("a") == 0
+
+    def test_iteration(self):
+        schema = Schema([("a", SqlType.INT)])
+        assert list(schema) == [("a", SqlType.INT)]
+
+
+class TestTable:
+    def test_from_rows_roundtrip(self):
+        table = small_table()
+        assert table.to_rows() == [(1, "x"), (2, "y"), (None, "z")]
+        assert table.num_rows == 3
+        assert table.num_columns == 2
+
+    def test_ragged_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Table(
+                "t",
+                [
+                    Column("a", SqlType.INT, [1, 2]),
+                    Column("b", SqlType.INT, [1]),
+                ],
+            )
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Table.from_rows("t", [("a", SqlType.INT)], [(1, 2)])
+
+    def test_row_access(self):
+        table = small_table()
+        assert table.row(1) == (2, "y")
+
+    def test_column_lookup(self):
+        table = small_table()
+        assert table.column("b").to_list() == ["x", "y", "z"]
+
+    def test_take_filter_slice(self):
+        table = small_table()
+        assert table.take([2, 0]).to_rows() == [(None, "z"), (1, "x")]
+        assert table.filter(np.array([True, False, True])).num_rows == 2
+        assert table.slice(0, 1).to_rows() == [(1, "x")]
+
+    def test_select_projects_and_orders(self):
+        table = small_table()
+        projected = table.select(["b", "a"])
+        assert projected.schema.names == ("b", "a")
+        assert projected.to_rows() == [("x", 1), ("y", 2), ("z", None)]
+
+    def test_with_column_append_and_replace(self):
+        table = small_table()
+        extra = Column("c", SqlType.BOOL, [True, False, True])
+        widened = table.with_column(extra)
+        assert widened.num_columns == 3
+        replaced = widened.with_column(Column("c", SqlType.BOOL, [False] * 3))
+        assert replaced.column("c").to_list() == [False, False, False]
+
+    def test_concat_union_all(self):
+        table = small_table()
+        merged = Table.concat("u", [table, table])
+        assert merged.num_rows == 6
+
+    def test_concat_schema_mismatch(self):
+        table = small_table()
+        other = Table.from_rows("o", [("a", SqlType.TEXT)], [("q",)])
+        with pytest.raises(TypeMismatchError):
+            Table.concat("u", [table, other])
+
+    def test_empty_table(self):
+        table = Table.empty("e", [("a", SqlType.INT)])
+        assert table.num_rows == 0
+        assert table.to_rows() == []
+
+    def test_from_dict(self):
+        table = Table.from_dict(
+            "d", {"a": (SqlType.INT, [1, 2]), "b": (SqlType.TEXT, ["x", "y"])}
+        )
+        assert table.to_rows() == [(1, "x"), (2, "y")]
+
+    def test_renamed(self):
+        assert small_table().renamed("zz").name == "zz"

@@ -1,0 +1,76 @@
+"""Unit tests for the engine<->UDF boundary (the CFFI stand-in)."""
+
+import pytest
+
+from repro.storage import Column
+from repro.types import SqlType
+from repro.udf import boundary
+
+
+@pytest.fixture(autouse=True)
+def reset_counters():
+    boundary.counters.reset()
+    yield
+    boundary.counters.reset()
+
+
+class TestScalarConversions:
+    def test_text_roundtrip(self):
+        c_value = boundary.engine_to_c("héllo", SqlType.TEXT)
+        assert isinstance(c_value, bytes)
+        assert boundary.c_to_python(c_value, SqlType.TEXT) == "héllo"
+
+    def test_json_deserializes_on_entry(self):
+        c_value = boundary.engine_to_c('["a",1]', SqlType.JSON)
+        assert boundary.c_to_python(c_value, SqlType.JSON) == ["a", 1]
+        assert boundary.counters.deserializations == 1
+
+    def test_json_serializes_on_exit(self):
+        c_value = boundary.python_to_c({"k": [1]}, SqlType.JSON)
+        assert boundary.c_to_engine(c_value, SqlType.JSON) == '{"k":[1]}'
+        assert boundary.counters.serializations == 1
+
+    def test_numeric_passthrough(self):
+        assert boundary.engine_to_c(5, SqlType.INT) == 5
+        assert boundary.c_to_python(5.5, SqlType.FLOAT) == 5.5
+
+    def test_null_passthrough_everywhere(self):
+        for fn in (
+            boundary.engine_to_c, boundary.c_to_python,
+            boundary.python_to_c, boundary.c_to_engine,
+        ):
+            assert fn(None, SqlType.TEXT) is None
+            assert fn(None, SqlType.JSON) is None
+
+    def test_counters_count_every_crossing(self):
+        boundary.engine_to_c("x", SqlType.TEXT)
+        boundary.c_to_python(b"x", SqlType.TEXT)
+        boundary.python_to_c("x", SqlType.TEXT)
+        boundary.c_to_engine(b"x", SqlType.TEXT)
+        assert boundary.counters.total_conversions == 4
+
+
+class TestColumnConversions:
+    def test_text_column_to_c(self):
+        col = Column("s", SqlType.TEXT, ["a", None, "c"])
+        c_values = boundary.column_to_c(col)
+        assert c_values == [b"a", None, b"c"]
+        assert boundary.counters.engine_to_c == 3
+
+    def test_c_values_to_text_column(self):
+        col = boundary.c_values_to_column("s", SqlType.TEXT, [b"a", None])
+        assert col.to_list() == ["a", None]
+        assert col.sql_type is SqlType.TEXT
+
+    def test_numeric_column_passthrough(self):
+        col = Column("x", SqlType.INT, [1, 2])
+        assert boundary.column_to_c(col) == [1, 2]
+
+    def test_json_column_stays_serialized_engine_side(self):
+        col = boundary.c_values_to_column("j", SqlType.JSON, [b'["a"]'])
+        assert col.to_list() == ['["a"]']
+
+    def test_snapshot(self):
+        boundary.engine_to_c("x", SqlType.TEXT)
+        snap = boundary.counters.snapshot()
+        assert snap["engine_to_c"] == 1

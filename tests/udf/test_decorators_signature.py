@@ -1,0 +1,172 @@
+"""Unit tests for UDF decorators and signature inference."""
+
+import pytest
+
+from repro.errors import UdfRegistrationError
+from repro.types import SqlType
+from repro.udf import UdfKind, aggregate_udf, scalar_udf, table_udf
+from repro.udf.signature import infer_signature
+
+
+class TestScalarDecorator:
+    def test_annotation_inference(self):
+        @scalar_udf
+        def f(a: int, b: str) -> float:
+            return float(a)
+
+        udf = f.__udf__
+        assert udf.kind is UdfKind.SCALAR
+        assert udf.signature.arg_types == (SqlType.INT, SqlType.TEXT)
+        assert udf.signature.return_types == (SqlType.FLOAT,)
+
+    def test_unannotated_defaults_to_text(self):
+        @scalar_udf
+        def f(a):
+            return a
+
+        assert f.__udf__.signature.arg_types == (SqlType.TEXT,)
+        assert f.__udf__.signature.return_types == (SqlType.TEXT,)
+
+    def test_explicit_types_override(self):
+        @scalar_udf(args=[int], returns=int)
+        def f(a: str) -> str:
+            return a
+
+        assert f.__udf__.signature.arg_types == (SqlType.INT,)
+        assert f.__udf__.signature.return_types == (SqlType.INT,)
+
+    def test_list_and_dict_map_to_json(self):
+        @scalar_udf
+        def f(a: list) -> dict:
+            return {}
+
+        assert f.__udf__.signature.arg_types == (SqlType.JSON,)
+        assert f.__udf__.signature.return_types == (SqlType.JSON,)
+
+    def test_custom_name_lowercased(self):
+        @scalar_udf(name="MyFunc")
+        def f(a: str) -> str:
+            return a
+
+        assert f.__udf__.name == "myfunc"
+
+    def test_cost_hint(self):
+        @scalar_udf(cost=1e-4)
+        def f(a: str) -> str:
+            return a
+
+        assert f.__udf__.cost_hint == 1e-4
+
+    def test_varargs_rejected(self):
+        with pytest.raises(UdfRegistrationError):
+            @scalar_udf
+            def f(*args):
+                return 1
+
+    def test_decorated_function_still_callable(self):
+        @scalar_udf
+        def f(a: int) -> int:
+            return a + 1
+
+        assert f(1) == 2
+
+
+class TestAggregateDecorator:
+    def test_requires_step_and_final(self):
+        with pytest.raises(UdfRegistrationError):
+            @aggregate_udf
+            class Bad:
+                pass
+
+    def test_requires_class(self):
+        with pytest.raises(UdfRegistrationError):
+            @aggregate_udf
+            def not_a_class():
+                pass
+
+    def test_signature_from_step_and_final(self):
+        @aggregate_udf
+        class agg:
+            def __init__(self):
+                self.n = 0
+
+            def step(self, value: int):
+                self.n += value
+
+            def final(self) -> float:
+                return float(self.n)
+
+        udf = agg.__udf__
+        assert udf.kind is UdfKind.AGGREGATE
+        assert udf.signature.arg_types == (SqlType.INT,)
+        assert udf.signature.return_types == (SqlType.FLOAT,)
+
+    def test_materializes_input_flag(self):
+        @aggregate_udf(materializes_input=True)
+        class agg:
+            def step(self, value: str):
+                pass
+
+            def final(self) -> int:
+                return 0
+
+        assert agg.__udf__.materializes_input
+
+
+class TestTableDecorator:
+    def test_requires_generator(self):
+        with pytest.raises(UdfRegistrationError):
+            @table_udf(output=("a",), types=(str,))
+            def f(gen):
+                return []
+
+    def test_requires_input_parameter(self):
+        with pytest.raises(UdfRegistrationError):
+            @table_udf(output=("a",), types=(str,))
+            def f():
+                yield ("x",)
+
+    def test_output_declaration(self):
+        @table_udf(output=("a", "b"), types=(str, int))
+        def f(gen):
+            yield ("x", 1)
+
+        udf = f.__udf__
+        assert udf.kind is UdfKind.TABLE
+        assert udf.out_columns == ("a", "b")
+        assert udf.signature.return_types == (SqlType.TEXT, SqlType.INT)
+
+    def test_output_arity_mismatch(self):
+        with pytest.raises(UdfRegistrationError):
+            @table_udf(output=("a", "b"), types=(str,))
+            def f(gen):
+                yield ("x",)
+
+    def test_const_args_typed(self):
+        @table_udf(output=("a",), types=(str,))
+        def f(gen, k: int):
+            yield ("x",)
+
+        assert f.__udf__.signature.arg_names == ("k",)
+        assert f.__udf__.signature.arg_types == (SqlType.INT,)
+
+
+class TestInferSignature:
+    def test_tuple_return_annotation(self):
+        def f(a: str):
+            return a, 1
+
+        f.__annotations__["return"] = (str, int)
+        signature = infer_signature(f)
+        assert signature.return_types == (SqlType.TEXT, SqlType.INT)
+
+    def test_string_annotations(self):
+        signature = infer_signature(lambda x: x, arg_types=["int"], return_types=["text"])
+        assert signature.arg_types == (SqlType.INT,)
+        assert signature.return_types == (SqlType.TEXT,)
+
+    def test_str_representation(self):
+        def f(a: int) -> str:
+            return ""
+
+        assert "INT" in str(infer_signature(f))

@@ -1,0 +1,98 @@
+"""Unit tests for the stateful statistics store and Bayesian cost model."""
+
+import pytest
+
+from repro.udf.state import (
+    COST_BUCKETS, BayesianCostModel, StatsStore, UdfRuntimeStats, bucketize,
+)
+
+
+class TestBucketize:
+    def test_snaps_to_nearest_log_bucket(self):
+        assert bucketize(1.4e-6) == 1e-6
+        assert bucketize(8e-6) == 1e-5
+
+    def test_nonpositive(self):
+        assert bucketize(0) == COST_BUCKETS[0]
+        assert bucketize(-1) == COST_BUCKETS[0]
+
+
+class TestRuntimeStats:
+    def test_accumulation(self):
+        stats = UdfRuntimeStats()
+        stats.observe(100, 50, 0.5)
+        stats.observe(100, 50, 0.3)
+        assert stats.calls == 2
+        assert stats.tuples_in == 200
+        assert stats.time_per_tuple == pytest.approx(0.8 / 200)
+        assert stats.selectivity == 0.5
+
+    def test_empty(self):
+        stats = UdfRuntimeStats()
+        assert stats.time_per_tuple is None
+        assert stats.selectivity is None
+
+
+class TestBayesianModel:
+    def test_prior_dominates_cold(self):
+        model = BayesianCostModel(prior_cost=1e-5)
+        assert model.expected_cost() == 1e-5
+
+    def test_posterior_converges_to_observations(self):
+        model = BayesianCostModel(prior_cost=1e-5)
+        for _ in range(50):
+            model.observe(1e-3)
+        assert model.expected_cost() == 1e-3
+
+    def test_variance_shrinks_with_evidence(self):
+        model = BayesianCostModel()
+        early = model.posterior_std()
+        for _ in range(20):
+            model.observe(1e-4)
+        assert model.posterior_std() < early
+
+    def test_ignores_nonpositive(self):
+        model = BayesianCostModel()
+        model.observe(0)
+        assert model.observations == 0
+
+    def test_raw_vs_bucketed(self):
+        model = BayesianCostModel(prior_cost=1e-5)
+        for _ in range(100):
+            model.observe(3e-5)
+        assert model.raw_expected_cost() != model.expected_cost()
+        assert model.expected_cost() in COST_BUCKETS
+
+
+class TestStatsStore:
+    def test_observe_and_query(self):
+        store = StatsStore()
+        store.observe("f", 100, 300, 0.01)
+        assert store.known("f")
+        assert store.selectivity("f") == 3.0
+        assert store.expected_cost("f") in COST_BUCKETS
+
+    def test_default_selectivity(self):
+        store = StatsStore()
+        assert store.selectivity("unknown", default=2.5) == 2.5
+
+    def test_case_insensitive_keys(self):
+        store = StatsStore()
+        store.observe("MyUdf", 10, 10, 0.001)
+        assert store.known("myudf")
+
+    def test_clear(self):
+        store = StatsStore()
+        store.observe("f", 10, 10, 0.001)
+        store.clear()
+        assert not store.known("f")
+
+    def test_statefulness_across_queries(self):
+        """Stats persist on the shared store — the paper's stateful
+        mechanism refining estimates over time."""
+        store = StatsStore()
+        store.observe("f", 100, 100, 1e-3)   # 1e-5 s/tuple
+        first = store.expected_cost("f")
+        for _ in range(30):
+            store.observe("f", 100, 100, 1e-1)  # 1e-3 s/tuple
+        assert store.expected_cost("f") > first

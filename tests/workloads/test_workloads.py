@@ -1,0 +1,150 @@
+"""Unit tests for the workload generators and their UDF libraries."""
+
+import pytest
+
+from repro.storage import serde
+from repro.workloads import SCALES, scale_rows, udfbench, udo_wl, weld_wl, zillow
+from repro.workloads.udfbench import udfs as ub
+
+
+class TestScales:
+    def test_named_scales(self):
+        assert scale_rows("tiny") == SCALES["tiny"]
+
+    def test_explicit_rows(self):
+        assert scale_rows(1234) == 1234
+
+
+class TestUdfBenchData:
+    def test_deterministic(self):
+        a = udfbench.build_tables("tiny", seed=1)
+        b = udfbench.build_tables("tiny", seed=1)
+        assert a[0].to_rows() == b[0].to_rows()
+
+    def test_seed_changes_data(self):
+        a = udfbench.build_tables("tiny", seed=1)
+        b = udfbench.build_tables("tiny", seed=2)
+        assert a[0].to_rows() != b[0].to_rows()
+
+    def test_pubs_schema(self):
+        pubs = udfbench.build_tables("tiny")[0]
+        assert pubs.name == "pubs"
+        assert "authors" in pubs.schema
+        author_value = pubs.column("authors")[0]
+        assert isinstance(serde.deserialize(author_value), list)
+
+    def test_project_json_shape(self):
+        pubs = udfbench.build_tables("tiny")[0]
+        project = serde.deserialize(pubs.column("project")[0])
+        assert set(project) == {"id", "funder", "class"}
+
+
+class TestUdfBenchUdfs:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("2020-01-02", "2020-01-02"),
+            ("2020/01/02", "2020-01-02"),
+            ("02-01-2020", "2020-01-02"),
+            ("02/01/2020", "2020-01-02"),
+            ("20200102", "2020-01-02"),
+            ("2020-1-2", "2020-01-02"),
+            (" 2020-01-02 ", "2020-01-02"),
+            ("garbage", "garbage"),
+        ],
+    )
+    def test_cleandate(self, raw, expected):
+        assert ub.cleandate(raw) == expected
+
+    def test_extractmonth_and_year(self):
+        assert ub.extractmonth("2020/07/15") == 7
+        assert ub.extractmonth("15-07-2020") == 7
+        assert ub.extractyear("15-07-2020") == 2020
+        assert ub.extractmonth("nonsense") == 0
+
+    def test_removeshortterms(self):
+        assert ub.removeshortterms(["Li Xu Papadopoulos"]) == ["Papadopoulos"]
+
+    def test_jsortvalues_and_jsort(self):
+        assert ub.jsortvalues(["b a", "z y"]) == ["a b", "y z"]
+        assert ub.jsort(["b", "a"]) == ["a", "b"]
+
+    def test_extractors(self):
+        project = {"id": "P1", "funder": "EC", "class": "H2020"}
+        assert ub.extractid(project) == "P1"
+        assert ub.extractfunder(project) == "EC"
+        assert ub.extractclass(project) == "H2020"
+
+    def test_jpack_jsoncount_roundtrip(self):
+        assert ub.jsoncount(ub.jpack("a b c")) == 3
+
+    def test_combinations_generator(self):
+        out = list(ub.combinations(iter([(["a", "b", "c"],)]), 2))
+        assert out == [("a | b",), ("a | c",), ("b | c",)]
+
+    def test_medianlen_is_blocking(self):
+        assert ub.medianlen.__udf__.materializes_input
+
+    def test_splitdate(self):
+        out = list(ub.splitdate(iter([("2020-07-15",)])))
+        assert out == [(2020, 7, 15)]
+
+
+class TestZillow:
+    def test_extractors(self):
+        assert zillow.extract_bd("3 bds") == 3
+        assert zillow.extract_ba("2.5 ba") == 2.5
+        assert zillow.extract_sqft("1,250 sqft") == 1250
+        assert zillow.extract_price("$450,000") == 450000
+        assert zillow.extract_offer("House For Sale") == "sale"
+        assert zillow.extract_type("Condo for sale") == "condo"
+        assert zillow.clean_city("  athens ") == "Athens"
+
+    def test_url_udfs(self):
+        url = "https://www.zillow.com/a/b/?x=1"
+        assert zillow.strip_params(url) == "https://www.zillow.com/a/b/"
+        assert zillow.extract_domain(url) == "www.zillow.com"
+        assert zillow.url_depth("https://x.com/a/b/c") == 3
+
+    def test_listing_table_shape(self):
+        listings = zillow.build_tables("tiny")[0]
+        assert listings.num_rows == SCALES["tiny"]
+        assert "price" in listings.schema
+
+
+class TestWeldAndUdo:
+    def test_clean_int(self):
+        assert weld_wl.clean_int(" 012a") == 12
+        assert weld_wl.clean_int("n/a") == 0
+        assert weld_wl.is_valid_code("x-00042") is True
+        assert weld_wl.is_valid_code("missing") is False
+
+    def test_scale_pop(self):
+        assert weld_wl.scale_pop(5000) == 5.0
+
+    def test_split_values(self):
+        out = list(udo_wl.split_values(iter([([1, 2],)])))
+        assert out == [(1,), (2,)]
+
+    def test_contains_database(self):
+        assert udo_wl.contains_database("a DataBase here")
+        assert not udo_wl.contains_database("nothing")
+
+
+class TestSetupOnAdapter:
+    def test_setup_registers_everything(self):
+        from repro.engines import MiniDbAdapter
+
+        adapter = MiniDbAdapter()
+        udfbench.setup(adapter, "tiny")
+        assert "pubs" in adapter.database.catalog
+        assert "cleandate" in adapter.registry
+        assert "combinations" in adapter.registry
+
+    def test_queries_parse(self):
+        from repro.sql.parser import parse
+
+        for workload in (udfbench, zillow, weld_wl, udo_wl):
+            for sql in workload.QUERIES.values():
+                parse(sql)
+        parse(udfbench.q8_selectivity(2015))
