@@ -7,6 +7,7 @@ Each flag corresponds to a technique the paper evaluates separately
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 __all__ = ["QFusorConfig"]
 
@@ -51,6 +52,25 @@ class QFusorConfig:
     #: Distinct-offload threshold: fuse DISTINCT when it drops at least
     #: this fraction of rows (heuristics: "filters out more than 90%").
     distinct_fusion_min_drop: float = 0.9
+    #: Runtime de-optimization: a fused execution that raises invalidates
+    #: the trace, blocklists the section, and transparently re-executes
+    #: the query through the unfused path.
+    deopt: bool = True
+    #: How many queries a deopted section stays blocklisted before the
+    #: optimizer may try fusing it again.
+    deopt_cooldown: int = 4
+    #: Row-level exception policy inside fused batch wrappers:
+    #: ``raise`` | ``null`` | ``skip`` | ``reinterpret`` (default: replay
+    #: the failed row through the interpreted per-UDF chain).
+    row_error_policy: str = "reinterpret"
+    #: Bounded LRU capacity for the compiled-trace cache (None: unbounded).
+    trace_cache_capacity: Optional[int] = 256
+    #: Out-of-process channel hardening: per-batch transfer timeout (s).
+    channel_timeout: float = 5.0
+    #: Bounded retry count for failed channel transfers.
+    channel_retries: int = 3
+    #: Base of the exponential backoff between channel retries (s).
+    channel_backoff: float = 0.01
 
     def ablated(self, **changes) -> "QFusorConfig":
         """A copy with the given switches changed (for ablation benches)."""

@@ -14,9 +14,10 @@ all prior; rather than trusting it, FO falls back on rules distilled from
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Sequence
 
+from ..resilience.blocklist import FusionBlocklist
 from .config import QFusorConfig
 from .cost import CostModel
 from .dfg import Operator
@@ -31,6 +32,17 @@ class Heuristics:
 
     config: QFusorConfig
     cost_model: CostModel
+    #: Sections that de-optimized at runtime sit out fusion for a
+    #: cooldown period (rule 0: never immediately re-fuse a trace that
+    #: just failed).
+    blocklist: FusionBlocklist = field(default_factory=FusionBlocklist)
+
+    # -- rule 0 ----------------------------------------------------------
+
+    def allow_fusion(self, signature_key: Hashable) -> bool:
+        """False while the pipeline's signature is blocklisted after a
+        runtime de-optimization."""
+        return not self.blocklist.is_blocked(signature_key)
 
     # -- rule 1 ----------------------------------------------------------
 

@@ -26,9 +26,12 @@ from ..engine.database import Database
 from ..engine.explain import explain_text
 from ..engine.plan import Field
 from ..engine.planner import PlannedQuery
-from ..errors import ReproError
+from ..errors import ReproError, UdfExecutionError
 from ..jit.cache import TraceCache
 from ..jit.codegen import FusedUdf
+from ..resilience import (
+    DeoptEvent, FusionBlocklist, ResilienceContext, RowEvent, activate,
+)
 from ..sql import ast_nodes as ast
 from ..sql.parser import parse
 from ..sql.printer import to_sql
@@ -61,10 +64,24 @@ class QFusorReport:
     plan_before: str = ""
     plan_after: str = ""
     rewritten_sql: Optional[str] = None
+    #: Query-level de-optimizations (fused -> unfused re-execution).
+    deopt_events: List[DeoptEvent] = field(default_factory=list)
+    #: Row-level exceptions recovered inside fused batch wrappers.
+    row_events: List[RowEvent] = field(default_factory=list)
+    #: Out-of-process channel incidents observed during this query.
+    channel_events: List[Any] = field(default_factory=list)
 
     @property
     def fused_names(self) -> List[str]:
         return [f.definition.name for f in self.fused]
+
+    @property
+    def deopted(self) -> bool:
+        return bool(self.deopt_events)
+
+    @property
+    def recovered_rows(self) -> int:
+        return len(self.row_events)
 
     @property
     def total_overhead_seconds(self) -> float:
@@ -91,8 +108,23 @@ class QFusor:
         self.adapter = engine
         self.config = config or QFusorConfig()
         self.cost_model = CostModel(engine.registry.stats)
-        self.heuristics = Heuristics(self.config, self.cost_model)
-        self.cache = TraceCache(self.config.trace_cache)
+        self.heuristics = Heuristics(
+            self.config, self.cost_model,
+            FusionBlocklist(self.config.deopt_cooldown),
+        )
+        self.cache = TraceCache(
+            self.config.trace_cache,
+            capacity=self.config.trace_cache_capacity,
+        )
+        # Propagate channel hardening knobs to adapters with a resilient
+        # out-of-process channel (the row-store deployment).
+        channel = getattr(engine, "channel", None)
+        if channel is not None and hasattr(channel, "configure"):
+            channel.configure(
+                timeout=self.config.channel_timeout,
+                retries=self.config.channel_retries,
+                backoff=self.config.channel_backoff,
+            )
         self.fuser = PlanFuser(
             engine.registry, engine.resolver, self.cost_model,
             self.heuristics, self.config, self.cache,
@@ -126,6 +158,8 @@ class QFusor:
         sql_text = sql if isinstance(sql, str) else to_sql(statement)
         report = QFusorReport(sql=sql_text)
         self.last_report = report
+        # Advance the deopt blocklist's per-query cooldown clock.
+        self.heuristics.blocklist.tick()
 
         if not self.config.enabled or not self._involves_udfs(statement):
             return self.adapter.execute_sql(statement)
@@ -140,7 +174,7 @@ class QFusor:
         )
         report.codegen_seconds = time.perf_counter() - start
         report.rewritten_sql = to_sql(rewritten)
-        return self.adapter.execute_sql(rewritten)
+        return self._dispatch_sql(statement, rewritten, report)
 
     def _execute_select(
         self, statement: ast.Select, report: QFusorReport
@@ -153,7 +187,7 @@ class QFusor:
             )
             report.codegen_seconds = time.perf_counter() - start
             report.rewritten_sql = to_sql(rewritten)
-            return self.adapter.execute_sql(rewritten)
+            return self._dispatch_sql(statement, rewritten, report)
 
         # EXPLAIN probe: get the engine's optimized plan.
         planned = self.adapter.explain_plan(statement)
@@ -173,8 +207,119 @@ class QFusor:
         report.cache_hits = outcome.cache_hits
         report.plan_after = explain_text(outcome.planned)
 
-        # Step 4: dispatch the rewritten plan (path 2).
-        return self.adapter.execute_plan(outcome.planned)
+        # Step 4: dispatch the rewritten plan (path 2), guarded.
+        return self._dispatch_plan(planned, outcome, report)
+
+    # ------------------------------------------------------------------
+    # Guarded dispatch + de-optimization
+    # ------------------------------------------------------------------
+
+    def _dispatch_plan(
+        self,
+        original: PlannedQuery,
+        outcome: FusionOutcome,
+        report: QFusorReport,
+    ) -> Table:
+        """Execute the fused plan; on a runtime fault, de-optimize and
+        transparently re-execute the original (unfused) plan."""
+        if not outcome.fused:
+            return self.adapter.execute_plan(outcome.planned)
+        context = ResilienceContext(self.config.row_error_policy)
+        try:
+            with activate(context):
+                result = self.adapter.execute_plan(outcome.planned)
+        except Exception as exc:
+            self._finish_guarded(report, context)
+            if not self.config.deopt:
+                raise
+            self._deoptimize(exc, report.fused_names, report)
+            # The original plan nodes were never mutated by fusion, so
+            # re-dispatching them runs the pure per-UDF path.
+            return self._reexecute(
+                report, lambda: self.adapter.execute_plan(original)
+            )
+        self._finish_guarded(report, context)
+        return result
+
+    def _dispatch_sql(
+        self,
+        original: ast.Statement,
+        rewritten: ast.Statement,
+        report: QFusorReport,
+    ) -> Table:
+        """Path-1 / DML analogue of :meth:`_dispatch_plan`."""
+        if not report.fused:
+            return self.adapter.execute_sql(rewritten)
+        context = ResilienceContext(self.config.row_error_policy)
+        try:
+            with activate(context):
+                result = self.adapter.execute_sql(rewritten)
+        except Exception as exc:
+            self._finish_guarded(report, context)
+            if not self.config.deopt:
+                raise
+            self._deoptimize(exc, report.fused_names, report)
+            return self._reexecute(
+                report, lambda: self.adapter.execute_sql(original)
+            )
+        self._finish_guarded(report, context)
+        return result
+
+    def _reexecute(self, report: QFusorReport, run) -> Table:
+        try:
+            return run()
+        except Exception:
+            # The unfused path fails too: the fault is genuine (a user
+            # UDF raising), not a fused-trace artifact.  Propagate.
+            if report.deopt_events:
+                report.deopt_events[-1].recovered = False
+            raise
+
+    def _finish_guarded(
+        self, report: QFusorReport, context: ResilienceContext
+    ) -> None:
+        report.row_events.extend(context.row_events)
+        channel = getattr(self.adapter, "channel", None)
+        incidents = getattr(channel, "incidents", None)
+        if incidents:
+            report.channel_events.extend(incidents)
+            del incidents[:]
+
+    def _deoptimize(
+        self,
+        exc: BaseException,
+        fused_names: Sequence[str],
+        report: QFusorReport,
+    ) -> None:
+        """Invalidate and blocklist the trace(s) behind a runtime fault."""
+        if (
+            isinstance(exc, UdfExecutionError)
+            and exc.udf_name in fused_names
+        ):
+            targets = [exc.udf_name]
+        else:
+            targets = list(fused_names)
+        invalidated = []
+        blocked = 0
+        for name in targets:
+            key = self.cache.key_for(name)
+            if key is not None:
+                if self.cache.invalidate(key):
+                    invalidated.append(name)
+                self.heuristics.blocklist.block(key)
+                blocked += 1
+            try:
+                self.adapter.registry.drop(name)
+            except Exception:
+                pass  # already dropped, or engine-side registration only
+        report.deopt_events.append(
+            DeoptEvent(
+                udf_names=tuple(targets),
+                error=repr(exc),
+                invalidated=tuple(invalidated),
+                blocklisted=blocked,
+            )
+        )
 
     def analyze(self, sql: Union[str, ast.Statement]) -> QFusorReport:
         """Run the pipeline without executing; returns the report."""

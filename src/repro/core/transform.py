@@ -29,6 +29,7 @@ compiled the plan is left untouched.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -38,7 +39,7 @@ from ..engine.plan import (
     PlanNode, Project, ProjectItem, Requalify, TableFunctionScan,
 )
 from ..engine.planner import PlannedQuery
-from ..errors import FusionError, JitError
+from ..errors import CatalogError, FusionError, JitError, PlanError
 from ..jit.cache import TraceCache
 from ..jit.codegen import (
     AggregateStage, DistinctStage, FilterStage, FusedUdf, PipelineSpec,
@@ -128,6 +129,14 @@ class PlanFuser:
         return f"qf_fused_{next(_FUSED_NAME_COUNTER)}"
 
     def _register(self, spec: PipelineSpec, outcome: FusionOutcome) -> str:
+        if not self.heuristics.allow_fusion(spec.signature_key):
+            # A trace with this structure de-optimized recently; sit out
+            # the cooldown rather than re-fusing a known-bad section.
+            outcome.notes.append(f"blocklisted: {spec.name}")
+            raise JitError(
+                f"pipeline {spec.name!r} is blocklisted after a runtime "
+                f"de-optimization"
+            )
         fused, was_cached = self.cache.get_or_compile(spec)
         if was_cached:
             outcome.cache_hits += 1
@@ -246,7 +255,16 @@ class PlanFuser:
                 lifted = Filter(inner.child, substitute(node.predicate))
                 # Keep the original projection shape above the filter.
                 return Project(lifted, inner.items, child.schema)
-        except Exception:
+        except (PlanError, CatalogError, KeyError, TypeError,
+                AttributeError) as exc:
+            # Substitution can produce expressions the plan layer rejects
+            # (schema/type mismatches); keep the original subtree, but
+            # say so — silent catch-alls mask real runtime faults.
+            warnings.warn(
+                f"derived-table flattening skipped: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return node
         return node
 
@@ -538,7 +556,13 @@ class PlanFuser:
             return None
         try:
             out_index = child.resolve(arg)
-        except Exception:
+        except (PlanError, CatalogError, KeyError) as exc:
+            warnings.warn(
+                f"TF6 aggregate-over-table fusion skipped: cannot resolve "
+                f"{arg!r} against the table UDF's outputs: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
         if call.is_udf:
             registered = self.resolver.udf(call.func_name)

@@ -16,7 +16,7 @@ from ..engine.optimizer import OptimizerProfile
 from ..engine.planner import PlannedQuery
 from ..sql import ast_nodes as ast
 from ..storage.table import Table
-from ..udf.registry import ProcessChannel
+from ..resilience.channel import ResilientChannel
 from ..udf.state import StatsStore
 from .base import EngineAdapter
 
@@ -29,7 +29,9 @@ class RowStoreAdapter(EngineAdapter):
     in_process = False
 
     def __init__(self, *, stats: Optional[StatsStore] = None):
-        self.channel = ProcessChannel()
+        # The hardened pickle channel: per-batch timeout, bounded retries
+        # with backoff, corruption detection with in-process degradation.
+        self.channel = ResilientChannel()
         self.database = Database(
             "minidb_row",
             execution_model="tuple",

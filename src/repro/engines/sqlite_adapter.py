@@ -16,7 +16,8 @@ from __future__ import annotations
 import sqlite3
 from typing import Any, Callable, List, Optional, Sequence, Union
 
-from ..errors import ExecutionError, UdfRegistrationError
+from ..errors import ExecutionError, UdfExecutionError, UdfRegistrationError
+from ..resilience import runtime as _resilience
 from ..sql import ast_nodes as ast
 from ..sql.printer import to_sql
 from ..storage import serde
@@ -49,6 +50,11 @@ class SqliteAdapter(EngineAdapter):
         self.connection = sqlite3.connect(":memory:")
         self._registry = UdfRegistry(stats)
         self._schemas = {}
+        #: sqlite3 masks Python exceptions from UDF bridges behind a
+        #: generic ``OperationalError``; bridges stash the real
+        #: :class:`UdfExecutionError` here so ``execute_sql`` can
+        #: re-raise it with the UDF name and offending value intact.
+        self._pending_error: Optional[UdfExecutionError] = None
         #: Schema-only catalog so QFusor's SQL-rewrite path can resolve
         #: column types without round-tripping to SQLite.
         self.catalog = Catalog()
@@ -111,16 +117,38 @@ class SqliteAdapter(EngineAdapter):
         arg_types = definition.signature.arg_types
         out_type = definition.signature.return_types[0]
         func = definition.func
-
+        name = definition.name
+        names = (name,) + tuple(definition.fused_from)
+        ctx = "fused" if definition.is_fused else "interp"
         strict = definition.strict
+        adapter = self
+        faults = _resilience.FAULTS
 
         def bridge(*args):
-            converted = [
-                _from_sqlite(v, t) for v, t in zip(args, arg_types)
-            ]
-            if strict and any(v is None for v in converted):
-                return None
-            return _to_sqlite(func(*converted), out_type)
+            converted = None
+            try:
+                if faults.armed:
+                    faults.injector.fire_row(names, None, ctx)
+                converted = [
+                    _from_sqlite(v, t) for v, t in zip(args, arg_types)
+                ]
+                if strict and any(v is None for v in converted):
+                    return None
+                return _to_sqlite(func(*converted), out_type)
+            except Exception as exc:
+                retry = (
+                    (lambda: func(*converted))
+                    if converted is not None else None
+                )
+                values = tuple(converted) if converted is not None else args
+                try:
+                    result = _resilience.handle_value_error(
+                        name, _resilience.policy(), exc, retry, values
+                    )
+                except UdfExecutionError as wrapped:
+                    adapter._pending_error = wrapped
+                    raise
+                return _to_sqlite(result, out_type)
 
         self.connection.create_function(
             definition.name, definition.arity, bridge
@@ -130,21 +158,57 @@ class SqliteAdapter(EngineAdapter):
         arg_types = definition.signature.arg_types
         out_type = definition.signature.return_types[0]
         agg_class = definition.func
+        name = definition.name
+        names = (name,) + tuple(definition.fused_from)
+        ctx = "fused" if definition.is_fused else "interp"
+        adapter = self
+        faults = _resilience.FAULTS
 
         class Bridge:
             def __init__(self):
                 self._state = agg_class()
+                self._rows = 0
+
+            # Aggregate state cannot be reconciled after a failed step,
+            # so row policies never apply: failures raise (localized to
+            # the row/phase) and recovery is query-level deopt.
 
             def step(self, *args):
-                converted = [
-                    _from_sqlite(v, t) for v, t in zip(args, arg_types)
-                ]
-                if converted and all(v is None for v in converted):
-                    return
-                self._state.step(*converted)
+                row = self._rows
+                self._rows += 1
+                converted = None
+                try:
+                    if faults.armed:
+                        faults.injector.fire_row(names, row, ctx)
+                    converted = [
+                        _from_sqlite(v, t) for v, t in zip(args, arg_types)
+                    ]
+                    if converted and all(v is None for v in converted):
+                        return
+                    self._state.step(*converted)
+                except UdfExecutionError as exc:
+                    adapter._pending_error = exc
+                    raise
+                except Exception as exc:
+                    value = (
+                        tuple(converted) if converted is not None else args
+                    )
+                    wrapped = UdfExecutionError(
+                        name, exc, row=row, value=value
+                    )
+                    adapter._pending_error = wrapped
+                    raise wrapped from exc
 
             def finalize(self):
-                return _to_sqlite(self._state.final(), out_type)
+                try:
+                    return _to_sqlite(self._state.final(), out_type)
+                except UdfExecutionError as exc:
+                    adapter._pending_error = exc
+                    raise
+                except Exception as exc:
+                    wrapped = UdfExecutionError(name, exc, phase="final")
+                    adapter._pending_error = wrapped
+                    raise wrapped from exc
 
         self.connection.create_aggregate(
             definition.name, definition.arity, Bridge
@@ -165,17 +229,27 @@ class SqliteAdapter(EngineAdapter):
     def execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
         sql = statement if isinstance(statement, str) else to_sql(statement)
         cursor = self.connection.cursor()
-        cursor.execute(sql)
-        if cursor.description is None:
-            self.connection.commit()
-            from ..storage.column import Column
+        self._pending_error = None
+        try:
+            cursor.execute(sql)
+            if cursor.description is None:
+                self.connection.commit()
+                from ..storage.column import Column
 
-            return Table(
-                "rowcount",
-                [Column("rows", SqlType.INT, [cursor.rowcount], validate=False)],
-            )
-        names = [d[0] for d in cursor.description]
-        rows = cursor.fetchall()
+                return Table(
+                    "rowcount",
+                    [Column("rows", SqlType.INT, [cursor.rowcount],
+                            validate=False)],
+                )
+            names = [d[0] for d in cursor.description]
+            rows = cursor.fetchall()
+        except sqlite3.Error as exc:
+            # sqlite3 reports UDF failures as a generic OperationalError;
+            # surface the real error the bridge recorded instead.
+            pending, self._pending_error = self._pending_error, None
+            if pending is not None:
+                raise pending from exc
+            raise
         return _table_from_cursor(names, rows)
 
 

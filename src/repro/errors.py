@@ -56,18 +56,57 @@ class UdfRegistrationError(UdfError):
     """Raised when a UDF cannot be registered (bad signature, duplicate)."""
 
 
+#: Sentinel distinguishing "no offending value" from "the value was None".
+_UNSET = object()
+
+
 class UdfExecutionError(UdfError):
     """Raised when a UDF raises during execution.
 
     Wrapper functions catch arbitrary exceptions from user code and re-raise
     them as this type, preserving the original as ``__cause__`` (the paper's
     try/except wrapper robustness requirement, section 5.3.2).
+
+    ``row``/``value``/``phase`` localize the failure when the wrapper knows
+    them: the batch row index, the offending input value(s), and the
+    aggregate phase (``"step"``/``"final"``) respectively.
     """
 
-    def __init__(self, udf_name: str, original: BaseException):
-        super().__init__(f"UDF {udf_name!r} failed: {original!r}")
+    def __init__(
+        self,
+        udf_name: str,
+        original: BaseException,
+        *,
+        row: "int | None" = None,
+        value: object = _UNSET,
+        phase: "str | None" = None,
+    ):
+        parts = [f"UDF {udf_name!r} failed"]
+        if phase is not None:
+            parts.append(f"in {phase}()")
+        if row is not None:
+            parts.append(f"at row {row}")
+        if value is not _UNSET:
+            parts.append(f"on value {value!r}")
+        super().__init__(" ".join(parts) + f": {original!r}")
         self.udf_name = udf_name
         self.original = original
+        self.row = row
+        self.value = None if value is _UNSET else value
+        self.has_value = value is not _UNSET
+        self.phase = phase
+
+
+class ChannelError(ReproError):
+    """Base class for out-of-process channel failures."""
+
+
+class ChannelTimeoutError(ChannelError):
+    """Raised when a channel transfer exceeds its per-batch timeout."""
+
+
+class ChannelCorruptionError(ChannelError):
+    """Raised when a channel payload fails to round-trip (corrupt pickle)."""
 
 
 class JitError(ReproError):

@@ -5,11 +5,18 @@ fused UDFs across queries yields zero compilation cost on repeat
 workloads.  The cache is keyed by the pipeline's structural signature
 (stage kinds, UDF names, argument wiring, types), so two textually
 different queries that fuse the same pipeline hit the same entry.
+
+The cache is a bounded LRU: ``capacity`` caps the number of live traces
+(the Fig. 6d 100-short-query scenario must not grow memory without
+bound), and :meth:`TraceCache.invalidate` evicts a single entry — the
+de-optimization path uses it so a trace that failed at runtime is never
+served again.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from .codegen import FusedUdf, PipelineSpec, generate_fused_udf
 
@@ -17,40 +24,100 @@ __all__ = ["TraceCache"]
 
 
 class TraceCache:
-    """An in-memory cache of compiled fused UDFs."""
+    """A bounded in-memory LRU cache of compiled fused UDFs."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
         self.enabled = enabled
-        self._entries: Dict[Tuple, FusedUdf] = {}
+        #: Maximum live entries; ``None`` means unbounded.
+        self.capacity = capacity if capacity is None else max(1, int(capacity))
+        self._entries: "OrderedDict[Tuple, FusedUdf]" = OrderedDict()
+        #: Registered-name -> cache key, so the de-optimization path can
+        #: find (and invalidate) the trace behind a failing fused UDF.
+        self._key_by_name: Dict[str, Tuple] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
 
     def get_or_compile(self, spec: PipelineSpec) -> Tuple[FusedUdf, bool]:
         """Return ``(fused_udf, was_cached)`` for the pipeline.
 
-        On a hit, the cached artifact is re-labelled with the requested
-        name so the caller can register it under a fresh identifier.
+        On a hit, the cached artifact is returned under its original
+        registration name; the name->key map is refreshed either way.
         """
+        key = _cache_key(spec)
         if not self.enabled:
             self.misses += 1
-            return generate_fused_udf(spec), False
-        key = _cache_key(spec)
+            fused = generate_fused_udf(spec)
+            self._key_by_name[fused.definition.name] = key
+            return fused, False
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            self._entries.move_to_end(key)
+            self._key_by_name[entry.definition.name] = key
             return entry, True
         self.misses += 1
         fused = generate_fused_udf(spec)
         self._entries[key] = fused
+        self._key_by_name[fused.definition.name] = key
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            old_key, old_entry = self._entries.popitem(last=False)
+            self.evictions += 1
+            if self._key_by_name.get(old_entry.definition.name) == old_key:
+                del self._key_by_name[old_entry.definition.name]
         return fused, False
+
+    # ------------------------------------------------------------------
+    # Invalidation (runtime de-optimization support)
+    # ------------------------------------------------------------------
+
+    def key_for(self, name: str) -> Optional[Tuple]:
+        """The cache key of the trace registered under ``name``."""
+        return self._key_by_name.get(name.lower())
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns True when something was evicted."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self.invalidations += 1
+        return True
+
+    def invalidate_name(self, name: str) -> bool:
+        """Drop the entry behind the fused UDF registered as ``name``."""
+        key = self.key_for(name)
+        return self.invalidate(key) if key is not None else False
+
+    # ------------------------------------------------------------------
+    # Inspection / testing support
+    # ------------------------------------------------------------------
+
+    def entries(self) -> List[Tuple[Tuple, FusedUdf]]:
+        """Snapshot of ``(key, fused_udf)`` pairs, LRU order."""
+        return list(self._entries.items())
+
+    def replace(self, key: Hashable, fused: FusedUdf) -> bool:
+        """Swap the artifact behind ``key`` (fault-injection harness)."""
+        if key not in self._entries:
+            return False
+        self._entries[key] = fused
+        self._key_by_name[fused.definition.name] = key
+        return True
 
     def clear(self) -> None:
         self._entries.clear()
+        self._key_by_name.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
 
 
 def _cache_key(spec: PipelineSpec) -> Tuple:

@@ -305,11 +305,29 @@ class _Generator:
     """Emits the fused source for one pipeline."""
 
     def __init__(self, spec: PipelineSpec):
+        from ..resilience import runtime as _resilience
+
         self.spec = spec
         self.namespace: Dict[str, Any] = {"BUILTIN_AGG_STATES": None}
         self.inlined = 0
         self.called = 0
         self._bind_builtin_aggregates()
+        # Resilience runtime: row-level exception policies and the
+        # fault-injection hook checked inside generated batch loops.
+        udf_names = tuple(
+            s.udf.name
+            for s in spec.stages
+            if isinstance(s, (ScalarUdfStage, TableUdfStage, AggregateStage))
+            and getattr(s, "udf", None) is not None
+        )
+        self.namespace.update(
+            _FAULTS=_resilience.FAULTS,
+            _rt_policy=_resilience.policy,
+            _rt_row_error=_resilience.handle_scalar_row_error,
+            _rt_expand_row_error=_resilience.handle_expand_row_error,
+            _NAME=spec.name,
+            _NAMES=(spec.name,) + udf_names,
+        )
 
     def _bind_builtin_aggregates(self) -> None:
         from ..engine import functions as engine_functions
@@ -328,8 +346,13 @@ class _Generator:
     def _null_guard(self, args: Sequence[str]) -> str:
         return " or ".join(f"{a} is None" for a in args)
 
-    def _emit_scalar(self, builder: SourceBuilder, stage: ScalarUdfStage) -> None:
-        inline = try_inline(stage.udf.func)
+    def _emit_scalar(
+        self,
+        builder: SourceBuilder,
+        stage: ScalarUdfStage,
+        force_call: bool = False,
+    ) -> None:
+        inline = None if force_call else try_inline(stage.udf.func)
         if inline is not None:
             expression = inline.substitute(stage.args)
             self.inlined += 1
@@ -404,20 +427,48 @@ class _Generator:
             builder.line("result = [None] * size")
             for i in range(len(spec.inputs)):
                 builder.line(f"_c{i} = c_inputs[{i}]")
+            builder.line("_policy = _rt_policy()")
             with builder.block("for _idx in range(size):"):
-                for i, (name, _) in enumerate(spec.inputs):
+                with builder.block("try:"):
+                    with builder.block("if _FAULTS.armed:"):
+                        builder.line(
+                            "_FAULTS.injector.fire_row(_NAMES, _idx, 'fused')"
+                        )
+                    for i, (name, _) in enumerate(spec.inputs):
+                        builder.line(
+                            f"{name} = c_to_python(_c{i}[_idx], _IN_TYPES[{i}])"
+                        )
+                    for stage in spec.stages:
+                        if isinstance(stage, ScalarUdfStage):
+                            self._emit_scalar(builder, stage)
+                        else:
+                            self._emit_expr(builder, stage)
                     builder.line(
-                        f"{name} = c_to_python(_c{i}[_idx], _IN_TYPES[{i}])"
+                        f"result[_idx] = python_to_c({spec.outputs[0]}, _OUT_TYPE)"
                     )
-                for stage in spec.stages:
-                    if isinstance(stage, ScalarUdfStage):
-                        self._emit_scalar(builder, stage)
-                    else:
-                        self._emit_expr(builder, stage)
-                builder.line(
-                    f"result[_idx] = python_to_c({spec.outputs[0]}, _OUT_TYPE)"
-                )
+                with builder.block("except Exception as _exc:"):
+                    builder.line(
+                        f"result[_idx] = _rt_row_error(_NAME, _policy, _exc, "
+                        f"_idx, (lambda _i=_idx: "
+                        f"{entry}__reinterp(c_inputs, _i)))"
+                    )
             builder.line("return result")
+        builder.line()
+        # Per-row replay through the *called* (not inlined) UDF chain —
+        # the interpreted fallback the reinterpret policy executes when
+        # one fused row raises.
+        with builder.block(f"def {entry}__reinterp(c_inputs, _idx):"):
+            builder.line('"""Interpreted single-row replay (deopt path)."""')
+            for i, (name, _) in enumerate(spec.inputs):
+                builder.line(
+                    f"{name} = c_to_python(c_inputs[{i}][_idx], _IN_TYPES[{i}])"
+                )
+            for stage in spec.stages:
+                if isinstance(stage, ScalarUdfStage):
+                    self._emit_scalar(builder, stage, force_call=True)
+                else:
+                    self._emit_expr(builder, stage)
+            builder.line(f"return python_to_c({spec.outputs[0]}, _OUT_TYPE)")
         self.inlined, self.called = counters
         return builder.source(), entry
 
@@ -546,6 +597,11 @@ class _Generator:
         self.namespace["python_to_c"] = _boundary.python_to_c
         self.namespace["_OUT_TYPES"] = tuple(spec.output_types)
         counters = (self.inlined, self.called)
+        # Row-level exception capture is unsound across a DistinctStage:
+        # its _seen set may already contain the failed row's key, so a
+        # replay could wrongly drop later rows.  Distinct pipelines keep
+        # batch-level semantics (a failure de-optimizes the whole query).
+        capture = not any(isinstance(s, DistinctStage) for s in spec.stages)
         with builder.block(
             f"def {entry}__expand_batch(c_inputs, size, in_types):"
         ):
@@ -556,7 +612,7 @@ class _Generator:
             builder.line("lineage = []")
             for i in range(len(spec.outputs)):
                 builder.line(f"_o{i} = []")
-            if any(isinstance(s, DistinctStage) for s in spec.stages):
+            if not capture:
                 builder.line("_seen = set()")
             for i in range(len(spec.inputs)):
                 builder.line(f"_c{i} = c_inputs[{i}]")
@@ -567,15 +623,87 @@ class _Generator:
                 for i, out in enumerate(spec.outputs):
                     b.line(f"_o{i}.append(python_to_c({out}, _OUT_TYPES[{i}]))")
 
-            with builder.block("for _idx in range(size):"):
-                for i, (name, _) in enumerate(spec.inputs):
-                    builder.line(f"{name} = c_to_python(_c{i}[_idx], _t{i})")
-                self._emit_stream_stages(
-                    builder, list(spec.stages), early_exit="continue",
-                    seen="_seen", tail=_batch_tail,
-                )
+            if capture:
+                builder.line("_policy = _rt_policy()")
+                with builder.block("for _idx in range(size):"):
+                    with builder.block("try:"):
+                        with builder.block("if _FAULTS.armed:"):
+                            builder.line(
+                                "_FAULTS.injector.fire_row(_NAMES, _idx, "
+                                "'fused')"
+                            )
+                        for i, (name, _) in enumerate(spec.inputs):
+                            builder.line(
+                                f"{name} = c_to_python(_c{i}[_idx], _t{i})"
+                            )
+                        self._emit_stream_stages(
+                            builder, list(spec.stages), early_exit="continue",
+                            seen="_seen", tail=_batch_tail,
+                        )
+                    with builder.block("except Exception as _exc:"):
+                        # Roll back partial outputs of the failed row
+                        # (lineage is non-decreasing, so its tail holds
+                        # exactly this row's entries).
+                        with builder.block(
+                            "while lineage and lineage[-1] == _idx:"
+                        ):
+                            builder.line("lineage.pop()")
+                            for i in range(len(spec.outputs)):
+                                builder.line(f"_o{i}.pop()")
+                        builder.line(
+                            f"_rres = _rt_expand_row_error(_NAME, _policy, "
+                            f"_exc, _idx, (lambda _i=_idx: "
+                            f"{entry}__reinterp_expand(c_inputs, in_types, "
+                            f"_i)))"
+                        )
+                        with builder.block("if _rres is None:"):
+                            builder.line("lineage.append(_idx)")
+                            for i in range(len(spec.outputs)):
+                                builder.line(f"_o{i}.append(None)")
+                        with builder.block("else:"):
+                            with builder.block("for _row in _rres:"):
+                                builder.line("lineage.append(_idx)")
+                                for i in range(len(spec.outputs)):
+                                    builder.line(f"_o{i}.append(_row[{i}])")
+            else:
+                with builder.block("for _idx in range(size):"):
+                    for i, (name, _) in enumerate(spec.inputs):
+                        builder.line(f"{name} = c_to_python(_c{i}[_idx], _t{i})")
+                    self._emit_stream_stages(
+                        builder, list(spec.stages), early_exit="continue",
+                        seen="_seen", tail=_batch_tail,
+                    )
             outs = ", ".join(f"_o{i}" for i in range(len(spec.outputs)))
             builder.line(f"return lineage, [{outs}]")
+        if capture:
+            builder.line()
+            with builder.block(
+                f"def {entry}__reinterp_expand(c_inputs, in_types, _idx):"
+            ):
+                builder.line(
+                    '"""Interpreted single-row replay (deopt path): '
+                    'returns converted out-row tuples."""'
+                )
+                builder.line("_rows = []")
+                for i, (name, _) in enumerate(spec.inputs):
+                    builder.line(
+                        f"{name} = c_to_python(c_inputs[{i}][_idx], "
+                        f"in_types[{i}])"
+                    )
+
+                def _reinterp_tail(b: SourceBuilder) -> None:
+                    parts = ", ".join(
+                        f"python_to_c({out}, _OUT_TYPES[{i}])"
+                        for i, out in enumerate(spec.outputs)
+                    )
+                    trailing = "," if len(spec.outputs) == 1 else ""
+                    b.line(f"_rows.append(({parts}{trailing}))")
+
+                self._emit_stream_stages(
+                    builder, list(spec.stages), early_exit="return _rows",
+                    seen="_seen", tail=_reinterp_tail, force_call=True,
+                )
+                builder.line("return _rows")
         self.inlined, self.called = counters
 
     def _emit_table_loop(
@@ -599,6 +727,7 @@ class _Generator:
         yield_outputs: bool = False,
         yield_prefix: str = "",
         tail=None,
+        force_call: bool = False,
     ) -> None:
         """Emit a run of stream stages inside a per-row context.
 
@@ -612,7 +741,7 @@ class _Generator:
         depth_opened = 0
         for stage in stages:
             if isinstance(stage, ScalarUdfStage):
-                self._emit_scalar(builder, stage)
+                self._emit_scalar(builder, stage, force_call=force_call)
             elif isinstance(stage, ExprStage):
                 self._emit_expr(builder, stage)
             elif isinstance(stage, FilterStage):

@@ -1,0 +1,43 @@
+"""Runtime-fault layer for fused execution.
+
+Fusion is only transparent if a fused pipeline never changes what the
+caller observes — including under failure.  This package supplies the
+three mechanisms QFusor uses to keep that promise at runtime:
+
+* :mod:`~repro.resilience.runtime` — per-query resilience context, the
+  row-level exception policies applied inside JIT-generated batch
+  wrappers, and the fault-injection hook the testing harness arms;
+* :mod:`~repro.resilience.blocklist` — the per-section fusion blocklist
+  consulted by :mod:`repro.core.heuristics` after a de-optimization;
+* :mod:`~repro.resilience.channel` — the hardened out-of-process
+  channel (timeouts, bounded retries, corruption detection).  Imported
+  lazily via its submodule to avoid a cycle with ``repro.udf.registry``.
+"""
+
+from .blocklist import FusionBlocklist
+from .runtime import (
+    FAULTS,
+    DeoptEvent,
+    ResilienceContext,
+    RowEvent,
+    activate,
+    active,
+    handle_expand_row_error,
+    handle_scalar_row_error,
+    handle_value_error,
+    policy,
+)
+
+__all__ = [
+    "FAULTS",
+    "DeoptEvent",
+    "FusionBlocklist",
+    "ResilienceContext",
+    "RowEvent",
+    "activate",
+    "active",
+    "handle_expand_row_error",
+    "handle_scalar_row_error",
+    "handle_value_error",
+    "policy",
+]

@@ -1,0 +1,56 @@
+"""Per-section fusion blocklist fed by runtime de-optimizations.
+
+When a fused trace fails at runtime, QFusor invalidates its cache entry
+and records the pipeline's structural signature here.  The fusion
+heuristics consult :meth:`FusionBlocklist.is_blocked` before compiling a
+section, so the very next query does not immediately re-fuse a trace
+that just blew up.  Entries expire after ``cooldown`` queries (each
+query ticks the clock), giving transient faults — an OOM, an injected
+test fault — a bounded penalty rather than permanent de-optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+__all__ = ["FusionBlocklist"]
+
+
+class FusionBlocklist:
+    """Cooldown-based set of pipeline signatures excluded from fusion."""
+
+    def __init__(self, cooldown: int = 4):
+        self.cooldown = max(1, int(cooldown))
+        self._entries: Dict[Hashable, int] = {}
+        #: Total blocks ever recorded (monotonic, for reporting).
+        self.total_blocks = 0
+
+    def block(self, key: Hashable) -> None:
+        """Exclude ``key`` from fusion for the next ``cooldown`` queries."""
+        self._entries[key] = self.cooldown
+        self.total_blocks += 1
+
+    def is_blocked(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def tick(self) -> None:
+        """Advance the per-query clock, expiring cooled-down entries."""
+        expired = []
+        for key in self._entries:
+            self._entries[key] -= 1
+            if self._entries[key] <= 0:
+                expired.append(key)
+        for key in expired:
+            del self._entries[key]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def remaining(self, key: Hashable) -> int:
+        return self._entries.get(key, 0)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries

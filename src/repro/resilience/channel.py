@@ -1,0 +1,165 @@
+"""Hardened out-of-process channel for the row-store deployment.
+
+:class:`~repro.udf.registry.ProcessChannel` models the PL/Python-style
+pickle boundary; this subclass adds the failure handling a real
+inter-process hop needs:
+
+* **per-batch timeout** — a transfer whose serialize/deserialize round
+  trip exceeds ``timeout`` seconds raises
+  :class:`~repro.errors.ChannelTimeoutError` (and is retried);
+* **bounded retries with exponential backoff** — transient faults
+  (drops, timeouts) are retried up to ``retries`` times, sleeping
+  ``backoff * 2**attempt`` (capped) between attempts;
+* **corrupted-payload detection** — a payload that fails to round-trip
+  raises :class:`~repro.errors.ChannelCorruptionError`;
+* **degradation** — when retries are exhausted the channel emits a
+  :class:`ChannelDegradedWarning` and falls back to in-process
+  passthrough (no serialization) for the failed transfer instead of
+  crashing the query.  Each failure is recorded in :attr:`incidents`.
+
+The fault-injection harness (:mod:`repro.testing.faults`) plugs in
+through the process-wide :data:`~repro.resilience.runtime.FAULTS` hook:
+an armed injector can make transfers drop, time out, or corrupt a
+bounded number of times.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..errors import ChannelCorruptionError, ChannelError, ChannelTimeoutError
+from ..udf.registry import ProcessChannel
+from .runtime import FAULTS
+
+__all__ = ["ResilientChannel", "ChannelIncident", "ChannelDegradedWarning"]
+
+#: Backoff sleeps are capped so injected fault storms don't stall tests.
+_MAX_BACKOFF_SLEEP = 0.1
+
+
+class ChannelDegradedWarning(UserWarning):
+    """Emitted when a transfer degrades to in-process passthrough."""
+
+
+@dataclass
+class ChannelIncident:
+    """One failed transfer attempt (or final degradation)."""
+
+    kind: str  # "timeout" | "corruption" | "drop" | "degraded"
+    attempt: int
+    detail: str = ""
+
+
+class ResilientChannel(ProcessChannel):
+    """A :class:`ProcessChannel` with timeouts, retries, and degradation."""
+
+    def __init__(
+        self,
+        *,
+        timeout: float = 5.0,
+        retries: int = 3,
+        backoff: float = 0.01,
+    ):
+        super().__init__()
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.incidents: List[ChannelIncident] = []
+        #: Count of transfers that fell back to in-process passthrough.
+        self.degraded = 0
+        self.retried = 0
+
+    def configure(
+        self,
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+    ) -> None:
+        if timeout is not None:
+            self.timeout = timeout
+        if retries is not None:
+            self.retries = max(0, int(retries))
+        if backoff is not None:
+            self.backoff = backoff
+
+    # ------------------------------------------------------------------
+
+    def _injected_fault(self) -> Optional[str]:
+        if FAULTS.armed and FAULTS.injector is not None:
+            fault = getattr(FAULTS.injector, "channel_fault", None)
+            if fault is not None:
+                return fault()
+        return None
+
+    def _attempt(self, payload: Any) -> Any:
+        """One serialize/deserialize round trip, fault-checked."""
+        mode = self._injected_fault()
+        if mode == "drop":
+            raise ChannelError("injected: payload dropped in transit")
+        if mode == "timeout":
+            raise ChannelTimeoutError(
+                f"injected: transfer exceeded {self.timeout}s"
+            )
+        start = time.perf_counter()
+        try:
+            blob = self._dumps(payload)
+            if mode == "corrupt":
+                blob = b"\x80corrupt" + blob[:-4]
+            result = self._loads(blob)
+        except ChannelError:
+            raise
+        except (pickle.PickleError, EOFError, ValueError, TypeError,
+                AttributeError, IndexError, ImportError) as exc:
+            raise ChannelCorruptionError(
+                f"payload failed to round-trip: {exc!r}"
+            ) from exc
+        elapsed = time.perf_counter() - start
+        if elapsed > self.timeout:
+            raise ChannelTimeoutError(
+                f"transfer took {elapsed:.3f}s (timeout {self.timeout}s)"
+            )
+        return result
+
+    def transfer(self, payload: Any) -> Any:
+        self.crossings += 1
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.retried += 1
+                time.sleep(
+                    min(self.backoff * (2 ** (attempt - 1)), _MAX_BACKOFF_SLEEP)
+                )
+            try:
+                return self._attempt(payload)
+            except ChannelTimeoutError as exc:
+                last_exc = exc
+                self.incidents.append(
+                    ChannelIncident("timeout", attempt, str(exc))
+                )
+            except ChannelCorruptionError as exc:
+                last_exc = exc
+                self.incidents.append(
+                    ChannelIncident("corruption", attempt, str(exc))
+                )
+            except ChannelError as exc:
+                last_exc = exc
+                self.incidents.append(ChannelIncident("drop", attempt, str(exc)))
+        # Retries exhausted: degrade to in-process passthrough rather
+        # than abort the query.  The payload is handed over unserialized,
+        # which is exactly what an in-process deployment would do.
+        self.degraded += 1
+        self.incidents.append(
+            ChannelIncident("degraded", self.retries, repr(last_exc))
+        )
+        warnings.warn(
+            f"process channel degraded to in-process execution after "
+            f"{self.retries + 1} failed attempts: {last_exc!r}",
+            ChannelDegradedWarning,
+            stacklevel=2,
+        )
+        return payload

@@ -1,0 +1,17 @@
+"""Deterministic testing utilities (fault injection for resilience tests)."""
+
+from .faults import (
+    FaultInjector,
+    InjectedFault,
+    PoisonedTraceError,
+    inject,
+    poison_traces,
+)
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "PoisonedTraceError",
+    "inject",
+    "poison_traces",
+]

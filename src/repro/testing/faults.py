@@ -1,0 +1,257 @@
+"""Deterministic fault injection for the resilience test suite.
+
+The production wrappers carry disarmed hooks (``FAULTS.armed`` attribute
+loads); this module supplies the armed side.  A :class:`FaultInjector`
+holds an explicit list of fault specs — *which* UDF, *which* row, *how
+many times* — so tests inject exactly the failures they assert on, with
+no randomness:
+
+``udf_exception``
+    Raise from inside a UDF invocation (per-row in batch wrappers,
+    per-call on tuple-at-a-time and sqlite bridges).  ``scope`` selects
+    fused traces only (``"fused"``), interpreted execution only
+    (``"interp"``), or both (``"any"``); the default ``"fused"`` models a
+    poisoned trace whose constituent UDFs are healthy, so row-level
+    reinterpretation and query-level de-optimization both recover.
+``boundary_error``
+    Raise during a C -> Python boundary conversion (models a corrupt
+    serialized payload, e.g. ``json.loads`` on mangled bytes).
+``channel``
+    Make the out-of-process pickle channel misbehave: ``"timeout"``,
+    ``"corrupt"`` (mangled blob), or ``"drop"`` (transfer error).
+
+:func:`inject` arms :data:`repro.resilience.runtime.FAULTS` for the
+duration of a ``with`` block; :func:`poison_traces` swaps cached fused
+traces for versions that raise, modelling a stale/corrupt trace cache.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..resilience import runtime
+from ..udf.definition import UdfDefinition, UdfKind
+
+__all__ = [
+    "InjectedFault",
+    "PoisonedTraceError",
+    "FaultInjector",
+    "inject",
+    "poison_traces",
+]
+
+
+class InjectedFault(Exception):
+    """The exception raised by injected UDF/boundary faults."""
+
+
+class PoisonedTraceError(InjectedFault):
+    """Raised by a poisoned (deliberately corrupted) fused trace."""
+
+
+class _RowFault:
+    __slots__ = ("udf", "row", "every", "remaining", "scope", "exc", "calls")
+
+    def __init__(self, udf, row, every, times, scope, exc):
+        self.udf = udf.lower()
+        self.row = row
+        self.every = every
+        self.remaining = times
+        self.scope = scope
+        self.exc = exc
+        #: Matching invocations seen so far — the surrogate row index for
+        #: call sites that have no batch position (sqlite bridge,
+        #: tuple-at-a-time execution).
+        self.calls = 0
+
+
+class _BoundaryFault:
+    __slots__ = ("sql_type", "remaining")
+
+    def __init__(self, sql_type, times):
+        self.sql_type = sql_type
+        self.remaining = times
+
+
+class _ChannelFault:
+    __slots__ = ("mode", "remaining")
+
+    def __init__(self, mode, times):
+        self.mode = mode
+        self.remaining = times
+
+
+class FaultInjector:
+    """A deterministic set of fault specs plus the hooks that fire them."""
+
+    def __init__(self):
+        self._row_faults: List[_RowFault] = []
+        self._boundary_faults: List[_BoundaryFault] = []
+        self._channel_faults: List[_ChannelFault] = []
+        #: Total faults fired (all kinds).
+        self.fired = 0
+        #: ``(kind, detail)`` tuples, in firing order.
+        self.log: List[Tuple[str, str]] = []
+
+    # -- spec builders -------------------------------------------------
+
+    def udf_exception(
+        self,
+        udf: str,
+        *,
+        row: Optional[int] = None,
+        every: Optional[int] = None,
+        times: int = 1,
+        scope: str = "fused",
+        exc: Optional[BaseException] = None,
+    ) -> "FaultInjector":
+        """Raise from ``udf`` on matching invocations.
+
+        ``row`` pins the fault to one batch position; ``every`` fires on
+        every N-th matching invocation; with neither, every matching
+        invocation fires until ``times`` is exhausted.  ``scope`` is
+        ``"fused"`` (default), ``"interp"``, or ``"any"``.
+        """
+        if scope not in ("fused", "interp", "any"):
+            raise ValueError(f"unknown fault scope {scope!r}")
+        self._row_faults.append(
+            _RowFault(udf, row, every, times, scope, exc)
+        )
+        return self
+
+    def boundary_error(
+        self, sql_type: Any = None, *, times: int = 1
+    ) -> "FaultInjector":
+        """Raise during C -> Python conversion of ``sql_type`` values."""
+        self._boundary_faults.append(_BoundaryFault(sql_type, times))
+        return self
+
+    def channel(self, mode: str, *, times: int = 1) -> "FaultInjector":
+        """Make the process channel fail: timeout | corrupt | drop."""
+        if mode not in ("timeout", "corrupt", "drop"):
+            raise ValueError(f"unknown channel fault mode {mode!r}")
+        self._channel_faults.append(_ChannelFault(mode, times))
+        return self
+
+    # -- hooks (called from generated wrappers via FAULTS) -------------
+
+    def fire_row(
+        self, names: Sequence[str], idx: Optional[int], context: str
+    ) -> None:
+        """Hook run before each UDF invocation; raises to inject."""
+        lowered = None
+        for fault in self._row_faults:
+            if fault.remaining <= 0:
+                continue
+            if fault.scope != "any" and fault.scope != context:
+                continue
+            if lowered is None:
+                lowered = [n.lower() for n in names]
+            if fault.udf not in lowered:
+                continue
+            position = idx if idx is not None else fault.calls
+            fault.calls += 1
+            if fault.row is not None and position != fault.row:
+                continue
+            if fault.every is not None and position % fault.every != 0:
+                continue
+            fault.remaining -= 1
+            self.fired += 1
+            detail = f"{fault.udf}@{position}/{context}"
+            self.log.append(("udf", detail))
+            if fault.exc is not None:
+                raise fault.exc
+            raise InjectedFault(f"injected UDF fault: {detail}")
+
+    def fire_boundary(self, sql_type: Any) -> None:
+        """Hook run on each C -> Python conversion; raises to inject."""
+        for fault in self._boundary_faults:
+            if fault.remaining <= 0:
+                continue
+            if fault.sql_type is not None and fault.sql_type is not sql_type:
+                continue
+            fault.remaining -= 1
+            self.fired += 1
+            self.log.append(("boundary", str(sql_type)))
+            raise InjectedFault(
+                f"injected boundary fault converting {sql_type}"
+            )
+
+    def channel_fault(self) -> Optional[str]:
+        """Hook consulted per channel transfer attempt; returns a mode."""
+        for fault in self._channel_faults:
+            if fault.remaining <= 0:
+                continue
+            fault.remaining -= 1
+            self.fired += 1
+            self.log.append(("channel", fault.mode))
+            return fault.mode
+        return None
+
+
+@contextlib.contextmanager
+def inject(injector: Optional[FaultInjector] = None):
+    """Arm ``FAULTS`` with ``injector`` for the duration of the block."""
+    injector = injector if injector is not None else FaultInjector()
+    runtime.FAULTS.arm(injector)
+    try:
+        yield injector
+    finally:
+        runtime.FAULTS.disarm()
+
+
+def _poison_definition(definition: UdfDefinition) -> UdfDefinition:
+    """A copy of ``definition`` whose every entry point raises."""
+    name = definition.name
+
+    def poisoned(*args, **kwargs):
+        raise PoisonedTraceError(f"poisoned trace {name!r}")
+
+    if definition.kind is UdfKind.AGGREGATE:
+        class PoisonedAggregate:
+            def step(self, *args):
+                raise PoisonedTraceError(f"poisoned trace {name!r}")
+
+            def final(self):
+                raise PoisonedTraceError(f"poisoned trace {name!r}")
+
+        return dataclasses.replace(definition, func=PoisonedAggregate)
+
+    replacements = {"func": poisoned}
+    if definition.scalar_batch_func is not None:
+        replacements["scalar_batch_func"] = poisoned
+    if definition.expand_batch_func is not None:
+        replacements["expand_batch_func"] = poisoned
+    if definition.lineage_func is not None:
+        replacements["lineage_func"] = poisoned
+    return dataclasses.replace(definition, **replacements)
+
+
+def poison_traces(
+    qfusor: Any, names: Optional[Iterable[str]] = None
+) -> List[str]:
+    """Corrupt cached fused traces so their next execution raises.
+
+    Models a stale or corrupt trace cache: every cached entry (or just
+    those in ``names``) is replaced by a version raising
+    :class:`PoisonedTraceError`, and any live engine registration under
+    the same name is re-registered poisoned.  Returns the poisoned
+    fused-UDF names.  The de-optimization guard must invalidate these
+    entries and recover through the unfused path.
+    """
+    wanted = {n.lower() for n in names} if names is not None else None
+    poisoned_names = []
+    for key, fused in qfusor.cache.entries():
+        name = fused.definition.name
+        if wanted is not None and name not in wanted:
+            continue
+        poisoned = _poison_definition(fused.definition)
+        qfusor.cache.replace(
+            key, dataclasses.replace(fused, definition=poisoned)
+        )
+        if name in qfusor.adapter.registry:
+            qfusor.adapter.register_udf(poisoned, replace=True)
+        poisoned_names.append(name)
+    return poisoned_names

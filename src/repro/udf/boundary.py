@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
+from ..resilience.runtime import FAULTS as _FAULTS
 from ..storage import serde
 from ..storage.column import Column
 from ..types import SqlType
@@ -94,6 +95,8 @@ def engine_to_c(value: Any, sql_type: SqlType) -> Any:
 def c_to_python(value: Any, sql_type: SqlType) -> Any:
     """Convert one C buffer value into the Python object a UDF expects."""
     counters.c_to_python += 1
+    if _FAULTS.armed:
+        _FAULTS.injector.fire_boundary(sql_type)
     if value is None:
         return None
     if sql_type is SqlType.TEXT:

@@ -73,13 +73,25 @@ class RegisteredUdf:
         the per-value boundary crossings, so each row pays the full FFI
         round trip (the SQLite-style overhead the paper measures).
         """
+        from ..resilience import runtime
+
         start = time.perf_counter()
         try:
+            if runtime.FAULTS.armed:
+                runtime.FAULTS.injector.fire_row(
+                    (self.name,) + tuple(self.definition.fused_from),
+                    None,
+                    "fused" if self.definition.is_fused else "interp",
+                )
             result = self.definition.func(*args)
         except Exception as exc:
-            from ..errors import UdfExecutionError
-
-            raise UdfExecutionError(self.name, exc) from exc
+            result = runtime.handle_value_error(
+                self.name,
+                runtime.policy(),
+                exc,
+                lambda: self.definition.func(*args),
+                args,
+            )
         elapsed = time.perf_counter() - start
         self._registry.stats.observe(self.name, 1, 1, elapsed)
         return result

@@ -35,6 +35,12 @@ from .definition import UdfDefinition, UdfKind
 __all__ = ["GeneratedWrapper", "build_wrapper", "SourceBuilder"]
 
 
+def _resilience_runtime():
+    from ..resilience import runtime
+
+    return runtime
+
+
 class SourceBuilder:
     """Tiny helper for emitting correctly indented Python source."""
 
@@ -113,6 +119,7 @@ def build_wrapper(udf: UdfDefinition) -> GeneratedWrapper:
 
 
 def _base_namespace(udf: UdfDefinition) -> Dict[str, Any]:
+    runtime = _resilience_runtime()
     return {
         "c_to_python": boundary.c_to_python,
         "python_to_c": boundary.python_to_c,
@@ -121,6 +128,14 @@ def _base_namespace(udf: UdfDefinition) -> Dict[str, Any]:
         "OUT_TYPE": udf.signature.return_types[0],
         "SqlType": SqlType,
         "UdfExecutionError": UdfExecutionError,
+        # Resilience runtime: fault hook + row-level exception policies.
+        "_FAULTS": runtime.FAULTS,
+        "_rt_policy": runtime.policy,
+        "_rt_row_error": runtime.handle_scalar_row_error,
+        "_rt_expand_row_error": runtime.handle_expand_row_error,
+        "_NAME": udf.name,
+        "_NAMES": (udf.name,) + tuple(udf.fused_from),
+        "_CTX": "fused" if udf.is_fused else "interp",
     }
 
 
@@ -148,6 +163,8 @@ def _build_scalar_wrapper(udf: UdfDefinition) -> GeneratedWrapper:
             )
             with builder.block("try:"):
                 builder.line("return batch_udf(c_inputs, size)")
+            with builder.block("except UdfExecutionError:"):
+                builder.line("raise")
             with builder.block("except Exception as exc:"):
                 builder.line(
                     f"raise UdfExecutionError({udf.name!r}, exc) from exc"
@@ -157,27 +174,42 @@ def _build_scalar_wrapper(udf: UdfDefinition) -> GeneratedWrapper:
         namespace["batch_udf"] = udf.scalar_batch_func
         entry = _compile(source, namespace, f"wrapper_{udf.name}")
         return GeneratedWrapper(udf, source, entry)
+    null_check = " or ".join(f"col{i}[i] is None" for i in range(arity))
+    call_args = ", ".join(f"v{i}" for i in range(arity))
     with builder.block(f"def wrapper_{udf.name}(c_inputs, size):"):
         builder.line(f'"""Auto-generated wrapper for scalar UDF {udf.name!r}."""')
         for i in range(arity):
             builder.line(f"col{i} = c_inputs[{i}]")
         builder.line("result = [None] * size")
-        with builder.block("try:"):
-            with builder.block("for i in range(size):"):
-                if arity and udf.strict:
-                    null_check = " or ".join(
-                        f"col{i}[i] is None" for i in range(arity)
-                    )
-                    with builder.block(f"if {null_check}:"):
-                        builder.line("continue")
+        builder.line("_policy = _rt_policy()")
+        with builder.block("for i in range(size):"):
+            if arity and udf.strict:
+                with builder.block(f"if {null_check}:"):
+                    builder.line("continue")
+            with builder.block("try:"):
+                with builder.block("if _FAULTS.armed:"):
+                    builder.line("_FAULTS.injector.fire_row(_NAMES, i, _CTX)")
                 for i in range(arity):
                     builder.line(f"v{i} = c_to_python(col{i}[i], IN_TYPES[{i}])")
-                call_args = ", ".join(f"v{i}" for i in range(arity))
                 builder.line(f"r = udf({call_args})")
                 builder.line("result[i] = python_to_c(r, OUT_TYPE)")
-        with builder.block("except Exception as exc:"):
-            builder.line(f"raise UdfExecutionError({udf.name!r}, exc) from exc")
+            with builder.block("except Exception as exc:"):
+                builder.line(
+                    f"result[i] = _rt_row_error(_NAME, _policy, exc, i, "
+                    f"(lambda _i=i: wrapper_{udf.name}__retry(c_inputs, _i)))"
+                )
         builder.line("return result")
+    builder.line()
+    with builder.block(f"def wrapper_{udf.name}__retry(c_inputs, i):"):
+        builder.line('"""Single-row replay for the reinterpret policy."""')
+        for i in range(arity):
+            builder.line(f"col{i} = c_inputs[{i}]")
+        if arity and udf.strict:
+            with builder.block(f"if {null_check}:"):
+                builder.line("return None")
+        for i in range(arity):
+            builder.line(f"v{i} = c_to_python(col{i}[i], IN_TYPES[{i}])")
+        builder.line(f"return python_to_c(udf({call_args}), OUT_TYPE)")
     source = builder.source()
     namespace = _base_namespace(udf)
     namespace["udf"] = udf.func
@@ -202,24 +234,44 @@ def _build_aggregate_wrapper(udf: UdfDefinition) -> GeneratedWrapper:
         )
         for i in range(arity):
             builder.line(f"col{i} = c_inputs[{i}]")
-        builder.line("aggrs = [agg_class() for _ in range(num_groups)]")
         with builder.block("try:"):
-            with builder.block("for i in range(size):"):
-                if arity:
-                    null_check = " and ".join(
-                        f"col{i}[i] is None" for i in range(arity)
-                    )
-                    with builder.block(f"if {null_check}:"):
-                        builder.line("continue")
+            builder.line("aggrs = [agg_class() for _ in range(num_groups)]")
+        with builder.block("except Exception as exc:"):
+            builder.line(f"raise UdfExecutionError({udf.name!r}, exc) from exc")
+        # A failed step() leaves partial aggregate state that cannot be
+        # reconciled, so row-level policies never apply here: aggregate
+        # failures always raise (with the row) and recovery happens at
+        # the query level through de-optimization.
+        with builder.block("for i in range(size):"):
+            if arity:
+                null_check = " and ".join(
+                    f"col{i}[i] is None" for i in range(arity)
+                )
+                with builder.block(f"if {null_check}:"):
+                    builder.line("continue")
+            with builder.block("try:"):
+                with builder.block("if _FAULTS.armed:"):
+                    builder.line("_FAULTS.injector.fire_row(_NAMES, i, _CTX)")
                 for i in range(arity):
                     builder.line(f"v{i} = c_to_python(col{i}[i], IN_TYPES[{i}])")
                 call_args = ", ".join(f"v{i}" for i in range(arity))
                 builder.line(f"aggrs[group_ids[i]].step({call_args})")
+            with builder.block("except UdfExecutionError:"):
+                builder.line("raise")
+            with builder.block("except Exception as exc:"):
+                builder.line(
+                    f"raise UdfExecutionError({udf.name!r}, exc, row=i) "
+                    f"from exc"
+                )
+        with builder.block("try:"):
             builder.line(
                 "return [python_to_c(a.final(), OUT_TYPE) for a in aggrs]"
             )
         with builder.block("except Exception as exc:"):
-            builder.line(f"raise UdfExecutionError({udf.name!r}, exc) from exc")
+            builder.line(
+                f"raise UdfExecutionError({udf.name!r}, exc, phase='final') "
+                f"from exc"
+            )
     source = builder.source()
     namespace = _base_namespace(udf)
     namespace["agg_class"] = udf.func
@@ -247,6 +299,8 @@ def _build_table_wrapper(udf: UdfDefinition) -> GeneratedWrapper:
         )
         builder.line("n = len(c_inputs)")
         with builder.block("for i in range(size):"):
+            with builder.block("if _FAULTS.armed:"):
+                builder.line("_FAULTS.injector.fire_row(_NAMES, i, _CTX)")
             builder.line(
                 "yield tuple("
                 "c_to_python(c_inputs[j][i], in_types[j]) for j in range(n))"
@@ -271,6 +325,8 @@ def _build_table_wrapper(udf: UdfDefinition) -> GeneratedWrapper:
                     builder.line(
                         f"out{i}.append(python_to_c(row[{i}], OUT_TYPES[{i}]))"
                     )
+        with builder.block("except UdfExecutionError:"):
+            builder.line("raise")
         with builder.block("except Exception as exc:"):
             builder.line(f"raise UdfExecutionError({udf.name!r}, exc) from exc")
         builder.line(f"return [{out_names}]")
@@ -308,24 +364,74 @@ def _build_table_wrapper(udf: UdfDefinition) -> GeneratedWrapper:
                             f"python_to_c(row[{i_out + 1}], OUT_TYPES[{i_out}]))"
                         )
             else:
+                builder.line("_policy = _rt_policy()")
                 with builder.block("for i in range(size):"):
-                    builder.line(
-                        "one_row = tuple("
-                        "c_to_python(c_inputs[j][i], in_types[j]) "
-                        "for j in range(n))"
-                    )
-                    with builder.block(
-                        "for row in udf(iter([one_row]), *const_args):"
-                    ):
-                        builder.line("lineage.append(i)")
-                        for i_out in range(num_out):
+                    with builder.block("try:"):
+                        with builder.block("if _FAULTS.armed:"):
                             builder.line(
-                                f"out{i_out}.append("
-                                f"python_to_c(row[{i_out}], OUT_TYPES[{i_out}]))"
+                                "_FAULTS.injector.fire_row(_NAMES, i, _CTX)"
                             )
+                        builder.line(
+                            "one_row = tuple("
+                            "c_to_python(c_inputs[j][i], in_types[j]) "
+                            "for j in range(n))"
+                        )
+                        with builder.block(
+                            "for row in udf(iter([one_row]), *const_args):"
+                        ):
+                            builder.line("lineage.append(i)")
+                            for i_out in range(num_out):
+                                builder.line(
+                                    f"out{i_out}.append(python_to_c("
+                                    f"row[{i_out}], OUT_TYPES[{i_out}]))"
+                                )
+                    with builder.block("except Exception as _exc:"):
+                        # Drop the failed row's partial outputs before
+                        # applying the policy (lineage is non-decreasing).
+                        with builder.block(
+                            "while lineage and lineage[-1] == i:"
+                        ):
+                            builder.line("lineage.pop()")
+                            for i_out in range(num_out):
+                                builder.line(f"out{i_out}.pop()")
+                        builder.line(
+                            f"_rres = _rt_expand_row_error(_NAME, _policy, "
+                            f"_exc, i, (lambda _i=i: "
+                            f"wrapper_{udf.name}__retry_row("
+                            f"c_inputs, _i, in_types, const_args)))"
+                        )
+                        with builder.block("if _rres is None:"):
+                            builder.line("lineage.append(i)")
+                            for i_out in range(num_out):
+                                builder.line(f"out{i_out}.append(None)")
+                        with builder.block("else:"):
+                            with builder.block("for _row in _rres:"):
+                                builder.line("lineage.append(i)")
+                                for i_out in range(num_out):
+                                    builder.line(
+                                        f"out{i_out}.append(_row[{i_out}])"
+                                    )
+        with builder.block("except UdfExecutionError:"):
+            builder.line("raise")
         with builder.block("except Exception as exc:"):
             builder.line(f"raise UdfExecutionError({udf.name!r}, exc) from exc")
         builder.line(f"return lineage, [{out_names}]")
+    builder.line()
+
+    with builder.block(
+        f"def wrapper_{udf.name}__retry_row(c_inputs, i, in_types, const_args):"
+    ):
+        builder.line('"""Single-row replay for the reinterpret policy."""')
+        builder.line("n = len(c_inputs)")
+        builder.line(
+            "one_row = tuple("
+            "c_to_python(c_inputs[j][i], in_types[j]) for j in range(n))"
+        )
+        builder.line(
+            f"return [tuple(python_to_c(row[k], OUT_TYPES[k]) "
+            f"for k in range({num_out})) "
+            f"for row in udf(iter([one_row]), *const_args)]"
+        )
 
     source = builder.source()
     namespace = _base_namespace(udf)

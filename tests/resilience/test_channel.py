@@ -1,0 +1,139 @@
+"""Process-boundary hardening for the minidb_row pickle channel."""
+
+import pytest
+
+from repro.core import QFusor, QFusorConfig
+from repro.engines import RowStoreAdapter
+from repro.resilience.channel import ChannelDegradedWarning, ResilientChannel
+from repro.storage import Column, Table
+from repro.testing import FaultInjector, inject
+from repro.types import SqlType
+from repro.udf import scalar_udf
+
+
+@scalar_udf
+def c_fold(val: str) -> str:
+    return val.lower()
+
+
+@scalar_udf
+def c_mark(val: str) -> str:
+    return "<" + val + ">"
+
+
+class TestTransferRetries:
+    def test_transient_corruption_is_retried(self):
+        channel = ResilientChannel(retries=3, backoff=0.0)
+        with inject(FaultInjector().channel("corrupt", times=2)):
+            out = channel.transfer({"a": [1, 2]})
+        assert out == {"a": [1, 2]}
+        assert channel.retried == 2
+        assert [i.kind for i in channel.incidents] == [
+            "corruption", "corruption",
+        ]
+        assert channel.degraded == 0
+
+    def test_transient_timeout_is_retried(self):
+        channel = ResilientChannel(retries=2, backoff=0.0)
+        with inject(FaultInjector().channel("timeout", times=1)):
+            out = channel.transfer([1, 2, 3])
+        assert out == [1, 2, 3]
+        assert channel.incidents[0].kind == "timeout"
+
+    def test_dropped_payload_is_retried(self):
+        channel = ResilientChannel(retries=1, backoff=0.0)
+        with inject(FaultInjector().channel("drop", times=1)):
+            assert channel.transfer("x") == "x"
+        assert channel.incidents[0].kind == "drop"
+
+    def test_crossings_counted_once_per_transfer(self):
+        channel = ResilientChannel(retries=3, backoff=0.0)
+        with inject(FaultInjector().channel("corrupt", times=2)):
+            channel.transfer("payload")
+        assert channel.crossings == 1
+
+
+class TestDegradation:
+    def test_exhausted_retries_degrade_with_warning(self):
+        channel = ResilientChannel(retries=2, backoff=0.0)
+        payload = {"rows": [1, 2]}
+        with inject(FaultInjector().channel("drop", times=10)):
+            with pytest.warns(ChannelDegradedWarning):
+                out = channel.transfer(payload)
+        # Degraded transfer hands the payload over in-process, unchanged.
+        assert out is payload
+        assert channel.degraded == 1
+        assert channel.incidents[-1].kind == "degraded"
+
+    def test_unpicklable_payload_degrades_instead_of_crashing(self):
+        channel = ResilientChannel(retries=1, backoff=0.0)
+        payload = {"gen": (x for x in range(3))}  # generators don't pickle
+        with pytest.warns(ChannelDegradedWarning):
+            out = channel.transfer(payload)
+        assert out is payload
+        assert all(i.kind in ("corruption", "degraded")
+                   for i in channel.incidents)
+
+
+class TestRowStoreIntegration:
+    def make_adapter(self):
+        adapter = RowStoreAdapter()
+        adapter.register_table(Table.from_rows(
+            "t", [("id", SqlType.INT), ("v", SqlType.TEXT)],
+            [(0, "Aa"), (1, "Bb"), (2, "Cc")],
+        ))
+        adapter.register_udf(c_fold)
+        adapter.register_udf(c_mark)
+        return adapter
+
+    def test_adapter_uses_resilient_channel(self):
+        adapter = self.make_adapter()
+        assert isinstance(adapter.channel, ResilientChannel)
+
+    def test_config_knobs_propagate_to_channel(self):
+        adapter = self.make_adapter()
+        QFusor(adapter, QFusorConfig(
+            channel_timeout=1.5, channel_retries=5, channel_backoff=0.0,
+        ))
+        assert adapter.channel.timeout == 1.5
+        assert adapter.channel.retries == 5
+        assert adapter.channel.backoff == 0.0
+
+    def test_batch_invocation_correct_under_channel_faults(self):
+        adapter = self.make_adapter()
+        adapter.channel.configure(retries=3, backoff=0.0)
+        col = Column("v", SqlType.TEXT, ["AB", "CD"])
+        with inject(FaultInjector().channel("corrupt", times=2)):
+            out = adapter.registry.get("c_fold").call_scalar([col], 2)
+        assert out.to_list() == ["ab", "cd"]
+        # One crossing in, one crossing out — retries don't inflate it.
+        assert adapter.channel.crossings == 2
+        assert len(adapter.channel.incidents) == 2
+
+    def test_profiling_crosses_channel_and_degrades_gracefully(self):
+        """profile_udfs drives the batch invocation path, which really
+        crosses the channel — faults degrade it without aborting."""
+        adapter = self.make_adapter()
+        adapter.channel.configure(retries=1, backoff=0.0)
+        qfusor = QFusor(adapter)
+        with inject(FaultInjector().channel("drop", times=50)) as inj:
+            with pytest.warns(ChannelDegradedWarning):
+                profiled = qfusor.profile_udfs("t")
+        assert inj.fired > 0
+        assert adapter.channel.degraded > 0
+        assert "c_fold" in profiled
+
+    def test_tuple_query_path_does_not_cross_channel(self):
+        """The tuple execution model invokes UDFs per-value in process
+        (the seed's crossings==0 behaviour), so armed channel faults
+        cannot perturb query results on this path."""
+        adapter = self.make_adapter()
+        qfusor = QFusor(adapter)
+        reference = sorted(
+            adapter.execute_sql("SELECT c_mark(c_fold(v)) AS o FROM t")
+            .to_rows()
+        )
+        with inject(FaultInjector().channel("drop", times=50)) as inj:
+            result = qfusor.execute("SELECT c_mark(c_fold(v)) AS o FROM t")
+        assert sorted(result.to_rows()) == reference
+        assert inj.fired == 0

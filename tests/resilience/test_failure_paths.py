@@ -1,0 +1,177 @@
+"""Previously-untested failure paths (issue satellite): every error must
+name the UDF and the offending row/value/phase."""
+
+import pytest
+
+from repro.core import QFusor
+from repro.engines import MiniDbAdapter, SqliteAdapter
+from repro.errors import UdfExecutionError
+from repro.storage import Column, Table
+from repro.testing import FaultInjector, InjectedFault, inject
+from repro.types import SqlType
+from repro.udf import aggregate_udf, boundary, scalar_udf
+
+
+@scalar_udf
+def fp_boom(val: str) -> str:
+    if val == "boom":
+        raise ValueError("bad input")
+    return val.lower()
+
+
+@scalar_udf
+def fp_jsonlen(values: list) -> int:
+    return len(values)
+
+
+@aggregate_udf
+class fp_badfinal:
+    def __init__(self):
+        self.n = 0
+
+    def step(self, value: str):
+        self.n += 1
+
+    def final(self) -> int:
+        raise ZeroDivisionError("final exploded")
+
+
+@aggregate_udf
+class fp_badstep:
+    def __init__(self):
+        self.n = 0
+
+    def step(self, value: str):
+        if value == "boom":
+            raise RuntimeError("step exploded")
+        self.n += 1
+
+    def final(self) -> int:
+        return self.n
+
+
+def text_table(values, name="t"):
+    return Table.from_rows(
+        name, [("id", SqlType.INT), ("v", SqlType.TEXT)],
+        [(i, v) for i, v in enumerate(values)],
+    )
+
+
+class TestSqliteScalarFailure:
+    def make_adapter(self):
+        adapter = SqliteAdapter()
+        adapter.register_table(text_table(["ok", "boom", "fine"]))
+        adapter.register_udf(fp_boom)
+        return adapter
+
+    def test_error_names_udf_and_value(self):
+        adapter = self.make_adapter()
+        with pytest.raises(UdfExecutionError) as err:
+            adapter.execute_sql("SELECT fp_boom(v) FROM t")
+        assert err.value.udf_name == "fp_boom"
+        assert err.value.has_value and err.value.value == "boom"
+        assert isinstance(err.value.original, ValueError)
+        assert "'boom'" in str(err.value)
+
+    def test_connection_usable_after_failure(self):
+        adapter = self.make_adapter()
+        with pytest.raises(UdfExecutionError):
+            adapter.execute_sql("SELECT fp_boom(v) FROM t")
+        assert adapter.execute_sql("SELECT count(*) FROM t").to_rows() \
+            == [(3,)]
+
+    def test_pending_error_cleared_between_statements(self):
+        adapter = self.make_adapter()
+        with pytest.raises(UdfExecutionError):
+            adapter.execute_sql("SELECT fp_boom(v) FROM t")
+        # A later plain SQL error must not resurface the stale UDF error.
+        with pytest.raises(Exception) as err:
+            adapter.execute_sql("SELECT * FROM missing_table")
+        assert not isinstance(err.value, UdfExecutionError)
+
+
+class TestSqliteAggregateFailure:
+    def make_adapter(self, values):
+        adapter = SqliteAdapter()
+        adapter.register_table(text_table(values))
+        adapter.register_udf(fp_badfinal)
+        adapter.register_udf(fp_badstep)
+        return adapter
+
+    def test_step_failure_names_udf_row_and_value(self):
+        adapter = self.make_adapter(["a", "boom", "c"])
+        with pytest.raises(UdfExecutionError) as err:
+            adapter.execute_sql("SELECT fp_badstep(v) FROM t")
+        assert err.value.udf_name == "fp_badstep"
+        assert err.value.row == 1
+        assert err.value.has_value and err.value.value == ("boom",)
+
+    def test_final_failure_names_phase(self):
+        adapter = self.make_adapter(["a", "b"])
+        with pytest.raises(UdfExecutionError) as err:
+            adapter.execute_sql("SELECT fp_badfinal(v) FROM t")
+        assert err.value.udf_name == "fp_badfinal"
+        assert err.value.phase == "final"
+        assert "final()" in str(err.value)
+
+
+class TestAggregateFinalFailureOnMinidb:
+    def test_final_failure_names_udf_and_phase(self):
+        adapter = MiniDbAdapter()
+        adapter.register_table(text_table(["a", "b"]))
+        adapter.register_udf(fp_badfinal)
+        with pytest.raises(UdfExecutionError) as err:
+            adapter.execute_sql("SELECT fp_badfinal(v) FROM t")
+        assert err.value.udf_name == "fp_badfinal"
+        assert err.value.phase == "final"
+        assert isinstance(err.value.original, ZeroDivisionError)
+
+    def test_fused_aggregate_final_failure_recovers_nothing_silently(self):
+        """Aggregates never row-recover; the query-level guard catches
+        the error, deopts, and the unfused run fails identically."""
+        qfusor = QFusor(self._adapter())
+        with pytest.raises(UdfExecutionError) as err:
+            qfusor.execute("SELECT fp_badfinal(fp_boom(v)) FROM t")
+        assert err.value.udf_name == "fp_badfinal"
+        assert err.value.phase == "final"
+
+    @staticmethod
+    def _adapter():
+        adapter = MiniDbAdapter()
+        adapter.register_table(text_table(["a", "b"]))
+        adapter.register_udf(fp_badfinal)
+        adapter.register_udf(fp_boom)
+        return adapter
+
+
+class TestBoundaryFailures:
+    def test_malformed_json_bytes_raise_on_conversion(self):
+        with pytest.raises(ValueError):
+            boundary.c_to_python(b"{not json!", SqlType.JSON)
+
+    def test_malformed_json_column_names_udf_and_row(self):
+        adapter = MiniDbAdapter()
+        table = Table("t", [
+            Column("id", SqlType.INT, [0, 1], validate=False),
+            Column("j", SqlType.JSON, ['["ok"]', "{broken"], validate=False),
+        ])
+        adapter.register_table(table)
+        adapter.register_udf(fp_jsonlen)
+        with pytest.raises(UdfExecutionError) as err:
+            adapter.execute_sql("SELECT fp_jsonlen(j) FROM t")
+        assert err.value.udf_name == "fp_jsonlen"
+        assert err.value.row == 1
+
+    def test_injected_boundary_fault_surfaces_as_udf_error(self):
+        adapter = MiniDbAdapter()
+        table = Table("t", [
+            Column("id", SqlType.INT, [0], validate=False),
+            Column("j", SqlType.JSON, ['["ok"]'], validate=False),
+        ])
+        adapter.register_table(table)
+        adapter.register_udf(fp_jsonlen)
+        fault = FaultInjector().boundary_error(SqlType.JSON)
+        with inject(fault):
+            with pytest.raises(UdfExecutionError) as err:
+                adapter.execute_sql("SELECT fp_jsonlen(j) FROM t")
+        assert isinstance(err.value.original, InjectedFault)

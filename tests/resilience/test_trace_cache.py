@@ -1,0 +1,105 @@
+"""TraceCache invalidation + bounded-LRU behaviour (deopt support)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+import repro.jit.cache as cache_module
+from repro.jit.cache import TraceCache
+
+
+def _spec(sig):
+    return SimpleNamespace(signature_key=sig)
+
+
+def _fused(name):
+    return SimpleNamespace(definition=SimpleNamespace(name=name))
+
+
+@pytest.fixture
+def compiled(monkeypatch):
+    """Monkeypatch codegen so cache tests need no real pipelines."""
+    names = iter(f"qf_fused_{i}" for i in range(100))
+    calls = []
+
+    def fake_generate(spec):
+        fused = _fused(next(names))
+        calls.append(spec)
+        return fused
+
+    monkeypatch.setattr(cache_module, "generate_fused_udf", fake_generate)
+    return calls
+
+
+class TestLookup:
+    def test_hit_returns_original_artifact(self, compiled):
+        cache = TraceCache()
+        first, was_cached = cache.get_or_compile(_spec(("a",)))
+        assert not was_cached
+        second, was_cached = cache.get_or_compile(_spec(("a",)))
+        assert was_cached and second is first
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(compiled) == 1
+
+    def test_disabled_cache_always_compiles(self, compiled):
+        cache = TraceCache(enabled=False)
+        cache.get_or_compile(_spec(("a",)))
+        cache.get_or_compile(_spec(("a",)))
+        assert len(compiled) == 2
+        assert len(cache) == 0
+
+    def test_key_for_maps_hit_names_to_same_key(self, compiled):
+        cache = TraceCache()
+        first, _ = cache.get_or_compile(_spec(("a",)))
+        assert cache.key_for(first.definition.name) == ("a",)
+
+
+class TestInvalidate:
+    def test_invalidate_drops_entry(self, compiled):
+        cache = TraceCache()
+        fused, _ = cache.get_or_compile(_spec(("a",)))
+        key = cache.key_for(fused.definition.name)
+        assert cache.invalidate(key)
+        assert key not in cache
+        assert cache.invalidations == 1
+        # The next lookup recompiles from scratch.
+        again, was_cached = cache.get_or_compile(_spec(("a",)))
+        assert not was_cached and again is not fused
+
+    def test_invalidate_missing_key_is_false(self):
+        cache = TraceCache()
+        assert not cache.invalidate(("nope",))
+
+    def test_invalidate_name(self, compiled):
+        cache = TraceCache()
+        fused, _ = cache.get_or_compile(_spec(("a",)))
+        assert cache.invalidate_name(fused.definition.name)
+        assert not cache.invalidate_name(fused.definition.name)
+
+
+class TestBoundedLru:
+    def test_capacity_evicts_least_recently_used(self, compiled):
+        cache = TraceCache(capacity=2)
+        a, _ = cache.get_or_compile(_spec(("a",)))
+        b, _ = cache.get_or_compile(_spec(("b",)))
+        cache.get_or_compile(_spec(("a",)))  # touch a: b becomes LRU
+        cache.get_or_compile(_spec(("c",)))  # evicts b
+        assert cache.evictions == 1
+        assert ("a",) in cache and ("c",) in cache and ("b",) not in cache
+        assert cache.key_for(b.definition.name) is None
+        assert cache.key_for(a.definition.name) == ("a",)
+
+    def test_capacity_clamped_to_one(self, compiled):
+        cache = TraceCache(capacity=0)
+        cache.get_or_compile(_spec(("a",)))
+        cache.get_or_compile(_spec(("b",)))
+        assert len(cache) == 1
+
+    def test_replace_swaps_artifact_in_place(self, compiled):
+        cache = TraceCache()
+        fused, _ = cache.get_or_compile(_spec(("a",)))
+        poisoned = _fused(fused.definition.name)
+        assert cache.replace(("a",), poisoned)
+        got, was_cached = cache.get_or_compile(_spec(("a",)))
+        assert was_cached and got is poisoned
+        assert not cache.replace(("zzz",), poisoned)
