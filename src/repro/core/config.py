@@ -71,6 +71,41 @@ class QFusorConfig:
     channel_retries: int = 3
     #: Base of the exponential backoff between channel retries (s).
     channel_backoff: float = 0.01
+    # -- query lifecycle governance ------------------------------------
+    #: Whole-query wall-clock deadline (s); None disables (legacy).
+    query_timeout_s: Optional[float] = None
+    #: Per-batch UDF wall-clock cap (s) enforced by the watchdog; a batch
+    #: (or single tuple-at-a-time call) exceeding it times out even if
+    #: the query deadline has slack left.  None disables.
+    udf_batch_timeout_s: Optional[float] = None
+    #: Approximate cap on rows flowing through governed checkpoints;
+    #: None disables.
+    row_budget: Optional[int] = None
+    #: On a fused-path timeout attributable to a fused trace, de-optimize
+    #: and retry unfused once (when deadline slack remains).
+    timeout_deopt_retry: bool = True
+    #: Bounded admission control: max concurrently executing queries
+    #: through one QFusor; None disables the gate.
+    max_concurrent_queries: Optional[int] = None
+    #: How long an arriving query waits in the admission queue before it
+    #: is shed with AdmissionTimeoutError; None waits forever.
+    admission_timeout_s: Optional[float] = None
+    # -- per-UDF circuit breakers --------------------------------------
+    #: Master switch for per-UDF sliding-window circuit breakers.
+    breaker_enabled: bool = False
+    #: Sliding-window size (boundary invocations) per UDF.
+    breaker_window: int = 32
+    #: Minimum observations before a breaker may trip.
+    breaker_min_calls: int = 8
+    #: Failure-rate trip threshold over the window.
+    breaker_failure_threshold: float = 0.5
+    #: p95 per-tuple latency trip threshold (s); None disables.
+    breaker_latency_threshold_s: Optional[float] = None
+    #: OPEN -> HALF_OPEN cooldown (s).
+    breaker_cooldown_s: float = 30.0
+    #: What an open breaker means: "unfused" (bypass fusion for queries
+    #: referencing the UDF) or "fail_fast" (raise CircuitOpenError).
+    breaker_policy: str = "unfused"
 
     def ablated(self, **changes) -> "QFusorConfig":
         """A copy with the given switches changed (for ablation benches)."""

@@ -18,6 +18,7 @@ Queries without UDFs pass through untouched.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Union
@@ -26,12 +27,14 @@ from ..engine.database import Database
 from ..engine.explain import explain_text
 from ..engine.plan import Field
 from ..engine.planner import PlannedQuery
-from ..errors import ReproError, UdfExecutionError
+from ..errors import CircuitOpenError, QueryTimeoutError, ReproError
 from ..jit.cache import TraceCache
 from ..jit.codegen import FusedUdf
 from ..resilience import (
-    DeoptEvent, FusionBlocklist, ResilienceContext, RowEvent, activate,
+    AdmissionGate, DeoptEvent, FusionBlocklist, QueryContext,
+    ResilienceContext, RowEvent, activate,
 )
+from ..resilience import governor
 from ..sql import ast_nodes as ast
 from ..sql.parser import parse
 from ..sql.printer import to_sql
@@ -70,6 +73,8 @@ class QFusorReport:
     row_events: List[RowEvent] = field(default_factory=list)
     #: Out-of-process channel incidents observed during this query.
     channel_events: List[Any] = field(default_factory=list)
+    #: UDF names whose open circuit breakers forced the unfused path.
+    breaker_bypass: List[str] = field(default_factory=list)
 
     @property
     def fused_names(self) -> List[str]:
@@ -133,6 +138,24 @@ class QFusor:
         # for example, registers through create_function).
         self.fuser.register_hook = engine.register_udf
         self.last_report: Optional[QFusorReport] = None
+        self._last_context: Optional[QueryContext] = None
+        # Per-UDF circuit breakers live on the registry (shared with any
+        # other client of the same adapter); thresholds come from config.
+        engine.registry.breakers.configure(
+            enabled=self.config.breaker_enabled,
+            window=self.config.breaker_window,
+            min_calls=self.config.breaker_min_calls,
+            failure_threshold=self.config.breaker_failure_threshold,
+            latency_threshold_s=self.config.breaker_latency_threshold_s,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
+        # Bounded admission control (None: unlimited concurrency).
+        self.admission: Optional[AdmissionGate] = None
+        if self.config.max_concurrent_queries is not None:
+            self.admission = AdmissionGate(
+                self.config.max_concurrent_queries,
+                queue_timeout_s=self.config.admission_timeout_s,
+            )
 
     # ------------------------------------------------------------------
     # Registration passthrough
@@ -152,10 +175,72 @@ class QFusor:
     # Execution
     # ------------------------------------------------------------------
 
-    def execute(self, sql: Union[str, ast.Statement]) -> Table:
-        """Execute a statement through the QFusor pipeline."""
+    def execute(
+        self,
+        sql: Union[str, ast.Statement],
+        *,
+        context: Optional[QueryContext] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Table:
+        """Execute a statement through the QFusor pipeline.
+
+        ``context`` (or the ``timeout_s`` shortcut / the config-level
+        governance knobs) puts the whole pipeline — optimization, fused
+        dispatch, and any de-optimized retry — under one governed scope:
+        deadline, cancellation token, row budget, and the runaway-UDF
+        watchdog all apply end to end.
+        """
         statement = parse(sql) if isinstance(sql, str) else sql
         sql_text = sql if isinstance(sql, str) else to_sql(statement)
+        ctx = self._resolve_context(context, timeout_s, sql_text)
+        with contextlib.ExitStack() as stack:
+            if self.admission is not None:
+                stack.enter_context(self.admission.admit())
+            if ctx is not None:
+                stack.enter_context(governor.activate(ctx))
+            return self._execute_pipeline(statement, sql_text)
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Cancel the most recently started governed execution, if any."""
+        ctx = self._last_context
+        if ctx is None:
+            return False
+        ctx.cancel(reason)
+        return True
+
+    def _resolve_context(
+        self,
+        context: Optional[QueryContext],
+        timeout_s: Optional[float],
+        sql_text: str,
+    ) -> Optional[QueryContext]:
+        if context is None:
+            effective_timeout = (
+                timeout_s if timeout_s is not None
+                else self.config.query_timeout_s
+            )
+            if (
+                effective_timeout is None
+                and self.config.udf_batch_timeout_s is None
+                and self.config.row_budget is None
+            ):
+                self._last_context = None
+                return None  # ungoverned legacy path
+            context = QueryContext(
+                timeout_s=effective_timeout,
+                udf_batch_timeout_s=self.config.udf_batch_timeout_s,
+                row_budget=self.config.row_budget,
+            )
+        elif timeout_s is not None and context.timeout_s is None:
+            context.timeout_s = timeout_s
+        if context.query is None:
+            context.query = sql_text
+        self._last_context = context
+        return context
+
+    def _execute_pipeline(
+        self, statement: ast.Statement, sql_text: str
+    ) -> Table:
         report = QFusorReport(sql=sql_text)
         self.last_report = report
         # Advance the deopt blocklist's per-query cooldown clock.
@@ -164,6 +249,11 @@ class QFusor:
         if not self.config.enabled or not self._involves_udfs(statement):
             return self.adapter.execute_sql(statement)
         report.is_udf_query = True
+
+        # Circuit-breaker gate: a query referencing an open-breaker UDF
+        # either fails fast or bypasses fusion entirely (policy).
+        if not self._admit_breakers(statement, report):
+            return self.adapter.execute_sql(statement)
 
         if isinstance(statement, ast.Select):
             return self._execute_select(statement, report)
@@ -175,6 +265,43 @@ class QFusor:
         report.codegen_seconds = time.perf_counter() - start
         report.rewritten_sql = to_sql(rewritten)
         return self._dispatch_sql(statement, rewritten, report)
+
+    def _admit_breakers(
+        self, statement: ast.Statement, report: QFusorReport
+    ) -> bool:
+        """Apply the per-UDF circuit-breaker policy before any work.
+
+        Returns False when the query must run unfused (open breaker +
+        ``unfused`` policy); raises :class:`CircuitOpenError` under the
+        ``fail_fast`` policy.  Returning True admits the normal pipeline
+        (a half-open breaker's single probe comes through here too).
+        """
+        board = self.adapter.registry.breakers
+        if not board.enabled:
+            return True
+        refused = board.refusing(self._referenced_udfs(statement))
+        if not refused:
+            return True
+        if self.config.breaker_policy == "fail_fast":
+            first = refused[0]
+            raise CircuitOpenError(
+                first, retry_in_s=board.breaker(first).retry_in_s()
+            )
+        report.breaker_bypass = list(refused)
+        return False
+
+    def _referenced_udfs(self, statement: ast.Statement) -> List[str]:
+        registry = self.adapter.registry
+        names: List[str] = []
+        for expr in _statement_expressions(statement):
+            for node in ast.walk_expr(expr):
+                if (
+                    isinstance(node, ast.FunctionCall)
+                    and node.name in registry
+                    and node.name.lower() not in names
+                ):
+                    names.append(node.name.lower())
+        return names
 
     def _execute_select(
         self, statement: ast.Select, report: QFusorReport
@@ -228,6 +355,14 @@ class QFusor:
         try:
             with activate(context):
                 result = self.adapter.execute_plan(outcome.planned)
+        except QueryTimeoutError as exc:
+            self._finish_guarded(report, context)
+            if not self._timeout_retry_allowed(exc, report):
+                raise
+            self._deoptimize(exc, report.fused_names, report)
+            return self._reexecute(
+                report, lambda: self.adapter.execute_plan(original)
+            )
         except Exception as exc:
             self._finish_guarded(report, context)
             if not self.config.deopt:
@@ -254,6 +389,14 @@ class QFusor:
         try:
             with activate(context):
                 result = self.adapter.execute_sql(rewritten)
+        except QueryTimeoutError as exc:
+            self._finish_guarded(report, context)
+            if not self._timeout_retry_allowed(exc, report):
+                raise
+            self._deoptimize(exc, report.fused_names, report)
+            return self._reexecute(
+                report, lambda: self.adapter.execute_sql(original)
+            )
         except Exception as exc:
             self._finish_guarded(report, context)
             if not self.config.deopt:
@@ -264,6 +407,31 @@ class QFusor:
             )
         self._finish_guarded(report, context)
         return result
+
+    def _timeout_retry_allowed(
+        self, exc: QueryTimeoutError, report: QFusorReport
+    ) -> bool:
+        """Whether a fused-path timeout warrants one unfused retry.
+
+        Only when the fused trace is the suspect (a per-batch cap fired
+        inside a UDF this query fused), deopt is on, and the query
+        deadline still has slack — a whole-query timeout means the time
+        is simply gone, so retrying would just time out again.
+        """
+        if not (self.config.deopt and self.config.timeout_deopt_retry):
+            return False
+        if exc.udf_name is None or exc.udf_name not in report.fused_names:
+            return False
+        ctx = governor.current()
+        if ctx is not None:
+            remaining = ctx.remaining()
+            if remaining is not None and remaining <= 0:
+                return False
+            # Clear the fused attribution so the unfused retry is judged
+            # (and annotated) on its own behaviour.
+            ctx.timed_out_udf = None
+            ctx.timeout_kind = None
+        return True
 
     def _reexecute(self, report: QFusorReport, run) -> Table:
         try:
@@ -292,10 +460,8 @@ class QFusor:
         report: QFusorReport,
     ) -> None:
         """Invalidate and blocklist the trace(s) behind a runtime fault."""
-        if (
-            isinstance(exc, UdfExecutionError)
-            and exc.udf_name in fused_names
-        ):
+        # UdfExecutionError and QueryTimeoutError both carry udf_name.
+        if getattr(exc, "udf_name", None) in fused_names:
             targets = [exc.udf_name]
         else:
             targets = list(fused_names)

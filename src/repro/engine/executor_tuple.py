@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError
+from ..resilience.governor import guarded_iter
 from ..storage.catalog import Catalog
 from ..storage.column import Column
 from ..storage.table import Table
@@ -43,8 +44,8 @@ class TupleExecutor:
     def execute(self, planned: PlannedQuery, result_name: str = "result") -> Table:
         ctes: Dict[str, List[Row]] = {}
         for name, plan in planned.ctes:
-            ctes[name.lower()] = list(self._rows(plan, ctes))
-        rows = list(self._rows(planned.root, ctes))
+            ctes[name.lower()] = list(guarded_iter(self._rows(plan, ctes)))
+        rows = list(guarded_iter(self._rows(planned.root, ctes)))
         schema = [(f.name, f.sql_type) for f in planned.root.schema]
         return Table.from_rows(result_name, schema, rows)
 
@@ -185,7 +186,7 @@ class TupleExecutor:
             return states
 
         distinct_seen: Dict[Tuple, List[set]] = {}
-        for row in self._rows(node.child, ctes):
+        for row in guarded_iter(self._rows(node.child, ctes)):
             key = tuple(
                 evaluator.evaluate(item.expr, row) for item in node.group_items
             )
@@ -230,7 +231,7 @@ class TupleExecutor:
     def _join(self, node: Join, ctes) -> Iterator[Row]:
         from .executor_vector import _split_join_condition
 
-        right_rows = list(self._rows(node.right, ctes))
+        right_rows = list(guarded_iter(self._rows(node.right, ctes)))
         equi, residual = _split_join_condition(
             node.condition, node.left.schema, node.right.schema
         )
@@ -246,7 +247,7 @@ class TupleExecutor:
                 if any(k is None for k in key):
                     continue
                 index.setdefault(key, []).append(right_row)
-            for left_row in self._rows(node.left, ctes):
+            for left_row in guarded_iter(self._rows(node.left, ctes)):
                 key = tuple(left_eval.evaluate(e, left_row) for e, _ in equi)
                 matched = False
                 if not any(k is None for k in key):
@@ -278,7 +279,7 @@ class TupleExecutor:
         from .executor_vector import _sort_key
 
         evaluator = RowEvaluator(node.child.schema, self.resolver)
-        rows = list(self._rows(node.child, ctes))
+        rows = list(guarded_iter(self._rows(node.child, ctes)))
         for key in reversed(node.keys):
             expr, ascending = key.expr, key.ascending
             rows.sort(

@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ExecutionError
+from ..resilience.governor import checkpoint, guarded_iter
 from ..sql import ast_nodes as ast
 from ..storage.catalog import Catalog
 from ..storage.column import Column
@@ -57,6 +58,7 @@ class VectorExecutor:
     # ------------------------------------------------------------------
 
     def _run(self, node: PlanNode, ctes: Dict[str, Relation]) -> Relation:
+        checkpoint()  # operator boundary: cancellation/deadline check
         if isinstance(node, Scan):
             table = self.catalog.get(node.table_name)
             return list(table.columns), table.num_rows
@@ -161,7 +163,7 @@ class VectorExecutor:
             group_of: Dict[Tuple, int] = {}
             group_ids = np.empty(size, dtype=np.int64)
             first_row: List[int] = []
-            for i, key in enumerate(zip(*key_lists)):
+            for i, key in enumerate(guarded_iter(zip(*key_lists))):
                 gid = group_of.get(key)
                 if gid is None:
                     gid = len(group_of)
@@ -221,7 +223,7 @@ class VectorExecutor:
         )
         arg_lists = [c.to_list() for c in arg_columns]
         if arg_lists:
-            for i, row in enumerate(zip(*arg_lists)):
+            for i, row in enumerate(guarded_iter(zip(*arg_lists))):
                 if any(v is None for v in row):
                     continue
                 gid = int(group_ids[i])
@@ -344,7 +346,7 @@ class VectorExecutor:
         left_idx: List[int] = []
         right_idx: List[int] = []
         matched = np.zeros(left_size, dtype=bool)
-        for i, key in enumerate(zip(*left_keys)):
+        for i, key in enumerate(guarded_iter(zip(*left_keys))):
             if any(k is None for k in key):
                 continue
             for j in table.get(key, ()):
@@ -378,7 +380,9 @@ class VectorExecutor:
         lists = [c.to_list() for c in columns]
         seen = set()
         keep: List[int] = []
-        for i, row in enumerate(zip(*lists) if lists else ((),) * size):
+        for i, row in enumerate(
+            guarded_iter(zip(*lists) if lists else ((),) * size)
+        ):
             if row not in seen:
                 seen.add(row)
                 keep.append(i)

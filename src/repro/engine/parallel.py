@@ -9,11 +9,13 @@ same shape our Figure 6g reproduction shows.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import contextlib
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..resilience import governor, runtime
 from ..storage.column import Column
 from .executor_vector import Relation, VectorExecutor
 from .expressions import VectorEvaluator
@@ -35,12 +37,50 @@ def split_ranges(size: int, parts: int) -> List[Tuple[int, int]]:
     return ranges or [(0, 0)]
 
 
+def _adopting(fn: Callable) -> Callable:
+    """Wrap ``fn`` so worker threads adopt the submitting thread's
+    governance and resilience contexts (both stacks are thread-local)."""
+    gov_ctx = governor.current()
+    res_ctx = runtime.active()
+    if gov_ctx is None and res_ctx is None:
+        return fn
+
+    def adopted(item):
+        with contextlib.ExitStack() as stack:
+            if gov_ctx is not None:
+                stack.enter_context(governor.activate(gov_ctx))
+            if res_ctx is not None:
+                stack.enter_context(runtime.activate(res_ctx))
+            return fn(item)
+
+    return adopted
+
+
 def parallel_map(fn: Callable, items: Sequence, threads: int) -> List:
-    """Map ``fn`` over ``items`` using ``threads`` workers (ordered)."""
+    """Map ``fn`` over ``items`` using ``threads`` workers (ordered).
+
+    Error semantics are deterministic: every submitted chunk either runs
+    to completion or is cancelled before starting, the pool is always
+    drained (no leaked threads still running after return), and the
+    exception propagated is the *first* failure in item order — not
+    whichever worker happened to lose the race.
+    """
     if threads <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    worker = _adopting(fn)
     with ThreadPoolExecutor(max_workers=threads) as pool:
-        return list(pool.map(fn, items))
+        futures = [pool.submit(worker, item) for item in items]
+        try:
+            wait(futures, return_when=FIRST_EXCEPTION)
+        finally:
+            for future in futures:
+                future.cancel()  # no-op for running/finished futures
+        # The context exit joins any still-running workers; afterwards
+        # every future is either done or cancelled.
+    for future in futures:
+        if not future.cancelled() and future.exception() is not None:
+            raise future.exception()
+    return [future.result() for future in futures if not future.cancelled()]
 
 
 class ParallelVectorExecutor(VectorExecutor):

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Optional, Union
 
 from ..engine.planner import PlannedQuery
+from ..resilience.governor import QueryContext, govern
 from ..sql import ast_nodes as ast
 from ..storage.table import Table
 from ..udf.registry import UdfRegistry
@@ -21,7 +22,15 @@ __all__ = ["EngineAdapter"]
 
 
 class EngineAdapter:
-    """Base class for engine integrations."""
+    """Base class for engine integrations.
+
+    ``execute_plan`` / ``execute_sql`` are template methods: they wrap the
+    engine-specific ``_execute_plan`` / ``_execute_sql`` in a governance
+    scope (:func:`repro.resilience.governor.govern`) so every entry point
+    honours deadlines, cancellation, and row budgets.  Called without a
+    context — and with no ambient governed scope — they behave exactly as
+    before (zero-overhead legacy path).
+    """
 
     #: Engine name; must match a key in :data:`repro.core.dialect.DIALECTS`.
     name: str = "base"
@@ -53,10 +62,28 @@ class EngineAdapter:
         """Probe the engine's optimizer (the EXPLAIN round trip)."""
         raise NotImplementedError
 
-    def execute_plan(self, planned: PlannedQuery) -> Table:
+    def execute_plan(
+        self, planned: PlannedQuery, *, context: Optional[QueryContext] = None
+    ) -> Table:
         """Dispatch a (possibly rewritten) plan to the execution engine."""
+        with govern(self.name, context, query=getattr(planned, "sql", None)):
+            return self._execute_plan(planned)
+
+    def execute_sql(
+        self,
+        statement: Union[str, ast.Statement],
+        *,
+        context: Optional[QueryContext] = None,
+    ) -> Table:
+        """Execute a SQL statement as-is."""
+        query = statement if isinstance(statement, str) else None
+        with govern(self.name, context, query=query):
+            return self._execute_sql(statement)
+
+    # -- engine-specific execution (override these) -----------------------
+
+    def _execute_plan(self, planned: PlannedQuery) -> Table:
         raise NotImplementedError
 
-    def execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
-        """Execute a SQL statement as-is."""
+    def _execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
         raise NotImplementedError

@@ -57,16 +57,16 @@ class ParallelDbAdapter(EngineAdapter):
     def explain_plan(self, statement: Union[str, ast.Statement]) -> PlannedQuery:
         return self.database.plan(statement)
 
-    def execute_plan(self, planned: PlannedQuery) -> Table:
+    def _execute_plan(self, planned: PlannedQuery) -> Table:
         executor = ParallelVectorExecutor(
             self.database.catalog, self.database.resolver, self.threads
         )
         return executor.execute(planned)
 
-    def execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
+    def _execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
         from ..sql.parser import parse
 
         stmt = parse(statement) if isinstance(statement, str) else statement
         if isinstance(stmt, ast.Select):
-            return self.execute_plan(self.database.plan(stmt))
+            return self._execute_plan(self.database.plan(stmt))
         return self.database.execute(stmt)

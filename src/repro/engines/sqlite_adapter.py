@@ -16,7 +16,13 @@ from __future__ import annotations
 import sqlite3
 from typing import Any, Callable, List, Optional, Sequence, Union
 
-from ..errors import ExecutionError, UdfExecutionError, UdfRegistrationError
+from ..errors import (
+    ExecutionError,
+    QueryInterrupt,
+    UdfExecutionError,
+    UdfRegistrationError,
+)
+from ..resilience import governor as _governor
 from ..resilience import runtime as _resilience
 from ..sql import ast_nodes as ast
 from ..sql.printer import to_sql
@@ -51,10 +57,11 @@ class SqliteAdapter(EngineAdapter):
         self._registry = UdfRegistry(stats)
         self._schemas = {}
         #: sqlite3 masks Python exceptions from UDF bridges behind a
-        #: generic ``OperationalError``; bridges stash the real
-        #: :class:`UdfExecutionError` here so ``execute_sql`` can
-        #: re-raise it with the UDF name and offending value intact.
-        self._pending_error: Optional[UdfExecutionError] = None
+        #: generic ``OperationalError``; bridges stash the real error
+        #: (a :class:`UdfExecutionError` or a governance
+        #: :class:`QueryInterrupt`) here so ``execute_sql`` can re-raise
+        #: it with the UDF name and offending value intact.
+        self._pending_error: Optional[BaseException] = None
         #: Schema-only catalog so QFusor's SQL-rewrite path can resolve
         #: column types without round-tripping to SQLite.
         self.catalog = Catalog()
@@ -124,17 +131,25 @@ class SqliteAdapter(EngineAdapter):
         adapter = self
         faults = _resilience.FAULTS
 
+        fused_from = tuple(definition.fused_from)
+
         def bridge(*args):
             converted = None
             try:
-                if faults.armed:
-                    faults.injector.fire_row(names, None, ctx)
-                converted = [
-                    _from_sqlite(v, t) for v, t in zip(args, arg_types)
-                ]
-                if strict and any(v is None for v in converted):
-                    return None
-                return _to_sqlite(func(*converted), out_type)
+                with _governor.udf_batch_guard(name, fused_from):
+                    if faults.armed:
+                        faults.injector.fire_row(names, None, ctx)
+                    converted = [
+                        _from_sqlite(v, t) for v, t in zip(args, arg_types)
+                    ]
+                    if strict and any(v is None for v in converted):
+                        return None
+                    return _to_sqlite(func(*converted), out_type)
+            except QueryInterrupt as exc:
+                # Never swallowed by row policies; stash so execute_sql
+                # re-raises it through sqlite3's OperationalError mask.
+                adapter._pending_error = exc
+                raise
             except Exception as exc:
                 retry = (
                     (lambda: func(*converted))
@@ -178,14 +193,18 @@ class SqliteAdapter(EngineAdapter):
                 self._rows += 1
                 converted = None
                 try:
-                    if faults.armed:
-                        faults.injector.fire_row(names, row, ctx)
-                    converted = [
-                        _from_sqlite(v, t) for v, t in zip(args, arg_types)
-                    ]
-                    if converted and all(v is None for v in converted):
-                        return
-                    self._state.step(*converted)
+                    with _governor.udf_batch_guard(name, names[1:]):
+                        if faults.armed:
+                            faults.injector.fire_row(names, row, ctx)
+                        converted = [
+                            _from_sqlite(v, t) for v, t in zip(args, arg_types)
+                        ]
+                        if converted and all(v is None for v in converted):
+                            return
+                        self._state.step(*converted)
+                except QueryInterrupt as exc:
+                    adapter._pending_error = exc
+                    raise
                 except UdfExecutionError as exc:
                     adapter._pending_error = exc
                     raise
@@ -202,6 +221,9 @@ class SqliteAdapter(EngineAdapter):
             def finalize(self):
                 try:
                     return _to_sqlite(self._state.final(), out_type)
+                except QueryInterrupt as exc:
+                    adapter._pending_error = exc
+                    raise
                 except UdfExecutionError as exc:
                     adapter._pending_error = exc
                     raise
@@ -223,13 +245,22 @@ class SqliteAdapter(EngineAdapter):
             "SQLite exposes no structured plan; QFusor uses SQL rewriting"
         )
 
-    def execute_plan(self, planned) -> Table:
+    def _execute_plan(self, planned) -> Table:
         raise ExecutionError("SQLite does not accept plan dispatch")
 
-    def execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
+    def _execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
         sql = statement if isinstance(statement, str) else to_sql(statement)
         cursor = self.connection.cursor()
         self._pending_error = None
+        gov = _governor.current()
+        if gov is not None:
+            # Cooperative cancellation for UDF-free stretches of the
+            # statement: SQLite polls the handler every N VM opcodes and
+            # aborts when it returns nonzero.
+            def _progress() -> int:
+                return 1 if (gov.cancelled or gov.expired) else 0
+
+            self.connection.set_progress_handler(_progress, 1000)
         try:
             cursor.execute(sql)
             if cursor.description is None:
@@ -243,13 +274,18 @@ class SqliteAdapter(EngineAdapter):
                 )
             names = [d[0] for d in cursor.description]
             rows = cursor.fetchall()
-        except sqlite3.Error as exc:
+        except (sqlite3.Error, QueryInterrupt) as exc:
             # sqlite3 reports UDF failures as a generic OperationalError;
             # surface the real error the bridge recorded instead.
             pending, self._pending_error = self._pending_error, None
-            if pending is not None:
+            if pending is not None and pending is not exc:
                 raise pending from exc
+            if gov is not None and isinstance(exc, sqlite3.Error):
+                gov.check()  # progress-handler abort -> typed interrupt
             raise
+        finally:
+            if gov is not None:
+                self.connection.set_progress_handler(None, 0)
         return _table_from_cursor(names, rows)
 
 

@@ -53,9 +53,9 @@ class TupleDbAdapter(EngineAdapter):
     def explain_plan(self, statement: Union[str, ast.Statement]) -> PlannedQuery:
         return self.database.plan(statement)
 
-    def execute_plan(self, planned: PlannedQuery) -> Table:
+    def _execute_plan(self, planned: PlannedQuery) -> Table:
         executor = self.database._make_executor()
         return executor.execute(planned)
 
-    def execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
+    def _execute_sql(self, statement: Union[str, ast.Statement]) -> Table:
         return self.database.execute(statement)

@@ -97,6 +97,144 @@ class UdfExecutionError(UdfError):
         self.phase = phase
 
 
+class QueryInterrupt(BaseException):
+    """Base class of the query-governance interrupts.
+
+    Deliberately derives from :class:`BaseException` (the
+    ``asyncio.CancelledError`` precedent): the broad ``except Exception``
+    recovery paths inside generated wrappers and row-level policies must
+    never swallow a cancellation or deadline — an interrupt always unwinds
+    to the governance boundary, which annotates it with the adapter and
+    query before re-raising.
+
+    All subclasses are zero-argument constructible because the watchdog
+    delivers them asynchronously via ``PyThreadState_SetAsyncExc`` (which
+    instantiates the class itself); details are attached afterwards at the
+    governance boundaries through the mutable attributes.
+    """
+
+    def __init__(self, message: str = "", *, adapter: "str | None" = None,
+                 query: "str | None" = None):
+        super().__init__(message)
+        self.adapter = adapter
+        self.query = query
+
+    def _detail(self) -> "list[str]":
+        parts = []
+        if self.adapter is not None:
+            parts.append(f"adapter={self.adapter!r}")
+        if self.query is not None:
+            query = self.query
+            if len(query) > 120:
+                query = query[:117] + "..."
+            parts.append(f"query={query!r}")
+        return parts
+
+    def __str__(self) -> str:
+        base = super().__str__() or self.__class__.__name__
+        detail = self._detail()
+        return f"{base} [{', '.join(detail)}]" if detail else base
+
+
+class QueryCancelledError(QueryInterrupt):
+    """The query's cancellation token was triggered."""
+
+    def __init__(self, message: str = "query cancelled", *,
+                 reason: "str | None" = None, adapter: "str | None" = None,
+                 query: "str | None" = None):
+        super().__init__(message, adapter=adapter, query=query)
+        self.reason = reason
+
+    def _detail(self) -> "list[str]":
+        parts = []
+        if self.reason is not None:
+            parts.append(f"reason={self.reason!r}")
+        return parts + super()._detail()
+
+
+class QueryTimeoutError(QueryInterrupt):
+    """A query deadline or per-batch UDF wall-clock cap was exceeded.
+
+    ``kind`` distinguishes the whole-query deadline (``"query"``) from
+    the per-batch UDF cap (``"udf_batch"``); ``udf_name`` names the UDF
+    that was running when the watchdog fired (for fused traces this is
+    the fused name, with constituents in ``udf_chain``).
+    """
+
+    def __init__(self, message: str = "query timed out", *,
+                 timeout_s: "float | None" = None, kind: str = "query",
+                 udf_name: "str | None" = None,
+                 udf_chain: "tuple[str, ...]" = (),
+                 adapter: "str | None" = None, query: "str | None" = None):
+        super().__init__(message, adapter=adapter, query=query)
+        self.timeout_s = timeout_s
+        self.kind = kind
+        self.udf_name = udf_name
+        self.udf_chain = tuple(udf_chain)
+
+    def _detail(self) -> "list[str]":
+        parts = []
+        if self.timeout_s is not None:
+            parts.append(f"after {self.timeout_s:.3g}s")
+        if self.kind != "query":
+            parts.append(f"kind={self.kind!r}")
+        if self.udf_name is not None:
+            parts.append(f"udf={self.udf_name!r}")
+        if self.udf_chain:
+            parts.append(f"chain={list(self.udf_chain)!r}")
+        return parts + super()._detail()
+
+
+class QueryBudgetExceededError(QueryInterrupt):
+    """The query consumed more than its row budget."""
+
+    def __init__(self, message: str = "query row budget exceeded", *,
+                 rows: "int | None" = None, budget: "int | None" = None,
+                 adapter: "str | None" = None, query: "str | None" = None):
+        super().__init__(message, adapter=adapter, query=query)
+        self.rows = rows
+        self.budget = budget
+
+    def _detail(self) -> "list[str]":
+        parts = []
+        if self.rows is not None and self.budget is not None:
+            parts.append(f"rows={self.rows} budget={self.budget}")
+        return parts + super()._detail()
+
+
+class GovernanceError(ReproError):
+    """Base class for synchronous admission/breaker refusals.
+
+    Unlike :class:`QueryInterrupt` these are ordinary exceptions: they
+    are raised before any query work starts, so there is no in-flight
+    state a broad handler could corrupt by swallowing them.
+    """
+
+
+class AdmissionTimeoutError(GovernanceError):
+    """The admission gate's wait queue timed out (load shedding)."""
+
+    def __init__(self, message: str = "admission queue timed out", *,
+                 waited_s: "float | None" = None,
+                 max_concurrent: "int | None" = None):
+        super().__init__(message)
+        self.waited_s = waited_s
+        self.max_concurrent = max_concurrent
+
+
+class CircuitOpenError(GovernanceError):
+    """A per-UDF circuit breaker is open and policy is fail-fast."""
+
+    def __init__(self, udf_name: str = "?", *,
+                 retry_in_s: "float | None" = None):
+        detail = f"circuit breaker open for UDF {udf_name!r}"
+        if retry_in_s is not None:
+            detail += f" (retry in {retry_in_s:.3g}s)"
+        super().__init__(detail)
+        self.udf_name = udf_name
+        self.retry_in_s = retry_in_s
+
+
 class ChannelError(ReproError):
     """Base class for out-of-process channel failures."""
 

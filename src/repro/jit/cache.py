@@ -15,6 +15,7 @@ served again.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, List, Optional, Tuple
 
@@ -34,6 +35,9 @@ class TraceCache:
         #: Registered-name -> cache key, so the de-optimization path can
         #: find (and invalidate) the trace behind a failing fused UDF.
         self._key_by_name: Dict[str, Tuple] = {}
+        # Concurrent governed queries share one cache; RLock because
+        # compilation inside get_or_compile may re-enter helpers.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -46,27 +50,28 @@ class TraceCache:
         registration name; the name->key map is refreshed either way.
         """
         key = _cache_key(spec)
-        if not self.enabled:
+        with self._lock:
+            if not self.enabled:
+                self.misses += 1
+                fused = generate_fused_udf(spec)
+                self._key_by_name[fused.definition.name] = key
+                return fused, False
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                self._key_by_name[entry.definition.name] = key
+                return entry, True
             self.misses += 1
             fused = generate_fused_udf(spec)
+            self._entries[key] = fused
             self._key_by_name[fused.definition.name] = key
+            if self.capacity is not None and len(self._entries) > self.capacity:
+                old_key, old_entry = self._entries.popitem(last=False)
+                self.evictions += 1
+                if self._key_by_name.get(old_entry.definition.name) == old_key:
+                    del self._key_by_name[old_entry.definition.name]
             return fused, False
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            self._key_by_name[entry.definition.name] = key
-            return entry, True
-        self.misses += 1
-        fused = generate_fused_udf(spec)
-        self._entries[key] = fused
-        self._key_by_name[fused.definition.name] = key
-        if self.capacity is not None and len(self._entries) > self.capacity:
-            old_key, old_entry = self._entries.popitem(last=False)
-            self.evictions += 1
-            if self._key_by_name.get(old_entry.definition.name) == old_key:
-                del self._key_by_name[old_entry.definition.name]
-        return fused, False
 
     # ------------------------------------------------------------------
     # Invalidation (runtime de-optimization support)
@@ -74,15 +79,17 @@ class TraceCache:
 
     def key_for(self, name: str) -> Optional[Tuple]:
         """The cache key of the trace registered under ``name``."""
-        return self._key_by_name.get(name.lower())
+        with self._lock:
+            return self._key_by_name.get(name.lower())
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns True when something was evicted."""
-        entry = self._entries.pop(key, None)
-        if entry is None:
-            return False
-        self.invalidations += 1
-        return True
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self.invalidations += 1
+            return True
 
     def invalidate_name(self, name: str) -> bool:
         """Drop the entry behind the fused UDF registered as ``name``."""
@@ -95,19 +102,22 @@ class TraceCache:
 
     def entries(self) -> List[Tuple[Tuple, FusedUdf]]:
         """Snapshot of ``(key, fused_udf)`` pairs, LRU order."""
-        return list(self._entries.items())
+        with self._lock:
+            return list(self._entries.items())
 
     def replace(self, key: Hashable, fused: FusedUdf) -> bool:
         """Swap the artifact behind ``key`` (fault-injection harness)."""
-        if key not in self._entries:
-            return False
-        self._entries[key] = fused
-        self._key_by_name[fused.definition.name] = key
-        return True
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._entries[key] = fused
+            self._key_by_name[fused.definition.name] = key
+            return True
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._key_by_name.clear()
+        with self._lock:
+            self._entries.clear()
+            self._key_by_name.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0

@@ -305,6 +305,7 @@ class _Generator:
     """Emits the fused source for one pipeline."""
 
     def __init__(self, spec: PipelineSpec):
+        from ..resilience import governor as _governor
         from ..resilience import runtime as _resilience
 
         self.spec = spec
@@ -325,6 +326,7 @@ class _Generator:
             _rt_policy=_resilience.policy,
             _rt_row_error=_resilience.handle_scalar_row_error,
             _rt_expand_row_error=_resilience.handle_expand_row_error,
+            _gov_check=_governor.checkpoint,
             _NAME=spec.name,
             _NAMES=(spec.name,) + udf_names,
         )
@@ -429,6 +431,7 @@ class _Generator:
                 builder.line(f"_c{i} = c_inputs[{i}]")
             builder.line("_policy = _rt_policy()")
             with builder.block("for _idx in range(size):"):
+                builder.line("if not (_idx & 255): _gov_check()")
                 with builder.block("try:"):
                     with builder.block("if _FAULTS.armed:"):
                         builder.line(
@@ -626,6 +629,7 @@ class _Generator:
             if capture:
                 builder.line("_policy = _rt_policy()")
                 with builder.block("for _idx in range(size):"):
+                    builder.line("if not (_idx & 255): _gov_check()")
                     with builder.block("try:"):
                         with builder.block("if _FAULTS.armed:"):
                             builder.line(
@@ -667,6 +671,7 @@ class _Generator:
                                     builder.line(f"_o{i}.append(_row[{i}])")
             else:
                 with builder.block("for _idx in range(size):"):
+                    builder.line("if not (_idx & 255): _gov_check()")
                     for i, (name, _) in enumerate(spec.inputs):
                         builder.line(f"{name} = c_to_python(_c{i}[_idx], _t{i})")
                     self._emit_stream_stages(

@@ -9,12 +9,29 @@ three mechanisms QFusor uses to keep that promise at runtime:
   wrappers, and the fault-injection hook the testing harness arms;
 * :mod:`~repro.resilience.blocklist` — the per-section fusion blocklist
   consulted by :mod:`repro.core.heuristics` after a de-optimization;
+* :mod:`~repro.resilience.governor` — query lifecycle governance:
+  deadlines, cooperative cancellation checkpoints, the runaway-UDF
+  watchdog, and the bounded admission gate;
+* :mod:`~repro.resilience.breaker` — per-UDF sliding-window circuit
+  breakers (error rate + latency percentiles);
 * :mod:`~repro.resilience.channel` — the hardened out-of-process
   channel (timeouts, bounded retries, corruption detection).  Imported
   lazily via its submodule to avoid a cycle with ``repro.udf.registry``.
 """
 
 from .blocklist import FusionBlocklist
+from .breaker import BreakerBoard, CircuitBreaker
+from .governor import (
+    WATCHDOG,
+    AdmissionGate,
+    CancellationToken,
+    QueryContext,
+    Watchdog,
+    checkpoint,
+    govern,
+    guarded_iter,
+    udf_batch_guard,
+)
 from .runtime import (
     FAULTS,
     DeoptEvent,
@@ -30,14 +47,25 @@ from .runtime import (
 
 __all__ = [
     "FAULTS",
+    "WATCHDOG",
+    "AdmissionGate",
+    "BreakerBoard",
+    "CancellationToken",
+    "CircuitBreaker",
     "DeoptEvent",
     "FusionBlocklist",
+    "QueryContext",
     "ResilienceContext",
     "RowEvent",
+    "Watchdog",
     "activate",
     "active",
+    "checkpoint",
+    "govern",
+    "guarded_iter",
     "handle_expand_row_error",
     "handle_scalar_row_error",
     "handle_value_error",
     "policy",
+    "udf_batch_guard",
 ]

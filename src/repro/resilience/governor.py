@@ -1,0 +1,557 @@
+"""Query lifecycle governance: deadlines, cancellation, and the watchdog.
+
+One :class:`QueryContext` travels with a query from its
+``EngineAdapter.execute_*`` entry point down through executors, JIT batch
+wrappers, and the out-of-process channel.  It carries
+
+* a **deadline** (``timeout_s``, armed when the context first activates),
+* a **cancellation token** another thread may trigger at any time,
+* a **row budget** charged by executor checkpoints, and
+* the **per-batch UDF wall-clock cap** (``udf_batch_timeout_s``).
+
+Enforcement is two-layered:
+
+*Cooperative* — operator loops and generated batch loops call
+:func:`checkpoint` (or iterate through :func:`guarded_iter`) every
+``stride`` rows; an expired/cancelled context raises the matching
+:class:`~repro.errors.QueryInterrupt` at the next checkpoint.
+
+*Preemptive* — a singleton :class:`Watchdog` thread watches every
+registered (thread, context) pair and, when a deadline or per-batch cap
+passes, delivers the interrupt *asynchronously* into the running thread
+via ``PyThreadState_SetAsyncExc`` — this is what terminates a UDF stuck
+in a pure-Python infinite loop that never reaches a checkpoint.  The
+async exception is raised bare (CPython only accepts a class); the
+governance boundaries (:func:`govern`, :class:`udf_batch_guard`) annotate
+it with the adapter, query, and offending UDF on the way out.
+
+Thread model: the active context stack is **thread-local**; worker
+threads (``engine.parallel``) adopt the parent's context explicitly via
+:func:`activate`, each registering its own watchdog entry so runaway
+work on any worker is interruptible.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import ctypes
+import threading
+import time
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..errors import (
+    AdmissionTimeoutError,
+    QueryBudgetExceededError,
+    QueryCancelledError,
+    QueryInterrupt,
+    QueryTimeoutError,
+)
+
+__all__ = [
+    "CancellationToken",
+    "QueryContext",
+    "Watchdog",
+    "WATCHDOG",
+    "AdmissionGate",
+    "current",
+    "activate",
+    "govern",
+    "udf_batch_guard",
+    "checkpoint",
+    "guarded_iter",
+]
+
+#: Default cooperative-checkpoint stride (rows between checks).
+CHECK_STRIDE = 256
+
+
+# ----------------------------------------------------------------------
+# Context
+# ----------------------------------------------------------------------
+
+
+class CancellationToken:
+    """A thread-safe cancellation flag shared by everyone holding it."""
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        # Reason before flag: a reader that sees the flag sees the reason.
+        self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+class QueryContext:
+    """Deadline + cancellation token + budgets for one query."""
+
+    def __init__(
+        self,
+        *,
+        timeout_s: Optional[float] = None,
+        udf_batch_timeout_s: Optional[float] = None,
+        row_budget: Optional[int] = None,
+        token: Optional[CancellationToken] = None,
+        query: Optional[str] = None,
+    ):
+        self.timeout_s = timeout_s
+        self.udf_batch_timeout_s = udf_batch_timeout_s
+        self.row_budget = row_budget
+        self.token = token if token is not None else CancellationToken()
+        self.query = query
+        self.adapter: Optional[str] = None
+        #: Armed on first activation so the clock starts when execution
+        #: does, not when the context object is built.
+        self.deadline: Optional[float] = None
+        self.rows_charged = 0
+        #: Set by the watchdog when it fires, for boundary annotation.
+        self.timed_out_udf: Optional[str] = None
+        self.timeout_kind: Optional[str] = None
+        self._rows_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        if self.deadline is None and self.timeout_s is not None:
+            self.deadline = time.monotonic() + self.timeout_s
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self.token.cancel(reason)
+
+    @property
+    def cancelled(self) -> bool:
+        return self.token.cancelled
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def remaining(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    # -- enforcement ---------------------------------------------------
+
+    def check(self) -> None:
+        """The cooperative checkpoint: raise if cancelled or expired."""
+        if self.token.cancelled:
+            raise QueryCancelledError(
+                reason=self.token.reason, adapter=self.adapter,
+                query=self.query,
+            )
+        if self.expired:
+            raise QueryTimeoutError(
+                timeout_s=self.timeout_s,
+                kind=self.timeout_kind or "query",
+                udf_name=self.timed_out_udf,
+                adapter=self.adapter, query=self.query,
+            )
+
+    def charge_rows(self, rows: int) -> None:
+        if self.row_budget is None:
+            return
+        with self._rows_lock:
+            self.rows_charged += rows
+            charged = self.rows_charged
+        if charged > self.row_budget:
+            raise QueryBudgetExceededError(
+                rows=charged, budget=self.row_budget,
+                adapter=self.adapter, query=self.query,
+            )
+
+    def annotate(self, exc: QueryInterrupt,
+                 udf_name: Optional[str] = None) -> QueryInterrupt:
+        """Fill missing detail on an interrupt (bare async-raised ones)."""
+        if exc.adapter is None:
+            exc.adapter = self.adapter
+        if exc.query is None:
+            exc.query = self.query
+        if isinstance(exc, QueryTimeoutError):
+            if exc.udf_name is None:
+                exc.udf_name = self.timed_out_udf or udf_name
+            if exc.timeout_s is None:
+                exc.timeout_s = (
+                    self.udf_batch_timeout_s
+                    if self.timeout_kind == "udf_batch" else self.timeout_s
+                )
+            if self.timeout_kind is not None and exc.kind == "query":
+                exc.kind = self.timeout_kind
+        if isinstance(exc, QueryCancelledError) and exc.reason is None:
+            exc.reason = self.token.reason
+        return exc
+
+
+# ----------------------------------------------------------------------
+# Thread-local context stack
+# ----------------------------------------------------------------------
+
+
+class _Local(threading.local):
+    def __init__(self):
+        self.stack: List[QueryContext] = []
+        self.entries: List["_WatchEntry"] = []
+
+
+_LOCAL = _Local()
+
+
+def current() -> Optional[QueryContext]:
+    """The governed context active on *this* thread, if any."""
+    stack = _LOCAL.stack
+    return stack[-1] if stack else None
+
+
+def _current_entry() -> Optional["_WatchEntry"]:
+    entries = _LOCAL.entries
+    return entries[-1] if entries else None
+
+
+@contextlib.contextmanager
+def activate(context: QueryContext) -> Iterator[QueryContext]:
+    """Make ``context`` the governed context of this thread.
+
+    Arms the deadline (first activation only), registers this thread with
+    the watchdog, and on exit absorbs any async interrupt that fired but
+    had not landed yet, so a timeout can never leak into unrelated code
+    running later on the same thread.
+    """
+    context.start()
+    entry = WATCHDOG.register(threading.get_ident(), context)
+    _LOCAL.stack.append(context)
+    _LOCAL.entries.append(entry)
+    completed = False
+    try:
+        result = context
+        yield result
+        completed = True
+    except QueryInterrupt as exc:
+        raise context.annotate(exc)
+    finally:
+        _LOCAL.stack.pop()
+        _LOCAL.entries.pop()
+        WATCHDOG.unregister(entry)
+        if entry.fired and completed:
+            _absorb_pending(context)
+
+
+def _absorb_pending(context: QueryContext, wait_s: float = 0.2) -> None:
+    """Give a fired-but-unlanded async interrupt a place to land.
+
+    The watchdog only fires while an entry is registered, but the raise
+    is asynchronous: it lands at an arbitrary later bytecode boundary.
+    If the guarded block finished normally first, we park here — the
+    sleep loop's bytecodes are the landing strip — and convert the stray
+    interrupt into the annotated error it was meant to be.
+    """
+    try:
+        deadline = time.monotonic() + wait_s
+        while time.monotonic() < deadline:
+            time.sleep(0.001)
+    except QueryInterrupt as exc:
+        raise context.annotate(exc)
+
+
+# ----------------------------------------------------------------------
+# Watchdog
+# ----------------------------------------------------------------------
+
+
+class _WatchEntry:
+    __slots__ = ("ident", "context", "udf", "udf_chain", "batch_deadline",
+                 "fired", "fired_at")
+
+    def __init__(self, ident: int, context: QueryContext):
+        self.ident = ident
+        self.context = context
+        #: Name of the UDF currently executing on this thread (set by
+        #: udf_batch_guard; plain attribute writes are GIL-atomic).
+        self.udf: Optional[str] = None
+        self.udf_chain: tuple = ()
+        #: Wall-clock cap for the current UDF batch, monotonic seconds.
+        self.batch_deadline: Optional[float] = None
+        self.fired = False
+        self.fired_at = 0.0
+
+
+def _async_raise(ident: int, exc_class: type) -> bool:
+    """Deliver ``exc_class`` asynchronously into thread ``ident``."""
+    set_async = getattr(ctypes.pythonapi, "PyThreadState_SetAsyncExc", None)
+    if set_async is None:  # non-CPython: cooperative checkpoints only
+        return False
+    affected = set_async(ctypes.c_ulong(ident), ctypes.py_object(exc_class))
+    if affected > 1:  # invalid ident matched several states: undo
+        set_async(ctypes.c_ulong(ident), None)
+        return False
+    return affected == 1
+
+
+class Watchdog:
+    """Singleton monitor enforcing deadlines and per-batch UDF caps.
+
+    One daemon thread scans the registered (thread, context) entries
+    every ``tick_s``.  When an entry's query deadline or batch cap has
+    passed (or its token is cancelled), the watchdog records the
+    attribution on the context and async-raises the interrupt class into
+    the thread.  A fired entry is re-raised after ``refire_s`` while it
+    stays registered, in case the first delivery was swallowed by C code.
+    """
+
+    def __init__(self, tick_s: float = 0.02, refire_s: float = 0.25):
+        self.tick_s = tick_s
+        self.refire_s = refire_s
+        self._lock = threading.Lock()
+        self._entries: Dict[int, List[_WatchEntry]] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._wake = threading.Event()
+        #: Total async interrupts delivered (for tests/inspection).
+        self.fired_count = 0
+
+    def register(self, ident: int, context: QueryContext) -> _WatchEntry:
+        entry = _WatchEntry(ident, context)
+        with self._lock:
+            self._entries.setdefault(ident, []).append(entry)
+            self._ensure_thread_locked()
+        self._wake.set()
+        return entry
+
+    def unregister(self, entry: _WatchEntry) -> None:
+        with self._lock:
+            stack = self._entries.get(entry.ident)
+            if stack is not None:
+                try:
+                    stack.remove(entry)
+                except ValueError:
+                    pass
+                if not stack:
+                    del self._entries[entry.ident]
+
+    def _ensure_thread_locked(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-governor-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                idle = not self._entries
+            # Sleep until woken when idle; otherwise scan every tick.
+            self._wake.wait(timeout=None if idle else self.tick_s)
+            self._wake.clear()
+            with self._lock:
+                entries = [
+                    entry for stack in self._entries.values()
+                    for entry in stack[-1:]  # innermost context per thread
+                ]
+                now = time.monotonic()
+                for entry in entries:
+                    self._inspect_locked(entry, now)
+
+    def _inspect_locked(self, entry: _WatchEntry, now: float) -> None:
+        context = entry.context
+        exc_class: Optional[type] = None
+        if context.token.cancelled:
+            exc_class = QueryCancelledError
+        elif (
+            entry.batch_deadline is not None and now >= entry.batch_deadline
+        ):
+            context.timed_out_udf = entry.udf
+            context.timeout_kind = "udf_batch"
+            exc_class = QueryTimeoutError
+        elif context.deadline is not None and now >= context.deadline:
+            if context.timed_out_udf is None:
+                context.timed_out_udf = entry.udf
+            if context.timeout_kind is None:
+                context.timeout_kind = "query"
+            exc_class = QueryTimeoutError
+        if exc_class is None:
+            return
+        if entry.fired and now - entry.fired_at < self.refire_s:
+            return
+        if _async_raise(entry.ident, exc_class):
+            entry.fired = True
+            entry.fired_at = now
+            self.fired_count += 1
+
+
+#: The process-wide watchdog used by all governed executions.
+WATCHDOG = Watchdog()
+
+
+# ----------------------------------------------------------------------
+# Governance boundaries
+# ----------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def govern(adapter_name: str, context: Optional[QueryContext],
+           query: Optional[str] = None) -> Iterator[Optional[QueryContext]]:
+    """The adapter entry-point boundary.
+
+    Resolves an explicit ``context`` or the ambient thread-local one; when
+    neither exists the block runs ungoverned (zero-overhead legacy path).
+    A nested call with the already-active context (QFusor activating
+    before dispatching into the adapter) just checkpoints.
+    """
+    ambient = current()
+    ctx = context if context is not None else ambient
+    if ctx is None:
+        yield None
+        return
+    if ctx.adapter is None:
+        ctx.adapter = adapter_name
+    if ctx.query is None and query is not None:
+        ctx.query = query
+    if ctx is ambient:
+        ctx.check()
+        try:
+            yield ctx
+        except QueryInterrupt as exc:
+            raise ctx.annotate(exc)
+        return
+    with activate(ctx):
+        ctx.check()
+        yield ctx
+
+
+class udf_batch_guard:
+    """The UDF invocation boundary (registry ``call_*`` / sqlite bridge).
+
+    Publishes the running UDF's name to this thread's watchdog entry and
+    arms the per-batch wall-clock cap; converts a bare async interrupt
+    into a fully annotated one naming the UDF.  A plain class (not a
+    generator contextmanager) because tuple-at-a-time engines enter it
+    once per row.
+    """
+
+    __slots__ = ("name", "fused_from", "_entry", "_prev")
+
+    def __init__(self, name: str, fused_from: tuple = ()):
+        self.name = name
+        self.fused_from = fused_from
+        self._entry: Optional[_WatchEntry] = None
+        self._prev = (None, (), None)
+
+    def __enter__(self):
+        entry = _current_entry()
+        self._entry = entry
+        if entry is None:
+            return self
+        self._prev = (entry.udf, entry.udf_chain, entry.batch_deadline)
+        context = entry.context
+        entry.udf = self.name
+        entry.udf_chain = self.fused_from
+        cap = context.udf_batch_timeout_s
+        if cap is not None:
+            batch_deadline = time.monotonic() + cap
+            if context.deadline is not None:
+                batch_deadline = min(batch_deadline, context.deadline)
+            entry.batch_deadline = batch_deadline
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        entry = self._entry
+        if entry is None:
+            return False
+        entry.udf, entry.udf_chain, entry.batch_deadline = self._prev
+        if exc is not None and isinstance(exc, QueryInterrupt):
+            entry.context.annotate(exc, udf_name=self.name)
+            if isinstance(exc, QueryTimeoutError) and not exc.udf_chain:
+                exc.udf_chain = tuple(self.fused_from)
+        return False
+
+
+# ----------------------------------------------------------------------
+# Cooperative checkpoints
+# ----------------------------------------------------------------------
+
+
+def checkpoint() -> None:
+    """Raise the governed interrupt if this thread's context demands it.
+
+    Bound into generated wrapper namespaces as ``_gov_check``; safe (and
+    nearly free) when no context is active.
+    """
+    stack = _LOCAL.stack
+    if stack:
+        stack[-1].check()
+
+
+def guarded_iter(iterable: Iterable, stride: int = CHECK_STRIDE) -> Iterator:
+    """Iterate ``iterable``, checkpointing and charging the row budget
+    every ``stride`` items.  Pass-through when ungoverned."""
+    ctx = current()
+    if ctx is None:
+        yield from iterable
+        return
+    check = ctx.check
+    charge = ctx.charge_rows
+    count = 0
+    charged = 0
+    for item in iterable:
+        if count % stride == 0:
+            check()
+            if count:
+                charge(stride)
+                charged = count
+        count += 1
+        yield item
+    if count > charged:
+        charge(count - charged)
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+
+
+class AdmissionGate:
+    """Bounded admission: at most ``max_concurrent`` queries execute;
+    excess arrivals wait up to ``queue_timeout_s`` then shed with
+    :class:`~repro.errors.AdmissionTimeoutError`."""
+
+    def __init__(self, max_concurrent: int,
+                 queue_timeout_s: Optional[float] = None):
+        self.max_concurrent = max(1, int(max_concurrent))
+        self.queue_timeout_s = queue_timeout_s
+        self._semaphore = threading.BoundedSemaphore(self.max_concurrent)
+        self._stats_lock = threading.Lock()
+        self.admitted = 0
+        self.rejected = 0
+        self.active = 0
+        self.peak_active = 0
+
+    @contextlib.contextmanager
+    def admit(self) -> Iterator[None]:
+        waited = time.monotonic()
+        if self.queue_timeout_s is None:
+            acquired = self._semaphore.acquire()
+        else:
+            acquired = self._semaphore.acquire(timeout=self.queue_timeout_s)
+        if not acquired:
+            with self._stats_lock:
+                self.rejected += 1
+            raise AdmissionTimeoutError(
+                waited_s=time.monotonic() - waited,
+                max_concurrent=self.max_concurrent,
+            )
+        with self._stats_lock:
+            self.admitted += 1
+            self.active += 1
+            self.peak_active = max(self.peak_active, self.active)
+        try:
+            yield
+        finally:
+            with self._stats_lock:
+                self.active -= 1
+            self._semaphore.release()

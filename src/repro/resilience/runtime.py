@@ -37,6 +37,7 @@ used by ``tests/resilience``.
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -93,11 +94,20 @@ class ResilienceContext:
         self.row_events.append(RowEvent(udf, row, action, repr(error)))
 
 
-_STACK: List[ResilienceContext] = []
+class _ContextStack(threading.local):
+    """Per-thread context stack: concurrent queries must not observe
+    (or pop) each other's row-error policies."""
+
+    def __init__(self):
+        self.items: List[ResilienceContext] = []
+
+
+_STACK = _ContextStack()
 
 
 def active() -> Optional[ResilienceContext]:
-    return _STACK[-1] if _STACK else None
+    items = _STACK.items
+    return items[-1] if items else None
 
 
 def policy() -> str:
@@ -108,11 +118,11 @@ def policy() -> str:
 
 @contextlib.contextmanager
 def activate(context: ResilienceContext):
-    _STACK.append(context)
+    _STACK.items.append(context)
     try:
         yield context
     finally:
-        _STACK.pop()
+        _STACK.items.pop()
 
 
 class FaultHook:

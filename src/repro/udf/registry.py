@@ -16,7 +16,13 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import UdfRegistrationError
+from ..errors import (
+    QueryBudgetExceededError,
+    QueryCancelledError,
+    UdfRegistrationError,
+)
+from ..resilience.breaker import BreakerBoard
+from ..resilience.governor import udf_batch_guard
 from ..storage.column import Column
 from ..types import SqlType
 from . import boundary
@@ -55,12 +61,40 @@ class RegisteredUdf:
         channel = self._registry.channel
         return payload if channel is None else channel.transfer(payload)
 
+    def _guarded(self, runner: Callable[[], Any], size: int) -> Tuple[Any, float]:
+        """Run one boundary invocation under governance.
+
+        Publishes the UDF to the watchdog (arming the per-batch deadline
+        when one is configured), times the call, and feeds the outcome to
+        the per-UDF circuit breaker.  Cancellation and budget interrupts
+        are *not* charged as breaker failures — the UDF did nothing
+        wrong — but batch timeouts and ordinary exceptions are.
+        """
+        board = self._registry.breakers
+        start = time.perf_counter()
+        try:
+            with udf_batch_guard(self.name, self.definition.fused_from):
+                result = runner()
+        except BaseException as exc:
+            if not isinstance(exc, (QueryCancelledError, QueryBudgetExceededError)):
+                board.record_failure(
+                    self.name,
+                    time.perf_counter() - start,
+                    tuples=size,
+                    fused_from=self.definition.fused_from,
+                )
+            raise
+        elapsed = time.perf_counter() - start
+        board.record_success(self.name, elapsed, tuples=size,
+                             fused_from=self.definition.fused_from)
+        return result, elapsed
+
     def call_scalar(self, inputs: Sequence[Column], size: int) -> Column:
         """Run a scalar UDF over aligned input columns."""
         c_inputs = self._cross([boundary.column_to_c(col) for col in inputs])
-        start = time.perf_counter()
-        c_result = self._cross(self.wrapper.entry(c_inputs, size))
-        elapsed = time.perf_counter() - start
+        c_result, elapsed = self._guarded(
+            lambda: self._cross(self.wrapper.entry(c_inputs, size)), size
+        )
         self._registry.stats.observe(self.name, size, size, elapsed)
         return boundary.c_values_to_column(
             self.name, self.definition.signature.return_types[0], c_result
@@ -75,24 +109,25 @@ class RegisteredUdf:
         """
         from ..resilience import runtime
 
-        start = time.perf_counter()
-        try:
-            if runtime.FAULTS.armed:
-                runtime.FAULTS.injector.fire_row(
-                    (self.name,) + tuple(self.definition.fused_from),
-                    None,
-                    "fused" if self.definition.is_fused else "interp",
+        def run() -> Any:
+            try:
+                if runtime.FAULTS.armed:
+                    runtime.FAULTS.injector.fire_row(
+                        (self.name,) + tuple(self.definition.fused_from),
+                        None,
+                        "fused" if self.definition.is_fused else "interp",
+                    )
+                return self.definition.func(*args)
+            except Exception as exc:
+                return runtime.handle_value_error(
+                    self.name,
+                    runtime.policy(),
+                    exc,
+                    lambda: self.definition.func(*args),
+                    args,
                 )
-            result = self.definition.func(*args)
-        except Exception as exc:
-            result = runtime.handle_value_error(
-                self.name,
-                runtime.policy(),
-                exc,
-                lambda: self.definition.func(*args),
-                args,
-            )
-        elapsed = time.perf_counter() - start
+
+        result, elapsed = self._guarded(run, 1)
         self._registry.stats.observe(self.name, 1, 1, elapsed)
         return result
 
@@ -108,11 +143,12 @@ class RegisteredUdf:
         Returns one engine-side value per group.
         """
         c_inputs = self._cross([boundary.column_to_c(col) for col in inputs])
-        start = time.perf_counter()
-        c_result = self._cross(
-            self.wrapper.entry(c_inputs, size, group_ids, num_groups)
+        c_result, elapsed = self._guarded(
+            lambda: self._cross(
+                self.wrapper.entry(c_inputs, size, group_ids, num_groups)
+            ),
+            size,
         )
-        elapsed = time.perf_counter() - start
         self._registry.stats.observe(self.name, size, num_groups, elapsed)
         out_type = self.definition.signature.return_types[0]
         return [boundary.c_to_engine(v, out_type) for v in c_result]
@@ -123,11 +159,12 @@ class RegisteredUdf:
         """Run a table UDF in relation mode; returns its output columns."""
         c_inputs = self._cross([boundary.column_to_c(col) for col in inputs])
         in_types = tuple(col.sql_type for col in inputs)
-        start = time.perf_counter()
-        c_columns = self._cross(
-            self.wrapper.entry(c_inputs, size, in_types, tuple(const_args))
+        c_columns, elapsed = self._guarded(
+            lambda: self._cross(
+                self.wrapper.entry(c_inputs, size, in_types, tuple(const_args))
+            ),
+            size,
         )
-        elapsed = time.perf_counter() - start
         out_rows = len(c_columns[0]) if c_columns else 0
         self._registry.stats.observe(self.name, size, out_rows, elapsed)
         return [
@@ -145,11 +182,12 @@ class RegisteredUdf:
         """Run a table UDF in expand mode; returns (row lineage, columns)."""
         c_inputs = self._cross([boundary.column_to_c(col) for col in inputs])
         in_types = tuple(col.sql_type for col in inputs)
-        start = time.perf_counter()
-        lineage, c_columns = self._cross(
-            self.wrapper.expand_entry(c_inputs, size, in_types, tuple(const_args))
+        (lineage, c_columns), elapsed = self._guarded(
+            lambda: self._cross(
+                self.wrapper.expand_entry(c_inputs, size, in_types, tuple(const_args))
+            ),
+            size,
         )
-        elapsed = time.perf_counter() - start
         self._registry.stats.observe(self.name, size, len(lineage), elapsed)
         columns = [
             boundary.c_values_to_column(name, sql_type, values)
@@ -199,6 +237,8 @@ class UdfRegistry:
         self._udfs: Dict[str, RegisteredUdf] = {}
         self.stats = stats if stats is not None else StatsStore()
         self.channel = channel
+        #: Per-UDF circuit breakers (disabled until configured by QFusor).
+        self.breakers = BreakerBoard()
         #: CREATE FUNCTION statements issued so far (for inspection).
         self.create_statements: List[str] = []
 

@@ -16,6 +16,7 @@ start heuristic) against accumulated evidence.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -127,6 +128,9 @@ class StatsStore:
         self._prior_cost = prior_cost
         self._stats: Dict[str, UdfRuntimeStats] = {}
         self._models: Dict[str, BayesianCostModel] = {}
+        # Concurrent governed queries observe through one store; the lock
+        # keeps read-modify-write updates from losing observations.
+        self._lock = threading.Lock()
 
     def stats(self, name: str) -> UdfRuntimeStats:
         return self._stats.setdefault(name.lower(), UdfRuntimeStats())
@@ -140,9 +144,10 @@ class StatsStore:
         self, name: str, tuples_in: int, tuples_out: int, elapsed: float
     ) -> None:
         """Record one execution of a UDF."""
-        self.stats(name).observe(tuples_in, tuples_out, elapsed)
-        if tuples_in > 0 and elapsed > 0:
-            self.model(name).observe(elapsed / tuples_in)
+        with self._lock:
+            self.stats(name).observe(tuples_in, tuples_out, elapsed)
+            if tuples_in > 0 and elapsed > 0:
+                self.model(name).observe(elapsed / tuples_in)
 
     def expected_cost(self, name: str) -> float:
         """Bucketed expected cost/tuple (prior-driven before observations)."""

@@ -120,6 +120,8 @@ def build_wrapper(udf: UdfDefinition) -> GeneratedWrapper:
 
 def _base_namespace(udf: UdfDefinition) -> Dict[str, Any]:
     runtime = _resilience_runtime()
+    from ..resilience.governor import checkpoint
+
     return {
         "c_to_python": boundary.c_to_python,
         "python_to_c": boundary.python_to_c,
@@ -133,6 +135,9 @@ def _base_namespace(udf: UdfDefinition) -> Dict[str, Any]:
         "_rt_policy": runtime.policy,
         "_rt_row_error": runtime.handle_scalar_row_error,
         "_rt_expand_row_error": runtime.handle_expand_row_error,
+        # Governance: cooperative cancellation checkpoint (near-free
+        # when no governed context is active on this thread).
+        "_gov_check": checkpoint,
         "_NAME": udf.name,
         "_NAMES": (udf.name,) + tuple(udf.fused_from),
         "_CTX": "fused" if udf.is_fused else "interp",
@@ -183,6 +188,7 @@ def _build_scalar_wrapper(udf: UdfDefinition) -> GeneratedWrapper:
         builder.line("result = [None] * size")
         builder.line("_policy = _rt_policy()")
         with builder.block("for i in range(size):"):
+            builder.line("if not (i & 255): _gov_check()")
             if arity and udf.strict:
                 with builder.block(f"if {null_check}:"):
                     builder.line("continue")
@@ -243,6 +249,7 @@ def _build_aggregate_wrapper(udf: UdfDefinition) -> GeneratedWrapper:
         # failures always raise (with the row) and recovery happens at
         # the query level through de-optimization.
         with builder.block("for i in range(size):"):
+            builder.line("if not (i & 255): _gov_check()")
             if arity:
                 null_check = " and ".join(
                     f"col{i}[i] is None" for i in range(arity)
@@ -299,6 +306,7 @@ def _build_table_wrapper(udf: UdfDefinition) -> GeneratedWrapper:
         )
         builder.line("n = len(c_inputs)")
         with builder.block("for i in range(size):"):
+            builder.line("if not (i & 255): _gov_check()")
             with builder.block("if _FAULTS.armed:"):
                 builder.line("_FAULTS.injector.fire_row(_NAMES, i, _CTX)")
             builder.line(
@@ -366,6 +374,7 @@ def _build_table_wrapper(udf: UdfDefinition) -> GeneratedWrapper:
             else:
                 builder.line("_policy = _rt_policy()")
                 with builder.block("for i in range(size):"):
+                    builder.line("if not (i & 255): _gov_check()")
                     with builder.block("try:"):
                         with builder.block("if _FAULTS.armed:"):
                             builder.line(

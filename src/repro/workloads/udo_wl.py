@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..errors import UdfRegistrationError
 from ..storage import serde
 from ..storage.table import Table
 from ..types import SqlType
@@ -76,7 +77,9 @@ def setup(adapter, scale="small", seed: int = 53) -> None:
     for udf in ALL_UDFS:
         try:
             adapter.register_udf(udf, replace=True)
-        except Exception:
+        except UdfRegistrationError:
+            # Engines without table-UDF support (stdlib sqlite) skip those;
+            # anything else — including governance interrupts — propagates.
             pass
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.engine import Database
@@ -9,6 +11,17 @@ from repro.engines import MiniDbAdapter
 from repro.storage import Table
 from repro.types import SqlType
 from repro.udf import aggregate_udf, scalar_udf, table_udf
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``@pytest.mark.slow`` tests unless RUN_SLOW is set (the CI
+    governance job sets it; the default local run stays fast)."""
+    if os.environ.get("RUN_SLOW"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: set RUN_SLOW=1 to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 # ----------------------------------------------------------------------

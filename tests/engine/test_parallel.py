@@ -36,6 +36,94 @@ class TestParallelMap:
         ]
 
 
+class TestParallelMapErrorSemantics:
+    """Regression tests: the first failure *in item order* propagates,
+    deterministically, and the pool never leaks running threads."""
+
+    def test_first_exception_in_item_order_wins_the_race(self):
+        import time
+
+        def work(item):
+            index, delay, fail = item
+            if delay:
+                time.sleep(delay)
+            if fail:
+                raise ValueError(f"item-{index}")
+            return index
+
+        # Item 3 fails immediately; item 1 fails after a delay.  The
+        # propagated error must be item 1's (lowest index), not
+        # whichever worker happened to lose the wall-clock race.
+        items = [(0, 0, False), (1, 0.05, True), (2, 0, False), (3, 0, True)]
+        for _ in range(5):  # repeat: the old behaviour was racy
+            with pytest.raises(ValueError, match="item-1"):
+                parallel_map(work, items, 4)
+
+    def test_failure_cancels_queued_items(self):
+        import threading
+
+        started = []
+        lock = threading.Lock()
+
+        def work(item):
+            with lock:
+                started.append(item)
+            if item == 0:
+                raise RuntimeError("early")
+            return item
+
+        # 2 workers, 32 items, item 0 fails instantly: the tail of the
+        # queue must be cancelled, not drained.
+        with pytest.raises(RuntimeError, match="early"):
+            parallel_map(work, list(range(32)), 2)
+        assert len(started) < 32
+
+    def test_no_threads_leak_after_failure(self):
+        import threading
+        import time
+
+        def work(item):
+            if item == 0:
+                raise RuntimeError("boom")
+            time.sleep(0.02)
+            return item
+
+        before = threading.active_count()
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                parallel_map(work, list(range(8)), 4)
+        # The pool context-exit joins its workers before returning.
+        time.sleep(0.05)
+        assert threading.active_count() <= before + 1
+
+    def test_workers_adopt_the_submitters_governance_context(self):
+        from repro.resilience import governor
+
+        ctx = governor.QueryContext(timeout_s=30.0)
+        with governor.activate(ctx):
+            seen = parallel_map(
+                lambda _: governor.current() is ctx, [1, 2, 3, 4], 4
+            )
+        assert seen == [True, True, True, True]
+
+    def test_cancellation_interrupts_workers(self):
+        from repro.errors import QueryCancelledError
+        from repro.resilience import governor
+
+        ctx = governor.QueryContext()
+
+        def work(item):
+            if item == 0:
+                ctx.cancel("worker zero says stop")
+            for _ in range(1000):
+                governor.checkpoint()
+            return item
+
+        with governor.activate(ctx):
+            with pytest.raises(QueryCancelledError):
+                parallel_map(work, list(range(8)), 4)
+
+
 class TestParallelExecutor:
     @pytest.fixture
     def parallel_adapter(self):

@@ -1,0 +1,56 @@
+"""Thread-count invariance: the parallel executor must be a pure
+performance knob.
+
+For every udfbench query Q1-Q10, the result multiset from
+ParallelDbAdapter at threads=1/2/8 must equal the serial vectorized
+reference (MiniDbAdapter).
+"""
+
+import pytest
+
+from repro.engines import MiniDbAdapter, ParallelDbAdapter
+from repro.workloads import udfbench
+
+THREAD_COUNTS = [1, 2, 8]
+
+
+def normalize(rows):
+    out = []
+    for row in rows:
+        out.append(
+            tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+        )
+    return sorted(map(repr, out))
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    adapter = MiniDbAdapter()
+    udfbench.setup(adapter, "tiny")
+    return {
+        name: normalize(adapter.execute_sql(sql).to_rows())
+        for name, sql in udfbench.QUERIES.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def parallel_adapters():
+    adapters = {}
+    for threads in THREAD_COUNTS:
+        adapter = ParallelDbAdapter(threads=threads)
+        udfbench.setup(adapter, "tiny")
+        adapters[threads] = adapter
+    return adapters
+
+
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+@pytest.mark.parametrize("query", sorted(udfbench.QUERIES))
+def test_parallel_matches_serial(serial_results, parallel_adapters,
+                                 threads, query):
+    adapter = parallel_adapters[threads]
+    got = normalize(
+        adapter.execute_sql(udfbench.QUERIES[query]).to_rows()
+    )
+    assert got == serial_results[query], (
+        f"{query} diverged at threads={threads}"
+    )

@@ -1,0 +1,70 @@
+"""Shared fixtures for the query-governance suite.
+
+The "runaway" UDFs here are deliberately *bounded*: each spins for at
+most a few seconds before returning, so a regression that breaks the
+watchdog degrades these tests into slow failures instead of hanging the
+whole run.  The governed paths are expected to interrupt them orders of
+magnitude earlier.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.storage import Table
+from repro.types import SqlType
+from repro.udf import scalar_udf
+
+#: Escape hatch for the "infinite" UDFs (seconds).  Governed runs must
+#: terminate well before this.
+SPIN_ESCAPE_S = 5.0
+
+
+@scalar_udf
+def g_spin(x: int) -> int:
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < 5.0:
+        pass
+    return x
+
+
+@scalar_udf
+def g_slow(x: int) -> int:
+    time.sleep(0.05)
+    return x
+
+
+@scalar_udf
+def g_inc(x: int) -> int:
+    return x + 1
+
+
+@scalar_udf
+def g_double(x: int) -> int:
+    return x * 2
+
+
+GOVERNANCE_UDFS = [g_spin, g_slow, g_inc, g_double]
+
+
+def make_numbers_table(rows: int = 6) -> Table:
+    return Table.from_rows(
+        "numbers",
+        [("a", SqlType.INT), ("b", SqlType.INT)],
+        [(i, i * 10) for i in range(rows)],
+    )
+
+
+def load(adapter, rows: int = 6):
+    """Register the numbers table and governance UDFs on ``adapter``."""
+    adapter.register_table(make_numbers_table(rows), replace=True)
+    for udf in GOVERNANCE_UDFS:
+        adapter.register_udf(udf, replace=True)
+    return adapter
+
+
+@pytest.fixture
+def numbers():
+    return make_numbers_table()

@@ -1,0 +1,159 @@
+"""Concurrent cancelled/timed-out queries must not corrupt shared state.
+
+The tentpole acceptance test: a storm of concurrent queries — some
+timing out, some cancelled mid-flight, some well-behaved — against one
+QFusor.  Afterwards the catalog, the compiled-trace cache, and the
+stats store must be intact, and survivors' fused results must equal
+the unfused reference.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core import QFusor, QFusorConfig
+from repro.engines import MiniDbAdapter
+from repro.errors import QueryCancelledError, QueryInterrupt, QueryTimeoutError
+from repro.resilience import governor
+
+from .conftest import load
+
+WELL_BEHAVED = "SELECT g_inc(g_double(a)) AS v FROM numbers"
+RUNAWAY = "SELECT g_spin(a) FROM numbers"
+SLOW = "SELECT g_slow(a) AS v FROM numbers"
+
+
+def reference_rows(sql):
+    """The unfused ground truth from a fresh, ungoverned adapter."""
+    adapter = load(MiniDbAdapter())
+    qfusor = QFusor(adapter, QFusorConfig.disabled())
+    return sorted(map(repr, qfusor.execute(sql).to_rows()))
+
+
+class TestSharedStateAfterInterrupts:
+    def test_trace_cache_survives_timeouts(self):
+        """A timed-out fused query must not leave the trace cache in a
+        state that poisons later queries."""
+        adapter = load(MiniDbAdapter())
+        qfusor = QFusor(
+            adapter,
+            QFusorConfig(query_timeout_s=0.6, udf_batch_timeout_s=0.3),
+        )
+        with pytest.raises(QueryTimeoutError):
+            qfusor.execute(RUNAWAY)
+        expected = reference_rows(WELL_BEHAVED)
+        for _ in range(3):  # repeated: second run hits the trace cache
+            got = sorted(map(repr, qfusor.execute(WELL_BEHAVED).to_rows()))
+            assert got == expected
+
+    def test_stats_store_still_consistent_after_cancel(self):
+        adapter = load(MiniDbAdapter())
+        qfusor = QFusor(adapter, QFusorConfig(query_timeout_s=10.0))
+        ctx = governor.QueryContext()
+        killer = threading.Timer(0.2, ctx.cancel, args=("storm",))
+        killer.start()
+        try:
+            with pytest.raises(QueryCancelledError):
+                adapter.execute_sql(RUNAWAY, context=ctx)
+        finally:
+            killer.cancel()
+            killer.join()
+        # The catalog and stats remain usable after the interrupt.
+        assert sorted(
+            map(repr, qfusor.execute(WELL_BEHAVED).to_rows())
+        ) == reference_rows(WELL_BEHAVED)
+
+
+@pytest.mark.slow
+class TestConcurrentStorm:
+    THREADS = 8
+    ROUNDS = 3
+
+    def test_storm_of_interrupts_leaves_survivors_correct(self):
+        adapter = load(MiniDbAdapter())
+        qfusor = QFusor(
+            adapter,
+            QFusorConfig(query_timeout_s=0.8, udf_batch_timeout_s=0.4),
+        )
+        expected = reference_rows(WELL_BEHAVED)
+        outcomes = {"ok": 0, "interrupted": 0}
+        failures = []
+        lock = threading.Lock()
+
+        def worker(seed):
+            rng = random.Random(seed)
+            for round_no in range(self.ROUNDS):
+                role = rng.choice(["good", "runaway", "cancelled"])
+                try:
+                    if role == "good":
+                        table = qfusor.execute(WELL_BEHAVED)
+                        got = sorted(map(repr, table.to_rows()))
+                        if got != expected:
+                            with lock:
+                                failures.append(
+                                    f"seed={seed} round={round_no}: "
+                                    f"{got} != {expected}"
+                                )
+                        with lock:
+                            outcomes["ok"] += 1
+                    elif role == "runaway":
+                        try:
+                            qfusor.execute(RUNAWAY)
+                            with lock:
+                                failures.append(
+                                    f"seed={seed}: runaway did not time out"
+                                )
+                        except QueryTimeoutError:
+                            with lock:
+                                outcomes["interrupted"] += 1
+                    else:
+                        ctx = governor.QueryContext(timeout_s=5.0)
+                        killer = threading.Timer(
+                            0.1, ctx.cancel, args=("storm",)
+                        )
+                        killer.start()
+                        try:
+                            adapter.execute_sql(SLOW, context=ctx)
+                            with lock:
+                                outcomes["ok"] += 1
+                        except QueryInterrupt:
+                            with lock:
+                                outcomes["interrupted"] += 1
+                        finally:
+                            killer.cancel()
+                            killer.join()
+                except Exception as exc:  # noqa: BLE001 - collecting
+                    with lock:
+                        failures.append(f"seed={seed}: unexpected {exc!r}")
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(self.THREADS)
+        ]
+        start = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - start
+
+        assert not failures, failures
+        assert outcomes["ok"] + outcomes["interrupted"] == (
+            self.THREADS * self.ROUNDS
+        )
+        assert outcomes["interrupted"] > 0, "storm produced no interrupts"
+        # Every runaway bounded by its timeout, not by the 5s escape.
+        assert elapsed < self.ROUNDS * 4.0
+
+        # Shared state intact after the storm: fused == unfused.
+        got = sorted(map(repr, qfusor.execute(WELL_BEHAVED).to_rows()))
+        assert got == expected
+        unfused = QFusor(
+            load(MiniDbAdapter()), QFusorConfig.disabled()
+        )
+        assert (
+            sorted(map(repr, unfused.execute(WELL_BEHAVED).to_rows()))
+            == got
+        )

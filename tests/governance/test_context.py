@@ -1,0 +1,112 @@
+"""Unit tests for QueryContext, checkpoints, and guarded iteration."""
+
+import time
+
+import pytest
+
+from repro.errors import (
+    QueryBudgetExceededError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
+from repro.resilience import governor
+
+
+class TestQueryContext:
+    def test_clock_starts_on_activation_not_construction(self):
+        ctx = governor.QueryContext(timeout_s=0.2)
+        assert ctx.deadline is None
+        time.sleep(0.05)
+        with governor.activate(ctx):
+            assert ctx.deadline is not None
+            assert ctx.remaining() > 0.15
+
+    def test_check_raises_on_cancel_with_reason(self):
+        ctx = governor.QueryContext()
+        ctx.cancel("user hit ^C")
+        with pytest.raises(QueryCancelledError) as info:
+            ctx.check()
+        assert info.value.reason == "user hit ^C"
+
+    def test_expired_deadline_raises_inside_activation(self):
+        # The watchdog may async-fire during the sleep, or the explicit
+        # checkpoint notices the expiry — either way a QueryTimeoutError
+        # must surface inside the activation block.
+        ctx = governor.QueryContext(timeout_s=0.01)
+        with pytest.raises(QueryTimeoutError) as info:
+            with governor.activate(ctx):
+                time.sleep(0.05)
+                governor.checkpoint()
+        assert info.value.timeout_s == 0.01
+
+    def test_check_is_noop_without_limits(self):
+        ctx = governor.QueryContext()
+        with governor.activate(ctx):
+            governor.checkpoint()  # nothing armed: must not raise
+
+    def test_checkpoint_without_context_is_noop(self):
+        assert governor.current() is None
+        governor.checkpoint()
+
+    def test_row_budget_enforced_incrementally(self):
+        ctx = governor.QueryContext(row_budget=10)
+        with governor.activate(ctx):
+            ctx.charge_rows(8)
+            with pytest.raises(QueryBudgetExceededError) as info:
+                ctx.charge_rows(8)
+        assert info.value.budget == 10
+
+    def test_activation_nests_and_restores(self):
+        outer = governor.QueryContext()
+        inner = governor.QueryContext()
+        with governor.activate(outer):
+            assert governor.current() is outer
+            with governor.activate(inner):
+                assert governor.current() is inner
+            assert governor.current() is outer
+        assert governor.current() is None
+
+
+class TestGuardedIter:
+    def test_passthrough_without_context(self):
+        assert list(governor.guarded_iter(range(5))) == [0, 1, 2, 3, 4]
+
+    def test_charges_row_budget(self):
+        ctx = governor.QueryContext(row_budget=100)
+        with governor.activate(ctx):
+            with pytest.raises(QueryBudgetExceededError):
+                for _ in governor.guarded_iter(range(10_000), stride=16):
+                    pass
+
+    def test_observes_cancellation_mid_stream(self):
+        ctx = governor.QueryContext()
+
+        def stream():
+            for i in range(10_000):
+                if i == 100:
+                    ctx.cancel("stop")
+                yield i
+
+        with governor.activate(ctx):
+            with pytest.raises(QueryCancelledError):
+                for _ in governor.guarded_iter(stream(), stride=16):
+                    pass
+
+
+class TestGovernBoundary:
+    def test_ungoverned_passthrough(self):
+        with governor.govern("minidb", None) as ctx:
+            assert ctx is None
+
+    def test_annotates_adapter_and_query(self):
+        ctx = governor.QueryContext(timeout_s=5.0)
+        with governor.govern("minidb", ctx, query="SELECT 1"):
+            assert ctx.adapter == "minidb"
+            assert ctx.query == "SELECT 1"
+
+    def test_rejects_already_cancelled_context_before_work(self):
+        ctx = governor.QueryContext()
+        ctx.cancel("too late")
+        with pytest.raises(QueryCancelledError):
+            with governor.govern("minidb", ctx):
+                pytest.fail("body must not run")
