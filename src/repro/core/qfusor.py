@@ -19,6 +19,7 @@ Queries without UDFs pass through untouched.
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Union
@@ -30,6 +31,8 @@ from ..engine.planner import PlannedQuery
 from ..errors import CircuitOpenError, QueryTimeoutError, ReproError
 from ..jit.cache import TraceCache
 from ..jit.codegen import FusedUdf
+from ..obs import METRICS, OBS
+from ..obs import tracer as obs_tracer
 from ..resilience import (
     AdmissionGate, DeoptEvent, FusionBlocklist, QueryContext,
     ResilienceContext, RowEvent, activate,
@@ -137,7 +140,10 @@ class QFusor:
         # Fused UDFs must reach the engine itself (the sqlite3 adapter,
         # for example, registers through create_function).
         self.fuser.register_hook = engine.register_udf
-        self.last_report: Optional[QFusorReport] = None
+        # Per-query report state is thread-local (and mirrored onto the
+        # governed QueryContext) so concurrent queries sharing one
+        # QFusor can never read each other's reports.
+        self._reports = threading.local()
         self._last_context: Optional[QueryContext] = None
         # Per-UDF circuit breakers live on the registry (shared with any
         # other client of the same adapter); thresholds come from config.
@@ -156,6 +162,32 @@ class QFusor:
                 self.config.max_concurrent_queries,
                 queue_timeout_s=self.config.admission_timeout_s,
             )
+
+    # ------------------------------------------------------------------
+    # Per-query report state
+    # ------------------------------------------------------------------
+
+    @property
+    def last_report(self) -> Optional[QFusorReport]:
+        """The report of the last query run *by this thread*.
+
+        When a governed :class:`QueryContext` is active, its own report
+        is authoritative — the context travels with the query, so even
+        helper threads resolve the right one.  Otherwise the value falls
+        back to this thread's last pipeline run.  Either way, concurrent
+        queries never observe a neighbour's report.
+        """
+        ctx = governor.current()
+        if ctx is not None and ctx.report is not None:
+            return ctx.report
+        return getattr(self._reports, "value", None)
+
+    @last_report.setter
+    def last_report(self, report: Optional[QFusorReport]) -> None:
+        self._reports.value = report
+        ctx = governor.current()
+        if ctx is not None:
+            ctx.report = report
 
     # ------------------------------------------------------------------
     # Registration passthrough
@@ -190,10 +222,20 @@ class QFusor:
         deadline, cancellation token, row budget, and the runaway-UDF
         watchdog all apply end to end.
         """
-        statement = parse(sql) if isinstance(sql, str) else sql
-        sql_text = sql if isinstance(sql, str) else to_sql(statement)
-        ctx = self._resolve_context(context, timeout_s, sql_text)
         with contextlib.ExitStack() as stack:
+            trace = None
+            if OBS.tracing:
+                trace = stack.enter_context(
+                    obs_tracer.maybe_trace("query", adapter=self.adapter.name)
+                )
+            sp = obs_tracer.span_start("parse") if OBS.tracing else None
+            statement = parse(sql) if isinstance(sql, str) else sql
+            sql_text = sql if isinstance(sql, str) else to_sql(statement)
+            if sp is not None:
+                obs_tracer.span_end(sp)
+            if trace is not None:
+                trace.root.attrs.setdefault("sql", sql_text)
+            ctx = self._resolve_context(context, timeout_s, sql_text)
             if self.admission is not None:
                 stack.enter_context(self.admission.admit())
             if ctx is not None:
@@ -258,12 +300,15 @@ class QFusor:
         if isinstance(statement, ast.Select):
             return self._execute_select(statement, report)
         # DML with UDFs: rewrite expressions at the SQL level (4.2.5).
+        sp = obs_tracer.span_start("fuse") if OBS.tracing else None
         start = time.perf_counter()
         rewritten = rewrite_statement(
             statement, self._fuse_expression_hook(report), self._catalog()
         )
         report.codegen_seconds = time.perf_counter() - start
         report.rewritten_sql = to_sql(rewritten)
+        if sp is not None:
+            obs_tracer.span_end(sp, fused=len(report.fused))
         return self._dispatch_sql(statement, rewritten, report)
 
     def _admit_breakers(
@@ -288,6 +333,10 @@ class QFusor:
                 first, retry_in_s=board.breaker(first).retry_in_s()
             )
         report.breaker_bypass = list(refused)
+        if OBS.metrics:
+            METRICS.counter("repro_breaker_bypass_total").inc()
+        if OBS.tracing:
+            obs_tracer.add_event("breaker_bypass", udfs=",".join(refused))
         return False
 
     def _referenced_udfs(self, statement: ast.Statement) -> List[str]:
@@ -308,31 +357,47 @@ class QFusor:
     ) -> Table:
         if not self.adapter.supports_plan_dispatch:
             # Path 1: SQL rewriting only (expression-level fusion).
+            sp = obs_tracer.span_start("fuse") if OBS.tracing else None
             start = time.perf_counter()
             rewritten = rewrite_statement(
                 statement, self._fuse_expression_hook(report), self._catalog()
             )
             report.codegen_seconds = time.perf_counter() - start
             report.rewritten_sql = to_sql(rewritten)
+            if sp is not None:
+                obs_tracer.span_end(
+                    sp, fused=len(report.fused), cache_hits=report.cache_hits
+                )
             return self._dispatch_sql(statement, rewritten, report)
 
         # EXPLAIN probe: get the engine's optimized plan.
+        sp = obs_tracer.span_start("plan") if OBS.tracing else None
         planned = self.adapter.explain_plan(statement)
         report.plan_before = explain_text(planned)
+        if sp is not None:
+            obs_tracer.span_end(sp)
 
-        # Steps 1-2: discovery + fusion optimization.
+        # Steps 1-3 under one "fuse" span: discovery + fusion
+        # optimization + JIT code generation (the jit_compile span nests
+        # inside, opened by TraceCache on a compile miss).
+        sp = obs_tracer.span_start("fuse") if OBS.tracing else None
         start = time.perf_counter()
         graph = build_dfg(planned, self.adapter.resolver)
         report.sections = discover_sections(graph, self.cost_model, self.config)
         report.fus_optim_seconds = time.perf_counter() - start
 
-        # Step 3: JIT code generation (plan transformation registers the
-        # fused UDFs through the standard mechanism).
         outcome = self.fuser.fuse_query(planned)
         report.codegen_seconds = outcome.codegen_seconds
         report.fused = outcome.fused
         report.cache_hits = outcome.cache_hits
         report.plan_after = explain_text(outcome.planned)
+        if sp is not None:
+            obs_tracer.span_end(
+                sp,
+                sections=len(report.sections),
+                fused=len(report.fused),
+                cache_hits=report.cache_hits,
+            )
 
         # Step 4: dispatch the rewritten plan (path 2), guarded.
         return self._dispatch_plan(planned, outcome, report)
@@ -486,6 +551,12 @@ class QFusor:
                 blocklisted=blocked,
             )
         )
+        if OBS.metrics:
+            METRICS.counter("repro_deopt_total").inc()
+        if OBS.tracing:
+            obs_tracer.add_event(
+                "deopt", udfs=",".join(targets), error=type(exc).__name__
+            )
 
     def analyze(self, sql: Union[str, ast.Statement]) -> QFusorReport:
         """Run the pipeline without executing; returns the report."""

@@ -12,6 +12,8 @@ from typing import Any, List, Optional, Sequence, Union
 import numpy as np
 
 from ..errors import CatalogError, ExecutionError, PlanError
+from ..obs import OBS
+from ..obs import tracer as obs_tracer
 from ..sql import ast_nodes as ast
 from ..sql.parser import parse
 from ..storage.catalog import Catalog
@@ -89,7 +91,11 @@ class Database:
 
     def execute(self, sql: Union[str, ast.Statement]) -> Table:
         """Parse, plan, optimize, and execute one SQL statement."""
-        statement = parse(sql) if isinstance(sql, str) else sql
+        if OBS.tracing and isinstance(sql, str):
+            with obs_tracer.span("parse"):
+                statement = parse(sql)
+        else:
+            statement = parse(sql) if isinstance(sql, str) else sql
         if isinstance(statement, ast.Explain):
             planned = self.plan(statement.statement)
             text = explain_text(planned)
@@ -118,8 +124,18 @@ class Database:
             statement = statement.statement
         if not isinstance(statement, ast.Select):
             raise PlanError("only SELECT statements can be planned")
+        # Skip the span when already inside a "plan" span (the QFusor
+        # EXPLAIN probe wraps this call) so stage totals aren't doubled.
+        sp = None
+        if OBS.tracing:
+            cur = obs_tracer.current_span()
+            if cur is None or cur.name != "plan":
+                sp = obs_tracer.span_start("plan")
         planned = self.planner.plan_select(statement)
-        return self.optimizer.optimize(planned)
+        optimized = self.optimizer.optimize(planned)
+        if sp is not None:
+            obs_tracer.span_end(sp)
+        return optimized
 
     def explain(self, sql: Union[str, ast.Statement]) -> str:
         """The EXPLAIN text for a statement."""

@@ -9,9 +9,12 @@ paper attributes to tuple-at-a-time engines).
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError
+from ..obs import METRICS, OBS
+from ..obs import tracer as obs_tracer
 from ..resilience.governor import guarded_iter
 from ..storage.catalog import Catalog
 from ..storage.column import Column
@@ -54,6 +57,44 @@ class TupleExecutor:
     # ------------------------------------------------------------------
 
     def _rows(self, node: PlanNode, ctes) -> Iterator[Row]:
+        if OBS.tracing or OBS.metrics:
+            return self._observed_rows(
+                type(node).__name__, self._dispatch(node, ctes)
+            )
+        return self._dispatch(node, ctes)
+
+    def _observed_rows(self, name: str, rows: Iterable[Row]) -> Iterator[Row]:
+        """Wrap an operator's row stream with a span + rows/sec metrics.
+
+        Operators are pull-based generators whose open/close order is not
+        LIFO, so the span is *explicitly parented* to the span current at
+        construction (the adapter's ``execute`` span) rather than pushed
+        on the thread's stack — well-nestedness of stack-managed spans is
+        preserved while pipelined operators visibly overlap in the trace.
+        """
+        sp = None
+        if OBS.tracing:
+            parent = obs_tracer.current_span()
+            if parent is not None:
+                sp = obs_tracer.span_start(
+                    f"operator:{name}", "operator", parent=parent
+                )
+        count = 0
+        start = time.perf_counter()
+        try:
+            for row in rows:
+                count += 1
+                yield row
+        finally:
+            if OBS.metrics:
+                METRICS.counter("repro_operator_rows_total", op=name).inc(count)
+                METRICS.histogram("repro_operator_seconds", op=name).observe(
+                    time.perf_counter() - start
+                )
+            if sp is not None:
+                obs_tracer.span_end(sp, rows=count)
+
+    def _dispatch(self, node: PlanNode, ctes) -> Iterator[Row]:
         if isinstance(node, Scan):
             return self.catalog.get(node.table_name).rows()
         if isinstance(node, CteScan):

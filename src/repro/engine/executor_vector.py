@@ -12,11 +12,14 @@ wraps results into a :class:`~repro.storage.table.Table`.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ExecutionError
+from ..obs import METRICS, OBS
+from ..obs import tracer as obs_tracer
 from ..resilience.governor import checkpoint, guarded_iter
 from ..sql import ast_nodes as ast
 from ..storage.catalog import Catalog
@@ -59,6 +62,30 @@ class VectorExecutor:
 
     def _run(self, node: PlanNode, ctes: Dict[str, Relation]) -> Relation:
         checkpoint()  # operator boundary: cancellation/deadline check
+        if OBS.tracing or OBS.metrics:
+            return self._run_observed(node, ctes)
+        return self._dispatch(node, ctes)
+
+    def _run_observed(self, node: PlanNode, ctes: Dict[str, Relation]) -> Relation:
+        """Per-operator span + rows/sec metrics (observability on only)."""
+        name = type(node).__name__
+        sp = (
+            obs_tracer.span_start(f"operator:{name}", "operator")
+            if OBS.tracing else None
+        )
+        start = time.perf_counter()
+        result = self._dispatch(node, ctes)
+        size = result[1]
+        if OBS.metrics:
+            METRICS.counter("repro_operator_rows_total", op=name).inc(size)
+            METRICS.histogram("repro_operator_seconds", op=name).observe(
+                time.perf_counter() - start
+            )
+        if sp is not None:
+            obs_tracer.span_end(sp, rows=size)
+        return result
+
+    def _dispatch(self, node: PlanNode, ctes: Dict[str, Relation]) -> Relation:
         if isinstance(node, Scan):
             table = self.catalog.get(node.table_name)
             return list(table.columns), table.num_rows

@@ -15,6 +15,7 @@ from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import tracer as obs_tracer
 from ..resilience import governor, runtime
 from ..storage.column import Column
 from .executor_vector import Relation, VectorExecutor
@@ -39,10 +40,12 @@ def split_ranges(size: int, parts: int) -> List[Tuple[int, int]]:
 
 def _adopting(fn: Callable) -> Callable:
     """Wrap ``fn`` so worker threads adopt the submitting thread's
-    governance and resilience contexts (both stacks are thread-local)."""
+    governance, resilience, and tracing contexts (all thread-local)."""
     gov_ctx = governor.current()
     res_ctx = runtime.active()
-    if gov_ctx is None and res_ctx is None:
+    obs_trace = obs_tracer.current_trace()
+    obs_span = obs_tracer.current_span() if obs_trace is not None else None
+    if gov_ctx is None and res_ctx is None and obs_trace is None:
         return fn
 
     def adopted(item):
@@ -51,6 +54,10 @@ def _adopting(fn: Callable) -> Callable:
                 stack.enter_context(governor.activate(gov_ctx))
             if res_ctx is not None:
                 stack.enter_context(runtime.activate(res_ctx))
+            if obs_trace is not None:
+                stack.enter_context(
+                    obs_tracer.adopt_span(obs_span, obs_trace)
+                )
             return fn(item)
 
     return adopted

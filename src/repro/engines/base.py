@@ -10,9 +10,12 @@ interface mirrors exactly that, plus the two rewrite paths of section
 
 from __future__ import annotations
 
+import contextlib
 from typing import Any, Optional, Union
 
 from ..engine.planner import PlannedQuery
+from ..obs import OBS
+from ..obs import tracer as obs_tracer
 from ..resilience.governor import QueryContext, govern
 from ..sql import ast_nodes as ast
 from ..storage.table import Table
@@ -66,8 +69,20 @@ class EngineAdapter:
         self, planned: PlannedQuery, *, context: Optional[QueryContext] = None
     ) -> Table:
         """Dispatch a (possibly rewritten) plan to the execution engine."""
-        with govern(self.name, context, query=getattr(planned, "sql", None)):
-            return self._execute_plan(planned)
+        with contextlib.ExitStack() as stack:
+            sp = None
+            if OBS.tracing:
+                stack.enter_context(
+                    obs_tracer.maybe_trace("query", adapter=self.name)
+                )
+                sp = stack.enter_context(
+                    obs_tracer.span("execute", adapter=self.name)
+                )
+            with govern(self.name, context, query=getattr(planned, "sql", None)):
+                result = self._execute_plan(planned)
+            if sp is not None:
+                sp.attrs["rows"] = result.num_rows
+            return result
 
     def execute_sql(
         self,
@@ -77,8 +92,22 @@ class EngineAdapter:
     ) -> Table:
         """Execute a SQL statement as-is."""
         query = statement if isinstance(statement, str) else None
-        with govern(self.name, context, query=query):
-            return self._execute_sql(statement)
+        with contextlib.ExitStack() as stack:
+            sp = None
+            if OBS.tracing:
+                trace = stack.enter_context(
+                    obs_tracer.maybe_trace("query", adapter=self.name)
+                )
+                if trace is not None and query is not None:
+                    trace.root.attrs.setdefault("sql", query)
+                sp = stack.enter_context(
+                    obs_tracer.span("execute", adapter=self.name)
+                )
+            with govern(self.name, context, query=query):
+                result = self._execute_sql(statement)
+            if sp is not None and result is not None:
+                sp.attrs["rows"] = getattr(result, "num_rows", None)
+            return result
 
     # -- engine-specific execution (override these) -----------------------
 

@@ -22,6 +22,7 @@ from ..errors import (
     UdfExecutionError,
     UdfRegistrationError,
 )
+from ..obs import METRICS, OBS
 from ..resilience import governor as _governor
 from ..resilience import runtime as _resilience
 from ..sql import ast_nodes as ast
@@ -134,6 +135,10 @@ class SqliteAdapter(EngineAdapter):
         fused_from = tuple(definition.fused_from)
 
         def bridge(*args):
+            if OBS.metrics:
+                METRICS.counter(
+                    "repro_udf_calls_total", udf=name, engine="sqlite"
+                ).inc()
             converted = None
             try:
                 with _governor.udf_batch_guard(name, fused_from):
@@ -189,6 +194,10 @@ class SqliteAdapter(EngineAdapter):
             # the row/phase) and recovery is query-level deopt.
 
             def step(self, *args):
+                if OBS.metrics:
+                    METRICS.counter(
+                        "repro_udf_calls_total", udf=name, engine="sqlite"
+                    ).inc()
                 row = self._rows
                 self._rows += 1
                 converted = None

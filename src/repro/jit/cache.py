@@ -19,9 +19,23 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from ..obs import METRICS, OBS
+from ..obs import tracer as obs_tracer
 from .codegen import FusedUdf, PipelineSpec, generate_fused_udf
 
 __all__ = ["TraceCache"]
+
+
+def _compile(spec: PipelineSpec) -> FusedUdf:
+    """Generate + compile one fused trace, under a jit_compile span."""
+    sp = (
+        obs_tracer.span_start("jit_compile", udf=spec.name)
+        if OBS.tracing else None
+    )
+    fused = generate_fused_udf(spec)
+    if sp is not None:
+        obs_tracer.span_end(sp, stages=len(spec.stages))
+    return fused
 
 
 class TraceCache:
@@ -53,17 +67,23 @@ class TraceCache:
         with self._lock:
             if not self.enabled:
                 self.misses += 1
-                fused = generate_fused_udf(spec)
+                if OBS.metrics:
+                    METRICS.counter("repro_trace_cache_misses_total").inc()
+                fused = _compile(spec)
                 self._key_by_name[fused.definition.name] = key
                 return fused, False
             entry = self._entries.get(key)
             if entry is not None:
                 self.hits += 1
+                if OBS.metrics:
+                    METRICS.counter("repro_trace_cache_hits_total").inc()
                 self._entries.move_to_end(key)
                 self._key_by_name[entry.definition.name] = key
                 return entry, True
             self.misses += 1
-            fused = generate_fused_udf(spec)
+            if OBS.metrics:
+                METRICS.counter("repro_trace_cache_misses_total").inc()
+            fused = _compile(spec)
             self._entries[key] = fused
             self._key_by_name[fused.definition.name] = key
             if self.capacity is not None and len(self._entries) > self.capacity:

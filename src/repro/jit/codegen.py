@@ -49,6 +49,15 @@ __all__ = [
 ]
 
 
+def _record_fused_batch(name: str, size: int) -> None:
+    """Once-per-batch metrics hook bound into generated wrappers."""
+    from ..obs import DEFAULT_SIZE_BUCKETS, METRICS
+
+    METRICS.histogram(
+        "repro_fused_batch_rows", DEFAULT_SIZE_BUCKETS, udf=name
+    ).observe(size)
+
+
 # ----------------------------------------------------------------------
 # Stage model
 # ----------------------------------------------------------------------
@@ -305,6 +314,7 @@ class _Generator:
     """Emits the fused source for one pipeline."""
 
     def __init__(self, spec: PipelineSpec):
+        from ..obs import OBS as _obs_state
         from ..resilience import governor as _governor
         from ..resilience import runtime as _resilience
 
@@ -329,6 +339,10 @@ class _Generator:
             _gov_check=_governor.checkpoint,
             _NAME=spec.name,
             _NAMES=(spec.name,) + udf_names,
+            # Observability: one branch + at most one call per *batch*
+            # (never per row) keeps the disabled path a single branch.
+            _obs=_obs_state,
+            _obs_batch=_record_fused_batch,
         )
 
     def _bind_builtin_aggregates(self) -> None:
@@ -426,6 +440,7 @@ class _Generator:
         # an extra trace: restore counters afterwards.
         with builder.block(f"def {entry}__scalar_batch(c_inputs, size):"):
             builder.line('"""Fused scalar wrapper: inline conversions."""')
+            builder.line("if _obs.metrics: _obs_batch(_NAME, size)")
             builder.line("result = [None] * size")
             for i in range(len(spec.inputs)):
                 builder.line(f"_c{i} = c_inputs[{i}]")
@@ -612,6 +627,7 @@ class _Generator:
                 '"""Fused expand wrapper: inline conversions, no '
                 'per-row generators."""'
             )
+            builder.line("if _obs.metrics: _obs_batch(_NAME, size)")
             builder.line("lineage = []")
             for i in range(len(spec.outputs)):
                 builder.line(f"_o{i} = []")

@@ -1,0 +1,81 @@
+"""repro.obs — zero-dependency tracing and metrics for the pipeline.
+
+Quick start::
+
+    from repro import obs
+    from repro.obs import QueryReport
+
+    obs.enable()                       # or obs.trace_query(...) scoped
+    adapter.execute_sql(sql)
+    report = QueryReport.from_trace(obs.last_trace())
+    print(report.render())             # EXPLAIN ANALYZE-style tree
+    open("trace.json", "w").write(
+        obs.chrome_trace_json(report.trace))   # chrome://tracing
+    print(obs.METRICS.render_prometheus())
+
+Disabled (the default), every checkpoint costs one attribute branch.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BYTES_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Histogram,
+    METRICS,
+    MetricsRegistry,
+)
+from .export import chrome_trace, chrome_trace_json
+from .report import QueryReport, STAGE_NAMES
+from .tracer import (
+    OBS,
+    ObsState,
+    QueryTrace,
+    Span,
+    SpanEvent,
+    add_event,
+    adopt_span,
+    current_span,
+    current_trace,
+    disable,
+    enable,
+    enabled_scope,
+    last_trace,
+    maybe_trace,
+    span,
+    span_end,
+    span_start,
+    trace_query,
+)
+
+__all__ = [
+    "OBS",
+    "ObsState",
+    "Span",
+    "SpanEvent",
+    "QueryTrace",
+    "enable",
+    "disable",
+    "enabled_scope",
+    "trace_query",
+    "maybe_trace",
+    "current_trace",
+    "current_span",
+    "last_trace",
+    "span",
+    "span_start",
+    "span_end",
+    "add_event",
+    "adopt_span",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_BYTES_BUCKETS",
+    "chrome_trace",
+    "chrome_trace_json",
+    "QueryReport",
+    "STAGE_NAMES",
+]

@@ -1,0 +1,108 @@
+"""Chrome ``trace_event`` export for :class:`~repro.obs.tracer.QueryTrace`.
+
+Produces the JSON Object Format described by the Trace Event spec
+(https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+``{"traceEvents": [...], "displayTimeUnit": "ms"}`` loadable in
+``chrome://tracing`` / Perfetto.
+
+Event mapping (the golden schema test pins this):
+
+* each closed span  -> one ``"ph": "X"`` complete event with
+  ``name``/``cat``/``ts``/``dur``/``pid``/``tid``/``args``
+* each span event   -> one ``"ph": "i"`` instant event (``s: "t"``)
+* process/thread naming -> ``"ph": "M"`` metadata events
+
+Timestamps are microseconds relative to the trace's wall start, so
+traces from fake clocks in tests are stable and real traces line up in
+the viewer.  Thread ids are the trace's first-seen indexes (0 = query
+thread), not OS idents, for the same determinism reason.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .tracer import QueryTrace, Span
+
+__all__ = ["chrome_trace", "chrome_trace_json"]
+
+_PID = 1
+
+
+def _to_us(trace: QueryTrace, perf_t: float) -> float:
+    return round((perf_t - trace.perf_start) * 1e6, 3)
+
+
+def _sanitize_args(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def chrome_trace(trace: QueryTrace) -> Dict[str, Any]:
+    """Render a finished trace as a Chrome trace_event JSON object."""
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": f"repro:{trace.root.name}"},
+        }
+    ]
+    named_tids = set()
+    for sp in trace.spans():
+        tid = trace.thread_index(sp.thread_ident)
+        if tid not in named_tids:
+            named_tids.add(tid)
+            label = "query" if tid == 0 else f"worker-{tid}"
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": label},
+                }
+            )
+        end = sp.end if sp.end is not None else trace.root.end or sp.start
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID,
+                "tid": tid,
+                "name": sp.name,
+                "cat": sp.category,
+                "ts": _to_us(trace, sp.start),
+                "dur": max(round((end - sp.start) * 1e6, 3), 0.0),
+                "args": _sanitize_args(sp.attrs),
+            }
+        )
+        for ev in sp.events:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": ev.name,
+                    "cat": "event",
+                    "ts": _to_us(trace, ev.at),
+                    "s": "t",
+                    "args": _sanitize_args(ev.attrs),
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"wall_start_s": trace.wall_start},
+    }
+
+
+def chrome_trace_json(trace: QueryTrace, indent: int = 2) -> str:
+    """The same document serialized, for writing to a ``.json`` artifact."""
+    return json.dumps(chrome_trace(trace), indent=indent, sort_keys=False)

@@ -1,0 +1,140 @@
+"""``EXPLAIN ANALYZE``-style rendering of a query trace.
+
+A :class:`QueryReport` wraps a finished :class:`~repro.obs.tracer.QueryTrace`
+and renders it as a text tree::
+
+    query Q3 (sql='SELECT ...')  12.413ms
+    +- parse  0.102ms
+    +- plan  0.311ms
+    +- fuse  1.204ms  [sections=2]
+    |  +- jit_compile  0.904ms  [cache=miss]
+    +- execute  10.512ms  [adapter=minidb, rows=512]
+       +- operator:Scan  2.001ms  [rows=100000]
+       +- operator:Filter  3.410ms  [rows=512]
+       !  deopt at 8.2ms {reason=udf_error, udf=extract_year}
+
+Durations are inclusive; ``!`` lines are span events (governance
+incidents).  ``redact_timings=True`` replaces every duration with a
+placeholder so golden-file tests pin the structure without pinning the
+clock.  ``stage_seconds`` folds the tree into the per-stage cost
+breakdown ``bench.harness`` prints next to each benchmark figure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .export import chrome_trace
+from .tracer import QueryTrace, Span
+
+__all__ = ["QueryReport", "STAGE_NAMES"]
+
+#: Top-level stages the report folds durations into; anything else in
+#: the tree contributes to its nearest enclosing stage.
+STAGE_NAMES = ("parse", "plan", "fuse", "jit_compile", "execute")
+
+
+def _fmt_attr(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class QueryReport:
+    """Renderable view over one query's trace."""
+
+    def __init__(self, trace: QueryTrace):
+        self.trace = trace
+
+    @classmethod
+    def from_trace(cls, trace: Optional[QueryTrace]) -> Optional["QueryReport"]:
+        return cls(trace) if trace is not None else None
+
+    # -- text tree ------------------------------------------------------
+
+    def render(self, redact_timings: bool = False) -> str:
+        lines: List[str] = []
+        self._render_span(self.trace.root, lines, "", redact_timings, root=True)
+        return "\n".join(lines)
+
+    def _render_span(
+        self,
+        sp: Span,
+        lines: List[str],
+        prefix: str,
+        redact: bool,
+        root: bool = False,
+    ) -> None:
+        dur = "<t>ms" if redact else f"{sp.duration * 1e3:.3f}ms"
+        attrs = ""
+        if sp.attrs:
+            inner = ", ".join(
+                f"{k}={_fmt_attr(v)}" for k, v in sorted(sp.attrs.items())
+            )
+            attrs = f"  [{inner}]"
+        label = sp.name if root else sp.name
+        if root and sp.category:
+            label = f"{sp.category} {sp.name}"
+        lines.append(f"{prefix}{label}  {dur}{attrs}")
+        child_prefix = "" if root else prefix.replace("+- ", "|  ").replace(
+            "`- ", "   "
+        )
+        items: List[Any] = list(sp.events) + list(sp.children)
+        items.sort(key=lambda it: it.at if hasattr(it, "at") else it.start)
+        for i, item in enumerate(items):
+            last = i == len(items) - 1
+            branch = "`- " if last else "+- "
+            if hasattr(item, "at"):  # SpanEvent
+                at = (
+                    "<t>ms"
+                    if redact
+                    else f"{(item.at - self.trace.perf_start) * 1e3:.3f}ms"
+                )
+                ev_attrs = ""
+                if item.attrs:
+                    inner = ", ".join(
+                        f"{k}={_fmt_attr(v)}" for k, v in sorted(item.attrs.items())
+                    )
+                    ev_attrs = f" {{{inner}}}"
+                lines.append(f"{child_prefix}!  {item.name} at {at}{ev_attrs}")
+            else:
+                self._render_span(item, lines, child_prefix + branch, redact)
+
+    # -- exports --------------------------------------------------------
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        return chrome_trace(self.trace)
+
+    # -- aggregation ----------------------------------------------------
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Inclusive seconds per top-level pipeline stage.
+
+        ``jit_compile`` is reported separately even though it nests
+        inside ``fuse`` — the paper's breakdown treats trace compilation
+        as its own cost — and ``fuse`` is adjusted to exclude it.
+        ``other`` collects root time not claimed by any stage.
+        """
+        out: Dict[str, float] = {name: 0.0 for name in STAGE_NAMES}
+        for sp in self.trace.spans():
+            if sp.name in out:
+                out[sp.name] += sp.duration
+        out["fuse"] = max(out["fuse"] - out["jit_compile"], 0.0)
+        total = self.trace.root.duration
+        out["other"] = max(total - sum(out.values()), 0.0)
+        out["total"] = total
+        return out
+
+    def events(self) -> List[Dict[str, Any]]:
+        """All governance/span events, flattened, in time order."""
+        found = []
+        for sp in self.trace.spans():
+            for ev in sp.events:
+                found.append(
+                    {"name": ev.name, "span": sp.name, "at": ev.at, **ev.attrs}
+                )
+        found.sort(key=lambda e: e["at"])
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryReport({self.trace.root.name!r})"

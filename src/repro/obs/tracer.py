@@ -1,0 +1,446 @@
+"""Structured tracing for the fused-query pipeline.
+
+One :class:`QueryTrace` covers one query end to end; inside it,
+:class:`Span` objects form a tree mirroring the pipeline stages the
+paper's evaluation attributes costs to: parse -> plan -> fuse ->
+jit-compile -> execute -> per-operator -> per-UDF-batch.  Governance
+incidents (deopt, breaker trips, watchdog interrupts, admission waits)
+attach as :class:`SpanEvent` annotations, so a single trace answers
+*why* a query took the path it did.
+
+Hot-path contract
+-----------------
+
+Tracing is **off by default** and every instrumentation site guards
+itself with a single attribute-load-and-branch on :data:`OBS`::
+
+    if OBS.tracing:
+        sp = span_start("operator:Filter")
+    ...
+    if sp is not None:
+        span_end(sp, rows=n)
+
+With tracing disabled that is one branch per checkpoint and no calls,
+allocations, or locks — the overhead budget DESIGN.md section 9 commits
+to.  When tracing is enabled but no trace is active on the thread, the
+start helpers return ``None`` and the site stays cheap.
+
+Thread model
+------------
+
+The active span stack is thread-local, so span trees are well-nested
+*per thread* by construction.  Worker threads (``engine.parallel``)
+adopt the submitting thread's current span via :func:`adopt_span`; their
+spans attach under it while nesting locally on their own stack.  Spans
+may also be parented explicitly (``parent=...``) without touching the
+stack — the tuple-at-a-time executor uses this for its pull-based
+operator generators, whose open/close order is not LIFO.
+
+Cross-thread mutation (a watchdog thread annotating a query's trace)
+goes through :meth:`QueryTrace.add_event`, which locks; same-thread
+appends ride on the GIL's list-append atomicity.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "OBS",
+    "ObsState",
+    "Span",
+    "SpanEvent",
+    "QueryTrace",
+    "enable",
+    "disable",
+    "enabled_scope",
+    "trace_query",
+    "current_trace",
+    "current_span",
+    "span",
+    "span_start",
+    "span_end",
+    "add_event",
+    "adopt_span",
+    "last_trace",
+]
+
+
+class ObsState:
+    """Process-wide observability switches.
+
+    ``tracing`` and ``metrics`` are plain attributes read with a single
+    load at every instrumentation site; both default to off.
+    """
+
+    __slots__ = ("tracing", "metrics")
+
+    def __init__(self) -> None:
+        self.tracing = False
+        self.metrics = False
+
+
+#: The singleton every checkpoint branches on.
+OBS = ObsState()
+
+
+class SpanEvent:
+    """A point-in-time annotation on a span (deopt, breaker trip, ...)."""
+
+    __slots__ = ("name", "at", "attrs")
+
+    def __init__(self, name: str, at: float, attrs: Dict[str, Any]):
+        self.name = name
+        self.at = at
+        self.attrs = attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanEvent({self.name!r}, at={self.at:.6f}, {self.attrs})"
+
+
+class Span:
+    """One timed stage of a query, with attributes, events, children."""
+
+    __slots__ = (
+        "name", "category", "start", "end", "attrs", "events",
+        "children", "thread_ident", "parent",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        thread_ident: int,
+        parent: Optional["Span"] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.events: List[SpanEvent] = []
+        self.children: List["Span"] = []
+        self.thread_ident = thread_ident
+        self.parent = parent
+
+    @property
+    def duration(self) -> float:
+        """Inclusive wall-clock seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def self_seconds(self) -> float:
+        """Duration minus same-thread children (exclusive time)."""
+        nested = sum(
+            child.duration
+            for child in self.children
+            if child.thread_ident == self.thread_ident
+        )
+        return max(self.duration - nested, 0.0)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first descendant named ``name``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, dur={self.duration * 1e3:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class QueryTrace:
+    """The per-query trace: a root span plus shared bookkeeping.
+
+    ``clock`` is injectable so golden tests can render deterministic
+    durations; production uses ``time.perf_counter``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock=None,
+        wall_clock=None,
+        **attrs: Any,
+    ):
+        self.clock = clock if clock is not None else time.perf_counter
+        #: Epoch seconds at trace start — the Chrome export's time base.
+        self.wall_start = (wall_clock or time.time)()
+        self.perf_start = self.clock()
+        self.root = Span(name, "query", self.perf_start, threading.get_ident())
+        self.root.attrs.update(attrs)
+        self._lock = threading.Lock()
+        #: Thread idents in first-seen order, for stable tid numbering.
+        self._threads: List[int] = [self.root.thread_ident]
+
+    # -- span management ------------------------------------------------
+
+    def new_span(
+        self,
+        name: str,
+        category: str,
+        parent: Span,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        ident = threading.get_ident()
+        sp = Span(name, category, self.clock(), ident, parent, attrs)
+        if ident == parent.thread_ident:
+            parent.children.append(sp)
+        else:
+            with self._lock:
+                parent.children.append(sp)
+                if ident not in self._threads:
+                    self._threads.append(ident)
+        return sp
+
+    def close_span(self, sp: Span, **attrs: Any) -> None:
+        if attrs:
+            sp.attrs.update(attrs)
+        sp.end = self.clock()
+
+    def finish(self) -> None:
+        if self.root.end is None:
+            self.root.end = self.clock()
+
+    # -- cross-thread annotation ---------------------------------------
+
+    def add_event(self, name: str, span: Optional[Span] = None, **attrs) -> None:
+        """Attach an event; safe from any thread (watchdog, breakers)."""
+        target = span if span is not None else self.root
+        with self._lock:
+            target.events.append(SpanEvent(name, self.clock(), attrs))
+
+    # -- inspection -----------------------------------------------------
+
+    def thread_index(self, ident: int) -> int:
+        """Stable small integer for a thread (0 = the query thread)."""
+        with self._lock:
+            if ident not in self._threads:
+                self._threads.append(ident)
+            return self._threads.index(ident)
+
+    def spans(self) -> List[Span]:
+        return list(self.root.walk())
+
+    def find(self, name: str) -> Optional[Span]:
+        if self.root.name == name:
+            return self.root
+        return self.root.find(name)
+
+
+# ----------------------------------------------------------------------
+# Thread-local activation
+# ----------------------------------------------------------------------
+
+
+class _Local(threading.local):
+    def __init__(self):
+        self.trace: Optional[QueryTrace] = None
+        self.stack: List[Span] = []
+        self.last_trace: Optional[QueryTrace] = None
+
+
+_LOCAL = _Local()
+
+
+def current_trace() -> Optional[QueryTrace]:
+    """The trace active on this thread, if any."""
+    return _LOCAL.trace
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open stack-managed span on this thread."""
+    stack = _LOCAL.stack
+    return stack[-1] if stack else None
+
+
+def last_trace() -> Optional[QueryTrace]:
+    """The most recent trace *finished* on this thread.
+
+    Thread-local on purpose: concurrent queries each see their own
+    trace, never a neighbour's (the ``last_report`` contamination fix).
+    """
+    return _LOCAL.last_trace
+
+
+# ----------------------------------------------------------------------
+# Enable / disable
+# ----------------------------------------------------------------------
+
+
+def enable(tracing: bool = True, metrics: bool = True) -> None:
+    """Turn observability on process-wide."""
+    OBS.tracing = tracing
+    OBS.metrics = metrics
+
+
+def disable() -> None:
+    """Back to the zero-overhead default."""
+    OBS.tracing = False
+    OBS.metrics = False
+
+
+@contextlib.contextmanager
+def enabled_scope(tracing: bool = True, metrics: bool = True) -> Iterator[None]:
+    """Enable observability for a block, restoring the previous state."""
+    prev = (OBS.tracing, OBS.metrics)
+    OBS.tracing, OBS.metrics = tracing, metrics
+    try:
+        yield
+    finally:
+        OBS.tracing, OBS.metrics = prev
+
+
+# ----------------------------------------------------------------------
+# Trace lifecycle
+# ----------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def trace_query(
+    name: str = "query",
+    clock=None,
+    wall_clock=None,
+    **attrs: Any,
+) -> Iterator[QueryTrace]:
+    """Open a root trace on this thread (enables tracing for its scope).
+
+    Usable directly by callers who want a :class:`QueryTrace` for an
+    arbitrary block::
+
+        with obs.trace_query("Q3", sql=sql) as trace:
+            qfusor.execute(sql)
+        print(QueryReport.from_trace(trace).render())
+    """
+    prev_tracing = OBS.tracing
+    prev_trace = _LOCAL.trace
+    prev_stack = _LOCAL.stack
+    trace = QueryTrace(name, clock=clock, wall_clock=wall_clock, **attrs)
+    OBS.tracing = True
+    _LOCAL.trace = trace
+    _LOCAL.stack = [trace.root]
+    try:
+        yield trace
+    finally:
+        trace.finish()
+        _LOCAL.trace = prev_trace
+        _LOCAL.stack = prev_stack
+        _LOCAL.last_trace = trace
+        OBS.tracing = prev_tracing
+
+
+@contextlib.contextmanager
+def maybe_trace(name: str = "query", **attrs: Any) -> Iterator[Optional[QueryTrace]]:
+    """Open a root trace only when tracing is enabled and none is active.
+
+    The auto-trace entry points (``QFusor.execute``, the adapter
+    ``execute_*`` template methods) use this so a caller-provided
+    :func:`trace_query` wins, and plain calls under ``obs.enable()``
+    still yield a retrievable :func:`last_trace`.
+    """
+    if not OBS.tracing or _LOCAL.trace is not None:
+        yield None
+        return
+    with trace_query(name, **attrs) as trace:
+        yield trace
+
+
+# ----------------------------------------------------------------------
+# Span helpers (the instrumentation API)
+# ----------------------------------------------------------------------
+
+
+def span_start(
+    name: str,
+    category: str = "stage",
+    parent: Optional[Span] = None,
+    **attrs: Any,
+) -> Optional[Span]:
+    """Open a span under the current (or given) parent.
+
+    Returns ``None`` when no trace is active — callers keep the result
+    and skip :func:`span_end` on ``None``.  With an explicit ``parent``
+    the span is *not* pushed on the thread stack (generator-friendly).
+    """
+    trace = _LOCAL.trace
+    if trace is None:
+        return None
+    if parent is not None:
+        return trace.new_span(name, category, parent, attrs or None)
+    stack = _LOCAL.stack
+    sp = trace.new_span(name, category, stack[-1], attrs or None)
+    stack.append(sp)
+    return sp
+
+
+def span_end(sp: Span, **attrs: Any) -> None:
+    """Close a span opened by :func:`span_start`."""
+    trace = _LOCAL.trace
+    if trace is None:
+        # Closed after the trace deactivated (stray generator): stamp
+        # with a real clock so the span is still well-formed.
+        sp.end = time.perf_counter()
+        return
+    stack = _LOCAL.stack
+    if stack and stack[-1] is sp:
+        stack.pop()
+    trace.close_span(sp, **attrs)
+
+
+@contextlib.contextmanager
+def span(name: str, category: str = "stage", **attrs: Any) -> Iterator[Optional[Span]]:
+    """Context-manager form of :func:`span_start` / :func:`span_end`."""
+    sp = span_start(name, category, **attrs)
+    try:
+        yield sp
+    finally:
+        if sp is not None:
+            span_end(sp)
+
+
+def add_event(name: str, **attrs: Any) -> None:
+    """Attach an event to this thread's innermost open span."""
+    trace = _LOCAL.trace
+    if trace is None:
+        return
+    trace.add_event(name, span=current_span(), **attrs)
+
+
+@contextlib.contextmanager
+def adopt_span(sp: Optional[Span], trace: Optional[QueryTrace]) -> Iterator[None]:
+    """Adopt a parent span on a worker thread.
+
+    Mirrors ``governor.activate``: ``engine.parallel`` captures the
+    submitting thread's ``(current_span(), current_trace())`` and each
+    worker runs inside this scope, so worker-side spans attach under the
+    parent while staying well-nested on the worker's own stack.
+    """
+    if sp is None or trace is None:
+        yield
+        return
+    prev_trace = _LOCAL.trace
+    prev_stack = _LOCAL.stack
+    _LOCAL.trace = trace
+    _LOCAL.stack = [sp]
+    try:
+        yield
+    finally:
+        _LOCAL.trace = prev_trace
+        _LOCAL.stack = prev_stack

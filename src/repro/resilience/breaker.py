@@ -30,6 +30,9 @@ import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import METRICS, OBS
+from ..obs import tracer as obs_tracer
+
 __all__ = ["CircuitBreaker", "BreakerBoard", "CLOSED", "OPEN", "HALF_OPEN"]
 
 CLOSED = "closed"
@@ -116,6 +119,10 @@ class CircuitBreaker:
         self._opened_at = time.monotonic()
         self._probe_issued = False
         self.trips += 1
+        if OBS.metrics:
+            METRICS.counter("repro_breaker_trips_total", udf=self.name).inc()
+        if OBS.tracing:
+            obs_tracer.add_event("breaker_trip", udf=self.name)
 
     def _close_locked(self) -> None:
         self._state = CLOSED

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
 from ..errors import ChannelCorruptionError, ChannelError, ChannelTimeoutError
+from ..obs import DEFAULT_BYTES_BUCKETS, METRICS, OBS
+from ..obs import tracer as obs_tracer
 from ..udf.registry import ProcessChannel
 from .runtime import FAULTS
 
@@ -108,6 +110,11 @@ class ResilientChannel(ProcessChannel):
         start = time.perf_counter()
         try:
             blob = self._dumps(payload)
+            if OBS.metrics:
+                METRICS.histogram(
+                    "repro_boundary_bytes", DEFAULT_BYTES_BUCKETS,
+                    channel="resilient",
+                ).observe(len(blob))
             if mode == "corrupt":
                 blob = b"\x80corrupt" + blob[:-4]
             result = self._loads(blob)
@@ -156,6 +163,13 @@ class ResilientChannel(ProcessChannel):
         self.incidents.append(
             ChannelIncident("degraded", self.retries, repr(last_exc))
         )
+        if OBS.metrics:
+            METRICS.counter("repro_channel_degraded_total").inc()
+        if OBS.tracing:
+            obs_tracer.add_event(
+                "channel_degraded", attempts=self.retries + 1,
+                error=repr(last_exc),
+            )
         warnings.warn(
             f"process channel degraded to in-process execution after "
             f"{self.retries + 1} failed attempts: {last_exc!r}",

@@ -46,6 +46,8 @@ from ..errors import (
     QueryInterrupt,
     QueryTimeoutError,
 )
+from ..obs import METRICS, OBS
+from ..obs import tracer as _obs_tracer
 
 __all__ = [
     "CancellationToken",
@@ -115,6 +117,13 @@ class QueryContext:
         self.timed_out_udf: Optional[str] = None
         self.timeout_kind: Optional[str] = None
         self._rows_lock = threading.Lock()
+        #: Observability: the active QueryTrace (attached by govern()
+        #: when tracing is on) so cross-thread governance machinery —
+        #: the watchdog, breakers — can annotate the query's trace; and
+        #: the per-query QFusorReport, so concurrent queries never read
+        #: a neighbour's report through shared adapter state.
+        self.trace = None
+        self.report = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -379,9 +388,20 @@ class Watchdog:
         if entry.fired and now - entry.fired_at < self.refire_s:
             return
         if _async_raise(entry.ident, exc_class):
+            refire = entry.fired
             entry.fired = True
             entry.fired_at = now
             self.fired_count += 1
+            if OBS.metrics:
+                METRICS.counter("repro_watchdog_interrupts_total").inc()
+            trace = context.trace
+            if trace is not None and not refire:
+                trace.add_event(
+                    "watchdog_interrupt",
+                    kind=exc_class.__name__,
+                    udf=entry.udf,
+                    timeout_kind=context.timeout_kind,
+                )
 
 
 #: The process-wide watchdog used by all governed executions.
@@ -412,6 +432,8 @@ def govern(adapter_name: str, context: Optional[QueryContext],
         ctx.adapter = adapter_name
     if ctx.query is None and query is not None:
         ctx.query = query
+    if OBS.tracing and ctx.trace is None:
+        ctx.trace = _obs_tracer.current_trace()
     if ctx is ambient:
         ctx.check()
         try:
@@ -538,17 +560,24 @@ class AdmissionGate:
             acquired = self._semaphore.acquire()
         else:
             acquired = self._semaphore.acquire(timeout=self.queue_timeout_s)
+        waited_s = time.monotonic() - waited
         if not acquired:
             with self._stats_lock:
                 self.rejected += 1
+            if OBS.metrics:
+                METRICS.counter("repro_admission_rejected_total").inc()
             raise AdmissionTimeoutError(
-                waited_s=time.monotonic() - waited,
+                waited_s=waited_s,
                 max_concurrent=self.max_concurrent,
             )
         with self._stats_lock:
             self.admitted += 1
             self.active += 1
             self.peak_active = max(self.peak_active, self.active)
+        if OBS.metrics:
+            METRICS.histogram("repro_admission_wait_seconds").observe(waited_s)
+        if OBS.tracing:
+            _obs_tracer.add_event("admission_wait", waited_s=waited_s)
         try:
             yield
         finally:

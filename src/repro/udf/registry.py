@@ -21,6 +21,8 @@ from ..errors import (
     QueryCancelledError,
     UdfRegistrationError,
 )
+from ..obs import DEFAULT_BYTES_BUCKETS, DEFAULT_SIZE_BUCKETS, METRICS, OBS
+from ..obs import tracer as obs_tracer
 from ..resilience.breaker import BreakerBoard
 from ..resilience.governor import udf_batch_guard
 from ..storage.column import Column
@@ -36,12 +38,19 @@ __all__ = ["UdfRegistry", "RegisteredUdf"]
 class RegisteredUdf:
     """A UDF plus its compiled wrapper and the registry that owns it."""
 
-    __slots__ = ("definition", "wrapper", "_registry")
+    __slots__ = (
+        "definition", "wrapper", "_registry",
+        "_obs_calls", "_obs_latency", "_obs_rows",
+    )
 
     def __init__(self, definition: UdfDefinition, wrapper: GeneratedWrapper, registry):
         self.definition = definition
         self.wrapper = wrapper
         self._registry = registry
+        # Lazily-bound metric instruments (one dict lookup saved per call).
+        self._obs_calls = None
+        self._obs_latency = None
+        self._obs_rows = None
 
     @property
     def name(self) -> str:
@@ -71,23 +80,61 @@ class RegisteredUdf:
         wrong — but batch timeouts and ordinary exceptions are.
         """
         board = self._registry.breakers
+        # Spans cover vectorized batches only (size > 1): the
+        # tuple-at-a-time path crosses this boundary once per row, which
+        # would bloat traces by orders of magnitude — per-row calls are
+        # aggregated into the metrics instead.
+        sp = (
+            obs_tracer.span_start(f"udf:{self.name}", "udf_batch", rows=size)
+            if OBS.tracing and size > 1 else None
+        )
         start = time.perf_counter()
         try:
             with udf_batch_guard(self.name, self.definition.fused_from):
                 result = runner()
         except BaseException as exc:
+            elapsed = time.perf_counter() - start
             if not isinstance(exc, (QueryCancelledError, QueryBudgetExceededError)):
                 board.record_failure(
                     self.name,
-                    time.perf_counter() - start,
+                    elapsed,
                     tuples=size,
                     fused_from=self.definition.fused_from,
                 )
+            self._observe(elapsed, size, error=type(exc).__name__)
+            if sp is not None:
+                obs_tracer.span_end(sp, error=type(exc).__name__)
             raise
         elapsed = time.perf_counter() - start
         board.record_success(self.name, elapsed, tuples=size,
                              fused_from=self.definition.fused_from)
+        self._observe(elapsed, size)
+        if sp is not None:
+            obs_tracer.span_end(sp)
         return result, elapsed
+
+    def _observe(self, elapsed: float, size: int,
+                 error: Optional[str] = None) -> None:
+        """Record one boundary invocation into the metrics registry."""
+        if not OBS.metrics:
+            return
+        if self._obs_calls is None:
+            self._obs_calls = METRICS.counter(
+                "repro_udf_calls_total", udf=self.name
+            )
+            self._obs_latency = METRICS.histogram(
+                "repro_udf_call_seconds", udf=self.name
+            )
+            self._obs_rows = METRICS.histogram(
+                "repro_udf_batch_rows", DEFAULT_SIZE_BUCKETS, udf=self.name
+            )
+        self._obs_calls.inc()
+        self._obs_latency.observe(elapsed)
+        self._obs_rows.observe(size)
+        if error is not None:
+            METRICS.counter(
+                "repro_udf_errors_total", udf=self.name, error=error
+            ).inc()
 
     def call_scalar(self, inputs: Sequence[Column], size: int) -> Column:
         """Run a scalar UDF over aligned input columns."""
@@ -218,7 +265,12 @@ class ProcessChannel:
 
     def transfer(self, payload: Any) -> Any:
         self.crossings += 1
-        return self._loads(self._dumps(payload))
+        blob = self._dumps(payload)
+        if OBS.metrics:
+            METRICS.histogram(
+                "repro_boundary_bytes", DEFAULT_BYTES_BUCKETS, channel="pickle"
+            ).observe(len(blob))
+        return self._loads(blob)
 
 
 class UdfRegistry:

@@ -1,0 +1,110 @@
+"""``QFusor.last_report`` is per-thread state.
+
+Regression test for the shared-instance race: two threads running
+different queries through the *same* QFusor must each observe the report
+of their own query, never a neighbour's.  The report is also resolvable
+through a governed QueryContext from helper threads the query spawns.
+"""
+
+import threading
+
+from repro.core import QFusor
+from repro.engines import MiniDbAdapter
+from repro.resilience import governor
+from repro.storage import Table
+from repro.types import SqlType
+from repro.udf import scalar_udf
+
+
+@scalar_udf
+def lr_lower(val: str) -> str:
+    return val.lower()
+
+
+@scalar_udf
+def lr_mark(val: str) -> str:
+    return "<" + val + ">"
+
+
+def make_qfusor():
+    adapter = MiniDbAdapter()
+    adapter.register_table(Table.from_rows(
+        "t", [("id", SqlType.INT), ("v", SqlType.TEXT)],
+        [(i, v) for i, v in enumerate(["Alpha", "Beta", "Gamma", "Delta"])],
+    ))
+    adapter.register_udf(lr_lower)
+    adapter.register_udf(lr_mark)
+    return QFusor(adapter)
+
+
+UDF_SQL = "SELECT lr_mark(lr_lower(v)) AS o FROM t"
+PLAIN_SQL = "SELECT id FROM t"
+
+
+class TestLastReportIsolation:
+    def test_threads_see_their_own_reports(self):
+        """Interleaved queries on a shared QFusor never leak reports."""
+        qfusor = make_qfusor()
+        qfusor.execute(UDF_SQL)  # warm the trace cache
+        rounds = 25
+        barrier = threading.Barrier(2)
+        failures = []
+
+        def run(sql, expect_udf_query):
+            try:
+                for _ in range(rounds):
+                    barrier.wait(timeout=10)
+                    qfusor.execute(sql)
+                    report = qfusor.last_report
+                    if report is None or (
+                        report.is_udf_query is not expect_udf_query
+                    ):
+                        failures.append(
+                            f"{sql!r}: got report {report!r}"
+                        )
+            except Exception as exc:  # pragma: no cover - diagnostics
+                failures.append(f"{sql!r}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=run, args=(UDF_SQL, True)),
+            threading.Thread(target=run, args=(PLAIN_SQL, False)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+
+    def test_fresh_thread_has_no_report(self):
+        qfusor = make_qfusor()
+        qfusor.execute(UDF_SQL)
+        assert qfusor.last_report is not None
+        seen = {}
+
+        def probe():
+            seen["report"] = qfusor.last_report
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        assert seen["report"] is None
+
+    def test_governed_context_resolves_report_cross_thread(self):
+        """A helper thread inside a governed query resolves the governed
+        context's report, not its own thread-local slot."""
+        qfusor = make_qfusor()
+        ctx = governor.QueryContext(query=UDF_SQL)
+        with governor.activate(ctx):
+            qfusor.execute(UDF_SQL)
+            assert ctx.report is qfusor.last_report
+            seen = {}
+
+            def helper():
+                with governor.activate(ctx):
+                    seen["report"] = qfusor.last_report
+
+            thread = threading.Thread(target=helper)
+            thread.start()
+            thread.join()
+        assert seen["report"] is ctx.report
+        assert seen["report"].is_udf_query

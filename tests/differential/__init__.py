@@ -1,0 +1,7 @@
+"""Cross-engine differential testing.
+
+Seeded random SQL+UDF queries are executed fused (through QFusor),
+unfused (directly on the adapter), and on a real stdlib-``sqlite3``
+oracle; any disagreement is minimized and reprinted as a standalone
+repro snippet.
+"""

@@ -1,0 +1,17 @@
+"""Session-scoped engine pool for the differential tests.
+
+Building six engines and registering thirteen UDFs takes long enough
+that doing it per-case would dominate the run; the engines live for the
+whole session and only tables rotate (once per generated chunk).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .runner import DifferentialRunner
+
+
+@pytest.fixture(scope="session")
+def diff_runner():
+    return DifferentialRunner()

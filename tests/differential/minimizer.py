@@ -1,0 +1,130 @@
+"""Shrinks a failing differential case before it is reported.
+
+Minimization works on the structured :class:`QuerySpec` (drop select
+items, drop the WHERE clause, strip ORDER BY/LIMIT/DISTINCT, unwrap
+function calls) and on the table (binary row reduction), re-checking the
+mismatch after every candidate step.  Each check runs on *fresh*
+adapters — a shrunk case must reproduce from a cold start to be worth
+reporting.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional
+
+from .generator import DiffCase, QuerySpec
+
+__all__ = ["minimize"]
+
+#: Upper bound on mismatch re-checks during shrinking; minimization only
+#: runs on failures, so this trades shrink quality against hang risk.
+_MAX_CHECKS = 150
+
+_CALL = re.compile(r"\b(d_\w+|abs|length)\(")
+
+
+def _unwrap_one_call(expr: str) -> Optional[str]:
+    """Replace the first ``f(inner)`` in ``expr`` with ``inner``."""
+    match = _CALL.search(expr)
+    if match is None:
+        return None
+    start = match.end()  # position just past the opening paren
+    depth = 1
+    for index in range(start, len(expr)):
+        if expr[index] == "(":
+            depth += 1
+        elif expr[index] == ")":
+            depth -= 1
+            if depth == 0:
+                inner = expr[start:index]
+                return expr[: match.start()] + inner + expr[index + 1:]
+    return None
+
+
+def _query_candidates(query: QuerySpec) -> List[QuerySpec]:
+    """Strictly-simpler variants of ``query``, most aggressive first."""
+    candidates: List[QuerySpec] = []
+
+    def variant(**changes) -> QuerySpec:
+        fields = {
+            "shape": query.shape,
+            "items": query.items,
+            "where": query.where,
+            "group_by": query.group_by,
+            "order_by": query.order_by,
+            "limit": query.limit,
+            "distinct": query.distinct,
+            "from_clause": query.from_clause,
+        }
+        fields.update(changes)
+        return QuerySpec(**fields)
+
+    if query.where is not None:
+        candidates.append(variant(where=None))
+    if query.limit is not None:
+        candidates.append(variant(limit=None))
+    if query.order_by:
+        candidates.append(variant(order_by=(), limit=None))
+    if query.distinct:
+        candidates.append(variant(distinct=False))
+    if len(query.items) > 1:
+        for index in range(len(query.items)):
+            kept = query.items[:index] + query.items[index + 1:]
+            candidates.append(variant(items=kept))
+    for index, item in enumerate(query.items):
+        unwrapped = _unwrap_one_call(item)
+        if unwrapped is not None:
+            items = list(query.items)
+            items[index] = unwrapped
+            candidates.append(variant(items=tuple(items)))
+    if query.where is not None:
+        unwrapped = _unwrap_one_call(query.where)
+        if unwrapped is not None:
+            candidates.append(variant(where=unwrapped))
+    return candidates
+
+
+def _row_candidates(case: DiffCase) -> List[DiffCase]:
+    rows = list(case.table.rows())
+    if len(rows) <= 1:
+        return []
+    half = len(rows) // 2
+    candidates = [case.with_rows(rows[:half]), case.with_rows(rows[half:])]
+    if len(rows) <= 8:
+        candidates.extend(
+            case.with_rows(rows[:index] + rows[index + 1:])
+            for index in range(len(rows))
+        )
+    return candidates
+
+
+def minimize(
+    case: DiffCase, still_fails: Callable[[DiffCase], bool]
+) -> DiffCase:
+    """Greedy fixpoint shrink of ``case`` under ``still_fails``."""
+    budget = _MAX_CHECKS
+    current = case
+    progress = True
+    while progress and budget > 0:
+        progress = False
+        candidates = [
+            current.with_query(query)
+            for query in _query_candidates(current.query)
+        ]
+        candidates.extend(_row_candidates(current))
+        for candidate in candidates:
+            if budget <= 0:
+                break
+            budget -= 1
+            try:
+                failing = still_fails(candidate)
+            except Exception:
+                # A shrink that changes the failure into a crash is not
+                # the same bug; skip it.
+                continue
+            if failing:
+                current = candidate
+                progress = True
+                break
+    return current

@@ -1,0 +1,110 @@
+"""Executes one differential case across every engine configuration.
+
+A case runs on eleven systems: each of the five engine adapters both
+unfused (``adapter.execute_sql``) and fused (``QFusor.execute``), plus
+stdlib sqlite3 as the ground-truth oracle (when the query is expressible
+there).  All results must normalize to the same multiset of rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import QFusor
+from repro.engines import (
+    DuckDbLikeAdapter, MiniDbAdapter, ParallelDbAdapter, RowStoreAdapter,
+    SqliteAdapter, TupleDbAdapter,
+)
+
+from .generator import DIFF_UDFS, ORACLE_UDFS, DiffCase, normalize
+
+__all__ = ["DifferentialRunner", "Mismatch"]
+
+_ADAPTERS = (
+    ("minidb", MiniDbAdapter, {}),
+    ("tupledb", TupleDbAdapter, {}),
+    ("rowstore", RowStoreAdapter, {}),
+    ("duckdb", DuckDbLikeAdapter, {}),
+    ("dbx", ParallelDbAdapter, {"threads": 2}),
+)
+
+
+class Mismatch(Exception):
+    """Raised when two systems disagree on a case."""
+
+    def __init__(self, description: str, results: Dict[str, object]):
+        super().__init__(description)
+        self.description = description
+        self.results = results
+
+
+class DifferentialRunner:
+    """Long-lived engines that differential cases run against.
+
+    Engines (and their QFusor wrappers, trace caches, and registered
+    UDFs) persist across cases; only tables change, and only when a new
+    chunk's table differs from the registered one.
+    """
+
+    def __init__(self):
+        self.engines: List[Tuple[str, object, QFusor]] = []
+        for name, make, kwargs in _ADAPTERS:
+            adapter = make(**kwargs)
+            for udf in DIFF_UDFS:
+                adapter.register_udf(udf)
+            self.engines.append((name, adapter, QFusor(adapter)))
+        self.oracle = SqliteAdapter()
+        for udf in ORACLE_UDFS:
+            self.oracle.register_udf(udf)
+        self._registered_table: Optional[object] = None
+
+    # ------------------------------------------------------------------
+
+    def _ensure_table(self, case: DiffCase) -> None:
+        if self._registered_table is case.table:
+            return
+        for _name, adapter, _qf in self.engines:
+            adapter.register_table(case.table, replace=True)
+        self.oracle.register_table(case.table, replace=True)
+        self._registered_table = case.table
+
+    def results(self, case: DiffCase) -> Dict[str, List[tuple]]:
+        """Normalized result rows per system name (errors as strings)."""
+        self._ensure_table(case)
+        out: Dict[str, object] = {}
+        for name, adapter, qfusor in self.engines:
+            out[f"{name}/unfused"] = self._run(
+                lambda: adapter.execute_sql(case.sql)
+            )
+            out[f"{name}/fused"] = self._run(lambda: qfusor.execute(case.sql))
+        if case.oracle_ok:
+            out["sqlite-oracle"] = self._run(
+                lambda: self.oracle.execute_sql(case.sql)
+            )
+        return out
+
+    @staticmethod
+    def _run(fn):
+        try:
+            return normalize(fn())
+        except Exception as exc:  # surfaced in the mismatch report
+            return f"ERROR {type(exc).__name__}: {exc}"
+
+    # ------------------------------------------------------------------
+
+    def check(self, case: DiffCase) -> Optional[Mismatch]:
+        """None when every system agrees, else the mismatch found."""
+        results = self.results(case)
+        reference_name = (
+            "sqlite-oracle" if "sqlite-oracle" in results
+            else "minidb/unfused"
+        )
+        reference = results[reference_name]
+        for name, rows in results.items():
+            if rows != reference:
+                return Mismatch(
+                    f"{name} disagrees with {reference_name} on "
+                    f"seed {case.seed}: {case.sql}",
+                    results,
+                )
+        return None

@@ -1,0 +1,163 @@
+"""Unit tests for the span/trace core."""
+
+import threading
+
+import pytest
+
+from repro.obs import OBS, tracer
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    yield
+    tracer.disable()
+
+
+class TestSpanLifecycle:
+    def test_no_trace_means_none_spans(self):
+        assert tracer.span_start("parse") is None
+        assert tracer.current_trace() is None
+
+    def test_trace_query_nests_spans(self):
+        with tracer.trace_query("q") as trace:
+            with tracer.span("parse"):
+                pass
+            with tracer.span("execute") as execute:
+                with tracer.span("operator:Scan", "operator") as scan:
+                    assert tracer.current_span() is scan
+                assert tracer.current_span() is execute
+        assert [child.name for child in trace.root.children] == [
+            "parse", "execute"
+        ]
+        assert trace.root.children[1].children[0].name == "operator:Scan"
+        assert trace.root.end is not None
+
+    def test_span_end_updates_attrs(self):
+        with tracer.trace_query("q") as trace:
+            sp = tracer.span_start("execute")
+            tracer.span_end(sp, rows=42)
+        assert trace.find("execute").attrs["rows"] == 42
+
+    def test_explicit_parent_not_on_stack(self):
+        """Generator-style spans parent explicitly and never disturb the
+        thread stack (the tuple executor's non-LIFO close order)."""
+        with tracer.trace_query("q") as trace:
+            parent = tracer.current_span()
+            first = tracer.span_start("operator:A", "operator", parent=parent)
+            second = tracer.span_start("operator:B", "operator", parent=parent)
+            assert tracer.current_span() is trace.root
+            # close out of LIFO order
+            tracer.span_end(first, rows=1)
+            tracer.span_end(second, rows=2)
+        assert {child.name for child in trace.root.children} == {
+            "operator:A", "operator:B"
+        }
+
+    def test_trace_exception_still_finishes(self):
+        with pytest.raises(RuntimeError):
+            with tracer.trace_query("q") as trace:
+                with tracer.span("execute"):
+                    raise RuntimeError("boom")
+        assert trace.root.end is not None
+        assert trace.find("execute").end is not None
+
+    def test_events_attach_to_current_span(self):
+        with tracer.trace_query("q") as trace:
+            with tracer.span("execute"):
+                tracer.add_event("deopt", udf="u1")
+        execute = trace.find("execute")
+        assert execute.events[0].name == "deopt"
+        assert execute.events[0].attrs == {"udf": "u1"}
+
+    def test_add_event_without_trace_is_noop(self):
+        tracer.add_event("deopt", udf="u1")  # must not raise
+
+
+class TestActivation:
+    def test_trace_query_enables_and_restores(self):
+        assert OBS.tracing is False
+        with tracer.trace_query("q"):
+            assert OBS.tracing is True
+        assert OBS.tracing is False
+
+    def test_maybe_trace_defers_to_active_trace(self):
+        with tracer.trace_query("outer") as outer:
+            with tracer.maybe_trace("inner") as inner:
+                assert inner is None
+                assert tracer.current_trace() is outer
+
+    def test_maybe_trace_opens_when_enabled(self):
+        with tracer.enabled_scope(tracing=True, metrics=False):
+            with tracer.maybe_trace("auto") as trace:
+                assert trace is not None
+        assert tracer.last_trace() is trace
+
+    def test_maybe_trace_disabled_yields_none(self):
+        with tracer.maybe_trace("auto") as trace:
+            assert trace is None
+
+    def test_last_trace_is_thread_local(self):
+        with tracer.trace_query("mine"):
+            pass
+        seen = {}
+
+        def worker():
+            seen["other"] = tracer.last_trace()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert tracer.last_trace().root.name == "mine"
+        assert seen["other"] is None
+
+
+class TestWorkerAdoption:
+    def test_adopt_span_attaches_worker_spans(self):
+        barrier = threading.Barrier(3)  # keeps all thread idents distinct
+        with tracer.trace_query("q") as trace:
+            parent = tracer.current_span()
+
+            def worker():
+                with tracer.adopt_span(parent, trace):
+                    with tracer.span("operator:Chunk", "operator"):
+                        barrier.wait(timeout=5)
+
+            threads = [threading.Thread(target=worker) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        chunks = [
+            child for child in trace.root.children
+            if child.name == "operator:Chunk"
+        ]
+        assert len(chunks) == 3
+        idents = {chunk.thread_ident for chunk in chunks}
+        assert len(idents) == 3
+        # worker threads numbered deterministically in first-seen order
+        indexes = sorted(trace.thread_index(ident) for ident in idents)
+        assert indexes == [1, 2, 3]
+
+    def test_cross_thread_add_event(self):
+        with tracer.trace_query("q") as trace:
+            def annotate():
+                trace.add_event("watchdog_interrupt", kind="Timeout")
+
+            thread = threading.Thread(target=annotate)
+            thread.start()
+            thread.join()
+        assert trace.root.events[0].name == "watchdog_interrupt"
+
+
+def test_injected_clock_drives_all_timestamps():
+    ticks = iter(range(100))
+    clock = lambda: next(ticks) * 0.001  # noqa: E731
+    with tracer.trace_query("q", clock=clock, wall_clock=lambda: 5.0) as trace:
+        with tracer.span("parse"):
+            pass
+    assert trace.wall_start == 5.0
+    parse = trace.find("parse")
+    assert trace.root.start == 0.0
+    assert parse.start == 0.001
+    assert parse.end == 0.002
+    assert trace.root.end == 0.003

@@ -1,0 +1,201 @@
+"""Properties of the observability layer.
+
+* histogram merge is associative and count/sum-preserving;
+* span trees are well-nested per thread (every child interval lies
+  inside its parent's, siblings ordered by start);
+* metric snapshots are monotone while concurrent ``parallel_map``
+  workers record into the same registry.
+"""
+
+import math
+import random
+import threading
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.engine.parallel import parallel_map
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry, QueryReport,
+    tracer,
+)
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+
+buckets_strategy = st.lists(
+    st.floats(min_value=1e-9, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=12, unique=True,
+).map(sorted).map(tuple)
+
+observations = st.lists(
+    st.floats(min_value=0, max_value=1e12, allow_nan=False,
+              allow_infinity=False),
+    max_size=60,
+)
+
+
+def _hist(buckets, values):
+    histogram = Histogram("h", buckets)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+@given(buckets_strategy, observations, observations, observations)
+@settings(max_examples=100, deadline=None)
+def test_merge_associative(buckets, first, second, third):
+    a, b, c = (_hist(buckets, v) for v in (first, second, third))
+    left = a.merge(b).merge(c).snapshot()
+    right = a.merge(b.merge(c)).snapshot()
+    # counts are integers: exactly associative.  sums are float adds,
+    # associative only up to representation error.
+    assert left["counts"] == right["counts"]
+    assert left["count"] == right["count"]
+    assert math.isclose(
+        left["sum"], right["sum"], rel_tol=1e-12, abs_tol=1e-9
+    )
+
+
+@given(buckets_strategy, observations, observations)
+@settings(max_examples=100, deadline=None)
+def test_merge_preserves_counts_and_sum(buckets, first, second):
+    merged = _hist(buckets, first).merge(_hist(buckets, second))
+    snap = merged.snapshot()
+    assert snap["count"] == len(first) + len(second)
+    assert math.isclose(
+        snap["sum"], sum(first) + sum(second), rel_tol=1e-12, abs_tol=1e-9
+    )
+    # per-bucket counts add up to the total
+    assert sum(snap["counts"]) == snap["count"]
+
+
+@given(observations)
+@settings(max_examples=100, deadline=None)
+def test_merge_identity(values):
+    histogram = _hist(DEFAULT_LATENCY_BUCKETS, values)
+    empty = Histogram("h", DEFAULT_LATENCY_BUCKETS)
+    assert histogram.merge(empty).snapshot() == histogram.snapshot()
+    assert empty.merge(histogram).snapshot() == histogram.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Span trees
+# ----------------------------------------------------------------------
+
+#: Recursive tree shapes: each node is a list of child shapes.
+tree_shapes = st.recursive(
+    st.just([]),
+    lambda children: st.lists(children, max_size=4),
+    max_leaves=16,
+)
+
+
+def _open_tree(shape, prefix="s"):
+    with tracer.span(prefix):
+        for index, child in enumerate(shape):
+            _open_tree(child, f"{prefix}.{index}")
+
+
+def _assert_well_nested(span):
+    assert span.end is not None and span.end >= span.start
+    previous_start = {}  # per-thread: append order == start order
+    for child in span.children:
+        assert child.start >= span.start
+        assert child.end is not None and child.end <= span.end
+        if child.thread_ident in previous_start:
+            assert child.start >= previous_start[child.thread_ident]
+        previous_start[child.thread_ident] = child.start
+        _assert_well_nested(child)
+
+
+@given(tree_shapes)
+@settings(max_examples=80, deadline=None)
+def test_span_tree_well_nested(shape):
+    with tracer.trace_query("prop") as trace:
+        _open_tree(shape)
+    _assert_well_nested(trace.root)
+
+    def count(nodes):
+        return sum(1 + count(child) for child in nodes)
+
+    # one span per shape node, plus the root
+    assert len(trace.spans()) == 1 + count([shape])
+
+
+@given(tree_shapes, st.integers(2, 4))
+@settings(max_examples=25, deadline=None)
+def test_span_tree_well_nested_across_threads(shape, threads):
+    """Worker threads adopting the trace keep per-thread well-nesting."""
+    with tracer.trace_query("prop-mt") as trace:
+        parent = tracer.current_span()
+
+        def work(index):
+            with tracer.adopt_span(parent, trace):
+                _open_tree(shape, prefix=f"w{index}")
+            return index
+
+        parallel_map(work, list(range(threads)), threads)
+    _assert_well_nested(trace.root)
+    # every span landed in the tree exactly once
+    names = [span.name for span in trace.spans()]
+    assert len(names) == len(set(names))
+
+
+# ----------------------------------------------------------------------
+# Concurrent metrics
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(2, 4), st.integers(5, 40))
+@settings(max_examples=20, deadline=None)
+def test_snapshots_monotone_under_concurrent_recording(threads, per_worker):
+    registry = MetricsRegistry()
+    snapshots = []
+    stop = threading.Event()
+
+    def observer():
+        while not stop.is_set():
+            snapshots.append(registry.snapshot())
+
+    watcher = threading.Thread(target=observer)
+    watcher.start()
+    try:
+        def work(index):
+            rng = random.Random(index)
+            for _ in range(per_worker):
+                registry.counter("prop_total").inc()
+                registry.histogram(
+                    "prop_seconds", DEFAULT_LATENCY_BUCKETS
+                ).observe(rng.random())
+            return index
+
+        parallel_map(work, list(range(threads)), threads)
+    finally:
+        stop.set()
+        watcher.join()
+    snapshots.append(registry.snapshot())
+
+    last_count = 0
+    last_hist = 0
+    for snap in snapshots:
+        count = snap["counters"].get("prop_total", 0)
+        hist = snap["histograms"].get("prop_seconds", {"count": 0})["count"]
+        assert count >= last_count, "counter went backwards"
+        assert hist >= last_hist, "histogram count went backwards"
+        last_count, last_hist = count, hist
+    assert last_count == threads * per_worker
+    assert last_hist == threads * per_worker
+
+
+def test_report_from_empty_trace_is_safe():
+    assert QueryReport.from_trace(None) is None
+    with tracer.trace_query("empty") as trace:
+        pass
+    report = QueryReport.from_trace(trace)
+    assert "empty" in report.render()
+    stages = report.stage_seconds()
+    assert stages["total"] >= 0.0
+    assert stages["parse"] == 0.0  # no stages ran
