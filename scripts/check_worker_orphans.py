@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fail if any process-isolated UDF worker outlived the test suite.
+
+Workers rename themselves (``/proc/self/comm``) to the marker defined
+in :mod:`repro.resilience.workers`, so a post-suite scan of the process
+table finds any worker whose pool failed to tear it down — the CI
+``worker-isolation`` job runs this after pytest exits.  Exits 0 when
+the table is clean (or on platforms without ``/proc``), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+#: Must match repro.resilience.workers.WORKER_COMM.  Hardcoded so the
+#: scan never has to import (and thereby re-initialize) the package it
+#: is auditing.
+WORKER_COMM = "repro-udf-wkr"
+
+
+def find_orphans() -> list:
+    orphans = []
+    for pid in os.listdir("/proc"):
+        if not pid.isdigit():
+            continue
+        try:
+            with open(f"/proc/{pid}/comm") as fh:
+                comm = fh.read().strip()
+        except OSError:
+            continue  # raced a process exit, or not ours to read
+        if comm == WORKER_COMM:
+            orphans.append(int(pid))
+    return orphans
+
+
+def main() -> int:
+    if not os.path.isdir("/proc"):
+        print("check_worker_orphans: no /proc, skipping scan")
+        return 0
+    orphans = find_orphans()
+    if not orphans:
+        print("check_worker_orphans: OK — no orphaned UDF workers")
+        return 0
+    for pid in orphans:
+        try:
+            with open(f"/proc/{pid}/cmdline", "rb") as fh:
+                cmdline = fh.read().replace(b"\0", b" ").decode(
+                    "utf-8", errors="replace"
+                ).strip()
+        except OSError:
+            cmdline = "<gone>"
+        print(f"orphaned worker pid={pid}: {cmdline}", file=sys.stderr)
+    print(
+        f"check_worker_orphans: FAIL — {len(orphans)} orphaned UDF "
+        "worker process(es) survived the suite",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,6 +71,21 @@ class QFusorConfig:
     channel_retries: int = 3
     #: Base of the exponential backoff between channel retries (s).
     channel_backoff: float = 0.01
+    # -- process-isolated worker pool (isolation="process") ------------
+    #: Crash-retry budget per batch fingerprint before quarantine.
+    #: None leaves the adapter pool's own setting untouched.
+    worker_max_batch_retries: Optional[int] = None
+    #: Quarantine outcome: "degrade" (in-process fallback) | "fail"
+    #: (typed BatchQuarantinedError).  None: leave pool setting.
+    worker_quarantine_policy: Optional[str] = None
+    #: Pool-wide worker restart budget.  None: leave pool setting.
+    worker_max_restarts: Optional[int] = None
+    #: Per-worker RLIMIT_AS memory cap (MB), applied to workers started
+    #: after configuration.  None: leave pool setting.
+    worker_memory_limit_mb: Optional[int] = None
+    #: Pool-enforced per-batch wall-clock cap (s) independent of query
+    #: governance.  None: leave pool setting.
+    worker_batch_timeout_s: Optional[float] = None
     # -- query lifecycle governance ------------------------------------
     #: Whole-query wall-clock deadline (s); None disables (legacy).
     query_timeout_s: Optional[float] = None

@@ -76,6 +76,9 @@ class QFusorReport:
     row_events: List[RowEvent] = field(default_factory=list)
     #: Out-of-process channel incidents observed during this query.
     channel_events: List[Any] = field(default_factory=list)
+    #: Worker-pool supervision incidents (crashes, hang kills, OOM
+    #: kills, restarts, quarantines) observed during this query.
+    worker_events: List[Any] = field(default_factory=list)
     #: UDF names whose open circuit breakers forced the unfused path.
     breaker_bypass: List[str] = field(default_factory=list)
 
@@ -132,6 +135,17 @@ class QFusor:
                 timeout=self.config.channel_timeout,
                 retries=self.config.channel_retries,
                 backoff=self.config.channel_backoff,
+            )
+        # Propagate worker-pool supervision knobs to adapters running
+        # UDFs in supervised worker processes (isolation="process").
+        workers = getattr(engine, "workers", None)
+        if workers is not None and hasattr(workers, "configure"):
+            workers.configure(
+                max_batch_retries=self.config.worker_max_batch_retries,
+                quarantine_policy=self.config.worker_quarantine_policy,
+                max_restarts=self.config.worker_max_restarts,
+                memory_limit_mb=self.config.worker_memory_limit_mb,
+                batch_timeout_s=self.config.worker_batch_timeout_s,
             )
         self.fuser = PlanFuser(
             engine.registry, engine.resolver, self.cost_model,
@@ -289,7 +303,10 @@ class QFusor:
         self.heuristics.blocklist.tick()
 
         if not self.config.enabled or not self._involves_udfs(statement):
-            return self.adapter.execute_sql(statement)
+            try:
+                return self.adapter.execute_sql(statement)
+            finally:
+                self._drain_runtime_events(report)
         report.is_udf_query = True
 
         # Circuit-breaker gate: a query referencing an open-breaker UDF
@@ -512,11 +529,21 @@ class QFusor:
         self, report: QFusorReport, context: ResilienceContext
     ) -> None:
         report.row_events.extend(context.row_events)
+        self._drain_runtime_events(report)
+
+    def _drain_runtime_events(self, report: QFusorReport) -> None:
+        """Move adapter-side channel/worker incidents into the report."""
         channel = getattr(self.adapter, "channel", None)
-        incidents = getattr(channel, "incidents", None)
-        if incidents:
-            report.channel_events.extend(incidents)
-            del incidents[:]
+        if channel is not None and hasattr(channel, "drain_incidents"):
+            report.channel_events.extend(channel.drain_incidents())
+        else:
+            incidents = getattr(channel, "incidents", None)
+            if incidents:
+                report.channel_events.extend(incidents)
+                incidents.clear()
+        workers = getattr(self.adapter, "workers", None)
+        if workers is not None:
+            report.worker_events.extend(workers.drain_incidents())
 
     def _deoptimize(
         self,

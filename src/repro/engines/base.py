@@ -51,6 +51,43 @@ class EngineAdapter:
     def resolver(self):
         raise NotImplementedError
 
+    # -- process isolation -------------------------------------------------
+
+    @property
+    def workers(self):
+        """The adapter's UDF worker pool, or ``None`` (in-process UDFs)."""
+        try:
+            return self.registry.workers
+        except NotImplementedError:
+            return None
+
+    def enable_process_isolation(self, **knobs: Any):
+        """Route this adapter's UDF batches through supervised worker
+        processes (``isolation="process"``).
+
+        ``knobs`` are :class:`repro.resilience.workers.WorkerPool`
+        constructor arguments (pool size, memory cap, restart budget,
+        quarantine policy, ...).  Worker crashes charge the registry's
+        circuit breakers.  Returns the pool.
+        """
+        from ..resilience.workers import WorkerPool
+
+        pool = WorkerPool(**knobs)
+        pool.on_crash = self.registry.breakers.record_failure
+        self.registry.workers = pool
+        return pool
+
+    def disable_process_isolation(self) -> None:
+        """Tear the worker pool down and return to in-process UDFs."""
+        pool = self.workers
+        if pool is not None:
+            pool.shutdown()
+            self.registry.workers = None
+
+    def close(self) -> None:
+        """Release adapter resources (worker processes, channels)."""
+        self.disable_process_isolation()
+
     # -- schema/UDF management ------------------------------------------
 
     def register_table(self, table: Table, *, replace: bool = False) -> None:

@@ -1,10 +1,21 @@
 """Row-store adapter — the PostgreSQL-style deployment.
 
-Tuple-at-a-time execution, out-of-process UDFs (every UDF batch pays a
-pickle round trip through a :class:`~repro.udf.registry.ProcessChannel`),
-and a native optimizer that does *not* push filters below UDF-bearing
-projections — reproducing the "3x more UDF invocations" behaviour of
-Figure 6a.
+Tuple-at-a-time execution, out-of-process UDFs, and a native optimizer
+that does *not* push filters below UDF-bearing projections — reproducing
+the "3x more UDF invocations" behaviour of Figure 6a.
+
+The out-of-process boundary has two fidelities, selected by
+``isolation``:
+
+``"channel"`` (default)
+    Every UDF batch pays a pickle round trip through a
+    :class:`~repro.resilience.channel.ResilientChannel` — the
+    serialization cost of the boundary, in-process.
+``"process"``
+    UDF batches execute in real supervised worker processes
+    (:class:`~repro.resilience.workers.WorkerPool`): the boundary gains
+    real crash semantics — worker death, OOM kills, hang kills — on top
+    of the serialization cost.
 """
 
 from __future__ import annotations
@@ -28,7 +39,21 @@ class RowStoreAdapter(EngineAdapter):
     supports_plan_dispatch = True
     in_process = False
 
-    def __init__(self, *, stats: Optional[StatsStore] = None):
+    def __init__(
+        self,
+        *,
+        stats: Optional[StatsStore] = None,
+        isolation: str = "channel",
+        worker_pool_size: int = 2,
+        worker_memory_limit_mb: Optional[int] = None,
+        worker_max_restarts: int = 16,
+        worker_max_batch_retries: int = 2,
+        worker_quarantine_policy: str = "degrade",
+        worker_batch_timeout_s: Optional[float] = None,
+    ):
+        if isolation not in ("channel", "process"):
+            raise ValueError(f"unknown isolation mode {isolation!r}")
+        self.isolation = isolation
         # The hardened pickle channel: per-batch timeout, bounded retries
         # with backoff, corruption detection with in-process degradation.
         self.channel = ResilientChannel()
@@ -41,6 +66,15 @@ class RowStoreAdapter(EngineAdapter):
             stats=stats,
             channel=self.channel,
         )
+        if isolation == "process":
+            self.enable_process_isolation(
+                pool_size=worker_pool_size,
+                memory_limit_mb=worker_memory_limit_mb,
+                max_restarts=worker_max_restarts,
+                max_batch_retries=worker_max_batch_retries,
+                quarantine_policy=worker_quarantine_policy,
+                batch_timeout_s=worker_batch_timeout_s,
+            )
 
     @property
     def registry(self):

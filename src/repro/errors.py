@@ -97,6 +97,29 @@ class UdfExecutionError(UdfError):
         self.phase = phase
 
 
+#: The concrete exception set one UDF invocation is expected to produce:
+#: user-code failures that the row-level policies (reinterpret / null /
+#: skip / raise) may absorb.  Deliberately excludes the library's own
+#: infrastructure failures (:class:`ChannelError`, :class:`WorkerError`,
+#: :class:`GovernanceError`) and the ``BaseException``-derived
+#: :class:`QueryInterrupt` family — those must unwind to their own
+#: boundaries, never be swallowed as a bad row.  :class:`UdfExecutionError`
+#: is included because nested invocation paths re-raise already-wrapped
+#: failures through the same handlers (which pass them through unchanged).
+UDF_INVOCATION_ERRORS = (
+    TypeError,
+    ValueError,
+    ArithmeticError,
+    LookupError,
+    AttributeError,
+    RuntimeError,
+    UnicodeError,
+    OSError,
+    StopIteration,
+    UdfExecutionError,
+)
+
+
 class QueryInterrupt(BaseException):
     """Base class of the query-governance interrupts.
 
@@ -237,6 +260,78 @@ class CircuitOpenError(GovernanceError):
 
 class ChannelError(ReproError):
     """Base class for out-of-process channel failures."""
+
+
+class WorkerError(ReproError):
+    """Base class for UDF worker-pool failures (process isolation)."""
+
+
+class WorkerCrashError(WorkerError):
+    """A worker process died while (or before) executing a UDF batch.
+
+    ``kind`` localizes the death: ``"crash"`` (the process exited — a
+    signal, ``os._exit``, or an interpreter abort), ``"hang"`` (the batch
+    exceeded its governance-derived deadline slack and the supervisor
+    killed the worker), or ``"oom"`` (the worker's ``RLIMIT_AS`` memory
+    cap was hit).  ``exitcode`` is the process exit status when known
+    (negative values are ``-signum``, POSIX convention).
+    """
+
+    def __init__(self, message: str = "UDF worker crashed", *,
+                 udf_name: "str | None" = None, kind: str = "crash",
+                 exitcode: "int | None" = None, pid: "int | None" = None,
+                 attempt: int = 0):
+        detail = [message]
+        if udf_name is not None:
+            detail.append(f"udf={udf_name!r}")
+        if kind != "crash":
+            detail.append(f"kind={kind!r}")
+        if exitcode is not None:
+            detail.append(f"exitcode={exitcode}")
+        if pid is not None:
+            detail.append(f"pid={pid}")
+        super().__init__(" ".join(detail))
+        self.udf_name = udf_name
+        self.kind = kind
+        self.exitcode = exitcode
+        self.pid = pid
+        self.attempt = attempt
+
+
+class WorkerRestartBudgetError(WorkerError):
+    """The pool's max-restart budget is exhausted; supervision gave up."""
+
+    def __init__(self, message: str = "worker restart budget exhausted", *,
+                 restarts: "int | None" = None,
+                 budget: "int | None" = None):
+        if restarts is not None and budget is not None:
+            message += f" ({restarts}/{budget} restarts)"
+        super().__init__(message)
+        self.restarts = restarts
+        self.budget = budget
+
+
+class BatchQuarantinedError(WorkerError):
+    """A batch crashed its worker repeatedly and policy is fail-fast.
+
+    Raised when the same batch (same UDF, same inputs) has killed
+    ``max_batch_retries`` workers and the pool's quarantine policy is
+    ``"fail"``; with the default ``"degrade"`` policy the batch runs
+    in-process instead and no error surfaces.
+    """
+
+    def __init__(self, message: str = "batch quarantined", *,
+                 udf_name: "str | None" = None, crashes: "int | None" = None,
+                 fingerprint: "str | None" = None):
+        detail = [message]
+        if udf_name is not None:
+            detail.append(f"udf={udf_name!r}")
+        if crashes is not None:
+            detail.append(f"after {crashes} worker crashes")
+        super().__init__(" ".join(detail))
+        self.udf_name = udf_name
+        self.crashes = crashes
+        self.fingerprint = fingerprint
 
 
 class ChannelTimeoutError(ChannelError):

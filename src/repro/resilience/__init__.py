@@ -16,7 +16,10 @@ three mechanisms QFusor uses to keep that promise at runtime:
   breakers (error rate + latency percentiles);
 * :mod:`~repro.resilience.channel` — the hardened out-of-process
   channel (timeouts, bounded retries, corruption detection).  Imported
-  lazily via its submodule to avoid a cycle with ``repro.udf.registry``.
+  lazily via its submodule to avoid a cycle with ``repro.udf.registry``;
+* :mod:`~repro.resilience.workers` — the supervised process-isolated
+  UDF worker pool (heartbeats, restart budgets, memory caps, hang
+  kills, poisoned-batch quarantine).
 """
 
 from .blocklist import FusionBlocklist
@@ -28,9 +31,17 @@ from .governor import (
     QueryContext,
     Watchdog,
     checkpoint,
+    cooperative_sleep,
     govern,
     guarded_iter,
     udf_batch_guard,
+)
+from .workers import (
+    WorkerIncident,
+    WorkerPool,
+    WorkerQuarantineWarning,
+    active_worker_pids,
+    shutdown_all_pools,
 )
 from .runtime import (
     FAULTS,
@@ -58,14 +69,20 @@ __all__ = [
     "ResilienceContext",
     "RowEvent",
     "Watchdog",
+    "WorkerIncident",
+    "WorkerPool",
+    "WorkerQuarantineWarning",
     "activate",
     "active",
+    "active_worker_pids",
     "checkpoint",
+    "cooperative_sleep",
     "govern",
     "guarded_iter",
     "handle_expand_row_error",
     "handle_scalar_row_error",
     "handle_value_error",
     "policy",
+    "shutdown_all_pools",
     "udf_batch_guard",
 ]

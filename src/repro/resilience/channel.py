@@ -15,7 +15,15 @@ inter-process hop needs:
 * **degradation** — when retries are exhausted the channel emits a
   :class:`ChannelDegradedWarning` and falls back to in-process
   passthrough (no serialization) for the failed transfer instead of
-  crashing the query.  Each failure is recorded in :attr:`incidents`.
+  crashing the query.  Each failure is recorded in :attr:`incidents`,
+  a *bounded* deque (``max_incidents``) whose overflow is counted in
+  :attr:`incidents_dropped` so long soaks cannot leak memory.
+
+Backoff sleeps are cooperative checkpoints
+(:func:`~repro.resilience.governor.cooperative_sleep`): a cancelled or
+deadlined query is interrupted mid-backoff instead of being held
+hostage by the retry schedule.  Incident/counter accounting is guarded
+by a lock — concurrent governed queries may degrade the same channel.
 
 The fault-injection harness (:mod:`repro.testing.faults`) plugs in
 through the process-wide :data:`~repro.resilience.runtime.FAULTS` hook:
@@ -25,16 +33,19 @@ bounded number of times.
 
 from __future__ import annotations
 
+import collections
 import pickle
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Deque, List, Optional
 
 from ..errors import ChannelCorruptionError, ChannelError, ChannelTimeoutError
 from ..obs import DEFAULT_BYTES_BUCKETS, METRICS, OBS
 from ..obs import tracer as obs_tracer
 from ..udf.registry import ProcessChannel
+from .governor import cooperative_sleep
 from .runtime import FAULTS
 
 __all__ = ["ResilientChannel", "ChannelIncident", "ChannelDegradedWarning"]
@@ -65,15 +76,24 @@ class ResilientChannel(ProcessChannel):
         timeout: float = 5.0,
         retries: int = 3,
         backoff: float = 0.01,
+        max_incidents: int = 256,
     ):
         super().__init__()
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = backoff
-        self.incidents: List[ChannelIncident] = []
+        self.max_incidents = max(1, int(max_incidents))
+        #: Bounded incident log; overflow counted in incidents_dropped.
+        self.incidents: Deque[ChannelIncident] = collections.deque(
+            maxlen=self.max_incidents
+        )
+        self.incidents_dropped = 0
         #: Count of transfers that fell back to in-process passthrough.
         self.degraded = 0
         self.retried = 0
+        #: Guards incident/counter accounting: concurrent governed
+        #: queries share one channel per adapter.
+        self._lock = threading.Lock()
 
     def configure(
         self,
@@ -132,37 +152,48 @@ class ResilientChannel(ProcessChannel):
             )
         return result
 
+    def _record(self, incident: ChannelIncident) -> None:
+        with self._lock:
+            if len(self.incidents) >= self.max_incidents:
+                self.incidents_dropped += 1
+            self.incidents.append(incident)
+
+    def drain_incidents(self) -> List[ChannelIncident]:
+        """Return and clear the incident log (per-query report drain)."""
+        with self._lock:
+            drained = list(self.incidents)
+            self.incidents.clear()
+        return drained
+
     def transfer(self, payload: Any) -> Any:
         self.crossings += 1
         last_exc: Optional[BaseException] = None
         for attempt in range(self.retries + 1):
             if attempt:
-                self.retried += 1
-                time.sleep(
+                with self._lock:
+                    self.retried += 1
+                # A cooperative checkpoint: a cancelled/deadlined query
+                # is interrupted here instead of riding out the backoff.
+                cooperative_sleep(
                     min(self.backoff * (2 ** (attempt - 1)), _MAX_BACKOFF_SLEEP)
                 )
             try:
                 return self._attempt(payload)
             except ChannelTimeoutError as exc:
                 last_exc = exc
-                self.incidents.append(
-                    ChannelIncident("timeout", attempt, str(exc))
-                )
+                self._record(ChannelIncident("timeout", attempt, str(exc)))
             except ChannelCorruptionError as exc:
                 last_exc = exc
-                self.incidents.append(
-                    ChannelIncident("corruption", attempt, str(exc))
-                )
+                self._record(ChannelIncident("corruption", attempt, str(exc)))
             except ChannelError as exc:
                 last_exc = exc
-                self.incidents.append(ChannelIncident("drop", attempt, str(exc)))
+                self._record(ChannelIncident("drop", attempt, str(exc)))
         # Retries exhausted: degrade to in-process passthrough rather
         # than abort the query.  The payload is handed over unserialized,
         # which is exactly what an in-process deployment would do.
-        self.degraded += 1
-        self.incidents.append(
-            ChannelIncident("degraded", self.retries, repr(last_exc))
-        )
+        with self._lock:
+            self.degraded += 1
+        self._record(ChannelIncident("degraded", self.retries, repr(last_exc)))
         if OBS.metrics:
             METRICS.counter("repro_channel_degraded_total").inc()
         if OBS.tracing:

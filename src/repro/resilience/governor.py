@@ -60,6 +60,7 @@ __all__ = [
     "govern",
     "udf_batch_guard",
     "checkpoint",
+    "cooperative_sleep",
     "guarded_iter",
 ]
 
@@ -454,13 +455,21 @@ class udf_batch_guard:
     into a fully annotated one naming the UDF.  A plain class (not a
     generator contextmanager) because tuple-at-a-time engines enter it
     once per row.
+
+    ``arm_cap=False`` publishes the UDF for attribution but leaves the
+    per-batch deadline disarmed — used when the batch runs on a
+    process-isolated worker, where the pool enforces the cap itself by
+    killing the worker (the watchdog async-raising into the parent
+    thread mid-wait would race that kill-and-retry path).
     """
 
-    __slots__ = ("name", "fused_from", "_entry", "_prev")
+    __slots__ = ("name", "fused_from", "arm_cap", "_entry", "_prev")
 
-    def __init__(self, name: str, fused_from: tuple = ()):
+    def __init__(self, name: str, fused_from: tuple = (),
+                 arm_cap: bool = True):
         self.name = name
         self.fused_from = fused_from
+        self.arm_cap = arm_cap
         self._entry: Optional[_WatchEntry] = None
         self._prev = (None, (), None)
 
@@ -473,7 +482,7 @@ class udf_batch_guard:
         context = entry.context
         entry.udf = self.name
         entry.udf_chain = self.fused_from
-        cap = context.udf_batch_timeout_s
+        cap = context.udf_batch_timeout_s if self.arm_cap else None
         if cap is not None:
             batch_deadline = time.monotonic() + cap
             if context.deadline is not None:
@@ -507,6 +516,30 @@ def checkpoint() -> None:
     stack = _LOCAL.stack
     if stack:
         stack[-1].check()
+
+
+def cooperative_sleep(duration: float, slice_s: float = 0.01) -> None:
+    """Sleep ``duration`` seconds in checkpointed slices.
+
+    A retry backoff (channel transfer, worker restart) must not hold a
+    cancelled or deadlined query hostage: each slice re-runs
+    :func:`checkpoint`, so the governed interrupt fires at most
+    ``slice_s`` after it is due.  Plain ``time.sleep`` when ungoverned
+    and the duration fits one slice.
+    """
+    if duration <= 0:
+        return
+    checkpoint()
+    if duration <= slice_s and not _LOCAL.stack:
+        time.sleep(duration)
+        return
+    deadline = time.monotonic() + duration
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return
+        time.sleep(min(remaining, slice_s))
+        checkpoint()
 
 
 def guarded_iter(iterable: Iterable, stride: int = CHECK_STRIDE) -> Iterator:

@@ -19,6 +19,15 @@ no randomness:
 ``channel``
     Make the out-of-process pickle channel misbehave: ``"timeout"``,
     ``"corrupt"`` (mangled blob), or ``"drop"`` (transfer error).
+``worker_crash`` / ``worker_hang`` / ``worker_oom``
+    Sabotage a process-isolated UDF worker with *real* failure modes —
+    the spec is shipped to the worker with the batch and executed there:
+    ``worker_crash`` SIGKILLs the worker mid-batch, ``worker_hang``
+    sleeps past the batch's deadline slack (the supervisor must kill
+    it), and ``worker_oom`` allocates past the worker's ``RLIMIT_AS``
+    cap.  These are consulted by
+    :meth:`repro.resilience.workers.WorkerPool` per dispatch via the
+    ``worker_fault`` hook.
 
 :func:`inject` arms :data:`repro.resilience.runtime.FAULTS` for the
 duration of a ``with`` block; :func:`poison_traces` swaps cached fused
@@ -43,8 +52,14 @@ __all__ = [
 ]
 
 
-class InjectedFault(Exception):
-    """The exception raised by injected UDF/boundary faults."""
+class InjectedFault(RuntimeError):
+    """The exception raised by injected UDF/boundary faults.
+
+    Derives from :class:`RuntimeError` so it sits inside the concrete
+    ``UDF_INVOCATION_ERRORS`` set the narrowed handlers catch — an
+    injected fault must travel exactly the path a real user-code error
+    would.
+    """
 
 
 class PoisonedTraceError(InjectedFault):
@@ -83,6 +98,17 @@ class _ChannelFault:
         self.remaining = times
 
 
+class _WorkerFault:
+    __slots__ = ("udf", "mode", "remaining", "seconds", "alloc_bytes")
+
+    def __init__(self, udf, mode, times, seconds=None, alloc_bytes=None):
+        self.udf = udf.lower() if udf is not None else None
+        self.mode = mode
+        self.remaining = times
+        self.seconds = seconds
+        self.alloc_bytes = alloc_bytes
+
+
 class FaultInjector:
     """A deterministic set of fault specs plus the hooks that fire them."""
 
@@ -90,6 +116,7 @@ class FaultInjector:
         self._row_faults: List[_RowFault] = []
         self._boundary_faults: List[_BoundaryFault] = []
         self._channel_faults: List[_ChannelFault] = []
+        self._worker_faults: List[_WorkerFault] = []
         #: Total faults fired (all kinds).
         self.fired = 0
         #: ``(kind, detail)`` tuples, in firing order.
@@ -133,6 +160,44 @@ class FaultInjector:
         if mode not in ("timeout", "corrupt", "drop"):
             raise ValueError(f"unknown channel fault mode {mode!r}")
         self._channel_faults.append(_ChannelFault(mode, times))
+        return self
+
+    def worker_crash(
+        self, udf: Optional[str] = None, *, times: int = 1
+    ) -> "FaultInjector":
+        """SIGKILL the worker mid-batch on matching dispatches.
+
+        ``udf`` restricts the fault to batches of one UDF (matched
+        against the fused chain too); ``None`` matches any batch.
+        """
+        self._worker_faults.append(_WorkerFault(udf, "crash", times))
+        return self
+
+    def worker_hang(
+        self,
+        udf: Optional[str] = None,
+        *,
+        seconds: float = 60.0,
+        times: int = 1,
+    ) -> "FaultInjector":
+        """Make the worker sleep ``seconds`` mid-batch (a wedged batch
+        that the supervisor must kill at the deadline slack)."""
+        self._worker_faults.append(
+            _WorkerFault(udf, "hang", times, seconds=seconds)
+        )
+        return self
+
+    def worker_oom(
+        self,
+        udf: Optional[str] = None,
+        *,
+        alloc_bytes: int = 1 << 34,
+        times: int = 1,
+    ) -> "FaultInjector":
+        """Make the worker allocate past its ``RLIMIT_AS`` memory cap."""
+        self._worker_faults.append(
+            _WorkerFault(udf, "oom", times, alloc_bytes=alloc_bytes)
+        )
         return self
 
     # -- hooks (called from generated wrappers via FAULTS) -------------
@@ -188,6 +253,32 @@ class FaultInjector:
             self.fired += 1
             self.log.append(("channel", fault.mode))
             return fault.mode
+        return None
+
+    def worker_fault(self, names: Sequence[str]) -> Optional[dict]:
+        """Hook consulted by the worker pool per batch dispatch.
+
+        Returns the sabotage spec shipped to (and executed inside) the
+        worker process, or ``None`` when no fault matches.
+        """
+        lowered = None
+        for fault in self._worker_faults:
+            if fault.remaining <= 0:
+                continue
+            if fault.udf is not None:
+                if lowered is None:
+                    lowered = [n.lower() for n in names]
+                if fault.udf not in lowered:
+                    continue
+            fault.remaining -= 1
+            self.fired += 1
+            self.log.append(("worker", f"{fault.mode}:{fault.udf or '*'}"))
+            spec = {"mode": fault.mode}
+            if fault.seconds is not None:
+                spec["seconds"] = fault.seconds
+            if fault.alloc_bytes is not None:
+                spec["bytes"] = fault.alloc_bytes
+            return spec
         return None
 
 

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from ..errors import (
     QueryBudgetExceededError,
     QueryCancelledError,
+    UDF_INVOCATION_ERRORS,
     UdfRegistrationError,
 )
 from ..obs import DEFAULT_BYTES_BUCKETS, DEFAULT_SIZE_BUCKETS, METRICS, OBS
@@ -70,7 +71,19 @@ class RegisteredUdf:
         channel = self._registry.channel
         return payload if channel is None else channel.transfer(payload)
 
-    def _guarded(self, runner: Callable[[], Any], size: int) -> Tuple[Any, float]:
+    def _pool(self):
+        """The adapter's process-isolation worker pool, when routing.
+
+        When a pool is attached the batch executes in a real worker
+        process (the pipe *is* the serialization boundary), so the
+        modeled pickle channel is skipped; the pool's degrade paths fall
+        back to plain in-process execution through the ``fallback``
+        closures below.
+        """
+        return self._registry.workers
+
+    def _guarded(self, runner: Callable[[], Any], size: int,
+                 arm_cap: bool = True) -> Tuple[Any, float]:
         """Run one boundary invocation under governance.
 
         Publishes the UDF to the watchdog (arming the per-batch deadline
@@ -90,7 +103,8 @@ class RegisteredUdf:
         )
         start = time.perf_counter()
         try:
-            with udf_batch_guard(self.name, self.definition.fused_from):
+            with udf_batch_guard(self.name, self.definition.fused_from,
+                                 arm_cap=arm_cap):
                 result = runner()
         except BaseException as exc:
             elapsed = time.perf_counter() - start
@@ -138,10 +152,27 @@ class RegisteredUdf:
 
     def call_scalar(self, inputs: Sequence[Column], size: int) -> Column:
         """Run a scalar UDF over aligned input columns."""
-        c_inputs = self._cross([boundary.column_to_c(col) for col in inputs])
-        c_result, elapsed = self._guarded(
-            lambda: self._cross(self.wrapper.entry(c_inputs, size)), size
-        )
+        pool = self._pool()
+        if pool is not None:
+            raw = [boundary.column_to_c(col) for col in inputs]
+            c_result, elapsed = self._guarded(
+                lambda: pool.run_batch(
+                    self.definition, "scalar", (raw, size),
+                    fallback=lambda: self._cross(
+                        self.wrapper.entry(self._cross(raw), size)
+                    ),
+                    size=size,
+                ),
+                size,
+                arm_cap=False,
+            )
+        else:
+            c_inputs = self._cross(
+                [boundary.column_to_c(col) for col in inputs]
+            )
+            c_result, elapsed = self._guarded(
+                lambda: self._cross(self.wrapper.entry(c_inputs, size)), size
+            )
         self._registry.stats.observe(self.name, size, size, elapsed)
         return boundary.c_values_to_column(
             self.name, self.definition.signature.return_types[0], c_result
@@ -156,6 +187,16 @@ class RegisteredUdf:
         """
         from ..resilience import runtime
 
+        pool = self._pool()
+
+        def invoke() -> Any:
+            if pool is not None:
+                return pool.run_batch(
+                    self.definition, "value", tuple(args),
+                    fallback=lambda: self.definition.func(*args),
+                )
+            return self.definition.func(*args)
+
         def run() -> Any:
             try:
                 if runtime.FAULTS.armed:
@@ -164,8 +205,8 @@ class RegisteredUdf:
                         None,
                         "fused" if self.definition.is_fused else "interp",
                     )
-                return self.definition.func(*args)
-            except Exception as exc:
+                return invoke()
+            except UDF_INVOCATION_ERRORS as exc:
                 return runtime.handle_value_error(
                     self.name,
                     runtime.policy(),
@@ -174,7 +215,7 @@ class RegisteredUdf:
                     args,
                 )
 
-        result, elapsed = self._guarded(run, 1)
+        result, elapsed = self._guarded(run, 1, arm_cap=pool is None)
         self._registry.stats.observe(self.name, 1, 1, elapsed)
         return result
 
@@ -189,13 +230,33 @@ class RegisteredUdf:
 
         Returns one engine-side value per group.
         """
-        c_inputs = self._cross([boundary.column_to_c(col) for col in inputs])
-        c_result, elapsed = self._guarded(
-            lambda: self._cross(
-                self.wrapper.entry(c_inputs, size, group_ids, num_groups)
-            ),
-            size,
-        )
+        pool = self._pool()
+        if pool is not None:
+            raw = [boundary.column_to_c(col) for col in inputs]
+            c_result, elapsed = self._guarded(
+                lambda: pool.run_batch(
+                    self.definition, "aggregate",
+                    (raw, size, tuple(group_ids), num_groups),
+                    fallback=lambda: self._cross(
+                        self.wrapper.entry(
+                            self._cross(raw), size, group_ids, num_groups
+                        )
+                    ),
+                    size=size,
+                ),
+                size,
+                arm_cap=False,
+            )
+        else:
+            c_inputs = self._cross(
+                [boundary.column_to_c(col) for col in inputs]
+            )
+            c_result, elapsed = self._guarded(
+                lambda: self._cross(
+                    self.wrapper.entry(c_inputs, size, group_ids, num_groups)
+                ),
+                size,
+            )
         self._registry.stats.observe(self.name, size, num_groups, elapsed)
         out_type = self.definition.signature.return_types[0]
         return [boundary.c_to_engine(v, out_type) for v in c_result]
@@ -204,14 +265,37 @@ class RegisteredUdf:
         self, inputs: Sequence[Column], size: int, const_args: Sequence[Any] = ()
     ) -> List[Column]:
         """Run a table UDF in relation mode; returns its output columns."""
-        c_inputs = self._cross([boundary.column_to_c(col) for col in inputs])
         in_types = tuple(col.sql_type for col in inputs)
-        c_columns, elapsed = self._guarded(
-            lambda: self._cross(
-                self.wrapper.entry(c_inputs, size, in_types, tuple(const_args))
-            ),
-            size,
-        )
+        pool = self._pool()
+        if pool is not None:
+            raw = [boundary.column_to_c(col) for col in inputs]
+            c_columns, elapsed = self._guarded(
+                lambda: pool.run_batch(
+                    self.definition, "table",
+                    (raw, size, in_types, tuple(const_args)),
+                    fallback=lambda: self._cross(
+                        self.wrapper.entry(
+                            self._cross(raw), size, in_types,
+                            tuple(const_args),
+                        )
+                    ),
+                    size=size,
+                ),
+                size,
+                arm_cap=False,
+            )
+        else:
+            c_inputs = self._cross(
+                [boundary.column_to_c(col) for col in inputs]
+            )
+            c_columns, elapsed = self._guarded(
+                lambda: self._cross(
+                    self.wrapper.entry(
+                        c_inputs, size, in_types, tuple(const_args)
+                    )
+                ),
+                size,
+            )
         out_rows = len(c_columns[0]) if c_columns else 0
         self._registry.stats.observe(self.name, size, out_rows, elapsed)
         return [
@@ -227,14 +311,37 @@ class RegisteredUdf:
         self, inputs: Sequence[Column], size: int, const_args: Sequence[Any] = ()
     ) -> Tuple[List[int], List[Column]]:
         """Run a table UDF in expand mode; returns (row lineage, columns)."""
-        c_inputs = self._cross([boundary.column_to_c(col) for col in inputs])
         in_types = tuple(col.sql_type for col in inputs)
-        (lineage, c_columns), elapsed = self._guarded(
-            lambda: self._cross(
-                self.wrapper.expand_entry(c_inputs, size, in_types, tuple(const_args))
-            ),
-            size,
-        )
+        pool = self._pool()
+        if pool is not None:
+            raw = [boundary.column_to_c(col) for col in inputs]
+            (lineage, c_columns), elapsed = self._guarded(
+                lambda: pool.run_batch(
+                    self.definition, "table_expand",
+                    (raw, size, in_types, tuple(const_args)),
+                    fallback=lambda: self._cross(
+                        self.wrapper.expand_entry(
+                            self._cross(raw), size, in_types,
+                            tuple(const_args),
+                        )
+                    ),
+                    size=size,
+                ),
+                size,
+                arm_cap=False,
+            )
+        else:
+            c_inputs = self._cross(
+                [boundary.column_to_c(col) for col in inputs]
+            )
+            (lineage, c_columns), elapsed = self._guarded(
+                lambda: self._cross(
+                    self.wrapper.expand_entry(
+                        c_inputs, size, in_types, tuple(const_args)
+                    )
+                ),
+                size,
+            )
         self._registry.stats.observe(self.name, size, len(lineage), elapsed)
         columns = [
             boundary.c_values_to_column(name, sql_type, values)
@@ -285,10 +392,16 @@ class UdfRegistry:
         self,
         stats: Optional[StatsStore] = None,
         channel: Optional[ProcessChannel] = None,
+        workers: Optional[Any] = None,
     ):
         self._udfs: Dict[str, RegisteredUdf] = {}
         self.stats = stats if stats is not None else StatsStore()
         self.channel = channel
+        #: Process-isolation worker pool
+        #: (:class:`repro.resilience.workers.WorkerPool`); when set, UDF
+        #: batches execute in supervised worker processes instead of
+        #: round-tripping the modeled pickle channel.
+        self.workers = workers
         #: Per-UDF circuit breakers (disabled until configured by QFusor).
         self.breakers = BreakerBoard()
         #: CREATE FUNCTION statements issued so far (for inspection).

@@ -28,6 +28,12 @@ _ADAPTERS = (
     ("dbx", ParallelDbAdapter, {"threads": 2}),
 )
 
+#: Opt-in (slow) configuration: the row store routing UDF batches
+#: through the supervised process-isolated worker pool.
+_PROCESS_ADAPTERS = (
+    ("rowstore-proc", RowStoreAdapter, {"isolation": "process"}),
+)
+
 
 class Mismatch(Exception):
     """Raised when two systems disagree on a case."""
@@ -46,9 +52,12 @@ class DifferentialRunner:
     chunk's table differs from the registered one.
     """
 
-    def __init__(self):
+    def __init__(self, *, include_process_isolation: bool = False):
         self.engines: List[Tuple[str, object, QFusor]] = []
-        for name, make, kwargs in _ADAPTERS:
+        configs = _ADAPTERS
+        if include_process_isolation:
+            configs = configs + _PROCESS_ADAPTERS
+        for name, make, kwargs in configs:
             adapter = make(**kwargs)
             for udf in DIFF_UDFS:
                 adapter.register_udf(udf)
@@ -57,6 +66,13 @@ class DifferentialRunner:
         for udf in ORACLE_UDFS:
             self.oracle.register_udf(udf)
         self._registered_table: Optional[object] = None
+
+    def close(self) -> None:
+        """Release engine resources (worker pools, in particular)."""
+        for _name, adapter, _qf in self.engines:
+            closer = getattr(adapter, "close", None)
+            if closer is not None:
+                closer()
 
     # ------------------------------------------------------------------
 

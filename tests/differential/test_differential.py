@@ -65,6 +65,22 @@ def test_differential_extended(diff_runner, start):
         _check_seed(diff_runner, seed)
 
 
+@pytest.mark.slow
+def test_differential_with_process_isolation():
+    """The process-isolated row store joins the differential sweep: the
+    worker pool must be invisible in every result multiset."""
+    import multiprocessing
+
+    runner = DifferentialRunner(include_process_isolation=True)
+    try:
+        assert any(name == "rowstore-proc" for name, _a, _q in runner.engines)
+        for seed in range(0, 60):
+            _check_seed(runner, seed)
+    finally:
+        runner.close()
+    assert multiprocessing.active_children() == []
+
+
 def test_generator_is_deterministic():
     first, second = make_case(17), make_case(17)
     assert first.sql == second.sql

@@ -1,9 +1,15 @@
 """Process-boundary hardening for the minidb_row pickle channel."""
 
+import threading
+import time
+import warnings
+
 import pytest
 
 from repro.core import QFusor, QFusorConfig
 from repro.engines import RowStoreAdapter
+from repro.errors import QueryCancelledError, QueryTimeoutError
+from repro.resilience import QueryContext, govern
 from repro.resilience.channel import ChannelDegradedWarning, ResilientChannel
 from repro.storage import Column, Table
 from repro.testing import FaultInjector, inject
@@ -137,3 +143,103 @@ class TestRowStoreIntegration:
             result = qfusor.execute("SELECT c_mark(c_fold(v)) AS o FROM t")
         assert sorted(result.to_rows()) == reference
         assert inj.fired == 0
+
+
+class TestBoundedIncidents:
+    def test_incident_log_is_bounded_with_drop_counter(self):
+        channel = ResilientChannel(retries=0, backoff=0.0, max_incidents=4)
+        with inject(FaultInjector().channel("drop", times=100)):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", ChannelDegradedWarning)
+                for _ in range(10):
+                    channel.transfer("x")
+        # 10 transfers x (1 drop + 1 degraded) = 20 incidents total.
+        assert len(channel.incidents) == 4
+        assert channel.incidents_dropped == 16
+        assert channel.degraded == 10
+
+    def test_drain_incidents_clears_log(self):
+        channel = ResilientChannel(retries=1, backoff=0.0)
+        with inject(FaultInjector().channel("corrupt", times=1)):
+            channel.transfer("x")
+        drained = channel.drain_incidents()
+        assert [i.kind for i in drained] == ["corruption"]
+        assert len(channel.incidents) == 0
+        assert channel.drain_incidents() == []
+
+
+class TestCooperativeBackoff:
+    def test_deadline_interrupts_backoff_schedule(self):
+        # 60 capped 0.1s backoff sleeps = ~6s of retry schedule; a 0.3s
+        # query deadline must cut through it instead of riding it out.
+        channel = ResilientChannel(retries=60, backoff=10.0)
+        context = QueryContext(timeout_s=0.3)
+        start = time.monotonic()
+        with inject(FaultInjector().channel("drop", times=1000)):
+            with govern("test", context):
+                with pytest.raises(QueryTimeoutError):
+                    channel.transfer("payload")
+        assert time.monotonic() - start < 3.0
+        assert channel.degraded == 0  # interrupted, not degraded
+
+    def test_cancellation_interrupts_backoff(self):
+        channel = ResilientChannel(retries=60, backoff=10.0)
+        context = QueryContext()
+        timer = threading.Timer(0.2, context.cancel, args=("test",))
+        timer.start()
+        try:
+            start = time.monotonic()
+            with inject(FaultInjector().channel("drop", times=1000)):
+                with govern("test", context):
+                    with pytest.raises(QueryCancelledError):
+                        channel.transfer("payload")
+            assert time.monotonic() - start < 3.0
+        finally:
+            timer.cancel()
+
+    def test_ungoverned_backoff_still_sleeps(self):
+        channel = ResilientChannel(retries=2, backoff=0.01)
+        with inject(FaultInjector().channel("drop", times=2)):
+            assert channel.transfer("x") == "x"
+        assert channel.retried == 2
+
+
+class TestConcurrentDegradation:
+    def test_degradation_accounting_is_exact_across_threads(self):
+        """Satellite regression: two queries degrading the same channel
+        concurrently must not lose incidents or warning counts."""
+        n_threads, per_thread = 4, 5
+        channel = ResilientChannel(retries=1, backoff=0.0,
+                                   max_incidents=10_000)
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(per_thread):
+                    channel.transfer("payload")
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        with inject(FaultInjector().channel("drop", times=10_000)):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                threads = [threading.Thread(target=worker)
+                           for _ in range(n_threads)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=30)
+        assert not errors
+        total = n_threads * per_thread
+        assert channel.degraded == total
+        assert channel.retried == total  # retries=1, every attempt fails
+        # Each transfer: 2 failure incidents + 1 degraded incident.
+        assert len(channel.incidents) == total * 3
+        kinds = [i.kind for i in channel.incidents]
+        assert kinds.count("degraded") == total
+        degraded_warnings = [w for w in caught
+                             if issubclass(w.category,
+                                           ChannelDegradedWarning)]
+        assert len(degraded_warnings) == total
