@@ -1,0 +1,39 @@
+"""repro.cache — the multi-tier caching subsystem.
+
+Three coordinated tiers behind one :class:`CacheManager` (Fig. 6d's
+"cache" lever generalized beyond compiled traces):
+
+* **plan cache** (:mod:`repro.cache.plan_cache`) — normalized-SQL
+  fingerprint → parsed/planned/fused pipeline; a hot query skips
+  parse/plan/fuse entirely;
+* **UDF memo cache** (:mod:`repro.cache.memo`) — per
+  ``(udf, definition-version)`` bounded LRU over batch inputs, with
+  cost-aware admission from the StatsStore posteriors;
+* **result cache** (:mod:`repro.cache.result_cache`) — query
+  fingerprint + table snapshot epochs + UDF versions + config
+  fingerprint → result table, with single-flight dogpile protection.
+
+:mod:`repro.cache.fingerprint` is the single source of identity for all
+tiers (and for the compiled-trace cache and fusion blocklist), so the
+caches can never disagree on what "the same query" means.
+"""
+
+from . import fingerprint
+from .lru import LruMap
+from .manager import CacheEvent, CacheManager, ResultKey
+from .memo import UdfMemoCache
+from .plan_cache import PlanCache, PlanEntry
+from .result_cache import MISS, ResultCache
+
+__all__ = [
+    "fingerprint",
+    "LruMap",
+    "CacheEvent",
+    "CacheManager",
+    "ResultKey",
+    "UdfMemoCache",
+    "PlanCache",
+    "PlanEntry",
+    "ResultCache",
+    "MISS",
+]

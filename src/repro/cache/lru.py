@@ -1,0 +1,86 @@
+"""A thread-safe bounded LRU map shared by every cache tier."""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, List, Optional, Tuple
+
+__all__ = ["LruMap"]
+
+_MISSING = object()
+
+
+class LruMap:
+    """Bounded least-recently-used mapping with tier statistics.
+
+    All operations are O(1) and thread-safe.  ``capacity=None`` means
+    unbounded (used only by tests); every production tier passes a bound
+    so repeated-query workloads cannot grow memory without limit.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity if capacity is None else max(1, int(capacity))
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Lookup without touching recency or statistics."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            return default if value is _MISSING else value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if self.capacity is not None and len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def pop(self, key: Hashable) -> bool:
+        """Drop one entry; True when something was removed."""
+        with self._lock:
+            if self._entries.pop(key, _MISSING) is _MISSING:
+                return False
+            self.invalidations += 1
+            return True
+
+    def pop_matching(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``."""
+        with self._lock:
+            doomed = [k for k in self._entries if predicate(k)]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def items(self) -> List[Tuple[Hashable, Any]]:
+        with self._lock:
+            return list(self._entries.items())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries

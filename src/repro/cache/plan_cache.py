@@ -1,0 +1,99 @@
+"""Tier 1: the plan cache.
+
+A hot query re-arriving as text pays parse + EXPLAIN probe + DFG + DP +
+fusion + (trace-cached) registration on every execution.  The plan cache
+stores the finished product — the original planned query, the fused
+plan (path 2) or rewritten statement (path 1), and the fused artifacts —
+keyed by the normalized-SQL fingerprint plus everything the product
+depends on: config fingerprint, referenced-UDF versions, and
+referenced-table *schema* fingerprints.
+
+Data-only DML deliberately does **not** invalidate plan entries (any
+valid plan stays correct when rows change); schema changes and UDF
+re-registrations rotate the key.  A hit is re-validated against the
+registry — de-optimization drops fused UDFs, turning stale hits into
+misses instead of dispatching plans over dropped functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from ..obs import METRICS, OBS
+from .lru import LruMap
+
+__all__ = ["PlanCache", "PlanEntry"]
+
+
+@dataclass
+class PlanEntry:
+    """Everything needed to skip parse/plan/fuse on a repeat query."""
+
+    #: "plan" (path 2: direct plan dispatch) or "sql" (path 1: rewrite).
+    kind: str
+    #: The engine's original (unfused) plan — the de-optimization target.
+    original: Any = None
+    #: The fused plan dispatched on a hit (path 2).
+    fused_planned: Any = None
+    #: The rewritten statement resubmitted on a hit (path 1 / DML).
+    rewritten: Any = None
+    #: Fused artifacts (:class:`~repro.jit.codegen.FusedUdf`), for the
+    #: report and for registry re-validation.
+    fused: List[Any] = field(default_factory=list)
+    sections: List[Any] = field(default_factory=list)
+    plan_before: str = ""
+    plan_after: str = ""
+
+    def fused_names(self) -> List[str]:
+        return [f.definition.name for f in self.fused]
+
+
+class PlanCache:
+    """Bounded LRU of :class:`PlanEntry` keyed by pipeline identity."""
+
+    def __init__(self, capacity: int = 256):
+        self._entries = LruMap(capacity)
+
+    def lookup(self, key: Tuple, registry: Any) -> Optional[PlanEntry]:
+        """A validated entry, or None.
+
+        Validation: every fused UDF the entry references must still be
+        registered (runtime de-optimization unregisters them).  A stale
+        entry is dropped so the normal pipeline — and its blocklist
+        consultation — decides afresh.
+        """
+        entry = self._entries.get(key)
+        hit = entry is not None
+        if hit:
+            for name in entry.fused_names():
+                if registry.lookup(name) is None:
+                    self._entries.pop(key)
+                    entry, hit = None, False
+                    break
+        if OBS.metrics:
+            METRICS.counter(
+                "repro_cache_hits_total" if hit else "repro_cache_misses_total",
+                tier="plan",
+            ).inc()
+        return entry
+
+    def store(self, key: Tuple, entry: PlanEntry) -> None:
+        before = self._entries.evictions
+        self._entries.put(key, entry)
+        if OBS.metrics and self._entries.evictions != before:
+            METRICS.counter("repro_cache_evictions_total", tier="plan").inc()
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hits(self) -> int:
+        return self._entries.hits
+
+    @property
+    def misses(self) -> int:
+        return self._entries.misses
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -121,6 +121,28 @@ class QFusorConfig:
     #: What an open breaker means: "unfused" (bypass fusion for queries
     #: referencing the UDF) or "fail_fast" (raise CircuitOpenError).
     breaker_policy: str = "unfused"
+    # -- multi-tier caching subsystem (repro.cache) --------------------
+    #: Plan cache: normalized-SQL fingerprint -> parsed/planned/fused
+    #: pipeline; a hot query skips parse/plan/fuse entirely.
+    plan_cache: bool = False
+    #: Bounded LRU capacity of the plan cache.
+    plan_cache_capacity: int = 256
+    #: UDF memoization: per-(udf, definition-version) LRU over batch
+    #: inputs.  Only UDFs explicitly annotated ``deterministic=True``
+    #: participate; admission is cost-aware via the StatsStore.
+    udf_memo: bool = False
+    #: Bounded LRU capacity of the UDF memo cache (entries).
+    udf_memo_capacity: int = 1024
+    #: Expected per-tuple cost (s) below which a UDF is never memoized.
+    udf_memo_min_cost_s: float = 1e-6
+    #: Query result cache keyed by (SQL fingerprint, table snapshot
+    #: epochs, UDF definition versions, config fingerprint).
+    result_cache: bool = False
+    #: Bounded LRU capacity of the result cache (entries).
+    result_cache_capacity: int = 128
+    #: Single-flight dogpile protection: concurrent identical queries
+    #: elect one leader; the rest share its result.
+    single_flight: bool = True
 
     def ablated(self, **changes) -> "QFusorConfig":
         """A copy with the given switches changed (for ablation benches)."""
@@ -149,6 +171,12 @@ class QFusorConfig:
     def no_aggregation_offload(cls) -> "QFusorConfig":
         """Everything except aggregation offload (Fig. 6a technique d)."""
         return cls(offload_aggregations=False)
+
+    @classmethod
+    def cached(cls, **changes) -> "QFusorConfig":
+        """Full system plus every cache tier (plan + UDF memo + result)."""
+        config = cls(plan_cache=True, udf_memo=True, result_cache=True)
+        return replace(config, **changes) if changes else config
 
     @classmethod
     def yesql_like(cls) -> "QFusorConfig":

@@ -24,6 +24,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Union
 
+from ..cache import CacheManager
+from ..cache.plan_cache import PlanEntry
 from ..engine.database import Database
 from ..engine.explain import explain_text
 from ..engine.plan import Field
@@ -81,6 +83,9 @@ class QFusorReport:
     worker_events: List[Any] = field(default_factory=list)
     #: UDF names whose open circuit breakers forced the unfused path.
     breaker_bypass: List[str] = field(default_factory=list)
+    #: Cache interactions (:class:`repro.cache.manager.CacheEvent`):
+    #: plan/result hits and stores, single-flight outcomes.
+    cache_events: List[Any] = field(default_factory=list)
 
     @property
     def fused_names(self) -> List[str]:
@@ -89,6 +94,13 @@ class QFusorReport:
     @property
     def deopted(self) -> bool:
         return bool(self.deopt_events)
+
+    def cache_outcome(self, tier: str) -> Optional[str]:
+        """The last recorded action for one cache tier, or None."""
+        for event in reversed(self.cache_events):
+            if event.tier == tier:
+                return event.action
+        return None
 
     @property
     def recovered_rows(self) -> int:
@@ -151,6 +163,10 @@ class QFusor:
             engine.registry, engine.resolver, self.cost_model,
             self.heuristics, self.config, self.cache,
         )
+        # Multi-tier caching subsystem (plan / UDF memo / result); all
+        # tiers default off, so `caches.active` is the only cost the
+        # uncached path pays.
+        self.caches = CacheManager(self.adapter, self.config)
         # Fused UDFs must reach the engine itself (the sqlite3 adapter,
         # for example, registers through create_function).
         self.fuser.register_hook = engine.register_udf
@@ -210,8 +226,17 @@ class QFusor:
     def register_table(self, table: Table, *, replace: bool = False) -> None:
         self.adapter.register_table(table, replace=replace)
 
-    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
-        self.adapter.register_udf(udf, replace=replace)
+    def register_udf(
+        self,
+        udf: Any,
+        *,
+        replace: bool = False,
+        deterministic: Optional[bool] = None,
+        version: Optional[int] = None,
+    ) -> None:
+        self.adapter.register_udf(
+            udf, replace=replace, deterministic=deterministic, version=version
+        )
 
     def register_udfs(self, udfs: Sequence[Any], *, replace: bool = False) -> None:
         for udf in udfs:
@@ -302,6 +327,36 @@ class QFusor:
         # Advance the deopt blocklist's per-query cooldown clock.
         self.heuristics.blocklist.tick()
 
+        caches = self.caches
+        if not caches.active:
+            return self._run_pipeline(statement, report)
+        if not isinstance(statement, ast.Select):
+            # DML/DDL: run normally, then retire dependent result-cache
+            # entries by bumping the written tables' snapshot epochs.
+            try:
+                return self._run_pipeline(statement, report)
+            finally:
+                caches.note_write(statement)
+        rkey = caches.result_key(
+            statement, sql_text, self._referenced_udfs(statement)
+        )
+        if rkey is None:
+            return self._run_pipeline(statement, report)
+
+        def execute():
+            result = self._run_pipeline(statement, report)
+            return result, CacheManager.storeable(report)
+
+        result, outcome = caches.result_get_or_execute(rkey, report, execute)
+        if outcome in ("hit", "shared"):
+            # The pipeline never ran for this caller; reflect what kind
+            # of query the cached answer stands for.
+            report.is_udf_query = rkey.is_udf_query
+        return result
+
+    def _run_pipeline(
+        self, statement: ast.Statement, report: QFusorReport
+    ) -> Table:
         if not self.config.enabled or not self._involves_udfs(statement):
             try:
                 return self.adapter.execute_sql(statement)
@@ -372,6 +427,15 @@ class QFusor:
     def _execute_select(
         self, statement: ast.Select, report: QFusorReport
     ) -> Table:
+        pkey = (
+            self.caches.plan_key(statement, self._referenced_udfs(statement))
+            if self.caches.active else None
+        )
+        if pkey is not None:
+            entry = self.caches.plan_lookup(pkey, report)
+            if entry is not None:
+                return self._dispatch_cached_plan(statement, entry, report)
+
         if not self.adapter.supports_plan_dispatch:
             # Path 1: SQL rewriting only (expression-level fusion).
             sp = obs_tracer.span_start("fuse") if OBS.tracing else None
@@ -384,6 +448,16 @@ class QFusor:
             if sp is not None:
                 obs_tracer.span_end(
                     sp, fused=len(report.fused), cache_hits=report.cache_hits
+                )
+            if pkey is not None:
+                self.caches.plan_store(
+                    pkey,
+                    PlanEntry(
+                        kind="sql",
+                        rewritten=rewritten,
+                        fused=list(report.fused),
+                    ),
+                    report,
                 )
             return self._dispatch_sql(statement, rewritten, report)
 
@@ -416,8 +490,38 @@ class QFusor:
                 cache_hits=report.cache_hits,
             )
 
+        if pkey is not None:
+            self.caches.plan_store(
+                pkey,
+                PlanEntry(
+                    kind="plan",
+                    original=planned,
+                    fused_planned=outcome.planned,
+                    fused=list(outcome.fused),
+                    sections=list(report.sections),
+                    plan_before=report.plan_before,
+                    plan_after=report.plan_after,
+                ),
+                report,
+            )
+
         # Step 4: dispatch the rewritten plan (path 2), guarded.
         return self._dispatch_plan(planned, outcome, report)
+
+    def _dispatch_cached_plan(
+        self, statement: ast.Select, entry: PlanEntry, report: QFusorReport
+    ) -> Table:
+        """Dispatch a plan-cache hit: parse/probe/plan/fuse all skipped."""
+        report.fused = list(entry.fused)
+        if entry.kind == "sql":
+            report.rewritten_sql = to_sql(entry.rewritten)
+            return self._dispatch_sql(statement, entry.rewritten, report)
+        report.sections = list(entry.sections)
+        report.plan_before = entry.plan_before
+        report.plan_after = entry.plan_after
+        outcome = FusionOutcome(entry.fused_planned)
+        outcome.fused = list(entry.fused)
+        return self._dispatch_plan(entry.original, outcome, report)
 
     # ------------------------------------------------------------------
     # Guarded dispatch + de-optimization

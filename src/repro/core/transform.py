@@ -33,6 +33,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..cache.fingerprint import trace_key
 from ..engine.expressions import FunctionResolver, infer_type
 from ..engine.plan import (
     Aggregate, AggCall, Distinct, Expand, Field, Filter, FusedFilter,
@@ -129,7 +130,7 @@ class PlanFuser:
         return f"qf_fused_{next(_FUSED_NAME_COUNTER)}"
 
     def _register(self, spec: PipelineSpec, outcome: FusionOutcome) -> str:
-        if not self.heuristics.allow_fusion(spec.signature_key):
+        if not self.heuristics.allow_fusion(trace_key(spec.signature_key)):
             # A trace with this structure de-optimized recently; sit out
             # the cooldown rather than re-fusing a known-bad section.
             outcome.notes.append(f"blocklisted: {spec.name}")

@@ -77,9 +77,18 @@ class Database:
         """Add a table to the catalog."""
         self.catalog.register(table, replace=replace)
 
-    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
+    def register_udf(
+        self,
+        udf: Any,
+        *,
+        replace: bool = False,
+        deterministic: Optional[bool] = None,
+        version: Optional[int] = None,
+    ) -> None:
         """Register a decorated UDF (see :mod:`repro.udf.decorators`)."""
-        self.registry.register(udf, replace=replace)
+        self.registry.register(
+            udf, replace=replace, deterministic=deterministic, version=version
+        )
 
     def register_udfs(self, udfs: Sequence[Any], *, replace: bool = False) -> None:
         for udf in udfs:

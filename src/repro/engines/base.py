@@ -93,7 +93,14 @@ class EngineAdapter:
     def register_table(self, table: Table, *, replace: bool = False) -> None:
         raise NotImplementedError
 
-    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
+    def register_udf(
+        self,
+        udf: Any,
+        *,
+        replace: bool = False,
+        deterministic: Optional[bool] = None,
+        version: Optional[int] = None,
+    ) -> None:
         raise NotImplementedError
 
     # -- query interface --------------------------------------------------

@@ -109,8 +109,17 @@ class SqliteAdapter(EngineAdapter):
     # UDFs
     # ------------------------------------------------------------------
 
-    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
-        registered = self._registry.register(udf, replace=replace)
+    def register_udf(
+        self,
+        udf: Any,
+        *,
+        replace: bool = False,
+        deterministic: Optional[bool] = None,
+        version: Optional[int] = None,
+    ) -> None:
+        registered = self._registry.register(
+            udf, replace=replace, deterministic=deterministic, version=version
+        )
         definition = registered.definition
         if definition.kind is UdfKind.SCALAR:
             self._register_scalar(definition)

@@ -47,8 +47,17 @@ class TupleDbAdapter(EngineAdapter):
     def register_table(self, table: Table, *, replace: bool = False) -> None:
         self.database.register_table(table, replace=replace)
 
-    def register_udf(self, udf: Any, *, replace: bool = False) -> None:
-        self.database.register_udf(udf, replace=replace)
+    def register_udf(
+        self,
+        udf: Any,
+        *,
+        replace: bool = False,
+        deterministic: Optional[bool] = None,
+        version: Optional[int] = None,
+    ) -> None:
+        self.database.register_udf(
+            udf, replace=replace, deterministic=deterministic, version=version
+        )
 
     def explain_plan(self, statement: Union[str, ast.Statement]) -> PlannedQuery:
         return self.database.plan(statement)

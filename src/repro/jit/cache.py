@@ -19,6 +19,7 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from ..cache.fingerprint import trace_key
 from ..obs import METRICS, OBS
 from ..obs import tracer as obs_tracer
 from .codegen import FusedUdf, PipelineSpec, generate_fused_udf
@@ -68,7 +69,9 @@ class TraceCache:
             if not self.enabled:
                 self.misses += 1
                 if OBS.metrics:
-                    METRICS.counter("repro_trace_cache_misses_total").inc()
+                    METRICS.counter(
+                        "repro_cache_misses_total", tier="trace"
+                    ).inc()
                 fused = _compile(spec)
                 self._key_by_name[fused.definition.name] = key
                 return fused, False
@@ -76,19 +79,25 @@ class TraceCache:
             if entry is not None:
                 self.hits += 1
                 if OBS.metrics:
-                    METRICS.counter("repro_trace_cache_hits_total").inc()
+                    METRICS.counter(
+                        "repro_cache_hits_total", tier="trace"
+                    ).inc()
                 self._entries.move_to_end(key)
                 self._key_by_name[entry.definition.name] = key
                 return entry, True
             self.misses += 1
             if OBS.metrics:
-                METRICS.counter("repro_trace_cache_misses_total").inc()
+                METRICS.counter("repro_cache_misses_total", tier="trace").inc()
             fused = _compile(spec)
             self._entries[key] = fused
             self._key_by_name[fused.definition.name] = key
             if self.capacity is not None and len(self._entries) > self.capacity:
                 old_key, old_entry = self._entries.popitem(last=False)
                 self.evictions += 1
+                if OBS.metrics:
+                    METRICS.counter(
+                        "repro_cache_evictions_total", tier="trace"
+                    ).inc()
                 if self._key_by_name.get(old_entry.definition.name) == old_key:
                     del self._key_by_name[old_entry.definition.name]
             return fused, False
@@ -109,6 +118,10 @@ class TraceCache:
             if entry is None:
                 return False
             self.invalidations += 1
+            if OBS.metrics:
+                METRICS.counter(
+                    "repro_cache_invalidations_total", tier="trace"
+                ).inc()
             return True
 
     def invalidate_name(self, name: str) -> bool:
@@ -152,6 +165,7 @@ class TraceCache:
 
 def _cache_key(spec: PipelineSpec) -> Tuple:
     # The name is excluded: identical pipelines under different generated
-    # names must share one compiled trace.
-    key = list(spec.signature_key)
-    return tuple(key)
+    # names must share one compiled trace.  The key derivation is shared
+    # with the fusion blocklist (repro.cache.fingerprint.trace_key), so a
+    # blocklisted section and its trace can never disagree on identity.
+    return trace_key(spec.signature_key)

@@ -199,22 +199,36 @@ class PipelineSpec:
     @property
     def signature_key(self) -> Tuple:
         """A structural identity used by the trace cache: two pipelines
-        with the same key compile to the same code."""
+        with the same key compile to the same code.
+
+        UDF stages are identified by name *plus* definition-content
+        fingerprint (:func:`repro.cache.fingerprint.definition_fingerprint`),
+        so re-registering a UDF with a changed body can never hit the
+        trace compiled from the old body."""
+        from ..cache.fingerprint import definition_fingerprint
+
         parts: List[Tuple] = [tuple(self.inputs), self.outputs, self.output_types]
         for stage in self.stages:
             if isinstance(stage, ScalarUdfStage):
-                parts.append(("scalar", stage.udf.name, stage.args, stage.out))
+                parts.append(
+                    ("scalar", stage.udf.name,
+                     definition_fingerprint(stage.udf),
+                     stage.args, stage.out)
+                )
             elif isinstance(stage, ExprStage):
                 parts.append(("expr", stage.src, stage.args, stage.out, stage.strict))
             elif isinstance(stage, FilterStage):
                 parts.append(("filter", stage.src, stage.args))
             elif isinstance(stage, TableUdfStage):
                 parts.append(
-                    ("table", stage.udf.name, stage.args, stage.const_args, stage.outs)
+                    ("table", stage.udf.name,
+                     definition_fingerprint(stage.udf),
+                     stage.args, stage.const_args, stage.outs)
                 )
             elif isinstance(stage, AggregateStage):
                 parts.append(
                     ("agg", stage.udf.name if stage.udf else stage.builtin,
+                     definition_fingerprint(stage.udf) if stage.udf else "",
                      stage.args, stage.out)
                 )
             elif isinstance(stage, DistinctStage):

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional
 
 from ..errors import CatalogError
@@ -39,6 +40,11 @@ class Catalog:
     def __init__(self):
         self._tables: Dict[str, Table] = {}
         self._stats: Dict[str, TableStats] = {}
+        # Snapshot epochs: monotonically increasing per-table counters,
+        # bumped on every load/insert/update/delete/drop.  The result
+        # cache keys on them, so any write retires dependent entries.
+        self._epochs: Dict[str, int] = {}
+        self._epoch_lock = threading.Lock()
 
     def register(self, table: Table, *, replace: bool = False) -> None:
         """Add a table; ``replace=True`` overwrites an existing one."""
@@ -51,6 +57,7 @@ class Catalog:
             )
         self._tables[key] = table
         self._stats[key] = TableStats(table)
+        self.touch(table.name)
 
     def drop(self, name: str) -> None:
         """Remove a table."""
@@ -59,6 +66,27 @@ class Catalog:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[key]
         del self._stats[key]
+        self.touch(name)
+
+    # ------------------------------------------------------------------
+    # Snapshot epochs
+    # ------------------------------------------------------------------
+
+    def epoch(self, name: str) -> int:
+        """The table's snapshot epoch (0 before the first registration)."""
+        return self._epochs.get(name.lower(), 0)
+
+    def touch(self, name: str) -> None:
+        """Advance a table's snapshot epoch (the write-tracking hook).
+
+        Also used by adapters whose storage lives outside this catalog
+        (the sqlite3 adapter): a DML statement that mutates engine-side
+        rows bumps the epoch here so dependent result-cache entries are
+        retired even though no :meth:`register` call happened.
+        """
+        key = name.lower()
+        with self._epoch_lock:
+            self._epochs[key] = self._epochs.get(key, 0) + 1
 
     def get(self, name: str) -> Table:
         """Look up a table by name."""

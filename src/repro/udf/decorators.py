@@ -45,20 +45,28 @@ def scalar_udf(
     name: Optional[str] = None,
     args: Optional[Sequence[Any]] = None,
     returns: Optional[Any] = None,
-    deterministic: bool = True,
+    deterministic: Optional[bool] = None,
     cost: Optional[float] = None,
 ):
-    """Mark a function as a scalar UDF: one output value per input row."""
+    """Mark a function as a scalar UDF: one output value per input row.
+
+    ``deterministic`` is tri-state: ``True`` declares purity (enables
+    reordering *and* memo/result caching), ``False`` forbids reordering,
+    and the default ``None`` keeps the legacy reorder-friendly behaviour
+    while leaving the UDF ineligible for caching.
+    """
 
     def wrap(target: Callable) -> Callable:
         return_types = None if returns is None else _as_sequence(returns)
         signature = infer_signature(target, arg_types=args, return_types=return_types)
+        det, annotated = _resolve_deterministic(deterministic)
         target.__udf__ = UdfDefinition(
             name=name or target.__name__,
             kind=UdfKind.SCALAR,
             func=target,
             signature=signature,
-            deterministic=deterministic,
+            deterministic=det,
+            deterministic_annotated=annotated,
             cost_hint=cost,
         )
         return target
@@ -73,6 +81,7 @@ def aggregate_udf(
     args: Optional[Sequence[Any]] = None,
     returns: Optional[Any] = None,
     materializes_input: bool = False,
+    deterministic: Optional[bool] = None,
     cost: Optional[float] = None,
 ):
     """Mark a class as an aggregate UDF using the init-step-final model.
@@ -96,12 +105,15 @@ def aggregate_udf(
         if returns is not None:
             return_types = _as_sequence(returns)
         signature = _aggregate_signature(target, args, return_types)
+        det, annotated = _resolve_deterministic(deterministic)
         target.__udf__ = UdfDefinition(
             name=name or target.__name__,
             kind=UdfKind.AGGREGATE,
             func=target,
             signature=signature,
             materializes_input=materializes_input,
+            deterministic=det,
+            deterministic_annotated=annotated,
             cost_hint=cost,
         )
         return target
@@ -117,6 +129,7 @@ def table_udf(
     output: Optional[Sequence[str]] = None,
     types: Optional[Sequence[Any]] = None,
     materializes_input: bool = False,
+    deterministic: Optional[bool] = None,
     cost: Optional[float] = None,
 ):
     """Mark a generator function as a table UDF.
@@ -162,18 +175,30 @@ def table_udf(
                 f"but {len(return_types)} output types"
             )
         signature = UdfSignature(arg_names, declared, return_types)
+        det, annotated = _resolve_deterministic(deterministic)
         target.__udf__ = UdfDefinition(
             name=name or target.__name__,
             kind=UdfKind.TABLE,
             func=target,
             signature=signature,
             materializes_input=materializes_input,
+            deterministic=det,
+            deterministic_annotated=annotated,
             out_columns=out_columns,
             cost_hint=cost,
         )
         return target
 
     return wrap if func is None else wrap(func)
+
+
+def _resolve_deterministic(flag: Optional[bool]) -> Tuple[bool, bool]:
+    """Map the tri-state ``deterministic`` flag to ``(deterministic,
+    deterministic_annotated)``: None keeps the legacy reorderable default
+    without opting into caching."""
+    if flag is None:
+        return True, False
+    return bool(flag), bool(flag)
 
 
 def _as_sequence(value: Any) -> Sequence[Any]:

@@ -67,6 +67,12 @@ class UdfDefinition:
     out_columns: Tuple[str, ...] = ()
     strict: bool = True
     deterministic: bool = True
+    #: True only when the author *explicitly* declared determinism
+    #: (``deterministic=True`` at the decorator or at registration).
+    #: ``deterministic`` above defaults True for legacy reordering
+    #: behaviour, so memo/result caching gates on this stricter flag —
+    #: unannotated UDFs are conservatively treated as impure for caching.
+    deterministic_annotated: bool = False
     #: For generated (fused) table UDFs: a batch generator yielding
     #: ``(input_row_index, out...)`` tuples, letting expand-mode
     #: execution stream the whole input through one generator instead of

@@ -13,6 +13,7 @@ same path (section 5.3), so the registry is also the fused-UDF registry.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -24,6 +25,7 @@ from ..errors import (
 )
 from ..obs import DEFAULT_BYTES_BUCKETS, DEFAULT_SIZE_BUCKETS, METRICS, OBS
 from ..obs import tracer as obs_tracer
+from ..cache.fingerprint import definition_fingerprint
 from ..resilience.breaker import BreakerBoard
 from ..resilience.governor import udf_batch_guard
 from ..storage.column import Column
@@ -60,6 +62,11 @@ class RegisteredUdf:
     @property
     def kind(self) -> UdfKind:
         return self.definition.kind
+
+    @property
+    def version(self) -> int:
+        """The definition version (bumped on changed re-registration)."""
+        return self._registry.version_of(self.definition.name)
 
     # ------------------------------------------------------------------
     # Engine-facing invocation (columns in, columns out).  All stats
@@ -152,6 +159,14 @@ class RegisteredUdf:
 
     def call_scalar(self, inputs: Sequence[Column], size: int) -> Column:
         """Run a scalar UDF over aligned input columns."""
+        memo = self._registry.memo
+        memo_key = None
+        if memo is not None:
+            memo_key = memo.batch_key(self, inputs, size)
+            if memo_key is not None:
+                hit, cached = memo.lookup(memo_key)
+                if hit:
+                    return cached
         pool = self._pool()
         if pool is not None:
             raw = [boundary.column_to_c(col) for col in inputs]
@@ -174,9 +189,12 @@ class RegisteredUdf:
                 lambda: self._cross(self.wrapper.entry(c_inputs, size)), size
             )
         self._registry.stats.observe(self.name, size, size, elapsed)
-        return boundary.c_values_to_column(
+        column = boundary.c_values_to_column(
             self.name, self.definition.signature.return_types[0], c_result
         )
+        if memo_key is not None:
+            memo.put(memo_key, column)
+        return column
 
     def call_scalar_value(self, args: Sequence[Any]) -> Any:
         """Run a scalar UDF once on already-converted Python values.
@@ -187,6 +205,14 @@ class RegisteredUdf:
         """
         from ..resilience import runtime
 
+        memo = self._registry.memo
+        memo_key = None
+        if memo is not None:
+            memo_key = memo.value_key(self, args)
+            if memo_key is not None:
+                hit, cached = memo.lookup(memo_key)
+                if hit:
+                    return cached
         pool = self._pool()
 
         def invoke() -> Any:
@@ -217,6 +243,8 @@ class RegisteredUdf:
 
         result, elapsed = self._guarded(run, 1, arm_cap=pool is None)
         self._registry.stats.observe(self.name, 1, 1, elapsed)
+        if memo_key is not None:
+            memo.put(memo_key, result)
         return result
 
     def call_aggregate(
@@ -397,6 +425,16 @@ class UdfRegistry:
         self._udfs: Dict[str, RegisteredUdf] = {}
         self.stats = stats if stats is not None else StatsStore()
         self.channel = channel
+        #: Definition versions: bumped when a re-registration changes the
+        #: definition's content fingerprint (body, signature, flags).
+        #: Versions survive drops so a drop+re-add of a *changed* body
+        #: still rotates memo/result cache keys.
+        self._versions: Dict[str, int] = {}
+        self._def_fps: Dict[str, str] = {}
+        self._version_listeners: List[Callable[[str, int], None]] = []
+        #: UDF memoization cache (:class:`repro.cache.memo.UdfMemoCache`),
+        #: attached by the CacheManager when the tier is enabled.
+        self.memo: Optional[Any] = None
         #: Process-isolation worker pool
         #: (:class:`repro.resilience.workers.WorkerPool`); when set, UDF
         #: batches execute in supervised worker processes instead of
@@ -417,6 +455,8 @@ class UdfRegistry:
         *,
         replace: bool = False,
         dialect: Optional[Any] = None,
+        deterministic: Optional[bool] = None,
+        version: Optional[int] = None,
     ) -> RegisteredUdf:
         """Register a decorated UDF (or a raw :class:`UdfDefinition`).
 
@@ -424,14 +464,28 @@ class UdfRegistry:
         ``@aggregate_udf`` / ``@table_udf`` decorators.  Builds the
         wrapper, records the CREATE FUNCTION statement, and makes the UDF
         resolvable by the planner.
+
+        ``deterministic`` overrides the decorator's annotation at
+        registration time (the CREATE FUNCTION ... DETERMINISTIC clause);
+        passing it counts as an explicit annotation for cache
+        eligibility.  ``version`` pins the definition version; without
+        it, versions advance automatically whenever a re-registration
+        changes the definition's content fingerprint.
         """
         definition = self._definition_of(udf)
+        if deterministic is not None:
+            definition = dataclasses.replace(
+                definition,
+                deterministic=bool(deterministic),
+                deterministic_annotated=bool(deterministic),
+            )
         key = definition.name
         if key in self._udfs and not replace:
             raise UdfRegistrationError(f"UDF {definition.name!r} already registered")
         wrapper = build_wrapper(definition)
         registered = RegisteredUdf(definition, wrapper, self)
         self._udfs[key] = registered
+        self._advance_version(key, definition, version)
         if dialect is not None:
             self.create_statements.append(dialect.create_function_sql(definition))
         else:
@@ -442,6 +496,38 @@ class UdfRegistry:
         """Register several decorated UDFs."""
         for udf in udfs:
             self.register(udf, replace=replace)
+
+    # ------------------------------------------------------------------
+    # Definition versioning
+    # ------------------------------------------------------------------
+
+    def _advance_version(
+        self, key: str, definition: UdfDefinition, pinned: Optional[int]
+    ) -> None:
+        fp = definition_fingerprint(definition)
+        old_fp = self._def_fps.get(key)
+        old_version = self._versions.get(key)
+        if pinned is not None:
+            new_version = pinned
+        elif old_version is None:
+            new_version = 1
+        elif fp != old_fp:
+            new_version = old_version + 1
+        else:
+            new_version = old_version
+        self._def_fps[key] = fp
+        if new_version != old_version:
+            self._versions[key] = new_version
+            for listener in self._version_listeners:
+                listener(key, new_version)
+
+    def version_of(self, name: str) -> int:
+        """The current definition version (0 for never-registered names)."""
+        return self._versions.get(name.lower(), 0)
+
+    def add_version_listener(self, callback: Callable[[str, int], None]) -> None:
+        """Subscribe to version bumps: ``callback(name, new_version)``."""
+        self._version_listeners.append(callback)
 
     @staticmethod
     def _definition_of(udf: Any) -> UdfDefinition:

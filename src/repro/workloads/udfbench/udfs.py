@@ -21,7 +21,7 @@ __all__ = ["ALL_UDFS"]
 # ----------------------------------------------------------------------
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def lower(val: str) -> str:
     return val.lower()
 
@@ -29,7 +29,7 @@ def lower(val: str) -> str:
 _WS = re.compile(r"\s+")
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def normalize(val: str) -> str:
     """Collapse runs of whitespace and trim."""
     return _WS.sub(" ", val).strip()
@@ -38,7 +38,7 @@ def normalize(val: str) -> str:
 _SHORT = re.compile(r"\b\w{1,2}\b")
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def removeshortterms_text(val: str) -> str:
     """Drop 1-2 character tokens from a plain string (regex based)."""
     return _WS.sub(" ", _SHORT.sub("", val)).strip()
@@ -48,7 +48,7 @@ _DMY = re.compile(r"^(\d{1,2})[-/](\d{1,2})[-/](\d{4})$")
 _YMD = re.compile(r"^(\d{4})[-/]?(\d{1,2})[-/]?(\d{1,2})$")
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def cleandate(val: str) -> str:
     """Standardize a messy date string to ISO ``YYYY-MM-DD``."""
     s = val.strip()
@@ -63,7 +63,7 @@ def cleandate(val: str) -> str:
     return s
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def extractmonth(val: str) -> int:
     """Month number from a (possibly messy) date string."""
     s = val.strip()
@@ -76,7 +76,7 @@ def extractmonth(val: str) -> int:
     return 0
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def extractyear(val: str) -> int:
     s = val.strip()
     m = _DMY.match(s)
@@ -93,41 +93,41 @@ def extractyear(val: str) -> int:
 # ----------------------------------------------------------------------
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def jlower(values: list) -> list:
     """Lower-case every author name in a JSON list."""
     return [v.lower() for v in values]
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def removeshortterms(values: list) -> list:
     """Remove 1-2 character tokens from every name in a JSON list."""
     return [_WS.sub(" ", _SHORT.sub("", v)).strip() for v in values]
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def jsortvalues(values: list) -> list:
     """Sort the tokens *within* each element of a JSON list."""
     return [" ".join(sorted(v.split())) for v in values]
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def jsort(values: list) -> list:
     """Sort a JSON list."""
     return sorted(values)
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def extractid(project: dict) -> str:
     return project.get("id")
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def extractfunder(project: dict) -> str:
     return project.get("funder")
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def extractclass(project: dict) -> str:
     return project.get("class")
 
@@ -137,13 +137,13 @@ def extractclass(project: dict) -> str:
 # ----------------------------------------------------------------------
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def jpack(text: str) -> list:
     """Tokenize a string into a JSON array (serialized by the wrapper)."""
     return text.split()
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def jsoncount(values: list) -> int:
     """Count elements of a JSON array (deserialized by the wrapper)."""
     return len(values)
@@ -154,7 +154,7 @@ def jsoncount(values: list) -> int:
 # ----------------------------------------------------------------------
 
 
-@aggregate_udf
+@aggregate_udf(deterministic=True)
 class countvals:
     """Count non-NULL inputs (init-step-final)."""
 
@@ -168,7 +168,7 @@ class countvals:
         return self.count
 
 
-@aggregate_udf
+@aggregate_udf(deterministic=True)
 class countauthors:
     """Total number of author names across JSON lists."""
 
@@ -182,7 +182,7 @@ class countauthors:
         return self.count
 
 
-@aggregate_udf
+@aggregate_udf(deterministic=True)
 class avglen:
     """Average string length."""
 
@@ -198,7 +198,7 @@ class avglen:
         return self.total / self.count if self.count else 0.0
 
 
-@aggregate_udf(materializes_input=True)
+@aggregate_udf(materializes_input=True, deterministic=True)
 class medianlen:
     """Median string length — a *blocking* aggregate (materializes its
     input), so loop fusion does not apply (Table 2)."""
@@ -224,7 +224,7 @@ class medianlen:
 # ----------------------------------------------------------------------
 
 
-@table_udf(output=("authorpair",), types=(str,))
+@table_udf(output=("authorpair",), types=(str,), deterministic=True)
 def combinations(inp_datagen, k: int):
     """All k-combinations of a JSON list, one row per combination.
 
@@ -238,7 +238,7 @@ def combinations(inp_datagen, k: int):
             yield (" | ".join(combo),)
 
 
-@table_udf(output=("token",), types=(str,))
+@table_udf(output=("token",), types=(str,), deterministic=True)
 def tokens(inp_datagen):
     """Split each input string into one row per token."""
     for (text,) in inp_datagen:
@@ -248,7 +248,7 @@ def tokens(inp_datagen):
             yield (token,)
 
 
-@table_udf(output=("year", "month", "day"), types=(int, int, int))
+@table_udf(output=("year", "month", "day"), types=(int, int, int), deterministic=True)
 def splitdate(inp_datagen):
     """Split a clean ISO date into numeric components (3-column output)."""
     for (text,) in inp_datagen:

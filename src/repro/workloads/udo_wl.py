@@ -21,7 +21,7 @@ from .datagen import scale_rows
 __all__ = ["ALL_UDFS", "QUERIES", "build_tables", "setup"]
 
 
-@table_udf(output=("value",), types=(int,))
+@table_udf(output=("value",), types=(int,), deterministic=True)
 def split_values(inp_datagen):
     """Q17's operator: split each JSON integer array into rows."""
     for (values,) in inp_datagen:
@@ -31,7 +31,7 @@ def split_values(inp_datagen):
             yield (value,)
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def contains_database(text: str) -> bool:
     """Q18's operator: does the text mention 'database'?"""
     return "database" in text.lower()

@@ -24,13 +24,13 @@ from .datagen import scale_rows
 __all__ = ["ALL_UDFS", "QUERIES", "build_tables", "setup"]
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def scale_pop(value: int) -> float:
     """Normalize a raw population count to thousands."""
     return value / 1000.0
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def log_area(value: float) -> float:
     """A cheap numeric transform over the area column."""
     return value ** 0.5
@@ -39,7 +39,7 @@ def log_area(value: float) -> float:
 _NUM = re.compile(r"-?\d+")
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def clean_int(val: str) -> int:
     """Extract the integer from a dirty string (' 012a' -> 12); 0 when
     nothing numeric is present."""
@@ -47,7 +47,7 @@ def clean_int(val: str) -> int:
     return int(m.group(0)) if m else 0
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def is_valid_code(val: str) -> bool:
     """A dirty string is valid when it contains any digits."""
     return _NUM.search(val) is not None

@@ -29,35 +29,35 @@ __all__ = ["ALL_UDFS", "QUERIES", "build_tables", "setup"]
 _DIGITS = re.compile(r"(\d+)")
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def extract_bd(val: str) -> int:
     """'3 bds' -> 3."""
     m = _DIGITS.search(val)
     return int(m.group(1)) if m else 0
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def extract_ba(val: str) -> float:
     """'2.5 ba' -> 2.5."""
     m = re.search(r"(\d+(?:\.\d+)?)", val)
     return float(m.group(1)) if m else 0.0
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def extract_sqft(val: str) -> int:
     """'1,250 sqft' -> 1250."""
     m = _DIGITS.search(val.replace(",", ""))
     return int(m.group(1)) if m else 0
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def extract_price(val: str) -> int:
     """'$450,000' -> 450000."""
     m = _DIGITS.search(val.replace(",", "").replace("$", ""))
     return int(m.group(1)) if m else 0
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def extract_offer(val: str) -> str:
     """'House For Sale' -> 'sale' (offer kind from the type string)."""
     s = val.lower()
@@ -70,7 +70,7 @@ def extract_offer(val: str) -> str:
     return "other"
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def extract_type(val: str) -> str:
     """'House For Sale' -> 'house'."""
     s = val.lower()
@@ -83,31 +83,31 @@ def extract_type(val: str) -> str:
     return "other"
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def clean_city(val: str) -> str:
     return val.strip().title()
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def lower(val: str) -> str:
     return val.lower()
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def strip_params(url: str) -> str:
     """Drop the query string of a URL."""
     cut = url.find("?")
     return url if cut < 0 else url[:cut]
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def url_depth(url: str) -> int:
     """Number of path segments in a URL."""
     path = url.split("://", 1)[-1]
     return sum(1 for part in path.split("/")[1:] if part)
 
 
-@scalar_udf
+@scalar_udf(deterministic=True)
 def extract_domain(url: str) -> str:
     return url.split("://", 1)[-1].split("/", 1)[0]
 

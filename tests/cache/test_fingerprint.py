@@ -1,0 +1,158 @@
+"""Unit tests for the shared identity module (repro.cache.fingerprint)."""
+
+from repro.cache import fingerprint as fp
+from repro.sql.parser import parse
+from repro.udf import scalar_udf
+
+
+class TestDigest:
+    def test_stable_across_calls(self):
+        assert fp.digest({"a": 1, "b": [2, 3]}) == fp.digest({"b": [2, 3], "a": 1})
+
+    def test_distinguishes_values(self):
+        assert fp.digest((1, 2)) != fp.digest((2, 1))
+
+    def test_callables_by_content(self):
+        def f(x):
+            return x + 1
+
+        def g(x):
+            return x + 1
+
+        def h(x):
+            return x + 2
+
+        assert fp.digest(f) == fp.digest(g)
+        assert fp.digest(f) != fp.digest(h)
+
+    def test_class_callables_by_method_content(self):
+        class A:
+            def step(self, v):
+                self.t = v
+
+            def final(self):
+                return self.t
+
+        class B:
+            def step(self, v):
+                self.t = v
+
+            def final(self):
+                return self.t
+
+        class C:
+            def step(self, v):
+                self.t = v * 2
+
+            def final(self):
+                return self.t
+
+        # The class name participates (conservative), so normalize it to
+        # isolate method-content identity.
+        B.__name__ = C.__name__ = "A"
+        assert fp.digest(A) == fp.digest(B)
+        assert fp.digest(A) != fp.digest(C)
+
+
+class TestSqlFingerprint:
+    def test_formatting_invariant(self):
+        a = fp.sql_fingerprint("SELECT a FROM t WHERE a < 10")
+        b = fp.sql_fingerprint("select   a\nfrom t\nwhere a<10")
+        assert a == b
+
+    def test_different_queries_differ(self):
+        assert fp.sql_fingerprint("SELECT a FROM t") != fp.sql_fingerprint(
+            "SELECT b FROM t"
+        )
+
+    def test_accepts_parsed_statements(self):
+        stmt = parse("SELECT a FROM t")
+        assert fp.sql_fingerprint(stmt) == fp.sql_fingerprint("SELECT a FROM t")
+
+
+class TestDefinitionFingerprint:
+    def test_changed_body_changes_fingerprint(self):
+        @scalar_udf(name="df_u")
+        def u1(x: int) -> int:
+            return x + 1
+
+        @scalar_udf(name="df_u")
+        def u2(x: int) -> int:
+            return x + 2
+
+        assert fp.definition_fingerprint(u1.__udf__) != fp.definition_fingerprint(
+            u2.__udf__
+        )
+
+    def test_identical_body_same_fingerprint(self):
+        @scalar_udf(name="df_v")
+        def v1(x: int) -> int:
+            return x * 3
+
+        @scalar_udf(name="df_v")
+        def v2(x: int) -> int:
+            return x * 3
+
+        assert fp.definition_fingerprint(v1.__udf__) == fp.definition_fingerprint(
+            v2.__udf__
+        )
+
+    def test_deterministic_flag_participates(self):
+        @scalar_udf(name="df_w")
+        def w1(x: int) -> int:
+            return x
+
+        @scalar_udf(name="df_w", deterministic=False)
+        def w2(x: int) -> int:
+            return x
+
+        assert fp.definition_fingerprint(w1.__udf__) != fp.definition_fingerprint(
+            w2.__udf__
+        )
+
+
+class TestTraceKey:
+    def test_passthrough_tuple(self):
+        # The trace cache's raw structural keys are the canonical form;
+        # the shared derivation must not digest them.
+        assert fp.trace_key(("a",)) == ("a",)
+        assert fp.trace_key(["a", ("b", 1)]) == ("a", ("b", 1))
+
+
+class TestStatementTables:
+    def test_simple_select(self):
+        stmt = parse("SELECT a FROM t WHERE a > 1")
+        assert fp.statement_tables(stmt) == ["t"]
+
+    def test_join_and_subquery(self):
+        stmt = parse(
+            "SELECT * FROM t1 JOIN (SELECT a FROM t2) s ON t1.a = s.a"
+        )
+        assert fp.statement_tables(stmt) == ["t1", "t2"]
+
+    def test_cte_names_excluded(self):
+        stmt = parse("WITH c AS (SELECT a FROM base) SELECT a FROM c")
+        assert fp.statement_tables(stmt) == ["base"]
+
+    def test_non_select_is_none(self):
+        assert fp.statement_tables(parse("INSERT INTO t VALUES (1)")) is None
+
+    def test_written_tables(self):
+        assert fp.written_tables(parse("INSERT INTO t VALUES (1)")) == ["t"]
+        assert fp.written_tables(parse("DELETE FROM x WHERE a = 1")) == ["x"]
+        assert fp.written_tables(parse("UPDATE y SET a = 1")) == ["y"]
+        assert fp.written_tables(parse("SELECT a FROM t")) == []
+
+
+class TestConfigFingerprint:
+    def test_any_field_participates(self):
+        from repro.core.config import QFusorConfig
+
+        base = QFusorConfig()
+        assert fp.config_fingerprint(base) == fp.config_fingerprint(QFusorConfig())
+        assert fp.config_fingerprint(base) != fp.config_fingerprint(
+            base.ablated(inline=False)
+        )
+        assert fp.config_fingerprint(base) != fp.config_fingerprint(
+            QFusorConfig.cached()
+        )

@@ -1,0 +1,77 @@
+"""Unit tests for the shared bounded LRU map."""
+
+import threading
+
+from repro.cache import LruMap
+
+
+class TestLruMap:
+    def test_get_put_and_counters(self):
+        m = LruMap(4)
+        assert m.get("a") is None
+        assert m.misses == 1
+        m.put("a", 1)
+        assert m.get("a") == 1
+        assert m.hits == 1
+        assert len(m) == 1 and "a" in m
+
+    def test_eviction_order_is_lru(self):
+        m = LruMap(2)
+        m.put("a", 1)
+        m.put("b", 2)
+        m.get("a")  # refresh a: b becomes LRU
+        m.put("c", 3)
+        assert "a" in m and "c" in m and "b" not in m
+        assert m.evictions == 1
+
+    def test_peek_does_not_touch_recency(self):
+        m = LruMap(2)
+        m.put("a", 1)
+        m.put("b", 2)
+        m.peek("a")  # a stays LRU
+        m.put("c", 3)
+        assert "a" not in m
+        assert m.hits == 0 and m.misses == 0
+
+    def test_pop_and_pop_matching(self):
+        m = LruMap(8)
+        for i in range(5):
+            m.put(("u", i), i)
+        m.put(("v", 0), 99)
+        assert m.pop(("v", 0))
+        assert not m.pop(("v", 0))
+        assert m.pop_matching(lambda k: k[0] == "u") == 5
+        assert len(m) == 0
+        assert m.invalidations == 6
+
+    def test_capacity_clamped_to_one(self):
+        m = LruMap(0)
+        m.put("a", 1)
+        m.put("b", 2)
+        assert len(m) == 1 and "b" in m
+
+    def test_unbounded_when_capacity_none(self):
+        m = LruMap(None)
+        for i in range(1000):
+            m.put(i, i)
+        assert len(m) == 1000 and m.evictions == 0
+
+    def test_thread_safety_smoke(self):
+        m = LruMap(64)
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(500):
+                    m.put((tag, i % 100), i)
+                    m.get((tag, (i + 1) % 100))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(m) <= 64

@@ -1,0 +1,101 @@
+"""Property test: caching is invisible under arbitrary interleavings.
+
+For each engine family, a cache-enabled QFusor and an identical
+cache-disabled twin receive the same random interleaving of DML,
+UDF re-registrations, and queries.  After every query, the cached
+engine's rows must be byte-identical to the twin's (which always runs
+cold) — any missed epoch bump, stale definition version, or bad key
+derivation surfaces as a divergence.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.core import QFusor
+from repro.core.config import QFusorConfig
+from repro.engines import MiniDbAdapter, RowStoreAdapter, SqliteAdapter
+from repro.storage.table import Table
+from repro.types import SqlType
+from repro.udf import scalar_udf
+
+
+def _make_udf(body_idx):
+    factor = (2, 3, 7)[body_idx]
+
+    @scalar_udf(name="hyp_udf", deterministic=True)
+    def hyp_udf(x: int) -> int:
+        return x * factor + body_idx
+
+    return hyp_udf
+
+
+QUERIES = (
+    "SELECT a, hyp_udf(b) AS h FROM t WHERE a < 6",
+    "SELECT hyp_udf(a) AS h FROM t",
+    "SELECT a, b FROM t WHERE b > 10",
+    "SELECT a + b AS s FROM t",
+)
+
+_ops = st.one_of(
+    st.tuples(
+        st.just("insert"),
+        st.integers(min_value=-5, max_value=9),
+        st.integers(min_value=-20, max_value=40),
+    ),
+    st.tuples(st.just("delete"), st.integers(min_value=-5, max_value=9)),
+    st.tuples(st.just("rereg"), st.integers(min_value=0, max_value=2)),
+    st.tuples(st.just("query"), st.integers(min_value=0, max_value=len(QUERIES) - 1)),
+)
+
+
+def _fresh(adapter_cls, config):
+    qf = QFusor(adapter_cls(), config)
+    qf.register_table(
+        Table.from_dict(
+            "t",
+            {"a": (SqlType.INT, [1, 2, 3, 4, 5]),
+             "b": (SqlType.INT, [10, 20, 30, 40, 50])},
+        ),
+        replace=True,
+    )
+    qf.register_udf(_make_udf(0))
+    return qf
+
+
+def _norm(table):
+    return sorted(tuple(row) for row in table.rows())
+
+
+@pytest.mark.parametrize(
+    "adapter_cls", [MiniDbAdapter, RowStoreAdapter, SqliteAdapter],
+    ids=["minidb", "minidb_row", "sqlite"],
+)
+@settings(max_examples=30, deadline=None)
+@given(ops=st.lists(_ops, min_size=1, max_size=12))
+def test_cached_matches_cold_twin(adapter_cls, ops):
+    cached = _fresh(adapter_cls, QFusorConfig.cached())
+    twin = _fresh(adapter_cls, QFusorConfig())
+    try:
+        for op in ops:
+            if op[0] == "insert":
+                sql = f"INSERT INTO t VALUES ({op[1]}, {op[2]})"
+                cached.execute(sql)
+                twin.execute(sql)
+            elif op[0] == "delete":
+                sql = f"DELETE FROM t WHERE a = {op[1]}"
+                cached.execute(sql)
+                twin.execute(sql)
+            elif op[0] == "rereg":
+                udf = _make_udf(op[1])
+                cached.register_udf(udf, replace=True)
+                twin.register_udf(udf, replace=True)
+            else:
+                sql = QUERIES[op[1]]
+                assert _norm(cached.execute(sql)) == _norm(twin.execute(sql)), sql
+    finally:
+        for qf in (cached, twin):
+            closer = getattr(qf.adapter, "close", None)
+            if closer is not None:
+                closer()

@@ -1,0 +1,133 @@
+"""Cache-stampede (dogpile) tests for single-flight execution.
+
+Slow by nature (threads waiting on a deliberately slow query), so the
+whole module is behind the RUN_SLOW gate like the governance
+concurrency suite.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import QFusor
+from repro.core.config import QFusorConfig
+from repro.engines import MiniDbAdapter
+from repro.errors import QueryTimeoutError
+from repro.storage.table import Table
+from repro.types import SqlType
+from repro.udf import scalar_udf
+
+pytestmark = pytest.mark.slow
+
+
+@scalar_udf(name="slow_double", deterministic=True)
+def slow_double(x: int) -> int:
+    time.sleep(0.05)
+    return x * 2
+
+
+QUERY = "SELECT a, slow_double(a) AS d FROM st"
+
+
+def _engine():
+    qf = QFusor(MiniDbAdapter(), QFusorConfig.cached())
+    qf.register_table(
+        Table.from_dict("st", {"a": (SqlType.INT, [1, 2, 3, 4])}),
+        replace=True,
+    )
+    qf.register_udf(slow_double)
+    return qf
+
+
+def _count_pipeline_runs(qf):
+    """Wrap the real pipeline so each genuine execution is counted."""
+    runs = []
+    original = qf._run_pipeline
+
+    def counted(statement, report):
+        runs.append(threading.get_ident())
+        return original(statement, report)
+
+    qf._run_pipeline = counted
+    return runs
+
+
+class TestStampede:
+    def test_n_threads_one_execution(self):
+        qf = _engine()
+        runs = _count_pipeline_runs(qf)
+        start = threading.Barrier(8, timeout=10.0)
+        results = []
+
+        def query():
+            start.wait()
+            results.append(sorted(qf.execute(QUERY).rows()))
+
+        threads = [threading.Thread(target=query) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+
+        # The stampede collapsed to a single pipeline execution; every
+        # thread saw identical rows, via lead/shared/hit.
+        assert len(runs) == 1
+        assert all(r == results[0] for r in results)
+        assert results[0] == [(1, 2), (2, 4), (3, 6), (4, 8)]
+        assert qf.caches.results.shared + qf.caches.results.hits == 7
+        assert qf.caches.results.promotions == 0
+
+    def test_leader_timeout_promotes_follower(self):
+        qf = _engine()
+        original = qf._run_pipeline
+        runs = []
+        fail_first = threading.Event()
+
+        def flaky(statement, report):
+            first = not fail_first.is_set()
+            fail_first.set()
+            runs.append("fail" if first else "ok")
+            if first:
+                # The leader's deadline fires inside the pipeline.
+                time.sleep(0.2)
+                raise QueryTimeoutError(timeout_s=0.2)
+            return original(statement, report)
+
+        qf._run_pipeline = flaky
+        start = threading.Barrier(4, timeout=10.0)
+        outcomes = []
+
+        def query():
+            start.wait()
+            try:
+                rows = sorted(qf.execute(QUERY).rows())
+                outcomes.append(("ok", rows))
+            except QueryTimeoutError:
+                outcomes.append(("timeout", None))
+
+        threads = [threading.Thread(target=query) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+
+        # The timeout hit the leader only; one follower promoted and
+        # executed for real; everyone else shared the promoted result.
+        assert runs == ["fail", "ok"]
+        assert sum(1 for kind, _ in outcomes if kind == "timeout") == 1
+        good = [rows for kind, rows in outcomes if kind == "ok"]
+        assert len(good) == 3
+        assert all(rows == [(1, 2), (2, 4), (3, 6), (4, 8)] for rows in good)
+        assert qf.caches.results.promotions >= 1
+
+    def test_real_deadline_cancels_only_the_governed_query(self):
+        """A genuinely-timed-out leader (real QueryContext deadline, no
+        stubs) leaves the cache empty and followers unharmed."""
+        qf = _engine()
+        with pytest.raises(QueryTimeoutError):
+            qf.execute(QUERY, timeout_s=0.01)
+        # Nothing was cached by the failed run.
+        rows = sorted(qf.execute(QUERY).rows())
+        assert rows == [(1, 2), (2, 4), (3, 6), (4, 8)]
+        assert qf.last_report.cache_outcome("result") == "store"

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import QFusor
+from repro.core.config import QFusorConfig
 from repro.engines import (
     DuckDbLikeAdapter, MiniDbAdapter, ParallelDbAdapter, RowStoreAdapter,
     SqliteAdapter, TupleDbAdapter,
@@ -32,6 +33,17 @@ _ADAPTERS = (
 #: through the supervised process-isolated worker pool.
 _PROCESS_ADAPTERS = (
     ("rowstore-proc", RowStoreAdapter, {"isolation": "process"}),
+)
+
+#: Engines that additionally run with every cache tier enabled (plan +
+#: UDF memo + result).  Each case executes twice on these — cold and
+#: immediately warm — and both results join the cross-system comparison,
+#: so a stale cache entry (missed epoch bump, bad key) shows up as a
+#: mismatch against the oracle.
+_CACHED_ADAPTERS = (
+    ("minidb-cached", MiniDbAdapter, {}),
+    ("rowstore-cached", RowStoreAdapter, {}),
+    ("dbx-cached", ParallelDbAdapter, {"threads": 2}),
 )
 
 
@@ -62,6 +74,16 @@ class DifferentialRunner:
             for udf in DIFF_UDFS:
                 adapter.register_udf(udf)
             self.engines.append((name, adapter, QFusor(adapter)))
+        self.cached_engines: List[Tuple[str, object, QFusor]] = []
+        for name, make, kwargs in _CACHED_ADAPTERS:
+            adapter = make(**kwargs)
+            for udf in DIFF_UDFS:
+                # The differential UDFs are pure: annotate so the memo
+                # and result tiers actually engage.
+                adapter.register_udf(udf, deterministic=True)
+            self.cached_engines.append(
+                (name, adapter, QFusor(adapter, QFusorConfig.cached()))
+            )
         self.oracle = SqliteAdapter()
         for udf in ORACLE_UDFS:
             self.oracle.register_udf(udf)
@@ -69,7 +91,7 @@ class DifferentialRunner:
 
     def close(self) -> None:
         """Release engine resources (worker pools, in particular)."""
-        for _name, adapter, _qf in self.engines:
+        for _name, adapter, _qf in self.engines + self.cached_engines:
             closer = getattr(adapter, "close", None)
             if closer is not None:
                 closer()
@@ -79,7 +101,7 @@ class DifferentialRunner:
     def _ensure_table(self, case: DiffCase) -> None:
         if self._registered_table is case.table:
             return
-        for _name, adapter, _qf in self.engines:
+        for _name, adapter, _qf in self.engines + self.cached_engines:
             adapter.register_table(case.table, replace=True)
         self.oracle.register_table(case.table, replace=True)
         self._registered_table = case.table
@@ -93,6 +115,9 @@ class DifferentialRunner:
                 lambda: adapter.execute_sql(case.sql)
             )
             out[f"{name}/fused"] = self._run(lambda: qfusor.execute(case.sql))
+        for name, _adapter, qfusor in self.cached_engines:
+            out[f"{name}/cold"] = self._run(lambda: qfusor.execute(case.sql))
+            out[f"{name}/warm"] = self._run(lambda: qfusor.execute(case.sql))
         if case.oracle_ok:
             out["sqlite-oracle"] = self._run(
                 lambda: self.oracle.execute_sql(case.sql)
