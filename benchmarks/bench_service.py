@@ -1,0 +1,195 @@
+"""Multi-tenant service benchmark: sustained QPS and overload behaviour.
+
+Two phases over the same three-tenant mix (a ``high``-lane vip, a
+``normal`` tenant, and a ``low``-lane batch tenant):
+
+1. **Steady state** — offered load below service capacity.  Measures
+   sustained QPS and the p50/p95/p99 end-to-end latency per tenant;
+   nothing should shed.
+
+2. **Overload ramp** — closed-loop clients far beyond capacity with a
+   short queue budget.  The service must shed (typed, with retry-after
+   hints), and — the acceptance gate — the p95 latency of the queries
+   it *does* serve must stay bounded: shedding converts overload into
+   explicit refusals instead of unbounded queueing for everyone.
+
+Enforced bounds:
+
+- steady phase: shed fraction < ``STEADY_SHED_CEILING`` (5%);
+- overload phase: at least one query shed, every outcome typed;
+- overload phase: served p95 < ``OVERLOAD_P95_BOUND_S``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.bench import FigureReport
+from repro.service import QueryService, TenantQuota, TERMINAL_STATUSES
+from repro.storage import Table
+from repro.types import SqlType
+from repro.udf import scalar_udf
+
+STEADY_SHED_CEILING = 0.05   # steady state must serve ~everything
+OVERLOAD_P95_BOUND_S = 1.0   # served latency stays bounded while shedding
+
+#: Per-row UDF service time; with ROWS rows this puts each query at a
+#: few milliseconds, so both phases finish in a couple of seconds.
+WORK_S = 0.002
+ROWS = 4
+
+SQL = "SELECT b_work(a) AS v FROM numbers"
+
+TENANTS = {
+    "vip": TenantQuota(weight=2.0, lane="high"),
+    "acme": TenantQuota(weight=1.0),
+    "batch": TenantQuota(weight=0.5, lane="low"),
+}
+
+
+@scalar_udf
+def b_work(x: int) -> int:
+    time.sleep(WORK_S)
+    return x + 1
+
+
+def _numbers() -> Table:
+    return Table.from_rows(
+        "numbers",
+        [("a", SqlType.INT), ("b", SqlType.INT)],
+        [(i, i * 10) for i in range(ROWS)],
+    )
+
+
+def _percentile(samples, q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _make_service(**knobs) -> QueryService:
+    service = QueryService(**knobs)
+    for tenant_id, quota in TENANTS.items():
+        session = service.add_tenant(tenant_id, quota)
+        session.register_table(_numbers(), replace=True)
+        session.register_udf(b_work, replace=True)
+    return service
+
+
+def _drive(service, clients_per_tenant: int, duration_s: float):
+    """Closed-loop clients per tenant; returns the outcome list."""
+    outcomes = []
+    lock = threading.Lock()
+    deadline = time.monotonic() + duration_s
+
+    def client(tenant_id):
+        while time.monotonic() < deadline:
+            started = time.perf_counter()
+            outcome = service.execute(tenant_id, SQL)
+            latency = time.perf_counter() - started
+            with lock:
+                outcomes.append((tenant_id, outcome, latency))
+            if outcome.shed:
+                # Well-behaved clients honor the retry-after hint
+                # (capped so the phase still exercises sustained shed).
+                time.sleep(min(outcome.retry_after_s or 0.01, 0.05))
+
+    threads = [
+        threading.Thread(target=client, args=(tenant_id,))
+        for tenant_id in TENANTS
+        for _ in range(clients_per_tenant)
+    ]
+    started = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return outcomes, time.monotonic() - started
+
+
+def _phase_stats(outcomes, elapsed_s):
+    served = [lat for _, o, lat in outcomes if o.ok]
+    shed = [o for _, o, _ in outcomes if o.shed]
+    return {
+        "total": len(outcomes),
+        "qps": len(served) / elapsed_s if elapsed_s else 0.0,
+        "shed_pct": 100.0 * len(shed) / len(outcomes) if outcomes else 0.0,
+        "p50_ms": _percentile(served, 0.50) * 1000,
+        "p95_ms": _percentile(served, 0.95) * 1000,
+        "p99_ms": _percentile(served, 0.99) * 1000,
+        "served_p95_s": _percentile(served, 0.95),
+        "shed": shed,
+        "outcomes": outcomes,
+    }
+
+
+def run_report(duration_s: float = 1.5) -> FigureReport:
+    report = FigureReport(
+        "service",
+        "Multi-tenant service: steady QPS and overload shedding",
+        unit="mixed",
+    )
+    phases = {}
+    # Steady: 3 closed-loop clients against capacity 4 — under-offered.
+    with _make_service(capacity=4, queue_timeout_s=2.0) as service:
+        outcomes, elapsed = _drive(service, 1, duration_s)
+        phases["steady"] = _phase_stats(outcomes, elapsed)
+    # Overload: 12 clients against capacity 2 with a 100 ms queue
+    # budget and a shallow queue — the service must shed to keep the
+    # served tail bounded.
+    with _make_service(
+        capacity=2, queue_timeout_s=0.1, max_queue_depth=8
+    ) as service:
+        outcomes, elapsed = _drive(service, 4, duration_s)
+        phases["overload"] = _phase_stats(outcomes, elapsed)
+        gate = service.stats()["gate"]
+        report.add("gate-rejected", "overload", gate["rejected"])
+        report.add(
+            "gate-wait-mean-ms", "overload",
+            gate["queue_wait_mean_s"] * 1000,
+        )
+    for name, stats in phases.items():
+        report.add("queries", name, stats["total"])
+        report.add("served-qps", name, stats["qps"])
+        report.add("shed-pct", name, stats["shed_pct"])
+        report.add("p50-ms", name, stats["p50_ms"])
+        report.add("p95-ms", name, stats["p95_ms"])
+        report.add("p99-ms", name, stats["p99_ms"])
+        for tenant_id in TENANTS:
+            served = sum(
+                1 for t, o, _ in stats["outcomes"] if t == tenant_id and o.ok
+            )
+            report.add(f"served-{tenant_id}", name, served)
+    report.emit()
+    report.phases = phases  # stash for the assertions below
+    return report
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_overload_keeps_served_p95_bounded(benchmark):
+    report = benchmark.pedantic(run_report, rounds=1, iterations=1)
+    steady = report.phases["steady"]
+    overload = report.phases["overload"]
+    assert steady["shed_pct"] < STEADY_SHED_CEILING * 100, (
+        f"steady phase shed {steady['shed_pct']:.1f}% — the service is "
+        "refusing load it has capacity for"
+    )
+    assert overload["shed"], (
+        "overload phase shed nothing — watermarks/queue budget inactive"
+    )
+    for outcome in overload["shed"]:
+        assert outcome.retry_after_s is not None and outcome.retry_after_s > 0
+    for _, outcome, _ in overload["outcomes"]:
+        assert outcome.status in TERMINAL_STATUSES
+    assert overload["served_p95_s"] < OVERLOAD_P95_BOUND_S, (
+        f"served p95 {overload['served_p95_s']:.3f}s under overload "
+        f"exceeds the {OVERLOAD_P95_BOUND_S}s bound — shedding is not "
+        "protecting admitted queries"
+    )
+
+
+if __name__ == "__main__":
+    run_report()

@@ -57,6 +57,10 @@ class CacheManager:
         self.adapter = adapter
         self.config = config
         self._config_fp = fingerprint.config_fingerprint(config)
+        #: Tenant/cache isolation scope: an explicit key element (beyond
+        #: its participation in the config fingerprint) so scoped entries
+        #: are structurally unreachable from any other scope.
+        self.scope = getattr(config, "cache_scope", None)
         self.plan: Optional[PlanCache] = (
             PlanCache(config.plan_cache_capacity)
             if config.plan_cache else None
@@ -205,6 +209,7 @@ class CacheManager:
         if versions is None:
             return None
         key = (
+            self.scope,
             self.adapter.name,
             fingerprint.sql_fingerprint(statement),
             epochs,
@@ -235,6 +240,7 @@ class CacheManager:
             (name, registry.version_of(name)) for name in udf_names
         )
         return (
+            self.scope,
             self.adapter.name,
             fingerprint.sql_fingerprint(statement),
             schemas,

@@ -143,6 +143,11 @@ class QFusorConfig:
     #: Single-flight dogpile protection: concurrent identical queries
     #: elect one leader; the rest share its result.
     single_flight: bool = True
+    #: Cache isolation scope (the multi-tenant service sets this to the
+    #: tenant id).  Folded into every plan/result cache key, so two
+    #: QFusor instances that happened to share cache state could still
+    #: never serve one tenant's rows to another.  None: unscoped.
+    cache_scope: Optional[str] = None
 
     def ablated(self, **changes) -> "QFusorConfig":
         """A copy with the given switches changed (for ablation benches)."""

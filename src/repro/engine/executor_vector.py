@@ -21,6 +21,7 @@ from ..errors import ExecutionError
 from ..obs import METRICS, OBS
 from ..obs import tracer as obs_tracer
 from ..resilience.governor import checkpoint, guarded_iter
+from ..resilience.governor import current as governor_current
 from ..sql import ast_nodes as ast
 from ..storage.catalog import Catalog
 from ..storage.column import Column
@@ -63,8 +64,16 @@ class VectorExecutor:
     def _run(self, node: PlanNode, ctes: Dict[str, Relation]) -> Relation:
         checkpoint()  # operator boundary: cancellation/deadline check
         if OBS.tracing or OBS.metrics:
-            return self._run_observed(node, ctes)
-        return self._dispatch(node, ctes)
+            result = self._run_observed(node, ctes)
+        else:
+            result = self._dispatch(node, ctes)
+        # Charge the row budget per operator output, matching the tuple
+        # engine's per-operator guarded_iter semantics (rows *processed*,
+        # not final result rows).
+        ctx = governor_current()
+        if ctx is not None:
+            ctx.charge_rows(result[1])
+        return result
 
     def _run_observed(self, node: PlanNode, ctes: Dict[str, Relation]) -> Relation:
         """Per-operator span + rows/sec metrics (observability on only)."""

@@ -122,10 +122,14 @@ class EngineAdapter:
                 sp = stack.enter_context(
                     obs_tracer.span("execute", adapter=self.name)
                 )
-            with govern(self.name, context, query=getattr(planned, "sql", None)):
+            with govern(
+                self.name, context, query=getattr(planned, "sql", None)
+            ) as gctx:
                 result = self._execute_plan(planned)
             if sp is not None:
                 sp.attrs["rows"] = result.num_rows
+                if gctx is not None and gctx.tenant is not None:
+                    sp.attrs["tenant"] = gctx.tenant
             return result
 
     def execute_sql(
@@ -147,10 +151,13 @@ class EngineAdapter:
                 sp = stack.enter_context(
                     obs_tracer.span("execute", adapter=self.name)
                 )
-            with govern(self.name, context, query=query):
+            with govern(self.name, context, query=query) as gctx:
                 result = self._execute_sql(statement)
-            if sp is not None and result is not None:
-                sp.attrs["rows"] = getattr(result, "num_rows", None)
+            if sp is not None:
+                if result is not None:
+                    sp.attrs["rows"] = getattr(result, "num_rows", None)
+                if gctx is not None and gctx.tenant is not None:
+                    sp.attrs["tenant"] = gctx.tenant
             return result
 
     # -- engine-specific execution (override these) -----------------------

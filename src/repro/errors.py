@@ -235,14 +235,98 @@ class GovernanceError(ReproError):
 
 
 class AdmissionTimeoutError(GovernanceError):
-    """The admission gate's wait queue timed out (load shedding)."""
+    """The admission gate's wait queue timed out (load shedding).
+
+    Carries the observed queue state at shed time so operators can tell
+    a momentary blip (short wait, shallow queue) from sustained overload
+    (long wait, deep queue) straight from the error text.
+    """
 
     def __init__(self, message: str = "admission queue timed out", *,
                  waited_s: "float | None" = None,
-                 max_concurrent: "int | None" = None):
-        super().__init__(message)
+                 max_concurrent: "int | None" = None,
+                 queue_depth: "int | None" = None):
+        detail = [message]
+        if waited_s is not None:
+            detail.append(f"after waiting {waited_s:.3g}s")
+        if queue_depth is not None:
+            detail.append(f"with {queue_depth} queued behind")
+        if max_concurrent is not None:
+            detail.append(f"(max_concurrent={max_concurrent})")
+        super().__init__(" ".join(detail))
         self.waited_s = waited_s
         self.max_concurrent = max_concurrent
+        self.queue_depth = queue_depth
+
+
+class ServiceError(ReproError):
+    """Base class for multi-tenant query-service errors."""
+
+
+class UnknownTenantError(ServiceError):
+    """A query referenced a tenant the service has no session for."""
+
+    def __init__(self, tenant: str):
+        super().__init__(f"unknown tenant {tenant!r}")
+        self.tenant = tenant
+
+
+class ServiceOverloadError(GovernanceError):
+    """The service shed a query to protect itself (typed, never silent).
+
+    ``reason`` localizes the watermark that tripped: ``"queue_full"``
+    (global queue-depth watermark), ``"tenant_queue_full"`` (per-tenant
+    pending cap), ``"latency"`` (p95 service latency above watermark),
+    or ``"queue_timeout"`` (queued but not dispatched in time).
+    ``retry_after_s`` is the service's backoff hint — clients honoring
+    it (see :class:`repro.service.retry.RetryPolicy`) spread the retry
+    storm instead of hammering an overloaded gate.
+    """
+
+    def __init__(self, message: str = "service overloaded", *,
+                 tenant: "str | None" = None, reason: str = "overload",
+                 queue_depth: "int | None" = None,
+                 waited_s: "float | None" = None,
+                 retry_after_s: "float | None" = None):
+        detail = [message, f"reason={reason!r}"]
+        if tenant is not None:
+            detail.append(f"tenant={tenant!r}")
+        if queue_depth is not None:
+            detail.append(f"queue_depth={queue_depth}")
+        if waited_s is not None:
+            detail.append(f"after waiting {waited_s:.3g}s")
+        if retry_after_s is not None:
+            detail.append(f"retry after {retry_after_s:.3g}s")
+        super().__init__(" ".join(detail))
+        self.tenant = tenant
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.waited_s = waited_s
+        self.retry_after_s = retry_after_s
+
+
+class RetryBudgetExhaustedError(ServiceError):
+    """A client retry policy ran out of attempts or wall-clock budget.
+
+    Wraps the final refusal as ``__cause__``/``last_error`` so callers
+    still see the service's diagnostics (reason, queue depth, hints).
+    """
+
+    def __init__(self, message: str = "retry budget exhausted", *,
+                 attempts: "int | None" = None,
+                 elapsed_s: "float | None" = None,
+                 last_error: "BaseException | None" = None):
+        detail = [message]
+        if attempts is not None:
+            detail.append(f"after {attempts} attempts")
+        if elapsed_s is not None:
+            detail.append(f"over {elapsed_s:.3g}s")
+        if last_error is not None:
+            detail.append(f"last: {last_error}")
+        super().__init__(" ".join(detail))
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+        self.last_error = last_error
 
 
 class CircuitOpenError(GovernanceError):

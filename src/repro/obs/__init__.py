@@ -21,6 +21,7 @@ from .metrics import (
     DEFAULT_BYTES_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
+    DEFAULT_WAIT_BUCKETS,
     Histogram,
     METRICS,
     MetricsRegistry,

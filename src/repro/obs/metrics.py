@@ -31,6 +31,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_BYTES_BUCKETS",
+    "DEFAULT_WAIT_BUCKETS",
 ]
 
 
@@ -47,6 +48,13 @@ DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
 #: Pickled payload bytes crossing the minidb_row boundary.
 DEFAULT_BYTES_BUCKETS: Tuple[float, ...] = (
     64, 1024, 16384, 262144, 4194304, 67108864,
+)
+
+#: Seconds spent queued (admission/scheduler waits); finer sub-second
+#: resolution than the latency buckets, plus a long-wait tail so shed
+#: storms and fairness regressions separate cleanly.
+DEFAULT_WAIT_BUCKETS: Tuple[float, ...] = (
+    1e-4, 1e-3, 5e-3, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 30.0,
 )
 
 

@@ -46,7 +46,7 @@ from ..errors import (
     QueryInterrupt,
     QueryTimeoutError,
 )
-from ..obs import METRICS, OBS
+from ..obs import DEFAULT_WAIT_BUCKETS, METRICS, OBS
 from ..obs import tracer as _obs_tracer
 
 __all__ = [
@@ -103,12 +103,16 @@ class QueryContext:
         row_budget: Optional[int] = None,
         token: Optional[CancellationToken] = None,
         query: Optional[str] = None,
+        tenant: Optional[str] = None,
     ):
         self.timeout_s = timeout_s
         self.udf_batch_timeout_s = udf_batch_timeout_s
         self.row_budget = row_budget
         self.token = token if token is not None else CancellationToken()
         self.query = query
+        #: Owning tenant when the query arrived through the multi-tenant
+        #: service front-end (repro.service); labels traces and metrics.
+        self.tenant = tenant
         self.adapter: Optional[str] = None
         #: Armed on first activation so the clock starts when execution
         #: does, not when the context object is built.
@@ -233,23 +237,70 @@ def activate(context: QueryContext) -> Iterator[QueryContext]:
     had not landed yet, so a timeout can never leak into unrelated code
     running later on the same thread.
     """
+    # Registration and teardown must be async-interrupt-safe: the
+    # watchdog may fire into this thread the moment the entry is
+    # registered (a pre-cancelled token, an already-past deadline), and
+    # the raise can land on ANY bytecode boundary — including between
+    # ``register`` and the ``try``.  So all bookkeeping after ``register``
+    # happens inside the ``try``, and teardown re-derives the entry by
+    # (thread, context) instead of trusting local control flow; a leaked
+    # registration would otherwise refire interrupts into this thread
+    # (e.g. a service worker running other tenants' queries) forever.
+    ident = threading.get_ident()
     context.start()
-    entry = WATCHDOG.register(threading.get_ident(), context)
-    _LOCAL.stack.append(context)
-    _LOCAL.entries.append(entry)
     completed = False
     try:
-        result = context
-        yield result
+        entry = WATCHDOG.register(ident, context)
+        _LOCAL.stack.append(context)
+        _LOCAL.entries.append(entry)
+        yield context
         completed = True
     except QueryInterrupt as exc:
         raise context.annotate(exc)
     finally:
-        _LOCAL.stack.pop()
-        _LOCAL.entries.pop()
-        WATCHDOG.unregister(entry)
-        if entry.fired and completed:
-            _absorb_pending(context)
+        # The async interrupt can land on any bytecode of this teardown,
+        # which would abort it and leak the registration — the watchdog
+        # would then refire into this thread every ``refire_s`` forever.
+        # Retry until the unregistration is through: at most one async
+        # interrupt is pending at a time and refires are ``refire_s``
+        # apart, while this cleanup takes microseconds, so a second
+        # landing inside the retry is not a practical concern.
+        fired = False
+        cleaned = False
+        while not cleaned:
+            try:
+                if _LOCAL.stack and _LOCAL.stack[-1] is context:
+                    _LOCAL.stack.pop()
+                entries = _LOCAL.entries
+                if entries and entries[-1].context is context:
+                    entries.pop()
+                fired = WATCHDOG.unregister_context(ident, context) or fired
+                cleaned = True
+            except QueryInterrupt:
+                continue
+        if fired:
+            if completed:
+                _absorb_pending(context)
+            # Double delivery: the cooperative checkpoint raised
+            # synchronously while the watchdog's async raise was still
+            # in flight (or a completed block's straggler never landed
+            # during the park above).  Discard it — after this point a
+            # stray interrupt would land in unrelated code on this
+            # thread, e.g. the next tenant's query on a service worker.
+            _clear_pending_interrupt()
+
+
+def _clear_pending_interrupt() -> None:
+    """Discard a fired-but-unlanded async interrupt aimed at this thread.
+
+    ``PyThreadState_SetAsyncExc(ident, NULL)`` clears the thread's
+    pending async-exception slot; a no-op when the interrupt already
+    landed (it is then an ordinary propagating exception) or on
+    non-CPython runtimes.
+    """
+    set_async = getattr(ctypes.pythonapi, "PyThreadState_SetAsyncExc", None)
+    if set_async is not None:
+        set_async(ctypes.c_ulong(threading.get_ident()), None)
 
 
 def _absorb_pending(context: QueryContext, wait_s: float = 0.2) -> None:
@@ -331,6 +382,27 @@ class Watchdog:
             self._ensure_thread_locked()
         self._wake.set()
         return entry
+
+    def unregister_context(self, ident: int, context: QueryContext) -> bool:
+        """Remove thread ``ident``'s entry for ``context``; returns
+        whether the watchdog ever fired it.
+
+        Keyed lookup rather than an entry handle: ``activate``'s teardown
+        must work even when an async interrupt landed before the caller
+        finished its registration bookkeeping, so the handle may never
+        have been stored.
+        """
+        with self._lock:
+            stack = self._entries.get(ident)
+            if not stack:
+                return False
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i].context is context:
+                    entry = stack.pop(i)
+                    if not stack:
+                        del self._entries[ident]
+                    return entry.fired
+            return False
 
     def unregister(self, entry: _WatchEntry) -> None:
         with self._lock:
@@ -573,7 +645,14 @@ def guarded_iter(iterable: Iterable, stride: int = CHECK_STRIDE) -> Iterator:
 class AdmissionGate:
     """Bounded admission: at most ``max_concurrent`` queries execute;
     excess arrivals wait up to ``queue_timeout_s`` then shed with
-    :class:`~repro.errors.AdmissionTimeoutError`."""
+    :class:`~repro.errors.AdmissionTimeoutError`.
+
+    Queue-wait time is first-class: every arrival — admitted *or* shed —
+    records its wait into the gate's aggregate stats and the
+    ``repro_admission_wait_seconds`` histogram, so fairness and shed
+    latency are measurable rather than inferred.  ``waiting`` counts
+    arrivals currently blocked in the queue (the live queue depth).
+    """
 
     def __init__(self, max_concurrent: int,
                  queue_timeout_s: Optional[float] = None):
@@ -585,30 +664,84 @@ class AdmissionGate:
         self.rejected = 0
         self.active = 0
         self.peak_active = 0
+        self.waiting = 0
+        self.peak_waiting = 0
+        self.queue_wait_total_s = 0.0
+        self.queue_wait_count = 0
+        self.max_wait_s = 0.0
+
+    # -- stats ---------------------------------------------------------
+
+    def _note_wait_locked(self, waited_s: float) -> None:
+        self.queue_wait_total_s += waited_s
+        self.queue_wait_count += 1
+        if waited_s > self.max_wait_s:
+            self.max_wait_s = waited_s
+
+    def _observe_wait(self, waited_s: float, outcome: str) -> None:
+        if OBS.metrics:
+            METRICS.histogram(
+                "repro_admission_wait_seconds", DEFAULT_WAIT_BUCKETS,
+                outcome=outcome,
+            ).observe(waited_s)
+
+    def stats(self) -> Dict[str, float]:
+        """A point-in-time snapshot of the gate's counters and waits."""
+        with self._stats_lock:
+            count = self.queue_wait_count
+            return {
+                "max_concurrent": self.max_concurrent,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "active": self.active,
+                "peak_active": self.peak_active,
+                "waiting": self.waiting,
+                "peak_waiting": self.peak_waiting,
+                "queue_wait_count": count,
+                "queue_wait_total_s": self.queue_wait_total_s,
+                "queue_wait_mean_s": (
+                    self.queue_wait_total_s / count if count else 0.0
+                ),
+                "max_wait_s": self.max_wait_s,
+            }
+
+    # -- admission -----------------------------------------------------
 
     @contextlib.contextmanager
     def admit(self) -> Iterator[None]:
         waited = time.monotonic()
-        if self.queue_timeout_s is None:
-            acquired = self._semaphore.acquire()
-        else:
-            acquired = self._semaphore.acquire(timeout=self.queue_timeout_s)
-        waited_s = time.monotonic() - waited
+        with self._stats_lock:
+            self.waiting += 1
+            self.peak_waiting = max(self.peak_waiting, self.waiting)
+        try:
+            if self.queue_timeout_s is None:
+                acquired = self._semaphore.acquire()
+            else:
+                acquired = self._semaphore.acquire(
+                    timeout=self.queue_timeout_s
+                )
+        finally:
+            waited_s = time.monotonic() - waited
+            with self._stats_lock:
+                self.waiting -= 1
+                depth_behind = self.waiting
+                self._note_wait_locked(waited_s)
         if not acquired:
             with self._stats_lock:
                 self.rejected += 1
+            self._observe_wait(waited_s, "shed")
             if OBS.metrics:
                 METRICS.counter("repro_admission_rejected_total").inc()
             raise AdmissionTimeoutError(
                 waited_s=waited_s,
                 max_concurrent=self.max_concurrent,
+                queue_depth=depth_behind,
             )
         with self._stats_lock:
             self.admitted += 1
             self.active += 1
             self.peak_active = max(self.peak_active, self.active)
-        if OBS.metrics:
-            METRICS.histogram("repro_admission_wait_seconds").observe(waited_s)
+        self._observe_wait(waited_s, "admitted")
         if OBS.tracing:
             _obs_tracer.add_event("admission_wait", waited_s=waited_s)
         try:

@@ -1,0 +1,43 @@
+"""repro.service — the multi-tenant query service over the engines.
+
+Composes the governance, isolation, and caching primitives into one
+serving front-end: per-tenant sessions (own registry namespace, scoped
+caches, worker-pool bulkheads), a weighted-fair scheduler with priority
+lanes, watermark-based overload shedding with retry-after hints, and a
+well-behaved client retry policy.  Every submitted query terminates
+with a typed :class:`QueryOutcome`.
+
+Quick start::
+
+    from repro.service import QueryService, TenantQuota, RetryPolicy
+
+    with QueryService(capacity=8, queue_timeout_s=0.5) as service:
+        acme = service.add_tenant("acme", TenantQuota(weight=2.0))
+        acme.register_table(table)
+        acme.register_udf(my_udf)
+        outcome = service.execute("acme", "SELECT my_udf(a) FROM t")
+        if outcome.shed:
+            outcome = RetryPolicy().execute(
+                service, "acme", "SELECT my_udf(a) FROM t")
+"""
+
+from .outcomes import QueryOutcome, TERMINAL_STATUSES, classify_error
+from .retry import RetryPolicy
+from .scheduler import FairScheduler
+from .service import QueryService
+from .shedding import OverloadDetector, SheddingDecision
+from .tenancy import LANES, TenantQuota, TenantSession
+
+__all__ = [
+    "QueryService",
+    "QueryOutcome",
+    "TenantQuota",
+    "TenantSession",
+    "FairScheduler",
+    "OverloadDetector",
+    "SheddingDecision",
+    "RetryPolicy",
+    "LANES",
+    "TERMINAL_STATUSES",
+    "classify_error",
+]

@@ -1,0 +1,319 @@
+"""The multi-tenant query service front-end.
+
+:class:`QueryService` composes the primitives the earlier layers built
+— per-tenant :class:`~repro.service.tenancy.TenantSession` slices
+(isolated registries, caches, breaker boards, worker-pool bulkheads),
+the :class:`~repro.service.scheduler.FairScheduler` (weighted-fair
+admission with priority lanes), and the
+:class:`~repro.service.shedding.OverloadDetector` (queue-depth and p95
+watermarks) — into one serving surface:
+
+    service = QueryService(capacity=8, queue_timeout_s=0.5)
+    session = service.add_tenant("acme", TenantQuota(weight=2.0))
+    session.register_table(table)
+    session.register_udf(my_udf)
+    outcome = service.execute("acme", "SELECT my_udf(a) FROM t")
+    outcome.result if outcome.ok else outcome.retry_after_s
+
+The contract: **every submitted query terminates with a typed
+outcome** (:class:`~repro.service.outcomes.QueryOutcome`).  Shed load
+is explicit — :class:`~repro.errors.ServiceOverloadError` classified
+into a ``"shed"`` outcome with a retry-after hint — and all governance
+interrupts, worker-pool failures, breaker refusals, and user-code
+errors classify into their own statuses.  The chaos suite
+(tests/service/test_chaos.py) holds this under injected worker
+crashes, hangs, OOMs, cache stampedes, and deadline storms.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import (
+    AdmissionTimeoutError,
+    QueryInterrupt,
+    ServiceOverloadError,
+    UnknownTenantError,
+)
+from ..obs import DEFAULT_WAIT_BUCKETS, METRICS, OBS
+from .outcomes import QueryOutcome, classify_error
+from .scheduler import FairScheduler
+from .shedding import OverloadDetector, SheddingDecision
+from .tenancy import TenantQuota, TenantSession
+
+__all__ = ["QueryService"]
+
+
+def _default_adapter_factory():
+    from ..engines import MiniDbAdapter
+
+    return MiniDbAdapter()
+
+
+class QueryService:
+    """Tenant-isolated, fairness-scheduled, overload-shedding front-end."""
+
+    def __init__(
+        self,
+        adapter_factory: Optional[Callable[[], Any]] = None,
+        *,
+        capacity: int = 4,
+        queue_timeout_s: Optional[float] = 1.0,
+        max_queue_depth: Optional[int] = None,
+        queue_depth_high: Optional[int] = None,
+        p95_high_s: Optional[float] = None,
+        config: Optional[Any] = None,
+        isolation: Optional[str] = None,
+        worker_knobs: Optional[Dict[str, Any]] = None,
+        max_submit_threads: Optional[int] = None,
+    ):
+        self._adapter_factory = adapter_factory or _default_adapter_factory
+        self.capacity = max(1, int(capacity))
+        self.scheduler = FairScheduler(
+            self.capacity,
+            queue_timeout_s=queue_timeout_s,
+            max_queue_depth=max_queue_depth,
+        )
+        self.detector = OverloadDetector(
+            self.capacity,
+            queue_depth_high=queue_depth_high,
+            p95_high_s=p95_high_s,
+        )
+        self._config_template = config
+        self._isolation = isolation
+        self._worker_knobs = dict(worker_knobs or {})
+        self._sessions: Dict[str, TenantSession] = {}
+        self._sessions_lock = threading.Lock()
+        # submit() threads block while their ticket waits in the
+        # scheduler queue, so the pool must cover capacity plus the
+        # deepest queue we are willing to hold open.
+        if max_submit_threads is None:
+            backlog = max_queue_depth if max_queue_depth is not None \
+                else 4 * self.capacity
+            max_submit_threads = self.capacity + backlog
+        self._max_submit_threads = max(1, max_submit_threads)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle
+    # ------------------------------------------------------------------
+
+    def add_tenant(
+        self,
+        tenant_id: str,
+        quota: Optional[TenantQuota] = None,
+        *,
+        config: Optional[Any] = None,
+        isolation: Optional[str] = None,
+    ) -> TenantSession:
+        """Create a tenant session: fresh adapter, scoped caches, and —
+        with ``isolation="process"`` — a private worker-pool bulkhead
+        whose restart/quarantine budgets no other tenant can spend."""
+        if self._closed:
+            raise RuntimeError("service is shut down")
+        quota = quota if quota is not None else TenantQuota()
+        session = TenantSession(
+            tenant_id,
+            quota,
+            self._adapter_factory(),
+            config if config is not None else self._config_template,
+        )
+        effective_isolation = (
+            isolation if isolation is not None else self._isolation
+        )
+        if effective_isolation == "process":
+            session.adapter.enable_process_isolation(**self._worker_knobs)
+        with self._sessions_lock:
+            if tenant_id in self._sessions:
+                session.close()
+                raise ValueError(f"tenant {tenant_id!r} already exists")
+            # Register with the scheduler before publishing the session,
+            # so no execute() can find a session the scheduler rejects.
+            self.scheduler.register_tenant(tenant_id, quota)
+            self._sessions[tenant_id] = session
+        return session
+
+    def remove_tenant(self, tenant_id: str) -> None:
+        with self._sessions_lock:
+            session = self._sessions.pop(tenant_id, None)
+            self.scheduler.remove_tenant(tenant_id)
+        if session is not None:
+            session.close()
+
+    def session(self, tenant_id: str) -> TenantSession:
+        session = self._sessions.get(tenant_id)
+        if session is None:
+            raise UnknownTenantError(tenant_id)
+        return session
+
+    @property
+    def tenants(self):
+        return sorted(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        tenant_id: str,
+        sql: str,
+        *,
+        timeout_s: Optional[float] = None,
+        row_budget: Optional[int] = None,
+    ) -> QueryOutcome:
+        """Run one query to a typed terminal outcome (never raises for
+        anything the query itself did; only :class:`UnknownTenantError`
+        — a caller bug, not a query failure — escapes)."""
+        session = self.session(tenant_id)
+        lane = session.quota.lane
+        # Watermark shedding at the door: cheaper than queuing a ticket
+        # we already know will be refused, and it protects the queue
+        # itself from becoming the overload amplifier.
+        decision = self.detector.assess(
+            queue_depth=self.scheduler.waiting, lane=lane
+        )
+        if decision is not None:
+            return self._shed_outcome(tenant_id, sql, decision)
+        try:
+            wait_s = self.scheduler.acquire(tenant_id)
+        except (ServiceOverloadError, AdmissionTimeoutError) as exc:
+            return self._finish(
+                QueryOutcome(
+                    tenant=tenant_id, sql=sql, status="shed", error=exc,
+                    wait_s=getattr(exc, "waited_s", None) or 0.0,
+                    retry_after_s=getattr(exc, "retry_after_s", None),
+                )
+            )
+        started = time.perf_counter()
+        try:
+            context = session.make_context(timeout_s, row_budget)
+            result = session.qfusor.execute(sql, context=context)
+            exec_s = time.perf_counter() - started
+            outcome = QueryOutcome(
+                tenant=tenant_id, sql=sql, status="ok", result=result,
+                wait_s=wait_s, exec_s=exec_s,
+            )
+        except (QueryInterrupt, Exception) as exc:
+            exec_s = time.perf_counter() - started
+            outcome = QueryOutcome(
+                tenant=tenant_id, sql=sql, status=classify_error(exc),
+                error=exc, wait_s=wait_s, exec_s=exec_s,
+                retry_after_s=getattr(exc, "retry_after_s", None),
+            )
+        finally:
+            exec_elapsed = time.perf_counter() - started
+            self.scheduler.release(tenant_id, exec_elapsed)
+            self.detector.note(exec_elapsed)
+        session.note_query()
+        return self._finish(outcome)
+
+    def submit(
+        self,
+        tenant_id: str,
+        sql: str,
+        *,
+        timeout_s: Optional[float] = None,
+        row_budget: Optional[int] = None,
+    ) -> "Future[QueryOutcome]":
+        """Asynchronous :meth:`execute` on the service's thread pool."""
+        self.session(tenant_id)  # fail fast on unknown tenants
+        executor = self._ensure_executor()
+        return executor.submit(
+            self.execute, tenant_id, sql,
+            timeout_s=timeout_s, row_budget=row_budget,
+        )
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise RuntimeError("service is shut down")
+        executor = self._executor
+        if executor is None:
+            with self._sessions_lock:
+                if self._executor is None:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self._max_submit_threads,
+                        thread_name_prefix="repro-service",
+                    )
+                executor = self._executor
+        return executor
+
+    # ------------------------------------------------------------------
+    # Outcome bookkeeping
+    # ------------------------------------------------------------------
+
+    def _shed_outcome(self, tenant_id: str, sql: str,
+                      decision: SheddingDecision) -> QueryOutcome:
+        if OBS.metrics:
+            METRICS.counter(
+                "repro_service_shed_total",
+                tenant=tenant_id, reason=decision.reason,
+            ).inc()
+        error = ServiceOverloadError(
+            tenant=tenant_id,
+            reason=decision.reason,
+            queue_depth=decision.queue_depth,
+            retry_after_s=decision.retry_after_s,
+        )
+        return self._finish(
+            QueryOutcome(
+                tenant=tenant_id, sql=sql, status="shed", error=error,
+                retry_after_s=decision.retry_after_s,
+            )
+        )
+
+    def _finish(self, outcome: QueryOutcome) -> QueryOutcome:
+        if OBS.metrics:
+            METRICS.counter(
+                "repro_service_queries_total",
+                tenant=outcome.tenant, outcome=outcome.status,
+            ).inc()
+            METRICS.histogram(
+                "repro_service_wait_seconds", DEFAULT_WAIT_BUCKETS,
+                tenant=outcome.tenant,
+            ).observe(outcome.wait_s)
+            if outcome.status != "shed":
+                METRICS.histogram(
+                    "repro_service_exec_seconds", tenant=outcome.tenant
+                ).observe(outcome.exec_s)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """One coherent snapshot: gate counters, per-tenant scheduling
+        state, and the overload detector's current p95."""
+        return {
+            "gate": self.scheduler.stats(),
+            "tenants": self.scheduler.tenant_stats(),
+            "p95_s": self.detector.p95(),
+            "shed_decisions": self.detector.shed_decisions,
+        }
+
+    def shutdown(self) -> None:
+        """Drain the submit pool and close every tenant session (worker
+        pools die here — the orphan scan runs after this)."""
+        if self._closed:
+            return
+        self._closed = True
+        executor = self._executor
+        if executor is not None:
+            executor.shutdown(wait=True)
+            self._executor = None
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

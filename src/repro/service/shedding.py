@@ -1,0 +1,116 @@
+"""Overload detection: watermarks that shed *before* the queue collapses.
+
+The scheduler's queue timeout is the last line of defense; by the time
+tickets are timing out, latency for everyone admitted has already
+blown up.  :class:`OverloadDetector` watches two leading indicators and
+refuses new arrivals at the door while the system can still serve what
+it has admitted:
+
+* **queue depth** — arrivals beyond ``queue_depth_high`` waiting
+  tickets are shed immediately (all lanes: by this point even "high"
+  work would only deepen the collapse);
+* **p95 service latency** — once the rolling p95 of completed queries
+  crosses ``p95_high_s``, arrivals in lanes below "high" are shed,
+  keeping headroom for priority traffic while the backlog drains.
+
+Both produce a :class:`SheddingDecision` with a ``retry_after_s`` hint
+(observed service rate x backlog / capacity), which the service folds
+into a typed :class:`~repro.errors.ServiceOverloadError` — shedding is
+always visible and always tells the client when to come back.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+__all__ = ["OverloadDetector", "SheddingDecision"]
+
+
+@dataclass
+class SheddingDecision:
+    """Why an arrival should be shed, plus the backoff hint."""
+
+    reason: str  # "queue_full" | "latency"
+    retry_after_s: float
+    p95_s: Optional[float] = None
+    queue_depth: Optional[int] = None
+
+
+class OverloadDetector:
+    """Rolling-window latency + queue-depth watermarks."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        queue_depth_high: Optional[int] = None,
+        p95_high_s: Optional[float] = None,
+        window: int = 128,
+        min_samples: int = 16,
+    ):
+        self.capacity = max(1, int(capacity))
+        self.queue_depth_high = queue_depth_high
+        self.p95_high_s = p95_high_s
+        self.min_samples = min_samples
+        self._lock = threading.Lock()
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self.shed_decisions = 0
+
+    # -- signal intake -------------------------------------------------
+
+    def note(self, service_s: float) -> None:
+        """Record one completed (admitted) query's service time."""
+        with self._lock:
+            self._latencies.append(service_s)
+
+    # -- signal readout ------------------------------------------------
+
+    def p95(self) -> Optional[float]:
+        """Rolling p95 service latency, or None below ``min_samples``."""
+        with self._lock:
+            if len(self._latencies) < self.min_samples:
+                return None
+            ordered = sorted(self._latencies)
+        rank = max(0, int(0.95 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def _mean(self) -> float:
+        with self._lock:
+            if not self._latencies:
+                return 0.1
+            return sum(self._latencies) / len(self._latencies)
+
+    def _retry_after(self, queue_depth: int) -> float:
+        return max(0.05, self._mean() * (queue_depth + 1) / self.capacity)
+
+    # -- the watermark check -------------------------------------------
+
+    def assess(self, *, queue_depth: int,
+               lane: str = "normal") -> Optional[SheddingDecision]:
+        """Should a new arrival be shed right now?  None admits it.
+
+        Never consults anything but its own rolling window and the
+        passed depth, so a wedged engine cannot wedge the detector.
+        """
+        if (self.queue_depth_high is not None
+                and queue_depth >= self.queue_depth_high):
+            self.shed_decisions += 1
+            return SheddingDecision(
+                reason="queue_full",
+                retry_after_s=self._retry_after(queue_depth),
+                queue_depth=queue_depth,
+            )
+        if self.p95_high_s is not None and lane != "high":
+            p95 = self.p95()
+            if p95 is not None and p95 > self.p95_high_s:
+                self.shed_decisions += 1
+                return SheddingDecision(
+                    reason="latency",
+                    retry_after_s=self._retry_after(queue_depth),
+                    p95_s=p95,
+                    queue_depth=queue_depth,
+                )
+        return None

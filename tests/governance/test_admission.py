@@ -5,9 +5,11 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.core import QFusor, QFusorConfig
 from repro.engines import MiniDbAdapter
 from repro.errors import AdmissionTimeoutError
+from repro.obs import METRICS
 from repro.resilience.governor import AdmissionGate
 
 from .conftest import load
@@ -62,6 +64,113 @@ class TestAdmissionGateUnit:
         assert order[0] == "holder in"
         assert "waiter in" in order
         assert gate.rejected == 0
+
+
+class TestQueueWaitAccounting:
+    def test_uncontended_admission_records_a_near_zero_wait(self):
+        gate = AdmissionGate(2)
+        with gate.admit():
+            pass
+        stats = gate.stats()
+        assert stats["queue_wait_count"] == 1
+        assert 0.0 <= stats["queue_wait_mean_s"] < 0.1
+        assert stats["max_wait_s"] < 0.1
+
+    def test_queued_wait_lands_in_the_aggregates(self):
+        gate = AdmissionGate(1, queue_timeout_s=5.0)
+
+        def holder():
+            with gate.admit():
+                time.sleep(0.1)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        time.sleep(0.03)
+        with gate.admit():
+            pass
+        thread.join()
+        stats = gate.stats()
+        # Both the holder (no wait) and the waiter (~70ms) are counted.
+        assert stats["queue_wait_count"] == 2
+        assert stats["queue_wait_total_s"] >= 0.04
+        assert stats["max_wait_s"] >= 0.04
+        assert stats["peak_waiting"] >= 1
+        assert stats["waiting"] == 0
+
+    def test_shed_arrival_still_records_its_wait(self):
+        gate = AdmissionGate(1, queue_timeout_s=0.05)
+        with gate.admit():
+            with pytest.raises(AdmissionTimeoutError):
+                with gate.admit():
+                    pytest.fail("must not be admitted")
+        stats = gate.stats()
+        # Shed arrivals are not invisible: their queue time is part of
+        # the wait distribution operators reason about.
+        assert stats["queue_wait_count"] == 2
+        assert stats["max_wait_s"] >= 0.04
+        assert stats["rejected"] == 1
+
+    def test_wait_histogram_labelled_by_outcome(self):
+        obs.enable(metrics=True)
+        try:
+            METRICS.reset()
+            gate = AdmissionGate(1, queue_timeout_s=0.05)
+            with gate.admit():
+                with pytest.raises(AdmissionTimeoutError):
+                    with gate.admit():
+                        pytest.fail("must not be admitted")
+            snap = METRICS.snapshot()
+            hists = snap["histograms"]
+            assert "repro_admission_wait_seconds{outcome=admitted}" in hists
+            assert "repro_admission_wait_seconds{outcome=shed}" in hists
+        finally:
+            obs.disable()
+            METRICS.reset()
+
+
+class TestAdmissionTimeoutDiagnostics:
+    def test_error_carries_wait_time_and_queue_depth(self):
+        gate = AdmissionGate(1, queue_timeout_s=0.05)
+        depth_seen = []
+
+        def contender():
+            try:
+                with gate.admit():
+                    pytest.fail("must not be admitted")
+            except AdmissionTimeoutError as exc:
+                depth_seen.append(exc.queue_depth)
+
+        with gate.admit():
+            threads = [
+                threading.Thread(target=contender) for _ in range(3)
+            ]
+            for t in threads:
+                t.start()
+            with pytest.raises(AdmissionTimeoutError) as info:
+                with gate.admit():
+                    pytest.fail("must not be admitted")
+            for t in threads:
+                t.join()
+        err = info.value
+        assert err.waited_s is not None and err.waited_s >= 0.04
+        assert err.max_concurrent == 1
+        # Depth is the live queue behind the shed arrival; with four
+        # contenders timing out in arbitrary order at least one must
+        # have observed others still queued.
+        depths = depth_seen + [err.queue_depth]
+        assert all(d is not None and d >= 0 for d in depths)
+        assert max(depths) >= 1
+
+    def test_error_message_names_the_shed_context(self):
+        gate = AdmissionGate(1, queue_timeout_s=0.02)
+        with gate.admit():
+            with pytest.raises(AdmissionTimeoutError) as info:
+                with gate.admit():
+                    pytest.fail("must not be admitted")
+        text = str(info.value)
+        assert "after waiting" in text
+        assert "queued behind" in text
+        assert "max_concurrent=1" in text
 
 
 class TestQFusorAdmission:

@@ -1,0 +1,132 @@
+"""cooperative_sleep under cancellation and deadline races.
+
+A governed backoff (retry sleeps, channel restarts, client retry
+policies) must never hold a cancelled or deadlined query hostage: the
+sleep runs in checkpointed slices, so the governed interrupt lands at
+most one slice after it is due — including when the query deadline
+expires *inside* the sleep, racing the sleep's own deadline.
+
+The governed interrupt may arrive twice (the slice checkpoint raises
+synchronously *and* the watchdog async-raises); ``activate``'s exit
+absorbs the straggler, so like the rest of this suite these tests
+expect the interrupt *outside* the activation block.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import QueryCancelledError, QueryTimeoutError
+from repro.resilience import governor
+
+
+class TestUngoverned:
+    def test_plain_sleep_without_context(self):
+        start = time.monotonic()
+        governor.cooperative_sleep(0.02)
+        assert time.monotonic() - start >= 0.015
+
+    def test_zero_and_negative_duration_return_immediately(self):
+        start = time.monotonic()
+        governor.cooperative_sleep(0.0)
+        governor.cooperative_sleep(-1.0)
+        assert time.monotonic() - start < 0.05
+
+
+class TestCancellation:
+    def test_cancel_before_sleep_raises_without_sleeping(self):
+        ctx = governor.QueryContext()
+        ctx.cancel("pre-cancelled")
+        start = time.monotonic()
+        with pytest.raises(QueryCancelledError):
+            with governor.activate(ctx):
+                governor.cooperative_sleep(5.0)
+        assert time.monotonic() - start < 1.0
+
+    def test_cancel_mid_sleep_interrupts_within_a_slice(self):
+        ctx = governor.QueryContext()
+        interrupted_after = []
+
+        def sleeper():
+            start = time.monotonic()
+            try:
+                with governor.activate(ctx):
+                    governor.cooperative_sleep(10.0, slice_s=0.01)
+            except QueryCancelledError:
+                interrupted_after.append(time.monotonic() - start)
+
+        thread = threading.Thread(target=sleeper)
+        thread.start()
+        time.sleep(0.05)
+        ctx.cancel("operator abort")
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert interrupted_after, "sleep must not swallow the cancel"
+        # Landed promptly — nowhere near the requested 10 s.
+        assert interrupted_after[0] < 2.0
+
+
+class TestDeadlineRacingTheSleep:
+    def test_query_deadline_expiring_mid_sleep_raises_timeout(self):
+        # Query deadline (80 ms) lands inside a much longer sleep: the
+        # slice checkpoint must surface QueryTimeoutError.
+        ctx = governor.QueryContext(timeout_s=0.08)
+        start = time.monotonic()
+        with pytest.raises(QueryTimeoutError):
+            with governor.activate(ctx):
+                governor.cooperative_sleep(10.0, slice_s=0.01)
+        assert time.monotonic() - start < 2.0
+
+    def test_sleep_deadline_beating_query_deadline_returns_normally(self):
+        # Sleep (30 ms) ends before the query deadline (10 s): no
+        # interrupt, and the context stays usable afterwards.
+        ctx = governor.QueryContext(timeout_s=10.0)
+        with governor.activate(ctx):
+            governor.cooperative_sleep(0.03, slice_s=0.01)
+            ctx.check()  # still healthy
+
+    def test_photo_finish_is_either_clean_return_or_typed_timeout(self):
+        # Sleep deadline and query deadline land in the same slice
+        # window.  Both outcomes are legal; what is *not* legal is an
+        # untyped error or a sleep that overshoots both deadlines.
+        for offset in (-0.005, 0.0, 0.005):
+            ctx = governor.QueryContext(timeout_s=0.05 + offset)
+            start = time.monotonic()
+            try:
+                with governor.activate(ctx):
+                    governor.cooperative_sleep(0.05, slice_s=0.005)
+            except QueryTimeoutError:
+                pass
+            assert time.monotonic() - start < 1.0
+
+    def test_expired_deadline_interrupts_promptly(self):
+        # The deadline is already past when the long sleep is requested:
+        # either the watchdog's async raise or cooperative_sleep's entry
+        # checkpoint fires — never the 5 s sleep.
+        ctx = governor.QueryContext(timeout_s=0.01)
+        start = time.monotonic()
+        with pytest.raises(QueryTimeoutError):
+            with governor.activate(ctx):
+                time.sleep(0.03)  # deadline is now past
+                governor.cooperative_sleep(5.0)
+        assert time.monotonic() - start < 1.0
+
+
+class TestSliceBehaviour:
+    def test_duration_respected_when_governed(self):
+        ctx = governor.QueryContext(timeout_s=30.0)
+        with governor.activate(ctx):
+            start = time.monotonic()
+            governor.cooperative_sleep(0.05, slice_s=0.01)
+            elapsed = time.monotonic() - start
+        assert elapsed >= 0.045
+
+    def test_short_governed_sleep_still_checkpoints(self):
+        # Even a sub-slice sleep must not skip the entry checkpoint
+        # when a context is active.
+        ctx = governor.QueryContext()
+        ctx.cancel("already dead")
+        with pytest.raises(QueryCancelledError):
+            with governor.activate(ctx):
+                governor.cooperative_sleep(0.001, slice_s=0.01)

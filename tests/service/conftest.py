@@ -1,0 +1,79 @@
+"""Shared fixtures for the multi-tenant service suite.
+
+Like the governance conftest, the "slow"/"spin" UDFs here are bounded:
+a scheduling or shedding regression degrades these tests into slow
+failures, never a wedged run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service import QueryService, TenantQuota
+from repro.storage import Table
+from repro.types import SqlType
+from repro.udf import scalar_udf
+
+
+@scalar_udf(deterministic=True)
+def s_inc(x: int) -> int:
+    return x + 1
+
+
+@scalar_udf(deterministic=True)
+def s_double(x: int) -> int:
+    return x * 2
+
+
+@scalar_udf
+def s_slow(x: int) -> int:
+    time.sleep(0.02)
+    return x
+
+
+@scalar_udf
+def s_spin(x: int) -> int:
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < 5.0:
+        pass
+    return x
+
+
+@scalar_udf
+def s_boom(x: int) -> int:
+    raise ValueError(f"boom on {x}")
+
+
+SERVICE_UDFS = [s_inc, s_double, s_slow, s_spin, s_boom]
+
+
+def make_numbers(rows: int = 8) -> Table:
+    return Table.from_rows(
+        "numbers",
+        [("a", SqlType.INT), ("b", SqlType.INT)],
+        [(i, i * 10) for i in range(rows)],
+    )
+
+
+def provision(session, rows: int = 8, udfs=SERVICE_UDFS):
+    """Register the shared table and UDFs on one tenant session."""
+    session.register_table(make_numbers(rows), replace=True)
+    for udf in udfs:
+        session.register_udf(udf, replace=True)
+    return session
+
+
+@pytest.fixture
+def service():
+    svc = QueryService(capacity=2, queue_timeout_s=0.5)
+    try:
+        yield svc
+    finally:
+        svc.shutdown()
+
+
+def add_provisioned(service, tenant_id, quota=None, rows: int = 8):
+    session = service.add_tenant(tenant_id, quota or TenantQuota())
+    return provision(session, rows=rows)

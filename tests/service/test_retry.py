@@ -1,0 +1,133 @@
+"""RetryPolicy: backoff, retry-after floors, attempt and time budgets."""
+
+import time
+
+import pytest
+
+from repro.errors import (
+    RetryBudgetExhaustedError,
+    ServiceOverloadError,
+    UdfExecutionError,
+)
+from repro.service import QueryOutcome, RetryPolicy
+
+
+def policy(**kw):
+    defaults = dict(max_attempts=3, base_backoff_s=0.005,
+                    max_backoff_s=0.02, jitter=0.0)
+    defaults.update(kw)
+    return RetryPolicy(**defaults)
+
+
+class TestExceptionStyle:
+    def test_retries_overload_until_success(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ServiceOverloadError(tenant="t")
+            return "served"
+
+        assert policy().call(fn) == "served"
+        assert len(calls) == 3
+
+    def test_exhausted_attempts_raise_typed_budget_error(self):
+        def fn():
+            raise ServiceOverloadError(tenant="t", reason="queue_full")
+
+        with pytest.raises(RetryBudgetExhaustedError) as info:
+            policy().call(fn)
+        err = info.value
+        assert err.attempts == 3
+        assert isinstance(err.last_error, ServiceOverloadError)
+        assert "queue_full" in str(err)
+
+    def test_non_retryable_errors_pass_through_immediately(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise UdfExecutionError("f", ValueError("boom"))
+
+        with pytest.raises(UdfExecutionError):
+            policy().call(fn)
+        assert len(calls) == 1
+
+    def test_wall_clock_budget_caps_before_attempts(self):
+        start = time.monotonic()
+
+        def fn():
+            raise ServiceOverloadError(tenant="t", retry_after_s=10.0)
+
+        with pytest.raises(RetryBudgetExhaustedError) as info:
+            policy(max_attempts=10, budget_s=0.05).call(fn)
+        elapsed = time.monotonic() - start
+        assert elapsed < 1.0  # never slept the 10s hint
+        assert info.value.attempts < 10
+
+    def test_retry_after_hint_is_a_floor_on_backoff(self):
+        times = []
+
+        def fn():
+            times.append(time.monotonic())
+            if len(times) < 2:
+                raise ServiceOverloadError(tenant="t", retry_after_s=0.08)
+            return "ok"
+
+        assert policy().call(fn) == "ok"
+        assert times[1] - times[0] >= 0.07
+
+    def test_hint_ignored_when_disabled(self):
+        times = []
+
+        def fn():
+            times.append(time.monotonic())
+            if len(times) < 2:
+                raise ServiceOverloadError(tenant="t", retry_after_s=0.5)
+            return "ok"
+
+        assert policy(honor_retry_after=False).call(fn) == "ok"
+        assert times[1] - times[0] < 0.3
+
+
+class TestOutcomeStyle:
+    def _shed(self, n):
+        """An fn returning shed outcomes n times, then ok."""
+        state = {"calls": 0}
+
+        def fn():
+            state["calls"] += 1
+            if state["calls"] <= n:
+                return QueryOutcome(
+                    tenant="t", sql="q", status="shed",
+                    error=ServiceOverloadError(tenant="t"),
+                    retry_after_s=0.001,
+                )
+            return QueryOutcome(tenant="t", sql="q", status="ok",
+                                result="rows")
+
+        return fn, state
+
+    def test_shed_outcomes_retried_with_attempt_bookkeeping(self):
+        fn, state = self._shed(2)
+        outcome = policy().call(fn)
+        assert outcome.ok
+        assert outcome.attempts == 3
+        assert state["calls"] == 3
+
+    def test_persistent_shed_returns_final_typed_outcome(self):
+        fn, _ = self._shed(100)
+        outcome = policy().call(fn)
+        assert outcome.shed
+        assert outcome.attempts == 3
+        assert outcome.error is not None
+
+    def test_non_shed_outcome_returns_first_try(self):
+        def fn():
+            return QueryOutcome(tenant="t", sql="q", status="timeout",
+                                error=TimeoutError())
+
+        outcome = policy().call(fn)
+        assert outcome.status == "timeout"
+        assert outcome.attempts == 1

@@ -1,0 +1,213 @@
+"""QueryService: typed outcomes, async submission, stats, metrics."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.core import QFusorConfig
+from repro.errors import ServiceOverloadError
+from repro.obs import METRICS
+from repro.service import (
+    QueryService,
+    RetryPolicy,
+    TenantQuota,
+    TERMINAL_STATUSES,
+)
+
+from .conftest import add_provisioned
+
+
+class TestOutcomeClassification:
+    def test_ok_outcome_carries_result_and_timings(self, service):
+        add_provisioned(service, "t")
+        outcome = service.execute("t", "SELECT s_inc(a) AS v FROM numbers")
+        assert outcome.ok
+        assert outcome.result.num_rows == 8
+        assert outcome.exec_s > 0
+        assert outcome.error is None
+        assert outcome.result is outcome.raise_for_status()
+
+    def test_user_code_failure_classifies_failed(self, service):
+        add_provisioned(service, "t")
+        outcome = service.execute("t", "SELECT s_boom(a) AS v FROM numbers")
+        assert outcome.status == "failed"
+        assert outcome.error is not None
+        with pytest.raises(Exception):
+            outcome.raise_for_status()
+
+    def test_deadline_classifies_timeout(self, service):
+        add_provisioned(service, "t")
+        outcome = service.execute(
+            "t", "SELECT s_spin(a) AS v FROM numbers", timeout_s=0.15
+        )
+        assert outcome.status == "timeout"
+        assert outcome.exec_s < 4.0  # interrupted, not run to completion
+
+    def test_row_budget_classifies_budget(self, service):
+        add_provisioned(service, "t", rows=600)
+        outcome = service.execute(
+            "t", "SELECT s_inc(a) AS v FROM numbers", row_budget=10
+        )
+        assert outcome.status == "budget"
+
+    def test_quota_ceiling_enforces_timeout_despite_larger_request(self):
+        with QueryService(capacity=1) as service:
+            add_provisioned(
+                service, "t", TenantQuota(deadline_ceiling_s=0.15)
+            )
+            outcome = service.execute(
+                "t", "SELECT s_spin(a) AS v FROM numbers", timeout_s=30.0
+            )
+            assert outcome.status == "timeout"
+            assert outcome.error.timeout_s == 0.15
+
+    def test_all_statuses_are_typed(self, service):
+        add_provisioned(service, "t")
+        for sql, kwargs in [
+            ("SELECT s_inc(a) AS v FROM numbers", {}),
+            ("SELECT s_boom(a) AS v FROM numbers", {}),
+            ("SELECT s_spin(a) AS v FROM numbers", {"timeout_s": 0.1}),
+        ]:
+            outcome = service.execute("t", sql, **kwargs)
+            assert outcome.status in TERMINAL_STATUSES
+
+
+class TestSubmission:
+    def test_submit_returns_future_outcome(self, service):
+        add_provisioned(service, "t")
+        futures = [
+            service.submit("t", "SELECT s_inc(a) AS v FROM numbers")
+            for _ in range(6)
+        ]
+        outcomes = [f.result(timeout=10.0) for f in futures]
+        assert all(o.ok for o in outcomes)
+        assert service.scheduler.peak_active <= service.capacity
+
+    def test_concurrent_mixed_tenants_all_terminate_typed(self, service):
+        add_provisioned(service, "a", TenantQuota(weight=2.0))
+        add_provisioned(service, "b")
+        futures = []
+        for _ in range(4):
+            futures.append(
+                service.submit("a", "SELECT s_slow(a) AS v FROM numbers")
+            )
+            futures.append(
+                service.submit("b", "SELECT s_inc(a) AS v FROM numbers")
+            )
+        for f in futures:
+            assert f.result(timeout=10.0).status in TERMINAL_STATUSES
+
+
+class TestSheddingIntegration:
+    def test_saturated_service_sheds_with_retry_hints(self):
+        with QueryService(capacity=1, queue_timeout_s=0.03) as service:
+            add_provisioned(service, "t")
+            outcomes = []
+            lock = threading.Lock()
+
+            def run():
+                o = service.execute(
+                    "t", "SELECT s_slow(a) AS v FROM numbers"
+                )
+                with lock:
+                    outcomes.append(o)
+
+            threads = [threading.Thread(target=run) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            statuses = {o.status for o in outcomes}
+            assert statuses <= {"ok", "shed"}
+            shed = [o for o in outcomes if o.shed]
+            assert shed, "saturation must shed something"
+            for o in shed:
+                assert o.retry_after_s is not None and o.retry_after_s > 0
+                assert isinstance(o.error, ServiceOverloadError)
+
+    def test_latency_watermark_sheds_normal_not_high(self):
+        with QueryService(
+            capacity=1, queue_timeout_s=0.5, p95_high_s=0.001
+        ) as service:
+            add_provisioned(service, "normal")
+            add_provisioned(service, "vip", TenantQuota(lane="high"))
+            # Warm the latency window past min_samples with slow queries.
+            for _ in range(16):
+                service.detector.note(0.5)
+            shed = service.execute(
+                "normal", "SELECT s_inc(a) AS v FROM numbers"
+            )
+            assert shed.status == "shed"
+            assert shed.error.reason == "latency"
+            served = service.execute(
+                "vip", "SELECT s_inc(a) AS v FROM numbers"
+            )
+            assert served.ok
+
+    def test_retry_policy_rides_out_transient_overload(self):
+        with QueryService(capacity=1, queue_timeout_s=0.05) as service:
+            add_provisioned(service, "t")
+            blocker = service.submit(
+                "t", "SELECT s_slow(a) AS v FROM numbers"
+            )
+            outcome = RetryPolicy(
+                max_attempts=20, base_backoff_s=0.02, max_backoff_s=0.1,
+                honor_retry_after=False,
+            ).execute(service, "t", "SELECT s_inc(a) AS v FROM numbers")
+            assert outcome.ok
+            blocker.result(timeout=10.0)
+
+
+class TestObservability:
+    def test_per_tenant_metrics_labelled(self, service):
+        obs.enable(metrics=True)
+        try:
+            METRICS.reset()
+            add_provisioned(service, "acme")
+            service.execute("acme", "SELECT s_inc(a) AS v FROM numbers")
+            snap = METRICS.snapshot()
+            assert (
+                "repro_service_queries_total{outcome=ok,tenant=acme}"
+                in snap["counters"]
+            )
+            assert (
+                "repro_service_wait_seconds{tenant=acme}"
+                in snap["histograms"]
+            )
+        finally:
+            obs.disable()
+            METRICS.reset()
+
+    def test_stats_snapshot_shape(self, service):
+        add_provisioned(service, "t")
+        service.execute("t", "SELECT s_inc(a) AS v FROM numbers")
+        stats = service.stats()
+        assert stats["gate"]["admitted"] == 1
+        assert stats["tenants"]["t"]["admitted"] == 1
+        assert "queue_wait_mean_s" in stats["gate"]
+
+
+class TestLifecycle:
+    def test_shutdown_is_idempotent_and_blocks_new_work(self):
+        service = QueryService(capacity=1)
+        add_provisioned(service, "t")
+        service.shutdown()
+        service.shutdown()
+        with pytest.raises(RuntimeError):
+            service.add_tenant("late")
+
+    def test_context_manager_shuts_down(self):
+        with QueryService(capacity=1) as service:
+            add_provisioned(service, "t")
+        with pytest.raises(RuntimeError):
+            service.add_tenant("late")
+
+    def test_per_tenant_governed_config(self):
+        config = QFusorConfig(query_timeout_s=0.15)
+        with QueryService(capacity=1, config=config) as service:
+            add_provisioned(service, "t")
+            outcome = service.execute(
+                "t", "SELECT s_spin(a) AS v FROM numbers"
+            )
+            assert outcome.status == "timeout"

@@ -1,0 +1,80 @@
+"""OverloadDetector: watermarks, lane exemptions, retry-after hints."""
+
+from repro.service import OverloadDetector
+
+
+class TestQueueDepthWatermark:
+    def test_below_watermark_admits(self):
+        detector = OverloadDetector(2, queue_depth_high=4)
+        assert detector.assess(queue_depth=3) is None
+
+    def test_at_watermark_sheds_every_lane(self):
+        detector = OverloadDetector(2, queue_depth_high=4)
+        for lane in ("high", "normal", "low"):
+            decision = detector.assess(queue_depth=4, lane=lane)
+            assert decision is not None
+            assert decision.reason == "queue_full"
+            assert decision.retry_after_s > 0
+        assert detector.shed_decisions == 3
+
+    def test_disabled_watermark_never_sheds(self):
+        detector = OverloadDetector(2)
+        assert detector.assess(queue_depth=10_000) is None
+
+
+class TestLatencyWatermark:
+    def test_needs_min_samples(self):
+        detector = OverloadDetector(2, p95_high_s=0.01, min_samples=16)
+        for _ in range(15):
+            detector.note(1.0)
+        assert detector.p95() is None
+        assert detector.assess(queue_depth=0) is None
+        detector.note(1.0)
+        assert detector.p95() is not None
+        assert detector.assess(queue_depth=0) is not None
+
+    def test_p95_tracks_tail_not_median(self):
+        detector = OverloadDetector(2, p95_high_s=0.5, min_samples=16)
+        # 95% fast, 5% slow: p95 sits at the fast edge.
+        for _ in range(95):
+            detector.note(0.01)
+        for _ in range(5):
+            detector.note(2.0)
+        p95 = detector.p95()
+        assert p95 is not None
+
+    def test_high_lane_exempt_from_latency_shedding(self):
+        detector = OverloadDetector(2, p95_high_s=0.01, min_samples=4)
+        for _ in range(8):
+            detector.note(1.0)
+        assert detector.assess(queue_depth=0, lane="normal") is not None
+        assert detector.assess(queue_depth=0, lane="low") is not None
+        assert detector.assess(queue_depth=0, lane="high") is None
+
+    def test_latency_decision_carries_p95(self):
+        detector = OverloadDetector(2, p95_high_s=0.01, min_samples=4)
+        for _ in range(8):
+            detector.note(0.5)
+        decision = detector.assess(queue_depth=3)
+        assert decision.reason == "latency"
+        assert decision.p95_s >= 0.5
+        assert decision.queue_depth == 3
+
+
+class TestRetryAfter:
+    def test_hint_scales_with_backlog_and_capacity(self):
+        slow = OverloadDetector(1, queue_depth_high=1)
+        fast = OverloadDetector(8, queue_depth_high=1)
+        for d in (slow, fast):
+            for _ in range(4):
+                d.note(0.4)
+        deep = slow.assess(queue_depth=8).retry_after_s
+        shallow = slow.assess(queue_depth=1).retry_after_s
+        assert deep > shallow
+        wide = fast.assess(queue_depth=8).retry_after_s
+        assert wide < deep  # more capacity drains the same backlog faster
+
+    def test_hint_floor(self):
+        detector = OverloadDetector(64, queue_depth_high=1)
+        detector.note(1e-6)
+        assert detector.assess(queue_depth=1).retry_after_s >= 0.05

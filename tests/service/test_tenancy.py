@@ -1,0 +1,132 @@
+"""Tenant sessions: quota clamps, namespace isolation, cache scoping."""
+
+import pytest
+
+from repro.core import QFusorConfig
+from repro.engines import MiniDbAdapter
+from repro.errors import UnknownTenantError
+from repro.service import QueryService, TenantQuota, TenantSession
+
+from .conftest import add_provisioned, make_numbers, s_inc
+
+
+class TestQuota:
+    def test_rejects_nonpositive_weight_and_bad_lane(self):
+        with pytest.raises(ValueError):
+            TenantQuota(weight=0.0)
+        with pytest.raises(ValueError):
+            TenantQuota(lane="vip")
+
+    def test_deadline_clamped_to_ceiling(self):
+        quota = TenantQuota(deadline_ceiling_s=1.0)
+        assert quota.clamp_timeout(5.0) == 1.0
+        assert quota.clamp_timeout(0.5) == 0.5
+        assert quota.clamp_timeout(None) == 1.0  # ceiling is the default
+        assert TenantQuota().clamp_timeout(None) is None
+
+    def test_row_budget_clamped_to_ceiling(self):
+        quota = TenantQuota(row_budget_ceiling=100)
+        assert quota.clamp_row_budget(10_000) == 100
+        assert quota.clamp_row_budget(7) == 7
+        assert quota.clamp_row_budget(None) == 100
+
+
+class TestContextDerivation:
+    def _session(self, quota=None, config=None):
+        return TenantSession(
+            "t1", quota or TenantQuota(), MiniDbAdapter(), config
+        )
+
+    def test_ungoverned_when_nothing_requested(self):
+        assert self._session().make_context() is None
+
+    def test_context_carries_tenant_and_clamps(self):
+        session = self._session(
+            TenantQuota(deadline_ceiling_s=0.5, row_budget_ceiling=50)
+        )
+        ctx = session.make_context(timeout_s=10.0, row_budget=1000)
+        assert ctx.tenant == "t1"
+        assert ctx.timeout_s == 0.5
+        assert ctx.row_budget == 50
+
+    def test_config_governance_defaults_apply(self):
+        session = self._session(
+            config=QFusorConfig(query_timeout_s=2.0, row_budget=10)
+        )
+        ctx = session.make_context()
+        assert ctx.timeout_s == 2.0
+        assert ctx.row_budget == 10
+
+    def test_cache_scope_is_the_tenant_id(self):
+        session = self._session(config=QFusorConfig.cached())
+        assert session.config.cache_scope == "t1"
+        assert session.qfusor.caches.scope == "t1"
+
+
+class TestNamespaceIsolation:
+    def test_udf_registered_for_one_tenant_invisible_to_other(self):
+        with QueryService(capacity=2) as service:
+            a = service.add_tenant("a")
+            b = service.add_tenant("b")
+            a.register_table(make_numbers())
+            b.register_table(make_numbers())
+            a.register_udf(s_inc)
+            assert "s_inc" in a.adapter.registry
+            assert "s_inc" not in b.adapter.registry
+            ok = service.execute("a", "SELECT s_inc(a) AS v FROM numbers")
+            assert ok.ok
+            bad = service.execute("b", "SELECT s_inc(a) AS v FROM numbers")
+            assert bad.status == "failed"
+            assert bad.error is not None
+
+    def test_tables_are_per_tenant(self):
+        with QueryService(capacity=2) as service:
+            add_provisioned(service, "a", rows=3)
+            b = service.add_tenant("b")
+            outcome = service.execute("b", "SELECT a FROM numbers")
+            assert outcome.status == "failed"
+
+    def test_same_udf_name_different_definitions(self):
+        from repro.udf import scalar_udf
+
+        @scalar_udf(name="f", deterministic=True)
+        def f_a(x: int) -> int:
+            return x + 1
+
+        @scalar_udf(name="f", deterministic=True)
+        def f_b(x: int) -> int:
+            return x + 100
+
+        with QueryService(capacity=2) as service:
+            a = service.add_tenant("a")
+            b = service.add_tenant("b")
+            for session, udf in ((a, f_a), (b, f_b)):
+                session.register_table(make_numbers(3))
+                session.register_udf(udf)
+            ra = service.execute("a", "SELECT f(a) AS v FROM numbers")
+            rb = service.execute("b", "SELECT f(a) AS v FROM numbers")
+            assert ra.result.column("v").to_list() == [1, 2, 3]
+            assert rb.result.column("v").to_list() == [100, 101, 102]
+
+
+class TestServiceTenantLifecycle:
+    def test_unknown_tenant_raises(self):
+        with QueryService() as service:
+            with pytest.raises(UnknownTenantError):
+                service.execute("ghost", "SELECT 1")
+            with pytest.raises(UnknownTenantError):
+                service.submit("ghost", "SELECT 1")
+
+    def test_duplicate_tenant_rejected(self):
+        with QueryService() as service:
+            service.add_tenant("a")
+            with pytest.raises(ValueError):
+                service.add_tenant("a")
+
+    def test_remove_tenant_closes_session(self):
+        with QueryService() as service:
+            add_provisioned(service, "a")
+            service.remove_tenant("a")
+            with pytest.raises(UnknownTenantError):
+                service.execute("a", "SELECT a FROM numbers")
+            service.remove_tenant("a")  # idempotent
