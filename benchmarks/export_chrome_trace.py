@@ -11,7 +11,7 @@ import sys
 from repro.bench.harness import ALL_SQL, setup_adapter
 from repro.core import QFusor
 from repro.engines import MiniDbAdapter
-from repro.obs import QueryReport, chrome_trace_json, tracer
+from repro.obs import QueryReport, tracer, write_chrome_trace
 
 
 def main(query_id: str = "Q1", out: str = "chrome_trace_q1.json",
@@ -21,8 +21,7 @@ def main(query_id: str = "Q1", out: str = "chrome_trace_q1.json",
     with tracer.trace_query(query_id, adapter="minidb") as trace:
         qfusor.execute(ALL_SQL[query_id])
     print(QueryReport.from_trace(trace).render())
-    with open(out, "w") as fh:
-        fh.write(chrome_trace_json(trace))
+    write_chrome_trace(trace, out)  # atomic: no torn artifact
     print(f"wrote {out}")
 
 

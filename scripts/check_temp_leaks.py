@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Fail if any atomic-write temp file survived the test suite.
+
+Every atomic installer in the repo (CSV saves, Chrome trace exports,
+durability checkpoints) stages through a same-directory ``.<name>.*.tmp``
+file that is either renamed into place or unlinked.  A temp file that
+outlives the suite means an installer leaked on an error path the tests
+exercised — the CI ``crash-recovery`` job runs this after pytest exits.
+
+Scans the given directories (default: the repo checkout and pytest's
+base temp directory if passed).  Deliberately crashed durability
+directories are exempt only until their next recovery, which sweeps
+them — so a post-suite scan must still come up clean.  Exits 0 when no
+temp files remain, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+
+def find_temp_files(roots) -> list:
+    leaks = []
+    for root in roots:
+        if not os.path.isdir(root):
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            # Skip VCS internals; nothing of ours stages there.
+            dirnames[:] = [d for d in dirnames if d != ".git"]
+            for name in filenames:
+                if name.endswith(".tmp") and name.startswith("."):
+                    leaks.append(os.path.join(dirpath, name))
+    return leaks
+
+
+def main(argv) -> int:
+    roots = argv[1:] or ["."]
+    leaks = find_temp_files(roots)
+    if not leaks:
+        print(
+            f"check_temp_leaks: OK — no leaked atomic-write temp files "
+            f"under {', '.join(roots)}"
+        )
+        return 0
+    for path in leaks:
+        print(f"leaked temp file: {path}", file=sys.stderr)
+    print(
+        f"check_temp_leaks: FAIL — {len(leaks)} atomic-write temp "
+        f"file(s) survived the suite",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

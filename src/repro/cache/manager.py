@@ -208,9 +208,16 @@ class CacheManager:
         versions = self._referenced_udf_versions(udf_names)
         if versions is None:
             return None
+        catalog = self._catalog()
+        # Database generation: bumped by every durability recovery, so a
+        # cache that outlives an adapter restart (warm service restart)
+        # can never serve an entry keyed before the crash — even if an
+        # unlogged in-memory epoch bump died with the old process.
+        generation = getattr(catalog, "generation", 0) if catalog else 0
         key = (
             self.scope,
             self.adapter.name,
+            generation,
             fingerprint.sql_fingerprint(statement),
             epochs,
             versions,

@@ -42,6 +42,10 @@ class EngineAdapter:
     #: The engine runs UDFs in-process (enables exported-internals
     #: group-by offloading, section 5.3.2).
     in_process: bool = True
+    #: Optional :class:`repro.storage.durability.DurabilityManager`
+    #: attached via ``durability_dir=`` or
+    #: :func:`repro.storage.durability.attach_to_adapter`.
+    durability: Optional[Any] = None
 
     @property
     def registry(self) -> UdfRegistry:
@@ -85,8 +89,11 @@ class EngineAdapter:
             self.registry.workers = None
 
     def close(self) -> None:
-        """Release adapter resources (worker processes, channels)."""
+        """Release adapter resources (worker processes, channels, WAL)."""
         self.disable_process_isolation()
+        if self.durability is not None:
+            self.durability.close()
+            self.durability = None
 
     # -- schema/UDF management ------------------------------------------
 

@@ -31,6 +31,11 @@ class MiniDbAdapter(EngineAdapter):
         database: Optional[Database] = None,
         *,
         stats: Optional[StatsStore] = None,
+        durability_dir: Optional[Any] = None,
+        wal_enabled: bool = True,
+        wal_fsync: bool = True,
+        checkpoint_threshold: int = 4 << 20,
+        checkpoint_interval_s: Optional[float] = None,
     ):
         self.database = database or Database(
             "minidb",
@@ -40,6 +45,19 @@ class MiniDbAdapter(EngineAdapter):
             ),
             stats=stats,
         )
+        if durability_dir is not None:
+            # Recovers the directory's state into the catalog/registry
+            # before the adapter serves anything, then WAL-logs writes.
+            from ..storage.durability import attach_to_adapter
+
+            attach_to_adapter(
+                self,
+                durability_dir,
+                wal_enabled=wal_enabled,
+                wal_fsync=wal_fsync,
+                checkpoint_threshold=checkpoint_threshold,
+                checkpoint_interval_s=checkpoint_interval_s,
+            )
 
     @property
     def registry(self):

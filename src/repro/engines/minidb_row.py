@@ -50,6 +50,11 @@ class RowStoreAdapter(EngineAdapter):
         worker_max_batch_retries: int = 2,
         worker_quarantine_policy: str = "degrade",
         worker_batch_timeout_s: Optional[float] = None,
+        durability_dir: Optional[Any] = None,
+        wal_enabled: bool = True,
+        wal_fsync: bool = True,
+        checkpoint_threshold: int = 4 << 20,
+        checkpoint_interval_s: Optional[float] = None,
     ):
         if isolation not in ("channel", "process"):
             raise ValueError(f"unknown isolation mode {isolation!r}")
@@ -66,6 +71,17 @@ class RowStoreAdapter(EngineAdapter):
             stats=stats,
             channel=self.channel,
         )
+        if durability_dir is not None:
+            from ..storage.durability import attach_to_adapter
+
+            attach_to_adapter(
+                self,
+                durability_dir,
+                wal_enabled=wal_enabled,
+                wal_fsync=wal_fsync,
+                checkpoint_threshold=checkpoint_threshold,
+                checkpoint_interval_s=checkpoint_interval_s,
+            )
         if isolation == "process":
             self.enable_process_isolation(
                 pool_size=worker_pool_size,

@@ -40,6 +40,81 @@ class CatalogError(ReproError):
     """Raised for unknown tables/columns or duplicate registrations."""
 
 
+class CsvFormatError(ReproError):
+    """A malformed cell or row in a CSV file being loaded.
+
+    Carries the file, the 1-based physical line number, the column name,
+    and the offending text, so a bad cell in a million-row ingest is
+    locatable without re-parsing the file by hand.
+    """
+
+    def __init__(self, message: str, *, path: "str | None" = None,
+                 line: "int | None" = None, column: "str | None" = None,
+                 text: "str | None" = None):
+        detail = [message]
+        if path is not None:
+            detail.append(f"in {path!r}")
+        if line is not None:
+            detail.append(f"at line {line}")
+        if column is not None:
+            detail.append(f"column {column!r}")
+        if text is not None:
+            detail.append(f"value {text!r}")
+        super().__init__(" ".join(detail))
+        self.path = path
+        self.line = line
+        self.column = column
+        self.text = text
+
+
+class DurabilityError(ReproError):
+    """Base class for WAL / checkpoint / recovery failures."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A WAL frame failed validation somewhere other than the tail.
+
+    Torn *tails* are expected after a crash and are truncated silently;
+    a bad frame followed by good frames, or a bad file header, means the
+    log itself is damaged and recovery must not guess.
+    """
+
+    def __init__(self, message: str, *, path: "str | None" = None,
+                 offset: "int | None" = None):
+        detail = [message]
+        if path is not None:
+            detail.append(f"in {path!r}")
+        if offset is not None:
+            detail.append(f"at offset {offset}")
+        super().__init__(" ".join(detail))
+        self.path = path
+        self.offset = offset
+
+
+class CheckpointError(DurabilityError):
+    """A checkpoint file failed validation (magic or checksum).
+
+    Checkpoints are installed with an atomic temp-file + ``os.replace``
+    protocol, so a corrupt checkpoint indicates external damage, not a
+    crash window — recovery refuses rather than silently starting empty.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Recovery could not restore a consistent database state."""
+
+
+class SimulatedCrash(BaseException):
+    """An injected process death for the in-process crash harness.
+
+    Derives from :class:`BaseException` so no recovery handler on the
+    write path can absorb it — exactly like a real ``SIGKILL``, the
+    "process" ends mid-operation and only the bytes already handed to
+    the OS survive.  Raised by durability fault points
+    (:meth:`repro.testing.faults.FaultInjector.durability_crash`).
+    """
+
+
 class PlanError(ReproError):
     """Raised when a logical plan cannot be built or is malformed."""
 

@@ -26,7 +26,7 @@ from .metrics import (
     METRICS,
     MetricsRegistry,
 )
-from .export import chrome_trace, chrome_trace_json
+from .export import chrome_trace, chrome_trace_json, write_chrome_trace
 from .report import QueryReport, STAGE_NAMES
 from .tracer import (
     OBS,
@@ -77,6 +77,7 @@ __all__ = [
     "DEFAULT_BYTES_BUCKETS",
     "chrome_trace",
     "chrome_trace_json",
+    "write_chrome_trace",
     "QueryReport",
     "STAGE_NAMES",
 ]

@@ -21,11 +21,12 @@ thread), not OS idents, for the same determinism reason.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from pathlib import Path
+from typing import Any, Dict, List, Union
 
 from .tracer import QueryTrace, Span
 
-__all__ = ["chrome_trace", "chrome_trace_json"]
+__all__ = ["chrome_trace", "chrome_trace_json", "write_chrome_trace"]
 
 _PID = 1
 
@@ -106,3 +107,24 @@ def chrome_trace(trace: QueryTrace) -> Dict[str, Any]:
 def chrome_trace_json(trace: QueryTrace, indent: int = 2) -> str:
     """The same document serialized, for writing to a ``.json`` artifact."""
     return json.dumps(chrome_trace(trace), indent=indent, sort_keys=False)
+
+
+def write_chrome_trace(
+    trace: QueryTrace,
+    path: Union[str, Path],
+    *,
+    indent: int = 2,
+    fsync: bool = False,
+) -> Path:
+    """Write the trace artifact atomically.
+
+    A crash (or a second exporter racing the same path) never leaves a
+    truncated JSON file for the viewer to choke on: the document lands
+    via a same-directory temp file and ``os.replace``.
+    """
+    from ..storage.atomic import atomic_writer
+
+    path = Path(path)
+    with atomic_writer(path, "w", fsync=fsync, encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(trace, indent=indent))
+    return path

@@ -30,6 +30,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
 from ..errors import (
@@ -69,8 +70,17 @@ class QueryService:
         isolation: Optional[str] = None,
         worker_knobs: Optional[Dict[str, Any]] = None,
         max_submit_threads: Optional[int] = None,
+        durability_root: Optional[Any] = None,
+        durability_knobs: Optional[Dict[str, Any]] = None,
     ):
         self._adapter_factory = adapter_factory or _default_adapter_factory
+        # Per-tenant crash consistency: with a root set, every tenant's
+        # adapter gets a WAL'd database directory at <root>/<tenant_id>,
+        # and recover_tenants() warm-restarts the fleet from disk.
+        self._durability_root = (
+            Path(durability_root) if durability_root is not None else None
+        )
+        self._durability_knobs = dict(durability_knobs or {})
         self.capacity = max(1, int(capacity))
         self.scheduler = FairScheduler(
             self.capacity,
@@ -116,10 +126,16 @@ class QueryService:
         if self._closed:
             raise RuntimeError("service is shut down")
         quota = quota if quota is not None else TenantQuota()
+        adapter = self._adapter_factory()
+        if (
+            self._durability_root is not None
+            and getattr(adapter, "durability", None) is None
+        ):
+            self._attach_durability(adapter, tenant_id)
         session = TenantSession(
             tenant_id,
             quota,
-            self._adapter_factory(),
+            adapter,
             config if config is not None else self._config_template,
         )
         effective_isolation = (
@@ -136,6 +152,63 @@ class QueryService:
             self.scheduler.register_tenant(tenant_id, quota)
             self._sessions[tenant_id] = session
         return session
+
+    def _attach_durability(self, adapter: Any, tenant_id: str) -> None:
+        """Attach a per-tenant WAL'd directory at ``<root>/<tenant_id>``.
+
+        The tenant id doubles as the directory name so a cold service
+        can rediscover its fleet from disk; ids must therefore be plain
+        path components when durability is on.
+        """
+        if (
+            not tenant_id
+            or tenant_id in (".", "..")
+            or "/" in tenant_id
+            or "\\" in tenant_id
+        ):
+            raise ValueError(
+                f"tenant id {tenant_id!r} is not a valid directory name "
+                f"(required when durability_root is set)"
+            )
+        from ..storage.durability import attach_to_adapter
+
+        attach_to_adapter(
+            adapter,
+            self._durability_root / tenant_id,
+            **self._durability_knobs,
+        )
+
+    def recover_tenants(
+        self, quota: Optional[TenantQuota] = None
+    ) -> Dict[str, Any]:
+        """Warm-restart: re-create a session for every tenant directory
+        under ``durability_root`` not already being served.
+
+        Each adapter's constructor-time recovery replays that tenant's
+        WAL over its checkpoint, so tables, snapshot epochs, and UDF
+        definition versions come back exactly as acknowledged before the
+        crash.  Returns ``{tenant_id: RecoveryReport}`` for the tenants
+        brought back.
+        """
+        reports: Dict[str, Any] = {}
+        root = self._durability_root
+        if root is None or not root.is_dir():
+            return reports
+        for child in sorted(root.iterdir()):
+            if not child.is_dir():
+                continue
+            tenant_id = child.name
+            if tenant_id in self._sessions:
+                continue
+            session = self.add_tenant(tenant_id, quota)
+            manager = getattr(session.adapter, "durability", None)
+            if manager is not None:
+                reports[tenant_id] = manager.last_recovery
+        if OBS.metrics and reports:
+            METRICS.counter("repro_service_tenants_recovered_total").inc(
+                len(reports)
+            )
+        return reports
 
     def remove_tenant(self, tenant_id: str) -> None:
         with self._sessions_lock:

@@ -1,0 +1,107 @@
+"""Atomic file writes: temp file + ``os.replace`` (+ optional fsync).
+
+A plain ``open(path, "w")`` truncates the destination before the first
+byte is written, so a crash mid-write corrupts a previously good file.
+Every writer of non-append on-disk state in this repo (CSV snapshots,
+Chrome trace exports, durability checkpoints) goes through this module
+instead: the content is written to a same-directory temp file, flushed
+(and optionally fsync'd), then atomically renamed over the destination.
+Readers therefore always observe either the old file or the new one,
+never a prefix.
+
+``fsync=True`` additionally syncs the file contents before the rename
+and the parent directory after it, so the rename itself survives a
+power loss.  With ``fsync=False`` (the default for non-durability
+callers) the write is still atomic with respect to process crashes —
+only a machine crash can lose it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Iterator, Union
+
+__all__ = ["atomic_writer", "write_atomic", "fsync_dir"]
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Fsync a directory so a completed rename inside it is durable.
+
+    Best-effort: some platforms/filesystems refuse to open directories
+    (or to fsync them); those errors are ignored because the rename has
+    already happened and is atomic regardless.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_writer(
+    path: Union[str, Path],
+    mode: str = "w",
+    *,
+    fsync: bool = False,
+    encoding: "str | None" = None,
+    newline: "str | None" = None,
+) -> Iterator[IO]:
+    """Yield a handle to a same-directory temp file; install on success.
+
+    On a clean exit the temp file is flushed (fsync'd when asked) and
+    renamed over ``path``.  On any exception the temp file is removed
+    and the destination is untouched.
+    """
+    path = Path(path)
+    if "r" in mode or "a" in mode or "+" in mode:
+        raise ValueError(f"atomic_writer requires a write mode, got {mode!r}")
+    if "b" in mode and (encoding is not None or newline is not None):
+        raise ValueError("binary mode takes no encoding/newline")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        if "b" in mode:
+            handle = os.fdopen(fd, mode)
+        else:
+            handle = os.fdopen(
+                fd,
+                mode,
+                encoding=encoding if encoding is not None else "utf-8",
+                newline=newline,
+            )
+        with handle:
+            yield handle
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    if fsync:
+        fsync_dir(path.parent)
+
+
+def write_atomic(
+    path: Union[str, Path],
+    data: Union[bytes, str],
+    *,
+    fsync: bool = False,
+    encoding: str = "utf-8",
+) -> None:
+    """Atomically replace ``path`` with ``data`` (bytes or text)."""
+    mode = "wb" if isinstance(data, bytes) else "w"
+    kwargs = {} if isinstance(data, bytes) else {"encoding": encoding}
+    with atomic_writer(path, mode, fsync=fsync, **kwargs) as handle:
+        handle.write(data)

@@ -35,7 +35,12 @@ class TableStats:
 
 
 class Catalog:
-    """Holds the engine's tables, keyed by lower-cased name."""
+    """Holds the engine's tables, keyed by lower-cased name.
+
+    All mutations run under one re-entrant lock so the epoch bump and the
+    durability log append are a single atomic step: WAL order always
+    matches epoch order, which is what makes replayed epochs exact.
+    """
 
     def __init__(self):
         self._tables: Dict[str, Table] = {}
@@ -44,29 +49,42 @@ class Catalog:
         # bumped on every load/insert/update/delete/drop.  The result
         # cache keys on them, so any write retires dependent entries.
         self._epochs: Dict[str, int] = {}
-        self._epoch_lock = threading.Lock()
+        self._lock = threading.RLock()
+        #: Database generation: 0 without durability; bumped by every
+        #: recovery so result-cache keys from before a crash can never
+        #: collide with post-restart state.
+        self.generation = 0
+        #: Optional :class:`~repro.storage.durability.DurabilityManager`;
+        #: when set, every mutation is WAL-logged before it returns.
+        self.durability = None
 
     def register(self, table: Table, *, replace: bool = False) -> None:
         """Add a table; ``replace=True`` overwrites an existing one."""
         key = table.name.lower()
-        if key in self._tables and not replace:
-            raise CatalogError(f"table {table.name!r} already exists")
-        if table.schema.has_duplicates:
-            raise CatalogError(
-                f"table {table.name!r} has duplicate column names"
-            )
-        self._tables[key] = table
-        self._stats[key] = TableStats(table)
-        self.touch(table.name)
+        with self._lock:
+            if key in self._tables and not replace:
+                raise CatalogError(f"table {table.name!r} already exists")
+            if table.schema.has_duplicates:
+                raise CatalogError(
+                    f"table {table.name!r} has duplicate column names"
+                )
+            self._tables[key] = table
+            self._stats[key] = TableStats(table)
+            epoch = self._bump(key)
+            if self.durability is not None:
+                self.durability.log_table(table, epoch)
 
     def drop(self, name: str) -> None:
         """Remove a table."""
         key = name.lower()
-        if key not in self._tables:
-            raise CatalogError(f"unknown table {name!r}")
-        del self._tables[key]
-        del self._stats[key]
-        self.touch(name)
+        with self._lock:
+            if key not in self._tables:
+                raise CatalogError(f"unknown table {name!r}")
+            del self._tables[key]
+            del self._stats[key]
+            epoch = self._bump(key)
+            if self.durability is not None:
+                self.durability.log_drop(name, epoch)
 
     # ------------------------------------------------------------------
     # Snapshot epochs
@@ -85,8 +103,47 @@ class Catalog:
         retired even though no :meth:`register` call happened.
         """
         key = name.lower()
-        with self._epoch_lock:
-            self._epochs[key] = self._epochs.get(key, 0) + 1
+        with self._lock:
+            epoch = self._bump(key)
+            if self.durability is not None:
+                self.durability.log_touch(name, epoch)
+
+    def _bump(self, key: str) -> int:
+        """Advance and return a table's epoch; caller holds the lock."""
+        epoch = self._epochs.get(key, 0) + 1
+        self._epochs[key] = epoch
+        return epoch
+
+    # ------------------------------------------------------------------
+    # Recovery restore hooks (durability-internal: no epoch bump beyond
+    # the recorded value, no WAL logging — replay must be idempotent)
+    # ------------------------------------------------------------------
+
+    def restore_table(self, table: Table, epoch: Optional[int] = None) -> None:
+        """Install a recovered table image without logging it."""
+        key = table.name.lower()
+        with self._lock:
+            self._tables[key] = table
+            self._stats[key] = TableStats(table)
+            if epoch is not None:
+                self.restore_epoch(key, epoch)
+
+    def restore_drop(self, name: str, epoch: Optional[int] = None) -> None:
+        """Replay a drop; tolerates the table already being gone
+        (a checkpoint raced the record — replay is idempotent)."""
+        key = name.lower()
+        with self._lock:
+            self._tables.pop(key, None)
+            self._stats.pop(key, None)
+            if epoch is not None:
+                self.restore_epoch(key, epoch)
+
+    def restore_epoch(self, name: str, epoch: int) -> None:
+        """Set a recovered epoch; only ever moves forward."""
+        key = name.lower()
+        with self._lock:
+            if epoch > self._epochs.get(key, 0):
+                self._epochs[key] = epoch
 
     def get(self, name: str) -> Table:
         """Look up a table by name."""

@@ -1,0 +1,117 @@
+"""Checkpoints: full-state snapshots installed atomically.
+
+A checkpoint is one file (``CHECKPOINT`` in the database directory)
+holding the complete durable state — every table image, every snapshot
+epoch (including epochs of dropped or engine-external tables), every UDF
+definition version, the database generation, and the LSN of the last WAL
+record folded in.  Format::
+
+    [8-byte magic "RCKP0001"][u32 crc32(payload)][payload JSON]
+
+Install protocol (the crash harness drives every window of it):
+
+1. write the full image to a same-directory temp file (unbuffered),
+2. fsync the temp file,
+3. ``os.replace`` it over ``CHECKPOINT``,
+4. fsync the directory,
+5. reset the WAL with ``base_lsn = checkpoint.lsn``.
+
+A crash before (3) leaves the old checkpoint intact (the temp file is
+garbage that startup sweeps); a crash between (3) and (5) leaves a new
+checkpoint plus a WAL whose frames all have ``lsn <= checkpoint.lsn`` —
+replay skips them by LSN, so nothing is applied twice.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+try:
+    import json
+except ImportError:  # pragma: no cover - stdlib
+    raise
+
+from ...errors import CheckpointError
+from ..atomic import fsync_dir
+from .wal import IO_CALLS, _crash_point, execute_crash
+
+__all__ = ["CHECKPOINT_NAME", "write_checkpoint", "read_checkpoint"]
+
+CHECKPOINT_NAME = "CHECKPOINT"
+MAGIC = b"RCKP0001"
+_CRC = struct.Struct("<I")
+
+
+def write_checkpoint(
+    directory: Union[str, Path], state: Dict[str, Any], *, fsync: bool = True
+) -> Path:
+    """Atomically install ``state`` as the directory's checkpoint."""
+    directory = Path(directory)
+    path = directory / CHECKPOINT_NAME
+    payload = json.dumps(
+        state, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    blob = MAGIC + _CRC.pack(zlib.crc32(payload)) + payload
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=f".{CHECKPOINT_NAME}.", suffix=".tmp"
+    )
+    try:
+        spec = _crash_point("checkpoint_write")
+        if spec is not None:
+            cut = spec.get("cut")
+            cut = len(blob) if cut is None else max(0, min(cut, len(blob)))
+            if cut:
+                IO_CALLS["write"] += 1
+                os.write(fd, blob[:cut])
+            os.close(fd)
+            execute_crash(spec)
+        IO_CALLS["write"] += 1
+        os.write(fd, blob)
+        if fsync:
+            IO_CALLS["fsync"] += 1
+            os.fsync(fd)
+    finally:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    spec = _crash_point("checkpoint_replace")
+    if spec is not None:
+        execute_crash(spec)
+    os.replace(tmp_name, path)
+    if fsync:
+        fsync_dir(directory)
+    return path
+
+
+def read_checkpoint(directory: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Load and validate the directory's checkpoint, or None if absent.
+
+    Corruption raises :class:`~repro.errors.CheckpointError`: the
+    atomic-install protocol means a torn checkpoint cannot occur through
+    any crash window, so a bad file is external damage recovery must not
+    paper over by silently starting empty.
+    """
+    path = Path(directory) / CHECKPOINT_NAME
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        return None
+    header_len = len(MAGIC) + _CRC.size
+    if len(blob) < header_len or blob[: len(MAGIC)] != MAGIC:
+        raise CheckpointError(f"bad checkpoint magic in {str(path)!r}")
+    (crc,) = _CRC.unpack(blob[len(MAGIC): header_len])
+    payload = blob[header_len:]
+    if zlib.crc32(payload) != crc:
+        raise CheckpointError(f"checkpoint checksum mismatch in {str(path)!r}")
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint payload undecodable in {str(path)!r}: {exc}"
+        ) from exc

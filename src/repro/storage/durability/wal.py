@@ -1,0 +1,301 @@
+"""The write-ahead log: length-prefixed, CRC-checksummed, fsync'd frames.
+
+File layout::
+
+    [8-byte magic "RWAL0001"][u64 base_lsn]        -- header
+    [u32 len][u32 crc][u64 lsn][payload bytes]     -- frame, repeated
+
+* ``len`` is the payload length in bytes.
+* ``crc`` is ``zlib.crc32`` over the 8 little-endian LSN bytes followed
+  by the payload, so a frame whose length field survived a tear but
+  whose body didn't still fails validation.
+* ``lsn`` is a monotonically increasing sequence number that survives
+  checkpoint truncation (the post-checkpoint log restarts at the
+  checkpoint's LSN as ``base_lsn``), so replay can skip frames already
+  folded into a checkpoint even when a crash landed between the
+  checkpoint install and the log reset.
+
+The file is opened **unbuffered** (``buffering=0``): every append is a
+single OS ``write`` followed (when ``fsync`` is on) by an ``fsync``.
+There is no userspace buffer that a simulated crash could accidentally
+flush later, which is what makes the kill-injection harness's torn
+writes faithful.
+
+Scanning stops at the first frame that is short, fails its CRC, or
+regresses its LSN — the *torn tail* — and :meth:`WriteAheadLog.seal`
+truncates it.  A valid frame is never followed by garbage in a correct
+log (appends are sequential), so everything past the first bad byte is
+by construction unacknowledged.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import struct
+import time
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from ...errors import SimulatedCrash, WalCorruptionError
+from ...obs import METRICS, OBS
+from ...resilience import runtime
+
+try:
+    import json
+except ImportError:  # pragma: no cover - stdlib
+    raise
+
+__all__ = ["WriteAheadLog", "WalRecord", "IO_CALLS", "reset_io_calls"]
+
+MAGIC = b"RWAL0001"
+_HEADER = struct.Struct("<Q")
+_FRAME = struct.Struct("<IIQ")
+_LSN = struct.Struct("<Q")
+
+#: Global count of WAL file-system calls (writes, fsyncs, truncates).
+#: The WAL-disabled benchmark gate asserts this stays zero across a full
+#: suite run with no durability attached — the structural proof that the
+#: disabled path performs no I/O at all, syscall by syscall.
+IO_CALLS = {"write": 0, "fsync": 0, "truncate": 0}
+
+
+def reset_io_calls() -> None:
+    for key in IO_CALLS:
+        IO_CALLS[key] = 0
+
+
+class WalRecord:
+    """One decoded WAL frame."""
+
+    __slots__ = ("lsn", "payload")
+
+    def __init__(self, lsn: int, payload: Dict[str, Any]):
+        self.lsn = lsn
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WalRecord(lsn={self.lsn}, op={self.payload.get('op')!r})"
+
+
+def _crash_point(stage: str) -> Optional[dict]:
+    """Consult the armed fault injector at a durability fault point."""
+    if not runtime.FAULTS.armed:
+        return None
+    hook = getattr(runtime.FAULTS.injector, "durability_fault", None)
+    if hook is None:
+        return None
+    return hook(stage)
+
+
+def execute_crash(spec: dict) -> None:
+    """Die as instructed by a durability crash spec (never returns)."""
+    if spec.get("action") == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(60)  # pragma: no cover - the signal lands first
+    raise SimulatedCrash(f"injected crash at {spec.get('stage')}")
+
+
+class WriteAheadLog:
+    """An append-only, checksummed log for one database directory."""
+
+    def __init__(self, path: Union[str, Path], *, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync_enabled = fsync
+        existed = self.path.exists()
+        # Unbuffered: see module docstring.
+        self._file = open(self.path, "r+b" if existed else "x+b", buffering=0)
+        if existed and self.path.stat().st_size >= len(MAGIC) + _HEADER.size:
+            header = self._file.read(len(MAGIC) + _HEADER.size)
+            if header[: len(MAGIC)] != MAGIC:
+                self._file.close()
+                raise WalCorruptionError(
+                    "bad WAL magic", path=str(self.path), offset=0
+                )
+            (self.base_lsn,) = _HEADER.unpack(header[len(MAGIC):])
+        else:
+            # New (or torn-header) log: write a fresh header.
+            self.base_lsn = 0
+            self._file.seek(0)
+            self._file.truncate()
+            self._write(MAGIC + _HEADER.pack(0))
+            self._fsync()
+        self.last_lsn = self.base_lsn
+        #: Byte offset of the end of the last valid frame (maintained by
+        #: scan/seal and by append).
+        self._end = len(MAGIC) + _HEADER.size
+        self._scanned = False
+        self._tail_garbage = 0
+
+    # ------------------------------------------------------------------
+    # Low-level I/O (counted for the zero-syscall disabled gate)
+    # ------------------------------------------------------------------
+
+    def _write(self, data: bytes) -> None:
+        IO_CALLS["write"] += 1
+        self._file.write(data)
+
+    def _fsync(self) -> None:
+        if not self.fsync_enabled:
+            return
+        IO_CALLS["fsync"] += 1
+        os.fsync(self._file.fileno())
+
+    def _read_exact(self, count: int) -> Optional[bytes]:
+        """Read exactly ``count`` bytes, or None at a short tail."""
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = self._file.read(remaining)
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    # ------------------------------------------------------------------
+    # Read side (recovery)
+    # ------------------------------------------------------------------
+
+    def scan(self) -> Iterator[WalRecord]:
+        """Yield valid frames in order; stop at the first torn one.
+
+        Records the end offset of the last valid frame so :meth:`seal`
+        can truncate trailing garbage.  A frame that fails validation
+        *and* is followed by nothing but the file end is a torn tail
+        (expected after a crash); scanning simply stops there either
+        way, because nothing after an invalid frame can have been
+        acknowledged.
+        """
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        offset = len(MAGIC) + _HEADER.size
+        self._file.seek(offset)
+        last_lsn = self.base_lsn
+        while offset < size:
+            header = self._read_exact(_FRAME.size)
+            if header is None:
+                break
+            length, crc, lsn = _FRAME.unpack(header)
+            payload = self._read_exact(length)
+            if payload is None:
+                break
+            if zlib.crc32(_LSN.pack(lsn) + payload) != crc:
+                break
+            if lsn <= last_lsn:
+                # LSN regression: stale bytes from a pre-reset log that
+                # a torn reset left behind. Nothing past them is valid.
+                break
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                break
+            offset += _FRAME.size + length
+            last_lsn = lsn
+            yield WalRecord(lsn, decoded)
+        self._end = offset
+        self._tail_garbage = size - offset
+        self.last_lsn = last_lsn
+        self._scanned = True
+
+    def seal(self) -> int:
+        """Truncate trailing garbage after a scan; return bytes dropped.
+
+        Idempotent and crash-safe: truncating at the last valid frame
+        end loses only bytes that were never acknowledged (an append
+        only returns after its full frame and fsync).
+        """
+        if not self._scanned:
+            for _ in self.scan():
+                pass
+        dropped = self._tail_garbage
+        if dropped:
+            self._file.seek(self._end)
+            IO_CALLS["truncate"] += 1
+            self._file.truncate()
+            self._fsync()
+            self._tail_garbage = 0
+        self._file.seek(self._end)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes of framed records currently in the log (sans header)."""
+        return self._end - (len(MAGIC) + _HEADER.size)
+
+    def append(self, payload: Dict[str, Any]) -> int:
+        """Frame, write, and fsync one record; return its LSN.
+
+        The record is durable (to the extent ``fsync`` guarantees) when
+        this returns — callers acknowledge *after* this point, which is
+        the contract the crash harness verifies.
+        """
+        lsn = self.last_lsn + 1
+        data = json.dumps(
+            payload, separators=(",", ":"), ensure_ascii=False
+        ).encode("utf-8")
+        frame = (
+            _FRAME.pack(len(data), zlib.crc32(_LSN.pack(lsn) + data), lsn)
+            + data
+        )
+        start = time.perf_counter() if OBS.metrics else 0.0
+        spec = _crash_point("wal_append")
+        if spec is not None:
+            cut = spec.get("cut")
+            cut = len(frame) if cut is None else max(0, min(cut, len(frame)))
+            if cut:
+                self._write(frame[:cut])
+            execute_crash(spec)
+        self._write(frame)
+        spec = _crash_point("wal_fsync")
+        if spec is not None:
+            # Crash before the fsync returns: the frame may or may not
+            # survive, but the caller never saw an acknowledgement.
+            execute_crash(spec)
+        self._fsync()
+        self.last_lsn = lsn
+        self._end += len(frame)
+        if OBS.metrics:
+            METRICS.counter(
+                "repro_wal_records_total", op=str(payload.get("op"))
+            ).inc()
+            METRICS.counter("repro_wal_bytes_total").inc(len(frame))
+            METRICS.histogram("repro_wal_append_seconds").observe(
+                time.perf_counter() - start
+            )
+        return lsn
+
+    def reset(self, base_lsn: int) -> None:
+        """Truncate the log after a checkpoint; LSNs continue from
+        ``base_lsn`` so frames folded into the checkpoint can never be
+        replayed twice even if a crash interleaves with the reset."""
+        self._file.seek(0)
+        IO_CALLS["truncate"] += 1
+        self._file.truncate()
+        self._write(MAGIC + _HEADER.pack(base_lsn))
+        self._fsync()
+        self.base_lsn = base_lsn
+        self.last_lsn = base_lsn
+        self._end = len(MAGIC) + _HEADER.size
+        self._tail_garbage = 0
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def abandon(self) -> None:
+        """Close without any further writes — the in-process crash
+        harness's stand-in for process death.  The file is unbuffered,
+        so close() cannot flush bytes the "dead process" still held."""
+        self.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -15,6 +15,7 @@ the benchmarks use.
 from __future__ import annotations
 
 import json
+import re
 from typing import Any
 
 __all__ = ["serialize", "deserialize", "is_serialized"]
@@ -40,9 +41,14 @@ def is_serialized(value: Any) -> bool:
     return head in "[{\"" or value in ("null", "true", "false") or _looks_numeric(value)
 
 
+#: A JSON number per RFC 8259 — not Python ``float()``, which also
+#: accepts "nan", "inf", "1_0", "  1", and similar non-JSON spellings
+#: (and rejects-by-exception junk like "-", "+", "1e" only after paying
+#: for the raise).
+_JSON_NUMBER = re.compile(
+    r"-?(?:0|[1-9][0-9]*)(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?\Z"
+)
+
+
 def _looks_numeric(value: str) -> bool:
-    try:
-        float(value)
-    except ValueError:
-        return False
-    return True
+    return _JSON_NUMBER.match(value) is not None

@@ -1,6 +1,13 @@
-"""Deterministic testing utilities (fault injection for resilience tests)."""
+"""Deterministic testing utilities (fault injection, crash harness)."""
 
+from .crash import (
+    CrashVerdict,
+    build_workload,
+    run_inprocess_crash,
+    run_subprocess_crash,
+)
 from .faults import (
+    DURABILITY_STAGES,
     FaultInjector,
     InjectedFault,
     PoisonedTraceError,
@@ -12,6 +19,11 @@ __all__ = [
     "FaultInjector",
     "InjectedFault",
     "PoisonedTraceError",
+    "DURABILITY_STAGES",
     "inject",
     "poison_traces",
+    "CrashVerdict",
+    "build_workload",
+    "run_inprocess_crash",
+    "run_subprocess_crash",
 ]

@@ -47,6 +47,7 @@ __all__ = [
     "InjectedFault",
     "PoisonedTraceError",
     "FaultInjector",
+    "DURABILITY_STAGES",
     "inject",
     "poison_traces",
 ]
@@ -98,6 +99,17 @@ class _ChannelFault:
         self.remaining = times
 
 
+class _DurabilityFault:
+    __slots__ = ("stage", "at", "cut", "action", "fired")
+
+    def __init__(self, stage, at, cut, action):
+        self.stage = stage
+        self.at = at
+        self.cut = cut
+        self.action = action
+        self.fired = False
+
+
 class _WorkerFault:
     __slots__ = ("udf", "mode", "remaining", "seconds", "alloc_bytes")
 
@@ -117,6 +129,9 @@ class FaultInjector:
         self._boundary_faults: List[_BoundaryFault] = []
         self._channel_faults: List[_ChannelFault] = []
         self._worker_faults: List[_WorkerFault] = []
+        self._durability_faults: List[_DurabilityFault] = []
+        #: Per-stage counters of durability fault points reached.
+        self.durability_counts: dict = {}
         #: Total faults fired (all kinds).
         self.fired = 0
         #: ``(kind, detail)`` tuples, in firing order.
@@ -200,6 +215,46 @@ class FaultInjector:
         )
         return self
 
+    #: Durability fault stages, in write-path order.  ``wal_append``
+    #: supports a byte ``cut`` (torn frame); ``wal_fsync`` models a
+    #: crash before the fsync returns (a short/lost fsync: the frame may
+    #: be complete on disk but was never acknowledged); the checkpoint
+    #: stages bracket the atomic-install protocol (mid temp-file write,
+    #: before ``os.replace``, and after replace but before the WAL is
+    #: reset).
+    DURABILITY_STAGES = (
+        "wal_append",
+        "wal_fsync",
+        "checkpoint_write",
+        "checkpoint_replace",
+        "checkpoint_reset",
+    )
+
+    def durability_crash(
+        self,
+        stage: str,
+        *,
+        at: int = 0,
+        cut: Optional[int] = None,
+        action: str = "raise",
+    ) -> "FaultInjector":
+        """Crash the process at a durability fault point.
+
+        ``stage`` is one of :data:`DURABILITY_STAGES`; ``at`` selects the
+        n-th (0-based) time that stage is reached; ``cut`` (where the
+        stage supports it) writes only the first ``cut`` bytes of the
+        frame/file first — a torn write.  ``action`` is ``"raise"``
+        (raise :class:`~repro.errors.SimulatedCrash`, for the in-process
+        harness) or ``"kill"`` (``SIGKILL`` the calling process, for the
+        subprocess harness — a real mid-write death).
+        """
+        if stage not in self.DURABILITY_STAGES:
+            raise ValueError(f"unknown durability stage {stage!r}")
+        if action not in ("raise", "kill"):
+            raise ValueError(f"unknown crash action {action!r}")
+        self._durability_faults.append(_DurabilityFault(stage, at, cut, action))
+        return self
+
     # -- hooks (called from generated wrappers via FAULTS) -------------
 
     def fire_row(
@@ -280,6 +335,30 @@ class FaultInjector:
                 spec["bytes"] = fault.alloc_bytes
             return spec
         return None
+
+    def durability_fault(self, stage: str) -> Optional[dict]:
+        """Hook consulted by the WAL/checkpoint writers per fault point.
+
+        Returns the crash spec (``{"stage", "cut", "action"}``) when an
+        armed fault matches this occurrence of ``stage``, else ``None``.
+        The caller performs the torn write itself (it owns the file) and
+        then executes the action — raising
+        :class:`~repro.errors.SimulatedCrash` or SIGKILLing itself.
+        """
+        count = self.durability_counts.get(stage, 0)
+        self.durability_counts[stage] = count + 1
+        for fault in self._durability_faults:
+            if fault.fired or fault.stage != stage or fault.at != count:
+                continue
+            fault.fired = True
+            self.fired += 1
+            self.log.append(("durability", f"{stage}@{count}"))
+            return {"stage": stage, "cut": fault.cut, "action": fault.action}
+        return None
+
+
+#: Module-level alias for the durability crash stages.
+DURABILITY_STAGES = FaultInjector.DURABILITY_STAGES
 
 
 @contextlib.contextmanager

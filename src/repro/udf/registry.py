@@ -529,6 +529,24 @@ class UdfRegistry:
         """Subscribe to version bumps: ``callback(name, new_version)``."""
         self._version_listeners.append(callback)
 
+    def fingerprint_of(self, name: str) -> Optional[str]:
+        """The current definition content fingerprint, or None."""
+        return self._def_fps.get(name.lower())
+
+    def restore_version(self, name: str, version: int, fingerprint: str) -> None:
+        """Install a recovered definition version without firing
+        listeners (recovery replays history, it doesn't make new).
+
+        Re-registering the same body afterwards keeps the restored
+        version (fingerprints match); re-registering a *changed* body
+        advances past it — exactly the pre-crash behaviour, so cache
+        keys never regress across a restart.
+        """
+        key = name.lower()
+        if version > self._versions.get(key, 0):
+            self._versions[key] = version
+            self._def_fps[key] = fingerprint
+
     @staticmethod
     def _definition_of(udf: Any) -> UdfDefinition:
         if isinstance(udf, UdfDefinition):

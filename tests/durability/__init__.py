@@ -1,0 +1,1 @@
+"""Durability: WAL, checkpoint, recovery, crash harness."""

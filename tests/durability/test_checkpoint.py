@@ -1,0 +1,89 @@
+"""Checkpoint unit tests: atomic install, validation, fault windows."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import CheckpointError, SimulatedCrash
+from repro.storage.durability.checkpoint import (
+    CHECKPOINT_NAME,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.testing import FaultInjector, inject
+
+STATE = {"lsn": 7, "generation": 2, "tables": [], "epochs": {"t": 3}}
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        write_checkpoint(tmp_path, STATE)
+        assert read_checkpoint(tmp_path) == STATE
+
+    def test_absent_checkpoint_is_none(self, tmp_path):
+        assert read_checkpoint(tmp_path) is None
+
+    def test_replace_overwrites_previous(self, tmp_path):
+        write_checkpoint(tmp_path, STATE)
+        newer = dict(STATE, lsn=9)
+        write_checkpoint(tmp_path, newer)
+        assert read_checkpoint(tmp_path)["lsn"] == 9
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        write_checkpoint(tmp_path, STATE)
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestValidation:
+    def test_bad_magic_is_fatal(self, tmp_path):
+        (tmp_path / CHECKPOINT_NAME).write_bytes(b"garbage-not-a-checkpoint")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(tmp_path)
+
+    def test_flipped_payload_byte_is_fatal(self, tmp_path):
+        path = write_checkpoint(tmp_path, STATE)
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError):
+            read_checkpoint(tmp_path)
+
+    def test_truncated_file_is_fatal(self, tmp_path):
+        path = write_checkpoint(tmp_path, STATE)
+        path.write_bytes(path.read_bytes()[:5])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(tmp_path)
+
+
+class TestCrashWindows:
+    def test_crash_mid_temp_write_preserves_old_checkpoint(self, tmp_path):
+        write_checkpoint(tmp_path, STATE)
+        injector = FaultInjector().durability_crash(
+            "checkpoint_write", at=0, cut=10
+        )
+        with inject(injector):
+            with pytest.raises(SimulatedCrash):
+                write_checkpoint(tmp_path, dict(STATE, lsn=99))
+        # Old image intact; the torn temp file is sweepable garbage.
+        assert read_checkpoint(tmp_path)["lsn"] == 7
+        assert any(n.endswith(".tmp") for n in os.listdir(tmp_path))
+
+    def test_crash_before_replace_preserves_old_checkpoint(self, tmp_path):
+        write_checkpoint(tmp_path, STATE)
+        injector = FaultInjector().durability_crash("checkpoint_replace", at=0)
+        with inject(injector):
+            with pytest.raises(SimulatedCrash):
+                write_checkpoint(tmp_path, dict(STATE, lsn=99))
+        assert read_checkpoint(tmp_path)["lsn"] == 7
+
+    def test_crash_on_first_checkpoint_leaves_none(self, tmp_path):
+        injector = FaultInjector().durability_crash(
+            "checkpoint_write", at=0, cut=3
+        )
+        with inject(injector):
+            with pytest.raises(SimulatedCrash):
+                write_checkpoint(tmp_path, STATE)
+        assert read_checkpoint(tmp_path) is None

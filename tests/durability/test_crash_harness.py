@@ -1,0 +1,74 @@
+"""The kill-injection crash harness: randomized crash points, recovery
+audits, and the RUN_SLOW kill-storm soak.
+
+Acceptance gate: >= 200 randomized injection points in the default
+(tier-1) run, with zero acked-commit loss, zero unacked resurrection,
+epochs restored exactly, and generation strictly advancing — verified
+differentially against an uncrashed twin per run.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+
+import pytest
+
+from repro.testing import run_inprocess_crash, run_subprocess_crash
+
+RUN_SLOW = os.environ.get("RUN_SLOW") == "1"
+
+#: Tier-1 volume: 200 seeded in-process rounds (SimulatedCrash) plus a
+#: handful of real SIGKILL subprocess rounds.
+N_INPROCESS = 200
+N_SIGKILL = 8
+
+
+class TestInProcessCrashStorm:
+    def test_200_randomized_crash_points_recover_consistently(self, tmp_path):
+        fired = 0
+        by_stage = collections.Counter()
+        for seed in range(N_INPROCESS):
+            verdict = run_inprocess_crash(tmp_path, seed)
+            # run_inprocess_crash raises AssertionError on any invariant
+            # violation; here we only account coverage.
+            if verdict.fired:
+                fired += 1
+                by_stage[verdict.stage] += 1
+            assert verdict.acked <= verdict.matched_k <= verdict.acked + 1
+        # The vast majority of seeds must actually crash (a seed whose
+        # chosen occurrence is never reached runs clean — also audited).
+        assert fired >= int(N_INPROCESS * 0.6), by_stage
+        # Every stage of the protocol must be exercised.
+        assert set(by_stage) >= {"wal_append", "wal_fsync"}, by_stage
+
+    def test_clean_runs_match_twin_exactly(self, tmp_path):
+        # Seeds chosen so the fault point is beyond the workload: the
+        # audit degenerates to full differential parity vs the twin.
+        for seed in (3, 11):
+            verdict = run_inprocess_crash(
+                tmp_path / f"clean{seed}", seed, n_ops=6
+            )
+            if not verdict.fired:
+                assert verdict.matched_k == verdict.acked
+
+
+class TestSigkillCrashes:
+    def test_real_sigkill_writers_recover_consistently(self, tmp_path):
+        fired = 0
+        for seed in range(N_SIGKILL):
+            verdict = run_subprocess_crash(tmp_path, seed)
+            fired += bool(verdict.fired)
+            assert verdict.acked <= verdict.matched_k <= verdict.acked + 1
+        assert fired >= N_SIGKILL // 2
+
+
+@pytest.mark.skipif(not RUN_SLOW, reason="set RUN_SLOW=1 for the kill storm")
+class TestKillStormSoak:
+    def test_inprocess_storm_1000_points(self, tmp_path):
+        for seed in range(1000):
+            run_inprocess_crash(tmp_path, seed, n_ops=32)
+
+    def test_sigkill_storm_50_writers(self, tmp_path):
+        for seed in range(50):
+            run_subprocess_crash(tmp_path, seed, n_ops=32)

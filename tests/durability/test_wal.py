@@ -1,0 +1,188 @@
+"""WAL unit tests: framing, torn tails, LSN continuity, fault points."""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.errors import SimulatedCrash, WalCorruptionError
+from repro.storage.durability.wal import (
+    IO_CALLS,
+    MAGIC,
+    WriteAheadLog,
+    reset_io_calls,
+)
+from repro.testing import FaultInjector, inject
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "wal.log"
+
+
+class TestFraming:
+    def test_append_then_scan_round_trips(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            lsn1 = wal.append({"op": "touch", "name": "t", "epoch": 1})
+            lsn2 = wal.append({"op": "touch", "name": "t", "epoch": 2})
+        assert (lsn1, lsn2) == (1, 2)
+        with WriteAheadLog(wal_path) as wal:
+            got = list(wal.scan())
+        assert [r.lsn for r in got] == [1, 2]
+        assert got[1].payload["epoch"] == 2
+
+    def test_empty_log_scans_empty(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            assert list(wal.scan()) == []
+            assert wal.size_bytes == 0
+
+    def test_unicode_payload_round_trips(self, wal_path):
+        payload = {"op": "touch", "name": "té☃", "epoch": 1}
+        with WriteAheadLog(wal_path) as wal:
+            wal.append(payload)
+        with WriteAheadLog(wal_path) as wal:
+            assert next(iter(wal.scan())).payload == payload
+
+    def test_bad_magic_raises(self, wal_path):
+        wal_path.write_bytes(b"NOTAWAL!" + b"\x00" * 8)
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(wal_path)
+
+    def test_append_is_acknowledged_after_fsync(self, wal_path):
+        reset_io_calls()
+        with WriteAheadLog(wal_path, fsync=True) as wal:
+            before = IO_CALLS["fsync"]
+            wal.append({"op": "touch", "name": "t", "epoch": 1})
+            assert IO_CALLS["fsync"] == before + 1
+
+
+class TestTornTail:
+    def _filled(self, wal_path, n=5):
+        with WriteAheadLog(wal_path) as wal:
+            for i in range(n):
+                wal.append({"op": "touch", "name": "t", "epoch": i + 1})
+        return wal_path.stat().st_size
+
+    @pytest.mark.parametrize("chop", [1, 3, 7, 11])
+    def test_chopped_tail_drops_only_last_frames(self, wal_path, chop):
+        size = self._filled(wal_path)
+        wal_path.write_bytes(wal_path.read_bytes()[: size - chop])
+        with WriteAheadLog(wal_path) as wal:
+            got = list(wal.scan())
+            dropped = wal.seal()
+        assert dropped > 0
+        # Everything that survives is a valid prefix.
+        assert [r.lsn for r in got] == list(range(1, len(got) + 1))
+        assert len(got) == 4  # only the final frame was torn
+
+    def test_flipped_byte_mid_frame_stops_scan_there(self, wal_path):
+        self._filled(wal_path)
+        data = bytearray(wal_path.read_bytes())
+        # Flip a byte inside the third frame's payload region.
+        header = len(MAGIC) + 8
+        frame = struct.Struct("<IIQ")
+        offset = header
+        for _ in range(2):
+            (length,) = struct.unpack_from("<I", data, offset)
+            offset += frame.size + length
+        data[offset + frame.size + 2] ^= 0xFF
+        wal_path.write_bytes(bytes(data))
+        with WriteAheadLog(wal_path) as wal:
+            got = list(wal.scan())
+        assert [r.lsn for r in got] == [1, 2]
+
+    def test_seal_truncates_and_is_idempotent(self, wal_path):
+        size = self._filled(wal_path)
+        wal_path.write_bytes(wal_path.read_bytes() + b"\x01garbage")
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.seal() > 0
+            assert wal.seal() == 0
+        assert wal_path.stat().st_size == size
+
+    def test_append_after_seal_continues_lsns(self, wal_path):
+        size = self._filled(wal_path, n=3)
+        wal_path.write_bytes(wal_path.read_bytes()[: size - 2])
+        with WriteAheadLog(wal_path) as wal:
+            wal.seal()
+            lsn = wal.append({"op": "touch", "name": "t", "epoch": 9})
+            assert lsn == 3  # frame 3 was torn; its LSN is reusable
+        with WriteAheadLog(wal_path) as wal:
+            assert [r.lsn for r in wal.scan()] == [1, 2, 3]
+
+
+class TestReset:
+    def test_reset_preserves_lsn_monotonicity(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            for i in range(4):
+                wal.append({"op": "touch", "name": "t", "epoch": i + 1})
+            wal.reset(wal.last_lsn)
+            assert wal.size_bytes == 0
+            lsn = wal.append({"op": "touch", "name": "t", "epoch": 5})
+            assert lsn == 5
+        with WriteAheadLog(wal_path) as wal:
+            got = list(wal.scan())
+        assert [r.lsn for r in got] == [5]
+        assert wal.base_lsn == 4
+
+    def test_stale_lower_lsn_frames_are_ignored(self, wal_path):
+        # Simulate a torn reset: header says base_lsn=4 but old frames
+        # with lower LSNs remain — the scanner must treat them as dead.
+        with WriteAheadLog(wal_path) as wal:
+            for i in range(3):
+                wal.append({"op": "touch", "name": "t", "epoch": i + 1})
+        data = bytearray(wal_path.read_bytes())
+        struct.pack_into("<Q", data, len(MAGIC), 4)
+        wal_path.write_bytes(bytes(data))
+        with WriteAheadLog(wal_path) as wal:
+            assert list(wal.scan()) == []
+            wal.seal()
+            assert wal.append({"op": "touch", "name": "t", "epoch": 9}) == 5
+
+
+class TestFaultPoints:
+    def test_torn_append_cut_crashes_with_partial_frame(self, wal_path):
+        injector = FaultInjector().durability_crash("wal_append", at=1, cut=5)
+        with WriteAheadLog(wal_path) as wal:
+            with inject(injector):
+                wal.append({"op": "touch", "name": "t", "epoch": 1})
+                with pytest.raises(SimulatedCrash):
+                    wal.append({"op": "touch", "name": "t", "epoch": 2})
+        with WriteAheadLog(wal_path) as wal:
+            got = list(wal.scan())
+            assert [r.lsn for r in got] == [1]
+            assert wal.seal() == 5
+
+    def test_fsync_crash_leaves_frame_unacked_but_possibly_durable(
+        self, wal_path
+    ):
+        injector = FaultInjector().durability_crash("wal_fsync", at=0)
+        with WriteAheadLog(wal_path) as wal:
+            with inject(injector):
+                with pytest.raises(SimulatedCrash):
+                    wal.append({"op": "touch", "name": "t", "epoch": 1})
+        # The frame hit the file (unbuffered write) but was never acked:
+        # recovery may legally surface it.
+        with WriteAheadLog(wal_path) as wal:
+            assert len(list(wal.scan())) == 1
+
+    def test_disarmed_injector_never_fires(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            for i in range(3):
+                wal.append({"op": "touch", "name": "t", "epoch": i + 1})
+        with WriteAheadLog(wal_path) as wal:
+            assert len(list(wal.scan())) == 3
+
+
+class TestIoAccounting:
+    def test_no_wal_object_means_zero_io(self, tmp_path):
+        reset_io_calls()
+        assert IO_CALLS == {"write": 0, "fsync": 0, "truncate": 0}
+
+    def test_fsync_disabled_skips_fsync_syscalls(self, wal_path):
+        reset_io_calls()
+        with WriteAheadLog(wal_path, fsync=False) as wal:
+            wal.append({"op": "touch", "name": "t", "epoch": 1})
+        assert IO_CALLS["fsync"] == 0
+        assert IO_CALLS["write"] >= 2  # header + frame

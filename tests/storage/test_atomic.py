@@ -1,0 +1,85 @@
+"""Atomic file install helpers (temp file + os.replace)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.storage.atomic import atomic_writer, fsync_dir, write_atomic
+
+
+class TestAtomicWriter:
+    def test_creates_file_with_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_writer(path, "w", encoding="utf-8") as handle:
+            handle.write("hello")
+        assert path.read_text() == "hello"
+
+    def test_overwrites_existing_atomically(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        with atomic_writer(path, "w", encoding="utf-8") as handle:
+            handle.write("new")
+        assert path.read_text() == "new"
+
+    def test_failure_preserves_original_and_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("original")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path, "w", encoding="utf-8") as handle:
+                handle.write("partial")
+                raise RuntimeError("boom")
+        assert path.read_text() == "original"
+        assert [p for p in tmp_path.iterdir()] == [path]
+
+    def test_failure_on_new_file_leaves_nothing(self, tmp_path):
+        path = tmp_path / "never.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path, "w", encoding="utf-8") as handle:
+                handle.write("partial")
+                raise RuntimeError("boom")
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_binary_mode(self, tmp_path):
+        path = tmp_path / "out.bin"
+        with atomic_writer(path, "wb") as handle:
+            handle.write(b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+    def test_fsync_mode(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_writer(path, "w", fsync=True, encoding="utf-8") as handle:
+            handle.write("durable")
+        assert path.read_text() == "durable"
+
+    def test_temp_file_lives_in_target_directory(self, tmp_path):
+        # Same-directory temp is what makes os.replace atomic (no
+        # cross-filesystem rename fallback).
+        path = tmp_path / "sub" / "out.txt"
+        path.parent.mkdir()
+        seen = []
+
+        with atomic_writer(path, "w", encoding="utf-8") as handle:
+            seen = [p.name for p in path.parent.iterdir()]
+            handle.write("x")
+        assert any(name.endswith(".tmp") for name in seen)
+
+
+class TestWriteAtomic:
+    def test_bytes_round_trip(self, tmp_path):
+        path = tmp_path / "blob"
+        write_atomic(path, b"payload")
+        assert path.read_bytes() == b"payload"
+
+    def test_text_round_trip(self, tmp_path):
+        path = tmp_path / "text"
+        write_atomic(path, "payload")
+        assert path.read_text() == "payload"
+
+
+class TestFsyncDir:
+    def test_fsync_dir_is_best_effort(self, tmp_path):
+        fsync_dir(tmp_path)  # must not raise
+        fsync_dir(tmp_path / "does-not-exist")  # nor on a missing dir

@@ -82,3 +82,85 @@ class TestCsvIo:
         path = tmp_path / "dataset.csv"
         csvio.save_csv(table, path)
         assert csvio.load_csv(path).name == "dataset"
+
+
+class TestLooksNumericEdgeCases:
+    """``is_serialized`` must track the JSON number grammar, not
+    ``float()`` — the old heuristic misclassified bare sign/exponent
+    fragments and Python-only spellings as serialized JSON."""
+
+    @pytest.mark.parametrize(
+        "text",
+        ["-", "+", "1e", "1e+", ".", "nan", "inf", "-inf", "Infinity",
+         "1_000", " 1", "1 ", "+1", "01", "1.", ".5"],
+    )
+    def test_non_json_numbers_rejected(self, text):
+        assert serde.is_serialized(text) is False
+
+    @pytest.mark.parametrize(
+        "text",
+        ["0", "-0", "7", "-12", "12.5", "0.001", "1e5", "1E-5",
+         "2.5e+10", "-3.25E2"],
+    )
+    def test_json_numbers_accepted(self, text):
+        assert serde.is_serialized(text) is True
+
+
+class TestCsvErrors:
+    def test_bad_cell_carries_location(self, tmp_path):
+        from repro.errors import CsvFormatError
+
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\nINT,TEXT\n1,x\noops,y\n")
+        with pytest.raises(CsvFormatError) as info:
+            csvio.load_csv(path)
+        err = info.value
+        assert err.path == str(path)
+        assert err.line == 4
+        assert err.column == "a"
+        assert err.text == "oops"
+        assert "oops" in str(err) and "line 4" in str(err)
+
+    def test_short_row_raises_instead_of_dropping_columns(self, tmp_path):
+        from repro.errors import CsvFormatError
+
+        path = tmp_path / "short.csv"
+        path.write_text("a,b\nINT,TEXT\n1\n")
+        with pytest.raises(CsvFormatError) as info:
+            csvio.load_csv(path)
+        assert info.value.line == 3
+        assert "expected 2 fields" in str(info.value)
+
+    def test_long_row_raises(self, tmp_path):
+        from repro.errors import CsvFormatError
+
+        path = tmp_path / "long.csv"
+        path.write_text("a\nINT\n1,extra\n")
+        with pytest.raises(CsvFormatError):
+            csvio.load_csv(path)
+
+
+class TestAtomicSave:
+    def test_save_is_atomic_under_midwrite_failure(self, tmp_path, monkeypatch):
+        table = TestCsvIo().make_table()
+        path = tmp_path / "t.csv"
+        csvio.save_csv(table, path)
+        original = path.read_bytes()
+
+        # Make the next save blow up mid-write: the original must survive.
+        def exploding_rows(self):
+            yield from ()
+            raise RuntimeError("boom")
+
+        bigger = TestCsvIo().make_table()
+        monkeypatch.setattr(type(bigger), "rows", exploding_rows)
+        with pytest.raises(RuntimeError):
+            csvio.save_csv(bigger, path)
+        assert path.read_bytes() == original
+        assert not any(p.suffix == ".tmp" for p in tmp_path.iterdir())
+
+    def test_save_with_fsync(self, tmp_path):
+        table = TestCsvIo().make_table()
+        path = tmp_path / "t.csv"
+        csvio.save_csv(table, path, fsync=True)
+        assert csvio.load_csv(path).to_rows() == table.to_rows()
