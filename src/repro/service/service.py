@@ -97,6 +97,11 @@ class QueryService:
         self._worker_knobs = dict(worker_knobs or {})
         self._sessions: Dict[str, TenantSession] = {}
         self._sessions_lock = threading.Lock()
+        # Tenant ids claimed by an in-flight add_tenant: reserved before
+        # the adapter (and its durability WAL) is created, so two racing
+        # add_tenant calls — or recover_tenants racing add_tenant — can
+        # never open two WriteAheadLogs on the same tenant directory.
+        self._reserved: set = set()
         # submit() threads block while their ticket waits in the
         # scheduler queue, so the pool must cover capacity plus the
         # deepest queue we are willing to hold open.
@@ -126,32 +131,52 @@ class QueryService:
         if self._closed:
             raise RuntimeError("service is shut down")
         quota = quota if quota is not None else TenantQuota()
-        adapter = self._adapter_factory()
-        if (
-            self._durability_root is not None
-            and getattr(adapter, "durability", None) is None
-        ):
-            self._attach_durability(adapter, tenant_id)
-        session = TenantSession(
-            tenant_id,
-            quota,
-            adapter,
-            config if config is not None else self._config_template,
-        )
-        effective_isolation = (
-            isolation if isolation is not None else self._isolation
-        )
-        if effective_isolation == "process":
-            session.adapter.enable_process_isolation(**self._worker_knobs)
+        # Reserve the id *before* building the adapter: attaching
+        # durability opens (and appends to) <root>/<tenant_id>/wal.log,
+        # and a second WriteAheadLog on a live tenant's directory would
+        # corrupt the log the live manager is writing.
         with self._sessions_lock:
-            if tenant_id in self._sessions:
-                session.close()
+            if tenant_id in self._sessions or tenant_id in self._reserved:
                 raise ValueError(f"tenant {tenant_id!r} already exists")
-            # Register with the scheduler before publishing the session,
-            # so no execute() can find a session the scheduler rejects.
-            self.scheduler.register_tenant(tenant_id, quota)
-            self._sessions[tenant_id] = session
-        return session
+            self._reserved.add(tenant_id)
+        session = None
+        adapter = None
+        try:
+            adapter = self._adapter_factory()
+            if (
+                self._durability_root is not None
+                and getattr(adapter, "durability", None) is None
+            ):
+                self._attach_durability(adapter, tenant_id)
+            session = TenantSession(
+                tenant_id,
+                quota,
+                adapter,
+                config if config is not None else self._config_template,
+            )
+            effective_isolation = (
+                isolation if isolation is not None else self._isolation
+            )
+            if effective_isolation == "process":
+                session.adapter.enable_process_isolation(**self._worker_knobs)
+            with self._sessions_lock:
+                # Register with the scheduler before publishing the
+                # session, so no execute() can find a session the
+                # scheduler rejects.
+                self.scheduler.register_tenant(tenant_id, quota)
+                self._sessions[tenant_id] = session
+                self._reserved.discard(tenant_id)
+            return session
+        except BaseException:
+            with self._sessions_lock:
+                self._reserved.discard(tenant_id)
+            if session is not None:
+                session.close()
+            elif adapter is not None:
+                close = getattr(adapter, "close", None)
+                if close is not None:
+                    close()
+            raise
 
     def _attach_durability(self, adapter: Any, tenant_id: str) -> None:
         """Attach a per-tenant WAL'd directory at ``<root>/<tenant_id>``.
@@ -200,7 +225,12 @@ class QueryService:
             tenant_id = child.name
             if tenant_id in self._sessions:
                 continue
-            session = self.add_tenant(tenant_id, quota)
+            try:
+                session = self.add_tenant(tenant_id, quota)
+            except ValueError:
+                # Lost the race to a concurrent add_tenant: that call
+                # owns the directory's WAL now; nothing to recover here.
+                continue
             manager = getattr(session.adapter, "durability", None)
             if manager is not None:
                 reports[tenant_id] = manager.last_recovery

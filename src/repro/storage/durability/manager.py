@@ -193,6 +193,16 @@ class DurabilityManager:
                     report.records_replayed += 1
                 report.truncated_bytes = self.wal.seal()
                 report.torn_tail = report.truncated_bytes > 0
+                if self.wal.last_lsn < skip_lsn:
+                    # A crash inside WriteAheadLog.reset() (after the
+                    # truncate, before the new header was durable) left
+                    # a log whose LSNs restart below the checkpoint.
+                    # Every surviving frame was already folded into the
+                    # checkpoint, so re-reset at the checkpoint LSN:
+                    # without this, post-recovery appends would get
+                    # LSNs <= skip_lsn and the *next* recovery would
+                    # silently skip acknowledged records.
+                    self.wal.reset(skip_lsn)
                 if report.torn_tail:
                     obs_tracer.add_event(
                         "wal_torn_tail", bytes=report.truncated_bytes
@@ -210,6 +220,13 @@ class DurabilityManager:
                 catalog.generation = self.generation
                 if self.wal_enabled:
                     self.wal.append(records.generation_record(self.generation))
+                else:
+                    # Snapshot-only mode has no log to carry the bump:
+                    # checkpoint immediately, otherwise a crash before
+                    # the close()-time checkpoint recomputes the same
+                    # generation next recovery and the cache-resurrection
+                    # backstop silently fails.
+                    self._checkpoint_locked(catalog)
 
                 if registry is not None and self._udf_versions:
                     for name, (version, fp) in self._udf_versions.items():
@@ -275,8 +292,16 @@ class DurabilityManager:
     def _on_udf_version(self, name: str, version: int) -> None:
         registry = self.registry
         fp = registry.fingerprint_of(name) if registry is not None else ""
-        self._udf_versions[name] = (version, fp or "")
-        self._append(records.udf_record(name, version, fp or ""))
+        # Catalog -> manager lock order, matching log_table/checkpoint():
+        # the registry listener fires without the catalog lock, but the
+        # threshold checkpoint this append can trigger iterates the
+        # catalog, so the catalog mutation lock must be taken first.
+        catalog = self.catalog
+        lock = catalog._lock if catalog is not None else self._lock
+        with lock:
+            with self._lock:
+                self._udf_versions[name] = (version, fp or "")
+            self._append(records.udf_record(name, version, fp or ""))
 
     def _append(self, payload: Dict[str, Any]) -> None:
         with self._lock:
@@ -308,8 +333,10 @@ class DurabilityManager:
                 self._checkpoint_locked()
         return True
 
-    def _checkpoint_locked(self) -> None:
-        catalog = self.catalog
+    def _checkpoint_locked(self, catalog: Optional[Any] = None) -> None:
+        # ``catalog`` is passed explicitly only from _recover, where the
+        # manager is not yet attached (self.catalog is still None).
+        catalog = catalog if catalog is not None else self.catalog
         start = time.perf_counter() if OBS.metrics else 0.0
         state = {
             "lsn": self.wal.last_lsn,

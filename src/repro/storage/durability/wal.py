@@ -273,11 +273,27 @@ class WriteAheadLog:
     def reset(self, base_lsn: int) -> None:
         """Truncate the log after a checkpoint; LSNs continue from
         ``base_lsn`` so frames folded into the checkpoint can never be
-        replayed twice even if a crash interleaves with the reset."""
+        replayed twice even if a crash interleaves with the reset.
+
+        A crash inside the truncate-to-header window leaves a short or
+        headerless file whose ``base_lsn`` is lost; reopen rewrites a
+        fresh header at 0 and recovery restores monotonicity from the
+        checkpoint LSN (:meth:`DurabilityManager._recover` resets the
+        log to the checkpoint LSN whenever the sealed log ends below
+        it), so post-recovery appends can never be mistaken for
+        already-checkpointed frames."""
+        header = MAGIC + _HEADER.pack(base_lsn)
         self._file.seek(0)
         IO_CALLS["truncate"] += 1
         self._file.truncate()
-        self._write(MAGIC + _HEADER.pack(base_lsn))
+        spec = _crash_point("wal_reset")
+        if spec is not None:
+            cut = spec.get("cut")
+            cut = len(header) if cut is None else max(0, min(cut, len(header)))
+            if cut:
+                self._write(header[:cut])
+            execute_crash(spec)
+        self._write(header)
         self._fsync()
         self.base_lsn = base_lsn
         self.last_lsn = base_lsn

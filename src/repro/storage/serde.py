@@ -38,7 +38,15 @@ def is_serialized(value: Any) -> bool:
     if not isinstance(value, str) or not value:
         return False
     head = value[0]
-    return head in "[{\"" or value in ("null", "true", "false") or _looks_numeric(value)
+    return (
+        head in "[{\""
+        or value in ("null", "true", "false")
+        # Not RFC 8259, but ``serialize`` emits them (json.dumps defaults
+        # to allow_nan=True) and ``deserialize`` reads them back, so the
+        # detector must round-trip this module's own output.
+        or value in ("NaN", "Infinity", "-Infinity")
+        or _looks_numeric(value)
+    )
 
 
 #: A JSON number per RFC 8259 — not Python ``float()``, which also

@@ -4,9 +4,10 @@ The harness drives one deterministic, seeded catalog workload against a
 WAL'd database directory, kills the writer at a randomized durability
 fault point — a torn ``wal_append`` (cut at an arbitrary byte), a lost
 ``wal_fsync``, a torn ``checkpoint_write``, a crash straddling
-``checkpoint_replace`` or ``checkpoint_reset`` — recovers the directory,
-and audits the recovered state against an **uncrashed twin** that
-applied the same ops in plain memory:
+``checkpoint_replace``, ``checkpoint_reset``, or the truncate-to-header
+window of ``wal_reset`` — recovers the directory, and audits the
+recovered state against an **uncrashed twin** that applied the same ops
+in plain memory:
 
 * **No acked loss / no unacked resurrection** — the recovered catalog
   (tables *and* snapshot epochs) must equal the twin at ``ops[:k]`` for
@@ -17,6 +18,12 @@ applied the same ops in plain memory:
 * **Generation advance** — the recovered generation strictly exceeds
   the writer's, so any cache entry keyed before the crash is
   unreachable after it.
+* **Post-recovery durability** — an op acknowledged by the recovered
+  incarnation survives the *next* restart, and the generation advances
+  again.  This is the invariant a torn ``wal_reset`` breaks when
+  recovery fails to restore LSN monotonicity: the reopened log restarts
+  at ``base_lsn=0`` and the following replay skips fresh appends as
+  already-checkpointed.
 
 Two writer modes share the verification path: ``run_inprocess_crash``
 raises :class:`~repro.errors.SimulatedCrash` at the fault point
@@ -144,12 +151,17 @@ def random_crash_spec(
     before the crash — the durable-but-unacked window.
     """
     stage = rng.choice(faults.DURABILITY_STAGES)
-    if stage.startswith("wal_"):
+    if stage in ("wal_append", "wal_fsync"):
         at = rng.randrange(max(1, n_ops))
     else:
+        # Checkpoint-path stages (including wal_reset) only occur once
+        # per threshold crossing: target the first few occurrences.
         at = rng.randrange(3)
     cut: Optional[int] = None
-    if stage in ("wal_append", "checkpoint_write") and rng.random() < 0.7:
+    if (
+        stage in ("wal_append", "checkpoint_write", "wal_reset")
+        and rng.random() < 0.7
+    ):
         cut = rng.randrange(0, 200)
     return stage, at, cut
 
@@ -194,8 +206,15 @@ def _verify_recovery(
         directory, checkpoint_threshold=checkpoint_threshold
     )
     report = manager.attach(recovered)
-    manager.close()
     got = catalog_state(recovered)
+    # Probe op: acknowledged by the recovered incarnation, so it must
+    # survive the *next* restart too (verified below).  Guards WAL LSN
+    # monotonicity across recovery — a torn ``wal_reset`` used to
+    # restart LSNs below the checkpoint, making the following recovery
+    # silently skip everything this incarnation acknowledged.
+    recovered.touch("probe_t")
+    probe_epoch = recovered.epoch("probe_t")
+    manager.close()
 
     # Differential parity: recovered state must be *some* prefix of the
     # twin's history, no shorter than the acked prefix and at most one
@@ -223,6 +242,34 @@ def _verify_recovery(
         raise AssertionError(
             f"generation did not advance across recovery "
             f"({writer_generation} -> {report.generation}, stage={stage})"
+        )
+
+    # Second incarnation: everything the recovered incarnation held —
+    # including the freshly acknowledged probe op — must come back on
+    # the next restart, and the generation must advance again.
+    second = Catalog()
+    second_manager = DurabilityManager(
+        directory, checkpoint_threshold=checkpoint_threshold
+    )
+    second_report = second_manager.attach(second)
+    second_manager.close()
+    second_state = catalog_state(second)
+    expected_epochs = dict(got["epochs"])
+    expected_epochs["probe_t"] = probe_epoch
+    if (
+        second_state["tables"] != got["tables"]
+        or second_state["epochs"] != expected_epochs
+    ):
+        raise AssertionError(
+            f"second restart lost acknowledged state "
+            f"(stage={stage}, dir={directory}): expected epochs "
+            f"{expected_epochs!r}, got {second_state['epochs']!r}"
+        )
+    if second_report.generation <= report.generation:
+        raise AssertionError(
+            f"generation did not advance across second recovery "
+            f"({report.generation} -> {second_report.generation}, "
+            f"stage={stage})"
         )
     return CrashVerdict(
         fired=crashed,

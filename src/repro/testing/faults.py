@@ -221,13 +221,16 @@ class FaultInjector:
     #: be complete on disk but was never acknowledged); the checkpoint
     #: stages bracket the atomic-install protocol (mid temp-file write,
     #: before ``os.replace``, and after replace but before the WAL is
-    #: reset).
+    #: reset); ``wal_reset`` lands inside the post-checkpoint log reset
+    #: between the truncate and the new header (``cut`` tears the
+    #: header itself), the window that loses the log's ``base_lsn``.
     DURABILITY_STAGES = (
         "wal_append",
         "wal_fsync",
         "checkpoint_write",
         "checkpoint_replace",
         "checkpoint_reset",
+        "wal_reset",
     )
 
     def durability_crash(

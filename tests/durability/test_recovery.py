@@ -140,6 +140,132 @@ class TestCheckpointing:
         assert "t" in recovered
         manager2.close()
 
+    def test_snapshot_only_generation_survives_crash(self, tmp_path):
+        # The recovery-time bump must be persisted immediately — a crash
+        # (abandon: no close()-time checkpoint) must not let the next
+        # recovery recompute the same generation, or pre-crash cache
+        # entries would become reachable again.
+        generations = []
+        for _ in range(3):
+            catalog, manager, report = reopen(tmp_path, wal_enabled=False)
+            generations.append(report.generation)
+            manager.abandon()
+        assert generations == sorted(set(generations))
+
+
+class TestTornWalReset:
+    def test_acked_write_after_torn_reset_survives_next_restart(self, tmp_path):
+        from repro.errors import SimulatedCrash
+        from repro.testing import faults
+
+        catalog, manager, _ = reopen(tmp_path, checkpoint_threshold=64)
+        # cut=0: crash after the truncate, before any of the new header
+        # reaches the file — the log's base_lsn is lost.
+        injector = faults.FaultInjector().durability_crash(
+            "wal_reset", at=0, cut=0, action="raise"
+        )
+        with pytest.raises(SimulatedCrash):
+            with faults.inject(injector):
+                # Crosses the tiny threshold: the checkpoint installs,
+                # then its WAL reset crashes mid-window.
+                catalog.register(make_table("t"))
+        manager.abandon()
+
+        # First restart: the checkpoint has the table; recovery must
+        # also restore WAL LSN monotonicity past the checkpoint LSN.
+        recovered, manager2, report = reopen(
+            tmp_path, checkpoint_threshold=1 << 20
+        )
+        assert report.checkpoint_loaded
+        assert "t" in recovered
+        recovered.touch("acked")  # acknowledged post-recovery write
+        epoch = recovered.epoch("acked")
+        gen2 = report.generation
+        manager2.close()
+
+        # Second restart: the acknowledged write must replay, not be
+        # skipped as already-checkpointed.
+        final, manager3, report3 = reopen(
+            tmp_path, checkpoint_threshold=1 << 20
+        )
+        assert final.epoch("acked") == epoch
+        assert report3.generation > gen2
+        manager3.close()
+
+    def test_torn_reset_header_cut_midway(self, tmp_path):
+        from repro.errors import SimulatedCrash
+        from repro.testing import faults
+
+        catalog, manager, _ = reopen(tmp_path, checkpoint_threshold=64)
+        # Tear inside the header itself (magic written, base_lsn torn).
+        injector = faults.FaultInjector().durability_crash(
+            "wal_reset", at=0, cut=10, action="raise"
+        )
+        with pytest.raises(SimulatedCrash):
+            with faults.inject(injector):
+                catalog.register(make_table("t"))
+        manager.abandon()
+
+        recovered, manager2, _ = reopen(tmp_path)
+        assert "t" in recovered
+        recovered.touch("acked")
+        epoch = recovered.epoch("acked")
+        manager2.close()
+        final, manager3, _ = reopen(tmp_path)
+        assert final.epoch("acked") == epoch
+        manager3.close()
+
+
+class TestConcurrentUdfCheckpoints:
+    def test_udf_version_checkpoints_race_catalog_writers(self, tmp_path):
+        # A UDF version bump fires the manager's listener *without* the
+        # catalog lock; the threshold checkpoint it can trigger iterates
+        # the catalog.  Pre-fix this raised "dictionary changed size
+        # during iteration" under concurrent catalog writers.
+        from repro.udf import UdfRegistry, scalar_udf
+
+        registry = UdfRegistry()
+        catalog = Catalog()
+        manager = DurabilityManager(tmp_path, checkpoint_threshold=128)
+        manager.attach(catalog, registry)
+
+        errors = []
+
+        def catalog_writer():
+            try:
+                for i in range(200):
+                    catalog.register(
+                        make_table(f"t{i % 17}", (i,)), replace=True
+                    )
+                    catalog.touch(f"ext{i % 13}")
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        def udf_writer():
+            try:
+                for i in range(100):
+                    @scalar_udf(name="hot", deterministic=True)
+                    def hot(x: int) -> int:
+                        return x + 1
+
+                    # Pinned versions: every registration bumps, so every
+                    # iteration fires the durability listener.
+                    registry.register(hot, replace=True, version=i + 1)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=catalog_writer),
+            threading.Thread(target=udf_writer),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert manager.checkpoints >= 1  # the race window was exercised
+        manager.close()
+
 
 class TestUdfVersions:
     def test_versions_survive_restart_and_keep_advancing(self, tmp_path):

@@ -52,6 +52,39 @@ class TestServiceDurability:
         assert service.recover_tenants() == {}
         service.shutdown()
 
+    def test_duplicate_add_tenant_never_touches_live_wal(self, tmp_path):
+        # The duplicate must be rejected *before* an adapter (and a
+        # second WriteAheadLog on the live tenant's directory) is built:
+        # a second writer's seal/append could overwrite frames the live
+        # manager writes, corrupting the log.
+        root = tmp_path / "svc"
+        service = QueryService(durability_root=root)
+        acme = service.add_tenant("acme")
+        acme.register_table(make_table("t", [1, 2]))
+        wal_before = (root / "acme" / "wal.log").read_bytes()
+        with pytest.raises(ValueError):
+            service.add_tenant("acme")
+        assert (root / "acme" / "wal.log").read_bytes() == wal_before
+        # The live session keeps working and its writes stay durable.
+        acme.register_table(make_table("u", [3]))
+        service.session("acme").adapter.durability.abandon()
+        service.shutdown()
+
+        service2 = QueryService(durability_root=root)
+        service2.recover_tenants()
+        out = service2.execute("acme", "SELECT a FROM u")
+        assert out.ok and out.result.columns[0].to_list() == [3]
+        service2.shutdown()
+
+    def test_failed_add_tenant_releases_reservation(self, tmp_path):
+        service = QueryService(durability_root=tmp_path / "svc")
+        with pytest.raises(ValueError):
+            service.add_tenant("../escape")
+        # A failed attempt must not poison later valid re-use paths.
+        with pytest.raises(ValueError):
+            service.add_tenant("../escape")
+        service.shutdown()
+
     def test_path_hostile_tenant_id_rejected_when_durable(self, tmp_path):
         service = QueryService(durability_root=tmp_path / "svc")
         with pytest.raises(ValueError):

@@ -91,10 +91,29 @@ class TestLooksNumericEdgeCases:
 
     @pytest.mark.parametrize(
         "text",
-        ["-", "+", "1e", "1e+", ".", "nan", "inf", "-inf", "Infinity",
+        ["-", "+", "1e", "1e+", ".", "nan", "inf", "-inf",
          "1_000", " 1", "1 ", "+1", "01", "1.", ".5"],
     )
     def test_non_json_numbers_rejected(self, text):
+        assert serde.is_serialized(text) is False
+
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_nonfinite_serialize_output_detected(self, value):
+        # serialize() emits the json.dumps extended spellings
+        # ("NaN"/"Infinity"/"-Infinity"); the detector must accept its
+        # own output so the round-trip holds for non-finite floats.
+        text = serde.serialize(value)
+        assert serde.is_serialized(text) is True
+        back = serde.deserialize(text)
+        if value != value:
+            assert back != back
+        else:
+            assert back == value
+
+    @pytest.mark.parametrize("text", ["NAN", "infinity", "+Infinity"])
+    def test_nonfinite_foreign_spellings_rejected(self, text):
         assert serde.is_serialized(text) is False
 
     @pytest.mark.parametrize(
