@@ -1,0 +1,216 @@
+"""Froid-style translation speedup and disabled-path overhead.
+
+Two acceptance gates ride here:
+
+1. **≥2× on sqlite for translatable queries.**  When every UDF
+   reference compiles to plain SQL, sqlite executes the whole query in
+   C with no per-row Python callback.  For at least three translatable
+   UDF queries the translated configuration must beat the untranslated
+   one (full fusion ladder, still boundary-crossing) by 2× or more.
+
+2. **<3% structural overhead when ``translate_enabled=False``.**  The
+   disabled path is one ``self.translator = None`` assignment at QFusor
+   construction plus one ``if self.translator is not None`` branch per
+   query.  Like ``bench_durability``, we prove this structurally: a
+   zero-call ledger (no ``UdfTranslator`` is ever constructed, no
+   translation runs) times the measured per-branch cost, not a noisy
+   wall-clock diff.
+"""
+
+import timeit
+
+import pytest
+
+from repro.bench import FigureReport
+from repro.bench.harness import time_call
+from repro.core import QFusor
+from repro.core.config import QFusorConfig
+from repro.engines import SqliteAdapter
+from repro.storage import Column, Table
+from repro.types import SqlType
+from repro.udf.decorators import scalar_udf
+
+SPEEDUP_FLOOR = 2.0
+OVERHEAD_BUDGET = 0.03
+
+_ROWS = 40_000
+
+
+@scalar_udf(name="b_tax", args=["int"], returns="float", deterministic=True)
+def b_tax(cents):
+    return cents * 107 / 100
+
+
+@scalar_udf(name="b_grade", args=["int"], returns="int", deterministic=True)
+def b_grade(score):
+    if score < 40:
+        return 0
+    elif score < 70:
+        return 1
+    elif score < 90:
+        return 2
+    return 3
+
+
+@scalar_udf(name="b_clip", args=["int", "int"], returns="int",
+            deterministic=True)
+def b_clip(v, hi):
+    return v if v < hi else hi
+
+
+@scalar_udf(name="b_initial", args=["text"], returns="text",
+            deterministic=True)
+def b_initial(name):
+    return name[:1] + "."
+
+
+QUERIES = {
+    "tax-sum": "SELECT SUM(b_tax(a)) FROM bt",
+    "grade-filter": "SELECT COUNT(*) FROM bt WHERE b_grade(a) >= 2",
+    "clip-proj": "SELECT b_clip(a, 75) FROM bt",
+    "initial-proj": "SELECT b_initial(s) FROM bt",
+}
+
+_UDFS = (b_tax, b_grade, b_clip, b_initial)
+
+
+def _adapter() -> SqliteAdapter:
+    adapter = SqliteAdapter()
+    names = ["Ada", "Grace", "Edsger", "Barbara", "Tony"]
+    adapter.register_table(
+        Table(
+            "bt",
+            [
+                Column("a", SqlType.INT, [i % 100 for i in range(_ROWS)]),
+                Column(
+                    "s", SqlType.TEXT,
+                    [names[i % len(names)] for i in range(_ROWS)],
+                ),
+            ],
+        )
+    )
+    for udf in _UDFS:
+        adapter.register_udf(udf, deterministic=True)
+    return adapter
+
+
+def run_speedup_report(repeats: int = 3) -> FigureReport:
+    report = FigureReport(
+        "translate_speedup",
+        "translated vs untranslated on sqlite", unit="x",
+    )
+    off = QFusor(_adapter(), QFusorConfig())
+    on = QFusor(_adapter(), QFusorConfig.translated())
+    for query_id, sql in sorted(QUERIES.items()):
+        off.execute(sql)  # warm both systems (plans, sqlite page cache)
+        on.execute(sql)
+        assert on.last_report.translate_outcome() == "hit", (
+            f"{query_id} did not translate: "
+            f"{on.last_report.translate_events}"
+        )
+        wall_off, _ = time_call(lambda: off.execute(sql), repeats=repeats)
+        wall_on, _ = time_call(lambda: on.execute(sql), repeats=repeats)
+        report.add("untranslated-ms", query_id, wall_off * 1000)
+        report.add("translated-ms", query_id, wall_on * 1000)
+        report.add(
+            "speedup", query_id,
+            wall_off / wall_on if wall_on else float("inf"),
+        )
+    report.emit()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Disabled-path overhead, structurally
+# ----------------------------------------------------------------------
+
+
+def measure_branch_cost() -> float:
+    """Seconds per disabled translation check (attribute load + is)."""
+    loops = 200_000
+    total = min(
+        timeit.repeat(
+            "qf.translator is not None",
+            setup=(
+                "class QF:\n"
+                "    translator = None\n"
+                "qf = QF()"
+            ),
+            repeat=5, number=loops,
+        )
+    )
+    return total / loops
+
+
+def run_overhead_report(repeats: int = 3) -> FigureReport:
+    report = FigureReport(
+        "translate_disabled_overhead",
+        "translate_enabled=False structural overhead", unit="%",
+    )
+    constructions = []
+    import repro.sql.translate as translate_mod
+
+    original = translate_mod.UdfTranslator
+
+    class _Ledger(original):
+        def __init__(self, *args, **kwargs):
+            constructions.append(1)
+            super().__init__(*args, **kwargs)
+
+    translate_mod.UdfTranslator = _Ledger
+    try:
+        qfusor = QFusor(_adapter(), QFusorConfig())
+    finally:
+        translate_mod.UdfTranslator = original
+    assert qfusor.translator is None
+    branch_cost = measure_branch_cost()
+    report.add("branch-ns", "cost", branch_cost * 1e9)
+    for query_id, sql in sorted(QUERIES.items()):
+        qfusor.execute(sql)  # warm
+        assert qfusor.last_report.translate_events == []
+        wall, _ = time_call(lambda: qfusor.execute(sql), repeats=repeats)
+        # The disabled path reaches exactly one translator branch per
+        # statement executed (selects here are single statements).
+        estimate = branch_cost / wall if wall else 0.0
+        report.add("wall-ms", query_id, wall * 1000)
+        report.add("overhead-pct", query_id, estimate * 100)
+    # The zero-call ledger: no translator was ever constructed.
+    report.add("translator-constructions", "total", len(constructions))
+    report.emit()
+    return report
+
+
+@pytest.mark.benchmark(group="translate")
+def test_translated_speedup_on_sqlite(benchmark):
+    report = benchmark.pedantic(run_speedup_report, rounds=1, iterations=1)
+    fast_enough = [
+        query_id for query_id in sorted(QUERIES)
+        if report.value("speedup", query_id) >= SPEEDUP_FLOOR
+    ]
+    assert len(fast_enough) >= 3, (
+        f"need >=3 queries at {SPEEDUP_FLOOR}x, got {fast_enough}: "
+        + ", ".join(
+            f"{q}={report.value('speedup', q):.2f}x"
+            for q in sorted(QUERIES)
+        )
+    )
+
+
+@pytest.mark.benchmark(group="translate")
+def test_disabled_overhead_within_budget(benchmark):
+    report = benchmark.pedantic(run_overhead_report, rounds=1, iterations=1)
+    assert report.value("translator-constructions", "total") == 0, (
+        "translate_enabled=False constructed a translator"
+    )
+    for query_id in sorted(QUERIES):
+        pct = report.value("overhead-pct", query_id)
+        assert pct is not None
+        assert pct < OVERHEAD_BUDGET * 100, (
+            f"{query_id}: structural translate overhead {pct:.3f}% "
+            f"exceeds the {OVERHEAD_BUDGET:.0%} budget"
+        )
+
+
+if __name__ == "__main__":
+    run_speedup_report()
+    run_overhead_report()

@@ -280,6 +280,10 @@ class CacheManager:
         self.plan.store(key, entry)
         self.record(report, "plan", "store")
 
+    def plan_invalidate(self, key: Tuple, report: Any) -> None:
+        if self.plan is not None and self.plan.invalidate(key):
+            self.record(report, "plan", "invalidate")
+
     def result_get_or_execute(
         self,
         rkey: ResultKey,

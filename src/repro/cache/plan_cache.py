@@ -30,7 +30,8 @@ __all__ = ["PlanCache", "PlanEntry"]
 class PlanEntry:
     """Everything needed to skip parse/plan/fuse on a repeat query."""
 
-    #: "plan" (path 2: direct plan dispatch) or "sql" (path 1: rewrite).
+    #: "plan" (path 2: direct plan dispatch), "sql" (path 1: rewrite),
+    #: or "translated" (UDF-to-SQL translation: no UDF boundary at all).
     kind: str
     #: The engine's original (unfused) plan — the de-optimization target.
     original: Any = None
@@ -44,9 +45,17 @@ class PlanEntry:
     sections: List[Any] = field(default_factory=list)
     plan_before: str = ""
     plan_after: str = ""
+    #: Names of UDFs compiled away by translation (kind="translated");
+    #: they must still be registered for the entry to stay valid — a
+    #: dropped or re-registered UDF rotates the key or fails validation.
+    translated: List[str] = field(default_factory=list)
 
     def fused_names(self) -> List[str]:
         return [f.definition.name for f in self.fused]
+
+    def required_udfs(self) -> List[str]:
+        """Every UDF that must still be registered for a valid hit."""
+        return self.fused_names() + list(self.translated)
 
 
 class PlanCache:
@@ -66,7 +75,7 @@ class PlanCache:
         entry = self._entries.get(key)
         hit = entry is not None
         if hit:
-            for name in entry.fused_names():
+            for name in entry.required_udfs():
                 if registry.lookup(name) is None:
                     self._entries.pop(key)
                     entry, hit = None, False
@@ -83,6 +92,10 @@ class PlanCache:
         self._entries.put(key, entry)
         if OBS.metrics and self._entries.evictions != before:
             METRICS.counter("repro_cache_evictions_total", tier="plan").inc()
+
+    def invalidate(self, key: Tuple) -> bool:
+        """Drop one entry (a runtime deopt disproved the cached plan)."""
+        return self._entries.pop(key)
 
     def clear(self) -> None:
         self._entries.clear()

@@ -148,6 +148,18 @@ class QFusorConfig:
     #: QFusor instances that happened to share cache state could still
     #: never serve one tenant's rows to another.  None: unscoped.
     cache_scope: Optional[str] = None
+    # -- Froid-style UDF-to-SQL translation (repro.sql.translate) ------
+    #: Compile simple scalar UDFs into SQL expressions ahead of fusion;
+    #: when every UDF reference in a statement translates, the UDF
+    #: boundary is skipped entirely.  Untranslatable statements fall
+    #: back to the fusion/JIT ladder unchanged.
+    translate_enabled: bool = False
+    #: Verify every accepted translation against the Python function
+    #: over a probe battery at translate time; a mismatch rejects the
+    #: translation instead of risking wrong answers.
+    translate_self_check: bool = True
+    #: Depth bound for inlining calls to other translatable UDFs.
+    translate_max_inline_depth: int = 3
 
     def ablated(self, **changes) -> "QFusorConfig":
         """A copy with the given switches changed (for ablation benches)."""
@@ -181,6 +193,12 @@ class QFusorConfig:
     def cached(cls, **changes) -> "QFusorConfig":
         """Full system plus every cache tier (plan + UDF memo + result)."""
         config = cls(plan_cache=True, udf_memo=True, result_cache=True)
+        return replace(config, **changes) if changes else config
+
+    @classmethod
+    def translated(cls, **changes) -> "QFusorConfig":
+        """Full system plus Froid-style UDF-to-SQL translation."""
+        config = cls(translate_enabled=True)
         return replace(config, **changes) if changes else config
 
     @classmethod

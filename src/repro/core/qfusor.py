@@ -43,6 +43,7 @@ from ..resilience import governor
 from ..sql import ast_nodes as ast
 from ..sql.parser import parse
 from ..sql.printer import to_sql
+from ..sql.translate import TranslateEvent, TranslationResult, Untranslatable
 from ..storage.table import Table
 from ..udf.definition import UdfKind
 from .config import QFusorConfig
@@ -86,10 +87,20 @@ class QFusorReport:
     #: Cache interactions (:class:`repro.cache.manager.CacheEvent`):
     #: plan/result hits and stores, single-flight outcomes.
     cache_events: List[Any] = field(default_factory=list)
+    #: UDF names compiled away by Froid-style translation (the query ran
+    #: with no UDF boundary at all).
+    translated: List[str] = field(default_factory=list)
+    #: Translation decisions (:class:`repro.sql.translate.TranslateEvent`):
+    #: hit / unsupported / deopt, with reasons.
+    translate_events: List[TranslateEvent] = field(default_factory=list)
 
     @property
     def fused_names(self) -> List[str]:
         return [f.definition.name for f in self.fused]
+
+    def translate_outcome(self) -> Optional[str]:
+        """The last translation decision for this query, or None."""
+        return self.translate_events[-1].outcome if self.translate_events else None
 
     @property
     def deopted(self) -> bool:
@@ -191,6 +202,19 @@ class QFusor:
             self.admission = AdmissionGate(
                 self.config.max_concurrent_queries,
                 queue_timeout_s=self.config.admission_timeout_s,
+            )
+        # Froid-style UDF-to-SQL translation, tried ahead of fusion.
+        # Built only when enabled so the disabled path pays exactly one
+        # ``is None`` check per UDF query and makes zero translator calls.
+        self.translator = None
+        if self.config.translate_enabled:
+            from ..sql.translate import UdfTranslator
+
+            self.translator = UdfTranslator(
+                engine.registry,
+                getattr(engine, "translate_dialect", "python"),
+                max_inline_depth=self.config.translate_max_inline_depth,
+                self_check=self.config.translate_self_check,
             )
 
     # ------------------------------------------------------------------
@@ -371,6 +395,18 @@ class QFusor:
 
         if isinstance(statement, ast.Select):
             return self._execute_select(statement, report)
+        if self.translator is not None:
+            result = self._try_translate(
+                statement, report, None,
+                fallback=lambda: self._run_dml_fused(statement, report),
+            )
+            if result is not None:
+                return result
+        return self._run_dml_fused(statement, report)
+
+    def _run_dml_fused(
+        self, statement: ast.Statement, report: QFusorReport
+    ) -> Table:
         # DML with UDFs: rewrite expressions at the SQL level (4.2.5).
         sp = obs_tracer.span_start("fuse") if OBS.tracing else None
         start = time.perf_counter()
@@ -434,8 +470,29 @@ class QFusor:
         if pkey is not None:
             entry = self.caches.plan_lookup(pkey, report)
             if entry is not None:
-                return self._dispatch_cached_plan(statement, entry, report)
+                return self._dispatch_cached_plan(statement, entry, report, pkey)
 
+        # Froid-style translation first: when every UDF reference
+        # compiles to SQL, the UDF boundary disappears and fusion has
+        # nothing left to do.  Unsupported shapes fall through to the
+        # fusion/JIT ladder below with an `unsupported` event.
+        if self.translator is not None:
+            result = self._try_translate(
+                statement, report, pkey,
+                fallback=lambda: self._execute_select_fused(
+                    statement, report, pkey
+                ),
+            )
+            if result is not None:
+                return result
+        return self._execute_select_fused(statement, report, pkey)
+
+    def _execute_select_fused(
+        self,
+        statement: ast.Select,
+        report: QFusorReport,
+        pkey: Optional[tuple],
+    ) -> Table:
         if not self.adapter.supports_plan_dispatch:
             # Path 1: SQL rewriting only (expression-level fusion).
             sp = obs_tracer.span_start("fuse") if OBS.tracing else None
@@ -509,10 +566,29 @@ class QFusor:
         return self._dispatch_plan(planned, outcome, report)
 
     def _dispatch_cached_plan(
-        self, statement: ast.Select, entry: PlanEntry, report: QFusorReport
+        self,
+        statement: ast.Select,
+        entry: PlanEntry,
+        report: QFusorReport,
+        pkey: Optional[tuple] = None,
     ) -> Table:
         """Dispatch a plan-cache hit: parse/probe/plan/fuse all skipped."""
         report.fused = list(entry.fused)
+        if entry.kind == "translated":
+            names = list(entry.translated)
+            report.translated = names
+            report.rewritten_sql = to_sql(entry.rewritten)
+            report.translate_events.append(
+                TranslateEvent(tuple(names), "hit", "plan-cache")
+            )
+            if OBS.metrics:
+                METRICS.counter("repro_translate_total", outcome="hit").inc()
+            return self._dispatch_translated(
+                entry.rewritten, names, report, pkey=pkey,
+                fallback=lambda: self._execute_select_fused(
+                    statement, report, None
+                ),
+            )
         if entry.kind == "sql":
             report.rewritten_sql = to_sql(entry.rewritten)
             return self._dispatch_sql(statement, entry.rewritten, report)
@@ -522,6 +598,138 @@ class QFusor:
         outcome = FusionOutcome(entry.fused_planned)
         outcome.fused = list(entry.fused)
         return self._dispatch_plan(entry.original, outcome, report)
+
+    # ------------------------------------------------------------------
+    # Froid-style UDF-to-SQL translation (ahead of fusion)
+    # ------------------------------------------------------------------
+
+    def _try_translate(
+        self,
+        statement: ast.Statement,
+        report: QFusorReport,
+        pkey: Optional[tuple],
+        *,
+        fallback,
+    ) -> Optional[Table]:
+        """Compile every UDF reference away, or return None to fuse.
+
+        All-or-nothing per statement: a single untranslatable reference
+        keeps the whole query on the fusion ladder (mixing translated
+        and boundary-crossing UDFs in one statement buys nothing — the
+        boundary is still paid).
+        """
+        sp = obs_tracer.span_start("translate") if OBS.tracing else None
+        try:
+            outcome = self.translator.translate_statement(
+                statement, self._catalog()
+            )
+        except Exception as exc:
+            # A translator defect must degrade to fusion, never fail the
+            # query: translation is an optimization, not a dependency.
+            outcome = TranslationResult()
+            outcome.failures[""] = Untranslatable(
+                f"translator error: {type(exc).__name__}: {exc}"
+            )
+        if outcome.statement is None:
+            reason = "; ".join(
+                f"{f.udf}: {f.reason}" if f.udf else f.reason
+                for f in outcome.failures.values()
+            )
+            report.translate_events.append(
+                TranslateEvent(
+                    tuple(sorted(n for n in outcome.failures if n)),
+                    "unsupported",
+                    reason,
+                )
+            )
+            if OBS.metrics:
+                METRICS.counter(
+                    "repro_translate_total", outcome="unsupported"
+                ).inc()
+            if sp is not None:
+                obs_tracer.span_end(sp, translated=0)
+            return None
+        names = sorted(outcome.translated)
+        report.translated = list(names)
+        report.rewritten_sql = to_sql(outcome.statement)
+        report.translate_events.append(TranslateEvent(tuple(names), "hit"))
+        if OBS.metrics:
+            METRICS.counter("repro_translate_total", outcome="hit").inc()
+        if sp is not None:
+            obs_tracer.span_end(sp, translated=len(names))
+        return self._dispatch_translated(
+            outcome.statement, names, report, pkey=pkey, fallback=fallback
+        )
+
+    def _dispatch_translated(
+        self,
+        rewritten: ast.Statement,
+        names: List[str],
+        report: QFusorReport,
+        *,
+        pkey: Optional[tuple],
+        fallback,
+    ) -> Table:
+        """Execute the translated statement; on a runtime fault, poison
+        the translation and fall back through the fusion ladder."""
+        try:
+            result = self.adapter.execute_sql(rewritten)
+        except QueryTimeoutError:
+            # The translated statement has no UDF boundary left to blame;
+            # re-running the same work unfused would time out again.
+            self._drain_runtime_events(report)
+            raise
+        except Exception as exc:
+            self._drain_runtime_events(report)
+            if not self.config.deopt:
+                raise
+            self._translate_deopt(exc, names, report, pkey)
+            return self._reexecute(report, fallback)
+        self._drain_runtime_events(report)
+        if pkey is not None and not report.deopted:
+            # Stored only after a clean dispatch, so a poisoned
+            # translation can never be re-served from the plan cache.
+            self.caches.plan_store(
+                pkey,
+                PlanEntry(
+                    kind="translated",
+                    rewritten=rewritten,
+                    translated=list(names),
+                ),
+                report,
+            )
+        return result
+
+    def _translate_deopt(
+        self,
+        exc: BaseException,
+        names: List[str],
+        report: QFusorReport,
+        pkey: Optional[tuple],
+    ) -> None:
+        """Record a translated-path runtime fault and poison the
+        translations so later queries go straight to fusion."""
+        reason = f"{type(exc).__name__}: {exc}"
+        self.translator.poison(names, reason)
+        if pkey is not None:
+            self.caches.plan_invalidate(pkey, report)
+        report.translated = []
+        report.translate_events.append(
+            TranslateEvent(tuple(names), "deopt", reason)
+        )
+        # A DeoptEvent keeps the existing machinery honest: storeable()
+        # refuses to cache the degraded run, report.deopted flips, and
+        # dashboards counting deopts see translated-path faults too.
+        report.deopt_events.append(
+            DeoptEvent(udf_names=tuple(names), error=reason)
+        )
+        if OBS.metrics:
+            METRICS.counter("repro_translate_total", outcome="deopt").inc()
+            METRICS.counter("repro_deopt_total").inc()
+        if OBS.tracing:
+            obs_tracer.add_event(
+                "translate_deopt", udfs=",".join(names), error=reason
+            )
 
     # ------------------------------------------------------------------
     # Guarded dispatch + de-optimization

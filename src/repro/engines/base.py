@@ -39,6 +39,13 @@ class EngineAdapter:
     name: str = "base"
     #: The engine can execute a rewritten plan directly (path 2).
     supports_plan_dispatch: bool = True
+    #: UDF-to-SQL translation capability profile; must match a key in
+    #: :data:`repro.sql.translate.DIALECT_PROFILES`.  The mini-engine
+    #: family evaluates expressions with Python semantics, hence the
+    #: default.  Keyed separately from ``name`` because adapters may
+    #: share a SQL dialect (e.g. the tuple adapter parses sqlite SQL)
+    #: while their expression *semantics* differ.
+    translate_dialect: str = "python"
     #: The engine runs UDFs in-process (enables exported-internals
     #: group-by offloading, section 5.3.2).
     in_process: bool = True

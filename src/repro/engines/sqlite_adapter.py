@@ -49,6 +49,7 @@ _SQLITE_DECL = {
 class SqliteAdapter(EngineAdapter):
     name = "sqlite"
     supports_plan_dispatch = False  # QFusor uses the SQL-rewrite path
+    translate_dialect = "sqlite"  # C-style %, ASCII-only case folding
     in_process = True
 
     def __init__(self, *, stats: Optional[StatsStore] = None):

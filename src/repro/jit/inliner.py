@@ -17,7 +17,26 @@ import textwrap
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-__all__ = ["InlineResult", "try_inline", "render_stage_call"]
+__all__ = ["InlineResult", "function_ast", "try_inline", "render_stage_call"]
+
+
+def function_ast(func: Callable) -> Optional[ast.FunctionDef]:
+    """Parse ``func``'s source into its ``FunctionDef`` node, or None.
+
+    Shared by the JIT inliner and the Froid-style UDF-to-SQL translator
+    (:mod:`repro.sql.translate`): both work on the function's AST rather
+    than its bytecode.  Returns None when the source is unavailable
+    (builtins, C extensions, functions defined in a REPL without a
+    ``linecache`` entry) or does not parse to a plain function.
+    """
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        return None
+    if not tree.body or not isinstance(tree.body[0], ast.FunctionDef):
+        return None
+    return tree.body[0]
 
 
 @dataclass(frozen=True)
@@ -67,14 +86,9 @@ def try_inline(func: Callable) -> Optional[InlineResult]:
     Returns ``None`` when the body is too complex to inline (the fused
     code then calls the function directly instead).
     """
-    try:
-        source = textwrap.dedent(inspect.getsource(func))
-        tree = ast.parse(source)
-    except (OSError, TypeError, SyntaxError, IndentationError):
+    fdef = function_ast(func)
+    if fdef is None:
         return None
-    if not tree.body or not isinstance(tree.body[0], ast.FunctionDef):
-        return None
-    fdef = tree.body[0]
     params = tuple(a.arg for a in fdef.args.args)
     if fdef.args.vararg or fdef.args.kwarg or fdef.args.kwonlyargs:
         return None

@@ -1,8 +1,26 @@
-"""SQL frontend: lexer, AST, recursive-descent parser, and SQL printer."""
+"""SQL frontend: lexer, AST, recursive-descent parser, and SQL printer.
+
+Also home to the Froid-style UDF-to-SQL translator
+(:mod:`repro.sql.translate`), imported lazily by the planner to keep
+the frontend import graph light.
+"""
 
 from .lexer import Token, TokenKind, tokenize
 from .parser import parse, parse_expression
 from .printer import to_sql
 from . import ast_nodes as ast
+from .translate import (
+    DIALECT_PROFILES,
+    TranslateDialect,
+    TranslatedUdf,
+    TranslationResult,
+    UdfTranslator,
+    Untranslatable,
+    translate_udf,
+)
 
-__all__ = ["Token", "TokenKind", "tokenize", "parse", "parse_expression", "to_sql", "ast"]
+__all__ = [
+    "Token", "TokenKind", "tokenize", "parse", "parse_expression", "to_sql",
+    "ast", "DIALECT_PROFILES", "TranslateDialect", "TranslatedUdf",
+    "TranslationResult", "UdfTranslator", "Untranslatable", "translate_udf",
+]

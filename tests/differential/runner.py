@@ -46,6 +46,17 @@ _CACHED_ADAPTERS = (
     ("dbx-cached", ParallelDbAdapter, {"threads": 2}),
 )
 
+#: Engines that additionally run with Froid-style UDF-to-SQL translation
+#: enabled.  Translatable UDF references compile to plain SQL (no UDF
+#: boundary); everything else falls back through fusion — either way the
+#: result joins the cross-system comparison, so a mistranslation (sign
+#: of %, division truncation, NULL logic, slicing off-by-one) shows up
+#: as a mismatch against the oracle.
+_TRANSLATED_ADAPTERS = (
+    ("minidb-translated", MiniDbAdapter, {}),
+    ("rowstore-translated", RowStoreAdapter, {}),
+)
+
 
 class Mismatch(Exception):
     """Raised when two systems disagree on a case."""
@@ -84,6 +95,36 @@ class DifferentialRunner:
             self.cached_engines.append(
                 (name, adapter, QFusor(adapter, QFusorConfig.cached()))
             )
+        self.translated_engines: List[Tuple[str, object, QFusor]] = []
+        for name, make, kwargs in _TRANSLATED_ADAPTERS:
+            adapter = make(**kwargs)
+            for udf in DIFF_UDFS:
+                # Translation requires the deterministic annotation
+                # (unannotated UDFs are never translated, satellite rule).
+                adapter.register_udf(udf, deterministic=True)
+            self.translated_engines.append(
+                (name, adapter, QFusor(adapter, QFusorConfig.translated()))
+            )
+        # The sqlite lane isolates translation itself: fusion/JIT are
+        # disabled, so every case is either translated or passed through
+        # to sqlite untouched — differences are the translator's fault.
+        sqlite_translated = SqliteAdapter()
+        for udf in ORACLE_UDFS:
+            sqlite_translated.register_udf(udf, deterministic=True)
+        self.translated_engines.append(
+            (
+                "sqlite-translated",
+                sqlite_translated,
+                QFusor(
+                    sqlite_translated,
+                    QFusorConfig.translated(
+                        jit=False, fuse_udfs=False, offload_relational=False,
+                        offload_aggregations=False, reorder=False,
+                        inline=False,
+                    ),
+                ),
+            )
+        )
         self.oracle = SqliteAdapter()
         for udf in ORACLE_UDFS:
             self.oracle.register_udf(udf)
@@ -91,7 +132,8 @@ class DifferentialRunner:
 
     def close(self) -> None:
         """Release engine resources (worker pools, in particular)."""
-        for _name, adapter, _qf in self.engines + self.cached_engines:
+        engines = self.engines + self.cached_engines + self.translated_engines
+        for _name, adapter, _qf in engines:
             closer = getattr(adapter, "close", None)
             if closer is not None:
                 closer()
@@ -101,7 +143,8 @@ class DifferentialRunner:
     def _ensure_table(self, case: DiffCase) -> None:
         if self._registered_table is case.table:
             return
-        for _name, adapter, _qf in self.engines + self.cached_engines:
+        engines = self.engines + self.cached_engines + self.translated_engines
+        for _name, adapter, _qf in engines:
             adapter.register_table(case.table, replace=True)
         self.oracle.register_table(case.table, replace=True)
         self._registered_table = case.table
@@ -118,6 +161,12 @@ class DifferentialRunner:
         for name, _adapter, qfusor in self.cached_engines:
             out[f"{name}/cold"] = self._run(lambda: qfusor.execute(case.sql))
             out[f"{name}/warm"] = self._run(lambda: qfusor.execute(case.sql))
+        for name, _adapter, qfusor in self.translated_engines:
+            if name.startswith("sqlite") and not case.oracle_ok:
+                continue  # table-UDF shapes the sqlite adapter can't run
+            out[f"{name}/translated"] = self._run(
+                lambda: qfusor.execute(case.sql)
+            )
         if case.oracle_ok:
             out["sqlite-oracle"] = self._run(
                 lambda: self.oracle.execute_sql(case.sql)

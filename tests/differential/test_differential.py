@@ -44,10 +44,19 @@ def _check_seed(runner, seed: int):
     detail = "\n".join(
         f"  {name}: {rows}" for name, rows in final.results.items()
     )
+    snippet = repro_snippet(shrunk, final.description)
+    artifacts = os.environ.get("REPRO_DIFF_ARTIFACTS")
+    if artifacts:
+        # CI uploads this directory: a red differential run ships its
+        # minimized standalone repros as build artifacts.
+        os.makedirs(artifacts, exist_ok=True)
+        path = os.path.join(artifacts, f"repro_seed_{seed}.py")
+        with open(path, "w") as fh:
+            fh.write(snippet + "\n")
     pytest.fail(
         f"{final.description}\n{detail}\n\n"
         f"--- standalone repro ---\n"
-        f"{repro_snippet(shrunk, final.description)}\n",
+        f"{snippet}\n",
         pytrace=False,
     )
 

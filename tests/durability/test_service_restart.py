@@ -4,13 +4,20 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.config import QFusorConfig
 from repro.service import QueryService
 from repro.storage import Column, Table
 from repro.types import SqlType
+from repro.udf.decorators import scalar_udf
 
 
 def make_table(name, values):
     return Table(name, [Column("a", SqlType.INT, list(values))])
+
+
+@scalar_udf(name="d_twice", args=["int"], returns="int", deterministic=True)
+def d_twice(x):
+    return x * 2
 
 
 class TestServiceDurability:
@@ -34,6 +41,49 @@ class TestServiceDurability:
         out = service2.execute("beta", "SELECT a FROM u")
         assert out.ok and out.result.columns[0].to_list() == [9]
         service2.shutdown()
+
+    def test_cached_query_misses_after_crash_recovery(self, tmp_path):
+        """Durability × caching: a result-cache entry warmed before a
+        crash must NOT hit after recovery — the database generation
+        bump rotates every result key, because replay may have produced
+        a different (e.g. partially-recovered) table state than the one
+        the cached result was computed from."""
+        root = tmp_path / "svc"
+        service = QueryService(
+            durability_root=root, config=QFusorConfig.cached()
+        )
+        acme = service.add_tenant("acme")
+        acme.register_table(make_table("t", [3, 4, None]))
+        acme.adapter.register_udf(d_twice, deterministic=True)
+        sql = "SELECT d_twice(a) FROM t"
+
+        out = service.execute("acme", sql)
+        assert out.ok and out.result.columns[0].to_list() == [6, 8, None]
+        assert acme.qfusor.last_report.cache_outcome("result") == "store"
+        out = service.execute("acme", sql)
+        assert out.ok and out.result.columns[0].to_list() == [6, 8, None]
+        assert acme.qfusor.last_report.cache_outcome("result") == "hit"
+
+        # Crash: abandon the WAL without checkpoint or close.
+        acme.adapter.durability.abandon()
+
+        service2 = QueryService(
+            durability_root=root, config=QFusorConfig.cached()
+        )
+        reports = service2.recover_tenants()
+        assert "acme" in reports
+        session2 = service2.session("acme")
+        session2.adapter.register_udf(d_twice, deterministic=True)
+        out = service2.execute("acme", sql)
+        assert out.ok and out.result.columns[0].to_list() == [6, 8, None]
+        # The recovered generation keys differently: never a hit.
+        assert session2.qfusor.last_report.cache_outcome("result") != "hit"
+        # And the warm round re-establishes caching on the new keys.
+        out = service2.execute("acme", sql)
+        assert out.ok and out.result.columns[0].to_list() == [6, 8, None]
+        assert session2.qfusor.last_report.cache_outcome("result") == "hit"
+        service2.shutdown()
+        service.shutdown()
 
     def test_recover_tenants_skips_already_live_sessions(self, tmp_path):
         root = tmp_path / "svc"

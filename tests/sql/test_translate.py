@@ -1,0 +1,404 @@
+"""Unit tests for the Froid-style UDF-to-SQL translator.
+
+Covers the public API surface (:func:`translate_udf`,
+:class:`UdfTranslator`), the generated-corpus gate (every known
+translatable shape translates and self-checks; every adversarial
+near-miss is rejected with a typed, precise reason), dialect gating,
+inlining with its depth bound, memoization/poisoning, and
+statement-level all-or-nothing rewriting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engines.minidb import MiniDbAdapter
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql
+from repro.sql.translate import (
+    DIALECT_PROFILES, TranslatedUdf, UdfTranslator, Untranslatable,
+    translate_udf,
+)
+from repro.storage import Column, Table
+from repro.types import SqlType
+from repro.udf.decorators import scalar_udf
+
+from .udfgen import (
+    NEAR_MISS_SHAPES, TRANSLATABLE_SHAPES, _compile_function, make_near_miss,
+    make_translatable,
+)
+
+GEN_SEEDS = 150
+
+
+# ----------------------------------------------------------------------
+# Generated-corpus gate
+# ----------------------------------------------------------------------
+
+
+class TestGeneratedCorpus:
+    def test_every_translatable_shape_is_covered(self):
+        seen = {make_translatable(seed).shape for seed in range(GEN_SEEDS)}
+        want = {fn(__import__("random").Random(0)).shape
+                for fn in TRANSLATABLE_SHAPES}
+        assert want <= seen
+
+    def test_translatable_udfs_translate_and_self_check(self):
+        for seed in range(GEN_SEEDS):
+            g = make_translatable(seed)
+            result = translate_udf(g.definition, dialect="python")
+            assert isinstance(result, TranslatedUdf), (
+                f"seed {seed} shape {g.shape} rejected: "
+                f"{getattr(result, 'reason', '')}\n{g.source}"
+            )
+            assert result.self_checked
+
+    def test_every_near_miss_is_rejected_with_typed_reason(self):
+        for seed in range(GEN_SEEDS):
+            g = make_near_miss(seed)
+            result = translate_udf(g.definition, dialect="python")
+            assert isinstance(result, Untranslatable), (
+                f"seed {seed} shape {g.shape} must NOT translate\n{g.source}"
+            )
+            assert g.expect_reason in result.reason, (
+                f"seed {seed} shape {g.shape}: reason {result.reason!r} "
+                f"lacks {g.expect_reason!r}"
+            )
+            assert result.udf == g.name
+            assert not result  # rejections are falsy
+
+    def test_near_miss_shape_catalogue_is_exercised(self):
+        seen = {make_near_miss(seed).shape for seed in range(GEN_SEEDS)}
+        want = {fn(__import__("random").Random(0)).shape
+                for fn in NEAR_MISS_SHAPES}
+        assert want <= seen
+
+
+# ----------------------------------------------------------------------
+# Eligibility and dialect gating
+# ----------------------------------------------------------------------
+
+
+def _plain(name="plain"):
+    @scalar_udf(name=name, args=["int"], returns="int", deterministic=True)
+    def plain(x):
+        return x + 1
+
+    return plain
+
+
+class TestEligibility:
+    def test_unknown_dialect_is_rejected(self):
+        result = translate_udf(_plain().__udf__, dialect="oracle12c")
+        assert isinstance(result, Untranslatable)
+        assert "dialect" in result.reason
+
+    def test_volatile_udf_is_rejected(self):
+        @scalar_udf(name="vol", args=["int"], returns="int",
+                    deterministic=False)
+        def vol(x):
+            return x + 1
+
+        result = translate_udf(vol.__udf__)
+        assert isinstance(result, Untranslatable)
+        assert "volatile" in result.reason
+
+    def test_unannotated_pure_udf_is_rejected(self):
+        # Satellite rule: deterministic=None means the author never
+        # promised purity — AST purity alone must not translate.
+        @scalar_udf(name="unannot", args=["int"], returns="int")
+        def unannot(x):
+            return x + 1
+
+        assert unannot.__udf__.deterministic  # resolved default is True...
+        assert not unannot.__udf__.deterministic_annotated  # ...unannotated
+        result = translate_udf(unannot.__udf__)
+        assert isinstance(result, Untranslatable)
+        assert "not annotated" in result.reason
+
+    def test_upper_translates_on_python_but_not_sqlite(self):
+        @scalar_udf(name="up", args=["text"], returns="text",
+                    deterministic=True)
+        def up(s):
+            return s.upper()
+
+        assert isinstance(translate_udf(up.__udf__, dialect="python"),
+                          TranslatedUdf)
+        result = translate_udf(up.__udf__, dialect="sqlite")
+        assert isinstance(result, Untranslatable)
+        assert "ASCII" in result.reason
+
+    def test_strip_translates_on_python_but_not_sqlite(self):
+        @scalar_udf(name="st", args=["text"], returns="text",
+                    deterministic=True)
+        def st(s):
+            return s.strip()
+
+        assert isinstance(translate_udf(st.__udf__, dialect="python"),
+                          TranslatedUdf)
+        result = translate_udf(st.__udf__, dialect="sqlite")
+        assert isinstance(result, Untranslatable)
+        assert "spaces only" in result.reason
+
+    def test_lower_never_translates(self):
+        @scalar_udf(name="lo", args=["text"], returns="text",
+                    deterministic=True)
+        def lo(s):
+            return s.lower()
+
+        for dialect in DIALECT_PROFILES:
+            assert isinstance(translate_udf(lo.__udf__, dialect=dialect),
+                              Untranslatable)
+
+    def test_sqlite_mod_emulation_renders_sign_fix(self):
+        @scalar_udf(name="m3", args=["int"], returns="int",
+                    deterministic=True)
+        def m3(x):
+            return x % 3
+
+        python = translate_udf(m3.__udf__, dialect="python")
+        sqlite = translate_udf(m3.__udf__, dialect="sqlite")
+        assert to_sql(python.expr) == "(x % 3)"
+        assert to_sql(sqlite.expr) == "(((x % 3) + 3) % 3)"
+
+
+# ----------------------------------------------------------------------
+# Inlining
+# ----------------------------------------------------------------------
+
+
+class TestInlining:
+    def test_calls_to_translatable_udfs_inline(self):
+        @scalar_udf(name="base1", args=["int"], returns="int",
+                    deterministic=True)
+        def base1(x):
+            return x * 2
+
+        @scalar_udf(name="outer1", args=["int"], returns="int",
+                    deterministic=True)
+        def outer1(x):
+            return base1(x) + 1
+
+        result = translate_udf(outer1.__udf__)
+        assert isinstance(result, TranslatedUdf)
+        assert to_sql(result.expr) == "((x * 2) + 1)"
+        assert result.deps == {"base1": None}
+
+    def test_inline_depth_bound_is_enforced(self):
+        @scalar_udf(name="d0", args=["int"], returns="int",
+                    deterministic=True)
+        def d0(x):
+            return x + 1
+
+        @scalar_udf(name="d1", args=["int"], returns="int",
+                    deterministic=True)
+        def d1(x):
+            return d0(x) + 1
+
+        @scalar_udf(name="d2", args=["int"], returns="int",
+                    deterministic=True)
+        def d2(x):
+            return d1(x) + 1
+
+        assert isinstance(
+            translate_udf(d2.__udf__, max_inline_depth=2), TranslatedUdf
+        )
+        result = translate_udf(d2.__udf__, max_inline_depth=1)
+        assert isinstance(result, Untranslatable)
+        assert "depth bound" in result.reason
+
+    def test_untranslatable_callee_poisons_the_caller(self):
+        @scalar_udf(name="loopy", args=["int"], returns="int",
+                    deterministic=True)
+        def loopy(x):
+            t = 0
+            for _ in range(3):
+                t = t + x
+            return t
+
+        @scalar_udf(name="callsloopy", args=["int"], returns="int",
+                    deterministic=True)
+        def callsloopy(x):
+            return loopy(x) + 1
+
+        result = translate_udf(callsloopy.__udf__)
+        assert isinstance(result, Untranslatable)
+        assert "loopy" in result.reason and "loops" in result.reason
+
+
+# ----------------------------------------------------------------------
+# UdfTranslator session: memoization, poisoning, versioning
+# ----------------------------------------------------------------------
+
+
+def _adapter_with(*udfs):
+    adapter = MiniDbAdapter(Database())
+    adapter.register_table(
+        Table("t", [Column("a", SqlType.INT, [1, -2, None, 5])])
+    )
+    for udf in udfs:
+        adapter.register_udf(udf, deterministic=True)
+    return adapter
+
+
+class TestUdfTranslatorSession:
+    def test_results_are_memoized_per_version(self):
+        plain = _plain("memo1")
+        adapter = _adapter_with(plain)
+        translator = UdfTranslator(adapter.registry)
+        assert isinstance(translator.translate("memo1"), TranslatedUdf)
+        assert isinstance(translator.translate("memo1"), TranslatedUdf)
+        assert translator.translations == 1
+
+    def test_reregistration_invalidates_the_memo(self):
+        plain = _plain("memo2")
+        adapter = _adapter_with(plain)
+        translator = UdfTranslator(adapter.registry)
+        first = translator.translate("memo2")
+        assert to_sql(first.expr) == "(x + 1)"
+
+        @scalar_udf(name="memo2", args=["int"], returns="int",
+                    deterministic=True)
+        def changed(x):
+            return x + 2
+
+        adapter.register_udf(changed, replace=True, deterministic=True)
+        second = translator.translate("memo2")
+        assert to_sql(second.expr) == "(x + 2)"
+        assert translator.translations == 2
+
+    def test_poison_blocks_until_reregistration(self):
+        plain = _plain("memo3")
+        adapter = _adapter_with(plain)
+        translator = UdfTranslator(adapter.registry)
+        assert isinstance(translator.translate("memo3"), TranslatedUdf)
+        translator.poison(["memo3"], "runtime blew up")
+        result = translator.translate("memo3")
+        assert isinstance(result, Untranslatable)
+        assert "poisoned" in result.reason
+        # A changed re-registration (new version) clears the poison.
+        adapter.register_udf(plain, replace=True, deterministic=False)
+        adapter.register_udf(plain, replace=True, deterministic=True)
+        assert isinstance(translator.translate("memo3"), TranslatedUdf)
+
+    def test_dependency_version_bump_retranslates_the_caller(self):
+        # The caller reaches its callee through module globals; swapping
+        # the global AND re-registering (version bump) must re-translate
+        # the caller against the new body.
+        dep1 = scalar_udf(
+            _compile_function("depv", "def depv(x):\n    return x * 2\n"),
+            name="depv", args=["int"], returns="int", deterministic=True,
+        )
+        caller = scalar_udf(
+            _compile_function(
+                "callv", "def callv(x):\n    return depv(x) + 1\n",
+                {"depv": dep1},
+            ),
+            name="callv", args=["int"], returns="int", deterministic=True,
+        )
+        adapter = _adapter_with(dep1, caller)
+        translator = UdfTranslator(adapter.registry)
+        first = translator.translate("callv")
+        assert to_sql(first.expr) == "((x * 2) + 1)"
+        assert first.deps == {"depv": 1}
+
+        dep2 = scalar_udf(
+            _compile_function("depv", "def depv(x):\n    return x * 3\n"),
+            name="depv", args=["int"], returns="int", deterministic=True,
+        )
+        caller.__globals__["depv"] = dep2
+        adapter.register_udf(dep2, replace=True, deterministic=True)
+        second = translator.translate("callv")
+        assert to_sql(second.expr) == "((x * 3) + 1)"
+        assert second.deps == {"depv": 2}
+        assert translator.translations == 2
+
+    def test_stale_closure_callee_still_translates_faithfully(self):
+        # Re-registering a name does NOT change what an existing caller
+        # actually invokes (its closure still holds the old function);
+        # the translation must mirror the closure, not the registry —
+        # the self-check enforces this.
+        @scalar_udf(name="cdep", args=["int"], returns="int",
+                    deterministic=True)
+        def cdep(x):
+            return x * 2
+
+        @scalar_udf(name="ccaller", args=["int"], returns="int",
+                    deterministic=True)
+        def ccaller(x):
+            return cdep(x) + 1
+
+        adapter = _adapter_with(cdep, ccaller)
+        translator = UdfTranslator(adapter.registry)
+        assert to_sql(translator.translate("ccaller").expr) == "((x * 2) + 1)"
+
+        @scalar_udf(name="cdep", args=["int"], returns="int",
+                    deterministic=True)
+        def cdep2(x):
+            return x * 3
+
+        adapter.register_udf(cdep2, replace=True, deterministic=True)
+        # ccaller's closure still calls the old cdep: x * 2 stays right.
+        second = translator.translate("ccaller")
+        assert to_sql(second.expr) == "((x * 2) + 1)"
+
+
+# ----------------------------------------------------------------------
+# Statement-level translation
+# ----------------------------------------------------------------------
+
+
+class TestTranslateStatement:
+    def test_all_references_translated_rewrites_the_statement(self):
+        plain = _plain("tr1")
+        adapter = _adapter_with(plain)
+        translator = UdfTranslator(adapter.registry)
+        statement = parse("SELECT tr1(a) FROM t WHERE tr1(a) > 0")
+        result = translator.translate_statement(statement, adapter.database.catalog)
+        assert result.statement is not None
+        sql = to_sql(result.statement)
+        assert "tr1" not in sql
+        assert sql.count("(a + 1)") == 2
+
+    def test_one_untranslatable_reference_fails_the_statement(self):
+        plain = _plain("tr2")
+
+        @scalar_udf(name="tr2loop", args=["int"], returns="int",
+                    deterministic=True)
+        def tr2loop(x):
+            t = 0
+            while t < x:
+                t = t + 1
+            return t
+
+        adapter = _adapter_with(plain, tr2loop)
+        translator = UdfTranslator(adapter.registry)
+        statement = parse("SELECT tr2(a), tr2loop(a) FROM t")
+        result = translator.translate_statement(statement, adapter.database.catalog)
+        assert result.statement is None
+        assert "tr2loop" in result.failures
+        assert "loops" in result.failures["tr2loop"].reason
+
+    def test_statement_without_udfs_reports_no_references(self):
+        adapter = _adapter_with()
+        translator = UdfTranslator(adapter.registry)
+        statement = parse("SELECT a FROM t")
+        result = translator.translate_statement(statement, adapter.database.catalog)
+        assert result.statement is None
+        assert "no UDF references" in result.failures[""].reason
+
+    def test_guard_preserves_strict_null_semantics(self):
+        # clip-style body: without the IS NOT NULL guard, a NULL input
+        # would fall into the ELSE arm and come back non-NULL.
+        @scalar_udf(name="clipg", args=["int"], returns="int",
+                    deterministic=True)
+        def clipg(x):
+            return 5 if x > 5 else x
+
+        adapter = _adapter_with(clipg)
+        translator = UdfTranslator(adapter.registry)
+        statement = parse("SELECT clipg(a) FROM t")
+        result = translator.translate_statement(statement, adapter.database.catalog)
+        out = adapter.execute_sql(result.statement)
+        assert out.columns[0].to_list() == [1, -2, None, 5]

@@ -1,0 +1,359 @@
+"""Seeded generator of translatable UDFs and adversarial near-misses.
+
+Two families:
+
+* :func:`make_translatable` — random functions drawn from the grammar
+  the translator documents as supported (straight-line arithmetic,
+  literal-divisor ``/`` and ``%``, nested conditionals and ternaries,
+  value-position ``and``/``or``, string concat/slice/``len``, ``None``
+  returns).  Every one must translate on the ``python`` dialect and
+  agree with its own Python body.
+* :func:`make_near_miss` — functions one token away from translatable
+  (``//`` instead of ``/``, a variable divisor, a slice step, a loop, a
+  global read, a missing determinism annotation...).  Every one must be
+  rejected with a typed :class:`Untranslatable` whose reason contains
+  the expected fragment — a near-miss that *translates* is a bug even
+  if the translation happens to be right.
+
+Generated sources are ``exec``-ed under a synthetic filename registered
+in :mod:`linecache`, so ``inspect.getsource`` (which the translator
+relies on) works exactly as it does for file-backed functions.
+"""
+
+from __future__ import annotations
+
+import linecache
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.udf.decorators import scalar_udf
+
+__all__ = ["GeneratedUdf", "make_translatable", "make_near_miss",
+           "NEAR_MISS_SHAPES", "TRANSLATABLE_SHAPES"]
+
+
+@dataclass
+class GeneratedUdf:
+    """One generated function plus everything a test needs to judge it."""
+
+    name: str
+    func: Callable  # decorated; ``func.__udf__`` is the definition
+    source: str
+    arg_types: Tuple[str, ...]
+    shape: str
+    #: For near-misses: fragment the Untranslatable.reason must contain.
+    expect_reason: Optional[str] = None
+    #: Generated callees (inline-call shapes); registered alongside.
+    helpers: List[Callable] = field(default_factory=list)
+
+    @property
+    def definition(self):
+        return self.func.__udf__
+
+
+_COUNTER = [0]
+
+
+def _compile_function(
+    name: str, source: str, extra_globals: Optional[dict] = None
+) -> Callable:
+    filename = f"<udfgen:{name}>"
+    namespace: dict = dict(extra_globals or {})
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(True), filename
+    )
+    exec(compile(source, filename, "exec"), namespace)
+    return namespace[name]
+
+
+def _build(
+    seed_rng: random.Random,
+    shape: str,
+    body_lines: List[str],
+    arg_names: List[str],
+    arg_types: List[str],
+    returns: str,
+    *,
+    deterministic=True,
+    expect_reason: Optional[str] = None,
+    helpers: Optional[List[Callable]] = None,
+    extra_globals: Optional[dict] = None,
+) -> GeneratedUdf:
+    _COUNTER[0] += 1
+    name = f"g_{shape}_{_COUNTER[0]}"
+    lines = [f"def {name}({', '.join(arg_names)}):"]
+    lines += [f"    {line}" for line in body_lines]
+    source = "\n".join(lines) + "\n"
+    merged = dict(extra_globals or {})
+    for helper in helpers or []:
+        merged[helper.__name__] = helper
+    func = _compile_function(name, source, merged)
+    decorated = scalar_udf(
+        func, name=name, args=list(arg_types), returns=returns,
+        deterministic=deterministic,
+    )
+    return GeneratedUdf(
+        name=name, func=decorated, source=source,
+        arg_types=tuple(arg_types), shape=shape,
+        expect_reason=expect_reason, helpers=list(helpers or []),
+    )
+
+
+# ----------------------------------------------------------------------
+# Translatable shapes
+# ----------------------------------------------------------------------
+
+
+def _shape_arith(rng: random.Random) -> GeneratedUdf:
+    a, b, c = rng.randint(-9, 9), rng.randint(1, 5), rng.randint(-9, 9)
+    return _build(rng, "arith", [f"return (x + {a}) * {b} - {c}"],
+                  ["x"], ["int"], "int")
+
+
+def _shape_div(rng: random.Random) -> GeneratedUdf:
+    d = rng.choice([2, 3, 4, -2, 5])
+    return _build(rng, "div", [f"return x / {d}"], ["x"], ["int"], "float")
+
+
+def _shape_mod(rng: random.Random) -> GeneratedUdf:
+    m = rng.choice([2, 3, 5, 7, -3])
+    return _build(rng, "mod", [f"return x % {m}"], ["x"], ["int"], "int")
+
+
+def _shape_clip(rng: random.Random) -> GeneratedUdf:
+    hi = rng.randint(3, 12)
+    lo = -rng.randint(3, 12)
+    return _build(rng, "clip", [
+        f"if x > {hi}:",
+        f"    return {hi}",
+        f"elif x < {lo}:",
+        f"    return {lo}",
+        "return x",
+    ], ["x"], ["int"], "int")
+
+
+def _shape_ternary(rng: random.Random) -> GeneratedUdf:
+    t, a, b = rng.randint(-5, 5), rng.randint(-9, 9), rng.randint(-9, 9)
+    return _build(rng, "ternary", [f"return {a} if x > {t} else {b}"],
+                  ["x"], ["int"], "int")
+
+
+def _shape_assign_chain(rng: random.Random) -> GeneratedUdf:
+    a, b = rng.randint(-6, 6), rng.randint(1, 4)
+    return _build(rng, "chain", [
+        f"y = x + {a}",
+        f"z = y * {b}",
+        "if z < 0:",
+        "    z = -z",
+        "return z + 1",
+    ], ["x"], ["int"], "int")
+
+
+def _shape_none_branch(rng: random.Random) -> GeneratedUdf:
+    t = rng.randint(-4, 4)
+    return _build(rng, "noneb", [f"return None if x > {t} else x + 1"],
+                  ["x"], ["int"], "int")
+
+
+def _shape_bool_logic(rng: random.Random) -> GeneratedUdf:
+    lo, hi = sorted((rng.randint(-8, 0), rng.randint(0, 8)))
+    return _build(rng, "boollog", [f"return x > {lo} and x < {hi}"],
+                  ["x"], ["int"], "bool")
+
+
+def _shape_chained_cmp(rng: random.Random) -> GeneratedUdf:
+    lo, hi = sorted((rng.randint(-8, 0), rng.randint(1, 8)))
+    return _build(rng, "chaincmp", [f"return {lo} < x <= {hi}"],
+                  ["x"], ["int"], "bool")
+
+
+def _shape_or_operand(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "orop", ["return a or b"],
+                  ["a", "b"], ["text", "text"], "text")
+
+
+def _shape_concat_slice(rng: random.Random) -> GeneratedUdf:
+    k = rng.randint(1, 4)
+    return _build(rng, "slice", [f"return s[:{k}] + '!'"],
+                  ["s"], ["text"], "text")
+
+
+def _shape_upper(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "upper", ["return s.upper()"], ["s"], ["text"], "text")
+
+
+def _shape_strip(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "strip", ["return s.strip()"], ["s"], ["text"], "text")
+
+
+def _shape_len(rng: random.Random) -> GeneratedUdf:
+    a = rng.randint(0, 5)
+    return _build(rng, "len", [f"return len(s) + {a}"],
+                  ["s"], ["text"], "int")
+
+
+def _shape_minmax(rng: random.Random) -> GeneratedUdf:
+    fn = rng.choice(["min", "max"])
+    return _build(rng, "minmax", [f"return {fn}(a, b)"],
+                  ["a", "b"], ["int", "int"], "int")
+
+
+def _shape_two_arg(rng: random.Random) -> GeneratedUdf:
+    c = rng.randint(-4, 4)
+    return _build(rng, "twoarg", [
+        f"if a > b:",
+        f"    return a - b + {c}",
+        f"return b - a",
+    ], ["a", "b"], ["int", "int"], "int")
+
+
+def _shape_inline_call(rng: random.Random) -> GeneratedUdf:
+    callee = _shape_arith(rng)
+    return _build(rng, "inline", [f"return {callee.name}(x) + 1"],
+                  ["x"], ["int"], "int", helpers=[callee.func])
+
+
+def _shape_abs_neg(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "absneg", ["return abs(-x) - abs(x - 1)"],
+                  ["x"], ["int"], "int")
+
+
+TRANSLATABLE_SHAPES = [
+    _shape_arith, _shape_div, _shape_mod, _shape_clip, _shape_ternary,
+    _shape_assign_chain, _shape_none_branch, _shape_bool_logic,
+    _shape_chained_cmp, _shape_or_operand, _shape_concat_slice,
+    _shape_upper, _shape_strip, _shape_len, _shape_minmax,
+    _shape_two_arg, _shape_inline_call, _shape_abs_neg,
+]
+
+
+def make_translatable(seed: int) -> GeneratedUdf:
+    rng = random.Random(seed)
+    return rng.choice(TRANSLATABLE_SHAPES)(rng)
+
+
+# ----------------------------------------------------------------------
+# Adversarial near-misses: one token away, must be rejected
+# ----------------------------------------------------------------------
+
+
+def _miss_floordiv(rng: random.Random) -> GeneratedUdf:
+    d = rng.choice([2, 3, 4])
+    return _build(rng, "floordiv", [f"return x // {d}"], ["x"], ["int"],
+                  "int", expect_reason="floors toward -inf")
+
+
+def _miss_var_divisor(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "vardiv", ["return a / b"], ["a", "b"],
+                  ["int", "int"], "float",
+                  expect_reason="literal divisor")
+
+
+def _miss_var_mod(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "varmod", ["return a % b"], ["a", "b"],
+                  ["int", "int"], "int",
+                  expect_reason="literal divisor")
+
+
+def _miss_str_repeat(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "strrep", ["return s * n"], ["s", "n"],
+                  ["text", "int"], "text",
+                  expect_reason="repetition")
+
+
+def _miss_reverse(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "revslice", ["return s[::-1]"], ["s"], ["text"],
+                  "text", expect_reason="slice step")
+
+
+def _miss_neg_slice(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "negslice", ["return s[-2:]"], ["s"], ["text"],
+                  "text", expect_reason="negative slice")
+
+
+def _miss_index(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "strindex", ["return s[0]"], ["s"], ["text"],
+                  "text", expect_reason="indexing")
+
+
+def _miss_loop(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "loop", [
+        "t = 0",
+        "for i in range(3):",
+        "    t = t + x",
+        "return t",
+    ], ["x"], ["int"], "int", expect_reason="loops")
+
+
+def _miss_try(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "try", [
+        "try:",
+        "    return x + 1",
+        "except Exception:",
+        "    return 0",
+    ], ["x"], ["int"], "int", expect_reason="exception")
+
+
+def _miss_global(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "globalread", ["return x + SCALE"], ["x"], ["int"],
+                  "int", expect_reason="unbound",
+                  extra_globals={"SCALE": 10})
+
+
+def _miss_pow(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "pow", ["return x ** 2"], ["x"], ["int"], "int",
+                  expect_reason="exponentiation")
+
+
+def _miss_fstring(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "fstring", ["return f'{s}!'"], ["s"], ["text"],
+                  "text", expect_reason="f-string")
+
+
+def _miss_unannotated(rng: random.Random) -> GeneratedUdf:
+    # AST-pure, but the author never promised determinism (satellite
+    # rule: deterministic=None must not translate).
+    g = _build(rng, "unannot", ["return x * 2"], ["x"], ["int"], "int",
+               deterministic=None, expect_reason="not annotated")
+    return g
+
+
+def _miss_volatile(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "volatile", ["return x + 1"], ["x"], ["int"], "int",
+                  deterministic=False, expect_reason="volatile")
+
+
+def _miss_method_arg(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "methodarg", ["return s.replace('a', 'b')"],
+                  ["s"], ["text"], "text", expect_reason=".replace")
+
+
+def _miss_none_arith(rng: random.Random) -> GeneratedUdf:
+    # The None-able intermediate flows into +, which Python would TypeError.
+    return _build(rng, "nonearith", [
+        "y = None if x > 0 else x",
+        "return y + 1",
+    ], ["x"], ["int"], "int", expect_reason="possibly-None")
+
+
+def _miss_unbound_branch(rng: random.Random) -> GeneratedUdf:
+    return _build(rng, "unboundbr", [
+        "if x > 0:",
+        "    y = x",
+        "return y",
+    ], ["x"], ["int"], "int", expect_reason="unbound on some path")
+
+
+NEAR_MISS_SHAPES = [
+    _miss_floordiv, _miss_var_divisor, _miss_var_mod, _miss_str_repeat,
+    _miss_reverse, _miss_neg_slice, _miss_index, _miss_loop, _miss_try,
+    _miss_global, _miss_pow, _miss_fstring, _miss_unannotated,
+    _miss_volatile, _miss_method_arg, _miss_none_arith,
+    _miss_unbound_branch,
+]
+
+
+def make_near_miss(seed: int) -> GeneratedUdf:
+    rng = random.Random(seed)
+    return rng.choice(NEAR_MISS_SHAPES)(rng)
