@@ -1,0 +1,225 @@
+"""Replication overhead, lag, and failover-time benchmarks.
+
+Three acceptance gates ride here:
+
+1. **Zero replication syscalls when disabled.**  The wire protocol's
+   ``REPL_IO_CALLS`` counters are incremented inside every connect/
+   accept/send/recv.  Running a full durability workload with no
+   ``manager.replication`` configured must leave them untouched — the
+   replication-disabled path provably touches no socket, syscall by
+   syscall (the structural analogue of ``bench_durability``'s WAL
+   ledger gate).
+
+2. **Async shipping stays off the commit path.**  The per-op wall time
+   with an async standby attached must stay within a small factor of
+   the standalone write path — frames are handed to the sender thread,
+   never awaited.
+
+3. **Failover is fast.**  Kill the primary, promote the standby, serve
+   a query: the whole transition lands in tens of milliseconds, not
+   seconds, because promotion is a fenced metadata flip plus ordinary
+   recovery.
+
+Plus the headline numbers for EXPERIMENTS.md: replication lag drain
+time, sync-ack commit cost vs async, and failover time by WAL length.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import FigureReport
+from repro.bench.harness import time_call
+from repro.storage.catalog import Catalog
+from repro.storage.durability import DurabilityManager
+from repro.storage.replication import ReplicationPrimary, ReplicationStandby
+from repro.storage.replication.protocol import (
+    REPL_IO_CALLS,
+    reset_repl_io_calls,
+)
+from repro.testing.crash import apply_op, build_workload, catalog_state
+
+#: Async shipping must not multiply commit latency by more than this.
+ASYNC_OVERHEAD_FACTOR = 3.0
+
+
+def _wait_for(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return predicate()
+
+
+def _commit_wall(directory, ops, *, replicate_to=None, sync=False):
+    """Per-op wall time of a workload, with optional replication."""
+    catalog = Catalog()
+    manager = DurabilityManager(directory)
+    manager.attach(catalog)
+    primary = None
+    if replicate_to is not None:
+        primary = ReplicationPrimary(
+            manager, replicate_to, sync=sync, ack_timeout_s=5.0
+        )
+        manager.replication = primary
+    start = time.perf_counter()
+    for op in ops:
+        apply_op(catalog, op)
+    wall = time.perf_counter() - start
+    tail = manager.wal.last_lsn
+    manager.close()
+    return wall / max(1, len(ops)), tail
+
+
+def run_disabled_gate_report(tmp_base) -> FigureReport:
+    report = FigureReport(
+        "replication_disabled_gate",
+        "Replication syscalls with no standby configured", unit="calls",
+    )
+    reset_repl_io_calls()
+    before = dict(REPL_IO_CALLS)
+    catalog = Catalog()
+    manager = DurabilityManager(tmp_base / "solo")
+    manager.attach(catalog)
+    for op in build_workload(5, 200):
+        apply_op(catalog, op)
+    manager.checkpoint()
+    manager.close()
+    # Recovery too: reopening a never-replicated directory must not
+    # touch the replication layer either.
+    manager2 = DurabilityManager(tmp_base / "solo")
+    manager2.attach(Catalog())
+    manager2.close()
+    for op in sorted(REPL_IO_CALLS):
+        report.add("io-calls-delta", op, REPL_IO_CALLS[op] - before[op])
+    report.emit()
+    return report
+
+
+def run_lag_report(tmp_base) -> FigureReport:
+    report = FigureReport(
+        "replication_lag",
+        "Commit cost and drain time, async vs sync shipping", unit="ms",
+    )
+    ops = build_workload(9, 150)
+
+    # Baseline: durability only.
+    base_per_op, _ = _commit_wall(tmp_base / "baseline", ops)
+    report.add("per-op-us", "standalone", base_per_op * 1e6)
+
+    # Async: commit returns before the standby flushes; measure the
+    # residual lag drain after the last commit.
+    standby = ReplicationStandby(tmp_base / "async-standby")
+    catalog = Catalog()
+    manager = DurabilityManager(tmp_base / "async-primary")
+    manager.attach(catalog)
+    manager.replication = ReplicationPrimary(manager, standby.address)
+    start = time.perf_counter()
+    for op in ops:
+        apply_op(catalog, op)
+    async_per_op = (time.perf_counter() - start) / len(ops)
+    tail = manager.wal.last_lsn
+    drain_start = time.perf_counter()
+    assert _wait_for(lambda: standby.flushed_lsn >= tail)
+    drain = time.perf_counter() - drain_start
+    assert catalog_state(standby.catalog) == catalog_state(catalog)
+    manager.close()
+    standby.close()
+    report.add("per-op-us", "async", async_per_op * 1e6)
+    report.add("drain-ms", "async", drain * 1000)
+
+    # Sync: every commit waits for the standby's fsync ack.
+    standby2 = ReplicationStandby(tmp_base / "sync-standby")
+    sync_per_op, _ = _commit_wall(
+        tmp_base / "sync-primary", ops,
+        replicate_to=standby2.address, sync=True,
+    )
+    standby2.close()
+    report.add("per-op-us", "sync", sync_per_op * 1e6)
+    report.emit()
+    return report
+
+
+def run_failover_report(tmp_base) -> FigureReport:
+    report = FigureReport(
+        "replication_failover",
+        "Failover time (kill primary -> promoted standby serves)",
+        unit="ms",
+    )
+    for label, n_ops in (("short-log", 20), ("long-log", 300)):
+        standby = ReplicationStandby(tmp_base / f"{label}-standby")
+        catalog = Catalog()
+        manager = DurabilityManager(tmp_base / f"{label}-primary")
+        manager.attach(catalog)
+        manager.replication = ReplicationPrimary(manager, standby.address)
+        for op in build_workload(13, n_ops):
+            apply_op(catalog, op)
+        tail = manager.wal.last_lsn
+        assert _wait_for(lambda: standby.flushed_lsn >= tail)
+        expected = catalog_state(catalog)
+        manager.abandon()  # the primary dies
+
+        def fail_over():
+            standby.promote()
+            promoted = Catalog()
+            mgr = DurabilityManager(tmp_base / f"{label}-standby")
+            mgr.attach(promoted)
+            mgr.abandon()
+            return promoted
+
+        start = time.perf_counter()
+        promoted = fail_over()
+        wall = time.perf_counter() - start
+        assert catalog_state(promoted) == expected
+        report.add("failover-ms", label, wall * 1000)
+        report.add("wal-records", label, tail)
+    report.emit()
+    return report
+
+
+@pytest.mark.benchmark(group="replication")
+def test_disabled_path_is_zero_syscalls(benchmark, tmp_path):
+    report = benchmark.pedantic(
+        lambda: run_disabled_gate_report(tmp_path), rounds=1, iterations=1
+    )
+    for op in ("connect", "accept", "send", "recv"):
+        assert report.value("io-calls-delta", op) == 0, (
+            f"replication-disabled path performed {op} syscalls"
+        )
+
+
+@pytest.mark.benchmark(group="replication")
+def test_async_shipping_stays_off_commit_path(benchmark, tmp_path):
+    report = benchmark.pedantic(
+        lambda: run_lag_report(tmp_path), rounds=1, iterations=1
+    )
+    base = report.value("per-op-us", "standalone")
+    async_cost = report.value("per-op-us", "async")
+    sync_cost = report.value("per-op-us", "sync")
+    assert async_cost < base * ASYNC_OVERHEAD_FACTOR, (
+        f"async shipping {async_cost:.0f}us vs standalone {base:.0f}us "
+        f"exceeds the {ASYNC_OVERHEAD_FACTOR}x budget"
+    )
+    # Sync waits for a network round-trip + remote fsync per commit; it
+    # must cost more than async or the ack wait is not real.
+    assert sync_cost > async_cost
+
+
+@pytest.mark.benchmark(group="replication")
+def test_failover_time_report(benchmark, tmp_path):
+    report = benchmark.pedantic(
+        lambda: run_failover_report(tmp_path), rounds=1, iterations=1
+    )
+    for label in ("short-log", "long-log"):
+        assert report.value("failover-ms", label) < 5_000
+
+
+if __name__ == "__main__":
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        run_disabled_gate_report(Path(tmp) / "gate")
+        run_lag_report(Path(tmp) / "lag")
+        run_failover_report(Path(tmp) / "failover")

@@ -2,10 +2,13 @@
 """Fail if any atomic-write temp file survived the test suite.
 
 Every atomic installer in the repo (CSV saves, Chrome trace exports,
-durability checkpoints) stages through a same-directory ``.<name>.*.tmp``
-file that is either renamed into place or unlinked.  A temp file that
-outlives the suite means an installer leaked on an error path the tests
-exercised — the CI ``crash-recovery`` job runs this after pytest exits.
+durability checkpoints, node-meta fencing records) stages through a
+same-directory ``.<name>.*.tmp`` file that is either renamed into place
+or unlinked, and replicated checkpoint images are staged on standbys as
+``.repl-ckpt.*.spool`` files swept on the next recovery.  A staging
+file that outlives the suite means an installer leaked on an error path
+the tests exercised — the CI ``crash-recovery`` and
+``replication-chaos`` jobs run this after pytest exits.
 
 Scans the given directories (default: the repo checkout and pytest's
 base temp directory if passed).  Deliberately crashed durability
@@ -29,7 +32,7 @@ def find_temp_files(roots) -> list:
             # Skip VCS internals; nothing of ours stages there.
             dirnames[:] = [d for d in dirnames if d != ".git"]
             for name in filenames:
-                if name.endswith(".tmp") and name.startswith("."):
+                if name.endswith((".tmp", ".spool")) and name.startswith("."):
                     leaks.append(os.path.join(dirpath, name))
     return leaks
 

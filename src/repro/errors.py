@@ -104,6 +104,63 @@ class RecoveryError(DurabilityError):
     """Recovery could not restore a consistent database state."""
 
 
+class WalPoisonedError(DurabilityError):
+    """The WAL is fail-stopped after an I/O error tore the log.
+
+    An ``OSError`` escaping mid-append (ENOSPC, EIO, a yanked disk)
+    leaves a torn frame at the log tail; any *later* append that
+    succeeded would be truncated by the next recovery's torn-tail scan —
+    an acknowledged write that silently never happened.  The first I/O
+    failure therefore poisons the log: every subsequent append or
+    checkpoint fails fast with this error until the process restarts and
+    recovery re-seals the file.
+    """
+
+    def __init__(self, message: str = "write-ahead log is poisoned", *,
+                 path: "str | None" = None,
+                 cause: "BaseException | None" = None):
+        detail = [message]
+        if path is not None:
+            detail.append(f"in {path!r}")
+        if cause is not None:
+            detail.append(f"after {type(cause).__name__}: {cause}")
+        super().__init__(" ".join(detail))
+        self.path = path
+        self.cause = cause
+
+
+class ReplicationError(DurabilityError):
+    """Base class for hot-standby replication failures."""
+
+
+class ReplicationProtocolError(ReplicationError):
+    """A replication peer violated the wire protocol (bad magic, CRC
+    mismatch on a shipped frame, LSN gap, undecodable handshake)."""
+
+
+class NodeFencedError(ReplicationError):
+    """This node presented a stale fencing term and has been fenced.
+
+    Raised by the replication handshake when a peer holds a strictly
+    higher promotion term, and by every subsequent local write on the
+    fenced node — a revived old primary can neither ship frames nor
+    acknowledge new writes, which is what makes split-brain structurally
+    impossible rather than merely unlikely.
+    """
+
+    def __init__(self, message: str = "node is fenced", *,
+                 local_term: "int | None" = None,
+                 remote_term: "int | None" = None):
+        detail = [message]
+        if local_term is not None:
+            detail.append(f"local term {local_term}")
+        if remote_term is not None:
+            detail.append(f"fenced by term {remote_term}")
+        super().__init__(" ".join(detail))
+        self.local_term = local_term
+        self.remote_term = remote_term
+
+
 class SimulatedCrash(BaseException):
     """An injected process death for the in-process crash harness.
 
@@ -378,6 +435,24 @@ class ServiceOverloadError(GovernanceError):
         self.queue_depth = queue_depth
         self.waited_s = waited_s
         self.retry_after_s = retry_after_s
+
+
+class TenantRecoveryError(ServiceError):
+    """One tenant's directory failed to recover during a warm restart.
+
+    Carries the tenant id and the underlying durability failure so a
+    fleet restart can surface exactly which tenant is damaged while the
+    remaining tenants recover and serve — one corrupt directory must
+    never take down the whole service.
+    """
+
+    def __init__(self, tenant: str, cause: BaseException):
+        super().__init__(
+            f"tenant {tenant!r} failed to recover: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.tenant = tenant
+        self.cause = cause
 
 
 class RetryBudgetExhaustedError(ServiceError):

@@ -22,6 +22,7 @@ from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
     DEFAULT_WAIT_BUCKETS,
+    Gauge,
     Histogram,
     METRICS,
     MetricsRegistry,
@@ -69,6 +70,7 @@ __all__ = [
     "add_event",
     "adopt_span",
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "METRICS",

@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "METRICS",
@@ -78,6 +79,39 @@ class Counter:
             self.value += amount
 
     def snapshot(self) -> int:
+        with self._lock:
+            return self.value
+
+
+class Gauge:
+    """A point-in-time value (lag, queue depth); ``set`` replaces it.
+
+    Unlike :class:`Counter` a gauge can move both ways — replication lag
+    shrinks as a standby catches up.  ``set`` is one locked store, the
+    same cost class as ``Counter.inc``.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+    def snapshot(self) -> float:
         with self._lock:
             return self.value
 
@@ -172,6 +206,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Counter] = {}
+        self._gauges: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Gauge] = {}
         self._histograms: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Histogram] = {}
 
     def counter(self, name: str, **labels: Any) -> Counter:
@@ -183,6 +218,17 @@ class MetricsRegistry:
                 if inst is None:
                     inst = Counter(name, key[1])
                     self._counters[key] = inst
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            with self._lock:
+                inst = self._gauges.get(key)
+                if inst is None:
+                    inst = Gauge(name, key[1])
+                    self._gauges[key] = inst
         return inst
 
     def histogram(
@@ -205,25 +251,32 @@ class MetricsRegistry:
         """Drop all instruments (tests only)."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
     def snapshot(self) -> Dict[str, Any]:
         """A point-in-time, JSON-able view of every instrument."""
         with self._lock:
             counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
             histograms = list(self._histograms.values())
-        out: Dict[str, Any] = {"counters": {}, "histograms": {}}
+        out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
         for c in counters:
             out["counters"][_series_name(c.name, c.labels)] = c.snapshot()
+        for g in gauges:
+            out["gauges"][_series_name(g.name, g.labels)] = g.snapshot()
         for h in histograms:
             out["histograms"][_series_name(h.name, h.labels)] = h.snapshot()
         return out
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition (counters + histograms)."""
+        """Prometheus text exposition (counters + gauges + histograms)."""
         with self._lock:
             counters = sorted(
                 self._counters.values(), key=lambda c: (c.name, c.labels)
+            )
+            gauges = sorted(
+                self._gauges.values(), key=lambda g: (g.name, g.labels)
             )
             histograms = sorted(
                 self._histograms.values(), key=lambda h: (h.name, h.labels)
@@ -235,6 +288,13 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {c.name} counter")
                 seen_types.add(c.name)
             lines.append(f"{c.name}{_label_str(c.labels)} {c.snapshot()}")
+        for g in gauges:
+            if g.name not in seen_types:
+                lines.append(f"# TYPE {g.name} gauge")
+                seen_types.add(g.name)
+            lines.append(
+                f"{g.name}{_label_str(g.labels)} {_fmt_value(g.snapshot())}"
+            )
         for h in histograms:
             if h.name not in seen_types:
                 lines.append(f"# TYPE {h.name} histogram")

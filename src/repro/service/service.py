@@ -35,9 +35,14 @@ from typing import Any, Callable, Dict, Optional
 
 from ..errors import (
     AdmissionTimeoutError,
+    CheckpointError,
     QueryInterrupt,
+    RecoveryError,
+    ReplicationError,
     ServiceOverloadError,
+    TenantRecoveryError,
     UnknownTenantError,
+    WalCorruptionError,
 )
 from ..obs import DEFAULT_WAIT_BUCKETS, METRICS, OBS
 from .outcomes import QueryOutcome, classify_error
@@ -45,7 +50,24 @@ from .scheduler import FairScheduler
 from .shedding import OverloadDetector, SheddingDecision
 from .tenancy import TenantQuota, TenantSession
 
-__all__ = ["QueryService"]
+__all__ = ["QueryService", "RecoveryResults"]
+
+
+class RecoveryResults(dict):
+    """``{tenant_id: RecoveryReport}`` plus per-tenant failures.
+
+    Behaves exactly like the plain dict :meth:`QueryService.
+    recover_tenants` used to return (iteration, ``in``, equality with
+    dicts all work), with one addition: ``errors`` maps each tenant
+    whose directory failed to recover to its typed
+    :class:`~repro.errors.TenantRecoveryError` — one corrupt directory
+    must never take down the fleet restart, but it must never be
+    silent either.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.errors: Dict[str, TenantRecoveryError] = {}
 
 
 def _default_adapter_factory():
@@ -72,6 +94,7 @@ class QueryService:
         max_submit_threads: Optional[int] = None,
         durability_root: Optional[Any] = None,
         durability_knobs: Optional[Dict[str, Any]] = None,
+        replication_knobs: Optional[Dict[str, Any]] = None,
     ):
         self._adapter_factory = adapter_factory or _default_adapter_factory
         # Per-tenant crash consistency: with a root set, every tenant's
@@ -81,6 +104,14 @@ class QueryService:
             Path(durability_root) if durability_root is not None else None
         )
         self._durability_knobs = dict(durability_knobs or {})
+        # Defaults for every ReplicationPrimary this service creates
+        # (``sync``, ``ack_timeout_s``, ``poll_interval_s``, ...);
+        # per-tenant ``replicate_to=`` opts into replication at all.
+        self._replication_knobs = dict(replication_knobs or {})
+        # Hot standbys hosted by this service, by standby id.  Their
+        # directories live under durability_root like any tenant's, but
+        # carry role="standby" node meta so recover_tenants skips them.
+        self._standbys: Dict[str, Any] = {}
         self.capacity = max(1, int(capacity))
         self.scheduler = FairScheduler(
             self.capacity,
@@ -124,12 +155,27 @@ class QueryService:
         *,
         config: Optional[Any] = None,
         isolation: Optional[str] = None,
+        replicate_to: Optional[Any] = None,
     ) -> TenantSession:
         """Create a tenant session: fresh adapter, scoped caches, and —
         with ``isolation="process"`` — a private worker-pool bulkhead
-        whose restart/quarantine budgets no other tenant can spend."""
+        whose restart/quarantine budgets no other tenant can spend.
+
+        ``replicate_to`` (one ``(host, port)``/``"host:port"`` target or
+        a list of them — e.g. ``service.add_standby(...).address``)
+        streams this tenant's WAL to hot standbys; requires
+        ``durability_root``.  Knobs come from the service-wide
+        ``replication_knobs`` (``sync=True`` makes commit acks wait for
+        standby flush up to ``ack_timeout_s`` before degrading to
+        async with a typed event).
+        """
         if self._closed:
             raise RuntimeError("service is shut down")
+        if replicate_to is not None and self._durability_root is None:
+            raise ValueError(
+                "replicate_to requires durability_root (replication "
+                "ships the tenant's WAL, which needs a WAL to exist)"
+            )
         quota = quota if quota is not None else TenantQuota()
         # Reserve the id *before* building the adapter: attaching
         # durability opens (and appends to) <root>/<tenant_id>/wal.log,
@@ -148,6 +194,8 @@ class QueryService:
                 and getattr(adapter, "durability", None) is None
             ):
                 self._attach_durability(adapter, tenant_id)
+            if replicate_to is not None:
+                self._attach_replication(adapter, replicate_to)
             session = TenantSession(
                 tenant_id,
                 quota,
@@ -203,6 +251,146 @@ class QueryService:
             **self._durability_knobs,
         )
 
+    def _attach_replication(self, adapter: Any, replicate_to: Any) -> None:
+        from ..storage.replication import ReplicationPrimary
+
+        manager = getattr(adapter, "durability", None)
+        if manager is None:
+            raise ValueError(
+                "replicate_to requires the adapter to carry a durability "
+                "manager (was durability_root set?)"
+            )
+        manager.replication = ReplicationPrimary(
+            manager, replicate_to, **self._replication_knobs
+        )
+
+    # ------------------------------------------------------------------
+    # Hot standbys + failover
+    # ------------------------------------------------------------------
+
+    def add_standby(
+        self,
+        standby_id: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        min_term: int = 0,
+    ) -> Any:
+        """Host a hot standby at ``<durability_root>/<standby_id>``.
+
+        Returns the :class:`~repro.storage.replication.
+        ReplicationStandby`; its ``.address`` is what a primary tenant's
+        ``replicate_to=`` points at (here or on another service).  The
+        standby serves no queries — it receives, verifies, applies, and
+        acknowledges — until :meth:`promote` turns its directory into a
+        normal tenant.
+        """
+        if self._closed:
+            raise RuntimeError("service is shut down")
+        if self._durability_root is None:
+            raise ValueError("add_standby requires durability_root")
+        if (
+            not standby_id
+            or standby_id in (".", "..")
+            or "/" in standby_id
+            or "\\" in standby_id
+        ):
+            raise ValueError(
+                f"standby id {standby_id!r} is not a valid directory name"
+            )
+        from ..storage.replication import ReplicationStandby
+
+        with self._sessions_lock:
+            if (
+                standby_id in self._standbys
+                or standby_id in self._sessions
+                or standby_id in self._reserved
+            ):
+                raise ValueError(
+                    f"standby {standby_id!r} collides with an existing "
+                    f"tenant or standby"
+                )
+            self._reserved.add(standby_id)
+        try:
+            knobs = self._durability_knobs
+            standby = ReplicationStandby(
+                self._durability_root / standby_id,
+                host=host,
+                port=port,
+                min_term=min_term,
+                wal_fsync=knobs.get("wal_fsync", True),
+                checkpoint_threshold=knobs.get(
+                    "checkpoint_threshold", 4 << 20
+                ),
+            )
+            with self._sessions_lock:
+                self._standbys[standby_id] = standby
+                self._reserved.discard(standby_id)
+            return standby
+        except BaseException:
+            with self._sessions_lock:
+                self._reserved.discard(standby_id)
+            raise
+
+    def standby(self, standby_id: str) -> Any:
+        try:
+            return self._standbys[standby_id]
+        except KeyError:
+            raise UnknownTenantError(standby_id) from None
+
+    def promote(
+        self,
+        standby_id: str,
+        quota: Optional[TenantQuota] = None,
+        *,
+        config: Optional[Any] = None,
+        isolation: Optional[str] = None,
+        replicate_to: Optional[Any] = None,
+    ) -> TenantSession:
+        """Fail over onto a hosted standby: fence, step up, serve.
+
+        The standby fsyncs its bumped fencing term (any connection from
+        the old primary's lineage is rejected from this point on — see
+        DESIGN.md §15), then its directory is opened as a normal tenant:
+        ordinary recovery replays the mirrored WAL and bumps the
+        durability generation, and the returned session serves queries.
+        ``replicate_to`` immediately re-arms replication from the new
+        primary to a further standby.
+        """
+        with self._sessions_lock:
+            standby = self._standbys.get(standby_id)
+        if standby is None:
+            raise UnknownTenantError(standby_id)
+        started = time.perf_counter()
+        standby.promote()
+        with self._sessions_lock:
+            self._standbys.pop(standby_id, None)
+        session = self.add_tenant(
+            standby_id, quota, config=config, isolation=isolation,
+            replicate_to=replicate_to,
+        )
+        if OBS.metrics:
+            METRICS.histogram("repro_repl_failover_seconds").observe(
+                time.perf_counter() - started
+            )
+        return session
+
+    def replication_status(self) -> Dict[str, Any]:
+        """Streaming and lag state for every replicated tenant and every
+        hosted standby."""
+        primaries: Dict[str, Any] = {}
+        for tenant_id, session in list(self._sessions.items()):
+            manager = getattr(session.adapter, "durability", None)
+            repl = getattr(manager, "replication", None)
+            if repl is not None:
+                primaries[tenant_id] = repl.status()
+        with self._sessions_lock:
+            standbys = {
+                sid: standby.status()
+                for sid, standby in self._standbys.items()
+            }
+        return {"primaries": primaries, "standbys": standbys}
+
     def recover_tenants(
         self, quota: Optional[TenantQuota] = None
     ) -> Dict[str, Any]:
@@ -212,24 +400,61 @@ class QueryService:
         Each adapter's constructor-time recovery replays that tenant's
         WAL over its checkpoint, so tables, snapshot epochs, and UDF
         definition versions come back exactly as acknowledged before the
-        crash.  Returns ``{tenant_id: RecoveryReport}`` for the tenants
-        brought back.
+        crash.  Returns a :class:`RecoveryResults` — dict-compatible
+        ``{tenant_id: RecoveryReport}`` for the tenants brought back,
+        with ``.errors`` holding a typed
+        :class:`~repro.errors.TenantRecoveryError` per tenant whose
+        directory was too damaged to recover (bad checkpoint magic, a
+        truncated WAL header, undecodable fencing meta...).  Damaged
+        tenants are isolated: every healthy tenant still recovers and
+        serves.  Directories whose node meta says ``role="standby"``
+        are skipped — a mirrored log must only come back through
+        :meth:`promote`, never as an implicit primary.
         """
-        reports: Dict[str, Any] = {}
+        reports = RecoveryResults()
         root = self._durability_root
         if root is None or not root.is_dir():
             return reports
+        from ..storage.replication import load_node_meta
+
         for child in sorted(root.iterdir()):
             if not child.is_dir():
                 continue
             tenant_id = child.name
-            if tenant_id in self._sessions:
+            if tenant_id in self._sessions or tenant_id in self._standbys:
+                continue
+            try:
+                meta = load_node_meta(child)
+            except ReplicationError as exc:
+                reports.errors[tenant_id] = TenantRecoveryError(
+                    tenant_id, exc
+                )
+                continue
+            if meta is not None and meta.get("role") == "standby":
                 continue
             try:
                 session = self.add_tenant(tenant_id, quota)
             except ValueError:
                 # Lost the race to a concurrent add_tenant: that call
                 # owns the directory's WAL now; nothing to recover here.
+                continue
+            except (
+                CheckpointError,
+                WalCorruptionError,
+                RecoveryError,
+                ReplicationError,
+                OSError,
+            ) as exc:
+                # One damaged directory must not take the fleet down
+                # with it: surface the failure typed, keep recovering.
+                reports.errors[tenant_id] = TenantRecoveryError(
+                    tenant_id, exc
+                )
+                if OBS.metrics:
+                    METRICS.counter(
+                        "repro_service_tenant_recovery_failures_total",
+                        tenant=tenant_id,
+                    ).inc()
                 continue
             manager = getattr(session.adapter, "durability", None)
             if manager is not None:
@@ -412,6 +637,10 @@ class QueryService:
         with self._sessions_lock:
             sessions = list(self._sessions.values())
             self._sessions.clear()
+            standbys = list(self._standbys.values())
+            self._standbys.clear()
+        for standby in standbys:
+            standby.close()
         for session in sessions:
             session.close()
 

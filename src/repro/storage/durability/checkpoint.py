@@ -40,7 +40,14 @@ from ...errors import CheckpointError
 from ..atomic import fsync_dir
 from .wal import IO_CALLS, _crash_point, execute_crash
 
-__all__ = ["CHECKPOINT_NAME", "write_checkpoint", "read_checkpoint"]
+__all__ = [
+    "CHECKPOINT_NAME",
+    "write_checkpoint",
+    "read_checkpoint",
+    "decode_checkpoint_blob",
+    "load_checkpoint_blob",
+    "install_checkpoint_blob",
+]
 
 CHECKPOINT_NAME = "CHECKPOINT"
 MAGIC = b"RCKP0001"
@@ -115,3 +122,85 @@ def read_checkpoint(directory: Union[str, Path]) -> Optional[Dict[str, Any]]:
         raise CheckpointError(
             f"checkpoint payload undecodable in {str(path)!r}: {exc}"
         ) from exc
+
+
+def decode_checkpoint_blob(blob: bytes, *, origin: str = "<blob>") -> Dict[str, Any]:
+    """Validate a raw checkpoint image (magic + CRC) and return its state.
+
+    Shared by the replication path: the primary re-verifies the image it
+    is about to ship and the standby re-verifies what arrived, so a
+    corruption anywhere between the two disks is caught before install.
+    """
+    header_len = len(MAGIC) + _CRC.size
+    if len(blob) < header_len or blob[: len(MAGIC)] != MAGIC:
+        raise CheckpointError(f"bad checkpoint magic in {origin}")
+    (crc,) = _CRC.unpack(blob[len(MAGIC): header_len])
+    payload = blob[header_len:]
+    if zlib.crc32(payload) != crc:
+        raise CheckpointError(f"checkpoint checksum mismatch in {origin}")
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint payload undecodable in {origin}: {exc}"
+        ) from exc
+
+
+def load_checkpoint_blob(directory: Union[str, Path]):
+    """The directory's checkpoint as validated raw bytes, or None.
+
+    Returns ``(state, blob)``; the blob is exactly what
+    :func:`install_checkpoint_blob` installs on a standby.
+    """
+    path = Path(directory) / CHECKPOINT_NAME
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        return None
+    return decode_checkpoint_blob(blob, origin=str(path)), blob
+
+
+def install_checkpoint_blob(
+    directory: Union[str, Path], blob: bytes, *, fsync: bool = True
+) -> Dict[str, Any]:
+    """Atomically install a shipped checkpoint image on a standby.
+
+    Stages through a same-directory ``.repl-ckpt.*.spool`` file (swept by
+    startup hygiene and by ``scripts/check_temp_leaks.py``) so a crash
+    mid-install leaves either the old checkpoint or the new one, never a
+    torn file.  The blob is re-validated before a byte is written.
+    """
+    directory = Path(directory)
+    state = decode_checkpoint_blob(blob, origin=f"{directory}/<shipped>")
+    path = directory / CHECKPOINT_NAME
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=".repl-ckpt.", suffix=".spool"
+    )
+    spec = _crash_point("repl_install")
+    if spec is not None:
+        # A crash mid-install deliberately leaves the spool file on
+        # disk — the next startup sweep (and the leak scanner, for
+        # directories never recovered) must account for it.
+        os.close(fd)
+        execute_crash(spec)
+    try:
+        IO_CALLS["write"] += 1
+        os.write(fd, blob)
+        if fsync:
+            IO_CALLS["fsync"] += 1
+            os.fsync(fd)
+        os.close(fd)
+    except OSError:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp_name, path)
+    if fsync:
+        fsync_dir(directory)
+    return state

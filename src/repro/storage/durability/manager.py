@@ -40,12 +40,21 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
-from ...errors import RecoveryError
+from ...errors import (
+    NodeFencedError,
+    RecoveryError,
+    ReplicationProtocolError,
+    WalPoisonedError,
+)
 from ...obs import METRICS, OBS
 from ...obs import tracer as obs_tracer
 from ..table import Table
 from . import records
-from .checkpoint import read_checkpoint, write_checkpoint
+from .checkpoint import (
+    install_checkpoint_blob,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .wal import WalRecord, WriteAheadLog, _crash_point, execute_crash
 
 __all__ = ["DurabilityManager", "RecoveryReport", "attach_to_adapter"]
@@ -88,6 +97,7 @@ class DurabilityManager:
         wal_fsync: bool = True,
         checkpoint_threshold: int = 4 << 20,
         checkpoint_interval_s: Optional[float] = None,
+        replica: bool = False,
     ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -95,10 +105,24 @@ class DurabilityManager:
         self.wal_fsync = wal_fsync
         self.checkpoint_threshold = int(checkpoint_threshold)
         self.checkpoint_interval_s = checkpoint_interval_s
+        #: Replica mode: the directory is a standby fed by
+        #: :meth:`replicate_frame`/:meth:`replicate_checkpoint`.  The
+        #: WAL holds the *primary's* frames verbatim (same LSNs), so
+        #: recovery must not append anything of its own — no generation
+        #: record, no logging hooks — or the log would diverge from the
+        #: stream it resumes.
+        self.replica = replica
         self._lock = threading.RLock()
         self.catalog: Optional[Any] = None
         self.registry: Optional[Any] = None
         self.wal: Optional[WriteAheadLog] = None
+        #: Optional :class:`~repro.storage.replication.ReplicationPrimary`
+        #: notified (and, in sync mode, waited on) after every append.
+        self.replication: Optional[Any] = None
+        #: Fail-stop state: an I/O failure on the append/checkpoint path
+        #: or a fencing rejection makes every later write raise typed.
+        self._poisoned: Optional[BaseException] = None
+        self._fenced_term: Optional[int] = None
         self.generation = 0
         #: Persisted UDF definition versions: ``{name: (version, fp)}``.
         #: Maintained from recovery and from registry version listeners;
@@ -116,10 +140,15 @@ class DurabilityManager:
     # ------------------------------------------------------------------
 
     def _sweep_temp_files(self) -> int:
-        """Remove orphaned atomic-write temp files from crashed runs."""
+        """Remove orphaned atomic-write temp files from crashed runs.
+
+        ``.tmp`` files come from checkpoint installs, ``.spool`` files
+        from replicated checkpoint images staged on a standby that died
+        mid-install.
+        """
         swept = 0
         for name in os.listdir(self.directory):
-            if name.endswith(".tmp"):
+            if name.endswith(".tmp") or name.endswith(".spool"):
                 try:
                     os.unlink(self.directory / name)
                     swept += 1
@@ -145,9 +174,14 @@ class DurabilityManager:
             report = self._recover(catalog, registry)
             self.catalog = catalog
             self.registry = registry
-            catalog.durability = self
-            if registry is not None:
-                registry.add_version_listener(self._on_udf_version)
+            if not self.replica:
+                # A standby catalog must never log its own frames — its
+                # WAL is a verbatim copy of the primary's stream, and
+                # applying arrives through replicate_frame's restore
+                # hooks, which bypass the logging hooks by design.
+                catalog.durability = self
+                if registry is not None:
+                    registry.add_version_listener(self._on_udf_version)
             if self.checkpoint_interval_s is not None:
                 self._start_interval_checkpointer()
         return report
@@ -216,17 +250,28 @@ class DurabilityManager:
                 # Generation: strictly advance past anything any
                 # pre-crash in-memory state could have keyed caches
                 # under, and persist the advance before serving queries.
-                self.generation += 1
-                catalog.generation = self.generation
-                if self.wal_enabled:
-                    self.wal.append(records.generation_record(self.generation))
+                # Replica mode skips the bump: a standby serves no
+                # queries (no caches to fence) and must not append
+                # records of its own to a log that mirrors the
+                # primary's LSN sequence.  Promotion re-runs recovery
+                # in normal mode, which is where the bump lands.
+                if self.replica:
+                    catalog.generation = self.generation
                 else:
-                    # Snapshot-only mode has no log to carry the bump:
-                    # checkpoint immediately, otherwise a crash before
-                    # the close()-time checkpoint recomputes the same
-                    # generation next recovery and the cache-resurrection
-                    # backstop silently fails.
-                    self._checkpoint_locked(catalog)
+                    self.generation += 1
+                    catalog.generation = self.generation
+                    if self.wal_enabled:
+                        self.wal.append(
+                            records.generation_record(self.generation)
+                        )
+                    else:
+                        # Snapshot-only mode has no log to carry the
+                        # bump: checkpoint immediately, otherwise a
+                        # crash before the close()-time checkpoint
+                        # recomputes the same generation next recovery
+                        # and the cache-resurrection backstop silently
+                        # fails.
+                        self._checkpoint_locked(catalog)
 
                 if registry is not None and self._udf_versions:
                     for name, (version, fp) in self._udf_versions.items():
@@ -303,11 +348,53 @@ class DurabilityManager:
                 self._udf_versions[name] = (version, fp or "")
             self._append(records.udf_record(name, version, fp or ""))
 
+    def _check_writable(self) -> None:
+        """Raise typed if this manager may no longer accept writes.
+
+        Fencing outranks poisoning: a fenced node must report *why* it
+        is dead even if its disk also failed on the way down.
+        """
+        if self._fenced_term is not None:
+            raise NodeFencedError(
+                f"node fenced: a standby was promoted at term "
+                f"{self._fenced_term}; this manager can never accept "
+                f"writes again",
+                local_term=None,
+                remote_term=self._fenced_term,
+            )
+        if self._poisoned is not None:
+            raise WalPoisonedError(
+                path=str(self.directory), cause=self._poisoned
+            )
+
+    def fence(self, term: int) -> None:
+        """Permanently refuse writes: a peer was promoted at ``term``.
+
+        Called when a handshake comes back REJECT — the cluster has
+        moved on, and anything this node persisted after the promotion
+        point must never be acknowledged or shipped.
+        """
+        with self._lock:
+            self._fenced_term = int(term)
+        if OBS.metrics:
+            METRICS.counter("repro_repl_fenced_total").inc()
+
     def _append(self, payload: Dict[str, Any]) -> None:
         with self._lock:
             if self._closed or self.wal is None or not self.wal_enabled:
                 return
-            self.wal.append(payload)
+            self._check_writable()
+            try:
+                lsn = self.wal.append(payload)
+            except WalPoisonedError as exc:
+                self._poisoned = exc.__cause__ or exc
+                raise
+            repl = self.replication
+            if repl is not None:
+                # May block (sync-ack mode) while holding the manager
+                # and catalog locks; the sender threads never take
+                # either lock, so this cannot deadlock.
+                repl.after_append(lsn)
             if self.wal.size_bytes >= self.checkpoint_threshold:
                 self._checkpoint_locked()
 
@@ -337,6 +424,7 @@ class DurabilityManager:
         # ``catalog`` is passed explicitly only from _recover, where the
         # manager is not yet attached (self.catalog is still None).
         catalog = catalog if catalog is not None else self.catalog
+        self._check_writable()
         start = time.perf_counter() if OBS.metrics else 0.0
         state = {
             "lsn": self.wal.last_lsn,
@@ -348,11 +436,24 @@ class DurabilityManager:
                 for name, (version, fp) in self._udf_versions.items()
             },
         }
-        write_checkpoint(self.directory, state, fsync=self.wal_fsync)
-        spec = _crash_point("checkpoint_reset")
-        if spec is not None:
-            execute_crash(spec)
-        self.wal.reset(state["lsn"])
+        try:
+            write_checkpoint(self.directory, state, fsync=self.wal_fsync)
+            spec = _crash_point("checkpoint_reset")
+            if spec is not None:
+                execute_crash(spec)
+            self.wal.reset(state["lsn"])
+        except WalPoisonedError as exc:
+            self._poisoned = exc.__cause__ or exc
+            raise
+        except OSError as exc:
+            # A torn checkpoint install can leave in-memory state ahead
+            # of what any snapshot records: fail stop, same as a WAL
+            # append failure, so no later checkpoint can persist
+            # unacknowledged divergence.
+            self._poisoned = exc
+            raise WalPoisonedError(
+                path=str(self.directory), cause=exc
+            ) from exc
         self.checkpoints += 1
         if OBS.metrics:
             METRICS.counter("repro_checkpoints_total").inc()
@@ -363,6 +464,112 @@ class DurabilityManager:
             obs_tracer.add_event(
                 "checkpoint", lsn=state["lsn"], tables=len(state["tables"])
             )
+
+    # ------------------------------------------------------------------
+    # Standby apply paths (replica mode only)
+    # ------------------------------------------------------------------
+
+    def replicate_frame(
+        self, lsn: int, frame: bytes, payload: Dict[str, Any]
+    ) -> bool:
+        """Append a shipped WAL frame verbatim and apply its operation.
+
+        The frame's CRC, embedded LSN, and continuity against the local
+        log are all re-verified by :meth:`WriteAheadLog.append_frame`
+        before a byte lands.  Duplicate resends (``lsn`` at or below the
+        local tail, which happens when the primary restarts a stream
+        from a conservative cursor) are acknowledged without effect.
+        Returns True when the frame advanced local state.
+        """
+        if not self.replica:
+            raise ReplicationProtocolError(
+                "replicate_frame on a non-replica manager"
+            )
+        catalog = self.catalog
+        if catalog is None:
+            raise ReplicationProtocolError(
+                "replica manager is not attached"
+            )
+        with catalog._lock:
+            with self._lock:
+                if self._closed or self.wal is None:
+                    raise ReplicationProtocolError(
+                        "replica manager is closed"
+                    )
+                self._check_writable()
+                if lsn <= self.wal.last_lsn:
+                    return False
+                try:
+                    self.wal.append_frame(lsn, frame)
+                except WalPoisonedError as exc:
+                    self._poisoned = exc.__cause__ or exc
+                    raise
+                self._apply(catalog, WalRecord(lsn=lsn, payload=payload))
+                if self.wal.size_bytes >= self.checkpoint_threshold:
+                    self._checkpoint_locked()
+        return True
+
+    def replicate_checkpoint(self, blob: bytes) -> int:
+        """Install a shipped checkpoint image and rebuild from it.
+
+        Used when the standby's cursor fell behind the primary's WAL
+        ``base_lsn`` (the primary checkpointed and reset its log, so the
+        frames the standby needs no longer exist).  The image replaces
+        catalog state wholesale — tables not in the image were dropped
+        on the primary — and the local WAL resets to the image's LSN so
+        the next shipped frame is contiguous.  Returns that LSN.
+        """
+        if not self.replica:
+            raise ReplicationProtocolError(
+                "replicate_checkpoint on a non-replica manager"
+            )
+        catalog = self.catalog
+        if catalog is None:
+            raise ReplicationProtocolError(
+                "replica manager is not attached"
+            )
+        with catalog._lock:
+            with self._lock:
+                if self._closed or self.wal is None:
+                    raise ReplicationProtocolError(
+                        "replica manager is closed"
+                    )
+                self._check_writable()
+                try:
+                    state = install_checkpoint_blob(
+                        self.directory, blob, fsync=self.wal_fsync
+                    )
+                except OSError as exc:
+                    self._poisoned = exc
+                    raise WalPoisonedError(
+                        path=str(self.directory), cause=exc
+                    ) from exc
+                lsn = int(state.get("lsn", 0))
+                if lsn < self.wal.last_lsn:
+                    raise ReplicationProtocolError(
+                        f"shipped checkpoint lsn {lsn} is behind the "
+                        f"standby's applied lsn {self.wal.last_lsn}"
+                    )
+                for name in list(catalog.names()):
+                    catalog.restore_drop(name)
+                for payload in state.get("tables", ()):
+                    catalog.restore_table(records.decode_table(payload))
+                for name, epoch in state.get("epochs", {}).items():
+                    catalog.restore_epoch(name, int(epoch))
+                self._udf_versions = {
+                    name: (int(entry["version"]), entry["fp"])
+                    for name, entry in state.get("udfs", {}).items()
+                }
+                self.generation = max(
+                    self.generation, int(state.get("generation", 0))
+                )
+                catalog.generation = self.generation
+                try:
+                    self.wal.reset(lsn)
+                except WalPoisonedError as exc:
+                    self._poisoned = exc.__cause__ or exc
+                    raise
+        return lsn
 
     def _start_interval_checkpointer(self) -> None:
         def loop() -> None:
@@ -396,6 +603,13 @@ class DurabilityManager:
         if thread is not None:
             thread.join(timeout=5.0)
             self._interval_thread = None
+        repl = self.replication
+        if repl is not None:
+            self.replication = None
+            try:
+                repl.close()
+            except Exception:
+                pass
         if not self.wal_enabled and self.catalog is not None and not self._closed:
             try:
                 self.checkpoint()
@@ -412,6 +626,13 @@ class DurabilityManager:
         """Drop the manager as a crashed process would: no checkpoint,
         no flush, just release the descriptor (in-process harness)."""
         self._interval_stop.set()
+        repl = self.replication
+        if repl is not None:
+            self.replication = None
+            try:
+                repl.abandon()
+            except Exception:
+                pass
         with self._lock:
             self._closed = True
             if self.wal is not None:

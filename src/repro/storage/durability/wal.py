@@ -38,7 +38,7 @@ import zlib
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
-from ...errors import SimulatedCrash, WalCorruptionError
+from ...errors import SimulatedCrash, WalCorruptionError, WalPoisonedError
 from ...obs import METRICS, OBS
 from ...resilience import runtime
 
@@ -127,6 +127,13 @@ class WriteAheadLog:
         self._end = len(MAGIC) + _HEADER.size
         self._scanned = False
         self._tail_garbage = 0
+        #: Fail-stop poisoning: the first OSError escaping an append or
+        #: reset may have left a torn frame on disk.  A later append
+        #: that *succeeded* would sit beyond the tear and be silently
+        #: truncated by the next recovery's torn-tail scan — an acked
+        #: write that never happened.  Once poisoned, every write path
+        #: fails fast with WalPoisonedError until recovery re-seals.
+        self._poisoned: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
     # Low-level I/O (counted for the zero-syscall disabled gate)
@@ -216,7 +223,18 @@ class WriteAheadLog:
             self._file.truncate()
             self._fsync()
             self._tail_garbage = 0
+            if OBS.metrics:
+                METRICS.counter("repro_wal_truncate_total").inc()
+                METRICS.counter("repro_wal_truncated_bytes_total").inc(dropped)
         self._file.seek(self._end)
+        # The tail is sealed: whatever tear poisoned a previous
+        # incarnation's write path is gone from the file now.
+        self._poisoned = None
+        if OBS.metrics:
+            METRICS.counter(
+                "repro_wal_seal_total",
+                outcome="torn" if dropped else "clean",
+            ).inc()
         return dropped
 
     # ------------------------------------------------------------------
@@ -228,13 +246,22 @@ class WriteAheadLog:
         """Bytes of framed records currently in the log (sans header)."""
         return self._end - (len(MAGIC) + _HEADER.size)
 
+    def _check_poisoned(self) -> None:
+        if self._poisoned is not None:
+            raise WalPoisonedError(
+                path=str(self.path), cause=self._poisoned
+            )
+
     def append(self, payload: Dict[str, Any]) -> int:
         """Frame, write, and fsync one record; return its LSN.
 
         The record is durable (to the extent ``fsync`` guarantees) when
         this returns — callers acknowledge *after* this point, which is
-        the contract the crash harness verifies.
+        the contract the crash harness verifies.  An ``OSError`` from
+        the write or fsync poisons the log (see :class:`WalPoisonedError`)
+        and is re-raised typed; later appends fail fast.
         """
+        self._check_poisoned()
         lsn = self.last_lsn + 1
         data = json.dumps(
             payload, separators=(",", ":"), ensure_ascii=False
@@ -243,6 +270,43 @@ class WriteAheadLog:
             _FRAME.pack(len(data), zlib.crc32(_LSN.pack(lsn) + data), lsn)
             + data
         )
+        self._write_frame(lsn, frame, op=str(payload.get("op")))
+        return lsn
+
+    def append_frame(self, lsn: int, frame: bytes) -> int:
+        """Append a pre-framed record verbatim (replication apply path).
+
+        The standby re-validates the frame exactly as recovery would —
+        structure, CRC, and LSN continuity — before the bytes touch its
+        log, so a corrupted or reordered stream can never install a
+        frame the next recovery would reject.
+        """
+        self._check_poisoned()
+        if len(frame) < _FRAME.size:
+            raise WalCorruptionError(
+                "replicated frame shorter than its header",
+                path=str(self.path),
+            )
+        length, crc, frame_lsn = _FRAME.unpack(frame[: _FRAME.size])
+        payload = frame[_FRAME.size:]
+        if len(payload) != length:
+            raise WalCorruptionError(
+                f"replicated frame length mismatch ({len(payload)} != "
+                f"{length})", path=str(self.path),
+            )
+        if zlib.crc32(_LSN.pack(frame_lsn) + payload) != crc:
+            raise WalCorruptionError(
+                "replicated frame failed its CRC", path=str(self.path)
+            )
+        if frame_lsn != lsn or lsn != self.last_lsn + 1:
+            raise WalCorruptionError(
+                f"replicated frame LSN {frame_lsn} breaks continuity "
+                f"(expected {self.last_lsn + 1})", path=str(self.path),
+            )
+        self._write_frame(lsn, frame, op="replicated")
+        return lsn
+
+    def _write_frame(self, lsn: int, frame: bytes, *, op: str) -> None:
         start = time.perf_counter() if OBS.metrics else 0.0
         spec = _crash_point("wal_append")
         if spec is not None:
@@ -251,24 +315,27 @@ class WriteAheadLog:
             if cut:
                 self._write(frame[:cut])
             execute_crash(spec)
-        self._write(frame)
-        spec = _crash_point("wal_fsync")
-        if spec is not None:
-            # Crash before the fsync returns: the frame may or may not
-            # survive, but the caller never saw an acknowledgement.
-            execute_crash(spec)
-        self._fsync()
+        try:
+            self._write(frame)
+            spec = _crash_point("wal_fsync")
+            if spec is not None:
+                # Crash before the fsync returns: the frame may or may
+                # not survive, but the caller never saw an ack.
+                execute_crash(spec)
+            self._fsync()
+        except OSError as exc:
+            self._poisoned = exc
+            raise WalPoisonedError(
+                path=str(self.path), cause=exc
+            ) from exc
         self.last_lsn = lsn
         self._end += len(frame)
         if OBS.metrics:
-            METRICS.counter(
-                "repro_wal_records_total", op=str(payload.get("op"))
-            ).inc()
+            METRICS.counter("repro_wal_records_total", op=op).inc()
             METRICS.counter("repro_wal_bytes_total").inc(len(frame))
             METRICS.histogram("repro_wal_append_seconds").observe(
                 time.perf_counter() - start
             )
-        return lsn
 
     def reset(self, base_lsn: int) -> None:
         """Truncate the log after a checkpoint; LSNs continue from
@@ -282,23 +349,32 @@ class WriteAheadLog:
         log to the checkpoint LSN whenever the sealed log ends below
         it), so post-recovery appends can never be mistaken for
         already-checkpointed frames."""
+        self._check_poisoned()
         header = MAGIC + _HEADER.pack(base_lsn)
-        self._file.seek(0)
-        IO_CALLS["truncate"] += 1
-        self._file.truncate()
-        spec = _crash_point("wal_reset")
-        if spec is not None:
-            cut = spec.get("cut")
-            cut = len(header) if cut is None else max(0, min(cut, len(header)))
-            if cut:
-                self._write(header[:cut])
-            execute_crash(spec)
-        self._write(header)
-        self._fsync()
+        try:
+            self._file.seek(0)
+            IO_CALLS["truncate"] += 1
+            self._file.truncate()
+            spec = _crash_point("wal_reset")
+            if spec is not None:
+                cut = spec.get("cut")
+                cut = len(header) if cut is None else max(0, min(cut, len(header)))
+                if cut:
+                    self._write(header[:cut])
+                execute_crash(spec)
+            self._write(header)
+            self._fsync()
+        except OSError as exc:
+            self._poisoned = exc
+            raise WalPoisonedError(
+                path=str(self.path), cause=exc
+            ) from exc
         self.base_lsn = base_lsn
         self.last_lsn = base_lsn
         self._end = len(MAGIC) + _HEADER.size
         self._tail_garbage = 0
+        if OBS.metrics:
+            METRICS.counter("repro_wal_reset_total").inc()
 
     def close(self) -> None:
         if not self._file.closed:

@@ -1,0 +1,120 @@
+"""Persisted fencing state: the node meta file.
+
+Each replicated database directory carries a ``node.meta`` JSON file::
+
+    {"node": "<id>", "term": <int>, "fenced_by": <int|null>}
+
+``term`` is the **promotion term** — the only monotone counter in the
+system that moves *exclusively* on promotion.  (The durability
+generation cannot serve as a fence: it bumps on every recovery, so a
+revived old primary's generation catches up to a promoted standby's
+after enough restarts.)  The fencing invariant:
+
+* a standby **adopts** its primary's term (persisted, fsync'd) before
+  it WELCOMEs the stream, so the lineage is on disk before a single
+  frame flows;
+* ``promote()`` bumps the adopted term by one and fsyncs it **before**
+  the promoted node serves a write;
+* a handshake presenting ``term < standby.term`` is REJECTed, and the
+  rejected node persists ``fenced_by`` and poisons its manager with
+  :class:`~repro.errors.NodeFencedError`.
+
+Together these make split-brain structurally impossible: any write the
+old primary could acknowledge after the promotion point would first
+need a WELCOME from a standby whose persisted term already exceeds the
+term the old primary can ever present.
+
+The file is installed atomically (same-directory temp + ``os.replace``
++ directory fsync) so a crash mid-store leaves the previous meta, never
+a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ...errors import ReplicationError
+from ..atomic import fsync_dir
+from ..durability.wal import IO_CALLS
+
+__all__ = ["NODE_META_NAME", "load_node_meta", "store_node_meta"]
+
+NODE_META_NAME = "node.meta"
+
+
+def load_node_meta(directory: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """The directory's node meta, or None if the node has none yet.
+
+    A present-but-undecodable file raises: fencing state is the one
+    thing recovery must never guess at, so damage here is surfaced, not
+    defaulted.
+    """
+    path = Path(directory) / NODE_META_NAME
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return None
+    try:
+        meta = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ReplicationError(
+            f"node meta undecodable in {str(path)!r}: {exc}"
+        ) from exc
+    if not isinstance(meta, dict) or "node" not in meta or "term" not in meta:
+        raise ReplicationError(
+            f"node meta malformed in {str(path)!r}: {meta!r}"
+        )
+    return meta
+
+
+def store_node_meta(
+    directory: Union[str, Path],
+    *,
+    node: str,
+    term: int,
+    fenced_by: Optional[int] = None,
+    role: str = "primary",
+    fsync: bool = True,
+) -> Dict[str, Any]:
+    """Atomically persist the node's fencing state; returns the meta.
+
+    ``role`` distinguishes a standby directory from a primary one on
+    disk: a cold-start fleet scan must never warm-restart a standby as
+    a primary (that would append un-replicated frames to a mirrored
+    log).  Promotion flips the role to ``"primary"`` in the same write
+    that bumps the term.
+
+    The caller sequences this against the protocol (adopt-before-
+    WELCOME, bump-before-serve); this function only guarantees the
+    bytes are durable when it returns.
+    """
+    directory = Path(directory)
+    meta = {
+        "node": str(node),
+        "term": int(term),
+        "fenced_by": fenced_by,
+        "role": str(role),
+    }
+    payload = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=f".{NODE_META_NAME}.", suffix=".tmp"
+    )
+    try:
+        IO_CALLS["write"] += 1
+        os.write(fd, payload)
+        if fsync:
+            IO_CALLS["fsync"] += 1
+            os.fsync(fd)
+    finally:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    os.replace(tmp_name, directory / NODE_META_NAME)
+    if fsync:
+        fsync_dir(directory)
+    return meta

@@ -1,0 +1,637 @@
+"""The replication primary: tail the WAL, ship frames, honor the fence.
+
+One :class:`ReplicationPrimary` hangs off a normal (non-replica)
+:class:`~repro.storage.durability.manager.DurabilityManager` and runs
+one sender thread + one ack-receiver thread per standby target.  The
+sender tails ``wal.log`` through its **own** read descriptor — it never
+takes the manager or catalog locks, which is what lets sync-ack commits
+block inside ``_append`` (both locks held) without any deadlock — and
+ships each frame verbatim, CRC and all.
+
+Only *durable* frames ship: the tailer caps at ``manager.wal.last_lsn``,
+which the writer advances strictly after the fsync returns.  This is
+the invariant that keeps a standby forever at-or-behind the primary's
+durable tail, so a primary crash + restart can never re-issue an LSN
+the standby already holds with different bytes.
+
+When the standby's resume cursor has fallen behind the primary's WAL
+``base_lsn`` (a checkpoint reset discarded the frames it needs), the
+sender ships the whole checkpoint image instead, then resumes framing
+from the image's LSN.
+
+**Sync-ack mode** (``sync=True``): ``after_append`` blocks the
+committing writer until every target's acknowledged LSN covers the
+frame, up to ``ack_timeout_s``.  On timeout the primary **degrades** to
+async: it emits a typed event, bumps
+``repro_repl_sync_degraded_total``, and drops a ``repl.degraded``
+marker file in the database directory (the failover harness reads the
+marker post-mortem to know which zero-loss bound applies).  When the
+lagging standby catches back up to the live tail the primary re-enters
+sync mode and removes the marker.
+
+**Fencing**: a REJECT during the handshake means a standby was promoted
+past us.  The primary persists ``fenced_by`` in its node meta, poisons
+its manager with :class:`~repro.errors.NodeFencedError`, and stops all
+streaming — permanently.  A fenced directory re-opened later re-fences
+itself from the persisted meta before a single write is accepted.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import uuid
+import zlib
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ...errors import (
+    CheckpointError,
+    ReplicationError,
+    ReplicationProtocolError,
+    SimulatedCrash,
+)
+from ...obs import METRICS, OBS
+from ..durability.checkpoint import load_checkpoint_blob
+from ..durability.wal import (
+    MAGIC,
+    _FRAME,
+    _HEADER,
+    _LSN,
+    _crash_point,
+    execute_crash,
+)
+from . import protocol
+from .fence import load_node_meta, store_node_meta
+
+__all__ = ["ReplicationPrimary", "DEGRADE_MARKER_NAME"]
+
+WAL_NAME = "wal.log"
+DEGRADE_MARKER_NAME = "repl.degraded"
+_HEADER_LEN = len(MAGIC) + _HEADER.size
+
+
+class _Target:
+    __slots__ = (
+        "name", "host", "port", "connected", "acked_lsn", "cursor", "sock",
+    )
+
+    def __init__(self, name: str, host: str, port: int):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.connected = False
+        self.acked_lsn = 0
+        self.cursor = 0
+        self.sock: Optional[socket.socket] = None
+
+
+def _parse_target(spec: Any) -> Tuple[str, int]:
+    if isinstance(spec, (tuple, list)) and len(spec) == 2:
+        return str(spec[0]), int(spec[1])
+    host, _, port = str(spec).rpartition(":")
+    if not host or not port.isdigit():
+        raise ReplicationError(f"bad replication target {spec!r}")
+    return host, int(port)
+
+
+class _WalTail:
+    """A read-only, lock-free tailer over the primary's own WAL file.
+
+    Tracks (``base_lsn``, byte offset) and re-validates every frame —
+    structure, CRC, LSN order — before it is eligible to ship.  A
+    concurrent checkpoint reset shows up as a changed header
+    ``base_lsn`` (or a shrunken file) and triggers a rescan; a frame
+    mid-write shows up as a torn tail and is simply not ready yet.
+    """
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._file: Optional[Any] = None
+        self._base_lsn = 0
+        self._offset = _HEADER_LEN
+        self._next_lsn = 0
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+
+    def _reopen(self) -> bool:
+        self.close()
+        try:
+            self._file = open(self.path, "rb")
+        except OSError:
+            return False
+        header = self._file.read(_HEADER_LEN)
+        if len(header) < _HEADER_LEN or header[: len(MAGIC)] != MAGIC:
+            # Mid-reset: the header is not back yet.  Not an error —
+            # the writer's fsync has not returned, so nothing in this
+            # file is shippable right now.
+            self.close()
+            return False
+        (self._base_lsn,) = _HEADER.unpack(header[len(MAGIC):])
+        self._offset = _HEADER_LEN
+        self._next_lsn = self._base_lsn + 1
+        return True
+
+    def rewind(self, cursor: int) -> None:
+        """Position so the next poll can serve ``cursor + 1``.
+
+        A dropped connection can die with frames consumed from this
+        tail but never delivered (they sat in the socket buffer); the
+        standby's WELCOME then asks to resume below our scan position.
+        Rescan from the head — poll's ``lsn > cursor`` filter skips the
+        prefix — unless we are already at or before the cursor.
+        """
+        if self._file is None or self._next_lsn > cursor + 1:
+            self._reopen()
+
+    def poll(
+        self, cursor: int, durable_lsn: int, max_frames: int = 256
+    ) -> Tuple[str, List[Tuple[int, bytes]]]:
+        """Advance past ``cursor``; returns ``(state, frames)``.
+
+        ``state`` is ``"frames"`` (possibly empty — idle) or
+        ``"checkpoint"`` (the file's ``base_lsn`` is beyond ``cursor``:
+        the frames the standby needs were folded into a checkpoint and
+        discarded, ship the image instead).  Only frames with
+        ``lsn <= durable_lsn`` are returned.
+        """
+        if self._file is None and not self._reopen():
+            return "frames", []
+        # A reset while we were tailing: header base_lsn changes (the
+        # file may also briefly vanish into a shorter incarnation).
+        try:
+            self._file.seek(0)
+            header = self._file.read(_HEADER_LEN)
+        except OSError:
+            self.close()
+            return "frames", []
+        if len(header) < _HEADER_LEN or header[: len(MAGIC)] != MAGIC:
+            self.close()
+            return "frames", []
+        (base_lsn,) = _HEADER.unpack(header[len(MAGIC):])
+        if base_lsn != self._base_lsn:
+            if not self._reopen():
+                return "frames", []
+        if cursor < self._base_lsn:
+            return "checkpoint", []
+        frames: List[Tuple[int, bytes]] = []
+        self._file.seek(self._offset)
+        while len(frames) < max_frames:
+            header = self._file.read(_FRAME.size)
+            if len(header) < _FRAME.size:
+                break
+            length, crc, lsn = _FRAME.unpack(header)
+            payload = self._file.read(length)
+            if len(payload) < length:
+                break  # torn tail: frame still being written
+            if zlib.crc32(_LSN.pack(lsn) + payload) != crc:
+                break
+            if lsn != self._next_lsn:
+                break
+            if lsn > durable_lsn:
+                break  # written but not yet fsync'd: not shippable
+            self._offset += _FRAME.size + length
+            self._next_lsn = lsn + 1
+            if lsn > cursor:
+                frames.append((lsn, header + payload))
+        return "frames", frames
+
+
+class ReplicationPrimary:
+    """Stream a manager's WAL to one or more standbys."""
+
+    def __init__(
+        self,
+        manager: Any,
+        targets: Any,
+        *,
+        sync: bool = False,
+        ack_timeout_s: float = 1.0,
+        poll_interval_s: float = 0.005,
+        connect_retry_s: float = 0.05,
+        on_degrade: Optional[Callable[[str, int], None]] = None,
+    ):
+        if not manager.wal_enabled:
+            raise ReplicationError(
+                "replication requires the WAL (wal_enabled=False has no "
+                "frames to ship)"
+            )
+        self.manager = manager
+        self.directory = Path(manager.directory)
+        self.sync = bool(sync)
+        self.ack_timeout_s = float(ack_timeout_s)
+        self.poll_interval_s = float(poll_interval_s)
+        self.connect_retry_s = float(connect_retry_s)
+        self.on_degrade = on_degrade
+        self.degraded = False
+        self.fenced_by: Optional[int] = None
+        #: Typed lifecycle events, in order: ("degraded"|"resynced"|
+        #: ("fenced"), lsn-or-term).
+        self.events: List[Tuple[str, int]] = []
+        meta = load_node_meta(self.directory)
+        if meta is None:
+            self.node_id = f"primary-{uuid.uuid4().hex[:12]}"
+            self.term = 0
+            store_node_meta(
+                self.directory, node=self.node_id, term=self.term,
+                fsync=manager.wal_fsync,
+            )
+        else:
+            self.node_id = str(meta["node"])
+            self.term = int(meta["term"])
+            if meta.get("fenced_by") is not None:
+                # This directory was fenced in a previous life.  Re-arm
+                # the fence before anything can be written or shipped.
+                self.fenced_by = int(meta["fenced_by"])
+                manager.fence(self.fenced_by)
+        if isinstance(targets, (str, bytes)) or (
+            isinstance(targets, (tuple, list))
+            and len(targets) == 2
+            and isinstance(targets[1], int)
+        ):
+            targets = [targets]  # one target, not a list of them
+        self._targets = [
+            _Target(f"standby{i}:{host}:{port}", host, port)
+            for i, (host, port) in enumerate(
+                _parse_target(t) for t in targets
+            )
+        ]
+        self._closed = False
+        self._wake = threading.Event()
+        self._ack_cond = threading.Condition()
+        self._threads: List[threading.Thread] = []
+        marker = self.directory / DEGRADE_MARKER_NAME
+        try:
+            # A marker left by a previous incarnation describes *its*
+            # degradation, not ours; a fresh primary starts in sync.
+            os.unlink(marker)
+        except OSError:
+            pass
+        if self.fenced_by is None:
+            for target in self._targets:
+                thread = threading.Thread(
+                    target=self._sender_loop, args=(target,),
+                    name=f"repro-repl-{target.name}", daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    # ------------------------------------------------------------------
+    # Commit-side hook (called by DurabilityManager._append, which holds
+    # the catalog + manager locks; nothing here may take either)
+    # ------------------------------------------------------------------
+
+    def after_append(self, lsn: int) -> None:
+        self._wake.set()
+        if not self.sync or self._closed or self.fenced_by is not None:
+            return
+        if self.degraded:
+            return
+        deadline = time.monotonic() + self.ack_timeout_s
+        with self._ack_cond:
+            while self._min_acked_locked() < lsn:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._degrade_locked(lsn)
+                    return
+                self._ack_cond.wait(remaining)
+
+    def _min_acked_locked(self) -> int:
+        return min((t.acked_lsn for t in self._targets), default=0)
+
+    def _degrade_locked(self, lsn: int) -> None:
+        self.degraded = True
+        self.events.append(("degraded", lsn))
+        if OBS.metrics:
+            METRICS.counter("repro_repl_sync_degraded_total").inc()
+        try:
+            fd = os.open(
+                self.directory / DEGRADE_MARKER_NAME,
+                os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644,
+            )
+            try:
+                os.write(fd, b'{"lsn":%d}' % lsn)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
+        if self.on_degrade is not None:
+            try:
+                self.on_degrade("degraded", lsn)
+            except Exception:
+                pass
+
+    def _maybe_resync_locked(self) -> None:
+        if not self.degraded:
+            return
+        wal = self.manager.wal
+        tail = wal.last_lsn if wal is not None else 0
+        if self._min_acked_locked() >= tail:
+            self.degraded = False
+            self.events.append(("resynced", tail))
+            if OBS.metrics:
+                METRICS.counter("repro_repl_sync_resynced_total").inc()
+            try:
+                os.unlink(self.directory / DEGRADE_MARKER_NAME)
+            except OSError:
+                pass
+            if self.on_degrade is not None:
+                try:
+                    self.on_degrade("resynced", tail)
+                except Exception:
+                    pass
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+
+    def _sender_loop(self, target: _Target) -> None:
+        try:
+            self._sender_loop_inner(target)
+        except SimulatedCrash:
+            # The in-process harness crashed this sender (repl_send /
+            # repl_handshake with action="raise"): the simulated death
+            # of the stream.  The thread exits permanently, exactly as
+            # torn wire bytes already sent would have it; a SIGKILL
+            # variant takes the whole process down before this line.
+            with self._ack_cond:
+                target.connected = False
+
+    def _sender_loop_inner(self, target: _Target) -> None:
+        tail = _WalTail(self.directory / WAL_NAME)
+        try:
+            while not self._closed and self.fenced_by is None:
+                try:
+                    protocol.REPL_IO_CALLS["connect"] += 1
+                    sock = socket.create_connection(
+                        (target.host, target.port), timeout=5.0
+                    )
+                except OSError:
+                    if self._wait_retry():
+                        return
+                    continue
+                target.sock = sock
+                try:
+                    self._run_stream(target, sock, tail)
+                except (OSError, ReplicationError, CheckpointError):
+                    pass
+                finally:
+                    target.sock = None
+                    with self._ack_cond:
+                        target.connected = False
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                if self._wait_retry():
+                    return
+        finally:
+            tail.close()
+
+    def _wait_retry(self) -> bool:
+        """Back off between connection attempts; True when closing."""
+        deadline = time.monotonic() + self.connect_retry_s
+        while time.monotonic() < deadline:
+            if self._closed or self.fenced_by is not None:
+                return True
+            time.sleep(0.005)
+        return self._closed or self.fenced_by is not None
+
+    def _run_stream(
+        self, target: _Target, sock: socket.socket, tail: _WalTail
+    ) -> None:
+        sock.settimeout(10.0)
+        wal = self.manager.wal
+        spec = _crash_point("repl_handshake")
+        if spec is not None:
+            execute_crash(spec)
+        protocol.send_json(sock, protocol.HELLO, {
+            "node": self.node_id,
+            "term": self.term,
+            "generation": self.manager.generation,
+            "base_lsn": wal.base_lsn if wal is not None else 0,
+            "last_lsn": wal.last_lsn if wal is not None else 0,
+        })
+        message = protocol.recv_message(sock)
+        if message is None:
+            return
+        kind, body = message
+        if kind == protocol.REJECT:
+            reject = protocol.decode_json(body, kind="REJECT")
+            self._handle_fenced(int(reject.get("term", self.term + 1)))
+            return
+        if kind != protocol.WELCOME:
+            raise ReplicationProtocolError(
+                f"expected WELCOME or REJECT, got {kind!r}"
+            )
+        welcome = protocol.decode_json(body, kind="WELCOME")
+        cursor = int(welcome.get("start_lsn", 0))
+        tail.rewind(cursor)
+        with self._ack_cond:
+            target.connected = True
+            target.cursor = cursor
+            target.acked_lsn = max(target.acked_lsn, cursor)
+            self._ack_cond.notify_all()
+            self._maybe_resync_locked()
+        ack_thread = threading.Thread(
+            target=self._ack_loop, args=(target, sock),
+            name=f"repro-repl-ack-{target.name}", daemon=True,
+        )
+        ack_thread.start()
+        try:
+            self._stream_frames(target, sock, tail, cursor)
+        finally:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            ack_thread.join(timeout=5.0)
+
+    def _stream_frames(
+        self,
+        target: _Target,
+        sock: socket.socket,
+        tail: _WalTail,
+        cursor: int,
+    ) -> None:
+        u64 = protocol.U64
+        lag_gauge = (
+            METRICS.gauge(
+                "repro_repl_lag_records", role="primary", target=target.name
+            )
+            if OBS.metrics else None
+        )
+        while not self._closed and self.fenced_by is None:
+            wal = self.manager.wal
+            durable = wal.last_lsn if wal is not None else 0
+            state, frames = tail.poll(cursor, durable)
+            if state == "checkpoint":
+                loaded = load_checkpoint_blob(self.directory)
+                if loaded is None:
+                    # Reset raced the checkpoint read; retry.
+                    time.sleep(self.poll_interval_s)
+                    continue
+                ckpt_state, blob = loaded
+                ckpt_lsn = int(ckpt_state.get("lsn", 0))
+                if ckpt_lsn < cursor:
+                    time.sleep(self.poll_interval_s)
+                    continue
+                sent = protocol.send_message(
+                    sock, protocol.CHECKPOINT, u64.pack(durable) + blob
+                )
+                cursor = ckpt_lsn
+                if OBS.metrics:
+                    METRICS.counter(
+                        "repro_repl_stream_bytes_total", direction="tx"
+                    ).inc(sent)
+                    METRICS.counter("repro_repl_checkpoints_shipped_total").inc()
+                continue
+            if not frames:
+                if lag_gauge is not None:
+                    lag_gauge.set(max(0, durable - target.acked_lsn))
+                self._wake.wait(self.poll_interval_s)
+                self._wake.clear()
+                continue
+            for lsn, frame in frames:
+                body = u64.pack(durable) + u64.pack(lsn) + frame
+                spec = _crash_point("repl_send")
+                if spec is not None:
+                    # Tear the wire mid-frame before dying: the standby
+                    # must treat the remainder as a dropped connection,
+                    # never as data.
+                    cut = spec.get("cut")
+                    message = protocol.encode_message(protocol.FRAME, body)
+                    cut = len(message) if cut is None else max(
+                        0, min(cut, len(message))
+                    )
+                    if cut:
+                        try:
+                            protocol.REPL_IO_CALLS["send"] += 1
+                            sock.sendall(message[:cut])
+                        except OSError:
+                            pass
+                    execute_crash(spec)
+                sent = protocol.send_message(sock, protocol.FRAME, body)
+                cursor = lsn
+                if OBS.metrics:
+                    METRICS.counter(
+                        "repro_repl_stream_bytes_total", direction="tx"
+                    ).inc(sent)
+            target.cursor = cursor
+            if lag_gauge is not None:
+                lag_gauge.set(max(0, durable - target.acked_lsn))
+
+    def _ack_loop(self, target: _Target, sock: socket.socket) -> None:
+        u64 = protocol.U64
+        try:
+            while not self._closed:
+                message = protocol.recv_message(sock)
+                if message is None:
+                    return
+                kind, body = message
+                if kind != protocol.ACK or len(body) < u64.size:
+                    return
+                (flushed,) = u64.unpack_from(body, 0)
+                with self._ack_cond:
+                    if flushed > target.acked_lsn:
+                        target.acked_lsn = flushed
+                    self._ack_cond.notify_all()
+                    self._maybe_resync_locked()
+        except (socket.timeout, OSError, ReplicationError):
+            return
+
+    def _handle_fenced(self, remote_term: int) -> None:
+        """A standby out-terms us: stop the world, permanently.
+
+        Ordering matters: the manager is poisoned *first* so no write
+        can be acknowledged between learning of the fence and the
+        durable meta install, and the observable ``fenced_by`` flag is
+        published *last* so anyone who sees it can rely on the manager
+        already refusing writes.
+        """
+        self.manager.fence(remote_term)
+        try:
+            store_node_meta(
+                self.directory, node=self.node_id, term=self.term,
+                fenced_by=remote_term, fsync=True,
+            )
+        except OSError:
+            pass
+        self.fenced_by = remote_term
+        self.events.append(("fenced", remote_term))
+        self._wake.set()
+        with self._ack_cond:
+            self._ack_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Introspection + lifecycle
+    # ------------------------------------------------------------------
+
+    def min_acked_lsn(self) -> int:
+        with self._ack_cond:
+            return self._min_acked_locked()
+
+    def status(self) -> Dict[str, Any]:
+        wal = self.manager.wal
+        tail_lsn = wal.last_lsn if wal is not None else 0
+        with self._ack_cond:
+            targets = {
+                t.name: {
+                    "connected": t.connected,
+                    "acked_lsn": t.acked_lsn,
+                    "lag_records": max(0, tail_lsn - t.acked_lsn),
+                }
+                for t in self._targets
+            }
+        return {
+            "node": self.node_id,
+            "term": self.term,
+            "sync": self.sync,
+            "degraded": self.degraded,
+            "fenced_by": self.fenced_by,
+            "last_lsn": tail_lsn,
+            "targets": targets,
+            "events": list(self.events),
+        }
+
+    def close(self) -> None:
+        self._closed = True
+        self._wake.set()
+        with self._ack_cond:
+            self._ack_cond.notify_all()
+        for target in self._targets:
+            sock = target.sock
+            if sock is not None:
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def abandon(self) -> None:
+        """Stop without joining — the in-process crash stand-in."""
+        self._closed = True
+        self._wake.set()
+        with self._ack_cond:
+            self._ack_cond.notify_all()
+        for target in self._targets:
+            sock = target.sock
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass

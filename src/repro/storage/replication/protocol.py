@@ -1,0 +1,165 @@
+"""The replication wire protocol: length-prefixed, typed messages.
+
+Every message is::
+
+    [u32 len][1-byte kind][body]        -- len covers kind + body
+
+Kinds (one ASCII byte each):
+
+``H`` HELLO
+    Primary -> standby on connect.  JSON body:
+    ``{"node", "term", "generation", "base_lsn", "last_lsn"}``.
+``W`` WELCOME
+    Standby -> primary accepting the stream.  JSON body:
+    ``{"node", "term", "start_lsn"}`` — the primary resumes shipping
+    from ``start_lsn`` (the standby's flushed tail), so reconnects
+    after any disconnect are exact, not approximate.
+``R`` REJECT
+    Standby -> primary refusing the stream (stale fencing term).  JSON
+    body: ``{"term", "reason"}``.  The primary must fence itself.
+``F`` FRAME
+    One WAL frame, verbatim bytes as they sit in the primary's log:
+    ``[u64 primary_last_lsn][u64 lsn][frame]``.  The embedded CRC rides
+    along, so the standby re-verifies the exact checksum the primary's
+    recovery would — corruption anywhere between the two disks is
+    caught before install.  ``primary_last_lsn`` is the primary's
+    current tail, letting the standby compute its own apply lag without
+    a second round trip.
+``C`` CHECKPOINT
+    A full checkpoint image for standby bootstrap / post-reset
+    catch-up: ``[u64 primary_last_lsn][blob]`` where ``blob`` is the
+    checkpoint file verbatim (magic + CRC + JSON).
+``A`` ACK
+    Standby -> primary: ``[u64 flushed_lsn]`` — everything at or below
+    ``flushed_lsn`` is applied *and* flushed on the standby (sync-ack
+    mode releases commits against this watermark).
+
+All socket syscalls route through this module and are counted in
+:data:`REPL_IO_CALLS`, mirroring the WAL's ``IO_CALLS`` ledger: the
+replication-disabled benchmark gate asserts the ledger stays zero
+across a full suite run, a structural proof that tenants without a
+standby perform no replication work, syscall by syscall.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from ...errors import ReplicationProtocolError
+
+__all__ = [
+    "HELLO",
+    "WELCOME",
+    "REJECT",
+    "FRAME",
+    "CHECKPOINT",
+    "ACK",
+    "REPL_IO_CALLS",
+    "reset_repl_io_calls",
+    "encode_message",
+    "send_message",
+    "recv_message",
+    "send_json",
+    "decode_json",
+    "U64",
+]
+
+HELLO = b"H"
+WELCOME = b"W"
+REJECT = b"R"
+FRAME = b"F"
+CHECKPOINT = b"C"
+ACK = b"A"
+
+_LEN = struct.Struct("<I")
+U64 = struct.Struct("<Q")
+
+#: Maximum accepted message size — a checkpoint image plus slack.  A
+#: length prefix beyond this is a protocol violation (or garbage on the
+#: port), not something to allocate for.
+MAX_MESSAGE = 256 << 20
+
+#: Global count of replication socket syscalls.  See module docstring.
+REPL_IO_CALLS = {"connect": 0, "accept": 0, "send": 0, "recv": 0}
+
+
+def reset_repl_io_calls() -> None:
+    for key in REPL_IO_CALLS:
+        REPL_IO_CALLS[key] = 0
+
+
+def encode_message(kind: bytes, body: bytes) -> bytes:
+    """The exact wire bytes of one framed message (torn-send injection
+    needs the raw encoding to cut at an arbitrary byte)."""
+    return _LEN.pack(1 + len(body)) + kind + body
+
+
+def send_message(sock: socket.socket, kind: bytes, body: bytes) -> int:
+    """Send one framed message; returns bytes put on the wire."""
+    message = encode_message(kind, body)
+    REPL_IO_CALLS["send"] += 1
+    sock.sendall(message)
+    return len(message)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes, or None on a clean EOF at a
+    message boundary.  EOF mid-message raises: a peer that dies between
+    two recv calls tore a message, and the caller must treat the stream
+    as corrupt rather than silently short."""
+    chunks = []
+    remaining = count
+    while remaining:
+        REPL_IO_CALLS["recv"] += 1
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if not chunks:
+                return None
+            raise ReplicationProtocolError(
+                f"peer closed mid-message ({count - remaining} of "
+                f"{count} bytes arrived)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(
+    sock: socket.socket,
+) -> Optional[Tuple[bytes, bytes]]:
+    """Receive one framed message as ``(kind, body)``, or None on EOF."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length < 1 or length > MAX_MESSAGE:
+        raise ReplicationProtocolError(
+            f"implausible replication message length {length}"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ReplicationProtocolError("peer closed between length and body")
+    return payload[:1], payload[1:]
+
+
+def send_json(sock: socket.socket, kind: bytes, obj: Dict[str, Any]) -> int:
+    return send_message(
+        sock, kind, json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    )
+
+
+def decode_json(body: bytes, *, kind: str) -> Dict[str, Any]:
+    try:
+        decoded = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ReplicationProtocolError(
+            f"undecodable {kind} body: {exc}"
+        ) from exc
+    if not isinstance(decoded, dict):
+        raise ReplicationProtocolError(
+            f"{kind} body must be a JSON object, got {type(decoded).__name__}"
+        )
+    return decoded

@@ -6,8 +6,14 @@ from .crash import (
     run_inprocess_crash,
     run_subprocess_crash,
 )
+from .failover import (
+    FailoverVerdict,
+    run_inprocess_failover,
+    run_subprocess_failover,
+)
 from .faults import (
     DURABILITY_STAGES,
+    REPLICATION_STAGES,
     FaultInjector,
     InjectedFault,
     PoisonedTraceError,
@@ -20,10 +26,14 @@ __all__ = [
     "InjectedFault",
     "PoisonedTraceError",
     "DURABILITY_STAGES",
+    "REPLICATION_STAGES",
     "inject",
     "poison_traces",
     "CrashVerdict",
     "build_workload",
     "run_inprocess_crash",
     "run_subprocess_crash",
+    "FailoverVerdict",
+    "run_inprocess_failover",
+    "run_subprocess_failover",
 ]

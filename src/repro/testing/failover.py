@@ -1,0 +1,600 @@
+"""Failover chaos harness: kill the primary, promote, audit everything.
+
+Extends the crash-consistency harness (:mod:`repro.testing.crash`) from
+one node to a replicated pair.  Each round runs the same deterministic
+seeded workload against a primary that streams its WAL to a live
+standby, kills the primary at a randomized fault point — any of the six
+durability stages *or* the replication stages (``repl_send`` torn at an
+arbitrary wire byte, ``repl_handshake``, ``repl_install`` on the
+standby, ``repl_promote`` inside promotion itself) — then promotes the
+standby and audits the promoted state against an uncrashed twin:
+
+* **Prefix consistency (zero corruption / zero resurrection)** — the
+  promoted catalog must equal the twin at ``ops[:k]`` for some ``k``
+  with ``k <= acked + 1``: nothing the client never submitted, nothing
+  torn, nothing resurrected.  Because ops map 1:1 onto WAL records
+  (the generation record is LSN 1, op *i* is LSN *i+1*), ``k`` is also
+  checked **exactly** against the standby's flushed LSN — the lag
+  accounting cannot drift from the truth.
+* **Zero acked loss (sync mode)** — when the primary ran in sync-ack
+  mode and never degraded (no ``repl.degraded`` marker / event),
+  ``k >= acked``: every acknowledged write survives the failover.
+* **Fencing** — after promotion the old primary is revived and pointed
+  back at the cluster: its handshake must be REJECTed, its manager must
+  raise :class:`~repro.errors.NodeFencedError` on the next write, and a
+  *second* revival must arrive pre-fenced from the persisted
+  ``fenced_by`` meta without needing a connection at all.
+* **Post-failover durability** — a probe write acknowledged by the
+  promoted node survives its next restart, and the generation advances
+  across both recoveries (pre-failover cache entries are unreachable).
+
+Two writer modes, as in the crash harness: in-process
+(:class:`~repro.errors.SimulatedCrash`, cheap enough for hundreds of
+rounds) and a forked subprocess writer the fault point SIGKILLs
+mid-syscall while the standby keeps serving in the parent.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from pathlib import Path
+from typing import Any, List, Optional, Tuple, Union
+
+from ..errors import NodeFencedError, ReplicationError, SimulatedCrash
+from ..storage.catalog import Catalog
+from ..storage.durability import DurabilityManager
+from ..storage.replication import (
+    DEGRADE_MARKER_NAME,
+    ReplicationPrimary,
+    ReplicationStandby,
+)
+from . import faults
+from .crash import apply_op, build_workload, catalog_state
+
+__all__ = [
+    "FailoverVerdict",
+    "random_failover_spec",
+    "run_inprocess_failover",
+    "run_subprocess_failover",
+]
+
+#: Stages a *primary-side* writer can die at (the subprocess harness
+#: kills the child, which hosts the primary).
+PRIMARY_STAGES = faults.DURABILITY_STAGES + ("repl_send", "repl_handshake")
+
+#: All stages the in-process harness can exercise (standby-side install
+#: and the promotion window included).
+ALL_STAGES = faults.DURABILITY_STAGES + faults.REPLICATION_STAGES
+
+
+class FailoverVerdict:
+    """Outcome of one kill/promote/verify round."""
+
+    __slots__ = (
+        "fired", "stage", "acked", "matched_k", "flushed", "sync",
+        "degraded", "term", "generation", "fence_checked",
+    )
+
+    def __init__(self, **kw: Any):
+        for slot in self.__slots__:
+            setattr(self, slot, kw.get(slot))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<failover fired={self.fired} stage={self.stage} "
+            f"acked={self.acked} k={self.matched_k} flushed={self.flushed} "
+            f"sync={self.sync} degraded={self.degraded} term={self.term}>"
+        )
+
+
+def random_failover_spec(
+    rng: random.Random, n_ops: int, stages: Tuple[str, ...]
+) -> Tuple[str, int, Optional[int]]:
+    """Pick a (stage, occurrence, cut) fault point for one round."""
+    stage = rng.choice(stages)
+    if stage in ("wal_append", "wal_fsync", "repl_send"):
+        at = rng.randrange(max(1, n_ops))
+    elif stage in ("repl_handshake", "repl_install", "repl_promote"):
+        at = 0
+    else:
+        at = rng.randrange(3)
+    cut: Optional[int] = None
+    if (
+        stage in ("wal_append", "checkpoint_write", "wal_reset", "repl_send")
+        and rng.random() < 0.7
+    ):
+        cut = rng.randrange(0, 200)
+    return stage, at, cut
+
+
+def _wait_for(predicate, timeout_s: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+# ----------------------------------------------------------------------
+# Shared verification
+# ----------------------------------------------------------------------
+
+
+def _verify_failover(
+    round_dir: Path,
+    primary_dir: Path,
+    promoted_dir: Path,
+    ops: List[Tuple],
+    acked: int,
+    flushed: int,
+    *,
+    strict_sync: bool,
+    sync: bool,
+    degraded: bool,
+    stage: Optional[str],
+    fired: bool,
+    term: int,
+    checkpoint_threshold: int,
+    fence_check: bool = True,
+) -> FailoverVerdict:
+    """Open the promoted directory as a primary and audit everything."""
+    recovered = Catalog()
+    manager = DurabilityManager(
+        promoted_dir, checkpoint_threshold=checkpoint_threshold
+    )
+    report = manager.attach(recovered)
+    got = catalog_state(recovered)
+
+    # Differential parity against the uncrashed twin: the promoted
+    # state must be *some* exact prefix of the twin's history...
+    twin = Catalog()
+    states = [catalog_state(twin)]
+    for op in ops:
+        apply_op(twin, op)
+        states.append(catalog_state(twin))
+    matched_k = None
+    for k, state in enumerate(states):
+        if state == got:
+            matched_k = k
+            break
+    if matched_k is None:
+        raise AssertionError(
+            f"promoted state matches no prefix of the twin "
+            f"(acked={acked}, flushed={flushed}, stage={stage}, "
+            f"dir={promoted_dir}): got epochs {got['epochs']!r}"
+        )
+    # ... no longer than one op past the acked prefix (zero
+    # resurrection: the standby only ever receives durable frames, and
+    # the primary's durable tail leads its acked tail by at most one) ...
+    if matched_k > acked + 1:
+        raise AssertionError(
+            f"promoted state resurrects unacknowledged ops: "
+            f"k={matched_k} > acked+1={acked + 1} (stage={stage})"
+        )
+    # ... and exactly as long as the standby's flushed LSN claims (op i
+    # is LSN i+1; the generation record is LSN 1).
+    expected_k = max(0, flushed - 1)
+    if matched_k != expected_k:
+        raise AssertionError(
+            f"standby lag accounting drifted from reality: promoted "
+            f"state is prefix {matched_k} but flushed LSN {flushed} "
+            f"promises prefix {expected_k} (stage={stage})"
+        )
+    if strict_sync and matched_k < acked:
+        raise AssertionError(
+            f"sync-ack mode lost an acknowledged write: k={matched_k} < "
+            f"acked={acked} with no degrade event (stage={stage})"
+        )
+    # Generation fencing across failover: the gen record the primary
+    # logged at LSN 1 reached the standby iff flushed >= 1, and the
+    # promotion recovery must advance past it.
+    floor = 2 if flushed >= 1 else 1
+    if report.generation < floor:
+        raise AssertionError(
+            f"promoted generation {report.generation} below floor "
+            f"{floor} (flushed={flushed}, stage={stage})"
+        )
+
+    # Probe write: acknowledged by the promoted node, must survive the
+    # next restart (WAL LSN monotonicity across the promotion path).
+    recovered.touch("probe_t")
+    probe_epoch = recovered.epoch("probe_t")
+
+    fence_checked = False
+    if fence_check:
+        _verify_fencing(round_dir, primary_dir, manager, term)
+        fence_checked = True
+    manager.close()
+
+    second = Catalog()
+    second_manager = DurabilityManager(
+        promoted_dir, checkpoint_threshold=checkpoint_threshold
+    )
+    second_report = second_manager.attach(second)
+    second_manager.close()
+    second_state = catalog_state(second)
+    expected_epochs = dict(got["epochs"])
+    expected_epochs["probe_t"] = probe_epoch
+    if (
+        second_state["tables"] != got["tables"]
+        or second_state["epochs"] != expected_epochs
+    ):
+        raise AssertionError(
+            f"restart after failover lost acknowledged state "
+            f"(stage={stage}): expected epochs {expected_epochs!r}, got "
+            f"{second_state['epochs']!r}"
+        )
+    if second_report.generation <= report.generation:
+        raise AssertionError(
+            f"generation did not advance across post-failover restart "
+            f"({report.generation} -> {second_report.generation})"
+        )
+    return FailoverVerdict(
+        fired=fired,
+        stage=stage,
+        acked=acked,
+        matched_k=matched_k,
+        flushed=flushed,
+        sync=sync,
+        degraded=degraded,
+        term=term,
+        generation=report.generation,
+        fence_checked=fence_checked,
+    )
+
+
+def _verify_fencing(
+    round_dir: Path,
+    primary_dir: Path,
+    promoted_manager: DurabilityManager,
+    term: int,
+) -> None:
+    """The old primary must be structurally incapable of rejoining.
+
+    Chain the promoted node to a fresh standby (which durably adopts
+    the promoted term), then revive the old primary against that
+    standby: the handshake must REJECT it, its next write must raise
+    :class:`NodeFencedError`, and a second revival must come up
+    pre-fenced straight from its persisted meta.
+    """
+    # min_term closes a harness-only race: without it the old primary
+    # could land its handshake before the promoted node's and be
+    # accepted at term 0 as the standby's first lineage.
+    s2 = ReplicationStandby(round_dir / "s2", min_term=term)
+    new_primary = ReplicationPrimary(promoted_manager, s2.address)
+    promoted_manager.replication = new_primary
+    try:
+        if not _wait_for(lambda: s2.term >= term and any(
+            t["connected"] for t in new_primary.status()["targets"].values()
+        )):
+            raise AssertionError(
+                f"promoted node never connected to its new standby "
+                f"(term={term}, s2.term={s2.term})"
+            )
+
+        old_catalog = Catalog()
+        old_manager = DurabilityManager(primary_dir)
+        old_manager.attach(old_catalog)
+        old_primary = ReplicationPrimary(old_manager, s2.address)
+        old_manager.replication = old_primary
+        try:
+            if not _wait_for(lambda: old_primary.fenced_by is not None):
+                raise AssertionError(
+                    "revived old primary was never fenced on reconnect"
+                )
+            if old_primary.fenced_by < term:
+                raise AssertionError(
+                    f"old primary fenced by term {old_primary.fenced_by} "
+                    f"< promoted term {term}"
+                )
+            try:
+                apply_op(old_catalog, ("touch", "orders"))
+            except NodeFencedError:
+                pass
+            else:
+                raise AssertionError(
+                    "fenced old primary acknowledged a write"
+                )
+        finally:
+            old_manager.abandon()
+
+        # Second revival: the fence must hold with no network at all —
+        # the persisted fenced_by meta re-poisons the manager before a
+        # single write can land.
+        old2_catalog = Catalog()
+        old2_manager = DurabilityManager(primary_dir)
+        old2_manager.attach(old2_catalog)
+        old2_primary = ReplicationPrimary(old2_manager, s2.address)
+        old2_manager.replication = old2_primary
+        try:
+            if old2_primary.fenced_by is None:
+                raise AssertionError(
+                    "second revival forgot its persisted fence"
+                )
+            try:
+                apply_op(old2_catalog, ("touch", "orders"))
+            except NodeFencedError:
+                pass
+            else:
+                raise AssertionError(
+                    "persistently fenced primary acknowledged a write"
+                )
+        finally:
+            old2_manager.abandon()
+    finally:
+        promoted_manager.replication = None
+        new_primary.close()
+        s2.close()
+
+
+# ----------------------------------------------------------------------
+# In-process rounds (SimulatedCrash)
+# ----------------------------------------------------------------------
+
+
+def run_inprocess_failover(
+    base_dir: Union[str, Path],
+    seed: int,
+    *,
+    n_ops: int = 24,
+    checkpoint_threshold: int = 1024,
+    fence_check: bool = True,
+) -> FailoverVerdict:
+    """One seeded kill/promote/verify round, in-process."""
+    rng = random.Random(seed ^ 0xFA11)
+    ops = build_workload(seed, n_ops)
+    stage, at, cut = random_failover_spec(rng, n_ops, ALL_STAGES)
+    sync = rng.random() < 0.5
+    round_dir = Path(base_dir) / f"failover_{seed}"
+    primary_dir = round_dir / "primary"
+    standby_dir = round_dir / "standby"
+
+    standby = ReplicationStandby(
+        standby_dir, checkpoint_threshold=checkpoint_threshold
+    )
+    catalog = Catalog()
+    manager = DurabilityManager(
+        primary_dir, checkpoint_threshold=checkpoint_threshold
+    )
+    manager.attach(catalog)
+    primary = ReplicationPrimary(
+        manager, standby.address, sync=sync, ack_timeout_s=0.25
+    )
+    manager.replication = primary
+
+    injector = faults.FaultInjector().durability_crash(
+        stage, at=at, cut=cut, action="raise"
+    )
+    acked = 0
+    fired = False
+    term = 0
+    with faults.inject(injector):
+        try:
+            for op in ops:
+                apply_op(catalog, op)
+                acked += 1
+        except SimulatedCrash:
+            fired = True
+
+        def restart_standby(keep_port: bool = True) -> "ReplicationStandby":
+            # Same port, so the primary's reconnect loop finds the new
+            # incarnation and the stream resumes from its sealed tail.
+            # Lingering accepted sockets can hold the port briefly;
+            # retry, then fall back to an ephemeral port (the primary
+            # simply never reconnects in that case).  Once the primary
+            # is dead the port no longer matters.
+            if not keep_port:
+                return ReplicationStandby(
+                    standby_dir, checkpoint_threshold=checkpoint_threshold
+                )
+            port = standby.address[1]
+            deadline = time.monotonic() + 2.0
+            while True:
+                try:
+                    return ReplicationStandby(
+                        standby_dir, port=port,
+                        checkpoint_threshold=checkpoint_threshold,
+                    )
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        return ReplicationStandby(
+                            standby_dir,
+                            checkpoint_threshold=checkpoint_threshold,
+                        )
+                    time.sleep(0.05)
+
+        # A fault may have killed the *standby* instead (the stages are
+        # shared: its replica manager runs the same WAL code).  Restart
+        # it — recovery seals the torn tail and sweeps spool files —
+        # and let the live primary re-stream to it.
+        if standby.crashed:
+            standby = restart_standby()
+        # Half the rounds promote at whatever lag exists right now; the
+        # other half let the stream drain first, covering both the
+        # laggy and the caught-up promotion paths.
+        if rng.random() < 0.5 and not fired:
+            tail = manager.wal.last_lsn if manager.wal is not None else 0
+            _wait_for(lambda: standby.flushed_lsn >= tail, timeout_s=1.0)
+        degraded = primary.degraded
+        manager.abandon()  # takes primary (the sender fleet) down with it
+
+        # Promotion under an armed fault: repl_promote dies after the
+        # listener closes but before the bumped term is durable — the
+        # next incarnation must come back unpromoted and retry cleanly.
+        # The standby can also simulated-crash in a serve thread right
+        # up to the promotion point, so retry around that too.
+        term = -1
+        for _ in range(3):
+            try:
+                term = standby.promote()
+                break
+            except SimulatedCrash:
+                fired = True
+                standby.abandon()
+                standby = restart_standby(keep_port=False)
+            except ReplicationError:
+                # promote() refuses a closed standby: a serve thread
+                # simulated-crashed it after our aliveness check.
+                _wait_for(lambda: standby.crashed, timeout_s=1.0)
+                if standby.crashed:
+                    standby = restart_standby(keep_port=False)
+                else:
+                    raise
+        if term < 0:
+            raise AssertionError("standby promotion did not converge")
+    # Faults on the replication stages fire in the sender / serve
+    # threads, not the writer: the injector's counter sees them all.
+    fired = fired or injector.fired > 0
+    flushed = standby.flushed_lsn
+
+    return _verify_failover(
+        round_dir,
+        primary_dir,
+        standby_dir,
+        ops,
+        acked,
+        flushed,
+        strict_sync=sync and not degraded,
+        sync=sync,
+        degraded=degraded,
+        stage=stage if fired else None,
+        fired=fired,
+        term=term,
+        checkpoint_threshold=checkpoint_threshold,
+        fence_check=fence_check,
+    )
+
+
+# ----------------------------------------------------------------------
+# Subprocess rounds (real SIGKILL; standby survives in the parent)
+# ----------------------------------------------------------------------
+
+
+def _subprocess_primary(
+    directory: str,
+    ack_path: str,
+    seed: int,
+    n_ops: int,
+    stage: str,
+    at: int,
+    cut: Optional[int],
+    checkpoint_threshold: int,
+    standby_host: str,
+    standby_port: int,
+    sync: bool,
+) -> None:
+    """Child body: a replicating primary with a ``kill`` fault armed.
+
+    Acks each op through an fsync'd file exactly the way a client would
+    observe commits — in sync mode the ack therefore happens only after
+    the standby flush (or an explicit degrade)."""
+    ops = build_workload(seed, n_ops)
+    catalog = Catalog()
+    manager = DurabilityManager(
+        directory, checkpoint_threshold=checkpoint_threshold
+    )
+    manager.attach(catalog)
+    primary = ReplicationPrimary(
+        manager, (standby_host, standby_port), sync=sync, ack_timeout_s=0.25
+    )
+    manager.replication = primary
+    injector = faults.FaultInjector().durability_crash(
+        stage, at=at, cut=cut, action="kill"
+    )
+    ack = open(ack_path, "a", buffering=1)
+    with faults.inject(injector):
+        for index, op in enumerate(ops):
+            apply_op(catalog, op)
+            ack.write(f"{index + 1}\n")
+            ack.flush()
+            os.fsync(ack.fileno())
+    ack.close()
+    manager.close()
+
+
+def run_subprocess_failover(
+    base_dir: Union[str, Path],
+    seed: int,
+    *,
+    n_ops: int = 24,
+    checkpoint_threshold: int = 1024,
+    timeout_s: float = 30.0,
+    fence_check: bool = True,
+) -> FailoverVerdict:
+    """One seeded round with a real SIGKILL'd primary subprocess."""
+    import multiprocessing
+
+    from .crash import _read_acked
+
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+    rng = random.Random(seed ^ 0xF0F0)
+    ops = build_workload(seed, n_ops)
+    stage, at, cut = random_failover_spec(rng, n_ops, PRIMARY_STAGES)
+    sync = rng.random() < 0.5
+    round_dir = Path(base_dir) / f"failover_kill_{seed}"
+    primary_dir = round_dir / "primary"
+    standby_dir = round_dir / "standby"
+    primary_dir.mkdir(parents=True, exist_ok=True)
+    ack_path = primary_dir / "acks"
+
+    standby = ReplicationStandby(
+        standby_dir, checkpoint_threshold=checkpoint_threshold
+    )
+    proc = ctx.Process(
+        target=_subprocess_primary,
+        args=(
+            str(primary_dir), str(ack_path), seed, n_ops, stage, at, cut,
+            checkpoint_threshold, standby.address[0], standby.address[1],
+            sync,
+        ),
+    )
+    proc.start()
+    proc.join(timeout_s)
+    if proc.is_alive():  # pragma: no cover - hung writer
+        proc.terminate()
+        proc.join(5.0)
+        standby.close()
+        raise AssertionError(f"primary subprocess hung (seed={seed})")
+    fired = proc.exitcode != 0  # -SIGKILL when the fault fired
+
+    acked = _read_acked(ack_path)
+    # Everything the dead primary put on the wire is in the kernel
+    # buffer; give the standby's serve thread a moment to drain it
+    # (wait until the flushed LSN stops moving).
+    deadline = time.monotonic() + 2.0
+    last = standby.flushed_lsn
+    settled_at = time.monotonic()
+    while time.monotonic() < deadline:
+        time.sleep(0.02)
+        current = standby.flushed_lsn
+        if current != last:
+            last = current
+            settled_at = time.monotonic()
+        elif time.monotonic() - settled_at > 0.15:
+            break
+    degraded = (primary_dir / DEGRADE_MARKER_NAME).exists()
+    term = standby.promote()
+    flushed = standby.flushed_lsn
+
+    return _verify_failover(
+        round_dir,
+        primary_dir,
+        standby_dir,
+        ops,
+        acked,
+        flushed,
+        strict_sync=sync and not degraded,
+        sync=sync,
+        degraded=degraded,
+        stage=stage if fired else None,
+        fired=fired,
+        term=term,
+        checkpoint_threshold=checkpoint_threshold,
+        fence_check=fence_check,
+    )

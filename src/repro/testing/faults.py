@@ -48,6 +48,7 @@ __all__ = [
     "PoisonedTraceError",
     "FaultInjector",
     "DURABILITY_STAGES",
+    "REPLICATION_STAGES",
     "inject",
     "poison_traces",
 ]
@@ -233,6 +234,22 @@ class FaultInjector:
         "wal_reset",
     )
 
+    #: Replication fault stages.  Kept separate from DURABILITY_STAGES —
+    #: the crash harness samples stages with ``rng.choice`` over that
+    #: tuple, and extending it would silently shift every seeded draw in
+    #: existing tests.  ``repl_send`` lands in the primary's sender loop
+    #: mid-frame (``cut`` tears the wire bytes); ``repl_handshake``
+    #: brackets the HELLO/WELCOME exchange; ``repl_promote`` lands inside
+    #: promotion after the listener closes but before the bumped fencing
+    #: term is durable; ``repl_install`` lands inside the standby's
+    #: shipped-checkpoint install after the spool file is created.
+    REPLICATION_STAGES = (
+        "repl_send",
+        "repl_handshake",
+        "repl_promote",
+        "repl_install",
+    )
+
     def durability_crash(
         self,
         stage: str,
@@ -251,7 +268,10 @@ class FaultInjector:
         harness) or ``"kill"`` (``SIGKILL`` the calling process, for the
         subprocess harness — a real mid-write death).
         """
-        if stage not in self.DURABILITY_STAGES:
+        if (
+            stage not in self.DURABILITY_STAGES
+            and stage not in self.REPLICATION_STAGES
+        ):
             raise ValueError(f"unknown durability stage {stage!r}")
         if action not in ("raise", "kill"):
             raise ValueError(f"unknown crash action {action!r}")
@@ -362,6 +382,9 @@ class FaultInjector:
 
 #: Module-level alias for the durability crash stages.
 DURABILITY_STAGES = FaultInjector.DURABILITY_STAGES
+
+#: Module-level alias for the replication crash stages.
+REPLICATION_STAGES = FaultInjector.REPLICATION_STAGES
 
 
 @contextlib.contextmanager

@@ -1,0 +1,95 @@
+"""Fail-stop WAL poisoning: one torn I/O error, zero silent truncation.
+
+The hazard: an ``OSError`` escaping mid-append leaves a torn frame at
+the log tail.  If a *later* append succeeded past it, the next
+recovery's torn-tail scan would truncate the tear — and everything
+after it, including the acknowledged later write.  The WAL therefore
+fail-stops on the first I/O error and refuses all writes until a
+restart re-seals the file.
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.errors import WalPoisonedError
+from repro.storage.catalog import Catalog
+from repro.storage.durability import DurabilityManager
+from repro.storage.durability.wal import WriteAheadLog
+from repro.testing.crash import apply_op, build_workload, catalog_state
+
+
+def _enospc_after(monkeypatch, wal, n_writes):
+    """Let ``n_writes`` raw writes through, then simulate a full disk."""
+    real_write = WriteAheadLog._write
+    state = {"left": n_writes}
+
+    def failing_write(self, data):
+        if self is wal:
+            if state["left"] <= 0:
+                raise OSError(errno.ENOSPC, "No space left on device")
+            state["left"] -= 1
+        return real_write(self, data)
+
+    monkeypatch.setattr(WriteAheadLog, "_write", failing_write)
+
+
+class TestAppendPoisoning:
+    def test_enospc_mid_append_raises_typed_and_poisons(
+        self, tmp_path, monkeypatch
+    ):
+        catalog = Catalog()
+        manager = DurabilityManager(tmp_path / "db")
+        manager.attach(catalog)
+        ops = build_workload(41, 8)
+        for op in ops[:4]:
+            apply_op(catalog, op)
+        survivor = catalog_state(catalog)
+
+        _enospc_after(monkeypatch, manager.wal, 0)
+        with pytest.raises(WalPoisonedError) as excinfo:
+            apply_op(catalog, ops[4])
+        assert isinstance(excinfo.value.cause, OSError)
+        assert excinfo.value.cause.errno == errno.ENOSPC
+
+        # Every later append fails fast — before touching the file.
+        calls = []
+        monkeypatch.setattr(
+            WriteAheadLog, "_write",
+            lambda self, data: calls.append(len(data)),
+        )
+        for op in ops[5:]:
+            with pytest.raises(WalPoisonedError):
+                apply_op(catalog, op)
+        assert calls == [], "poisoned WAL must not issue further writes"
+        manager.abandon()
+
+        # Restart: recovery re-seals the torn tail; exactly the four
+        # acknowledged ops survive, and the log accepts writes again.
+        monkeypatch.undo()
+        recovered = Catalog()
+        manager2 = DurabilityManager(tmp_path / "db")
+        manager2.attach(recovered)
+        assert catalog_state(recovered) == survivor
+        apply_op(recovered, ("touch", "after_reseal"))
+        manager2.close()
+
+    def test_checkpoint_path_poisons_too(self, tmp_path, monkeypatch):
+        catalog = Catalog()
+        manager = DurabilityManager(tmp_path / "db")
+        manager.attach(catalog)
+        apply_op(catalog, ("touch", "t"))
+
+        # Poison via a failed reset-header write, then prove the
+        # checkpoint/append paths share the fail-stop latch.
+        _enospc_after(monkeypatch, manager.wal, 0)
+        with pytest.raises(WalPoisonedError):
+            manager.wal.reset(base_lsn=manager.wal.last_lsn)
+        monkeypatch.undo()
+        with pytest.raises(WalPoisonedError):
+            apply_op(catalog, ("touch", "u"))
+        with pytest.raises(WalPoisonedError):
+            manager.checkpoint()
+        manager.abandon()

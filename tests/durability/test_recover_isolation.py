@@ -1,0 +1,85 @@
+"""Partial-failure isolation in ``recover_tenants``: one corrupt tenant
+directory yields a typed per-tenant error while every healthy tenant
+recovers and serves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TenantRecoveryError
+from repro.service import QueryService
+from repro.storage import Column, Table
+from repro.storage.durability.checkpoint import CHECKPOINT_NAME
+from repro.storage.durability.manager import WAL_NAME
+from repro.types import SqlType
+
+
+def _table(name, values):
+    return Table(name, [Column("a", SqlType.INT, list(values))])
+
+
+def _seed_service(root, tenants):
+    service = QueryService(durability_root=root)
+    for tid, values in tenants.items():
+        session = service.add_tenant(tid)
+        session.register_table(_table("t", values))
+        # Force a checkpoint so every tenant has both artifacts on disk.
+        session.adapter.durability.checkpoint()
+    service.shutdown()
+
+
+class TestRecoverIsolation:
+    def test_corrupt_checkpoint_isolates_one_tenant(self, tmp_path):
+        root = tmp_path / "svc"
+        _seed_service(root, {"acme": [1, 2], "bad": [3], "zeta": [4, 5]})
+        ckpt = root / "bad" / CHECKPOINT_NAME
+        ckpt.write_bytes(b"XXXX" + ckpt.read_bytes()[4:])  # break magic
+
+        service = QueryService(durability_root=root)
+        try:
+            reports = service.recover_tenants()
+            assert set(reports) == {"acme", "zeta"}
+            assert set(reports.errors) == {"bad"}
+            err = reports.errors["bad"]
+            assert isinstance(err, TenantRecoveryError)
+            assert err.tenant == "bad"
+            assert err.cause is not None
+            # The healthy tenants serve queries immediately.
+            for tid, expected in (("acme", [1, 2]), ("zeta", [4, 5])):
+                out = service.execute(tid, "SELECT a FROM t")
+                assert out.ok
+                assert out.result.columns[0].to_list() == expected
+            # The damaged tenant was never registered as a session.
+            with pytest.raises(Exception):
+                service.session("bad")
+        finally:
+            service.shutdown()
+
+    def test_corrupt_wal_magic_isolates_one_tenant(self, tmp_path):
+        root = tmp_path / "svc"
+        _seed_service(root, {"acme": [1], "bad": [2]})
+        wal = root / "bad" / WAL_NAME
+        blob = wal.read_bytes()
+        wal.write_bytes(b"NOTAWAL!" + blob[8:])  # overwrite the magic
+
+        service = QueryService(durability_root=root)
+        try:
+            reports = service.recover_tenants()
+            assert "acme" in reports
+            assert "bad" in reports.errors
+            assert isinstance(reports.errors["bad"], TenantRecoveryError)
+            out = service.execute("acme", "SELECT a FROM t")
+            assert out.ok and out.result.columns[0].to_list() == [1]
+        finally:
+            service.shutdown()
+
+    def test_all_healthy_directories_have_no_errors(self, tmp_path):
+        root = tmp_path / "svc"
+        _seed_service(root, {"a": [1], "b": [2]})
+        service = QueryService(durability_root=root)
+        try:
+            reports = service.recover_tenants()
+            assert set(reports) == {"a", "b"}
+            assert reports.errors == {}
+        finally:
+            service.shutdown()

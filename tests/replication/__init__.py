@@ -1,0 +1,1 @@
+"""Replication tests: protocol, streaming, fencing, failover chaos."""

@@ -1,0 +1,172 @@
+"""Fenced promotion: terms, rejection, poisoning, and persistence.
+
+The invariant under test: once a standby is promoted at term T, the old
+primary (term < T) can never acknowledge another write — not on
+reconnect, not after its own restart, not with the network gone.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import NodeFencedError, ReplicationError
+from repro.storage.catalog import Catalog
+from repro.storage.durability import DurabilityManager
+from repro.storage.replication import (
+    ReplicationPrimary,
+    ReplicationStandby,
+    load_node_meta,
+    store_node_meta,
+)
+from repro.testing.crash import apply_op, build_workload, catalog_state
+
+
+def wait_for(predicate, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestPromotionTerms:
+    def test_promote_bumps_term_and_flips_role_durably(self, tmp_path):
+        standby = ReplicationStandby(tmp_path / "s")
+        assert standby.term == 0
+        term = standby.promote()
+        assert term == 1
+        meta = load_node_meta(tmp_path / "s")
+        assert meta["term"] == 1
+        assert meta["role"] == "primary"
+
+    def test_promote_closes_the_standby(self, tmp_path):
+        standby = ReplicationStandby(tmp_path / "s")
+        assert standby.promote() == 1
+        with pytest.raises(ReplicationError):
+            standby.promote()
+
+    def test_standby_adopts_primary_term_before_welcome(self, tmp_path):
+        # A primary whose meta carries term 5 (two promotions of its
+        # own lineage) streams to a fresh standby: the standby must
+        # persist term 5, so its own later promotion lands at 6.
+        catalog = Catalog()
+        manager = DurabilityManager(tmp_path / "p")
+        manager.attach(catalog)
+        store_node_meta(tmp_path / "p", node="p-node", term=5)
+        standby = ReplicationStandby(tmp_path / "s")
+        primary = ReplicationPrimary(manager, standby.address)
+        manager.replication = primary
+        try:
+            apply_op(catalog, ("touch", "orders"))
+            tail = manager.wal.last_lsn
+            assert wait_for(lambda: standby.flushed_lsn >= tail)
+            assert standby.term == 5
+            assert load_node_meta(tmp_path / "s")["term"] == 5
+        finally:
+            manager.close()
+        assert standby.promote() == 6
+
+    def test_standby_refuses_primary_directory(self, tmp_path):
+        standby = ReplicationStandby(tmp_path / "s")
+        standby.promote()
+        with pytest.raises(ReplicationError):
+            ReplicationStandby(tmp_path / "s")
+
+
+class TestStalePrimaryFencing:
+    def _replicated_pair(self, tmp_path):
+        standby = ReplicationStandby(tmp_path / "standby")
+        catalog = Catalog()
+        manager = DurabilityManager(tmp_path / "primary")
+        manager.attach(catalog)
+        primary = ReplicationPrimary(manager, standby.address)
+        manager.replication = primary
+        for op in build_workload(23, 10):
+            apply_op(catalog, op)
+        tail = manager.wal.last_lsn
+        assert wait_for(lambda: standby.flushed_lsn >= tail)
+        return catalog, manager, standby
+
+    def test_revived_old_primary_is_rejected_and_poisoned(self, tmp_path):
+        catalog, manager, standby = self._replicated_pair(tmp_path)
+        expected = catalog_state(catalog)
+        manager.abandon()  # the primary "dies"
+        term = standby.promote()
+
+        # The promoted node serves as a primary with its own standby.
+        promoted_catalog = Catalog()
+        promoted = DurabilityManager(tmp_path / "standby")
+        promoted.attach(promoted_catalog)
+        assert catalog_state(promoted_catalog) == expected
+        s2 = ReplicationStandby(tmp_path / "s2", min_term=term)
+        new_primary = ReplicationPrimary(promoted, s2.address)
+        promoted.replication = new_primary
+        try:
+            # The old primary comes back from the dead and reconnects.
+            old_catalog = Catalog()
+            old_manager = DurabilityManager(tmp_path / "primary")
+            old_manager.attach(old_catalog)
+            old_primary = ReplicationPrimary(old_manager, s2.address)
+            old_manager.replication = old_primary
+            assert wait_for(lambda: old_primary.fenced_by is not None)
+            assert old_primary.fenced_by >= term
+            with pytest.raises(NodeFencedError):
+                apply_op(old_catalog, ("touch", "orders"))
+            old_manager.abandon()
+
+            # The fence is persisted: a second revival is poisoned
+            # before any connection is even attempted.
+            meta = load_node_meta(tmp_path / "primary")
+            assert meta["fenced_by"] is not None
+            old2_catalog = Catalog()
+            old2_manager = DurabilityManager(tmp_path / "primary")
+            old2_manager.attach(old2_catalog)
+            old2_primary = ReplicationPrimary(old2_manager, s2.address)
+            assert old2_primary.fenced_by is not None
+            with pytest.raises(NodeFencedError):
+                apply_op(old2_catalog, ("touch", "orders"))
+            old2_manager.abandon()
+
+            # Meanwhile the cluster moved on: the promoted primary
+            # still commits, and its standby follows.
+            apply_op(promoted_catalog, ("touch", "orders"))
+            tail = promoted.wal.last_lsn
+            assert wait_for(lambda: s2.flushed_lsn >= tail)
+        finally:
+            promoted.close()
+            s2.close()
+
+    def test_equal_term_second_claimant_rejected(self, tmp_path):
+        """Two primaries at the same term: the standby follows the
+        lineage it accepted first and rejects the other claimant."""
+        catalog, manager, standby = self._replicated_pair(tmp_path)
+        try:
+            rival_catalog = Catalog()
+            rival_manager = DurabilityManager(tmp_path / "rival")
+            rival_manager.attach(rival_catalog)
+            rival = ReplicationPrimary(rival_manager, standby.address)
+            rival_manager.replication = rival
+            assert wait_for(lambda: rival.fenced_by is not None)
+            with pytest.raises(NodeFencedError):
+                apply_op(rival_catalog, ("touch", "orders"))
+            # The accepted lineage keeps streaming untouched.
+            apply_op(catalog, ("touch", "orders"))
+            tail = manager.wal.last_lsn
+            assert wait_for(lambda: standby.flushed_lsn >= tail)
+            rival_manager.abandon()
+        finally:
+            manager.close()
+            standby.close()
+
+    def test_fence_error_carries_terms(self, tmp_path):
+        catalog = Catalog()
+        manager = DurabilityManager(tmp_path / "p")
+        manager.attach(catalog)
+        manager.fence(7)
+        with pytest.raises(NodeFencedError) as excinfo:
+            apply_op(catalog, ("touch", "orders"))
+        assert excinfo.value.remote_term == 7
+        manager.abandon()

@@ -1,0 +1,120 @@
+"""Wire-protocol unit tests: framing, tearing, and the syscall ledger."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.errors import ReplicationProtocolError
+from repro.storage.replication import protocol
+
+
+def _pair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    return left, right
+
+
+class TestFraming:
+    def test_message_round_trips_each_kind(self):
+        left, right = _pair()
+        try:
+            for kind in (
+                protocol.HELLO, protocol.WELCOME, protocol.REJECT,
+                protocol.FRAME, protocol.CHECKPOINT, protocol.ACK,
+            ):
+                body = b"\x00payload-for-" + kind
+                protocol.send_message(left, kind, body)
+                got = protocol.recv_message(right)
+                assert got == (kind, body)
+        finally:
+            left.close()
+            right.close()
+
+    def test_json_round_trips(self):
+        left, right = _pair()
+        try:
+            payload = {"node": "n1", "term": 3, "start_lsn": 17}
+            protocol.send_json(left, protocol.WELCOME, payload)
+            kind, body = protocol.recv_message(right)
+            assert kind == protocol.WELCOME
+            assert protocol.decode_json(body, kind="WELCOME") == payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_empty_body_is_legal(self):
+        left, right = _pair()
+        try:
+            protocol.send_message(left, protocol.ACK, b"")
+            assert protocol.recv_message(right) == (protocol.ACK, b"")
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_at_boundary_returns_none(self):
+        left, right = _pair()
+        try:
+            protocol.send_message(left, protocol.ACK, b"x" * 8)
+            left.close()
+            assert protocol.recv_message(right) is not None
+            assert protocol.recv_message(right) is None
+        finally:
+            right.close()
+
+    def test_eof_mid_message_raises(self):
+        """A peer dying between two sends tore a message: the stream is
+        corrupt, never silently short."""
+        left, right = _pair()
+        try:
+            wire = protocol.encode_message(protocol.FRAME, b"y" * 64)
+            left.sendall(wire[: len(wire) // 2])
+            left.close()
+            with pytest.raises(ReplicationProtocolError):
+                protocol.recv_message(right)
+        finally:
+            right.close()
+
+    def test_oversized_length_prefix_rejected_before_allocation(self):
+        left, right = _pair()
+        try:
+            left.sendall(
+                protocol._LEN.pack(protocol.MAX_MESSAGE + 1) + b"Z"
+            )
+            with pytest.raises(ReplicationProtocolError):
+                protocol.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_zero_length_message_rejected(self):
+        left, right = _pair()
+        try:
+            left.sendall(protocol._LEN.pack(0))
+            with pytest.raises(ReplicationProtocolError):
+                protocol.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_undecodable_json_body_raises_typed(self):
+        with pytest.raises(ReplicationProtocolError):
+            protocol.decode_json(b"\xff\xfe not json", kind="HELLO")
+
+
+class TestSyscallLedger:
+    def test_send_and_recv_are_counted(self):
+        protocol.reset_repl_io_calls()
+        left, right = _pair()
+        try:
+            protocol.send_message(left, protocol.ACK, b"abc")
+            protocol.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+        assert protocol.REPL_IO_CALLS["send"] == 1
+        assert protocol.REPL_IO_CALLS["recv"] >= 1
+        protocol.reset_repl_io_calls()
+        assert all(v == 0 for v in protocol.REPL_IO_CALLS.values())
