@@ -1,0 +1,238 @@
+"""Columnar data plane: kernel speedup, morsel scaling, shipped bytes.
+
+Four measurements, one JSON artifact (``benchmarks/results/BENCH_morsel.json``):
+
+1. **Serial kernel speedup** — classic vector executor vs the columnar
+   plane at one thread.  The win comes from batch kernels crossing the
+   engine<->UDF boundary once per column instead of four times per value;
+   the acceptance gate (>=2x) is asserted on the *scan-heavy, cheap-body*
+   queries where boundary overhead dominates (labelled ``scan_*`` below).
+   Official UDFBench queries whose bodies are regex/JSON-bound (Q1, Q5)
+   are reported alongside for honesty — their UDF bodies put a hard
+   ceiling on any data-plane speedup.
+2. **Morsel thread scaling** — 1->8 threads.  The GIL bounds UDF-side
+   parallelism (the paper reports ~45% at 12 threads), so the gate is the
+   Figure-6g band: more threads must never cost more than 1.5x the
+   single-thread time.
+3. **Shipped bytes** — one 4096-row scalar batch through the process
+   pool with and without buffer transport; gate: >=5x fewer bytes.
+4. **Disabled overhead** — the columnar plane attached but disabled must
+   cost <3% on the classic path (ratio of best-of-interleaved-rounds
+   times, the additive-noise-robust estimator, so the gate holds on
+   noisy runners).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import FigureReport, time_call
+from repro.engines import MiniDbAdapter
+from repro.resilience.workers import WorkerPool
+from repro.udf import scalar_udf
+from repro.workloads import udfbench
+
+RESULTS_DIR = Path(
+    os.environ.get(
+        "REPRO_BENCH_RESULTS", Path(__file__).resolve().parent / "results"
+    )
+)
+
+THREADS = [1, 2, 4, 8]
+
+
+@scalar_udf
+def venue_tag(s: str) -> str:
+    return s.lower()
+
+
+@scalar_udf
+def pub_bump(x: int) -> int:
+    return x + 1
+
+
+#: Cheap-body scan queries: boundary overhead dominates, so these carry
+#: the >=2x kernel gate.
+SCAN_QUERIES = {
+    "scan_text": "SELECT venue_tag(venue) FROM pubs",
+    "scan_int": "SELECT pub_bump(pubid) FROM pubs",
+}
+
+#: Official UDFBench queries reported for context (bodies are the floor).
+OFFICIAL = ["Q1", "Q5"]
+
+
+def make_adapter(scale, *, columnar, threads=1, attach_disabled=False):
+    adapter = MiniDbAdapter(
+        columnar=columnar, morsel_threads=threads
+    )
+    if attach_disabled:
+        adapter.enable_columnar(enabled=False)
+    udfbench.setup(adapter, scale, seed=11)
+    adapter.register_udf(venue_tag)
+    adapter.register_udf(pub_bump)
+    return adapter
+
+
+def timed(adapter, sql, repeats=3):
+    adapter.execute_sql(sql)  # warm
+    elapsed, _ = time_call(lambda: adapter.execute_sql(sql), repeats=repeats)
+    return elapsed
+
+
+def measure_bytes():
+    """Shipped bytes for one 4096-row scalar batch, both transports."""
+    raw = [list(range(4096))]
+    out = {}
+    for label, buffered in (("pickle", False), ("buffers", True)):
+        pool = WorkerPool(pool_size=1, buffer_transport=buffered)
+        try:
+            pool.run_batch(
+                pub_bump.__udf__, "scalar", (raw, 4096), size=4096,
+                fallback=lambda: [v + 1 for v in raw[0]],
+            )
+            batch = pool.last_batch_bytes
+            out[label] = batch["sent"] + batch["received"]
+        finally:
+            pool.shutdown()
+    out["reduction_x"] = out["pickle"] / max(out["buffers"], 1)
+    return out
+
+
+def measure_disabled_overhead(scale, sql, rounds=7, batch=5):
+    """Classic-vs-attached-but-disabled ratio of best-of-all-rounds times.
+
+    Same-instance A/B: one adapter alternates between no policy and an
+    attached-but-disabled policy, toggled *outside* the timed region.
+    Two separate adapter instances running byte-identical code differ
+    by several percent from memory layout alone, so a cross-instance
+    ratio can never hold a 3% gate; on one instance the only variable
+    left is the disabled-policy dispatch itself.  Each sample times
+    ``batch`` consecutive executions, the global minimum over
+    interleaved rounds is kept per side (noise is strictly additive),
+    and GC is paused so a collection landing in one side's sample
+    doesn't read as overhead.
+    """
+    import gc
+
+    adapter = make_adapter(scale, columnar=False)
+    try:
+        # Structural half of the gate: a disabled policy must select the
+        # classic executor, not a sharding executor with an
+        # enabled=False check inside the hot loop.
+        plain_executor = type(adapter.database._make_executor())
+        adapter.enable_columnar(enabled=False)
+        assert type(adapter.database._make_executor()) is plain_executor
+        adapter.disable_columnar()
+
+        def sample():
+            elapsed, _ = time_call(
+                lambda: [adapter.execute_sql(sql) for _ in range(batch)],
+                repeats=1,
+            )
+            return elapsed
+
+        timed(adapter, sql, repeats=1)
+        best_plain = float("inf")
+        best_disabled = float("inf")
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            for _ in range(rounds):
+                adapter.disable_columnar()
+                best_plain = min(best_plain, sample())
+                adapter.enable_columnar(enabled=False)
+                best_disabled = min(best_disabled, sample())
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return best_disabled / best_plain
+    finally:
+        adapter.close()
+
+
+def run_figure(scale: str) -> dict:
+    report = FigureReport("morsel", "columnar/morsel data plane")
+    queries = dict(SCAN_QUERIES)
+    queries.update({name: udfbench.QUERIES[name] for name in OFFICIAL})
+
+    classic = make_adapter(scale, columnar=False)
+    columnar = make_adapter(scale, columnar=True, threads=1)
+    speedups = {}
+    try:
+        for name, sql in queries.items():
+            t_classic = timed(classic, sql)
+            t_columnar = timed(columnar, sql)
+            report.add("classic", name, t_classic)
+            report.add("columnar", name, t_columnar)
+            speedups[name] = t_classic / t_columnar
+    finally:
+        classic.close()
+        columnar.close()
+
+    # Thread scaling runs over a dedicated wide scan (~15 morsels at the
+    # default morsel size) so each sample is milliseconds, not the
+    # sub-millisecond tiny-scale scans where pool jitter swamps the
+    # 1.5x band the gate asserts.
+    from repro.storage import Table
+    from repro.types import SqlType
+
+    scale_rows = Table.from_rows(
+        "scan_wide", [("x", SqlType.INT)], [(i,) for i in range(60_000)]
+    )
+    scaling = {}
+    for threads in THREADS:
+        adapter = make_adapter(scale, columnar=True, threads=threads)
+        adapter.register_table(scale_rows)
+        try:
+            elapsed = timed(
+                adapter, "SELECT pub_bump(x) FROM scan_wide", repeats=5
+            )
+            report.add("scaling", f"{threads}t", elapsed)
+            scaling[str(threads)] = elapsed
+        finally:
+            adapter.close()
+
+    bytes_shipped = measure_bytes()
+    overhead = measure_disabled_overhead(scale, udfbench.QUERIES["Q1"])
+    report.add("overhead", "disabled", overhead)
+    report.emit()
+
+    payload = {
+        "figure": "morsel",
+        "scale": scale,
+        "speedup_vs_classic": speedups,
+        "scan_gate_queries": sorted(SCAN_QUERIES),
+        "thread_scaling_s": scaling,
+        "boundary_bytes": bytes_shipped,
+        "disabled_overhead_ratio": overhead,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_morsel.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return payload
+
+
+@pytest.mark.benchmark(group="morsel")
+def test_morsel_data_plane(benchmark, bench_scale):
+    payload = benchmark.pedantic(
+        lambda: run_figure(bench_scale), rounds=1, iterations=1
+    )
+    # Gate 1: >=2x on the scan-heavy, cheap-body queries.
+    for name in SCAN_QUERIES:
+        assert payload["speedup_vs_classic"][name] >= 2.0, (
+            f"{name}: kernel speedup below the 2x gate"
+        )
+    # Gate 2: Figure-6g band — threads never cost more than 1.5x serial.
+    scaling = payload["thread_scaling_s"]
+    for threads in THREADS[1:]:
+        assert scaling[str(threads)] < scaling["1"] * 1.5
+    # Gate 3: >=5x fewer shipped bytes per UDF batch.
+    assert payload["boundary_bytes"]["reduction_x"] >= 5.0
+    # Gate 4: attached-but-disabled plane costs <3% (best-of-rounds).
+    assert payload["disabled_overhead_ratio"] < 1.03

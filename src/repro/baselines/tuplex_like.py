@@ -218,8 +218,15 @@ class TuplexLike:
             segment(partition, out)
             return out
 
+        from ..resilience.governor import spawn_shield
+
         with ThreadPoolExecutor(max_workers=self.threads) as pool:
-            results = list(pool.map(work, partitions))
+            with spawn_shield():
+                # Pool threads spawn lazily per submit; hold the
+                # watchdog's async raise through the Thread.start
+                # handshakes when the caller is governed.
+                futures = [pool.submit(work, p) for p in partitions]
+            results = [future.result() for future in futures]
         merged: List[Tuple] = []
         for result in results:
             merged.extend(result)

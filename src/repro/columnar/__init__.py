@@ -1,0 +1,88 @@
+"""repro.columnar — the typed-buffer data plane.
+
+Four pieces, one policy object:
+
+- :mod:`~repro.columnar.buffer` — ``Batch``/``BufferPage`` over typed
+  contiguous buffers with zero-copy slicing (the unit of exchange).
+- :mod:`~repro.columnar.kernels` — batch-at-a-time scalar UDF kernels
+  that cross the engine↔UDF boundary per *column* instead of per value.
+- :mod:`~repro.columnar.transport` — strict typed-frame packing so UDF
+  batches ship to the worker pool as raw buffers (pickle protocol-5
+  out-of-band or shared memory) instead of object-list pickles.
+- :mod:`~repro.columnar.morsel` / :mod:`~repro.columnar.executor` —
+  morsel-driven parallel execution with work stealing, per-morsel
+  governance checkpoints, and deopt-to-serial fallback.
+
+Everything is **off by default**: the classic paths (and their exact
+boundary-crossing counts, which the Figure 6c reproduction asserts on)
+are untouched until an adapter opts in via ``enable_columnar()`` or the
+``columnar=True`` constructor knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .buffer import Batch, BufferPage, PageTypeError, page_from_values
+from .morsel import MorselScheduler
+
+__all__ = [
+    "ColumnarPolicy", "Batch", "BufferPage", "PageTypeError",
+    "page_from_values", "MorselScheduler",
+]
+
+#: Default morsel: 4096 rows — big enough to amortize per-morsel
+#: scheduling/span overhead, small enough that governance checkpoints
+#: and work stealing stay responsive.
+DEFAULT_MORSEL_SIZE = 4096
+
+
+@dataclass
+class ColumnarPolicy:
+    """One adapter's columnar-plane configuration.
+
+    Shared between the executor (morsel sharding), the UDF registry
+    (kernel dispatch), and the transport layer (buffer shipping); the
+    scheduler hanging off it owns the morsel thread pool.
+    """
+
+    enabled: bool = True
+    morsel_size: int = DEFAULT_MORSEL_SIZE
+    threads: int = 1
+    buffer_transport: bool = False
+
+    def __post_init__(self):
+        self.morsel_size = max(1, int(self.morsel_size))
+        self.threads = max(1, int(self.threads))
+        self.scheduler = MorselScheduler(
+            threads=self.threads, morsel_size=self.morsel_size
+        )
+
+    def configure(
+        self,
+        *,
+        enabled: Optional[bool] = None,
+        morsel_size: Optional[int] = None,
+        threads: Optional[int] = None,
+        buffer_transport: Optional[bool] = None,
+    ) -> "ColumnarPolicy":
+        """Update knobs in place (``None`` leaves a knob untouched)."""
+        if enabled is not None:
+            self.enabled = bool(enabled)
+        if morsel_size is not None:
+            self.morsel_size = max(1, int(morsel_size))
+            self.scheduler.morsel_size = self.morsel_size
+        if threads is not None:
+            self.threads = max(1, int(threads))
+            if self.threads != self.scheduler.threads:
+                self.scheduler.shutdown()
+                self.scheduler = MorselScheduler(
+                    threads=self.threads, morsel_size=self.morsel_size
+                )
+        if buffer_transport is not None:
+            self.buffer_transport = bool(buffer_transport)
+        return self
+
+    def close(self) -> None:
+        self.scheduler.shutdown()

@@ -1,0 +1,181 @@
+"""The morsel-driven vectorized executor.
+
+:class:`MorselVectorExecutor` extends the operator-at-a-time
+:class:`~repro.engine.executor_vector.VectorExecutor` by sharding the
+row-parallel operators — Filter, FusedFilter, and UDF-bearing Project —
+into fixed-size morsels executed through
+:class:`~repro.columnar.morsel.MorselScheduler`.  Each morsel sees a
+zero-copy column slice (the storage layer's numpy views), evaluates
+independently, and the operator concatenates masks/columns at the end.
+
+Operators whose semantics are inherently cross-row (aggregate, join,
+sort, distinct, set ops, table-function expand) are inherited unchanged;
+morselizing them would need a merge phase this subsystem doesn't claim.
+Pure-vector Projects (no UDF calls) stay on the one-shot numpy path when
+running single-threaded — slicing them into morsels only adds concat
+work.  Fused JIT batch traces are sharded only when codegen stamped them
+``morsel_safe`` (row-wise pure); anything else runs whole-batch exactly
+as before.
+
+Row budgets are charged once per operator in ``_run`` (inherited), never
+per morsel — parallel execution must not change *when* a budget trips.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..engine.executor_vector import Relation, VectorExecutor
+from ..resilience.runtime import FAULTS as _FAULTS
+from ..engine.expressions import VectorEvaluator
+from ..engine.plan import Filter, FusedFilter, Project
+from ..sql import ast_nodes as ast
+from ..storage.column import Column
+from ..udf.definition import UdfKind
+from .morsel import MorselScheduler
+
+__all__ = ["MorselVectorExecutor"]
+
+
+class MorselVectorExecutor(VectorExecutor):
+    """Vectorized executor with morsel-driven row-parallel operators."""
+
+    def __init__(self, catalog, resolver, policy,
+                 scheduler: Optional[MorselScheduler] = None):
+        super().__init__(catalog, resolver)
+        self.policy = policy
+        self.scheduler = scheduler or MorselScheduler(
+            threads=policy.threads, morsel_size=policy.morsel_size
+        )
+
+    # -- helpers --------------------------------------------------------
+
+    def _worth_sharding(self, size: int) -> bool:
+        """One morsel (or zero rows) gains nothing from the machinery."""
+        if _FAULTS.armed:
+            # Injected faults fire at classic per-row points and may be
+            # once-only: sharding would let the deopt-to-serial re-run
+            # retry a transient fault away (or fire it at a different
+            # row).  Fault semantics require the serial path.
+            return False
+        return size > self.scheduler.morsel_size or (
+            self.scheduler.threads > 1 and size > 1
+        )
+
+    def _has_scalar_udf(self, exprs) -> bool:
+        for expr in exprs:
+            for node in ast.walk_expr(expr):
+                if (
+                    isinstance(node, ast.FunctionCall)
+                    and self.resolver.udf_kind(node.name) is UdfKind.SCALAR
+                ):
+                    return True
+        return False
+
+    def _batch_func_morsel_safe(self, udf_name: str) -> bool:
+        registered = self.resolver.udf(udf_name)
+        if registered is None:
+            return True
+        batch = registered.definition.scalar_batch_func
+        return batch is None or getattr(batch, "morsel_safe", False)
+
+    # -- morselized operators -------------------------------------------
+
+    def _filter(self, node: Filter, ctes) -> Relation:
+        columns, size = self._run(node.child, ctes)
+        if not self._worth_sharding(size):
+            return self._filter_whole(node, columns, size)
+
+        def run_morsel(start: int, stop: int) -> np.ndarray:
+            chunk = [col.slice(start, stop) for col in columns]
+            evaluator = VectorEvaluator(node.child.schema, self.resolver)
+            return evaluator.predicate_mask(
+                node.predicate, chunk, stop - start
+            )
+
+        masks = self.scheduler.map_ranges(size, run_morsel, stage="filter")
+        mask = np.concatenate(masks) if masks else np.zeros(0, dtype=bool)
+        return [col.filter(mask) for col in columns], int(mask.sum())
+
+    def _filter_whole(self, node: Filter, columns, size) -> Relation:
+        evaluator = VectorEvaluator(node.child.schema, self.resolver)
+        mask = evaluator.predicate_mask(node.predicate, columns, size)
+        return [col.filter(mask) for col in columns], int(mask.sum())
+
+    def _fused_filter(self, node: FusedFilter, ctes) -> Relation:
+        columns, size = self._run(node.child, ctes)
+        if (
+            not self._worth_sharding(size)
+            or not self._batch_func_morsel_safe(node.udf_name)
+        ):
+            return self._fused_filter_whole(node, columns, size)
+        registered = self.resolver.udf(node.udf_name)
+
+        def run_morsel(start: int, stop: int) -> np.ndarray:
+            chunk = [col.slice(start, stop) for col in columns]
+            n = stop - start
+            evaluator = VectorEvaluator(node.child.schema, self.resolver)
+            args = [
+                evaluator.evaluate(expr, chunk, n) for expr in node.arg_exprs
+            ]
+            predicate = registered.call_scalar(args, n)
+            return (
+                np.asarray(predicate.numpy(), dtype=bool)
+                & ~predicate.null_mask()
+            )
+
+        masks = self.scheduler.map_ranges(
+            size, run_morsel, stage="fused_filter"
+        )
+        mask = np.concatenate(masks) if masks else np.zeros(0, dtype=bool)
+        return [col.filter(mask) for col in columns], int(mask.sum())
+
+    def _fused_filter_whole(self, node: FusedFilter, columns, size) -> Relation:
+        evaluator = VectorEvaluator(node.child.schema, self.resolver)
+        arg_columns = [
+            evaluator.evaluate(expr, columns, size) for expr in node.arg_exprs
+        ]
+        registered = self.resolver.udf(node.udf_name)
+        predicate = registered.call_scalar(arg_columns, size)
+        mask = np.asarray(predicate.numpy(), dtype=bool) & ~predicate.null_mask()
+        return [col.filter(mask) for col in columns], int(mask.sum())
+
+    def _project(self, node: Project, ctes) -> Relation:
+        columns, size = self._run(node.child, ctes)
+        exprs = [item.expr for item in node.items]
+        shard = self._worth_sharding(size) and (
+            self.scheduler.threads > 1 or self._has_scalar_udf(exprs)
+        )
+        if shard:
+            for expr in exprs:
+                for sub in ast.walk_expr(expr):
+                    if isinstance(sub, ast.FunctionCall) and (
+                        not self._batch_func_morsel_safe(sub.name)
+                    ):
+                        shard = False
+                        break
+        if not shard:
+            evaluator = VectorEvaluator(node.child.schema, self.resolver)
+            out = [
+                evaluator.evaluate(item.expr, columns, size, item.name)
+                for item in node.items
+            ]
+            return out, size
+
+        def run_morsel(start: int, stop: int) -> List[Column]:
+            chunk = [col.slice(start, stop) for col in columns]
+            n = stop - start
+            evaluator = VectorEvaluator(node.child.schema, self.resolver)
+            return [
+                evaluator.evaluate(item.expr, chunk, n, item.name)
+                for item in node.items
+            ]
+
+        pieces = self.scheduler.map_ranges(size, run_morsel, stage="project")
+        out = [
+            Column.concat(item.name, [piece[i] for piece in pieces])
+            for i, item in enumerate(node.items)
+        ]
+        return out, size

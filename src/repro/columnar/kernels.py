@@ -1,0 +1,185 @@
+"""Batch-at-a-time scalar UDF kernels over typed buffers.
+
+The interpreted scalar path pays four boundary conversions *per value*
+(engine→C, C→Python, Python→C, C→engine) plus a per-value ``coerce`` when
+rebuilding the result column — on scan-heavy UDFBench queries that
+overhead dwarfs the UDF bodies themselves.  A kernel replaces the
+per-row machinery with one pass:
+
+- inputs cross the boundary **once per column** (TEXT values are already
+  the ``str`` the UDF wants; JSON still pays its real per-value serde
+  work, exactly as the classic path does),
+- the UDF runs in an arity-specialized C-speed ``map``/listcomp with
+  strict-NULL skipping,
+- the result becomes a trusted :class:`~repro.columnar.buffer.BufferPage`
+  via one type scan instead of per-value ``coerce``,
+- governance checkpoints fire between ``morsel_size`` chunks, so
+  deadlines/cancellation/budgets interrupt mid-batch like before.
+
+Fallback ladder: anything the kernel cannot vouch for — armed fault
+injection, JIT batch wrappers (they have their own fused loop), a UDF
+body raising, an untrusted result type — returns ``None`` and the caller
+re-executes the batch on the classic per-row path, which owns row-error
+policies and fault semantics.  The kernel is a pure fast path; it never
+changes results or error behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..errors import QueryInterrupt
+from ..resilience.governor import checkpoint
+from ..resilience.runtime import FAULTS as _FAULTS
+from ..storage import serde
+from ..storage.column import Column
+from ..types import SqlType
+from ..udf import boundary
+from ..udf.definition import UdfDefinition, UdfKind
+
+__all__ = ["eligible", "scalar_batch", "aggregate_eligible", "aggregate_batch"]
+
+
+def eligible(definition: UdfDefinition) -> bool:
+    """Can this UDF's batches run on the kernel path?
+
+    Fused UDFs with a JIT batch wrapper already execute batch-at-a-time;
+    armed fault injection needs the classic path's per-row fire points.
+    """
+    return (
+        definition.kind is UdfKind.SCALAR
+        and definition.scalar_batch_func is None
+        and not _FAULTS.armed
+    )
+
+
+def _run_chunk(
+    func: Callable, inputs: Sequence[List[Any]], strict: bool,
+    start: int, stop: int,
+) -> List[Any]:
+    """Apply ``func`` over rows ``[start, stop)`` of the input lists."""
+    chunks = [col[start:stop] for col in inputs]
+    if not strict:
+        return list(map(func, *chunks))
+    if len(chunks) == 1:
+        (l0,) = chunks
+        if None not in l0:
+            return list(map(func, l0))
+        return [None if v is None else func(v) for v in l0]
+    if any(None in c for c in chunks):
+        return [
+            None if any(v is None for v in row) else func(*row)
+            for row in zip(*chunks)
+        ]
+    return list(map(func, *chunks))
+
+
+def scalar_batch(
+    definition: UdfDefinition,
+    inputs: Sequence[Column],
+    size: int,
+    chunk: int = 4096,
+) -> Optional[Column]:
+    """Run one scalar batch on the kernel path.
+
+    Returns the result column, or ``None`` when the kernel must deopt
+    (the caller re-runs the batch classically).  Governed interrupts
+    propagate — a deopt must never swallow a cancellation.
+    """
+    try:
+        loaded = [boundary.column_to_python_batch(col) for col in inputs]
+        func = definition.func
+        strict = definition.strict
+        if not loaded:
+            # Zero-arity scalar: one call per row.
+            out: List[Any] = []
+            for start in range(0, size, chunk):
+                stop = min(start + chunk, size)
+                out.extend(func() for _ in range(stop - start))
+                checkpoint()
+        else:
+            out = []
+            for start in range(0, size, chunk):
+                out.extend(
+                    _run_chunk(func, loaded, strict, start,
+                               min(start + chunk, size))
+                )
+                checkpoint()
+    except QueryInterrupt:
+        raise
+    except Exception:
+        return None
+    return boundary.python_batch_to_column(
+        definition.name, definition.signature.return_types[0], out
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregates
+# ----------------------------------------------------------------------
+
+
+def aggregate_eligible(definition: UdfDefinition) -> bool:
+    return definition.kind is UdfKind.AGGREGATE and not _FAULTS.armed
+
+
+def aggregate_batch(
+    definition: UdfDefinition,
+    inputs: Sequence[Column],
+    size: int,
+    group_ids: Sequence[int],
+    num_groups: int,
+    chunk: int = 4096,
+) -> Optional[List[Any]]:
+    """Run one aggregate batch on the kernel path.
+
+    Mirrors the generated aggregate wrapper — init/step/final over
+    ``aggr_group_data``, skipping rows whose arguments are *all* NULL —
+    but crosses the boundary per column instead of per value.  Returns
+    one engine-side value per group, or ``None`` to deopt (aggregates
+    have no row-level policies: the classic re-run raises the wrapped
+    error exactly as before).
+    """
+    try:
+        loaded = [boundary.column_to_python_batch(col) for col in inputs]
+        aggrs = [definition.func() for _ in range(num_groups)]
+        step = [a.step for a in aggrs]
+        arity = len(loaded)
+        if arity == 1:
+            (l0,) = loaded
+            has_null = None in l0
+            for start in range(0, size, chunk):
+                stop = min(start + chunk, size)
+                if has_null:
+                    for i in range(start, stop):
+                        v = l0[i]
+                        if v is not None:
+                            step[group_ids[i]](v)
+                else:
+                    for i in range(start, stop):
+                        step[group_ids[i]](l0[i])
+                checkpoint()
+        else:
+            for start in range(0, size, chunk):
+                for i in range(start, min(start + chunk, size)):
+                    row = [col[i] for col in loaded]
+                    if arity and all(v is None for v in row):
+                        continue
+                    step[group_ids[i]](*row)
+                checkpoint()
+        finals = [a.final() for a in aggrs]
+    except QueryInterrupt:
+        raise
+    except Exception:
+        return None
+    # One Python→engine crossing for the per-group results; classic's
+    # encode→decode is the identity for TEXT, JSON keeps its real serde.
+    boundary.counters.python_to_c += 1
+    boundary.counters.c_to_engine += 1
+    out_type = definition.signature.return_types[0]
+    if out_type is SqlType.JSON:
+        boundary.counters.serializations += sum(
+            1 for v in finals if v is not None
+        )
+        return serde.serialize_values(finals)
+    return finals

@@ -1,0 +1,254 @@
+"""Morsel-driven parallel execution over the columnar plane.
+
+A *morsel* is one fixed-size range of rows — the scheduling quantum of
+the columnar executor.  :class:`MorselScheduler` shards a row range into
+morsels, distributes them round-robin across per-worker deques on the
+thread executor, and lets idle workers **steal from the richest deque**
+(classic morsel-driven parallelism: static distribution for locality,
+stealing for balance — the GIL limits the speedup, but numpy kernels and
+UDF bodies that release it still overlap).
+
+Every morsel runs under the submitting query's adopted governance,
+resilience, and tracing contexts and passes a cooperative
+:func:`~repro.resilience.governor.checkpoint` first, so deadlines,
+cancellation, and row budgets interrupt *between morsels* even when the
+work is spread over many threads.
+
+Error semantics are deterministic via **deopt-to-serial**: when any
+morsel raises an ordinary exception, the whole stage re-executes
+serially in morsel order and the serial error (the first one in row
+order) is the one propagated — parallel execution can never change
+*which* error a query reports.  Governed interrupts
+(:class:`~repro.errors.QueryInterrupt`) propagate immediately instead;
+re-running a cancelled query's stage would hold the cancel hostage.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import QueryInterrupt
+from ..obs import METRICS, OBS
+from ..obs import tracer as obs_tracer
+from ..resilience.governor import checkpoint, spawn_shield
+from ..engine.parallel import adopting
+
+__all__ = ["MorselScheduler"]
+
+#: fn(start, stop) -> per-morsel result
+MorselFn = Callable[[int, int], Any]
+
+
+class MorselScheduler:
+    """Shards row ranges into morsels and runs them with work stealing."""
+
+    def __init__(self, threads: int = 1, morsel_size: int = 4096):
+        self.threads = max(1, int(threads))
+        self.morsel_size = max(1, int(morsel_size))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        # Lifetime telemetry (also exported through repro.obs metrics).
+        self.morsels_run = 0
+        self.steals = 0
+        self.deopts = 0
+        if self.threads > 1:
+            # Spawn worker threads NOW, while construction is outside
+            # any governed query (see _prestart for why lazily starting
+            # them from a governed thread can deadlock).
+            self._executor()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            with self._lock:
+                if self._pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=self.threads,
+                        thread_name_prefix="repro-morsel",
+                    )
+                    if self.threads > 1:
+                        self._prestart(pool)
+                    self._pool = pool
+        return self._pool
+
+    def _prestart(self, pool: ThreadPoolExecutor) -> None:
+        """Start every pool thread from a short-lived helper thread.
+
+        CPython preallocates a child thread's state stamped with the
+        *spawning* thread's id; until the child rebinds it, the
+        governor's ``PyThreadState_SetAsyncExc`` aimed at the spawner
+        matches the half-born child first and kills it before
+        ``Thread.start`` sees ``_started`` — deadlocking the spawner
+        forever.  Starting all workers up front from a helper thread
+        the watchdog never targets closes that window; governed query
+        threads then never call ``Thread.start`` themselves.
+        """
+        barrier = threading.Barrier(self.threads + 1)
+
+        def hold() -> None:
+            # Keep each fresh worker busy so every submit is forced to
+            # spawn a new thread instead of reusing an idle one.
+            try:
+                barrier.wait(timeout=10.0)
+            except threading.BrokenBarrierError:  # pragma: no cover
+                pass
+
+        def spawn() -> None:
+            for _ in range(self.threads):
+                pool.submit(hold)
+            hold()
+
+        starter = threading.Thread(
+            target=spawn, name="repro-morsel-prestart", daemon=True
+        )
+        with spawn_shield():
+            # Even starting the helper is one Thread.start from a
+            # possibly-governed thread; shield that single handshake.
+            starter.start()
+        starter.join()
+
+    def shutdown(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- execution ------------------------------------------------------
+
+    def morsels(self, size: int) -> List[Tuple[int, int]]:
+        """The morsel grid over ``[0, size)``."""
+        if size <= 0:
+            return []
+        return [
+            (start, min(start + self.morsel_size, size))
+            for start in range(0, size, self.morsel_size)
+        ]
+
+    def map_ranges(self, size: int, fn: MorselFn,
+                   stage: str = "stage") -> List[Any]:
+        """Run ``fn`` over every morsel of ``[0, size)``; ordered results.
+
+        Serial when one thread (or one morsel) suffices; otherwise
+        work-stealing parallel with deopt-to-serial on failure.
+        """
+        grid = self.morsels(size)
+        if not grid:
+            return []
+        if self.threads <= 1 or len(grid) <= 1:
+            return self._run_serial(grid, fn, stage)
+        try:
+            return self._run_parallel(grid, fn, stage)
+        except QueryInterrupt:
+            raise
+        except Exception:
+            self.deopts += 1
+            if OBS.metrics:
+                METRICS.counter(
+                    "repro_morsel_deopt_total", stage=stage
+                ).inc()
+            return self._run_serial(grid, fn, stage)
+
+    def _run_serial(self, grid: List[Tuple[int, int]], fn: MorselFn,
+                    stage: str) -> List[Any]:
+        out = []
+        for start, stop in grid:
+            checkpoint()
+            out.append(self._run_one(fn, start, stop, stage, worker=-1))
+        return out
+
+    def _run_parallel(self, grid: List[Tuple[int, int]], fn: MorselFn,
+                      stage: str) -> List[Any]:
+        workers = min(self.threads, len(grid))
+        # Round-robin static distribution: worker w owns morsels w,
+        # w+N, w+2N, ... — contiguous-ish ranges for cache locality.
+        queues = [
+            deque(
+                (idx, grid[idx]) for idx in range(w, len(grid), workers)
+            )
+            for w in range(workers)
+        ]
+        results: List[Any] = [None] * len(grid)
+        errors: List[BaseException] = []
+        steal_lock = threading.Lock()
+        cancelled = threading.Event()
+
+        def next_morsel(mine: deque):
+            with steal_lock:
+                if mine:
+                    return mine.popleft(), False
+                richest = max(queues, key=len)
+                if richest:
+                    return richest.pop(), True
+            return None, False
+
+        def drain(worker_id: int) -> None:
+            mine = queues[worker_id]
+            while not cancelled.is_set():
+                item, stolen = next_morsel(mine)
+                if item is None:
+                    return
+                if stolen:
+                    self.steals += 1
+                    if OBS.metrics:
+                        METRICS.counter(
+                            "repro_morsel_steals_total", stage=stage
+                        ).inc()
+                idx, (start, stop) = item
+                try:
+                    checkpoint()
+                    results[idx] = self._run_one(
+                        fn, start, stop, stage, worker=worker_id
+                    )
+                except BaseException as exc:
+                    errors.append(exc)
+                    cancelled.set()
+                    return
+
+        runner = adopting(drain)
+        pool = self._executor()
+        futures = [pool.submit(runner, w) for w in range(workers)]
+        for future in futures:
+            future.result()
+        if errors:
+            interrupts = [e for e in errors if isinstance(e, QueryInterrupt)]
+            raise (interrupts[0] if interrupts else errors[0])
+        return results
+
+    def _run_one(self, fn: MorselFn, start: int, stop: int, stage: str,
+                 worker: int) -> Any:
+        self.morsels_run += 1
+        if not (OBS.metrics or OBS.tracing):
+            return fn(start, stop)
+        sp = (
+            obs_tracer.span_start(f"morsel:{stage}", "morsel",
+                                  rows=stop - start, worker=worker)
+            if OBS.tracing else None
+        )
+        t0 = time.perf_counter()
+        try:
+            result = fn(start, stop)
+        except BaseException as exc:
+            if sp is not None:
+                obs_tracer.span_end(sp, error=type(exc).__name__)
+            raise
+        if OBS.metrics:
+            METRICS.counter("repro_morsel_total", stage=stage).inc()
+            METRICS.histogram(
+                "repro_morsel_seconds", stage=stage
+            ).observe(time.perf_counter() - t0)
+        if sp is not None:
+            obs_tracer.span_end(sp)
+        return result
+
+    def stats(self) -> dict:
+        return {
+            "threads": self.threads,
+            "morsel_size": self.morsel_size,
+            "morsels_run": self.morsels_run,
+            "steals": self.steals,
+            "deopts": self.deopts,
+        }

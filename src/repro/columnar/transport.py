@@ -1,0 +1,200 @@
+"""Buffer-aware transport packing for UDF batches.
+
+The PR-4 worker pool historically shipped every batch as
+``pickle.dumps(list_of_boxed_values)`` — each int/float/str boxed and
+re-boxed on both sides of the pipe.  This module packs homogeneous value
+lists into typed contiguous frames instead:
+
+========  ==================================================
+tag       frames
+========  ==================================================
+``i8``    one ``int64`` buffer (+ optional null bitmask)
+``f8``    one ``float64`` buffer (+ optional null bitmask)
+``b1``    one ``bool`` buffer (+ optional null bitmask)
+``bytes`` ``int64`` offsets + concatenated payload (+ mask)
+``str``   same, payload UTF-8 encoded
+``empty`` no frames
+========  ==================================================
+
+Frames are plain ``bytes`` suitable for pickle protocol-5 out-of-band
+transfer or for writing straight into a ``multiprocessing.shared_memory``
+segment; only a tiny pickled *meta* structure has to cross the pipe.
+
+Packing is **strict**: a column packs only when every non-NULL value has
+the exact same concrete type, and unpacking reproduces each value
+bit-for-bit (an ``int`` never comes back as a ``float``).  Anything the
+scan cannot vouch for — mixed types, ints beyond 64 bits, arbitrary
+objects — returns ``None`` and the caller falls back to classic object
+pickling, so the fast transport can never change results.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "pack_columns", "unpack_columns",
+    "join_frames", "split_frames",
+    "frames_nbytes",
+]
+
+#: meta for one packed column: (tag, row count, has_null)
+ColumnMeta = Tuple[str, int, bool]
+
+
+def _null_frames(values: Sequence[Any]) -> bytes:
+    mask = np.fromiter(
+        (v is None for v in values), dtype=bool, count=len(values)
+    )
+    return np.packbits(mask).tobytes()
+
+
+def _unpack_nulls(frame: bytes, n: int) -> np.ndarray:
+    return np.unpackbits(
+        np.frombuffer(frame, dtype=np.uint8), count=n
+    ).astype(bool)
+
+
+def _pack_one(values: Sequence[Any]) -> Optional[Tuple[ColumnMeta, List[bytes]]]:
+    """Pack one value list, or ``None`` when it is not strictly typed."""
+    n = len(values)
+    if n == 0:
+        return ("empty", 0, False), []
+    kinds = set(map(type, values))
+    has_null = type(None) in kinds
+    kinds.discard(type(None))
+    if len(kinds) != 1:
+        return None
+    kind = kinds.pop()
+    frames: List[bytes] = []
+    if kind is int or kind is float or kind is bool:
+        tag, dtype = (
+            ("i8", np.int64) if kind is int
+            else ("f8", np.float64) if kind is float
+            else ("b1", np.bool_)
+        )
+        try:
+            data = np.fromiter(
+                (0 if v is None else v for v in values) if has_null else values,
+                dtype=dtype, count=n,
+            )
+        except (TypeError, ValueError, OverflowError):
+            return None  # e.g. int beyond 64 bits — pickle handles it
+        frames.append(data.tobytes())
+    elif kind is bytes or kind is str:
+        tag = "bytes" if kind is bytes else "str"
+        if kind is str:
+            parts = [b"" if v is None else v.encode("utf-8") for v in values]
+        else:
+            parts = [b"" if v is None else v for v in values]
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum([len(p) for p in parts], out=offsets[1:])
+        frames.append(offsets.tobytes())
+        frames.append(b"".join(parts))
+    else:
+        return None
+    if has_null:
+        frames.append(_null_frames(values))
+    return (tag, n, has_null), frames
+
+
+_DTYPES = {"i8": np.int64, "f8": np.float64, "b1": np.bool_}
+
+
+def _unpack_one(meta: ColumnMeta, frames: List[bytes]) -> List[Any]:
+    tag, n, has_null = meta
+    if tag == "empty":
+        return []
+    if tag in _DTYPES:
+        out = np.frombuffer(frames[0], dtype=_DTYPES[tag]).tolist()
+    else:
+        offsets = np.frombuffer(frames[0], dtype=np.int64)
+        payload = frames[1]
+        view = memoryview(payload)
+        if tag == "bytes":
+            out = [bytes(view[offsets[i]:offsets[i + 1]]) for i in range(n)]
+        else:
+            out = [
+                str(view[offsets[i]:offsets[i + 1]], "utf-8") for i in range(n)
+            ]
+    if has_null:
+        for i in np.flatnonzero(_unpack_nulls(frames[-1], n)):
+            out[i] = None
+    return out
+
+
+def _frame_count(meta: ColumnMeta) -> int:
+    tag, _, has_null = meta
+    base = 0 if tag == "empty" else 2 if tag in ("bytes", "str") else 1
+    return base + (1 if has_null else 0)
+
+
+def pack_columns(
+    columns: Sequence[Sequence[Any]],
+) -> Optional[Tuple[List[ColumnMeta], List[bytes]]]:
+    """Pack a list of value lists (one per column).
+
+    Returns ``(metas, frames)``, or ``None`` when *any* column fails the
+    strict type scan — partial packing would still force a pickle pass,
+    so the caller falls back wholesale.
+    """
+    metas: List[ColumnMeta] = []
+    frames: List[bytes] = []
+    for values in columns:
+        packed = _pack_one(values)
+        if packed is None:
+            return None
+        meta, col_frames = packed
+        metas.append(meta)
+        frames.extend(col_frames)
+    return metas, frames
+
+
+def unpack_columns(
+    metas: Sequence[ColumnMeta], frames: Sequence[bytes]
+) -> List[List[Any]]:
+    """Exact inverse of :func:`pack_columns`."""
+    out: List[List[Any]] = []
+    cursor = 0
+    for meta in metas:
+        take = _frame_count(meta)
+        out.append(_unpack_one(meta, list(frames[cursor:cursor + take])))
+        cursor += take
+    return out
+
+
+def frames_nbytes(frames: Sequence[bytes]) -> int:
+    return sum(len(f) for f in frames)
+
+
+# ----------------------------------------------------------------------
+# Flat single-buffer framing (for shared-memory segments)
+# ----------------------------------------------------------------------
+
+_LEN = struct.Struct("<Q")
+
+
+def join_frames(frames: Sequence[bytes]) -> bytes:
+    """Concatenate frames into one length-prefixed buffer."""
+    parts = [_LEN.pack(len(frames))]
+    for frame in frames:
+        parts.append(_LEN.pack(len(frame)))
+        parts.append(frame)
+    return b"".join(parts)
+
+
+def split_frames(buffer) -> List[bytes]:
+    """Inverse of :func:`join_frames` over any bytes-like buffer."""
+    view = memoryview(buffer)
+    (count,) = _LEN.unpack_from(view, 0)
+    cursor = _LEN.size
+    frames: List[bytes] = []
+    for _ in range(count):
+        (length,) = _LEN.unpack_from(view, cursor)
+        cursor += _LEN.size
+        frames.append(bytes(view[cursor:cursor + length]))
+        cursor += length
+    return frames

@@ -170,6 +170,10 @@ class QFusor:
                 memory_limit_mb=self.config.worker_memory_limit_mb,
                 batch_timeout_s=self.config.worker_batch_timeout_s,
             )
+        # Propagate columnar-plane knobs (typed buffers, morsel
+        # parallelism, buffer transport).  All default to None so a plain
+        # QFusorConfig never flips an adapter on or off the data plane.
+        self._configure_columnar(engine)
         self.fuser = PlanFuser(
             engine.registry, engine.resolver, self.cost_model,
             self.heuristics, self.config, self.cache,
@@ -216,6 +220,40 @@ class QFusor:
                 max_inline_depth=self.config.translate_max_inline_depth,
                 self_check=self.config.translate_self_check,
             )
+
+    def _configure_columnar(self, engine) -> None:
+        """Apply the config's columnar-plane knobs to the adapter.
+
+        ``morsel_enabled=True`` attaches (and enables) a policy on
+        adapters that support one; ``False`` disables an attached policy;
+        ``None`` leaves the adapter exactly as constructed.  Size/thread/
+        transport knobs apply to whichever policy is (or becomes) live.
+        """
+        cfg = self.config
+        knobs = (cfg.morsel_enabled, cfg.morsel_size, cfg.morsel_threads,
+                 cfg.buffer_transport)
+        if all(k is None for k in knobs):
+            return
+        enable = getattr(engine, "enable_columnar", None)
+        if enable is None:
+            return
+        if cfg.morsel_enabled is False:
+            disable = getattr(engine, "disable_columnar", None)
+            if disable is not None and getattr(engine, "columnar", None) \
+                    is not None:
+                disable()
+            return
+        policy = getattr(engine, "columnar", None)
+        if policy is None and cfg.morsel_enabled is not True:
+            # Only size/thread/transport knobs set but no plane attached:
+            # nothing to configure without flipping the adapter's mode.
+            return
+        enable(
+            enabled=cfg.morsel_enabled,
+            morsel_size=cfg.morsel_size,
+            threads=cfg.morsel_threads,
+            buffer_transport=cfg.buffer_transport,
+        )
 
     # ------------------------------------------------------------------
     # Per-query report state

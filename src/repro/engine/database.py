@@ -69,6 +69,12 @@ class Database:
         self.optimizer = NativeOptimizer(self.catalog, self.resolver, optimizer_profile)
         self._temp_tables: List[str] = []
 
+    @property
+    def columnar(self):
+        """The columnar-plane policy, shared with the UDF registry
+        (``None`` = classic paths everywhere)."""
+        return self.registry.columnar
+
     # ------------------------------------------------------------------
     # Schema / UDF management
     # ------------------------------------------------------------------
@@ -157,6 +163,14 @@ class Database:
 
     def _make_executor(self):
         if self.execution_model == "vector":
+            policy = self.columnar
+            if policy is not None and policy.enabled:
+                from ..columnar.executor import MorselVectorExecutor
+
+                return MorselVectorExecutor(
+                    self.catalog, self.resolver, policy,
+                    scheduler=policy.scheduler,
+                )
             from .executor_vector import VectorExecutor
 
             return VectorExecutor(self.catalog, self.resolver)

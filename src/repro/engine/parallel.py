@@ -22,23 +22,27 @@ from .executor_vector import Relation, VectorExecutor
 from .expressions import VectorEvaluator
 from .plan import Filter, Project
 
-__all__ = ["split_ranges", "parallel_map", "ParallelVectorExecutor"]
+__all__ = ["split_ranges", "adopting", "parallel_map", "ParallelVectorExecutor"]
 
 
-def split_ranges(size: int, parts: int) -> List[Tuple[int, int]]:
-    """Split ``[0, size)`` into up to ``parts`` contiguous ranges."""
-    parts = max(1, min(parts, size)) if size else 1
-    step = (size + parts - 1) // parts if size else 0
-    ranges = []
-    start = 0
-    while start < size:
-        stop = min(start + step, size)
-        ranges.append((start, stop))
-        start = stop
-    return ranges or [(0, 0)]
+def split_ranges(size: int, parts: int, align: int = 1) -> List[Tuple[int, int]]:
+    """Split ``[0, size)`` into up to ``parts`` contiguous ranges.
+
+    With ``align > 1`` every range boundary except the final stop lands
+    on a multiple of ``align`` (morsel alignment), so range splits and
+    fixed-size morsel grids tile each other exactly.  The last range
+    absorbs the uneven tail; ranges are never empty.
+    """
+    if size <= 0:
+        return [(0, 0)]
+    align = max(1, align)
+    parts = max(1, min(parts, size))
+    step = (size + parts - 1) // parts
+    step = ((step + align - 1) // align) * align
+    return [(start, min(start + step, size)) for start in range(0, size, step)]
 
 
-def _adopting(fn: Callable) -> Callable:
+def adopting(fn: Callable) -> Callable:
     """Wrap ``fn`` so worker threads adopt the submitting thread's
     governance, resilience, and tracing contexts (all thread-local)."""
     gov_ctx = governor.current()
@@ -74,10 +78,17 @@ def parallel_map(fn: Callable, items: Sequence, threads: int) -> List:
     """
     if threads <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    worker = _adopting(fn)
+    worker = adopting(fn)
+    futures: List = []
     with ThreadPoolExecutor(max_workers=threads) as pool:
-        futures = [pool.submit(worker, item) for item in items]
         try:
+            with governor.spawn_shield():
+                # The pool's threads are born lazily inside submit; a
+                # governed submitter must hold the watchdog's async
+                # raise through each Thread.start handshake, or the
+                # raise can be absorbed by a half-born worker and
+                # deadlock us in the handshake wait.
+                futures = [pool.submit(worker, item) for item in items]
             wait(futures, return_when=FIRST_EXCEPTION)
         finally:
             for future in futures:

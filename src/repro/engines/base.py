@@ -85,6 +85,9 @@ class EngineAdapter:
 
         pool = WorkerPool(**knobs)
         pool.on_crash = self.registry.breakers.record_failure
+        policy = self.columnar
+        if policy is not None and "buffer_transport" not in knobs:
+            pool.buffer_transport = policy.buffer_transport
         self.registry.workers = pool
         return pool
 
@@ -95,9 +98,71 @@ class EngineAdapter:
             pool.shutdown()
             self.registry.workers = None
 
+    # -- columnar data plane ----------------------------------------------
+
+    @property
+    def columnar(self):
+        """The adapter's columnar-plane policy, or ``None`` (classic)."""
+        try:
+            return self.registry.columnar
+        except NotImplementedError:
+            return None
+
+    def enable_columnar(self, **knobs: Any):
+        """Switch this adapter onto the typed-buffer data plane.
+
+        ``knobs`` are :class:`repro.columnar.ColumnarPolicy` fields
+        (``enabled``, ``morsel_size``, ``threads``, ``buffer_transport``);
+        ``None``/omitted knobs keep their current values.  Attaches the
+        policy to the UDF registry (kernel dispatch), the execution
+        engine (morsel sharding), and the worker pool / resilient channel
+        (buffer transport).  Returns the policy.
+        """
+        from ..columnar import ColumnarPolicy
+
+        policy = self.columnar
+        if policy is None:
+            policy = ColumnarPolicy()
+            self.registry.columnar = policy
+        if "morsel_threads" in knobs:
+            # Constructor spelling (``morsel_threads=``) accepted here
+            # too, so the two opt-in paths take the same knob names.
+            knobs.setdefault("threads", knobs.pop("morsel_threads"))
+        policy.configure(**knobs)
+        self._attach_columnar(policy)
+        pool = self.workers
+        if pool is not None and hasattr(pool, "configure"):
+            pool.configure(buffer_transport=policy.buffer_transport)
+        channel = getattr(self.registry, "channel", None)
+        if channel is not None and hasattr(channel, "configure"):
+            channel.configure(buffer_transport=policy.buffer_transport)
+        return policy
+
+    def disable_columnar(self) -> None:
+        """Return to the classic object paths (and release the morsel
+        pool)."""
+        policy = self.columnar
+        if policy is None:
+            return
+        policy.close()
+        self.registry.columnar = None
+        self._attach_columnar(None)
+        pool = self.workers
+        if pool is not None and hasattr(pool, "configure"):
+            pool.configure(buffer_transport=False)
+        channel = getattr(self.registry, "channel", None)
+        if channel is not None and hasattr(channel, "configure"):
+            channel.configure(buffer_transport=False)
+
+    def _attach_columnar(self, policy) -> None:
+        """Adapter hook: propagate the policy into engine internals."""
+
     def close(self) -> None:
         """Release adapter resources (worker processes, channels, WAL)."""
         self.disable_process_isolation()
+        policy = self.columnar
+        if policy is not None:
+            policy.close()
         if self.durability is not None:
             self.durability.close()
             self.durability = None

@@ -26,7 +26,14 @@ class DuckDbLikeAdapter(EngineAdapter):
     supports_plan_dispatch = True
     in_process = True
 
-    def __init__(self, *, stats: Optional[StatsStore] = None):
+    def __init__(
+        self,
+        *,
+        stats: Optional[StatsStore] = None,
+        columnar: bool = False,
+        morsel_size: int = 4096,
+        morsel_threads: int = 1,
+    ):
         self.database = Database(
             "duckdb_like",
             execution_model="vector",
@@ -35,6 +42,10 @@ class DuckDbLikeAdapter(EngineAdapter):
             ),
             stats=stats,
         )
+        if columnar:
+            self.enable_columnar(
+                morsel_size=morsel_size, threads=morsel_threads
+            )
 
     @property
     def registry(self):

@@ -36,6 +36,9 @@ class MiniDbAdapter(EngineAdapter):
         wal_fsync: bool = True,
         checkpoint_threshold: int = 4 << 20,
         checkpoint_interval_s: Optional[float] = None,
+        columnar: bool = False,
+        morsel_size: int = 4096,
+        morsel_threads: int = 1,
     ):
         self.database = database or Database(
             "minidb",
@@ -45,6 +48,10 @@ class MiniDbAdapter(EngineAdapter):
             ),
             stats=stats,
         )
+        if columnar:
+            self.enable_columnar(
+                morsel_size=morsel_size, threads=morsel_threads
+            )
         if durability_dir is not None:
             # Recovers the directory's state into the catalog/registry
             # before the adapter serves anything, then WAL-logs writes.

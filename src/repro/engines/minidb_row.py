@@ -55,6 +55,10 @@ class RowStoreAdapter(EngineAdapter):
         wal_fsync: bool = True,
         checkpoint_threshold: int = 4 << 20,
         checkpoint_interval_s: Optional[float] = None,
+        columnar: bool = False,
+        morsel_size: int = 4096,
+        morsel_threads: int = 1,
+        buffer_transport: bool = False,
     ):
         if isolation not in ("channel", "process"):
             raise ValueError(f"unknown isolation mode {isolation!r}")
@@ -90,6 +94,17 @@ class RowStoreAdapter(EngineAdapter):
                 max_batch_retries=worker_max_batch_retries,
                 quarantine_policy=worker_quarantine_policy,
                 batch_timeout_s=worker_batch_timeout_s,
+            )
+        if columnar or buffer_transport:
+            # On the row store the columnar plane mainly buys buffer-aware
+            # transport: the modeled channel / worker pipe ships typed
+            # frames instead of object-list pickles.  The tuple executor
+            # itself stays row-at-a-time.
+            self.enable_columnar(
+                enabled=columnar,
+                morsel_size=morsel_size,
+                threads=morsel_threads,
+                buffer_transport=buffer_transport,
             )
 
     @property

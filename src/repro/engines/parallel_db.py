@@ -29,7 +29,14 @@ class ParallelDbAdapter(EngineAdapter):
     supports_plan_dispatch = True
     in_process = True
 
-    def __init__(self, threads: int = 4, *, stats: Optional[StatsStore] = None):
+    def __init__(
+        self,
+        threads: int = 4,
+        *,
+        stats: Optional[StatsStore] = None,
+        columnar: bool = False,
+        morsel_size: int = 4096,
+    ):
         self.threads = threads
         self.database = Database(
             "dbx",
@@ -39,6 +46,10 @@ class ParallelDbAdapter(EngineAdapter):
             ),
             stats=stats,
         )
+        if columnar:
+            # The morsel executor subsumes the per-operator thread fan-out
+            # below: threads become morsel workers with stealing.
+            self.enable_columnar(morsel_size=morsel_size, threads=threads)
 
     @property
     def registry(self):
@@ -67,9 +78,18 @@ class ParallelDbAdapter(EngineAdapter):
         return self.database.plan(statement)
 
     def _execute_plan(self, planned: PlannedQuery) -> Table:
-        executor = ParallelVectorExecutor(
-            self.database.catalog, self.database.resolver, self.threads
-        )
+        policy = self.columnar
+        if policy is not None and policy.enabled:
+            from ..columnar.executor import MorselVectorExecutor
+
+            executor = MorselVectorExecutor(
+                self.database.catalog, self.database.resolver, policy,
+                scheduler=policy.scheduler,
+            )
+        else:
+            executor = ParallelVectorExecutor(
+                self.database.catalog, self.database.resolver, self.threads
+            )
         return executor.execute(planned)
 
     def _execute_sql(self, statement: Union[str, ast.Statement]) -> Table:

@@ -283,6 +283,11 @@ def generate_fused_udf(spec: PipelineSpec) -> FusedUdf:
     lineage_func = namespace.get(f"{entry_name}__lineage")
     expand_batch_func = namespace.get(f"{entry_name}__expand_batch")
     scalar_batch_func = namespace.get(f"{entry_name}__scalar_batch")
+    if scalar_batch_func is not None:
+        # Fused scalar traces are row-wise pure (each output row depends
+        # only on its input row), so the morsel executor may shard their
+        # batches freely.
+        scalar_batch_func.morsel_safe = True
 
     arg_names = tuple(name for name, _ in spec.inputs)
     arg_types = tuple(sql_type for _, sql_type in spec.inputs)

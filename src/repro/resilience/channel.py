@@ -77,11 +77,16 @@ class ResilientChannel(ProcessChannel):
         retries: int = 3,
         backoff: float = 0.01,
         max_incidents: int = 256,
+        buffer_transport: bool = False,
     ):
         super().__init__()
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = backoff
+        #: Columnar-plane knob: ship strictly-typed value columns as
+        #: pickle protocol-5 out-of-band frames (only a small meta pickle
+        #: is serialized; the typed buffers cross zero-copy).
+        self.buffer_transport = bool(buffer_transport)
         self.max_incidents = max(1, int(max_incidents))
         #: Bounded incident log; overflow counted in incidents_dropped.
         self.incidents: Deque[ChannelIncident] = collections.deque(
@@ -101,6 +106,7 @@ class ResilientChannel(ProcessChannel):
         timeout: Optional[float] = None,
         retries: Optional[int] = None,
         backoff: Optional[float] = None,
+        buffer_transport: Optional[bool] = None,
     ) -> None:
         if timeout is not None:
             self.timeout = timeout
@@ -108,6 +114,8 @@ class ResilientChannel(ProcessChannel):
             self.retries = max(0, int(retries))
         if backoff is not None:
             self.backoff = backoff
+        if buffer_transport is not None:
+            self.buffer_transport = bool(buffer_transport)
 
     # ------------------------------------------------------------------
 
@@ -116,6 +124,25 @@ class ResilientChannel(ProcessChannel):
             fault = getattr(FAULTS.injector, "channel_fault", None)
             if fault is not None:
                 return fault()
+        return None
+
+    @staticmethod
+    def _pack_payload(payload: Any):
+        """Pack a value payload into ``(shape, metas, frames)`` for
+        out-of-band transfer, or ``None`` when it is not a strictly
+        typed column payload (classic pickling then owns it)."""
+        from ..columnar import transport
+
+        if not isinstance(payload, list):
+            return None
+        if payload and all(isinstance(col, list) for col in payload):
+            packed = transport.pack_columns(payload)
+            if packed is not None:
+                return ("cols",) + packed
+        if all(not isinstance(v, (list, tuple, dict)) for v in payload):
+            packed = transport.pack_columns([payload])
+            if packed is not None:
+                return ("col",) + packed
         return None
 
     def _attempt(self, payload: Any) -> Any:
@@ -129,15 +156,22 @@ class ResilientChannel(ProcessChannel):
             )
         start = time.perf_counter()
         try:
-            blob = self._dumps(payload)
-            if OBS.metrics:
-                METRICS.histogram(
-                    "repro_boundary_bytes", DEFAULT_BYTES_BUCKETS,
-                    channel="resilient",
-                ).observe(len(blob))
-            if mode == "corrupt":
-                blob = b"\x80corrupt" + blob[:-4]
-            result = self._loads(blob)
+            packed = (
+                self._pack_payload(payload) if self.buffer_transport
+                else None
+            )
+            if packed is not None:
+                result = self._attempt_oob(packed, mode)
+            else:
+                blob = self._dumps(payload)
+                if OBS.metrics:
+                    METRICS.histogram(
+                        "repro_boundary_bytes", DEFAULT_BYTES_BUCKETS,
+                        channel="resilient",
+                    ).observe(len(blob))
+                if mode == "corrupt":
+                    blob = b"\x80corrupt" + blob[:-4]
+                result = self._loads(blob)
         except ChannelError:
             raise
         except (pickle.PickleError, EOFError, ValueError, TypeError,
@@ -151,6 +185,30 @@ class ResilientChannel(ProcessChannel):
                 f"transfer took {elapsed:.3f}s (timeout {self.timeout}s)"
             )
         return result
+
+    def _attempt_oob(self, packed, mode: Optional[str]) -> Any:
+        """Protocol-5 round trip: typed frames travel out-of-band, so
+        only the tiny meta pickle is serialized (and corruptible)."""
+        shape, metas, frames = packed
+        buffers: List[Any] = []
+        blob = pickle.dumps(
+            (shape, metas, [pickle.PickleBuffer(f) for f in frames]),
+            protocol=5, buffer_callback=buffers.append,
+        )
+        if OBS.metrics:
+            METRICS.histogram(
+                "repro_boundary_bytes", DEFAULT_BYTES_BUCKETS,
+                channel="resilient_oob",
+            ).observe(len(blob))
+        if mode == "corrupt":
+            blob = b"\x80corrupt" + blob[:-4]
+        shape2, metas2, frames2 = pickle.loads(blob, buffers=buffers)
+        from ..columnar import transport
+
+        columns = transport.unpack_columns(
+            metas2, [bytes(f) for f in frames2]
+        )
+        return columns if shape2 == "cols" else columns[0]
 
     def _record(self, incident: ChannelIncident) -> None:
         with self._lock:

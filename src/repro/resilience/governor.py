@@ -62,6 +62,7 @@ __all__ = [
     "checkpoint",
     "cooperative_sleep",
     "guarded_iter",
+    "spawn_shield",
 ]
 
 #: Default cooperative-checkpoint stride (rows between checks).
@@ -327,7 +328,7 @@ def _absorb_pending(context: QueryContext, wait_s: float = 0.2) -> None:
 
 class _WatchEntry:
     __slots__ = ("ident", "context", "udf", "udf_chain", "batch_deadline",
-                 "fired", "fired_at")
+                 "fired", "fired_at", "cooperative_at", "shielded")
 
     def __init__(self, ident: int, context: QueryContext):
         self.ident = ident
@@ -340,6 +341,15 @@ class _WatchEntry:
         self.batch_deadline: Optional[float] = None
         self.fired = False
         self.fired_at = 0.0
+        #: When a cooperative checkpoint on this thread last *raised*
+        #: the interrupt itself.  Delivery accomplished — the watchdog
+        #: holds its async raise for ``refire_s`` so it doesn't land a
+        #: duplicate in the code unwinding (or handling) the first one.
+        self.cooperative_at = 0.0
+        #: True while the thread is inside ``spawn_shield()`` — starting
+        #: new threads, whose half-born state would absorb an async
+        #: raise aimed at this ident (see ``spawn_shield``).
+        self.shielded = False
 
 
 def _async_raise(ident: int, exc_class: type) -> bool:
@@ -458,7 +468,21 @@ class Watchdog:
             exc_class = QueryTimeoutError
         if exc_class is None:
             return
+        if entry.shielded:
+            # The thread is mid-``Thread.start``: CPython stamps a new
+            # thread's state with the spawner's ident until the child
+            # rebinds it, so an async raise now could land in the
+            # half-born child — killing it before it signals
+            # ``_started`` and deadlocking the spawner in the handshake
+            # wait.  ``spawn_shield`` delivers cooperatively on exit.
+            return
         if entry.fired and now - entry.fired_at < self.refire_s:
+            return
+        if entry.cooperative_at and now - entry.cooperative_at < self.refire_s:
+            # A checkpoint on the thread raised this interrupt
+            # synchronously moments ago: it is already propagating (or
+            # being handled), so an async raise now would just land a
+            # duplicate at some arbitrary bytecode of the unwind.
             return
         if _async_raise(entry.ident, exc_class):
             refire = entry.fired
@@ -508,14 +532,14 @@ def govern(adapter_name: str, context: Optional[QueryContext],
     if OBS.tracing and ctx.trace is None:
         ctx.trace = _obs_tracer.current_trace()
     if ctx is ambient:
-        ctx.check()
+        _check_delivering(ctx)
         try:
             yield ctx
         except QueryInterrupt as exc:
             raise ctx.annotate(exc)
         return
     with activate(ctx):
-        ctx.check()
+        _check_delivering(ctx)
         yield ctx
 
 
@@ -579,6 +603,19 @@ class udf_batch_guard:
 # ----------------------------------------------------------------------
 
 
+def _check_delivering(context: QueryContext) -> None:
+    """Run ``context.check()``, stamping the thread's watchdog entry
+    when it raises — the synchronous raise IS the delivery, so the
+    watchdog must not async-fire a duplicate into the unwind."""
+    try:
+        context.check()
+    except QueryInterrupt:
+        entry = _current_entry()
+        if entry is not None and entry.context is context:
+            entry.cooperative_at = time.monotonic()
+        raise
+
+
 def checkpoint() -> None:
     """Raise the governed interrupt if this thread's context demands it.
 
@@ -587,7 +624,35 @@ def checkpoint() -> None:
     """
     stack = _LOCAL.stack
     if stack:
-        stack[-1].check()
+        _check_delivering(stack[-1])
+
+
+@contextlib.contextmanager
+def spawn_shield() -> Iterator[None]:
+    """Hold the watchdog's async raise while this thread starts threads.
+
+    CPython stamps a new thread's state with the *spawner's* ident until
+    the child rebinds it inside ``_bootstrap``, so an async interrupt
+    aimed at a governed spawner during ``Thread.start`` can land in the
+    half-born child instead — killing it before it signals ``_started``
+    and deadlocking the spawner in the handshake wait forever (no
+    bytecode runs there, so even refires never land).  Any code that
+    spawns threads (lazily-populating pools included) under an active
+    governed context must wrap the spawning in this shield; the missed
+    interrupt, if any, is delivered cooperatively on clean exit.
+
+    No-op on ungoverned threads.
+    """
+    entry = _current_entry()
+    if entry is None:
+        yield
+        return
+    entry.shielded = True
+    try:
+        yield
+    finally:
+        entry.shielded = False
+    _check_delivering(entry.context)
 
 
 def cooperative_sleep(duration: float, slice_s: float = 0.01) -> None:

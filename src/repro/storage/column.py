@@ -160,6 +160,21 @@ class Column:
             return bool(self._null.any())
         return any(v is None for v in self._data)
 
+    @property
+    def nbytes(self) -> int:
+        """Backing buffer size in bytes (object columns count pointer
+        slots only — the columnar plane's page-accounting convention)."""
+        total = self._data.nbytes
+        if self._null is not None:
+            total += self._null.nbytes
+        return total
+
+    def to_page(self):
+        """This column as a columnar-plane ``BufferPage`` (zero-copy)."""
+        from ..columnar.buffer import BufferPage
+
+        return BufferPage.from_column(self)
+
     # ------------------------------------------------------------------
     # Bulk operations used by the vectorized executor
     # ------------------------------------------------------------------

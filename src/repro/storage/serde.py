@@ -18,7 +18,10 @@ import json
 import re
 from typing import Any
 
-__all__ = ["serialize", "deserialize", "is_serialized"]
+__all__ = [
+    "serialize", "deserialize", "is_serialized",
+    "serialize_values", "deserialize_values",
+]
 
 _SEPARATORS = (",", ":")
 
@@ -31,6 +34,21 @@ def serialize(value: Any) -> str:
 def deserialize(text: str) -> Any:
     """Deserialize engine JSON text back into a Python value."""
     return json.loads(text)
+
+
+def serialize_values(values) -> list:
+    """Serialize a batch of values (``None`` passes through as SQL NULL).
+
+    The columnar kernels use this for JSON result columns: the per-value
+    serialization work is identical to the classic path — batching
+    eliminates boundary *crossings*, never the modeled serde cost.
+    """
+    return [None if v is None else serialize(v) for v in values]
+
+
+def deserialize_values(values) -> list:
+    """Deserialize a batch of engine JSON texts (``None`` = SQL NULL)."""
+    return [None if v is None else deserialize(v) for v in values]
 
 
 def is_serialized(value: Any) -> bool:

@@ -156,6 +156,17 @@ class Table:
         """Materialize all rows."""
         return list(self.rows())
 
+    @property
+    def nbytes(self) -> int:
+        """Total backing buffer size across columns (see Column.nbytes)."""
+        return sum(col.nbytes for col in self.columns)
+
+    def to_batch(self):
+        """This table as a columnar-plane ``Batch`` (zero-copy pages)."""
+        from ..columnar.buffer import Batch
+
+        return Batch.from_table(self)
+
     # ------------------------------------------------------------------
     # Bulk operations
     # ------------------------------------------------------------------

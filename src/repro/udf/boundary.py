@@ -38,6 +38,7 @@ __all__ = [
     "counters", "BoundaryCounters",
     "engine_to_c", "c_to_python", "python_to_c", "c_to_engine",
     "column_to_c", "c_values_to_column",
+    "column_to_python_batch", "python_batch_to_column",
 ]
 
 
@@ -147,3 +148,48 @@ def c_values_to_column(name: str, sql_type: SqlType, values: Sequence[Any]) -> C
         decoded = [None if v is None else v.decode("utf-8") for v in values]
         return Column(name, sql_type, decoded, validate=False)
     return Column(name, sql_type, list(values), validate=True)
+
+
+# ----------------------------------------------------------------------
+# Columnar batch crossings (the typed-buffer data plane)
+# ----------------------------------------------------------------------
+#
+# The kernel path crosses the boundary once per *column* instead of once
+# per value: the whole typed buffer is handed over in one crossing.
+# TEXT's classic encode→decode round trip is the identity, so values
+# pass straight through; JSON still pays its real per-value serde work —
+# batching removes crossings, never the modeled serialization cost.
+
+
+def column_to_python_batch(column: Column) -> List[Any]:
+    """One engine→Python crossing for a whole column."""
+    counters.engine_to_c += 1
+    counters.c_to_python += 1
+    values = column.to_list()
+    if column.sql_type is SqlType.JSON:
+        counters.deserializations += sum(1 for v in values if v is not None)
+        return serde.deserialize_values(values)
+    return values
+
+
+def python_batch_to_column(
+    name: str, sql_type: SqlType, values: List[Any]
+) -> Optional[Column]:
+    """One Python→engine crossing for a whole result column.
+
+    Returns ``None`` when the values fail the trusted type scan of
+    :func:`repro.columnar.buffer.page_from_values` — the caller must
+    re-run on the classic path, whose per-value coercion owns the error
+    semantics.
+    """
+    from ..columnar.buffer import PageTypeError, page_from_values
+
+    counters.python_to_c += 1
+    counters.c_to_engine += 1
+    if sql_type is SqlType.JSON:
+        counters.serializations += sum(1 for v in values if v is not None)
+        values = serde.serialize_values(values)
+    try:
+        return page_from_values(name, sql_type, values).to_column()
+    except PageTypeError:
+        return None

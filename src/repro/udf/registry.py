@@ -168,6 +168,30 @@ class RegisteredUdf:
                 if hit:
                     return cached
         pool = self._pool()
+        policy = self._registry.columnar
+        if (
+            policy is not None
+            and policy.enabled
+            and pool is None
+            and self._registry.channel is None
+        ):
+            from ..columnar import kernels
+
+            if kernels.eligible(self.definition):
+                column, elapsed = self._guarded(
+                    lambda: kernels.scalar_batch(
+                        self.definition, inputs, size,
+                        chunk=policy.morsel_size,
+                    ),
+                    size,
+                )
+                if column is not None:
+                    self._registry.stats.observe(self.name, size, size, elapsed)
+                    if memo_key is not None:
+                        memo.put(memo_key, column)
+                    return column
+                # Kernel deopt: re-run the batch on the classic path below
+                # (row-error policies and exact error semantics live there).
         if pool is not None:
             raw = [boundary.column_to_c(col) for col in inputs]
             c_result, elapsed = self._guarded(
@@ -259,6 +283,29 @@ class RegisteredUdf:
         Returns one engine-side value per group.
         """
         pool = self._pool()
+        policy = self._registry.columnar
+        if (
+            policy is not None
+            and policy.enabled
+            and pool is None
+            and self._registry.channel is None
+        ):
+            from ..columnar import kernels
+
+            if kernels.aggregate_eligible(self.definition):
+                values, elapsed = self._guarded(
+                    lambda: kernels.aggregate_batch(
+                        self.definition, inputs, size, group_ids,
+                        num_groups, chunk=policy.morsel_size,
+                    ),
+                    size,
+                )
+                if values is not None:
+                    self._registry.stats.observe(
+                        self.name, size, num_groups, elapsed
+                    )
+                    return values
+                # Kernel deopt: classic path below owns error semantics.
         if pool is not None:
             raw = [boundary.column_to_c(col) for col in inputs]
             c_result, elapsed = self._guarded(
@@ -440,6 +487,10 @@ class UdfRegistry:
         #: batches execute in supervised worker processes instead of
         #: round-tripping the modeled pickle channel.
         self.workers = workers
+        #: Columnar-plane policy (:class:`repro.columnar.ColumnarPolicy`);
+        #: when attached and enabled, eligible scalar batches run on the
+        #: batch-at-a-time kernel path instead of the per-row wrapper.
+        self.columnar: Optional[Any] = None
         #: Per-UDF circuit breakers (disabled until configured by QFusor).
         self.breakers = BreakerBoard()
         #: CREATE FUNCTION statements issued so far (for inspection).

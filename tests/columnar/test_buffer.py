@@ -1,0 +1,116 @@
+"""Typed buffer pages: zero-copy interop, slicing, trusted construction."""
+
+import enum
+
+import numpy as np
+import pytest
+
+from repro.columnar import Batch, BufferPage, PageTypeError, page_from_values
+from repro.storage import Column, Table
+from repro.types import SqlType
+
+
+def _col(name, sql_type, values):
+    return Column(name, sql_type, values)
+
+
+class TestColumnInterop:
+    @pytest.mark.parametrize("sql_type,values", [
+        (SqlType.INT, [1, 2, None, 4]),
+        (SqlType.FLOAT, [1.5, None, 2.5]),
+        (SqlType.BOOL, [True, False, None]),
+        (SqlType.TEXT, ["a", None, "c"]),
+        (SqlType.JSON, ['{"k": 1}', None]),
+    ])
+    def test_round_trip_preserves_values(self, sql_type, values):
+        col = _col("c", sql_type, values)
+        page = BufferPage.from_column(col)
+        assert page.to_column().to_list() == col.to_list()
+
+    def test_from_column_is_zero_copy(self):
+        col = _col("c", SqlType.INT, [1, 2, 3])
+        page = BufferPage.from_column(col)
+        assert page.data is col.numpy()
+
+    def test_to_column_is_zero_copy(self):
+        page = page_from_values("c", SqlType.FLOAT, [1.0, 2.0])
+        col = page.to_column()
+        assert col.numpy() is page.data
+
+    def test_column_to_page_helper(self):
+        col = _col("c", SqlType.INT, [7, None])
+        assert col.to_page().values() == [7, None]
+
+    def test_column_nbytes_counts_data_and_mask(self):
+        col = _col("c", SqlType.INT, [1, 2, None])
+        assert col.nbytes == col.numpy().nbytes + col.null_mask().nbytes
+
+
+class TestSlicing:
+    def test_slice_is_a_view(self):
+        page = page_from_values("c", SqlType.INT, list(range(10)))
+        view = page.slice(2, 6)
+        assert np.shares_memory(view.data, page.data)
+        assert view.values() == [2, 3, 4, 5]
+
+    def test_slice_keeps_null_mask_aligned(self):
+        page = page_from_values("c", SqlType.INT, [0, None, 2, None, 4])
+        assert page.slice(1, 4).values() == [None, 2, None]
+
+    def test_batch_slice_clamps_to_size(self):
+        table = Table.from_rows(
+            "t", [("x", SqlType.INT)], [(i,) for i in range(5)]
+        )
+        batch = Batch.from_table(table)
+        tail = batch.slice(3, 99)
+        assert tail.size == 2
+        assert tail.to_table().column("x").to_list() == [3, 4]
+
+    def test_table_to_batch_round_trip(self):
+        table = Table.from_rows(
+            "t", [("x", SqlType.INT), ("s", SqlType.TEXT)],
+            [(1, "a"), (None, None)],
+        )
+        assert table.to_batch().to_table("t").to_rows() == table.to_rows()
+        assert table.nbytes == sum(c.nbytes for c in table.columns)
+
+
+class TestTrustedConstruction:
+    def test_accepts_exact_types(self):
+        assert page_from_values("c", SqlType.INT, [1, True, None]).values() \
+            == [1, 1, None]
+        assert page_from_values(
+            "c", SqlType.FLOAT, [1.0, 2, None]
+        ).values() == [1.0, 2.0, None]
+
+    def test_rejects_float_into_int(self):
+        # np.fromiter would silently truncate 1.5 -> 1; coerce raises.
+        # The trusted scan must reject before numpy gets a say.
+        with pytest.raises(PageTypeError):
+            page_from_values("c", SqlType.INT, [1, 1.5])
+
+    def test_rejects_subclasses_conservatively(self):
+        class E(enum.IntEnum):
+            A = 1
+
+        with pytest.raises(PageTypeError):
+            page_from_values("c", SqlType.INT, [E.A])
+
+    def test_rejects_int_beyond_64_bits(self):
+        with pytest.raises(PageTypeError):
+            page_from_values("c", SqlType.INT, [1, 1 << 70, None])
+
+    def test_rejects_non_bool_into_bool(self):
+        with pytest.raises(PageTypeError):
+            page_from_values("c", SqlType.BOOL, [True, 1])
+
+    def test_text_and_json_accept_only_str(self):
+        assert page_from_values("c", SqlType.TEXT, ["x", None]).values() \
+            == ["x", None]
+        with pytest.raises(PageTypeError):
+            page_from_values("c", SqlType.TEXT, [b"x"])
+
+    def test_empty_batch(self):
+        page = page_from_values("c", SqlType.INT, [])
+        assert len(page) == 0
+        assert page.to_column().to_list() == []

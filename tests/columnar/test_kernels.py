@@ -1,0 +1,151 @@
+"""Batch kernels: classic-path equivalence, deopt ladder, governance."""
+
+import pytest
+
+from repro.columnar import kernels
+from repro.engines import MiniDbAdapter
+from repro.errors import QueryCancelledError
+from repro.resilience import QueryContext, governor
+from repro.storage import Column, Table
+from repro.testing import FaultInjector, inject
+from repro.types import SqlType
+from repro.udf import aggregate_udf, scalar_udf
+
+
+@scalar_udf
+def k_inc(x: int) -> int:
+    return x + 1
+
+
+@scalar_udf
+def k_cat(a: str, b: str) -> str:
+    return a + b
+
+
+@scalar_udf
+def k_boom(x: int) -> int:
+    raise ValueError("boom")
+
+
+@scalar_udf
+def k_badtype(x: int) -> float:
+    # Annotated FLOAT but returns str: the kernel's trusted page scan
+    # must refuse and hand the batch back to the validating path.
+    return "not a float"  # type: ignore[return-value]
+
+
+@aggregate_udf
+class k_total:
+    def __init__(self):
+        self.n = 0
+
+    def step(self, value: int):
+        self.n += value
+
+    def final(self) -> int:
+        return self.n
+
+
+def _definition(udf):
+    return udf.__udf__
+
+
+def _cols(*specs):
+    return [Column(n, t, v) for n, t, v in specs]
+
+
+class TestScalarBatch:
+    def test_matches_classic_result(self):
+        (col,) = _cols(("x", SqlType.INT, [1, 2, None, 4]))
+        out = kernels.scalar_batch(_definition(k_inc), [col], 4)
+        assert out is not None
+        assert out.to_list() == [2, 3, None, 5]  # strict: NULL skipped
+
+    def test_multi_arg_null_join(self):
+        cols = _cols(
+            ("a", SqlType.TEXT, ["x", None, "z"]),
+            ("b", SqlType.TEXT, ["1", "2", None]),
+        )
+        out = kernels.scalar_batch(_definition(k_cat), cols, 3)
+        assert out.to_list() == ["x1", None, None]
+
+    def test_udf_error_deopts_to_none(self):
+        (col,) = _cols(("x", SqlType.INT, [1, 2]))
+        assert kernels.scalar_batch(_definition(k_boom), [col], 2) is None
+
+    def test_untrusted_result_type_deopts_to_none(self):
+        (col,) = _cols(("x", SqlType.INT, [1]))
+        assert kernels.scalar_batch(_definition(k_badtype), [col], 1) is None
+
+    def test_cancellation_interrupts_mid_batch(self):
+        (col,) = _cols(("x", SqlType.INT, list(range(100))))
+        context = QueryContext()
+        with governor.activate(context):
+            context.cancel()
+            with pytest.raises(QueryCancelledError):
+                kernels.scalar_batch(
+                    _definition(k_inc), [col], 100, chunk=10
+                )
+
+
+class TestEligibility:
+    def test_plain_scalar_is_eligible(self):
+        assert kernels.eligible(_definition(k_inc))
+
+    def test_aggregate_is_not_scalar_eligible(self):
+        assert not kernels.eligible(_definition(k_total))
+
+    def test_armed_faults_disable_kernels(self):
+        with inject(FaultInjector().udf_exception("k_inc", row=1)):
+            assert not kernels.eligible(_definition(k_inc))
+            assert not kernels.aggregate_eligible(_definition(k_total))
+        assert kernels.eligible(_definition(k_inc))
+
+
+class TestAggregateBatch:
+    def test_matches_classic_grouping(self):
+        (col,) = _cols(("x", SqlType.INT, [1, 2, 3, 4, None]))
+        out = kernels.aggregate_batch(
+            _definition(k_total), [col], 5, [0, 1, 0, 1, 0], 2
+        )
+        assert out == [4, 6]  # all-NULL rows are skipped
+
+    def test_step_error_deopts_to_none(self):
+        (col,) = _cols(("x", SqlType.TEXT, ["not", "ints"]))
+        assert kernels.aggregate_batch(
+            _definition(k_total), [col], 2, [0, 0], 1
+        ) is None
+
+
+class TestRegistryIntegration:
+    def test_adapter_parity_with_and_without_kernels(self):
+        table = Table.from_rows(
+            "t", [("x", SqlType.INT), ("s", SqlType.TEXT)],
+            [(i, f"v{i}") for i in range(50)] + [(None, None)],
+        )
+        results = []
+        for columnar in (False, True):
+            adapter = MiniDbAdapter(columnar=columnar)
+            adapter.register_table(table)
+            adapter.register_udf(k_inc)
+            adapter.register_udf(k_cat)
+            adapter.register_udf(k_total)
+            rows = adapter.execute_sql(
+                "SELECT k_inc(x), k_cat(s, s) FROM t"
+            ).to_rows()
+            rows += adapter.execute_sql(
+                "SELECT s, k_total(x) FROM t GROUP BY s"
+            ).to_rows()
+            results.append(sorted(map(repr, rows)))
+            adapter.close()
+        assert results[0] == results[1]
+
+    def test_error_semantics_survive_the_kernel_deopt(self):
+        table = Table.from_rows("t", [("x", SqlType.INT)], [(1,), (2,)])
+        adapter = MiniDbAdapter(columnar=True)
+        adapter.register_table(table)
+        adapter.register_udf(k_boom)
+        with pytest.raises(Exception) as excinfo:
+            adapter.execute_sql("SELECT k_boom(x) FROM t")
+        assert "boom" in str(excinfo.value)
+        adapter.close()

@@ -1,0 +1,169 @@
+"""Morsel scheduler: grids, stealing, deopt-to-serial, governance."""
+
+import threading
+
+import pytest
+
+from repro.columnar import MorselScheduler
+from repro.errors import QueryCancelledError
+from repro.resilience import QueryContext, governor
+
+
+@pytest.fixture
+def sched():
+    scheduler = MorselScheduler(threads=4, morsel_size=10)
+    yield scheduler
+    scheduler.shutdown()
+
+
+class TestMorselGrid:
+    def test_even_split(self):
+        s = MorselScheduler(morsel_size=10)
+        assert s.morsels(30) == [(0, 10), (10, 20), (20, 30)]
+
+    def test_uneven_tail(self):
+        s = MorselScheduler(morsel_size=10)
+        assert s.morsels(25) == [(0, 10), (10, 20), (20, 25)]
+
+    def test_zero_rows(self):
+        assert MorselScheduler(morsel_size=10).morsels(0) == []
+
+    def test_size_smaller_than_morsel(self):
+        assert MorselScheduler(morsel_size=10).morsels(3) == [(0, 3)]
+
+
+class TestMapRanges:
+    def test_serial_equals_parallel(self, sched):
+        fn = lambda start, stop: sum(range(start, stop))
+        serial = MorselScheduler(threads=1, morsel_size=10)
+        assert sched.map_ranges(95, fn) == serial.map_ranges(95, fn)
+        serial.shutdown()
+
+    def test_results_are_in_morsel_order(self, sched):
+        out = sched.map_ranges(40, lambda start, stop: (start, stop))
+        assert out == [(0, 10), (10, 20), (20, 30), (30, 40)]
+
+    def test_empty_range(self, sched):
+        assert sched.map_ranges(0, lambda a, b: 1) == []
+
+    def test_all_threads_participate_or_steal(self, sched):
+        seen = set()
+        lock = threading.Lock()
+        second_thread = threading.Event()
+
+        def fn(start, stop):
+            with lock:
+                seen.add(threading.current_thread().name)
+                if len(seen) >= 2:
+                    second_thread.set()
+            if start == 0:
+                # Hold the first morsel's worker until another thread
+                # has picked up work.
+                second_thread.wait(timeout=5)
+            return stop - start
+
+        assert sum(sched.map_ranges(100, fn)) == 100
+        assert len(seen) >= 2
+
+    def test_work_stealing_is_counted(self):
+        sched = MorselScheduler(threads=2, morsel_size=1)
+        hold = threading.Event()
+        done = []
+        lock = threading.Lock()
+
+        def fn(start, stop):
+            if start == 0:
+                # First morsel (owned by worker 0) blocks until worker 1
+                # has drained everything else — including steals from
+                # worker 0's deque.
+                hold.wait(timeout=5)
+                return start
+            with lock:
+                done.append(start)
+                if len(done) == 19:
+                    hold.set()
+            return start
+
+        try:
+            out = sched.map_ranges(20, fn)
+            assert out == list(range(20))
+        finally:
+            hold.set()
+            sched.shutdown()
+        assert sched.stats()["morsels_run"] == 20
+
+    def test_stats_shape(self, sched):
+        sched.map_ranges(20, lambda a, b: None)
+        stats = sched.stats()
+        assert stats["threads"] == 4
+        assert stats["morsel_size"] == 10
+        assert stats["morsels_run"] >= 2
+        assert set(stats) == {
+            "threads", "morsel_size", "morsels_run", "steals", "deopts",
+        }
+
+
+class TestDeoptToSerial:
+    def test_error_is_first_in_row_order(self, sched):
+        calls = []
+
+        def fn(start, stop):
+            calls.append(start)
+            if start >= 20:
+                raise ValueError(f"morsel-{start}")
+            return start
+
+        # Parallel execution may surface morsel-30 first; the serial
+        # re-run must make morsel-20's error the one reported.
+        with pytest.raises(ValueError, match="morsel-20"):
+            sched.map_ranges(40, fn)
+        assert sched.stats()["deopts"] == 1
+
+    def test_deopt_rerun_still_returns_results_when_error_was_transient(self):
+        sched = MorselScheduler(threads=2, morsel_size=5)
+        flaky = {"armed": True}
+
+        def fn(start, stop):
+            if start == 5 and flaky.pop("armed", False):
+                raise RuntimeError("transient")
+            return start
+
+        try:
+            assert sched.map_ranges(20, fn) == [0, 5, 10, 15]
+            assert sched.stats()["deopts"] == 1
+        finally:
+            sched.shutdown()
+
+
+class TestGovernance:
+    def test_cancellation_interrupts_parallel_stage(self, sched):
+        context = QueryContext()
+        done = []
+
+        def fn(start, stop):
+            done.append(start)
+            if len(done) == 2:
+                context.cancel()
+            return start
+
+        with governor.activate(context):
+            with pytest.raises(QueryCancelledError):
+                sched.map_ranges(1000, fn)
+        # An interrupt must not trigger the serial re-run ladder.
+        assert sched.stats()["deopts"] == 0
+        assert len(done) < 100
+
+    def test_pre_cancelled_context_runs_nothing(self, sched):
+        context = QueryContext()
+        context.cancel()
+        with governor.activate(context):
+            with pytest.raises(QueryCancelledError):
+                sched.map_ranges(50, lambda a, b: a)
+
+    def test_shutdown_and_reuse(self):
+        sched = MorselScheduler(threads=2, morsel_size=5)
+        assert sum(sched.map_ranges(10, lambda a, b: b - a)) == 10
+        sched.shutdown()
+        # A fresh executor is created lazily after shutdown.
+        assert sum(sched.map_ranges(10, lambda a, b: b - a)) == 10
+        sched.shutdown()

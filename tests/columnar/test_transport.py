@@ -1,0 +1,88 @@
+"""Buffer transport packing: strict round trips and wholesale fallback."""
+
+import pickle
+
+import pytest
+
+from repro.columnar import transport
+
+
+def round_trip(columns):
+    packed = transport.pack_columns(columns)
+    assert packed is not None
+    metas, frames = packed
+    return transport.unpack_columns(metas, frames)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("values", [
+        [1, 2, 3],
+        [1, None, -5],
+        [1.5, 2.5, None],
+        [True, False, None],
+        [b"ab", b"", b"xyz"],
+        [b"ab", None],
+        ["hé", "", None],
+        [],
+        [None, None],
+    ])
+    def test_single_column(self, values):
+        if values and set(map(type, values)) == {type(None)}:
+            # all-NULL columns have no element type to tag; they must
+            # fall back rather than guess.
+            assert transport.pack_columns([values]) is None
+            return
+        assert round_trip([values]) == [values]
+
+    def test_multi_column(self):
+        cols = [[1, 2, None], [b"a", b"bc", b""], [1.0, None, 3.0]]
+        assert round_trip(cols) == cols
+
+    def test_ints_stay_ints(self):
+        (out,) = round_trip([[1, 2]])
+        assert all(type(v) is int for v in out)
+
+    def test_floats_stay_floats(self):
+        (out,) = round_trip([[1.0, 2.0]])
+        assert all(type(v) is float for v in out)
+
+
+class TestStrictFallback:
+    def test_mixed_numeric_types_fall_back(self):
+        assert transport.pack_columns([[1, 2.5]]) is None
+
+    def test_int_beyond_64_bits_falls_back(self):
+        assert transport.pack_columns([[1, 1 << 70]]) is None
+
+    def test_arbitrary_objects_fall_back(self):
+        assert transport.pack_columns([[object()]]) is None
+
+    def test_one_bad_column_fails_the_whole_batch(self):
+        # Partial packing would still force a pickle pass; fallback is
+        # wholesale so the caller ships exactly one encoding.
+        assert transport.pack_columns([[1, 2], [1, 2.5]]) is None
+
+    def test_bool_column_is_not_int_column(self):
+        (out,) = round_trip([[True, False]])
+        assert all(type(v) is bool for v in out)
+
+
+class TestFraming:
+    def test_join_split_round_trip(self):
+        frames = [b"", b"abc", b"\x00" * 17]
+        assert transport.split_frames(transport.join_frames(frames)) == frames
+
+    def test_split_ignores_trailing_slack(self):
+        # Shared-memory segments round up to page size; the framing must
+        # be self-delimiting.
+        joined = transport.join_frames([b"xy"]) + b"\x00" * 100
+        assert transport.split_frames(joined) == [b"xy"]
+
+    def test_frames_nbytes(self):
+        assert transport.frames_nbytes([b"ab", b"c"]) == 3
+
+    def test_meta_is_small_and_picklable(self):
+        metas, frames = transport.pack_columns([list(range(10_000))])
+        meta_blob = pickle.dumps(metas)
+        assert len(meta_blob) < 100
+        assert transport.frames_nbytes(frames) == 80_000

@@ -1,0 +1,85 @@
+"""Edge cases for morsel-aligned range splitting (`split_ranges`).
+
+The parallel executor and the morsel scheduler share row ranges; with
+``align=morsel_size`` every split boundary lands on a morsel boundary so
+the two grids tile each other exactly.
+"""
+
+import pytest
+
+from repro.engine.parallel import split_ranges
+
+
+def covers(ranges, size):
+    """Ranges are contiguous, non-empty, and tile [0, size) exactly."""
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == size
+    for (a_start, a_stop), (b_start, b_stop) in zip(ranges, ranges[1:]):
+        assert a_stop == b_start
+        assert a_stop > a_start
+    assert ranges[-1][1] > ranges[-1][0] or size == 0
+
+
+class TestBasics:
+    def test_even_split(self):
+        assert split_ranges(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_tail_goes_last(self):
+        assert split_ranges(10, 3) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_zero_rows(self):
+        assert split_ranges(0, 4) == [(0, 0)]
+
+    def test_negative_rows(self):
+        assert split_ranges(-5, 4) == [(0, 0)]
+
+    def test_parts_exceed_size(self):
+        ranges = split_ranges(2, 8)
+        assert ranges == [(0, 1), (1, 2)]
+
+    def test_zero_parts_clamps_to_one(self):
+        assert split_ranges(5, 0) == [(0, 5)]
+
+
+class TestAlignment:
+    def test_boundaries_are_aligned(self):
+        ranges = split_ranges(100, 3, align=7)
+        covers(ranges, 100)
+        for _, stop in ranges[:-1]:
+            assert stop % 7 == 0
+
+    def test_aligned_split_tiles_the_morsel_grid(self):
+        # Every aligned range must be a whole number of morsels (except
+        # the final tail), so a scheduler slicing each range into
+        # ``align``-row morsels reproduces the global morsel grid.
+        size, align = 1000, 32
+        ranges = split_ranges(size, 7, align=align)
+        global_grid = [
+            (s, min(s + align, size)) for s in range(0, size, align)
+        ]
+        tiled = [
+            (s, min(s + align, stop))
+            for start, stop in ranges
+            for s in range(start, stop, align)
+        ]
+        assert tiled == global_grid
+
+    def test_align_larger_than_size(self):
+        ranges = split_ranges(10, 4, align=64)
+        assert ranges == [(0, 10)]
+
+    def test_align_one_is_default_behavior(self):
+        assert split_ranges(10, 3, align=1) == split_ranges(10, 3)
+
+    def test_align_zero_clamps_to_one(self):
+        assert split_ranges(10, 3, align=0) == split_ranges(10, 3)
+
+    @pytest.mark.parametrize("size", [1, 5, 31, 32, 33, 100, 4097])
+    @pytest.mark.parametrize("parts", [1, 2, 3, 8])
+    @pytest.mark.parametrize("align", [1, 4, 32, 4096])
+    def test_cover_property_grid(self, size, parts, align):
+        ranges = split_ranges(size, parts, align=align)
+        covers(ranges, size)
+        assert len(ranges) <= max(1, parts)
+        for _, stop in ranges[:-1]:
+            assert stop % align == 0

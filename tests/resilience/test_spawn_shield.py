@@ -1,0 +1,66 @@
+"""spawn_shield: the watchdog must not async-fire into a thread that is
+mid-``Thread.start``.
+
+CPython stamps a new thread's state with the spawner's ident until the
+child rebinds it, so an async interrupt aimed at a governed spawner
+inside the start handshake can land in the half-born child — killing it
+before it signals ``_started`` and deadlocking the spawner forever.
+These tests pin the shield's two halves: the hold (no async raise while
+shielded) and the cooperative delivery on exit.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.parallel import parallel_map
+from repro.errors import QueryCancelledError
+from repro.resilience import governor
+
+
+class TestSpawnShield:
+    def test_holds_async_raise_then_delivers_cooperatively(self):
+        ctx = governor.QueryContext()
+        survived = []
+        # The catch sits OUTSIDE activate: lingering inside a cancelled
+        # governed block is fair game for the watchdog's refire.
+        with pytest.raises(QueryCancelledError):
+            with governor.activate(ctx):
+                with governor.spawn_shield():
+                    ctx.cancel("mid-spawn")
+                    # ~7 watchdog ticks: an unshielded entry would take
+                    # the async raise inside one of these sleeps.
+                    deadline = time.monotonic() + 0.15
+                    while time.monotonic() < deadline:
+                        time.sleep(0.005)
+                    survived.append(True)
+                # shield exit delivers the held interrupt cooperatively
+        assert survived == [True]
+
+    def test_noop_without_governed_context(self):
+        with governor.spawn_shield():
+            pass  # ungoverned threads pass straight through
+
+    def test_body_exception_wins_over_held_interrupt(self):
+        ctx = governor.QueryContext()
+        with pytest.raises(ValueError, match="body"):
+            with governor.activate(ctx):
+                try:
+                    with governor.spawn_shield():
+                        ctx.cancel("mid-spawn")
+                        raise ValueError("body")
+                finally:
+                    # the entry must be unshielded again on the error path
+                    assert governor._current_entry().shielded is False
+
+    def test_parallel_map_spawns_safely_with_cancelled_context(self):
+        # Regression for the handshake deadlock: submit spawns the pool's
+        # threads lazily while the context is already cancelled, so every
+        # Thread.start races the watchdog's due async raise.  Unshielded,
+        # some iteration hangs in ``Thread._started.wait`` forever.
+        for _ in range(20):
+            ctx = governor.QueryContext()
+            with pytest.raises(QueryCancelledError):
+                with governor.activate(ctx):
+                    ctx.cancel("pre-cancelled")
+                    parallel_map(lambda x: x, list(range(8)), 4)

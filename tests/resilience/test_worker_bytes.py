@@ -1,0 +1,185 @@
+"""Per-batch shipped-bytes accounting and the buffer-transport gate.
+
+Satellite regression for the columnar transport: with
+``buffer_transport=True`` a scalar UDF batch must cross the process
+boundary as typed frames (shared memory or out-of-band pickle frames),
+shrinking shipped bytes at least 5x versus the classic object-list
+pickle — and the pool must account both encodings per batch through
+``last_batch_bytes`` / ``bytes_sent`` / ``bytes_received``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.resilience.workers import WorkerPool, active_worker_pids
+from repro.udf import scalar_udf, aggregate_udf
+
+
+@scalar_udf
+def b_double(x: int) -> int:
+    return x * 2
+
+
+@scalar_udf
+def b_upper(s: str) -> str:
+    return s.upper()
+
+
+@aggregate_udf
+class b_sum:
+    def __init__(self):
+        self.total = 0
+
+    def step(self, value: int):
+        self.total += value
+
+    def final(self) -> int:
+        return self.total
+
+
+def _assert_no_children(timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+    assert active_worker_pids() == []
+
+
+@pytest.fixture
+def iso():
+    pools = []
+
+    def make(**kw):
+        kw.setdefault("restart_backoff_s", 0.001)
+        pool = WorkerPool(**kw)
+        pools.append(pool)
+        return pool
+
+    yield make
+    for pool in pools:
+        pool.shutdown()
+    _assert_no_children()
+
+
+N = 4096
+INTS = list(range(N))
+
+
+def run_scalar(pool, udf=b_double, raw=None):
+    definition = udf.__udf__
+    raw = [INTS] if raw is None else raw
+    args = (raw, len(raw[0]))
+    return pool.run_batch(
+        definition, "scalar", args, size=len(raw[0]),
+        fallback=lambda: [definition.func(*vals) for vals in zip(*raw)],
+    )
+
+
+class TestTransportEngages:
+    def test_scalar_batch_ships_as_buffers(self, iso):
+        pool = iso(pool_size=1, buffer_transport=True)
+        assert run_scalar(pool) == [v * 2 for v in INTS]
+        batch = pool.last_batch_bytes
+        assert batch is not None
+        assert batch["transport"] in ("shm", "frames")
+        # 4096 int64s = 32 KiB of frames + tiny meta; the pickled
+        # object list is ~5 bytes per int plus list overhead.
+        pickled = len(pickle.dumps(([INTS], N)))
+        assert batch["sent"] * 5 <= pickled
+        assert batch["received"] > 0
+
+    def test_shm_is_the_preferred_lane(self, iso):
+        pool = iso(pool_size=1, buffer_transport=True)
+        run_scalar(pool)
+        assert pool.last_batch_bytes["transport"] == "shm"
+        # Shared memory ships only the segment name + meta in-band.
+        assert pool.last_batch_bytes["sent"] < 1024
+
+    def test_aggregate_batch_ships_as_buffers(self, iso):
+        pool = iso(pool_size=1, buffer_transport=True)
+        definition = b_sum.__udf__
+        group_ids = np.asarray([i % 4 for i in range(N)], dtype=np.int64)
+        args = ([INTS], N, group_ids, 4)
+        out = pool.run_batch(
+            definition, "aggregate", args, size=N,
+            fallback=lambda: None,
+        )
+        assert out == [sum(range(g, N, 4)) for g in range(4)]
+        assert pool.last_batch_bytes["transport"] in ("shm", "frames")
+
+    def test_text_batches_ship_as_buffers(self, iso):
+        pool = iso(pool_size=1, buffer_transport=True)
+        words = [f"word-{i}" for i in range(512)]
+        raw = [[w.encode() for w in words]]
+        out = run_scalar(pool, udf=b_upper, raw=raw)
+        assert out == [w.encode().upper() for w in words]
+        assert pool.last_batch_bytes["transport"] in ("shm", "frames")
+
+
+class TestClassicPath:
+    def test_disabled_by_default(self, iso):
+        pool = iso(pool_size=1)
+        assert pool.buffer_transport is False
+        run_scalar(pool)
+        assert pool.last_batch_bytes["transport"] == "pickle"
+
+    def test_untyped_payloads_fall_back_to_pickle(self, iso):
+        pool = iso(pool_size=1, buffer_transport=True)
+        # Exact-type heterogeneity (int vs bool) defeats the strict
+        # packer; the batch must still run, via the classic pickle lane.
+        out = run_scalar(pool, raw=[[1, True] * 8])
+        assert out == [2, 2] * 8
+        assert pool.last_batch_bytes["transport"] == "pickle"
+
+    def test_value_kind_never_takes_the_buffer_lane(self, iso):
+        pool = iso(pool_size=1, buffer_transport=True)
+        out = pool.run_batch(
+            b_double.__udf__, "value", (21,),
+            fallback=lambda: 42,
+        )
+        assert out == 42
+        assert pool.last_batch_bytes["transport"] == "pickle"
+
+    def test_configure_toggles_transport(self, iso):
+        pool = iso(pool_size=1)
+        run_scalar(pool)
+        assert pool.last_batch_bytes["transport"] == "pickle"
+        pool.configure(buffer_transport=True)
+        run_scalar(pool)
+        assert pool.last_batch_bytes["transport"] == "shm"
+        pool.configure(buffer_transport=False)
+        run_scalar(pool)
+        assert pool.last_batch_bytes["transport"] == "pickle"
+
+
+class TestAccounting:
+    def test_counters_accumulate(self, iso):
+        pool = iso(pool_size=1, buffer_transport=True)
+        run_scalar(pool)
+        sent_one, recv_one = pool.bytes_sent, pool.bytes_received
+        assert sent_one > 0 and recv_one > 0
+        run_scalar(pool)
+        assert pool.bytes_sent > sent_one
+        assert pool.bytes_received > recv_one
+
+    def test_five_x_reduction_regression_gate(self, iso):
+        """The acceptance gate: >=5x fewer shipped bytes per UDF batch."""
+        classic = iso(pool_size=1, buffer_transport=False)
+        buffered = iso(pool_size=1, buffer_transport=True)
+        run_scalar(classic)
+        run_scalar(buffered)
+        classic_total = (
+            classic.last_batch_bytes["sent"]
+            + classic.last_batch_bytes["received"]
+        )
+        buffered_total = (
+            buffered.last_batch_bytes["sent"]
+            + buffered.last_batch_bytes["received"]
+        )
+        assert buffered_total * 5 <= classic_total
